@@ -1,0 +1,140 @@
+// Microbenchmarks of the mbd::comm collective algorithms (google-benchmark).
+//
+// These measure the in-process runtime itself (thread ranks on one host);
+// they back the design-choice ablations in DESIGN.md §5 — Bruck vs ring
+// all-gather, ring vs recursive-doubling all-reduce — by wall time and by
+// instrumented traffic (reported as counters).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mbd/comm/world.hpp"
+
+namespace {
+
+using namespace mbd;
+
+void BM_AllReduceRing(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  comm::World world(p);
+  for (auto _ : state) {
+    world.run([n](comm::Comm& c) {
+      std::vector<float> v(n, static_cast<float>(c.rank()));
+      c.allreduce(std::span<float>(v), std::plus<float>{},
+                  comm::AllReduceAlgo::Ring);
+      benchmark::DoNotOptimize(v.data());
+    });
+  }
+  const auto s = world.stats();
+  state.counters["bytes_per_iter"] = static_cast<double>(
+      s[comm::Coll::AllReduce].bytes / state.iterations());
+  state.counters["msgs_per_iter"] = static_cast<double>(
+      s[comm::Coll::AllReduce].messages / state.iterations());
+}
+BENCHMARK(BM_AllReduceRing)
+    ->Args({2, 1 << 14})
+    ->Args({4, 1 << 14})
+    ->Args({8, 1 << 14})
+    ->Args({4, 1 << 18});
+
+void BM_AllReduceRecursiveDoubling(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  comm::World world(p);
+  for (auto _ : state) {
+    world.run([n](comm::Comm& c) {
+      std::vector<float> v(n, static_cast<float>(c.rank()));
+      c.allreduce(std::span<float>(v), std::plus<float>{},
+                  comm::AllReduceAlgo::RecursiveDoubling);
+      benchmark::DoNotOptimize(v.data());
+    });
+  }
+  const auto s = world.stats();
+  state.counters["bytes_per_iter"] = static_cast<double>(
+      s[comm::Coll::AllReduce].bytes / state.iterations());
+}
+BENCHMARK(BM_AllReduceRecursiveDoubling)
+    ->Args({2, 1 << 14})
+    ->Args({4, 1 << 14})
+    ->Args({8, 1 << 14})
+    ->Args({4, 1 << 18});
+
+void BM_AllReduceRabenseifner(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  comm::World world(p);
+  for (auto _ : state) {
+    world.run([n](comm::Comm& c) {
+      std::vector<float> v(n, static_cast<float>(c.rank()));
+      c.allreduce(std::span<float>(v), std::plus<float>{},
+                  comm::AllReduceAlgo::Rabenseifner);
+      benchmark::DoNotOptimize(v.data());
+    });
+  }
+  const auto s = world.stats();
+  state.counters["bytes_per_iter"] = static_cast<double>(
+      s[comm::Coll::AllReduce].bytes / state.iterations());
+  state.counters["msgs_per_iter"] = static_cast<double>(
+      s[comm::Coll::AllReduce].messages / state.iterations());
+}
+BENCHMARK(BM_AllReduceRabenseifner)
+    ->Args({2, 1 << 14})
+    ->Args({4, 1 << 14})
+    ->Args({8, 1 << 14})
+    ->Args({4, 1 << 18});
+
+void BM_AllGatherBruck(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  comm::World world(p);
+  for (auto _ : state) {
+    world.run([n](comm::Comm& c) {
+      std::vector<float> v(n, static_cast<float>(c.rank()));
+      auto out = c.allgather(std::span<const float>(v),
+                             comm::AllGatherAlgo::Bruck);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+  const auto s = world.stats();
+  state.counters["bytes_per_iter"] = static_cast<double>(
+      s[comm::Coll::AllGather].bytes / state.iterations());
+  state.counters["msgs_per_iter"] = static_cast<double>(
+      s[comm::Coll::AllGather].messages / state.iterations());
+}
+BENCHMARK(BM_AllGatherBruck)
+    ->Args({2, 1 << 12})
+    ->Args({8, 1 << 12})
+    ->Args({8, 1 << 16});
+
+void BM_AllGatherRing(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  comm::World world(p);
+  for (auto _ : state) {
+    world.run([n](comm::Comm& c) {
+      std::vector<float> v(n, static_cast<float>(c.rank()));
+      auto out =
+          c.allgather(std::span<const float>(v), comm::AllGatherAlgo::Ring);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+  const auto s = world.stats();
+  state.counters["msgs_per_iter"] = static_cast<double>(
+      s[comm::Coll::AllGather].messages / state.iterations());
+}
+BENCHMARK(BM_AllGatherRing)
+    ->Args({2, 1 << 12})
+    ->Args({8, 1 << 12})
+    ->Args({8, 1 << 16});
+
+void BM_Barrier(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  comm::World world(p);
+  for (auto _ : state) {
+    world.run([](comm::Comm& c) { c.barrier(); });
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Arg(16);
+
+}  // namespace

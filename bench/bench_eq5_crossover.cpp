@@ -1,0 +1,79 @@
+// Eq. 5 (model-vs-batch crossover) and Eq. 6 (redistribution cost).
+//
+// Regenerates the paper's §2.2 claims: per AlexNet conv layer, the largest
+// batch size at which pure model parallelism still moves no more data than
+// pure batch parallelism ("for several convolutional layers ... model
+// parallelism has lower communication volume than batch parallelism for
+// B ≤ 12"), and the observation that switching distributions costs
+// asymptotically 1/3 of the subsequent model-parallel step (Eq. 6).
+#include <iostream>
+
+#include "common.hpp"
+#include "mbd/support/units.hpp"
+
+namespace {
+
+using namespace mbd;
+
+void crossover_table() {
+  std::cout << "-- Eq. 5: batch/model communication-volume ratio per conv"
+               " layer --\n";
+  const auto net = bench::alexnet();
+  TextTable t({"layer", "|W|", "d_i", "ratio(B=4)", "ratio(B=16)",
+               "ratio(B=64)", "model favorable for B <="});
+  for (const auto& l : net) {
+    if (l.kind != nn::LayerKind::Conv) continue;
+    t.row()
+        .add(l.name)
+        .add(format_count(static_cast<double>(l.weight_count())))
+        .add(format_count(static_cast<double>(l.d_out())))
+        .add_num(costmodel::batch_over_model_volume_ratio(l, 4), 2)
+        .add_num(costmodel::batch_over_model_volume_ratio(l, 16), 2)
+        .add_num(costmodel::batch_over_model_volume_ratio(l, 64), 2)
+        .add_int(static_cast<long long>(
+            costmodel::model_favorable_batch_limit(l)));
+  }
+  t.print(std::cout);
+  std::cout << "  (paper: 3x3 filters on 13x13x384 activations -> model"
+               " parallel favorable for B <= ~12; ratio > 1 means the batch-"
+               "parallel all-reduce moves more data)\n\n";
+}
+
+void redistribution_table() {
+  std::cout << "-- Eq. 6: batch->model redistribution cost vs the subsequent"
+               " model-parallel layer --\n";
+  const auto m = costmodel::MachineModel::cori_knl();
+  TextTable t({"P", "B", "d", "T_redistribute", "T_model_layer", "ratio"});
+  for (std::size_t p : {16u, 64u, 256u, 1024u}) {
+    const std::size_t batch = 2048, d = 4096;
+    const auto redist = costmodel::redistribution_cost(m, p, batch, d);
+    // Subsequent model-parallel step for one d×d layer: all-gather of B·d
+    // plus the 2× ∆X all-reduce of B·d.
+    const auto ag = costmodel::allgather_cost(
+        m, p, static_cast<double>(batch) * static_cast<double>(d));
+    const auto ar = costmodel::allreduce_cost(
+        m, p, static_cast<double>(batch) * static_cast<double>(d));
+    const double model_step = ag.total() + ar.total();
+    t.row()
+        .add_int(static_cast<long long>(p))
+        .add_int(static_cast<long long>(batch))
+        .add_int(static_cast<long long>(d))
+        .add(format_seconds(redist.total()))
+        .add(format_seconds(model_step))
+        .add_num(model_step / redist.total(), 2);
+  }
+  t.print(std::cout);
+  std::cout << "  (paper: \"this redistribution cost is asymptotically free"
+               " because the subsequent model parallel step has communication"
+               " cost that is three times the cost of the redistribution\")\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_table1_banner(
+      "Eq. 5 / Eq. 6 — crossover batch sizes and redistribution");
+  crossover_table();
+  redistribution_table();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Executable scaling (ours): run the actual trainers across rank counts on
+// thread ranks and show the measured per-iteration traffic following the
+// cost model's trends — the ∆W all-reduce volume saturating at 2·(P−1)/P·|W|
+// for pure batch (Eq. 4's P-independence), and shrinking by Pr on the 1.5D
+// grid (Eq. 8's headline effect). This complements the analytic figure
+// benches with end-to-end measurements.
+#include <iostream>
+
+#include "common.hpp"
+#include "mbd/comm/world.hpp"
+#include "mbd/parallel/batch_parallel.hpp"
+#include "mbd/parallel/integrated.hpp"
+#include "mbd/support/units.hpp"
+
+namespace {
+
+using namespace mbd;
+
+comm::StatsSnapshot per_iteration(int p,
+                                  const std::function<void(comm::Comm&, std::size_t)>& fn) {
+  auto run = [&](std::size_t iters) {
+    comm::World world(p);
+    world.run([&](comm::Comm& c) { fn(c, iters); });
+    return world.stats();
+  };
+  const auto s1 = run(1);
+  const auto s3 = run(3);
+  auto d = s3.since(s1);
+  for (auto& e : d.by_coll) {
+    e.bytes /= 2;
+    e.messages /= 2;
+  }
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_table1_banner(
+      "Executable scaling — measured traffic of the running trainers");
+  const auto specs = nn::mlp_spec({32, 64, 32, 16});
+  const auto data = nn::make_synthetic_dataset(32, 16, 128, /*seed=*/1);
+  const double w_bytes =
+      static_cast<double>(nn::total_weights(specs)) * sizeof(float);
+
+  std::cout << "-- pure batch parallel: dW all-reduce bytes/iteration vs P"
+               " (Eq. 4: approaches 2|W| as P grows) --\n";
+  TextTable t({"P", "allreduce/iter", "predicted 2(P-1)|W|", "per-process"});
+  for (int p : {2, 4, 8, 16}) {
+    nn::TrainConfig cfg;
+    cfg.batch = 32;
+    const auto s = per_iteration(p, [&](comm::Comm& c, std::size_t iters) {
+      auto c2 = cfg;
+      c2.iterations = iters;
+      (void)parallel::train_batch_parallel(c, specs, data, c2);
+    });
+    const double measured = static_cast<double>(s[comm::Coll::AllReduce].bytes);
+    t.row()
+        .add_int(p)
+        .add(format_bytes(measured))
+        .add(format_bytes(2.0 * (p - 1) * w_bytes))
+        .add(format_bytes(measured / p));
+  }
+  t.print(std::cout);
+  std::cout << "  (per-process volume saturates at 2|W| = "
+            << format_bytes(2.0 * w_bytes)
+            << " — the Eq. 4 P-independence of the bandwidth term)\n\n";
+
+  std::cout << "-- 1.5D at P = 16: dW all-reduce shrinks by Pr"
+               " (Eq. 8), activation traffic grows --\n";
+  TextTable t2({"grid Pr x Pc", "allreduce/iter", "allgather/iter",
+                "total/iter"});
+  for (const auto [pr, pc] : {std::pair{1, 16}, std::pair{2, 8},
+                              std::pair{4, 4}, std::pair{8, 2},
+                              std::pair{16, 1}}) {
+    nn::TrainConfig cfg;
+    cfg.batch = 32;
+    const parallel::GridShape grid{pr, pc};
+    const auto s = per_iteration(16, [&, grid](comm::Comm& c,
+                                               std::size_t iters) {
+      auto c2 = cfg;
+      c2.iterations = iters;
+      (void)parallel::train_integrated_15d(c, grid, specs, data, c2);
+    });
+    t2.row()
+        .add(std::to_string(pr) + " x " + std::to_string(pc))
+        .add(format_bytes(static_cast<double>(s[comm::Coll::AllReduce].bytes)))
+        .add(format_bytes(static_cast<double>(s[comm::Coll::AllGather].bytes)))
+        .add(format_bytes(static_cast<double>(s.total_bytes())));
+  }
+  t2.print(std::cout);
+  std::cout << "  (the measured trade is exactly the one Eqs. 4 vs 8"
+               " describe: model rows cut the weight reduction, batch"
+               " columns cut the activation gather)\n";
+  return 0;
+}

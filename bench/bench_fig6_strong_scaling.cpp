@@ -1,0 +1,30 @@
+// Fig. 6: strong scaling of the integrated model+batch parallel approach
+// with the SAME process grid used for every layer (so Pr > 1 applies model
+// parallelism to convolutional layers too — the "naive" mode).
+//
+// B = 2048 fixed; P = 8 ... 512; every Pr×Pc factorization simulated with
+// Eq. 8 plus the Fig. 4 compute curve. The paper's headline for this figure:
+// at P = 512 the best grid (16×32) gives 2.1× total / 5.0× communication
+// speedup over pure batch parallelism, while at P = 8 the integrated
+// approach does not help (compute-bound).
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace mbd;
+  bench::print_table1_banner(
+      "Fig. 6 — strong scaling, same grid for all layers (Eq. 8)");
+  const auto net = bench::alexnet();
+  const auto m = costmodel::MachineModel::cori_knl();
+  const std::size_t batch = 2048;
+  for (std::size_t p : {8u, 64u, 256u, 512u}) {
+    std::cout << "-- subfigure: P = " << p << ", B = " << batch
+              << " (per-iteration times) --\n";
+    (void)bench::print_grid_sweep(net, batch, p, m,
+                                  costmodel::GridMode::Uniform);
+  }
+  std::cout << "Paper reference points: P=512 best grid 16x32, 2.1x total,"
+               " 5.0x communication; P=8 shows no benefit (compute-bound).\n";
+  return 0;
+}

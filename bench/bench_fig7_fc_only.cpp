@@ -1,0 +1,26 @@
+// Fig. 7: strong scaling with model parallelism restricted to the FC layers
+// (Pr = 1 for convolutional layers — pure batch there), the paper's improved
+// configuration. Headline: at P = 512, B = 2048 the best grid gives 2.5×
+// total / 9.7× communication speedup over pure batch parallelism —
+// "significantly better than Fig. 6".
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace mbd;
+  bench::print_table1_banner(
+      "Fig. 7 — strong scaling, model parallelism in FC layers only (Eq. 8)");
+  const auto net = bench::alexnet();
+  const auto m = costmodel::MachineModel::cori_knl();
+  const std::size_t batch = 2048;
+  for (std::size_t p : {8u, 64u, 256u, 512u}) {
+    std::cout << "-- subfigure: P = " << p << ", B = " << batch
+              << " (per-iteration times) --\n";
+    (void)bench::print_grid_sweep(net, batch, p, m,
+                                  costmodel::GridMode::BatchParallelConv);
+  }
+  std::cout << "Paper reference points: P=512 best grid gives 2.5x total,"
+               " 9.7x communication vs pure batch.\n";
+  return 0;
+}

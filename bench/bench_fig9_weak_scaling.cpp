@@ -1,0 +1,27 @@
+// Fig. 9: weak scaling — the mini-batch size grows with the process count
+// (B/P fixed at 4 samples per process, matching the figure's (P, B) pairs).
+// Same-grid-for-all-layers mode, as in the paper's Fig. 9 caption ("which is
+// sub-optimal — a better approach is pure batch parallelism for the
+// convolutional layers").
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace mbd;
+  bench::print_table1_banner(
+      "Fig. 9 — weak scaling, variable mini-batch (Eq. 8, uniform grid)");
+  const auto net = bench::alexnet();
+  const auto m = costmodel::MachineModel::cori_knl();
+  for (const auto [p, batch] :
+       {std::pair{32u, 128u}, std::pair{64u, 256u}, std::pair{128u, 512u},
+        std::pair{256u, 1024u}, std::pair{512u, 2048u}}) {
+    std::cout << "-- subfigure: P = " << p << ", B = " << batch
+              << " (per-iteration times) --\n";
+    (void)bench::print_grid_sweep(net, batch, p, m,
+                                  costmodel::GridMode::Uniform);
+  }
+  std::cout << "Shape check: the integrated approach's communication"
+               " advantage persists as (P, B) scale together.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Microbenchmarks of the three DNN-training gemm kernels (forward W·X,
+// gradient ∆Y·Xᵀ, backward Wᵀ·∆Y) across AlexNet-FC-like shapes — the
+// blocking ablation from DESIGN.md §5.
+#include <benchmark/benchmark.h>
+
+#include "mbd/nn/layers.hpp"
+#include "mbd/support/rng.hpp"
+#include "mbd/tensor/gemm.hpp"
+#include "mbd/tensor/im2col.hpp"
+
+namespace {
+
+using namespace mbd::tensor;
+
+Matrix rand_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  mbd::Rng rng(seed);
+  return Matrix::random_normal(r, c, rng, 1.0f);
+}
+
+void BM_GemmNN(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto b = static_cast<std::size_t>(state.range(1));
+  const Matrix w = rand_matrix(d, d, 1);
+  const Matrix x = rand_matrix(d, b, 2);
+  Matrix y(d, b);
+  for (auto _ : state) {
+    gemm_nn(w, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(d) * d * b * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNN)->Args({128, 32})->Args({256, 64})->Args({512, 64});
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto b = static_cast<std::size_t>(state.range(1));
+  const Matrix dy = rand_matrix(d, b, 3);
+  const Matrix x = rand_matrix(d, b, 4);
+  Matrix dw(d, d);
+  for (auto _ : state) {
+    gemm_nt(dy, x, dw);
+    benchmark::DoNotOptimize(dw.data());
+  }
+}
+BENCHMARK(BM_GemmNT)->Args({128, 32})->Args({256, 64})->Args({512, 64});
+
+void BM_GemmTN(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto b = static_cast<std::size_t>(state.range(1));
+  const Matrix w = rand_matrix(d, d, 5);
+  const Matrix dy = rand_matrix(d, b, 6);
+  Matrix dx(d, b);
+  for (auto _ : state) {
+    gemm_tn(w, dy, dx);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_GemmTN)->Args({128, 32})->Args({256, 64})->Args({512, 64});
+
+void BM_Conv2DForward(benchmark::State& state) {
+  // One AlexNet-conv3-shaped layer (256 -> 384, 3x3 on 13x13) per sample.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  mbd::Rng rng(9);
+  const mbd::tensor::ConvGeom g{64, 13, 13, 96, 3, 3, 1, 1};
+  mbd::nn::Conv2D conv("c", g, rng);
+  const Matrix x = rand_matrix(64 * 13 * 13, batch, 10);
+  for (auto _ : state) {
+    Matrix y = conv.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["images/s"] = benchmark::Counter(
+      static_cast<double>(batch) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Conv2DForward)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_Conv2DBackward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  mbd::Rng rng(11);
+  const mbd::tensor::ConvGeom g{64, 13, 13, 96, 3, 3, 1, 1};
+  mbd::nn::Conv2D conv("c", g, rng);
+  const Matrix x = rand_matrix(64 * 13 * 13, batch, 12);
+  Matrix y = conv.forward(x);
+  const Matrix dy = rand_matrix(y.rows(), y.cols(), 13);
+  for (auto _ : state) {
+    Matrix dx = conv.backward(dy);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_Conv2DBackward)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_Im2Col(benchmark::State& state) {
+  mbd::Rng rng(14);
+  const mbd::tensor::ConvGeom g{64, 27, 27, 96, 5, 5, 1, 2};
+  const auto t = mbd::tensor::Tensor4::random_normal(1, 64, 27, 27, rng, 1.0f);
+  for (auto _ : state) {
+    Matrix cols = mbd::tensor::im2col(t, 0, g);
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_GemmReference(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const Matrix a = rand_matrix(d, d, 7);
+  const Matrix b = rand_matrix(d, d, 8);
+  for (auto _ : state) {
+    Matrix c = matmul_reference(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmReference)->Arg(128)->Arg(256);
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Two-level network extension bench: how the flat Table 1 results shift on
+// a machine with fast intra-node links (the topology effect the paper's
+// Limitations defer to "adjusting α and β").
+#include <iostream>
+
+#include "common.hpp"
+#include "mbd/costmodel/hierarchy.hpp"
+#include "mbd/support/units.hpp"
+
+int main() {
+  using namespace mbd;
+  bench::print_table1_banner(
+      "Extension — two-level (intra/inter node) network model");
+  const auto net = bench::alexnet();
+  const std::size_t batch = 2048, p = 512;
+  const auto hm = costmodel::HierarchicalMachine::cori_like(/*node_size=*/8);
+
+  std::cout << "Machine: 8 ranks/node, intra 0.2us & 60GB/s, inter 2us &"
+               " 6GB/s (Table 1).\n\n";
+
+  std::cout << "-- Fig. 7 grids at P = " << p << ", hierarchical vs flat --\n";
+  TextTable t({"grid Pr x Pc", "T_comm flat", "T_comm hierarchical",
+               "saving"});
+  for (const auto& [pr, pc] : costmodel::grid_factorizations(p)) {
+    if (pc > batch) continue;
+    const auto flat = costmodel::integrated_cost(
+        net, batch, pr, pc, hm.inter, costmodel::GridMode::BatchParallelConv);
+    const auto hier = costmodel::integrated_cost_hierarchical(
+        net, batch, pr, pc, hm, costmodel::GridMode::BatchParallelConv);
+    t.row()
+        .add(std::to_string(pr) + " x " + std::to_string(pc))
+        .add(format_seconds(flat.comm()))
+        .add(format_seconds(hier.comm()))
+        .add_num(flat.comm() / hier.comm(), 2);
+  }
+  t.print(std::cout);
+  std::cout << "  (grids whose frequent reductions fit inside nodes gain the"
+               " most; the optimal grid can shift once topology is priced"
+               " in — exactly the adjustment the paper's Limitations"
+               " anticipate)\n\n";
+
+  std::cout << "-- hierarchical all-reduce of one AlexNet gradient (62.4M"
+               " words) vs flat --\n";
+  TextTable t2({"P", "flat ring", "hierarchical (S=8)", "speedup"});
+  const double words = 62.4e6;
+  for (std::size_t pp : {64u, 256u, 1024u, 4096u}) {
+    const auto flat = costmodel::allreduce_cost(hm.inter, pp, words);
+    const auto hier = costmodel::hierarchical_allreduce_cost(hm, pp, words);
+    t2.row()
+        .add_int(static_cast<long long>(pp))
+        .add(format_seconds(flat.total()))
+        .add(format_seconds(hier.total()))
+        .add_num(flat.total() / hier.total(), 2);
+  }
+  t2.print(std::cout);
+  return 0;
+}

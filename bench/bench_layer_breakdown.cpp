@@ -1,0 +1,61 @@
+// Per-layer communication breakdown at the Fig. 7 headline configuration —
+// the layer-level evidence behind the paper's two structural arguments:
+// (1) conv layers have huge activations (d_i) but few weights, so model
+// parallelism there drowns in all-gathers (why Fig. 7 forces Pr=1 on conv);
+// (2) FC layers have huge |W_i| but small activations, so splitting their
+// rows slashes the dominant ∆W all-reduce (why the 1.5D grid wins).
+#include <iostream>
+
+#include "common.hpp"
+#include "mbd/support/units.hpp"
+
+int main() {
+  using namespace mbd;
+  bench::print_table1_banner(
+      "Per-layer breakdown — why conv wants batch and FC wants model rows");
+  const auto net = bench::alexnet();
+  const auto m = costmodel::MachineModel::cori_knl();
+  const std::size_t batch = 2048, p = 512;
+
+  std::cout << "-- layer shapes: activations vs weights --\n";
+  TextTable s({"layer", "d_in", "d_out", "|W|", "B*d_out / |W|"});
+  for (const auto& l : net) {
+    s.row()
+        .add(l.name)
+        .add(format_count(static_cast<double>(l.d_in())))
+        .add(format_count(static_cast<double>(l.d_out())))
+        .add(format_count(static_cast<double>(l.weight_count())))
+        .add_num(static_cast<double>(batch) * static_cast<double>(l.d_out()) /
+                     static_cast<double>(l.weight_count()),
+                 1);
+  }
+  s.print(std::cout);
+  std::cout << "  (ratio >> 1: activation-dominated, keep batch-parallel;"
+               " << 1: weight-dominated, split the rows)\n\n";
+
+  for (const auto mode : {costmodel::GridMode::Uniform,
+                          costmodel::GridMode::BatchParallelConv}) {
+    const bool uniform = mode == costmodel::GridMode::Uniform;
+    const auto best = costmodel::best_integrated_grid(net, batch, p, m, mode);
+    std::cout << "-- per-layer comm at best grid " << best.pr << "x" << best.pc
+              << " (" << (uniform ? "Fig. 6 uniform" : "Fig. 7 fc-only")
+              << " mode) --\n";
+    TextTable t({"layer", "T_allgather", "T_ardx", "T_ardw", "layer total"});
+    for (const auto& lc : best.cost.layers) {
+      t.row()
+          .add(lc.name)
+          .add(format_seconds(lc.ag_forward.total()))
+          .add(format_seconds(lc.ar_dx.total()))
+          .add(format_seconds(lc.ar_dw.total()))
+          .add(format_seconds(lc.comm().total()));
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Reading: in uniform mode the conv layers' all-gathers"
+               " dominate; forcing them batch-parallel (Fig. 7) moves the"
+               " entire budget to the FC ∆W reductions, which the Pr split"
+               " then divides — the paper's layer-structure argument, one"
+               " row per layer.\n";
+  return 0;
+}

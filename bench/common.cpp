@@ -1,0 +1,73 @@
+#include "common.hpp"
+
+#include <algorithm>
+
+#include "mbd/support/units.hpp"
+
+namespace mbd::bench {
+
+using costmodel::GridMode;
+using costmodel::GridOption;
+using costmodel::MachineModel;
+
+void print_table1_banner(const std::string& experiment) {
+  std::cout << "=== " << experiment << " ===\n"
+            << "Fixed parameters (paper Table 1): AlexNet (61M params, 5 conv"
+               " + 3 FC), ImageNet N=1,281,167,\n"
+            << "Cori-KNL network: alpha=2us, 1/beta=6GB/s; compute curve"
+               " digitized from Fig. 4.\n\n";
+}
+
+std::vector<nn::LayerSpec> alexnet() {
+  return nn::weighted_layers(nn::alexnet_spec());
+}
+
+GridOption print_grid_sweep(const std::vector<nn::LayerSpec>& net,
+                            std::size_t batch, std::size_t p,
+                            const MachineModel& m, GridMode mode,
+                            bool overlap) {
+  const auto options = costmodel::enumerate_integrated_grids(
+      net, batch, p, m, mode, {}, overlap);
+  // Recover the pure batch baseline for the speedup annotation.
+  const GridOption* pure = nullptr;
+  for (const auto& o : options)
+    if (o.pr == 1) pure = &o;
+
+  TextTable t({"grid Pr x Pc", "T_allgather", "T_ardx", "T_ardw(batch)",
+               "T_comm", "T_comp", "T_total", overlap ? "T_overlap" : ""});
+  // Sort rows by pr for a stable, figure-like ordering.
+  auto rows = options;
+  std::sort(rows.begin(), rows.end(),
+            [](const GridOption& a, const GridOption& b) { return a.pr < b.pr; });
+  for (const auto& o : rows) {
+    t.row()
+        .add(std::to_string(o.pr) + " x " + std::to_string(o.pc))
+        .add(format_seconds(o.cost.ag_forward().total()))
+        .add(format_seconds(o.cost.ar_dx().total()))
+        .add(format_seconds(o.cost.ar_dw().total()))
+        .add(format_seconds(o.cost.comm()))
+        .add(format_seconds(o.cost.compute))
+        .add(format_seconds(o.cost.total()))
+        .add(overlap ? format_seconds(o.cost.total_overlapped()) : "");
+  }
+  t.print(std::cout);
+
+  const GridOption& best = options.front();
+  if (pure != nullptr && pure->pr != best.pr) {
+    const double total_speedup =
+        (overlap ? pure->cost.total_overlapped() : pure->cost.total()) /
+        (overlap ? best.cost.total_overlapped() : best.cost.total());
+    const double comm_speedup = pure->cost.comm() / best.cost.comm();
+    std::cout << "  best grid " << best.pr << "x" << best.pc << ": "
+              << format_double(total_speedup, 1) << "x total ("
+              << format_double(comm_speedup, 1)
+              << "x communication) vs pure batch parallel\n";
+  } else {
+    std::cout << "  best grid " << best.pr << "x" << best.pc
+              << " (pure batch parallel is optimal here)\n";
+  }
+  std::cout << '\n';
+  return best;
+}
+
+}  // namespace mbd::bench

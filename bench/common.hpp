@@ -1,0 +1,31 @@
+// Shared pieces of the figure-regeneration harnesses.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mbd/costmodel/optimizer.hpp"
+#include "mbd/costmodel/strategy.hpp"
+#include "mbd/nn/models.hpp"
+#include "mbd/support/table.hpp"
+
+namespace mbd::bench {
+
+/// Print the Table 1 banner (fixed simulation parameters) once per binary.
+void print_table1_banner(const std::string& experiment);
+
+/// The weighted AlexNet layers every simulation uses.
+std::vector<nn::LayerSpec> alexnet();
+
+/// Emit one Fig. 6/7/9-style sub-table: every feasible Pr×Pc grid at (P, B)
+/// with the per-phase communication split, compute time, and totals, plus
+/// the best-grid speedup lines the paper annotates on each subfigure.
+/// Returns the best option.
+costmodel::GridOption print_grid_sweep(const std::vector<nn::LayerSpec>& net,
+                                       std::size_t batch, std::size_t p,
+                                       const costmodel::MachineModel& m,
+                                       costmodel::GridMode mode,
+                                       bool overlap = false);
+
+}  // namespace mbd::bench

@@ -1,0 +1,95 @@
+// AlexNet parallelization planner — the paper's "automatic selection of the
+// best configuration" (§2.3) as a command-line tool.
+//
+//   $ ./alexnet_planner --procs 512 --batch 2048
+//   $ ./alexnet_planner --procs 4096 --batch 512       # beyond P = B
+//   $ ./alexnet_planner --procs 512 --batch 2048 --mode uniform --overlap
+//
+// Given P processes and a mini-batch B on the Cori-KNL machine model, ranks
+// every Pr×Pc grid by Eq. 8 (or the full Eq. 9 plan with per-layer
+// model/domain roles when P > B), and prints predicted iteration and epoch
+// times.
+#include <iostream>
+
+#include "mbd/costmodel/optimizer.hpp"
+#include "mbd/nn/models.hpp"
+#include "mbd/support/cli.hpp"
+#include "mbd/support/table.hpp"
+#include "mbd/support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mbd;
+  ArgParser args(
+      "Plan the best integrated model/batch/domain parallelization of "
+      "AlexNet training (paper Eqs. 8-9, Table 1 machine model).");
+  args.add_int("procs", 512, "number of processes P");
+  args.add_int("batch", 2048, "global mini-batch size B");
+  args.add_string("mode", "fc-only",
+                  "grid mode: 'uniform' (Fig. 6) or 'fc-only' (Fig. 7)");
+  args.add_bool("overlap", false,
+                "rank by the Fig. 8 overlapped total instead");
+  args.add_int("top", 5, "how many grid candidates to print");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto p = static_cast<std::size_t>(args.get_int("procs"));
+  const auto batch = static_cast<std::size_t>(args.get_int("batch"));
+  const bool overlap = args.get_bool("overlap");
+  const auto mode = args.get_string("mode") == "uniform"
+                        ? costmodel::GridMode::Uniform
+                        : costmodel::GridMode::BatchParallelConv;
+
+  const auto net = nn::weighted_layers(nn::alexnet_spec());
+  const auto m = costmodel::MachineModel::cori_knl();
+  const std::size_t iters =
+      costmodel::iterations_per_epoch(nn::kImageNetTrainImages, batch);
+
+  std::cout << "AlexNet planner: P=" << p << ", B=" << batch << ", "
+            << iters << " iterations/epoch, mode="
+            << args.get_string("mode") << (overlap ? ", overlapped" : "")
+            << "\n\n";
+
+  if (p <= batch) {
+    const auto options = costmodel::enumerate_integrated_grids(
+        net, batch, p, m, mode, {}, overlap);
+    TextTable t({"rank", "grid Pr x Pc", "T_comm/iter", "T_comp/iter",
+                 "T_total/iter", "epoch"});
+    const auto top = static_cast<std::size_t>(args.get_int("top"));
+    for (std::size_t i = 0; i < std::min(top, options.size()); ++i) {
+      const auto& o = options[i];
+      const double iter_t =
+          overlap ? o.cost.total_overlapped() : o.cost.total();
+      t.row()
+          .add_int(static_cast<long long>(i + 1))
+          .add(std::to_string(o.pr) + " x " + std::to_string(o.pc))
+          .add(format_seconds(o.cost.comm()))
+          .add(format_seconds(o.cost.compute))
+          .add(format_seconds(iter_t))
+          .add(format_seconds(iter_t * static_cast<double>(iters)));
+    }
+    t.print(std::cout);
+    const auto& best = options.front();
+    const auto& worst = options.back();
+    std::cout << "\nRecommended grid: Pr=" << best.pr << ", Pc=" << best.pc
+              << " (" << format_double(worst.cost.total() / best.cost.total(), 1)
+              << "x better than the worst feasible grid)\n";
+  } else {
+    std::cout << "P > B: pure batch parallelism cannot use all processes —"
+                 " engaging domain/model parallelism (Eq. 9).\n\n";
+    const auto plan = costmodel::best_full_plan(net, batch, p, m);
+    TextTable t({"layer", "role of Pr dimension"});
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      t.row().add(net[i].name).add(
+          plan.roles[i] == costmodel::LayerRole::Domain
+              ? "domain (height slabs + halo)"
+              : "model (row-partitioned W)");
+    }
+    t.print(std::cout);
+    std::cout << "\nPlan: Pr=" << plan.pr << " x Pc=" << plan.pc
+              << "; per-iteration comm " << format_seconds(plan.cost.comm())
+              << ", compute " << format_seconds(plan.cost.compute)
+              << ", total " << format_seconds(plan.cost.total()) << "; epoch "
+              << format_seconds(plan.cost.total() * static_cast<double>(iters))
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: train a small MLP with the paper's 1.5D integrated
+// model+batch parallel algorithm on a 2×2 in-process process grid, and check
+// it matches plain sequential SGD.
+//
+//   $ ./quickstart
+//
+// Walks through the full public API surface: specs -> dataset -> sequential
+// baseline -> distributed run on a World -> comparison.
+#include <iostream>
+#include <mutex>
+
+#include "mbd/comm/world.hpp"
+#include "mbd/nn/models.hpp"
+#include "mbd/nn/network.hpp"
+#include "mbd/nn/trainer.hpp"
+#include "mbd/parallel/integrated.hpp"
+#include "mbd/support/table.hpp"
+
+int main() {
+  using namespace mbd;
+
+  // 1. Describe the network: a 3-layer MLP (matrix form Y = W·X throughout).
+  const auto specs = nn::mlp_spec({32, 64, 32, 8});
+
+  // 2. Synthetic classification data: 8 Gaussian clusters in 32 dimensions.
+  const auto data = nn::make_synthetic_dataset(/*dim=*/32, /*classes=*/8,
+                                               /*n=*/256, /*seed=*/1);
+
+  nn::TrainConfig cfg;
+  cfg.batch = 32;
+  cfg.lr = 0.05f;
+  cfg.iterations = 20;
+
+  // 3. Sequential reference.
+  nn::Network net = nn::build_network(specs, {.seed = 42});
+  const auto seq_losses = nn::train_sgd(net, data, cfg);
+
+  // 4. The same training on a 2×2 process grid: weights split 2 ways
+  //    (model parallel, Pr), batch split 2 ways (batch parallel, Pc).
+  comm::World world(4);
+  std::vector<double> dist_losses;
+  std::mutex mu;
+  world.run([&](comm::Comm& c) {
+    auto result =
+        parallel::train_integrated_15d(c, {.pr = 2, .pc = 2}, specs, data, cfg);
+    if (c.rank() == 0) {
+      std::lock_guard lock(mu);
+      dist_losses = std::move(result.losses);
+    }
+  });
+
+  // 5. Compare.
+  TextTable t({"iteration", "sequential loss", "1.5D (2x2 grid) loss"});
+  for (std::size_t i = 0; i < seq_losses.size(); i += 4) {
+    t.row()
+        .add_int(static_cast<long long>(i))
+        .add_num(seq_losses[i], 6)
+        .add_num(dist_losses[i], 6);
+  }
+  t.print(std::cout);
+
+  const auto stats = world.stats();
+  std::cout << "\nCommunication for " << cfg.iterations << " iterations: "
+            << stats[comm::Coll::AllGather].bytes << " B all-gather (forward Y), "
+            << stats[comm::Coll::AllReduce].bytes
+            << " B all-reduce (backprop dX + dW)\n"
+            << "Synchronous SGD: the distributed trajectory tracks the"
+               " sequential one to float precision.\n";
+  return 0;
+}

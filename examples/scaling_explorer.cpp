@@ -1,0 +1,61 @@
+// Scaling explorer: sweep the cost model over process counts and emit a
+// CSV (stdout) of the best pure-batch / integrated / fully-integrated times
+// per iteration — the raw series behind Figs. 6, 7 and 10, ready to plot.
+//
+//   $ ./scaling_explorer --batch 2048 --pmin 8 --pmax 1024 > scaling.csv
+//   $ ./scaling_explorer --batch 512 --pmax 8192 --epoch
+#include <iostream>
+
+#include "mbd/costmodel/optimizer.hpp"
+#include "mbd/nn/models.hpp"
+#include "mbd/support/cli.hpp"
+#include "mbd/support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mbd;
+  ArgParser args(
+      "Emit CSV of per-iteration (or per-epoch) times vs process count for "
+      "pure batch, integrated 1.5D (fc-only grids), and the full Eq. 9 plan.");
+  args.add_int("batch", 2048, "global mini-batch size B");
+  args.add_int("pmin", 8, "smallest process count (doubled up to pmax)");
+  args.add_int("pmax", 1024, "largest process count");
+  args.add_bool("epoch", false, "report epoch times instead of per-iteration");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto batch = static_cast<std::size_t>(args.get_int("batch"));
+  const bool epoch = args.get_bool("epoch");
+  const auto net = nn::weighted_layers(nn::alexnet_spec());
+  const auto m = costmodel::MachineModel::cori_knl();
+  const double iters = static_cast<double>(
+      costmodel::iterations_per_epoch(nn::kImageNetTrainImages, batch));
+  const double scale = epoch ? iters : 1.0;
+
+  TextTable csv({"P", "pure_batch_s", "integrated_15d_s", "best_grid",
+                 "full_plan_s", "plan_grid"});
+  for (std::size_t p = static_cast<std::size_t>(args.get_int("pmin"));
+       p <= static_cast<std::size_t>(args.get_int("pmax")); p *= 2) {
+    std::string pure_s = "infeasible";
+    if (p <= batch) {
+      const auto pure = costmodel::integrated_cost(
+          net, batch, 1, p, m, costmodel::GridMode::BatchParallelConv);
+      pure_s = format_double(pure.total() * scale, 6);
+    }
+    std::string grid_s = "infeasible", grid_name;
+    if (p <= batch) {
+      const auto best = costmodel::best_integrated_grid(
+          net, batch, p, m, costmodel::GridMode::BatchParallelConv);
+      grid_s = format_double(best.cost.total() * scale, 6);
+      grid_name = std::to_string(best.pr) + "x" + std::to_string(best.pc);
+    }
+    const auto plan = costmodel::best_full_plan(net, batch, p, m);
+    csv.row()
+        .add(std::to_string(p))
+        .add(pure_s)
+        .add(grid_s)
+        .add(grid_name)
+        .add(format_double(plan.cost.total() * scale, 6))
+        .add(std::to_string(plan.pr) + "x" + std::to_string(plan.pc));
+  }
+  csv.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// §4 hands-on: run the forward multiply Y = W·X three ways — locally, with
+// the paper's 1.5D distribution, and with 2D stationary-C SUMMA — and
+// compare what each moves. The 1.5D run communicates only the Y panels
+// (the smaller side); SUMMA moves both operands.
+//
+//   $ ./summa_demo [--d 128] [--batch 64] [--pr 2] [--pc 4]
+#include <iostream>
+#include <mutex>
+
+#include "mbd/comm/world.hpp"
+#include "mbd/parallel/summa.hpp"
+#include "mbd/support/cli.hpp"
+#include "mbd/support/rng.hpp"
+#include "mbd/support/table.hpp"
+#include "mbd/support/units.hpp"
+#include "mbd/tensor/gemm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mbd;
+  ArgParser args("Compare 1.5D vs 2D SUMMA data movement for Y = W·X.");
+  args.add_int("d", 128, "square W dimension");
+  args.add_int("batch", 64, "columns of X");
+  args.add_int("pr", 2, "grid rows");
+  args.add_int("pc", 4, "grid columns");
+  if (!args.parse(argc, argv)) return 0;
+  const auto d = static_cast<std::size_t>(args.get_int("d"));
+  const auto b = static_cast<std::size_t>(args.get_int("batch"));
+  const parallel::GridShape grid{static_cast<int>(args.get_int("pr")),
+                                 static_cast<int>(args.get_int("pc"))};
+  const int p = grid.pr * grid.pc;
+
+  Rng rng(1);
+  const tensor::Matrix w = tensor::Matrix::random_normal(d, d, rng, 0.5f);
+  const tensor::Matrix x = tensor::Matrix::random_normal(d, b, rng, 0.5f);
+  const tensor::Matrix expect = tensor::matmul(w, x);
+
+  // --- 1.5D: W row-split over Pr, X column-split over Pc; one all-gather
+  //     of the Y row blocks per model group --------------------------------
+  comm::World world_15d(p);
+  float err_15d = 0.0f;
+  std::mutex mu;
+  world_15d.run([&](comm::Comm& c) {
+    const int row = c.rank() / grid.pc;
+    const int col = c.rank() % grid.pc;
+    comm::Comm model_group = c.split(col, row);
+    const auto rows = parallel::block_range(d, grid.pr, row);
+    const auto cols = parallel::block_range(b, grid.pc, col);
+    const tensor::Matrix w_block = w.row_block(rows.lo, rows.hi);
+    const tensor::Matrix x_block = x.col_block(cols.lo, cols.hi);
+    const tensor::Matrix y_local = tensor::matmul(w_block, x_block);
+    auto gathered = model_group.allgatherv(y_local.span());
+    const tensor::Matrix y =
+        tensor::Matrix::from_data(d, cols.size(), std::move(gathered));
+    const tensor::Matrix ref = expect.col_block(cols.lo, cols.hi);
+    std::lock_guard lock(mu);
+    err_15d = std::max(err_15d, tensor::max_abs_diff(y, ref));
+  });
+
+  // --- 2D SUMMA (stationary-C) ---------------------------------------------
+  comm::World world_2d(p);
+  float err_2d = 0.0f;
+  world_2d.run([&](comm::Comm& c) {
+    const int row = c.rank() / grid.pc;
+    const int col = c.rank() % grid.pc;
+    const parallel::SummaShape shape{d, d, b};
+    const auto ai = parallel::summa_block(d, d, grid, row, col);
+    const auto bi = parallel::summa_block(d, b, grid, row, col);
+    const tensor::Matrix a_block =
+        w.row_block(ai.rows.lo, ai.rows.hi).col_block(ai.cols.lo, ai.cols.hi);
+    const tensor::Matrix b_block =
+        x.row_block(bi.rows.lo, bi.rows.hi).col_block(bi.cols.lo, bi.cols.hi);
+    const tensor::Matrix y_block =
+        parallel::summa_stationary_c(c, grid, shape, a_block, b_block);
+    const auto ci = parallel::summa_block(d, b, grid, row, col);
+    const tensor::Matrix ref = expect.row_block(ci.rows.lo, ci.rows.hi)
+                                   .col_block(ci.cols.lo, ci.cols.hi);
+    std::lock_guard lock(mu);
+    err_2d = std::max(err_2d, tensor::max_abs_diff(y_block, ref));
+  });
+
+  TextTable t({"algorithm", "max |err|", "allgather", "broadcast",
+               "total moved"});
+  const auto s15 = world_15d.stats();
+  const auto s2d = world_2d.stats();
+  auto total = [](const comm::StatsSnapshot& s) {
+    return static_cast<double>(s.total_bytes());
+  };
+  t.row()
+      .add("1.5D (paper)")
+      .add_num(err_15d, 5)
+      .add(format_bytes(static_cast<double>(s15[comm::Coll::AllGather].bytes)))
+      .add(format_bytes(static_cast<double>(s15[comm::Coll::Broadcast].bytes)))
+      .add(format_bytes(total(s15)));
+  t.row()
+      .add("2D SUMMA stat-C")
+      .add_num(err_2d, 5)
+      .add(format_bytes(static_cast<double>(s2d[comm::Coll::AllGather].bytes)))
+      .add(format_bytes(static_cast<double>(s2d[comm::Coll::Broadcast].bytes)))
+      .add(format_bytes(total(s2d)));
+  t.print(std::cout);
+  std::cout << "\nY = W·X with W " << d << "x" << d << ", X " << d << "x" << b
+            << " on a " << grid.pr << "x" << grid.pc << " grid.\n"
+            << "(1.5D's all-gather includes the small communicator-split"
+               " setup; SUMMA moves both W and X panels — §4's point.)\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Plot the scaling series emitted by examples/scaling_explorer.
+
+Usage:
+    build/examples/scaling_explorer --batch 2048 --pmax 2048 > scaling.csv
+    scripts/plot_scaling.py scaling.csv [-o scaling.png]
+
+Produces a log-log strong-scaling plot of per-iteration time for pure batch
+parallelism, the best 1.5D grid, and the full Eq. 9 plan — the series behind
+the paper's Figs. 6/7/10. Requires matplotlib.
+"""
+import argparse
+import csv
+import sys
+
+
+def read_series(path):
+    rows = []
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            rows.append(row)
+    if not rows:
+        sys.exit(f"no data rows in {path}")
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csv", help="output of scaling_explorer")
+    ap.add_argument("-o", "--output", default="scaling.png")
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    rows = read_series(args.csv)
+    ps = [int(r["P"]) for r in rows]
+
+    def series(key):
+        xs, ys = [], []
+        for r in rows:
+            v = r[key]
+            try:
+                ys.append(float(v))
+                xs.append(int(r["P"]))
+            except ValueError:
+                continue  # "infeasible"
+        return xs, ys
+
+    fig, ax = plt.subplots(figsize=(7, 5))
+    for key, label, style in [
+        ("pure_batch_s", "pure batch (Eq. 4)", "o--"),
+        ("integrated_15d_s", "best 1.5D grid (Eq. 8)", "s-"),
+        ("full_plan_s", "full plan (Eq. 9)", "^-"),
+    ]:
+        xs, ys = series(key)
+        if xs:
+            ax.loglog(xs, ys, style, label=label, base=2)
+    ax.set_xlabel("processes P")
+    ax.set_ylabel("time per iteration (s)")
+    ax.set_title("Integrated model/batch/domain parallelism — strong scaling")
+    ax.grid(True, which="both", alpha=0.3)
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(args.output, dpi=150)
+    print(f"wrote {args.output} ({min(ps)} <= P <= {max(ps)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate the paper's full evaluation: every bench binary in order, with
+# section separators, into stdout (tee to a file to archive a run).
+#
+#   scripts/run_all_benches.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "error: '${BUILD_DIR}/bench' not found — build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -G Ninja && cmake --build ${BUILD_DIR}" >&2
+  exit 1
+fi
+
+for b in "${BUILD_DIR}"/bench/*; do
+  [[ -x "$b" && -f "$b" ]] || continue
+  echo
+  echo "################################################################"
+  echo "## $(basename "$b")"
+  echo "################################################################"
+  "$b"
+done

@@ -1,0 +1,36 @@
+// Shared state behind a World: one mailbox per global rank plus traffic
+// counters. Internal to mbd::comm; user code holds Comm and World only.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "mbd/comm/mailbox.hpp"
+#include "mbd/comm/stats.hpp"
+#include "mbd/comm/trace.hpp"
+
+namespace mbd::comm::detail {
+
+struct Fabric {
+  explicit Fabric(int size) : mailboxes(static_cast<std::size_t>(size)) {}
+
+  std::vector<Mailbox> mailboxes;
+  StatsCounters counters;
+  std::atomic<bool> poisoned{false};
+
+  // Optional execution trace: allocated by World::enable_tracing(). Each
+  // rank appends only to its own event list; message ids come from the
+  // shared counter.
+  std::unique_ptr<Trace> trace;
+  std::atomic<std::uint64_t> next_msg_id{1};
+
+  bool tracing() const { return trace != nullptr; }
+
+  void poison_all() {
+    poisoned.store(true, std::memory_order_relaxed);
+    for (auto& mb : mailboxes) mb.poison();
+  }
+};
+
+}  // namespace mbd::comm::detail

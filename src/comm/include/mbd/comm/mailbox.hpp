@@ -1,0 +1,51 @@
+// Per-rank mailboxes: the transport under the mbd::comm runtime.
+//
+// A send deposits a copy of the payload into the destination rank's mailbox
+// (buffered semantics, so collective algorithms written as send-then-receive
+// never deadlock). Messages are matched on (context, source, tag) and
+// delivered FIFO per matching key, mirroring MPI's non-overtaking guarantee.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace mbd::comm {
+
+/// Envelope for one in-flight message.
+struct Message {
+  std::uint64_t context = 0;  ///< communicator context id
+  int source = -1;            ///< global rank of sender
+  int tag = 0;
+  std::uint64_t trace_id = 0;  ///< pairs Send/Recv trace events (0 = untraced)
+  std::vector<std::byte> payload;
+};
+
+/// Thread-safe mailbox for one rank.
+class Mailbox {
+ public:
+  /// Deposit a message (copies happen before the call).
+  void push(Message msg);
+
+  /// Block until a message matching (context, source, tag) is available and
+  /// return the earliest such message. Throws mbd::Error if the fabric is
+  /// poisoned (another rank threw) while waiting.
+  Message pop(std::uint64_t context, int source, int tag);
+
+  /// Wake all waiters so they can observe a poisoned fabric.
+  void poison();
+
+  /// Number of queued messages (diagnostic only).
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool poisoned_ = false;
+};
+
+}  // namespace mbd::comm

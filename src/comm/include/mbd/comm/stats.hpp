@@ -1,0 +1,77 @@
+// Communication instrumentation.
+//
+// Every byte that crosses a rank boundary in the mbd::comm runtime is
+// attributed to the collective (or point-to-point class) that moved it. This
+// is the ground truth against which the analytic α–β cost model of the paper
+// (Eqs. 3, 4, 7, 8, 9) is validated: the model's bandwidth terms are exact
+// word counts per process, not asymptotics, so measured == predicted is a
+// meaningful equality test.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace mbd::comm {
+
+/// Classification of traffic for instrumentation.
+enum class Coll : int {
+  PointToPoint = 0,  ///< user send/recv and sendrecv (incl. halo exchange)
+  Barrier,
+  Broadcast,
+  Reduce,
+  AllReduce,
+  ReduceScatter,
+  AllGather,
+  Gather,
+  Scatter,
+  kCount
+};
+
+/// Human-readable name of a Coll value.
+std::string_view coll_name(Coll c);
+
+/// One traffic class: bytes on the wire and discrete messages.
+struct TrafficEntry {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Immutable snapshot of the fabric's counters.
+struct StatsSnapshot {
+  std::array<TrafficEntry, static_cast<int>(Coll::kCount)> by_coll{};
+
+  const TrafficEntry& operator[](Coll c) const {
+    return by_coll[static_cast<int>(c)];
+  }
+  /// Total bytes across all traffic classes.
+  std::uint64_t total_bytes() const;
+  /// Total messages across all traffic classes.
+  std::uint64_t total_messages() const;
+  /// Difference (this - earlier), entrywise. Earlier must be a prefix in time.
+  StatsSnapshot since(const StatsSnapshot& earlier) const;
+};
+
+/// Lock-free accumulator shared by all ranks of a World.
+class StatsCounters {
+ public:
+  /// Record one message of `bytes` payload under class `c`.
+  void record(Coll c, std::uint64_t bytes) {
+    auto& e = entries_[static_cast<int>(c)];
+    e.bytes.fetch_add(bytes, std::memory_order_relaxed);
+    e.messages.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  StatsSnapshot snapshot() const;
+  void reset();
+
+ private:
+  struct AtomicEntry {
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> messages{0};
+  };
+  std::array<AtomicEntry, static_cast<int>(Coll::kCount)> entries_;
+};
+
+}  // namespace mbd::comm

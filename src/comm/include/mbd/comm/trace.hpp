@@ -1,0 +1,36 @@
+// Execution tracing: an optional per-rank event log of every message sent
+// and received (with global message ids pairing them) plus user-annotated
+// compute intervals. A recorded trace can be replayed under an α–β machine
+// model (mbd::costmodel::replay_trace) to obtain a *schedule-aware*
+// simulated wall-clock — serialization, load imbalance, and dependency
+// chains included — which the closed-form cost model cannot see.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mbd::comm {
+
+/// One logged event on one rank. Ranks only ever append to their own log,
+/// so recording is lock-free.
+struct TraceEvent {
+  enum class Kind { Send, Recv, Compute };
+  Kind kind = Kind::Compute;
+  int peer = -1;             ///< global rank of the other side (Send/Recv)
+  std::uint64_t bytes = 0;   ///< payload size (Send/Recv)
+  std::uint64_t msg_id = 0;  ///< pairs a Recv with its Send
+  double seconds = 0.0;      ///< annotated duration (Compute)
+};
+
+/// A complete recording: one ordered event list per global rank.
+struct Trace {
+  std::vector<std::vector<TraceEvent>> ranks;
+
+  std::size_t total_events() const {
+    std::size_t n = 0;
+    for (const auto& r : ranks) n += r.size();
+    return n;
+  }
+};
+
+}  // namespace mbd::comm

@@ -1,0 +1,52 @@
+// World: spawns P ranks as threads and runs a function on each.
+//
+// This is the single-node, oversubscribed substitute for an MPI job (the
+// paper ran on NERSC Cori). Collective *algorithms* and therefore message and
+// byte counts are identical to the distributed setting; only wall-clock
+// timing differs, and nothing in this project reports thread timing as
+// cluster timing.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "mbd/comm/comm.hpp"
+#include "mbd/comm/stats.hpp"
+
+namespace mbd::comm {
+
+/// A fixed-size group of ranks backed by threads.
+class World {
+ public:
+  /// Create a world of `size` ranks (size >= 1).
+  explicit World(int size);
+
+  int size() const { return size_; }
+
+  /// Run `fn(comm)` on every rank concurrently; returns when all ranks
+  /// finish. If any rank throws, the fabric is poisoned (blocked ranks are
+  /// woken with an error) and the first exception is rethrown here.
+  /// May be called repeatedly; mailboxes must be drained by each run
+  /// (collective code always does).
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// Traffic counters accumulated over all run() calls since construction or
+  /// the last reset_stats().
+  StatsSnapshot stats() const;
+  void reset_stats();
+
+  /// Start recording an execution trace (per-rank event logs); subsequent
+  /// run() calls append to it. See mbd/comm/trace.hpp.
+  void enable_tracing();
+  /// The recorded trace; empty per-rank logs if tracing was never enabled.
+  /// Only call between run()s (rank threads append concurrently during one).
+  const Trace& trace() const;
+  /// Clear the recorded events (tracing stays enabled).
+  void reset_trace();
+
+ private:
+  int size_;
+  std::shared_ptr<detail::Fabric> fabric_;
+};
+
+}  // namespace mbd::comm

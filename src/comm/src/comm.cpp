@@ -1,0 +1,122 @@
+#include "mbd/comm/comm.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace mbd::comm {
+namespace {
+
+// SplitMix64-style mix used to derive child communicator contexts. Contexts
+// only need to be distinct with overwhelming probability; they are never
+// inverted.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Comm::Comm(std::shared_ptr<detail::Fabric> fabric, std::uint64_t context,
+           std::shared_ptr<const std::vector<int>> members, int rank)
+    : fabric_(std::move(fabric)),
+      context_(context),
+      members_(std::move(members)),
+      rank_(rank) {
+  MBD_CHECK(fabric_ != nullptr);
+  MBD_CHECK(members_ != nullptr && !members_->empty());
+  MBD_CHECK(rank_ >= 0 && rank_ < static_cast<int>(members_->size()));
+}
+
+int Comm::global_rank(int comm_rank) const {
+  MBD_CHECK_MSG(comm_rank >= 0 && comm_rank < size(),
+                "rank " << comm_rank << " out of range for communicator of size "
+                        << size());
+  return (*members_)[static_cast<std::size_t>(comm_rank)];
+}
+
+void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag,
+                      Coll c) {
+  MBD_CHECK_MSG(dst != rank_, "self-send is not supported");
+  if (fabric_->poisoned.load(std::memory_order_relaxed)) {
+    throw Error("mbd::comm fabric poisoned: another rank threw");
+  }
+  fabric_->counters.record(c, data.size());
+  Message msg;
+  msg.context = context_;
+  msg.source = global_rank(rank_);
+  msg.tag = tag;
+  msg.payload.assign(data.begin(), data.end());
+  if (fabric_->tracing()) {
+    msg.trace_id =
+        fabric_->next_msg_id.fetch_add(1, std::memory_order_relaxed);
+    fabric_->trace->ranks[static_cast<std::size_t>(msg.source)].push_back(
+        {TraceEvent::Kind::Send, global_rank(dst), data.size(), msg.trace_id,
+         0.0});
+  }
+  fabric_->mailboxes[static_cast<std::size_t>(global_rank(dst))].push(
+      std::move(msg));
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  const int gsrc = global_rank(src);
+  const int gme = global_rank(rank_);
+  Message msg =
+      fabric_->mailboxes[static_cast<std::size_t>(gme)].pop(context_, gsrc, tag);
+  if (fabric_->tracing() && msg.trace_id != 0) {
+    fabric_->trace->ranks[static_cast<std::size_t>(gme)].push_back(
+        {TraceEvent::Kind::Recv, gsrc, msg.payload.size(), msg.trace_id, 0.0});
+  }
+  return std::move(msg.payload);
+}
+
+void Comm::annotate_compute(double seconds) {
+  MBD_CHECK(seconds >= 0.0);
+  if (!fabric_->tracing()) return;
+  fabric_->trace->ranks[static_cast<std::size_t>(global_rank(rank_))]
+      .push_back({TraceEvent::Kind::Compute, -1, 0, 0, seconds});
+}
+
+void Comm::barrier() {
+  const int p = size();
+  const std::byte token{0};
+  for (int k = 1, step = 0; k < p; k <<= 1, ++step) {
+    const int dst = (rank_ + k) % p;
+    const int src = (rank_ - k + p) % p;
+    send_bytes(dst, std::span<const std::byte>(&token, 1),
+               internal_tag(Coll::Barrier, step), Coll::Barrier);
+    (void)recv_bytes(src, internal_tag(Coll::Barrier, step));
+  }
+}
+
+Comm Comm::split(int color, int key) {
+  // Gather (color, key, parent_rank) from everyone, then carve out the group.
+  struct Entry {
+    int color, key, parent_rank;
+  };
+  const Entry mine{color, key, rank_};
+  auto all = allgather(std::span<const Entry>(&mine, 1));
+  std::vector<Entry> group;
+  group.reserve(all.size());
+  for (const auto& e : all)
+    if (e.color == color) group.push_back(e);
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.parent_rank) < std::tie(b.key, b.parent_rank);
+  });
+  auto members = std::make_shared<std::vector<int>>();
+  members->reserve(group.size());
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    members->push_back(global_rank(group[i].parent_rank));
+    if (group[i].parent_rank == rank_) my_new_rank = static_cast<int>(i);
+  }
+  MBD_CHECK(my_new_rank >= 0);
+  const std::uint64_t child_context =
+      mix(mix(context_, static_cast<std::uint64_t>(split_seq_)),
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(color)) + 1);
+  ++split_seq_;
+  return Comm(fabric_, child_context, std::move(members), my_new_rank);
+}
+
+}  // namespace mbd::comm

@@ -1,0 +1,50 @@
+#include "mbd/comm/mailbox.hpp"
+
+#include <algorithm>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::comm {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop(std::uint64_t context, int source, int tag) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+      return m.context == context && m.source == source && m.tag == tag;
+    });
+    if (it != queue_.end()) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+    if (poisoned_) {
+      throw Error(
+          "mbd::comm fabric poisoned: another rank threw while this rank was "
+          "blocked in recv");
+    }
+    cv_.wait(lock);
+  }
+}
+
+void Mailbox::poison() {
+  {
+    std::lock_guard lock(mu_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace mbd::comm

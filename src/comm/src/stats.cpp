@@ -1,0 +1,59 @@
+#include "mbd/comm/stats.hpp"
+
+namespace mbd::comm {
+
+std::string_view coll_name(Coll c) {
+  switch (c) {
+    case Coll::PointToPoint: return "p2p";
+    case Coll::Barrier: return "barrier";
+    case Coll::Broadcast: return "broadcast";
+    case Coll::Reduce: return "reduce";
+    case Coll::AllReduce: return "allreduce";
+    case Coll::ReduceScatter: return "reduce_scatter";
+    case Coll::AllGather: return "allgather";
+    case Coll::Gather: return "gather";
+    case Coll::Scatter: return "scatter";
+    case Coll::kCount: break;
+  }
+  return "unknown";
+}
+
+std::uint64_t StatsSnapshot::total_bytes() const {
+  std::uint64_t t = 0;
+  for (const auto& e : by_coll) t += e.bytes;
+  return t;
+}
+
+std::uint64_t StatsSnapshot::total_messages() const {
+  std::uint64_t t = 0;
+  for (const auto& e : by_coll) t += e.messages;
+  return t;
+}
+
+StatsSnapshot StatsSnapshot::since(const StatsSnapshot& earlier) const {
+  StatsSnapshot d;
+  for (std::size_t i = 0; i < by_coll.size(); ++i) {
+    d.by_coll[i].bytes = by_coll[i].bytes - earlier.by_coll[i].bytes;
+    d.by_coll[i].messages = by_coll[i].messages - earlier.by_coll[i].messages;
+  }
+  return d;
+}
+
+StatsSnapshot StatsCounters::snapshot() const {
+  StatsSnapshot s;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    s.by_coll[i].bytes = entries_[i].bytes.load(std::memory_order_relaxed);
+    s.by_coll[i].messages =
+        entries_[i].messages.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void StatsCounters::reset() {
+  for (auto& e : entries_) {
+    e.bytes.store(0, std::memory_order_relaxed);
+    e.messages.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mbd::comm

@@ -1,0 +1,65 @@
+#include "mbd/comm/world.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::comm {
+
+World::World(int size) : size_(size) {
+  MBD_CHECK_GT(size, 0);
+  fabric_ = std::make_shared<detail::Fabric>(size);
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  MBD_CHECK_MSG(!fabric_->poisoned.load(),
+                "World was poisoned by a previous failed run; create a new one");
+  auto members = std::make_shared<const std::vector<int>>([&] {
+    std::vector<int> m(static_cast<std::size_t>(size_));
+    for (int i = 0; i < size_; ++i) m[static_cast<std::size_t>(i)] = i;
+    return m;
+  }());
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(fabric_, /*context=*/1, members, r);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        fabric_->poison_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+StatsSnapshot World::stats() const { return fabric_->counters.snapshot(); }
+
+void World::reset_stats() { fabric_->counters.reset(); }
+
+void World::enable_tracing() {
+  if (fabric_->trace) return;
+  auto t = std::make_unique<Trace>();
+  t->ranks.resize(static_cast<std::size_t>(size_));
+  fabric_->trace = std::move(t);
+}
+
+const Trace& World::trace() const {
+  static const Trace kEmpty{};
+  return fabric_->trace ? *fabric_->trace : kEmpty;
+}
+
+void World::reset_trace() {
+  if (!fabric_->trace) return;
+  for (auto& r : fabric_->trace->ranks) r.clear();
+}
+
+}  // namespace mbd::comm

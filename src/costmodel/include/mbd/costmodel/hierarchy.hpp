@@ -1,0 +1,59 @@
+// Two-level (intra-node / inter-node) network extension.
+//
+// The paper's Limitations section assumes a flat network: "we assume that
+// all the compute nodes are connected and thus do not consider the topology
+// of the interconnect ... the effects of this can be approximated by
+// adjusting the latency and bandwidth terms accordingly." This module makes
+// that adjustment concrete with the standard two-level decomposition:
+// S ranks per node with fast (α_intra, β_intra) links, nodes joined by
+// slower (α_inter, β_inter) links, and hierarchical collectives
+// (intra reduce-scatter → inter all-reduce → intra all-gather).
+//
+// Everything here is an extension beyond the paper's evaluation; the flat
+// Table 1 model remains the default everywhere.
+#pragma once
+
+#include "mbd/costmodel/collective_costs.hpp"
+#include "mbd/costmodel/strategy.hpp"
+
+namespace mbd::costmodel {
+
+/// Two-level machine description.
+struct HierarchicalMachine {
+  std::size_t node_size = 1;  ///< ranks per node (S)
+  MachineModel intra;         ///< links within a node
+  MachineModel inter;         ///< links between nodes
+
+  /// A Cori-like system: Table 1's 2 µs / 6 GB/s between nodes and a 10×
+  /// faster shared-memory level inside 8-rank nodes.
+  static HierarchicalMachine cori_like(std::size_t node_size = 8);
+
+  /// Degenerate: both levels equal to `m` — hierarchical costs then reduce
+  /// to (at most) the flat costs.
+  static HierarchicalMachine flat(const MachineModel& m);
+};
+
+/// Hierarchical all-reduce of `words` over `p` ranks packed S-per-node:
+/// intra-node reduce-scatter, inter-node all-reduce of the 1/S shard over
+/// the p/S node leaders, intra-node all-gather. Partial nodes (p < S or
+/// p % S != 0) fall back to the flat inter-level cost.
+CostBreakdown hierarchical_allreduce_cost(const HierarchicalMachine& hm,
+                                          std::size_t p, double words,
+                                          LatencyMode mode = LatencyMode::PaperLog);
+
+/// Hierarchical all-gather of `words` total over `p` ranks: inter-node
+/// all-gather of node shards between leaders, then intra-node broadcastless
+/// all-gather (each leader's node re-gathers the full buffer locally).
+CostBreakdown hierarchical_allgather_cost(const HierarchicalMachine& hm,
+                                          std::size_t p, double words,
+                                          LatencyMode mode = LatencyMode::PaperLog);
+
+/// Eq. 8 with hierarchical collectives, assuming the natural placement: the
+/// Pc (batch) groups are packed within nodes first, so the frequent ∆W
+/// all-reduces ride the fast intra links when Pc ≤ S.
+StrategyCost integrated_cost_hierarchical(
+    const std::vector<nn::LayerSpec>& layers, std::size_t batch,
+    std::size_t pr, std::size_t pc, const HierarchicalMachine& hm,
+    GridMode mode = GridMode::Uniform, SimOptions opts = {});
+
+}  // namespace mbd::costmodel

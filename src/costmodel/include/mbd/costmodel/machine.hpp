@@ -1,0 +1,73 @@
+// Machine model: the α–β network parameters and the empirical compute-time
+// curve that parameterize the paper's simulations (Table 1 and Fig. 4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mbd::costmodel {
+
+/// Single-node compute time as a function of local batch size.
+///
+/// The paper measures one-epoch AlexNet training time on a single Intel KNL
+/// with Intel Caffe (Fig. 4): time falls as the batch grows (better BLAS-3
+/// utilization, fewer SGD updates), bottoms out at B = 256, then creeps up.
+/// The default table below is digitized from Fig. 4's log-scale plot
+/// (~10^4.5 s at B=1 down to ~10^3.5 s at B=256); absolute values are
+/// approximate but the shape — which is all the downstream simulations
+/// consume — follows the figure.
+class ComputeCurve {
+ public:
+  struct Point {
+    double batch;          ///< mini-batch size the epoch was run with
+    double epoch_seconds;  ///< one-epoch wall time at that batch size
+  };
+
+  /// Curve from explicit (batch, epoch time) samples; batches must be
+  /// strictly increasing.
+  ComputeCurve(std::vector<Point> points, std::size_t images_per_epoch);
+
+  /// The Fig. 4 AlexNet/KNL curve over ImageNet (1.28 M images).
+  static ComputeCurve alexnet_knl();
+
+  /// Seconds of compute per image when running with local batch size `b`
+  /// (log-log interpolation between table points; clamped at the ends).
+  /// Fractional b < 1 (domain-split images) scales the b = 1 value by b,
+  /// i.e. assumes perfect strong scaling of the within-image split.
+  double seconds_per_image(double b) const;
+
+  /// Per-iteration compute time for a process holding `local_batch` images
+  /// and a `model_fraction` (1/Pr) slice of every layer's work.
+  double iteration_seconds(double local_batch, double model_fraction) const;
+
+  std::size_t images_per_epoch() const { return images_per_epoch_; }
+
+ private:
+  std::vector<Point> points_;
+  std::size_t images_per_epoch_;
+};
+
+/// Network + compute parameters of the simulated platform.
+struct MachineModel {
+  double alpha = 2e-6;        ///< latency per message, seconds (Table 1: 2 µs)
+  double beta = 1.0 / 6e9;    ///< inverse bandwidth, s/byte (Table 1: 6 GB/s)
+  double word_bytes = 4.0;    ///< activations and weights are float32
+  ComputeCurve compute = ComputeCurve::alexnet_knl();
+
+  /// Seconds to move one word point-to-point.
+  double word_time() const { return beta * word_bytes; }
+
+  /// NERSC Cori KNL parameters from Table 1.
+  static MachineModel cori_knl();
+
+  /// A modern accelerator-cluster stand-in: 1 µs latency, 25 GB/s effective
+  /// per-link bandwidth, and 12× faster compute than the KNL curve. Used by
+  /// the sensitivity bench (the paper's Limitations: interconnect effects
+  /// "can be approximated by adjusting the latency and bandwidth terms").
+  static MachineModel fast_cluster();
+
+  /// Copy of this model with scaled network parameters.
+  MachineModel with_network(double alpha_scale, double beta_scale) const;
+};
+
+}  // namespace mbd::costmodel

@@ -1,0 +1,49 @@
+// Per-process memory model (paper §4).
+//
+// "Solutions that exploit pure data parallelism often replicate the whole
+// model in each node. By contrast, the 1.5D matrix-multiplication algorithms
+// used by our integrated parallel approach cut down the model replication
+// cost by a factor of pr, at the cost of an increase in data replication by
+// a factor of pc. Like our communication costs, our memory costs are simply
+// a linear combination of the memory costs of these two extremes."
+//
+// 2D algorithms are memory-optimal (1/P of every matrix, no replication) —
+// the one advantage §4 concedes to SUMMA.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mbd/nn/layer_spec.hpp"
+
+namespace mbd::costmodel {
+
+/// Per-process memory footprint, in words (float32 elements).
+struct MemoryFootprint {
+  double weights = 0.0;      ///< model parameters held locally
+  double activations = 0.0;  ///< forward activations (incl. input) held locally
+  double gradients = 0.0;    ///< ∆W buffers held locally
+
+  double total() const { return weights + activations + gradients; }
+};
+
+/// 1.5D footprint on a Pr × Pc grid: each process holds 1/Pr of every W (and
+/// ∆W) and B/Pc columns of every activation, with activations replicated Pr
+/// times and weights replicated Pc times across the machine.
+/// pr = 1 is the pure-batch extreme; pc = 1 the pure-model extreme.
+MemoryFootprint memory_15d(const std::vector<nn::LayerSpec>& layers,
+                           std::size_t batch, std::size_t pr, std::size_t pc);
+
+/// Memory-optimal 2D reference: 1/P of weights, gradients, and activations.
+MemoryFootprint memory_2d_optimal(const std::vector<nn::LayerSpec>& layers,
+                                  std::size_t batch, std::size_t p);
+
+/// Machine-wide replication factors of the 1.5D layout relative to one copy:
+/// weights are stored Pc times, activations Pr times.
+struct ReplicationFactors {
+  double weights = 1.0;
+  double activations = 1.0;
+};
+ReplicationFactors replication_15d(std::size_t pr, std::size_t pc);
+
+}  // namespace mbd::costmodel

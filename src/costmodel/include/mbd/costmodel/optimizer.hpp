@@ -1,0 +1,52 @@
+// Grid and layer-role optimization: "this algorithm automatically selects
+// the best configuration to distribute the model and batch parallel work
+// given a fixed batch size on P processes" (paper §2.3).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "mbd/costmodel/strategy.hpp"
+
+namespace mbd::costmodel {
+
+/// All (pr, pc) with pr·pc = p, pr ascending.
+std::vector<std::pair<std::size_t, std::size_t>> grid_factorizations(
+    std::size_t p);
+
+/// One candidate configuration with its cost.
+struct GridOption {
+  std::size_t pr = 1, pc = 1;
+  StrategyCost cost;
+};
+
+/// Evaluate Eq. 8 for every factorization of p (skipping pc > batch, which
+/// would leave processes without even one sample); returns all options,
+/// cheapest-total first. `overlap` ranks by the Fig. 8 overlapped total.
+std::vector<GridOption> enumerate_integrated_grids(
+    const std::vector<nn::LayerSpec>& layers, std::size_t batch, std::size_t p,
+    const MachineModel& m, GridMode mode = GridMode::Uniform,
+    SimOptions opts = {}, bool overlap = false);
+
+/// Cheapest Eq. 8 grid.
+GridOption best_integrated_grid(const std::vector<nn::LayerSpec>& layers,
+                                std::size_t batch, std::size_t p,
+                                const MachineModel& m,
+                                GridMode mode = GridMode::Uniform,
+                                SimOptions opts = {}, bool overlap = false);
+
+/// Full Eq. 9 plan: grid plus per-layer Model/Domain roles.
+struct FullPlan {
+  std::size_t pr = 1, pc = 1;
+  std::vector<LayerRole> roles;
+  StrategyCost cost;
+};
+
+/// Search all factorizations with pc ≤ batch; for each, pick per-layer roles
+/// with choose_roles() and keep the cheapest total. This is the planner that
+/// extends scaling beyond P = B (Fig. 10).
+FullPlan best_full_plan(const std::vector<nn::LayerSpec>& layers,
+                        std::size_t batch, std::size_t p,
+                        const MachineModel& m, SimOptions opts = {});
+
+}  // namespace mbd::costmodel

@@ -1,0 +1,44 @@
+// Trace-driven replay: simulate the wall-clock of a recorded execution
+// under an α–β machine model.
+//
+// The closed-form costs (strategy.hpp) charge each collective its textbook
+// complexity; replay instead walks the *actual* per-rank event schedule a
+// run produced (mbd::comm tracing) and advances per-rank clocks:
+//
+//   Send    — the sender is busy α + β·bytes, after which the message is
+//             available to the receiver (store-and-forward, LogGP-flavoured;
+//             the buffered runtime has no rendezvous, so sends never block);
+//   Recv    — the receiver waits until max(own clock, message availability),
+//             then pays α for the matching overhead;
+//   Compute — the rank is busy for the annotated seconds.
+//
+// The makespan therefore includes serialization chains, load imbalance, and
+// dependency stalls that per-collective formulas cannot express, while
+// using exactly the same α and β. Ring pipelines replay to their exact-
+// latency cost (tested), validating LatencyMode::AlgorithmExact from a
+// completely independent direction.
+#pragma once
+
+#include <vector>
+
+#include "mbd/comm/trace.hpp"
+#include "mbd/costmodel/machine.hpp"
+
+namespace mbd::costmodel {
+
+/// Result of replaying one trace.
+struct ReplayResult {
+  std::vector<double> rank_finish;  ///< per-rank completion time (s)
+  double makespan = 0.0;            ///< max over ranks
+  double total_compute = 0.0;       ///< Σ annotated compute over all ranks
+  double total_send_busy = 0.0;     ///< Σ α + β·bytes over all sends
+  /// Σ time ranks spent blocked in Recv waiting for data.
+  double total_recv_wait = 0.0;
+};
+
+/// Replay `trace` under machine `m`. Throws mbd::Error if the trace is
+/// inconsistent (a Recv whose Send never appears — cannot happen for traces
+/// recorded from a completed run).
+ReplayResult replay_trace(const comm::Trace& trace, const MachineModel& m);
+
+}  // namespace mbd::costmodel

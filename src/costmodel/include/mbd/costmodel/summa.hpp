@@ -1,0 +1,37 @@
+// 2D SUMMA communication-volume models for the §4 discussion.
+//
+// The paper argues its 1.5D algorithm is never strictly beaten by 2D SUMMA
+// variants in communication volume: stationary-A (best 2D fit for Y = W·X)
+// moves 2·B·d/pr + B·d/pc words per process versus the 1.5D algorithm's
+// B·d/pc, and when |W| < B·d every 2D variant must move two matrices where
+// 1.5D moves only the smaller one. These formulas follow §4's simplifying
+// assumptions (d_i = d_{i-1} = d, (p−1)/p ≈ 1).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace mbd::costmodel {
+
+enum class SummaVariant {
+  StationaryA,  ///< W stays put; X and Y move
+  StationaryB,  ///< X stays put; W and Y move
+  StationaryC,  ///< Y stays put; W and X move
+};
+
+std::string_view summa_variant_name(SummaVariant v);
+
+/// Per-process words moved by a 2D SUMMA variant for Y = W·X with
+/// W: d×d, X: d×B on a pr × pc grid.
+double summa_words_per_process(SummaVariant v, double d, double batch,
+                               std::size_t pr, std::size_t pc);
+
+/// Per-process words moved by the paper's 1.5D algorithm for the same
+/// multiply (the forward all-gather): B·d/pc.
+double words_15d_forward(double d, double batch, std::size_t pc);
+
+/// Words of the *smaller* operand — the quantity §4 shows 1.5D communicates
+/// exclusively: min(|W|, |X|) = min(d², d·B).
+double smaller_operand_words(double d, double batch);
+
+}  // namespace mbd::costmodel

@@ -1,0 +1,114 @@
+#include "mbd/costmodel/hierarchy.hpp"
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::costmodel {
+
+HierarchicalMachine HierarchicalMachine::cori_like(std::size_t node_size) {
+  HierarchicalMachine hm;
+  hm.node_size = node_size;
+  hm.inter = MachineModel::cori_knl();
+  hm.intra = MachineModel::cori_knl();
+  hm.intra.alpha = 0.2e-6;       // shared-memory latency
+  hm.intra.beta = 1.0 / 60e9;    // 10× the inter-node bandwidth
+  return hm;
+}
+
+HierarchicalMachine HierarchicalMachine::flat(const MachineModel& m) {
+  return {1, m, m};
+}
+
+CostBreakdown hierarchical_allreduce_cost(const HierarchicalMachine& hm,
+                                          std::size_t p, double words,
+                                          LatencyMode mode) {
+  if (p <= 1) return {};
+  const std::size_t s = hm.node_size;
+  if (s <= 1 || p <= s || p % s != 0) {
+    // No exploitable hierarchy at this size: the whole group rides the
+    // slower level (or the faster one if it fits inside a node).
+    const MachineModel& m = p <= s ? hm.intra : hm.inter;
+    return allreduce_cost(m, p, words, mode);
+  }
+  const std::size_t nodes = p / s;
+  CostBreakdown c;
+  // Intra-node reduce-scatter: half an all-reduce.
+  c.latency += hm.intra.alpha * ceil_log2(s);
+  c.bandwidth += hm.intra.word_time() * words *
+                 (static_cast<double>(s - 1) / static_cast<double>(s));
+  // Inter-node all-reduce on the 1/S shard between node leaders.
+  c += allreduce_cost(hm.inter, nodes, words / static_cast<double>(s), mode);
+  // Intra-node all-gather of the reduced shards.
+  c += allgather_cost(hm.intra, s, words, mode);
+  return c;
+}
+
+CostBreakdown hierarchical_allgather_cost(const HierarchicalMachine& hm,
+                                          std::size_t p, double words,
+                                          LatencyMode mode) {
+  if (p <= 1) return {};
+  const std::size_t s = hm.node_size;
+  if (s <= 1 || p <= s || p % s != 0) {
+    const MachineModel& m = p <= s ? hm.intra : hm.inter;
+    return allgather_cost(m, p, words, mode);
+  }
+  const std::size_t nodes = p / s;
+  const double node_shard = words * static_cast<double>(s) /
+                            static_cast<double>(p);
+  CostBreakdown c;
+  // Gather the node's blocks locally (each node then holds its shard).
+  c += allgather_cost(hm.intra, s, node_shard, mode);
+  // Exchange node shards between leaders.
+  c += allgather_cost(hm.inter, nodes, words, mode);
+  // Fan the full buffer out inside each node (binomial broadcast).
+  c.latency += hm.intra.alpha * ceil_log2(s);
+  c.bandwidth += hm.intra.word_time() * words;
+  return c;
+}
+
+StrategyCost integrated_cost_hierarchical(
+    const std::vector<nn::LayerSpec>& layers, std::size_t batch,
+    std::size_t pr, std::size_t pc, const HierarchicalMachine& hm,
+    GridMode mode, SimOptions opts) {
+  MBD_CHECK_GT(pr, 0u);
+  MBD_CHECK_GT(pc, 0u);
+  const std::size_t s = hm.node_size;
+  // Natural rank placement: rank = i·Pc + j, nodes of S consecutive ranks.
+  // Batch (Pc) groups are consecutive ranks → they pack S per node.
+  // Model (Pr) groups are strided by Pc → when Pc < S a node still holds
+  // S/Pc members of each Pr group; when Pc ≥ S every Pr-group hop is
+  // inter-node.
+  const std::size_t s_pr = (pc < s && s % pc == 0) ? s / pc : 1;
+  const HierarchicalMachine hm_pr{s_pr, hm.intra, hm.inter};
+
+  StrategyCost out;
+  const double b_loc = static_cast<double>(batch) / static_cast<double>(pc);
+  const std::size_t p = pr * pc;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const nn::LayerSpec& l = layers[i];
+    const bool model_here =
+        mode == GridMode::Uniform || l.kind == nn::LayerKind::FullyConnected;
+    LayerCost lc;
+    lc.name = l.name;
+    if (model_here) {
+      lc.ag_forward = hierarchical_allgather_cost(
+          hm_pr, pr, b_loc * static_cast<double>(l.d_out()), opts.latency);
+      if (i > 0) {
+        lc.ar_dx = hierarchical_allreduce_cost(
+            hm_pr, pr, b_loc * static_cast<double>(l.d_in()), opts.latency);
+      }
+      lc.ar_dw = hierarchical_allreduce_cost(
+          hm, pc,
+          static_cast<double>(l.weight_count()) / static_cast<double>(pr),
+          opts.latency);
+    } else {
+      lc.ar_dw = hierarchical_allreduce_cost(
+          hm, p, static_cast<double>(l.weight_count()), opts.latency);
+    }
+    out.layers.push_back(lc);
+  }
+  out.compute =
+      hm.inter.compute.iteration_seconds(b_loc, 1.0 / static_cast<double>(pr));
+  return out;
+}
+
+}  // namespace mbd::costmodel

@@ -1,0 +1,91 @@
+#include "mbd/costmodel/machine.hpp"
+
+#include <cmath>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::costmodel {
+
+ComputeCurve::ComputeCurve(std::vector<Point> points,
+                           std::size_t images_per_epoch)
+    : points_(std::move(points)), images_per_epoch_(images_per_epoch) {
+  MBD_CHECK(!points_.empty());
+  MBD_CHECK_GT(images_per_epoch_, 0u);
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i)
+    MBD_CHECK_LT(points_[i].batch, points_[i + 1].batch);
+  for (const auto& p : points_) {
+    MBD_CHECK_GT(p.batch, 0.0);
+    MBD_CHECK_GT(p.epoch_seconds, 0.0);
+  }
+}
+
+ComputeCurve ComputeCurve::alexnet_knl() {
+  // Digitized from paper Fig. 4 (log10 axis, minimum at B = 256).
+  return ComputeCurve(
+      {
+          {1, 31623},  {2, 21500},  {4, 14800}, {8, 10500}, {16, 7800},
+          {32, 6100},  {64, 5000},  {128, 4200}, {256, 3550}, {512, 3700},
+          {1024, 3950}, {2048, 4400},
+      },
+      /*images_per_epoch=*/1'281'167);
+}
+
+double ComputeCurve::seconds_per_image(double b) const {
+  MBD_CHECK_GT(b, 0.0);
+  const double n = static_cast<double>(images_per_epoch_);
+  // Fractional images: perfect strong scaling of the within-image split
+  // relative to a whole image at local batch 1.
+  if (b < 1.0) return points_.front().epoch_seconds / n;
+  if (b <= points_.front().batch)
+    return points_.front().epoch_seconds / n;
+  if (b >= points_.back().batch) return points_.back().epoch_seconds / n;
+  // Log-log linear interpolation between bracketing table entries.
+  std::size_t hi = 1;
+  while (points_[hi].batch < b) ++hi;
+  const auto& a = points_[hi - 1];
+  const auto& c = points_[hi];
+  const double t = (std::log(b) - std::log(a.batch)) /
+                   (std::log(c.batch) - std::log(a.batch));
+  const double log_epoch = std::log(a.epoch_seconds) +
+                           t * (std::log(c.epoch_seconds) - std::log(a.epoch_seconds));
+  return std::exp(log_epoch) / n;
+}
+
+double ComputeCurve::iteration_seconds(double local_batch,
+                                       double model_fraction) const {
+  MBD_CHECK_GT(model_fraction, 0.0);
+  MBD_CHECK(model_fraction <= 1.0);
+  if (local_batch <= 0.0) return 0.0;
+  return seconds_per_image(local_batch) * local_batch * model_fraction;
+}
+
+MachineModel MachineModel::cori_knl() { return MachineModel{}; }
+
+MachineModel MachineModel::fast_cluster() {
+  MachineModel m;
+  m.alpha = 1e-6;
+  m.beta = 1.0 / 25e9;
+  // 12× faster compute: scale the KNL epoch-time table down uniformly.
+  auto base = ComputeCurve::alexnet_knl();
+  std::vector<ComputeCurve::Point> pts;
+  for (double b : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+                   1024.0, 2048.0}) {
+    pts.push_back({b, base.seconds_per_image(b) *
+                          static_cast<double>(base.images_per_epoch()) /
+                          12.0});
+  }
+  m.compute = ComputeCurve(std::move(pts), base.images_per_epoch());
+  return m;
+}
+
+MachineModel MachineModel::with_network(double alpha_scale,
+                                        double beta_scale) const {
+  MBD_CHECK_GT(alpha_scale, 0.0);
+  MBD_CHECK_GT(beta_scale, 0.0);
+  MachineModel m = *this;
+  m.alpha *= alpha_scale;
+  m.beta *= beta_scale;
+  return m;
+}
+
+}  // namespace mbd::costmodel

@@ -1,0 +1,53 @@
+#include "mbd/costmodel/memory.hpp"
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::costmodel {
+
+MemoryFootprint memory_15d(const std::vector<nn::LayerSpec>& layers,
+                           std::size_t batch, std::size_t pr, std::size_t pc) {
+  MBD_CHECK_GT(pr, 0u);
+  MBD_CHECK_GT(pc, 0u);
+  MemoryFootprint f;
+  const double b_loc = static_cast<double>(batch) / static_cast<double>(pc);
+  bool first = true;
+  for (const auto& l : layers) {
+    f.weights += static_cast<double>(l.weight_count()) / static_cast<double>(pr);
+    f.gradients +=
+        static_cast<double>(l.weight_count()) / static_cast<double>(pr);
+    // Every process materializes the full d_i rows of its B/Pc activation
+    // columns (the all-gathered Y of Fig. 5). Count the input once.
+    if (first) {
+      f.activations += b_loc * static_cast<double>(l.d_in());
+      first = false;
+    }
+    f.activations += b_loc * static_cast<double>(l.d_out());
+  }
+  return f;
+}
+
+MemoryFootprint memory_2d_optimal(const std::vector<nn::LayerSpec>& layers,
+                                  std::size_t batch, std::size_t p) {
+  MBD_CHECK_GT(p, 0u);
+  MemoryFootprint f;
+  const double inv_p = 1.0 / static_cast<double>(p);
+  bool first = true;
+  for (const auto& l : layers) {
+    f.weights += static_cast<double>(l.weight_count()) * inv_p;
+    f.gradients += static_cast<double>(l.weight_count()) * inv_p;
+    if (first) {
+      f.activations +=
+          static_cast<double>(batch) * static_cast<double>(l.d_in()) * inv_p;
+      first = false;
+    }
+    f.activations +=
+        static_cast<double>(batch) * static_cast<double>(l.d_out()) * inv_p;
+  }
+  return f;
+}
+
+ReplicationFactors replication_15d(std::size_t pr, std::size_t pc) {
+  return {static_cast<double>(pc), static_cast<double>(pr)};
+}
+
+}  // namespace mbd::costmodel

@@ -1,0 +1,71 @@
+#include "mbd/costmodel/optimizer.hpp"
+
+#include <algorithm>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::costmodel {
+
+std::vector<std::pair<std::size_t, std::size_t>> grid_factorizations(
+    std::size_t p) {
+  MBD_CHECK_GT(p, 0u);
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t pr = 1; pr <= p; ++pr)
+    if (p % pr == 0) out.emplace_back(pr, p / pr);
+  return out;
+}
+
+std::vector<GridOption> enumerate_integrated_grids(
+    const std::vector<nn::LayerSpec>& layers, std::size_t batch, std::size_t p,
+    const MachineModel& m, GridMode mode, SimOptions opts, bool overlap) {
+  std::vector<GridOption> options;
+  for (const auto& [pr, pc] : grid_factorizations(p)) {
+    if (pc > batch) continue;  // would leave processes with no samples
+    GridOption o;
+    o.pr = pr;
+    o.pc = pc;
+    o.cost = integrated_cost(layers, batch, pr, pc, m, mode, opts);
+    options.push_back(std::move(o));
+  }
+  MBD_CHECK_MSG(!options.empty(),
+                "no feasible grid: every factorization of p=" << p
+                    << " has pc > batch=" << batch);
+  std::sort(options.begin(), options.end(),
+            [overlap](const GridOption& a, const GridOption& b) {
+              const double ta = overlap ? a.cost.total_overlapped() : a.cost.total();
+              const double tb = overlap ? b.cost.total_overlapped() : b.cost.total();
+              return ta < tb;
+            });
+  return options;
+}
+
+GridOption best_integrated_grid(const std::vector<nn::LayerSpec>& layers,
+                                std::size_t batch, std::size_t p,
+                                const MachineModel& m, GridMode mode,
+                                SimOptions opts, bool overlap) {
+  return enumerate_integrated_grids(layers, batch, p, m, mode, opts, overlap)
+      .front();
+}
+
+FullPlan best_full_plan(const std::vector<nn::LayerSpec>& layers,
+                        std::size_t batch, std::size_t p,
+                        const MachineModel& m, SimOptions opts) {
+  FullPlan best;
+  bool have = false;
+  for (const auto& [pr, pc] : grid_factorizations(p)) {
+    if (pc > batch) continue;
+    auto roles = choose_roles(layers, batch, pr, pc, m, opts);
+    auto cost = full_integrated_cost(layers, roles, batch, pr, pc, m, opts);
+    if (!have || cost.total() < best.cost.total()) {
+      best.pr = pr;
+      best.pc = pc;
+      best.roles = std::move(roles);
+      best.cost = std::move(cost);
+      have = true;
+    }
+  }
+  MBD_CHECK_MSG(have, "no feasible plan for p=" << p << ", batch=" << batch);
+  return best;
+}
+
+}  // namespace mbd::costmodel

@@ -1,0 +1,65 @@
+#include "mbd/costmodel/replay.hpp"
+
+#include <unordered_map>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::costmodel {
+
+using comm::TraceEvent;
+
+ReplayResult replay_trace(const comm::Trace& trace, const MachineModel& m) {
+  const std::size_t p = trace.ranks.size();
+  ReplayResult r;
+  r.rank_finish.assign(p, 0.0);
+  if (p == 0) return r;
+
+  // Message availability times, filled in as Sends are replayed.
+  std::unordered_map<std::uint64_t, double> available;
+  std::vector<std::size_t> cursor(p, 0);  // next event per rank
+
+  // Topological sweep: keep advancing any rank whose next event is ready.
+  // A Send/Compute is always ready; a Recv is ready once its message's
+  // availability is known. Traces from completed runs always make progress.
+  bool progressed = true;
+  std::size_t remaining = trace.total_events();
+  while (remaining > 0) {
+    MBD_CHECK_MSG(progressed,
+                  "inconsistent trace: a Recv references a Send that never "
+                  "occurs");
+    progressed = false;
+    for (std::size_t rank = 0; rank < p; ++rank) {
+      while (cursor[rank] < trace.ranks[rank].size()) {
+        const TraceEvent& e = trace.ranks[rank][cursor[rank]];
+        double& clock = r.rank_finish[rank];
+        if (e.kind == TraceEvent::Kind::Compute) {
+          clock += e.seconds;
+          r.total_compute += e.seconds;
+        } else if (e.kind == TraceEvent::Kind::Send) {
+          const double busy =
+              m.alpha + m.beta * static_cast<double>(e.bytes);
+          clock += busy;
+          r.total_send_busy += busy;
+          available[e.msg_id] = clock;
+        } else {  // Recv
+          auto it = available.find(e.msg_id);
+          if (it == available.end()) break;  // sender not replayed yet
+          const double ready = it->second;
+          if (ready > clock) {
+            r.total_recv_wait += ready - clock;
+            clock = ready;
+          }
+          clock += m.alpha;  // matching/unpack overhead
+          available.erase(it);
+        }
+        ++cursor[rank];
+        --remaining;
+        progressed = true;
+      }
+    }
+  }
+  for (double t : r.rank_finish) r.makespan = std::max(r.makespan, t);
+  return r;
+}
+
+}  // namespace mbd::costmodel

@@ -1,0 +1,48 @@
+#include "mbd/costmodel/summa.hpp"
+
+#include <algorithm>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::costmodel {
+
+std::string_view summa_variant_name(SummaVariant v) {
+  switch (v) {
+    case SummaVariant::StationaryA: return "stationary-A";
+    case SummaVariant::StationaryB: return "stationary-B";
+    case SummaVariant::StationaryC: return "stationary-C";
+  }
+  return "unknown";
+}
+
+double summa_words_per_process(SummaVariant v, double d, double batch,
+                               std::size_t pr, std::size_t pc) {
+  MBD_CHECK_GT(pr, 0u);
+  MBD_CHECK_GT(pc, 0u);
+  const double prd = static_cast<double>(pr);
+  const double pcd = static_cast<double>(pc);
+  switch (v) {
+    case SummaVariant::StationaryA:
+      // §4: "it communicates 2·B·d/pr + B·d/pc words".
+      return 2.0 * batch * d / prd + batch * d / pcd;
+    case SummaVariant::StationaryB:
+      // X stays: broadcast W panels (|W|/pc per process) and reduce Y
+      // panels (|Y|/pr per process, and Y must also be gathered, 2×).
+      return d * d / pcd + 2.0 * batch * d / prd;
+    case SummaVariant::StationaryC:
+      // Y stays: broadcast W (|W|/pc) and X (|X|/pr) panels.
+      return d * d / pcd + batch * d / prd;
+  }
+  return 0.0;
+}
+
+double words_15d_forward(double d, double batch, std::size_t pc) {
+  MBD_CHECK_GT(pc, 0u);
+  return batch * d / static_cast<double>(pc);
+}
+
+double smaller_operand_words(double d, double batch) {
+  return std::min(d * d, d * batch);
+}
+
+}  // namespace mbd::costmodel

@@ -1,0 +1,74 @@
+// Layer shape algebra (paper §2.1, Eq. 2).
+//
+// A LayerSpec describes one network layer's *shapes* — enough to drive both
+// the analytic cost model (|W_i|, d_{i-1}, d_i, halo widths) and runtime
+// network construction. Weighted layers are convolutions and fully-connected
+// layers; pooling layers are carried so runtime shapes line up but contribute
+// no parameters.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mbd/tensor/im2col.hpp"
+
+namespace mbd::nn {
+
+enum class LayerKind { Conv, FullyConnected, Pool };
+
+/// Shape description of one layer.
+struct LayerSpec {
+  LayerKind kind = LayerKind::FullyConnected;
+  std::string name;
+
+  /// Conv / Pool geometry (kind != FullyConnected). For Pool, out_c must
+  /// equal in_c and the "kernel" is the pooling window.
+  tensor::ConvGeom conv;
+
+  /// FC dimensions (kind == FullyConnected).
+  std::size_t fc_in = 0, fc_out = 0;
+
+  /// Whether a ReLU follows this layer in the runtime network.
+  bool relu_after = false;
+
+  /// --- Eq. 2 quantities -----------------------------------------------
+
+  /// |W_i|: number of parameters. (kh·kw·C_in)·C_out for conv, d_in·d_out
+  /// for FC, 0 for pool.
+  std::size_t weight_count() const;
+
+  /// d_{i-1}: input activation count per sample.
+  std::size_t d_in() const;
+
+  /// d_i: output activation count per sample.
+  std::size_t d_out() const;
+
+  /// Multiply-accumulate count per sample (2 flops per MAC) for the forward
+  /// pass; backward costs ≈ 2× forward.
+  double macs_per_sample() const;
+
+  bool has_weights() const { return kind != LayerKind::Pool; }
+};
+
+/// Make a conv layer spec.
+LayerSpec conv_spec(std::string name, std::size_t in_c, std::size_t in_h,
+                    std::size_t in_w, std::size_t out_c, std::size_t kernel,
+                    std::size_t stride, std::size_t pad, bool relu = true);
+
+/// Make a max-pool layer spec.
+LayerSpec pool_spec(std::string name, std::size_t in_c, std::size_t in_h,
+                    std::size_t in_w, std::size_t window, std::size_t stride);
+
+/// Make a fully-connected layer spec.
+LayerSpec fc_spec(std::string name, std::size_t in_dim, std::size_t out_dim,
+                  bool relu = true);
+
+/// Sum of weight_count over a network.
+std::size_t total_weights(const std::vector<LayerSpec>& net);
+
+/// Validate that consecutive layers' shapes chain (d_out of layer i equals
+/// d_in of layer i+1). Throws mbd::Error with the offending layer otherwise.
+void check_chain(const std::vector<LayerSpec>& net);
+
+}  // namespace mbd::nn

@@ -1,0 +1,28 @@
+// Softmax + cross-entropy loss in the mini-batch matrix layout.
+//
+// The gradient is scaled by 1/global_batch (paper Eq. 1), so in a
+// batch-parallel run each process computes partial sums over its local
+// columns and a single all-reduce of ∆W recovers the full mini-batch
+// gradient with no further scaling.
+#pragma once
+
+#include <span>
+
+#include "mbd/tensor/matrix.hpp"
+
+namespace mbd::nn {
+
+struct LossResult {
+  /// Sum over local samples of -log p[label] (not averaged; divide by the
+  /// global batch size — or all-reduce first — for the mean loss).
+  double loss_sum = 0.0;
+  /// Gradient w.r.t. the logits, already divided by `global_batch`.
+  tensor::Matrix dlogits;
+};
+
+/// logits: classes × B_local, labels: B_local entries in [0, classes).
+LossResult softmax_cross_entropy(const tensor::Matrix& logits,
+                                 std::span<const int> labels,
+                                 std::size_t global_batch);
+
+}  // namespace mbd::nn

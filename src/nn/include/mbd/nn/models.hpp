@@ -1,0 +1,40 @@
+// Model zoo: the AlexNet specification the paper evaluates (Table 1) and
+// small networks used by tests and executable examples.
+#pragma once
+
+#include <vector>
+
+#include "mbd/nn/layer_spec.hpp"
+
+namespace mbd::nn {
+
+/// AlexNet (Krizhevsky et al. 2012), single-tower variant: 5 conv + 3 FC
+/// layers, ≈62 M parameters ("61M" in paper Table 1). Pooling layers are
+/// included so the shape chain is exact; they carry no weights.
+std::vector<LayerSpec> alexnet_spec();
+
+/// Just the weighted layers of a spec (conv + FC) — the index set the
+/// paper's cost sums range over.
+std::vector<LayerSpec> weighted_layers(const std::vector<LayerSpec>& net);
+
+/// A small MLP: FC dims.front() -> ... -> dims.back(), ReLU between hidden
+/// layers, none after the last. Used for executable 1.5D training.
+std::vector<LayerSpec> mlp_spec(const std::vector<std::size_t>& dims);
+
+/// A small CNN (2 conv + pool + 2 FC) on in_c × in_hw × in_hw inputs, for
+/// executable domain-parallel training. `classes` is the output dimension.
+std::vector<LayerSpec> small_cnn_spec(std::size_t in_c, std::size_t in_hw,
+                                      std::size_t classes);
+
+/// Fully-connected proxy for an unrolled recurrent network (paper
+/// Limitations: "cases with Recurrent Neural Networks mainly consist of
+/// fully connected layers and our analysis naturally extends to those
+/// cases"): `steps` stacked hidden×hidden FC layers between input and output
+/// projections. The regime where the 1.5D integration pays off most.
+std::vector<LayerSpec> rnn_proxy_spec(std::size_t input, std::size_t hidden,
+                                      std::size_t steps, std::size_t output);
+
+/// ImageNet LSVRC-2012 training-set size (Table 1).
+inline constexpr std::size_t kImageNetTrainImages = 1'281'167;
+
+}  // namespace mbd::nn

@@ -1,0 +1,23 @@
+// Binary model checkpoints.
+//
+// Format: 8-byte magic "MBDCKPT1", uint64 parameter count, then the raw
+// float32 parameters in Network::save_params() order (layer order,
+// row-major). Endianness is the host's — checkpoints are a single-machine
+// convenience, not an interchange format.
+#pragma once
+
+#include <string>
+
+#include "mbd/nn/network.hpp"
+
+namespace mbd::nn {
+
+/// Write all parameters of `net` to `path` (overwrites). Throws mbd::Error
+/// on I/O failure.
+void save_checkpoint(const Network& net, const std::string& path);
+
+/// Load parameters saved by save_checkpoint into `net`. The parameter count
+/// must match the network exactly; throws mbd::Error otherwise.
+void load_checkpoint(Network& net, const std::string& path);
+
+}  // namespace mbd::nn

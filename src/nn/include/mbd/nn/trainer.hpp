@@ -1,0 +1,76 @@
+// Sequential mini-batch SGD: the single-process reference every distributed
+// trainer in mbd::parallel is verified against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mbd/nn/network.hpp"
+
+namespace mbd::nn {
+
+/// Training hyperparameters.
+struct TrainConfig {
+  std::size_t batch = 32;
+  float lr = 0.01f;
+  float momentum = 0.0f;  ///< heavy-ball momentum (AlexNet used 0.9)
+  /// Step decay: multiply the rate by `lr_decay` every `decay_every`
+  /// iterations (0 disables). AlexNet dropped the rate ×0.1 on plateau.
+  float lr_decay = 1.0f;
+  std::size_t decay_every = 0;
+  std::size_t iterations = 10;
+};
+
+/// Learning rate at iteration `it` under the config's step-decay schedule.
+/// A pure function of (cfg, it), so every process computes the same value
+/// with no coordination.
+float lr_at(const TrainConfig& cfg, std::size_t it);
+
+/// A labelled dataset in the matrix layout: one column per sample.
+struct Dataset {
+  tensor::Matrix inputs;    ///< d_0 × N
+  std::vector<int> labels;  ///< N entries
+
+  std::size_t size() const { return inputs.cols(); }
+};
+
+/// Deterministic synthetic classification data: class-dependent Gaussian
+/// clusters so that losses actually decrease under SGD.
+Dataset make_synthetic_dataset(std::size_t dim, std::size_t classes,
+                               std::size_t n, std::uint64_t seed);
+
+/// Deterministic Fisher–Yates column shuffle. Since every trainer reads the
+/// dataset in the same (sequential-slice) order, shuffling once up front is
+/// the distribution-transparent way to randomize sample order.
+Dataset shuffle_dataset(const Dataset& data, std::uint64_t seed);
+
+/// Split the first ⌊fraction·N⌋ columns into `first` and the rest into
+/// `second` (shuffle beforehand for a random split).
+struct DatasetSplit {
+  Dataset first, second;
+};
+DatasetSplit split_dataset(const Dataset& data, double fraction);
+
+/// Standardize every feature row to zero mean and unit variance over the
+/// dataset (rows with zero variance are left centered only). Returns the
+/// per-row (mean, stddev) so the same transform can be applied to held-out
+/// data with apply_normalization.
+struct Normalization {
+  std::vector<float> mean, stddev;
+};
+Normalization normalize_features(Dataset& data);
+void apply_normalization(Dataset& data, const Normalization& norm);
+
+/// Top-1 classification accuracy of `net` on `data` (argmax of the logits
+/// column per sample), evaluated in batches of `batch` columns.
+double evaluate_accuracy(Network& net, const Dataset& data,
+                         std::size_t batch = 64);
+
+/// Runs `cfg.iterations` steps of mini-batch SGD. Batches are consecutive
+/// slices of the dataset (wrapping), so the sample order is a pure function
+/// of the iteration — the property the distributed trainers rely on to be
+/// comparable. Returns the mean loss of each iteration.
+std::vector<double> train_sgd(Network& net, const Dataset& data,
+                              const TrainConfig& cfg);
+
+}  // namespace mbd::nn

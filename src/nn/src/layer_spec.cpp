@@ -1,0 +1,98 @@
+#include "mbd/nn/layer_spec.hpp"
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::nn {
+
+std::size_t LayerSpec::weight_count() const {
+  switch (kind) {
+    case LayerKind::Conv: return conv.weight_count();
+    case LayerKind::FullyConnected: return fc_in * fc_out;
+    case LayerKind::Pool: return 0;
+  }
+  return 0;
+}
+
+std::size_t LayerSpec::d_in() const {
+  switch (kind) {
+    case LayerKind::Conv:
+    case LayerKind::Pool:
+      return conv.in_c * conv.in_h * conv.in_w;
+    case LayerKind::FullyConnected:
+      return fc_in;
+  }
+  return 0;
+}
+
+std::size_t LayerSpec::d_out() const {
+  switch (kind) {
+    case LayerKind::Conv:
+      return conv.out_c * conv.out_h() * conv.out_w();
+    case LayerKind::Pool:
+      return conv.in_c * conv.out_h() * conv.out_w();
+    case LayerKind::FullyConnected:
+      return fc_out;
+  }
+  return 0;
+}
+
+double LayerSpec::macs_per_sample() const {
+  switch (kind) {
+    case LayerKind::Conv:
+      return static_cast<double>(conv.kernel_h * conv.kernel_w * conv.in_c) *
+             static_cast<double>(conv.out_h() * conv.out_w() * conv.out_c);
+    case LayerKind::FullyConnected:
+      return static_cast<double>(fc_in) * static_cast<double>(fc_out);
+    case LayerKind::Pool:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+LayerSpec conv_spec(std::string name, std::size_t in_c, std::size_t in_h,
+                    std::size_t in_w, std::size_t out_c, std::size_t kernel,
+                    std::size_t stride, std::size_t pad, bool relu) {
+  LayerSpec s;
+  s.kind = LayerKind::Conv;
+  s.name = std::move(name);
+  s.conv = tensor::ConvGeom{in_c, in_h, in_w, out_c, kernel, kernel, stride, pad};
+  s.relu_after = relu;
+  return s;
+}
+
+LayerSpec pool_spec(std::string name, std::size_t in_c, std::size_t in_h,
+                    std::size_t in_w, std::size_t window, std::size_t stride) {
+  LayerSpec s;
+  s.kind = LayerKind::Pool;
+  s.name = std::move(name);
+  s.conv = tensor::ConvGeom{in_c, in_h, in_w, in_c, window, window, stride, 0};
+  return s;
+}
+
+LayerSpec fc_spec(std::string name, std::size_t in_dim, std::size_t out_dim,
+                  bool relu) {
+  LayerSpec s;
+  s.kind = LayerKind::FullyConnected;
+  s.name = std::move(name);
+  s.fc_in = in_dim;
+  s.fc_out = out_dim;
+  s.relu_after = relu;
+  return s;
+}
+
+std::size_t total_weights(const std::vector<LayerSpec>& net) {
+  std::size_t t = 0;
+  for (const auto& l : net) t += l.weight_count();
+  return t;
+}
+
+void check_chain(const std::vector<LayerSpec>& net) {
+  for (std::size_t i = 0; i + 1 < net.size(); ++i) {
+    MBD_CHECK_MSG(net[i].d_out() == net[i + 1].d_in(),
+                  "layer '" << net[i].name << "' d_out=" << net[i].d_out()
+                            << " does not chain into '" << net[i + 1].name
+                            << "' d_in=" << net[i + 1].d_in());
+  }
+}
+
+}  // namespace mbd::nn

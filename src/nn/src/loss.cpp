@@ -1,0 +1,34 @@
+#include "mbd/nn/loss.hpp"
+
+#include <cmath>
+
+#include "mbd/support/check.hpp"
+#include "mbd/tensor/ops.hpp"
+
+namespace mbd::nn {
+
+LossResult softmax_cross_entropy(const tensor::Matrix& logits,
+                                 std::span<const int> labels,
+                                 std::size_t global_batch) {
+  const std::size_t classes = logits.rows(), batch = logits.cols();
+  MBD_CHECK_EQ(labels.size(), batch);
+  MBD_CHECK_GT(global_batch, 0u);
+  LossResult r;
+  tensor::Matrix probs(classes, batch);
+  tensor::softmax_columns(logits, probs);
+  r.dlogits = probs;
+  const float inv_b = 1.0f / static_cast<float>(global_batch);
+  for (std::size_t j = 0; j < batch; ++j) {
+    const int label = labels[j];
+    MBD_CHECK(label >= 0 && static_cast<std::size_t>(label) < classes);
+    const double p = std::max(
+        static_cast<double>(probs(static_cast<std::size_t>(label), j)), 1e-30);
+    r.loss_sum += -std::log(p);
+    r.dlogits(static_cast<std::size_t>(label), j) -= 1.0f;
+  }
+  for (std::size_t i = 0; i < r.dlogits.size(); ++i)
+    r.dlogits.data()[i] *= inv_b;
+  return r;
+}
+
+}  // namespace mbd::nn

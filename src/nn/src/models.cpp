@@ -1,0 +1,74 @@
+#include "mbd/nn/models.hpp"
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::nn {
+
+std::vector<LayerSpec> alexnet_spec() {
+  std::vector<LayerSpec> net;
+  // conv1: 3x227x227 -> 96x55x55 (11x11, stride 4)
+  net.push_back(conv_spec("conv1", 3, 227, 227, 96, 11, 4, 0));
+  net.push_back(pool_spec("pool1", 96, 55, 55, 3, 2));
+  // conv2: 96x27x27 -> 256x27x27 (5x5, pad 2)
+  net.push_back(conv_spec("conv2", 96, 27, 27, 256, 5, 1, 2));
+  net.push_back(pool_spec("pool2", 256, 27, 27, 3, 2));
+  // conv3: 256x13x13 -> 384x13x13 (3x3, pad 1)
+  net.push_back(conv_spec("conv3", 256, 13, 13, 384, 3, 1, 1));
+  // conv4: 384x13x13 -> 384x13x13
+  net.push_back(conv_spec("conv4", 384, 13, 13, 384, 3, 1, 1));
+  // conv5: 384x13x13 -> 256x13x13
+  net.push_back(conv_spec("conv5", 384, 13, 13, 256, 3, 1, 1));
+  net.push_back(pool_spec("pool5", 256, 13, 13, 3, 2));
+  // FC stack on 256*6*6 = 9216 features.
+  net.push_back(fc_spec("fc6", 9216, 4096));
+  net.push_back(fc_spec("fc7", 4096, 4096));
+  net.push_back(fc_spec("fc8", 4096, 1000, /*relu=*/false));
+  check_chain(net);
+  return net;
+}
+
+std::vector<LayerSpec> weighted_layers(const std::vector<LayerSpec>& net) {
+  std::vector<LayerSpec> out;
+  for (const auto& l : net)
+    if (l.has_weights()) out.push_back(l);
+  return out;
+}
+
+std::vector<LayerSpec> mlp_spec(const std::vector<std::size_t>& dims) {
+  MBD_CHECK(dims.size() >= 2);
+  std::vector<LayerSpec> net;
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool last = (i + 2 == dims.size());
+    net.push_back(fc_spec("fc" + std::to_string(i + 1), dims[i], dims[i + 1],
+                          /*relu=*/!last));
+  }
+  check_chain(net);
+  return net;
+}
+
+std::vector<LayerSpec> rnn_proxy_spec(std::size_t input, std::size_t hidden,
+                                      std::size_t steps, std::size_t output) {
+  MBD_CHECK_GT(steps, 0u);
+  std::vector<LayerSpec> net;
+  net.push_back(fc_spec("embed", input, hidden));
+  for (std::size_t t = 0; t < steps; ++t)
+    net.push_back(fc_spec("step" + std::to_string(t + 1), hidden, hidden));
+  net.push_back(fc_spec("readout", hidden, output, /*relu=*/false));
+  check_chain(net);
+  return net;
+}
+
+std::vector<LayerSpec> small_cnn_spec(std::size_t in_c, std::size_t in_hw,
+                                      std::size_t classes) {
+  std::vector<LayerSpec> net;
+  net.push_back(conv_spec("conv1", in_c, in_hw, in_hw, 8, 3, 1, 1));
+  net.push_back(conv_spec("conv2", 8, in_hw, in_hw, 8, 3, 1, 1));
+  net.push_back(pool_spec("pool1", 8, in_hw, in_hw, 2, 2));
+  const std::size_t hw2 = (in_hw - 2) / 2 + 1;
+  net.push_back(fc_spec("fc1", 8 * hw2 * hw2, 32));
+  net.push_back(fc_spec("fc2", 32, classes, /*relu=*/false));
+  check_chain(net);
+  return net;
+}
+
+}  // namespace mbd::nn

@@ -1,0 +1,48 @@
+#include "mbd/nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::nn {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'B', 'D', 'C', 'K', 'P', 'T', '1'};
+
+}  // namespace
+
+void save_checkpoint(const Network& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MBD_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  const auto params = net.save_params();
+  const std::uint64_t count = params.size();
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+  out.flush();
+  MBD_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+void load_checkpoint(Network& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MBD_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  MBD_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                "'" << path << "' is not an mbd checkpoint");
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  MBD_CHECK_MSG(in.good(), "truncated checkpoint '" << path << "'");
+  MBD_CHECK_MSG(count == net.num_params(),
+                "checkpoint has " << count << " parameters, network expects "
+                                  << net.num_params());
+  std::vector<float> params(count);
+  in.read(reinterpret_cast<char*>(params.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  MBD_CHECK_MSG(in.good(), "truncated checkpoint '" << path << "'");
+  net.load_params(params);
+}
+
+}  // namespace mbd::nn

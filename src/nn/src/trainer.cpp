@@ -1,0 +1,157 @@
+#include "mbd/nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mbd/nn/loss.hpp"
+#include "mbd/support/check.hpp"
+#include "mbd/support/rng.hpp"
+
+namespace mbd::nn {
+
+Dataset make_synthetic_dataset(std::size_t dim, std::size_t classes,
+                               std::size_t n, std::uint64_t seed) {
+  MBD_CHECK_GT(classes, 0u);
+  Rng rng(seed);
+  // Per-class mean directions.
+  std::vector<std::vector<float>> means(classes, std::vector<float>(dim));
+  for (auto& m : means)
+    for (auto& v : m) v = static_cast<float>(rng.normal()) * 1.0f;
+  Dataset ds;
+  ds.inputs = tensor::Matrix(dim, n);
+  ds.labels.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t c = j % classes;  // balanced, deterministic
+    ds.labels[j] = static_cast<int>(c);
+    for (std::size_t i = 0; i < dim; ++i)
+      ds.inputs(i, j) = means[c][i] + 0.3f * static_cast<float>(rng.normal());
+  }
+  return ds;
+}
+
+Dataset shuffle_dataset(const Dataset& data, std::uint64_t seed) {
+  const std::size_t n = data.size();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  Rng rng(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.uniform_index(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  Dataset out;
+  out.inputs = tensor::Matrix(data.inputs.rows(), n);
+  out.labels.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < out.inputs.rows(); ++i)
+      out.inputs(i, j) = data.inputs(i, perm[j]);
+    out.labels[j] = data.labels[perm[j]];
+  }
+  return out;
+}
+
+DatasetSplit split_dataset(const Dataset& data, double fraction) {
+  MBD_CHECK(fraction > 0.0 && fraction < 1.0);
+  const std::size_t n = data.size();
+  const std::size_t k = static_cast<std::size_t>(fraction * static_cast<double>(n));
+  MBD_CHECK_GT(k, 0u);
+  MBD_CHECK_LT(k, n);
+  DatasetSplit s;
+  s.first.inputs = data.inputs.col_block(0, k);
+  s.first.labels.assign(data.labels.begin(),
+                        data.labels.begin() + static_cast<std::ptrdiff_t>(k));
+  s.second.inputs = data.inputs.col_block(k, n);
+  s.second.labels.assign(data.labels.begin() + static_cast<std::ptrdiff_t>(k),
+                         data.labels.end());
+  return s;
+}
+
+Normalization normalize_features(Dataset& data) {
+  const std::size_t d = data.inputs.rows(), n = data.size();
+  MBD_CHECK_GT(n, 0u);
+  Normalization norm;
+  norm.mean.resize(d);
+  norm.stddev.resize(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = data.inputs(i, j);
+      sum += v;
+      sum2 += v * v;
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double var = std::max(sum2 / static_cast<double>(n) - mean * mean, 0.0);
+    norm.mean[i] = static_cast<float>(mean);
+    norm.stddev[i] = static_cast<float>(std::sqrt(var));
+  }
+  apply_normalization(data, norm);
+  return norm;
+}
+
+void apply_normalization(Dataset& data, const Normalization& norm) {
+  const std::size_t d = data.inputs.rows();
+  MBD_CHECK_EQ(norm.mean.size(), d);
+  MBD_CHECK_EQ(norm.stddev.size(), d);
+  for (std::size_t i = 0; i < d; ++i) {
+    const float inv = norm.stddev[i] > 0.0f ? 1.0f / norm.stddev[i] : 1.0f;
+    for (std::size_t j = 0; j < data.size(); ++j)
+      data.inputs(i, j) = (data.inputs(i, j) - norm.mean[i]) * inv;
+  }
+}
+
+float lr_at(const TrainConfig& cfg, std::size_t it) {
+  if (cfg.decay_every == 0 || cfg.lr_decay == 1.0f) return cfg.lr;
+  float rate = cfg.lr;
+  for (std::size_t k = 0; k < it / cfg.decay_every; ++k) rate *= cfg.lr_decay;
+  return rate;
+}
+
+double evaluate_accuracy(Network& net, const Dataset& data,
+                         std::size_t batch) {
+  MBD_CHECK_GT(batch, 0u);
+  MBD_CHECK_GT(data.size(), 0u);
+  std::size_t correct = 0;
+  for (std::size_t start = 0; start < data.size(); start += batch) {
+    const std::size_t count = std::min(batch, data.size() - start);
+    tensor::Matrix x(data.inputs.rows(), count);
+    for (std::size_t j = 0; j < count; ++j)
+      for (std::size_t i = 0; i < x.rows(); ++i)
+        x(i, j) = data.inputs(i, start + j);
+    const tensor::Matrix logits = net.forward(x);
+    for (std::size_t j = 0; j < count; ++j) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < logits.rows(); ++i)
+        if (logits(i, j) > logits(best, j)) best = i;
+      if (static_cast<int>(best) == data.labels[start + j]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+std::vector<double> train_sgd(Network& net, const Dataset& data,
+                              const TrainConfig& cfg) {
+  MBD_CHECK_GT(cfg.batch, 0u);
+  MBD_CHECK_LE(cfg.batch, data.size());
+  std::vector<double> losses;
+  losses.reserve(cfg.iterations);
+  for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    const std::size_t start = (it * cfg.batch) % data.size();
+    // Wrap by building the batch column range modulo N.
+    tensor::Matrix x(data.inputs.rows(), cfg.batch);
+    std::vector<int> labels(cfg.batch);
+    for (std::size_t j = 0; j < cfg.batch; ++j) {
+      const std::size_t src = (start + j) % data.size();
+      for (std::size_t i = 0; i < x.rows(); ++i)
+        x(i, j) = data.inputs(i, src);
+      labels[j] = data.labels[src];
+    }
+    net.set_batch_context(it, /*sample_offset=*/start);
+    const tensor::Matrix logits = net.forward(x);
+    const LossResult lr = softmax_cross_entropy(logits, labels, cfg.batch);
+    net.backward(lr.dlogits);
+    net.sgd_step(lr_at(cfg, it), cfg.momentum);
+    losses.push_back(lr.loss_sum / static_cast<double>(cfg.batch));
+  }
+  return losses;
+}
+
+}  // namespace mbd::nn

@@ -1,0 +1,24 @@
+// Pure batch-parallel SGD (paper Fig. 2, Eq. 4).
+//
+// Every process holds the full model; the mini-batch's columns are block-
+// partitioned over processes. The forward pass needs no communication; the
+// backward pass ends with one ring all-reduce of every layer's ∆W.
+#pragma once
+
+#include "mbd/comm/comm.hpp"
+#include "mbd/nn/network.hpp"
+#include "mbd/parallel/common.hpp"
+
+namespace mbd::parallel {
+
+/// Run `cfg.iterations` steps of batch-parallel SGD on comm's ranks.
+/// Every rank builds an identical network from (specs, build options), so
+/// weights start equal and stay equal after each all-reduced step.
+/// Must be called collectively (inside World::run).
+DistResult train_batch_parallel(comm::Comm& comm,
+                                const std::vector<nn::LayerSpec>& specs,
+                                const nn::Dataset& data,
+                                const nn::TrainConfig& cfg,
+                                const nn::BuildOptions& build = {});
+
+}  // namespace mbd::parallel

@@ -1,0 +1,55 @@
+// Shared pieces of the distributed trainers: block partitions, batch slicing
+// in the matrix layout, and the result type every trainer returns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mbd/comm/comm.hpp"
+#include "mbd/nn/trainer.hpp"
+#include "mbd/tensor/matrix.hpp"
+
+namespace mbd::parallel {
+
+/// Half-open index range.
+struct Range {
+  std::size_t lo = 0, hi = 0;
+  std::size_t size() const { return hi - lo; }
+};
+
+/// Canonical block partition (same convention as Comm::block_lo, so trainer
+/// partitions line up with reduce_scatter blocks).
+Range block_range(std::size_t n, int parts, int index);
+
+/// Result of a distributed training run, as observed on every rank.
+struct DistResult {
+  /// Mean global loss per iteration (identical on all ranks).
+  std::vector<double> losses;
+  /// Flattened final parameters, assembled to the full (unpartitioned)
+  /// network layout on every rank — directly comparable with
+  /// Network::save_params() of the sequential reference.
+  std::vector<float> params;
+};
+
+/// Columns [start, start+count) of the dataset taken cyclically (the same
+/// wrap-around slicing train_sgd uses), with matching labels.
+struct BatchSlice {
+  tensor::Matrix inputs;   ///< d × count
+  std::vector<int> labels;
+};
+BatchSlice batch_slice(const nn::Dataset& data, std::size_t start,
+                       std::size_t count);
+
+/// All-reduce (sum) a double scalar via gather-to-0 + broadcast so the
+/// AllReduce traffic class stays reserved for gradient reductions, which the
+/// validation tests count exactly.
+double sum_scalar(comm::Comm& comm, double value);
+
+/// One (momentum-)SGD update on a parameter shard: with momentum m > 0,
+/// v ← m·v + g and w ← w − lr·v; plain SGD otherwise. Velocity is purely
+/// local state, so partitioned shards update exactly like the sequential
+/// reference.
+void sgd_update(std::span<float> w, std::span<const float> g,
+                std::span<float> v, float lr, float momentum);
+
+}  // namespace mbd::parallel

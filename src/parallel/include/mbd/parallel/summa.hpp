@@ -1,0 +1,51 @@
+// Executable 2D SUMMA (stationary-C variant) on the mbd::comm runtime —
+// the §4 comparison algorithm, runnable and instrumented.
+//
+// C = A·B on a Pr × Pc grid. Every matrix is block-distributed: process
+// (i, j) owns rows block i (over Pr) and columns block j (over Pc) of each.
+// The algorithm iterates over panels of the contraction dimension k,
+// broadcasting A panels along process rows and B panels along process
+// columns (Van De Geijn & Watts 1997). Per-process receive volume is
+// |A|/Pr + |B|/Pc words — the §4 stationary-C count — versus the 1.5D
+// algorithm's single-matrix volume; no regime makes 2D strictly cheaper,
+// but its memory use is optimal (no replication).
+#pragma once
+
+#include "mbd/comm/comm.hpp"
+#include "mbd/parallel/common.hpp"
+#include "mbd/parallel/integrated.hpp"
+#include "mbd/tensor/matrix.hpp"
+
+namespace mbd::parallel {
+
+/// Global shapes of the distributed multiply.
+struct SummaShape {
+  std::size_t m = 0;  ///< rows of A and C
+  std::size_t k = 0;  ///< cols of A, rows of B
+  std::size_t n = 0;  ///< cols of B and C
+};
+
+/// The block of a global matrix owned by grid position (row, col).
+struct BlockInfo {
+  Range rows, cols;
+};
+
+/// Ownership of an m × n matrix on the grid for a given position.
+BlockInfo summa_block(std::size_t m, std::size_t n, GridShape grid, int row,
+                      int col);
+
+/// Collective: compute this process's C block from its A and B blocks.
+/// `a_block` must be the (rows over Pr) × (k-cols over Pc) block of A for
+/// this grid position, `b_block` the (k-rows over Pr) × (cols over Pc) block
+/// of B. Panel count is lcm(Pr, Pc), so panels nest inside both block
+/// partitions exactly.
+tensor::Matrix summa_stationary_c(comm::Comm& comm, GridShape grid,
+                                  const SummaShape& shape,
+                                  const tensor::Matrix& a_block,
+                                  const tensor::Matrix& b_block);
+
+/// Exact bytes the implementation broadcasts across all ranks in one multiply
+/// (binomial broadcast delivers each panel once to every non-owner).
+std::uint64_t summa_stationary_c_bytes(GridShape grid, const SummaShape& shape);
+
+}  // namespace mbd::parallel

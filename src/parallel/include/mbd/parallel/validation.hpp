@@ -1,0 +1,61 @@
+// Exact per-iteration traffic predictions for each distributed trainer.
+//
+// These are not the α–β *time* model (that is mbd::costmodel) but exact byte
+// counts of what the implemented collectives move, summed over all ranks per
+// SGD iteration. Comparing them against mbd::comm's instrumented counters is
+// the strongest form of validation this project does: the paper's bandwidth
+// terms (Eqs. 3, 4, 7, 8) are per-process word counts of exactly these
+// collectives, so measured == predicted here certifies the formulas against
+// running code.
+//
+// Setup traffic (communicator splits, final parameter assembly) is excluded;
+// tests measure per-iteration deltas to factor it out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mbd/nn/layer_spec.hpp"
+#include "mbd/parallel/integrated.hpp"
+
+namespace mbd::parallel {
+
+/// Bytes per iteration, summed over all ranks, by traffic class.
+struct TrafficPrediction {
+  std::uint64_t allreduce_bytes = 0;
+  std::uint64_t allgather_bytes = 0;
+  std::uint64_t p2p_bytes = 0;  ///< halo exchanges
+
+  std::uint64_t total() const {
+    return allreduce_bytes + allgather_bytes + p2p_bytes;
+  }
+};
+
+/// Pure batch parallelism: one ring all-reduce of each layer's |W|.
+TrafficPrediction predict_batch_parallel(
+    const std::vector<nn::LayerSpec>& specs, int p);
+
+/// Pure model parallelism on an MLP: per layer one all-gather of B·d_out and
+/// (for all but the first layer) one all-reduce of B·d_in.
+TrafficPrediction predict_model_parallel(
+    const std::vector<nn::LayerSpec>& specs, std::size_t batch, int p);
+
+/// 1.5D integrated on a Pr × Pc grid (MLP).
+TrafficPrediction predict_integrated_15d(
+    const std::vector<nn::LayerSpec>& specs, std::size_t batch,
+    GridShape grid);
+
+/// Pure domain parallelism on a conv+FC network.
+TrafficPrediction predict_domain_parallel(
+    const std::vector<nn::LayerSpec>& specs, std::size_t batch, int p);
+
+/// Fully integrated hybrid on a Pr × Pc grid (conv stack + FC tail).
+TrafficPrediction predict_hybrid(const std::vector<nn::LayerSpec>& specs,
+                                 std::size_t batch, GridShape grid);
+
+/// Mixed grid (Fig. 7 executable): batch-parallel conv + Eq. 6
+/// redistribution + 1.5D FC.
+TrafficPrediction predict_mixed_grid(const std::vector<nn::LayerSpec>& specs,
+                                     std::size_t batch, GridShape grid);
+
+}  // namespace mbd::parallel

@@ -1,0 +1,51 @@
+#include "mbd/parallel/common.hpp"
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::parallel {
+
+Range block_range(std::size_t n, int parts, int index) {
+  MBD_CHECK_GT(parts, 0);
+  MBD_CHECK(index >= 0 && index < parts);
+  return {comm::Comm::block_lo(n, parts, index),
+          comm::Comm::block_lo(n, parts, index + 1)};
+}
+
+BatchSlice batch_slice(const nn::Dataset& data, std::size_t start,
+                       std::size_t count) {
+  BatchSlice s;
+  s.inputs = tensor::Matrix(data.inputs.rows(), count);
+  s.labels.resize(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::size_t src = (start + j) % data.size();
+    for (std::size_t i = 0; i < s.inputs.rows(); ++i)
+      s.inputs(i, j) = data.inputs(i, src);
+    s.labels[j] = data.labels[src];
+  }
+  return s;
+}
+
+void sgd_update(std::span<float> w, std::span<const float> g,
+                std::span<float> v, float lr, float momentum) {
+  MBD_CHECK_EQ(w.size(), g.size());
+  if (momentum == 0.0f) {
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] -= lr * g[i];
+    return;
+  }
+  MBD_CHECK_EQ(w.size(), v.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    v[i] = momentum * v[i] + g[i];
+    w[i] -= lr * v[i];
+  }
+}
+
+double sum_scalar(comm::Comm& comm, double value) {
+  auto all = comm.gather(std::span<const double>(&value, 1), /*root=*/0);
+  double total = 0.0;
+  if (comm.rank() == 0)
+    for (double v : all) total += v;
+  comm.broadcast(std::span<double>(&total, 1), /*root=*/0);
+  return total;
+}
+
+}  // namespace mbd::parallel

@@ -1,0 +1,243 @@
+#include "mbd/parallel/detail/domain_conv.hpp"
+
+#include <algorithm>
+
+#include "mbd/support/check.hpp"
+#include "mbd/tensor/gemm.hpp"
+#include "mbd/tensor/ops.hpp"
+
+namespace mbd::parallel::detail {
+
+using tensor::ConvGeom;
+using tensor::Matrix;
+using tensor::Tensor4;
+
+Tensor4 matrix_to_tensor(const Matrix& m, std::size_t c, std::size_t h,
+                         std::size_t w) {
+  MBD_CHECK_EQ(m.rows(), c * h * w);
+  Tensor4 t(m.cols(), c, h, w);
+  for (std::size_t b = 0; b < m.cols(); ++b)
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      t.data()[b * m.rows() + i] = m(i, b);
+  return t;
+}
+
+Matrix tensor_to_matrix(const Tensor4& t) {
+  const std::size_t d = t.c() * t.h() * t.w();
+  Matrix m(d, t.n());
+  for (std::size_t b = 0; b < t.n(); ++b)
+    for (std::size_t i = 0; i < d; ++i) m(i, b) = t.data()[b * d + i];
+  return m;
+}
+
+void send_halo(comm::Comm& group, const Tensor4& slab, std::size_t halo) {
+  const int p = group.size();
+  const int r = group.rank();
+  if (halo == 0 || p == 1) return;
+  // Buffered sends: the payload is deposited immediately — the caller can
+  // compute while the "wire" carries it.
+  if (r > 0) {
+    const Tensor4 my_top = slab.height_slab(0, halo);
+    group.send(r - 1, my_top.span(), /*tag=*/1);
+  }
+  if (r < p - 1) {
+    const Tensor4 my_bottom = slab.height_slab(slab.h() - halo, slab.h());
+    group.send(r + 1, my_bottom.span(), /*tag=*/2);
+  }
+}
+
+std::pair<Tensor4, Tensor4> recv_halo(comm::Comm& group, const Tensor4& slab,
+                                      std::size_t halo) {
+  const int p = group.size();
+  const int r = group.rank();
+  Tensor4 top(slab.n(), slab.c(), halo, slab.w());
+  Tensor4 bottom(slab.n(), slab.c(), halo, slab.w());
+  if (halo == 0 || p == 1) return {std::move(top), std::move(bottom)};
+  if (r > 0) {
+    auto rows = group.recv<float>(r - 1, /*tag=*/2);  // neighbour's bottom
+    MBD_CHECK_EQ(rows.size(), top.size());
+    std::copy(rows.begin(), rows.end(), top.data());
+  }
+  if (r < p - 1) {
+    auto rows = group.recv<float>(r + 1, /*tag=*/1);  // neighbour's top
+    MBD_CHECK_EQ(rows.size(), bottom.size());
+    std::copy(rows.begin(), rows.end(), bottom.data());
+  }
+  return {std::move(top), std::move(bottom)};
+}
+
+std::pair<Tensor4, Tensor4> exchange_halo(comm::Comm& group,
+                                          const Tensor4& slab,
+                                          std::size_t halo) {
+  send_halo(group, slab, halo);
+  return recv_halo(group, slab, halo);
+}
+
+namespace {
+
+/// Convolve a horizontal band of the extended slab: input rows
+/// [band_lo, band_lo + band_rows + 2·halo) of `ext` produce output rows
+/// [band_lo, band_lo + band_rows) of `y`.
+void conv_band(const DomainConvState& l, const Tensor4& ext, Tensor4& y,
+               std::size_t band_lo, std::size_t band_rows) {
+  if (band_rows == 0) return;
+  const std::size_t halo = l.geom.kernel_h / 2;
+  const Tensor4 band = ext.height_slab(band_lo, band_lo + band_rows + 2 * halo);
+  const ConvGeom ge{l.geom.in_c, band.h(), ext.w(), l.geom.out_c,
+                    l.geom.kernel_h, l.geom.kernel_w, 1, 0};
+  MBD_CHECK_EQ(ge.out_h(), band_rows);
+  MBD_CHECK_EQ(ge.out_w(), y.w());
+  for (std::size_t b = 0; b < ext.n(); ++b) {
+    const Matrix cols = tensor::im2col(band, b, ge);
+    const Matrix ys = tensor::matmul(l.w, cols);  // out_c × (band_rows·w)
+    for (std::size_t oc = 0; oc < l.geom.out_c; ++oc)
+      for (std::size_t i = 0; i < band_rows * y.w(); ++i)
+        y.data()[y.offset(b, oc, band_lo, 0) + i] =
+            ys(oc, i);
+  }
+}
+
+}  // namespace
+
+Tensor4 domain_conv_forward(comm::Comm& group, DomainConvState& l,
+                            const Tensor4& slab) {
+  const int p = group.size();
+  const int r = group.rank();
+  const std::size_t halo = l.geom.kernel_h / 2;
+  MBD_CHECK_MSG(slab.h() >= halo,
+                "slab of " << slab.h() << " rows shorter than halo " << halo);
+  send_halo(group, slab, halo);
+
+  // Extended slab: explicit vertical halo rows plus horizontal zero pad.
+  const std::size_t eh = slab.h() + 2 * halo;
+  const std::size_t ew = slab.w() + 2 * halo;
+  Tensor4 ext(slab.n(), slab.c(), eh, ew);
+  auto fill_rows = [&](const Tensor4& src, std::size_t rows_n,
+                       std::size_t dst_h0) {
+    for (std::size_t b = 0; b < slab.n(); ++b)
+      for (std::size_t c = 0; c < slab.c(); ++c)
+        for (std::size_t hh = 0; hh < rows_n; ++hh)
+          for (std::size_t ww = 0; ww < src.w(); ++ww)
+            ext.at(b, c, dst_h0 + hh, halo + ww) = src.at(b, c, hh, ww);
+  };
+  fill_rows(slab, slab.h(), halo);
+
+  Tensor4 y(slab.n(), l.geom.out_c, slab.h(), slab.w());
+  const bool overlap =
+      l.overlap_halo && halo > 0 && p > 1 && slab.h() >= 2 * halo;
+  if (overlap) {
+    // Interior output rows [halo, h−halo) read only this rank's own input
+    // rows — compute them while the halo is in flight (paper §2.2).
+    conv_band(l, ext, y, halo, slab.h() - 2 * halo);
+  }
+
+  auto [top, bottom] = recv_halo(group, slab, halo);
+  if (halo > 0 && r > 0) fill_rows(top, halo, 0);
+  if (halo > 0 && r < p - 1) fill_rows(bottom, halo, halo + slab.h());
+
+  if (overlap) {
+    // Boundary rows now that the halo has arrived.
+    conv_band(l, ext, y, 0, halo);
+    conv_band(l, ext, y, slab.h() - halo, halo);
+  } else {
+    conv_band(l, ext, y, 0, slab.h());
+  }
+
+  l.ext_input = std::move(ext);
+  l.y_pre = y;
+  if (l.relu_after) tensor::relu_forward(l.y_pre.span(), y.span());
+  return y;
+}
+
+Tensor4 domain_conv_backward(comm::Comm& group, DomainConvState& l,
+                             Tensor4 dslab) {
+  const int p = group.size();
+  const int r = group.rank();
+  const std::size_t halo = l.geom.kernel_h / 2;
+  const std::size_t h_loc = dslab.h();
+  if (l.relu_after) {
+    Tensor4 d(dslab.n(), dslab.c(), dslab.h(), dslab.w());
+    tensor::relu_backward(l.y_pre.span(), dslab.span(), d.span());
+    dslab = std::move(d);
+  }
+  const std::size_t eh = h_loc + 2 * halo;
+  const std::size_t ew = dslab.w() + 2 * halo;
+  const ConvGeom ge{l.geom.in_c, eh, ew, l.geom.out_c,
+                    l.geom.kernel_h, l.geom.kernel_w, 1, 0};
+  std::fill(l.dw.span().begin(), l.dw.span().end(), 0.0f);
+  Tensor4 d_ext(dslab.n(), l.geom.in_c, eh, ew);
+  const std::size_t out_elems = dslab.c() * dslab.h() * dslab.w();
+  for (std::size_t b = 0; b < dslab.n(); ++b) {
+    const Matrix cols = tensor::im2col(l.ext_input, b, ge);
+    const float* dy0 = dslab.data() + dslab.offset(b, 0, 0, 0);
+    const Matrix dys = Matrix::from_data(l.geom.out_c, dslab.h() * dslab.w(),
+                                         {dy0, dy0 + out_elems});
+    tensor::gemm_nt(dys, cols, l.dw, 1.0f, 1.0f);
+    const Matrix dcols = tensor::matmul_tn(l.w, dys);
+    tensor::col2im_add(dcols, d_ext, b, ge);
+  }
+  // Interior input-gradient slab (horizontal pad columns are discarded).
+  const std::size_t in_w = dslab.w();
+  Tensor4 dnext(dslab.n(), l.geom.in_c, h_loc, in_w);
+  for (std::size_t b = 0; b < dslab.n(); ++b)
+    for (std::size_t c = 0; c < l.geom.in_c; ++c)
+      for (std::size_t hh = 0; hh < h_loc; ++hh)
+        for (std::size_t ww = 0; ww < in_w; ++ww)
+          dnext.at(b, c, hh, ww) = d_ext.at(b, c, halo + hh, halo + ww);
+  if (halo > 0 && p > 1) {
+    // Boundary contributions computed here belong to the neighbours.
+    Tensor4 to_up(dslab.n(), l.geom.in_c, halo, in_w);
+    Tensor4 to_down(dslab.n(), l.geom.in_c, halo, in_w);
+    for (std::size_t b = 0; b < dslab.n(); ++b)
+      for (std::size_t c = 0; c < l.geom.in_c; ++c)
+        for (std::size_t hh = 0; hh < halo; ++hh)
+          for (std::size_t ww = 0; ww < in_w; ++ww) {
+            to_up.at(b, c, hh, ww) = d_ext.at(b, c, hh, halo + ww);
+            to_down.at(b, c, hh, ww) =
+                d_ext.at(b, c, halo + h_loc + hh, halo + ww);
+          }
+    if (r > 0) group.send(r - 1, to_up.span(), /*tag=*/3);
+    if (r < p - 1) group.send(r + 1, to_down.span(), /*tag=*/4);
+    auto accumulate = [&](std::span<const float> rows, std::size_t dst_h0) {
+      Tensor4 add(dslab.n(), l.geom.in_c, halo, in_w);
+      MBD_CHECK_EQ(rows.size(), add.size());
+      std::copy(rows.begin(), rows.end(), add.data());
+      for (std::size_t b = 0; b < dslab.n(); ++b)
+        for (std::size_t c = 0; c < l.geom.in_c; ++c)
+          for (std::size_t hh = 0; hh < halo; ++hh)
+            for (std::size_t ww = 0; ww < in_w; ++ww)
+              dnext.at(b, c, dst_h0 + hh, ww) += add.at(b, c, hh, ww);
+    };
+    if (r < p - 1) {
+      auto from_below = group.recv<float>(r + 1, /*tag=*/3);
+      accumulate(from_below, h_loc - halo);
+    }
+    if (r > 0) {
+      auto from_above = group.recv<float>(r - 1, /*tag=*/4);
+      accumulate(from_above, 0);
+    }
+  }
+  return dnext;
+}
+
+Tensor4 gather_slabs(comm::Comm& group, const Tensor4& slab,
+                     std::size_t img_h) {
+  const int p = group.size();
+  // Equal slabs go through Bruck; uneven heights through ring all-gatherv.
+  auto gathered = img_h % static_cast<std::size_t>(p) == 0
+                      ? group.allgather(slab.span())
+                      : group.allgatherv(slab.span());
+  Tensor4 full(slab.n(), slab.c(), img_h, slab.w());
+  std::size_t at = 0;
+  for (int rr = 0; rr < p; ++rr) {
+    const Range r = block_range(img_h, p, rr);
+    Tensor4 s(slab.n(), slab.c(), r.size(), slab.w());
+    std::copy_n(gathered.begin() + static_cast<std::ptrdiff_t>(at), s.size(),
+                s.data());
+    at += s.size();
+    full.set_height_slab(r.lo, s);
+  }
+  return full;
+}
+
+}  // namespace mbd::parallel::detail

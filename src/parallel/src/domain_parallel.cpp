@@ -1,0 +1,159 @@
+#include "mbd/parallel/domain_parallel.hpp"
+
+#include <cmath>
+
+#include "mbd/nn/loss.hpp"
+#include "mbd/parallel/detail/domain_conv.hpp"
+#include "mbd/support/check.hpp"
+#include "mbd/tensor/gemm.hpp"
+#include "mbd/tensor/ops.hpp"
+
+namespace mbd::parallel {
+
+using detail::DomainConvState;
+using tensor::Matrix;
+using tensor::Tensor4;
+
+namespace {
+
+struct FcState {
+  std::size_t d_in = 0, d_out = 0;
+  bool relu_after = false;
+  Matrix w, dw, vel;
+  Matrix x, y_pre;
+};
+
+}  // namespace
+
+DistResult train_domain_parallel(comm::Comm& comm,
+                                 const std::vector<nn::LayerSpec>& specs,
+                                 const nn::Dataset& data,
+                                 const nn::TrainConfig& cfg,
+                                 std::uint64_t seed, bool overlap_halo) {
+  const int p = comm.size();
+  const int r = comm.rank();
+
+  // Split specs into the conv stack and the FC tail; validate structure.
+  std::vector<DomainConvState> convs;
+  std::vector<FcState> fcs;
+  Rng rng(seed);
+  bool seen_fc = false;
+  std::size_t img_h = 0;
+  for (const auto& s : specs) {
+    if (s.kind == nn::LayerKind::Conv) {
+      MBD_CHECK_MSG(!seen_fc, "conv layer '" << s.name << "' after FC layers");
+      const auto& g = s.conv;
+      MBD_CHECK_MSG(g.stride == 1 && g.kernel_h % 2 == 1 &&
+                        g.kernel_h == g.kernel_w && g.pad == g.kernel_h / 2,
+                    "domain trainer needs stride-1 odd-kernel same-pad convs; '"
+                        << s.name << "' violates this");
+      if (img_h == 0) img_h = g.in_h;
+      MBD_CHECK_EQ(g.in_h, img_h);  // same-pad keeps height constant
+      DomainConvState l;
+      l.geom = g;
+      l.relu_after = s.relu_after;
+      l.overlap_halo = overlap_halo;
+      l.w = Matrix::random_normal(
+          g.out_c, g.in_c * g.kernel_h * g.kernel_w, rng,
+          std::sqrt(2.0f /
+                    static_cast<float>(g.in_c * g.kernel_h * g.kernel_w)));
+      l.dw = Matrix(l.w.rows(), l.w.cols());
+      l.vel = Matrix(l.w.rows(), l.w.cols());
+      convs.push_back(std::move(l));
+    } else if (s.kind == nn::LayerKind::FullyConnected) {
+      seen_fc = true;
+      FcState l;
+      l.d_in = s.fc_in;
+      l.d_out = s.fc_out;
+      l.relu_after = s.relu_after;
+      l.w = Matrix::random_normal(
+          s.fc_out, s.fc_in, rng, std::sqrt(2.0f / static_cast<float>(s.fc_in)));
+      l.dw = Matrix(l.w.rows(), l.w.cols());
+      l.vel = Matrix(l.w.rows(), l.w.cols());
+      fcs.push_back(std::move(l));
+    } else {
+      MBD_CHECK_MSG(false, "domain trainer does not support pooling ('"
+                               << s.name << "')");
+    }
+  }
+  MBD_CHECK(!convs.empty());
+  MBD_CHECK_MSG(static_cast<std::size_t>(p) <= img_h,
+                "more ranks (" << p << ") than image rows (" << img_h << ")");
+  const Range rows = block_range(img_h, p, r);
+
+  DistResult result;
+  result.losses.reserve(cfg.iterations);
+  for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    const std::size_t start = (it * cfg.batch) % data.size();
+    // Every process reads the whole mini-batch but keeps only its rows.
+    BatchSlice batch = batch_slice(data, start, cfg.batch);
+    const auto& g0 = convs.front().geom;
+    Tensor4 full_in =
+        detail::matrix_to_tensor(batch.inputs, g0.in_c, g0.in_h, g0.in_w);
+    Tensor4 slab = full_in.height_slab(rows.lo, rows.hi);
+
+    // Forward through the conv stack with per-layer halo exchange.
+    for (auto& l : convs) slab = detail::domain_conv_forward(comm, l, slab);
+
+    // FC tail: gather the full activation ("the halo is the whole input"),
+    // then compute replicated on every process.
+    const Tensor4 full_act = detail::gather_slabs(comm, slab, img_h);
+    Matrix x = detail::tensor_to_matrix(full_act);
+    for (auto& l : fcs) {
+      l.x = x;
+      l.y_pre = tensor::matmul(l.w, x);
+      if (l.relu_after) {
+        Matrix y(l.d_out, cfg.batch);
+        tensor::relu_forward(l.y_pre.span(), y.span());
+        x = std::move(y);
+      } else {
+        x = l.y_pre;
+      }
+    }
+
+    const nn::LossResult lr =
+        nn::softmax_cross_entropy(x, batch.labels, cfg.batch);
+    result.losses.push_back(lr.loss_sum / static_cast<double>(cfg.batch));
+
+    // FC backward (replicated — identical on every process).
+    Matrix dx = lr.dlogits;
+    for (std::size_t li = fcs.size(); li-- > 0;) {
+      auto& l = fcs[li];
+      Matrix dy_pre;
+      if (l.relu_after) {
+        dy_pre = Matrix(l.d_out, cfg.batch);
+        tensor::relu_backward(l.y_pre.span(), dx.span(), dy_pre.span());
+      } else {
+        dy_pre = std::move(dx);
+      }
+      tensor::gemm_nt(dy_pre, l.x, l.dw);
+      dx = tensor::matmul_tn(l.w, dy_pre);
+    }
+
+    // Conv backward on my slab, with gradient halo exchange and a full
+    // ∆W all-reduce per layer (each process saw only its output rows).
+    const auto& gl = convs.back().geom;
+    Tensor4 full_dx = detail::matrix_to_tensor(dx, gl.out_c, img_h, gl.in_w);
+    Tensor4 dslab = full_dx.height_slab(rows.lo, rows.hi);
+    for (std::size_t li = convs.size(); li-- > 0;) {
+      auto& l = convs[li];
+      dslab = detail::domain_conv_backward(comm, l, std::move(dslab));
+      comm.allreduce(l.dw.span());
+    }
+
+    for (auto& l : convs)
+      sgd_update(l.w.span(), l.dw.span(), l.vel.span(), nn::lr_at(cfg, it), cfg.momentum);
+    for (auto& l : fcs)
+      sgd_update(l.w.span(), l.dw.span(), l.vel.span(), nn::lr_at(cfg, it), cfg.momentum);
+  }
+
+  for (const auto& l : convs)
+    result.params.insert(result.params.end(), l.w.span().begin(),
+                         l.w.span().end());
+  for (const auto& l : fcs)
+    result.params.insert(result.params.end(), l.w.span().begin(),
+                         l.w.span().end());
+  return result;
+}
+
+}  // namespace mbd::parallel

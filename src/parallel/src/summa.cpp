@@ -1,0 +1,90 @@
+#include "mbd/parallel/summa.hpp"
+
+#include <numeric>
+
+#include "mbd/support/check.hpp"
+#include "mbd/tensor/gemm.hpp"
+
+namespace mbd::parallel {
+
+using tensor::Matrix;
+
+namespace {
+
+std::size_t lcm(std::size_t a, std::size_t b) { return std::lcm(a, b); }
+
+}  // namespace
+
+BlockInfo summa_block(std::size_t m, std::size_t n, GridShape grid, int row,
+                      int col) {
+  return {block_range(m, grid.pr, row), block_range(n, grid.pc, col)};
+}
+
+Matrix summa_stationary_c(comm::Comm& comm, GridShape grid,
+                          const SummaShape& shape, const Matrix& a_block,
+                          const Matrix& b_block) {
+  MBD_CHECK_EQ(grid.pr * grid.pc, comm.size());
+  const int row = comm.rank() / grid.pc;
+  const int col = comm.rank() % grid.pc;
+  const BlockInfo a_info = summa_block(shape.m, shape.k, grid, row, col);
+  const BlockInfo b_info = summa_block(shape.k, shape.n, grid, row, col);
+  MBD_CHECK_EQ(a_block.rows(), a_info.rows.size());
+  MBD_CHECK_EQ(a_block.cols(), a_info.cols.size());
+  MBD_CHECK_EQ(b_block.rows(), b_info.rows.size());
+  MBD_CHECK_EQ(b_block.cols(), b_info.cols.size());
+
+  comm::Comm row_comm = comm.split(/*color=*/row, /*key=*/col);  // size Pc
+  comm::Comm col_comm = comm.split(/*color=*/col, /*key=*/row);  // size Pr
+
+  Matrix c(a_info.rows.size(), b_info.cols.size());
+  const std::size_t panels =
+      lcm(static_cast<std::size_t>(grid.pr), static_cast<std::size_t>(grid.pc));
+  // Panels nest exactly inside both the Pc partition of A's columns and the
+  // Pr partition of B's rows (the canonical block partition is refinement-
+  // stable), so each panel has a single owner along each axis.
+  for (std::size_t t = 0; t < panels; ++t) {
+    const Range kt = block_range(shape.k, static_cast<int>(panels),
+                                 static_cast<int>(t));
+    if (kt.size() == 0) continue;
+    const int a_owner_col =
+        static_cast<int>(t / (panels / static_cast<std::size_t>(grid.pc)));
+    const int b_owner_row =
+        static_cast<int>(t / (panels / static_cast<std::size_t>(grid.pr)));
+
+    // A panel: my rows × kt, broadcast along the process row.
+    Matrix a_panel(a_info.rows.size(), kt.size());
+    if (col == a_owner_col) {
+      a_panel = a_block.col_block(kt.lo - a_info.cols.lo,
+                                  kt.hi - a_info.cols.lo);
+    }
+    row_comm.broadcast(a_panel.span(), a_owner_col);
+
+    // B panel: kt × my cols, broadcast along the process column.
+    Matrix b_panel(kt.size(), b_info.cols.size());
+    if (row == b_owner_row) {
+      b_panel = b_block.row_block(kt.lo - b_info.rows.lo,
+                                  kt.hi - b_info.rows.lo);
+    }
+    col_comm.broadcast(b_panel.span(), b_owner_row);
+
+    tensor::gemm_nn(a_panel, b_panel, c, 1.0f, 1.0f);
+  }
+  return c;
+}
+
+std::uint64_t summa_stationary_c_bytes(GridShape grid,
+                                       const SummaShape& shape) {
+  // Binomial broadcast delivers each panel exactly once to every non-owner:
+  // per process row the A panels sum to that row block of A, broadcast to
+  // (Pc−1) peers; summed over rows that is (Pc−1)·|A|. Symmetrically
+  // (Pr−1)·|B| for the column broadcasts.
+  const std::uint64_t a_words =
+      static_cast<std::uint64_t>(shape.m) * shape.k;
+  const std::uint64_t b_words =
+      static_cast<std::uint64_t>(shape.k) * shape.n;
+  return (static_cast<std::uint64_t>(grid.pc - 1) * a_words +
+          static_cast<std::uint64_t>(grid.pr - 1) * b_words) *
+         sizeof(float);
+}
+
+}  // namespace mbd::parallel

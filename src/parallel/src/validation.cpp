@@ -1,0 +1,173 @@
+#include "mbd/parallel/validation.hpp"
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::parallel {
+
+namespace {
+
+constexpr std::uint64_t kWordBytes = sizeof(float);
+
+// Exact totals across all ranks for the implemented algorithms. Both the
+// Bruck all-gather (equal blocks) and the ring all-gatherv (uneven blocks)
+// move exactly (P−1)·total_words across the machine; the ring all-reduce
+// moves exactly 2(P−1)·n regardless of how n divides — properties asserted
+// by the comm-layer stats tests, which lets these predictions stay closed
+// form even for uneven partitions.
+
+std::uint64_t allgather_total_bytes(int p, std::size_t total_words) {
+  if (p <= 1) return 0;
+  return static_cast<std::uint64_t>(p - 1) * total_words * kWordBytes;
+}
+
+std::uint64_t allreduce_total_bytes(int p, std::size_t n) {
+  if (p <= 1) return 0;
+  return 2ull * static_cast<std::uint64_t>(p - 1) * n * kWordBytes;
+}
+
+}  // namespace
+
+TrafficPrediction predict_batch_parallel(
+    const std::vector<nn::LayerSpec>& specs, int p) {
+  TrafficPrediction t;
+  for (const auto& s : specs) {
+    if (!s.has_weights()) continue;
+    t.allreduce_bytes += allreduce_total_bytes(p, s.weight_count());
+  }
+  return t;
+}
+
+TrafficPrediction predict_model_parallel(
+    const std::vector<nn::LayerSpec>& specs, std::size_t batch, int p) {
+  TrafficPrediction t;
+  bool first = true;
+  for (const auto& s : specs) {
+    MBD_CHECK(s.kind == nn::LayerKind::FullyConnected);
+    // All-gather of the full Y (d_out × B) from its P row blocks.
+    t.allgather_bytes += allgather_total_bytes(p, s.fc_out * batch);
+    // ∆X all-reduce of d_in × B for every layer but the first.
+    if (!first) t.allreduce_bytes += allreduce_total_bytes(p, s.fc_in * batch);
+    first = false;
+  }
+  return t;
+}
+
+TrafficPrediction predict_integrated_15d(
+    const std::vector<nn::LayerSpec>& specs, std::size_t batch,
+    GridShape grid) {
+  TrafficPrediction t;
+  bool first = true;
+  for (const auto& s : specs) {
+    MBD_CHECK(s.kind == nn::LayerKind::FullyConnected);
+    // Y all-gather within each of the Pc model groups; summed over groups
+    // the gathered columns cover the whole batch exactly once.
+    t.allgather_bytes += allgather_total_bytes(grid.pr, s.fc_out * batch);
+    // ∆X all-reduce over Pr within each group (not the first layer).
+    if (!first) {
+      t.allreduce_bytes += allreduce_total_bytes(grid.pr, s.fc_in * batch);
+    }
+    // ∆W all-reduce over Pc within each of the Pr row groups; the row
+    // blocks of all groups tile the full |W|.
+    t.allreduce_bytes += allreduce_total_bytes(grid.pc, s.fc_out * s.fc_in);
+    first = false;
+  }
+  return t;
+}
+
+TrafficPrediction predict_domain_parallel(
+    const std::vector<nn::LayerSpec>& specs, std::size_t batch, int p) {
+  TrafficPrediction t;
+  std::size_t img_h = 0;
+  const nn::LayerSpec* last_conv = nullptr;
+  for (const auto& s : specs) {
+    if (s.kind != nn::LayerKind::Conv) continue;
+    const auto& g = s.conv;
+    if (img_h == 0) img_h = g.in_h;
+    last_conv = &s;
+    const std::size_t halo = g.kernel_h / 2;
+    if (halo > 0 && p > 1) {
+      // Forward + backward halo: 2(p−1) messages each way per layer, each
+      // of B·C_in·halo·W words.
+      const std::uint64_t rows_bytes = static_cast<std::uint64_t>(
+          batch * g.in_c * halo * g.in_w * kWordBytes);
+      t.p2p_bytes += 2 * 2 * static_cast<std::uint64_t>(p - 1) * rows_bytes;
+    }
+    t.allreduce_bytes += allreduce_total_bytes(p, g.weight_count());
+  }
+  MBD_CHECK(last_conv != nullptr);
+  // Slab all-gather of the whole conv output at the conv→FC transition.
+  const auto& g = last_conv->conv;
+  t.allgather_bytes +=
+      allgather_total_bytes(p, batch * g.out_c * img_h * g.out_w());
+  return t;
+}
+
+TrafficPrediction predict_hybrid(const std::vector<nn::LayerSpec>& specs,
+                                 std::size_t batch, GridShape grid) {
+  TrafficPrediction t;
+  const int p = grid.pr * grid.pc;
+  std::size_t img_h = 0;
+  const nn::LayerSpec* last_conv = nullptr;
+  for (const auto& s : specs) {
+    if (s.kind == nn::LayerKind::Conv) {
+      const auto& g = s.conv;
+      if (img_h == 0) img_h = g.in_h;
+      last_conv = &s;
+      const std::size_t halo = g.kernel_h / 2;
+      if (halo > 0 && grid.pr > 1) {
+        // Per model group the halo carries that group's b_loc samples;
+        // summed over the Pc groups that is the whole batch.
+        const std::uint64_t rows_bytes = static_cast<std::uint64_t>(
+            batch * g.in_c * halo * g.in_w * kWordBytes);
+        t.p2p_bytes +=
+            2 * 2 * static_cast<std::uint64_t>(grid.pr - 1) * rows_bytes;
+      }
+      // Conv ∆W all-reduce runs over ALL processes.
+      t.allreduce_bytes += allreduce_total_bytes(p, g.weight_count());
+    } else if (s.kind == nn::LayerKind::FullyConnected) {
+      t.allgather_bytes += allgather_total_bytes(grid.pr, s.fc_out * batch);
+      // Every FC layer's ∆X is all-reduced (the conv stack below needs even
+      // the first FC layer's input gradient).
+      t.allreduce_bytes += allreduce_total_bytes(grid.pr, s.fc_in * batch);
+      t.allreduce_bytes += allreduce_total_bytes(grid.pc, s.fc_out * s.fc_in);
+    }
+  }
+  MBD_CHECK(last_conv != nullptr);
+  // Slab all-gather within each model group; over the Pc groups the gathered
+  // activations cover the whole batch once.
+  const auto& g = last_conv->conv;
+  t.allgather_bytes +=
+      allgather_total_bytes(grid.pr, batch * g.out_c * img_h * g.out_w());
+  return t;
+}
+
+TrafficPrediction predict_mixed_grid(const std::vector<nn::LayerSpec>& specs,
+                                     std::size_t batch, GridShape grid) {
+  TrafficPrediction t;
+  const int p = grid.pr * grid.pc;
+  std::size_t d_conv_out = 0;
+  for (const auto& s : specs) {
+    switch (s.kind) {
+      case nn::LayerKind::Conv:
+        // Batch-parallel conv: full-weight all-reduce over all P.
+        t.allreduce_bytes += allreduce_total_bytes(p, s.weight_count());
+        d_conv_out = s.d_out();
+        break;
+      case nn::LayerKind::Pool:
+        d_conv_out = s.d_out();
+        break;
+      case nn::LayerKind::FullyConnected:
+        t.allgather_bytes += allgather_total_bytes(grid.pr, s.fc_out * batch);
+        t.allreduce_bytes += allreduce_total_bytes(grid.pr, s.fc_in * batch);
+        t.allreduce_bytes += allreduce_total_bytes(grid.pc, s.fc_out * s.fc_in);
+        break;
+    }
+  }
+  MBD_CHECK_GT(d_conv_out, 0u);
+  // Eq. 6 redistribution: all-gather of the conv output within each model
+  // group; over the Pc groups the gathered columns cover the batch once.
+  t.allgather_bytes += allgather_total_bytes(grid.pr, d_conv_out * batch);
+  return t;
+}
+
+}  // namespace mbd::parallel

@@ -1,0 +1,66 @@
+// Runtime invariant checking for the mbd libraries.
+//
+// MBD_CHECK and friends are enabled in all build types: the cost of a
+// predictable branch is negligible next to the gemm/communication work these
+// libraries do, and silent shape mismatches are the dominant bug class in
+// distributed matrix code.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mbd {
+
+/// Exception thrown by failed MBD_CHECK* assertions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MBD_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace mbd
+
+/// Abort with an mbd::Error if `cond` is false. Usable in constexpr-adjacent
+/// hot paths; the macro evaluates `cond` exactly once.
+#define MBD_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::mbd::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Like MBD_CHECK but with a streamed message: MBD_CHECK_MSG(a == b, "a=" << a).
+#define MBD_CHECK_MSG(cond, stream_expr)                           \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      std::ostringstream mbd_check_os_;                             \
+      mbd_check_os_ << stream_expr;                                 \
+      ::mbd::detail::check_failed(#cond, __FILE__, __LINE__,        \
+                                  mbd_check_os_.str());             \
+    }                                                               \
+  } while (false)
+
+/// Equality check that prints both operands on failure.
+#define MBD_CHECK_EQ(a, b) \
+  MBD_CHECK_MSG((a) == (b), "lhs=" << (a) << " rhs=" << (b))
+
+/// a < b check that prints both operands on failure.
+#define MBD_CHECK_LT(a, b) \
+  MBD_CHECK_MSG((a) < (b), "lhs=" << (a) << " rhs=" << (b))
+
+/// a <= b check that prints both operands on failure.
+#define MBD_CHECK_LE(a, b) \
+  MBD_CHECK_MSG((a) <= (b), "lhs=" << (a) << " rhs=" << (b))
+
+/// a > b check that prints both operands on failure.
+#define MBD_CHECK_GT(a, b) \
+  MBD_CHECK_MSG((a) > (b), "lhs=" << (a) << " rhs=" << (b))

@@ -1,0 +1,55 @@
+// Minimal typed command-line flag parsing for examples and bench harnesses.
+//
+// Supports `--name=value` and `--name value`; bare `--name` for booleans.
+// Unknown flags are an error so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mbd {
+
+/// Declarative flag parser. Register flags with defaults, then parse().
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description);
+
+  /// Register flags. `help` is shown by print_help().
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_bool(const std::string& name, bool default_value,
+                const std::string& help);
+
+  /// Parse argv. Returns false (after printing help) if --help was given.
+  /// Throws mbd::Error on unknown flags or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  void print_help(std::ostream& os) const;
+
+ private:
+  enum class Kind { Int, Double, String, Bool };
+  struct Flag {
+    Kind kind;
+    std::string value;  // textual representation of current value
+    std::string help;
+  };
+
+  const Flag& find(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace mbd

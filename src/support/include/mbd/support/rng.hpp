@@ -1,0 +1,50 @@
+// Deterministic, seed-stable random number generation.
+//
+// std::mt19937 distributions are not guaranteed bit-identical across standard
+// library implementations; the parallel-equals-sequential tests in this
+// project need every rank to reproduce exactly the same stream, so we ship
+// our own xoshiro256** generator and our own uniform/normal transforms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mbd {
+
+/// xoshiro256** PRNG (Blackman & Vigna), seeded via SplitMix64.
+/// Deterministic across platforms for a given seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Fill `out` with normal(0, stddev) floats.
+  void fill_normal(std::vector<float>& out, float stddev);
+
+  /// Split off an independent generator (e.g. one per rank) whose stream is a
+  /// pure function of (parent seed, salt).
+  Rng split(std::uint64_t salt) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace mbd

@@ -1,0 +1,42 @@
+// Aligned text tables and CSV emission for benchmark harness output.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mbd {
+
+/// Builds a column-aligned table, printed with box-drawing-free ASCII so the
+/// output survives log scraping. Rows are strings; numeric helpers format
+/// with sensible precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Begin a new row. Cells are appended with add/add_num.
+  TextTable& row();
+  TextTable& add(std::string cell);
+  TextTable& add_num(double value, int precision = 3);
+  TextTable& add_int(long long value);
+
+  /// Number of data rows added so far.
+  std::size_t size() const { return rows_.size(); }
+
+  /// Render with aligned columns and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header + rows, comma-separated, no quoting of commas —
+  /// callers must not put commas in cells).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision into a string.
+std::string format_double(double value, int precision);
+
+}  // namespace mbd

@@ -1,0 +1,18 @@
+// Human-readable formatting of byte counts, durations, and SI quantities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mbd {
+
+/// "1.50 KiB", "2.00 GiB", ... (binary prefixes).
+std::string format_bytes(double bytes);
+
+/// "2.00 us", "1.30 ms", "4.2 s", "1.5 h" — picks the natural unit.
+std::string format_seconds(double seconds);
+
+/// "1.2K", "3.4M", "61.0M" — decimal SI prefixes for counts.
+std::string format_count(double count);
+
+}  // namespace mbd

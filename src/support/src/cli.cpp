@@ -1,0 +1,135 @@
+#include "mbd/support/cli.hpp"
+
+#include <iostream>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd {
+namespace {
+
+const char* kind_name(int kind) {
+  static constexpr const char* names[] = {"int", "double", "string", "bool"};
+  return names[kind];
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void ArgParser::add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help) {
+  flags_[name] = Flag{Kind::Int, std::to_string(default_value), help};
+}
+
+void ArgParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  flags_[name] = Flag{Kind::Double, std::to_string(default_value), help};
+}
+
+void ArgParser::add_string(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  flags_[name] = Flag{Kind::String, default_value, help};
+}
+
+void ArgParser::add_bool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  flags_[name] = Flag{Kind::Bool, default_value ? "true" : "false", help};
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(std::cout);
+      return false;
+    }
+    MBD_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got '" << arg << "'");
+    arg = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      have_value = true;
+    }
+    auto it = flags_.find(arg);
+    MBD_CHECK_MSG(it != flags_.end(), "unknown flag --" << arg);
+    if (!have_value) {
+      if (it->second.kind == Kind::Bool) {
+        value = "true";
+      } else {
+        MBD_CHECK_MSG(i + 1 < argc, "flag --" << arg << " needs a value");
+        value = argv[++i];
+      }
+    }
+    // Validate the textual value eagerly so errors point at the flag.
+    switch (it->second.kind) {
+      case Kind::Int:
+        try {
+          (void)std::stoll(value);
+        } catch (const std::exception&) {
+          MBD_CHECK_MSG(false, "flag --" << arg << " expects an integer, got '"
+                                         << value << "'");
+        }
+        break;
+      case Kind::Double:
+        try {
+          (void)std::stod(value);
+        } catch (const std::exception&) {
+          MBD_CHECK_MSG(false, "flag --" << arg << " expects a number, got '"
+                                         << value << "'");
+        }
+        break;
+      case Kind::Bool:
+        MBD_CHECK_MSG(value == "true" || value == "false" || value == "1" ||
+                          value == "0",
+                      "flag --" << arg << " expects true/false");
+        break;
+      case Kind::String:
+        break;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const ArgParser::Flag& ArgParser::find(const std::string& name,
+                                       Kind kind) const {
+  auto it = flags_.find(name);
+  MBD_CHECK_MSG(it != flags_.end(), "flag --" << name << " was never registered");
+  MBD_CHECK_MSG(it->second.kind == kind,
+                "flag --" << name << " is a "
+                          << kind_name(static_cast<int>(it->second.kind))
+                          << ", requested as "
+                          << kind_name(static_cast<int>(kind)));
+  return it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::stoll(find(name, Kind::Int).value);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::stod(find(name, Kind::Double).value);
+}
+
+std::string ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::String).value;
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  const std::string& v = find(name, Kind::Bool).value;
+  return v == "true" || v == "1";
+}
+
+void ArgParser::print_help(std::ostream& os) const {
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (" << kind_name(static_cast<int>(flag.kind))
+       << ", default " << flag.value << ")\n      " << flag.help << '\n';
+  }
+}
+
+}  // namespace mbd

@@ -1,0 +1,81 @@
+#include "mbd/support/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  MBD_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % n;
+}
+
+double Rng::normal() {
+  // Box–Muller; discard the second variate to keep the stream a pure
+  // function of call index.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+void Rng::fill_normal(std::vector<float>& out, float stddev) {
+  for (auto& v : out) v = static_cast<float>(normal()) * stddev;
+}
+
+Rng Rng::split(std::uint64_t salt) const {
+  std::uint64_t sm = seed_ ^ (salt * 0xD1342543DE82EF95ULL + 1);
+  return Rng(splitmix64(sm));
+}
+
+}  // namespace mbd

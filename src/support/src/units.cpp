@@ -1,0 +1,42 @@
+#include "mbd/support/units.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "mbd/support/table.hpp"
+
+namespace mbd {
+
+std::string format_bytes(double bytes) {
+  static constexpr std::array units = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  std::size_t u = 0;
+  double v = bytes;
+  while (std::abs(v) >= 1024.0 && u + 1 < units.size()) {
+    v /= 1024.0;
+    ++u;
+  }
+  return format_double(v, u == 0 ? 0 : 2) + " " + units[u];
+}
+
+std::string format_seconds(double seconds) {
+  const double a = std::abs(seconds);
+  if (a < 1e-6) return format_double(seconds * 1e9, 1) + " ns";
+  if (a < 1e-3) return format_double(seconds * 1e6, 2) + " us";
+  if (a < 1.0) return format_double(seconds * 1e3, 2) + " ms";
+  if (a < 120.0) return format_double(seconds, 2) + " s";
+  if (a < 7200.0) return format_double(seconds / 60.0, 1) + " min";
+  return format_double(seconds / 3600.0, 2) + " h";
+}
+
+std::string format_count(double count) {
+  static constexpr std::array units = {"", "K", "M", "G", "T"};
+  std::size_t u = 0;
+  double v = count;
+  while (std::abs(v) >= 1000.0 && u + 1 < units.size()) {
+    v /= 1000.0;
+    ++u;
+  }
+  return format_double(v, u == 0 ? 0 : 1) + units[u];
+}
+
+}  // namespace mbd

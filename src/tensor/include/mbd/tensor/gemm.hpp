@@ -1,0 +1,35 @@
+// Blocked single-precision matrix multiplication.
+//
+// The three multiplies of DNN training (paper §1):
+//   forward:   Y  = W X      -> gemm_nn
+//   backward:  ∆X = Wᵀ ∆Y    -> gemm_tn
+//   gradient:  ∆W = ∆Y Xᵀ    -> gemm_nt
+// Cache-blocked with an OpenMP-parallel outer loop; not a vendor BLAS but
+// within the performance class needed for shape-level benchmarking.
+#pragma once
+
+#include "mbd/tensor/matrix.hpp"
+
+namespace mbd::tensor {
+
+/// C = alpha·A·B + beta·C. Shapes: A m×k, B k×n, C m×n.
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
+             float beta = 0.0f);
+
+/// C = alpha·Aᵀ·B + beta·C. Shapes: A k×m, B k×n, C m×n.
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
+             float beta = 0.0f);
+
+/// C = alpha·A·Bᵀ + beta·C. Shapes: A m×k, B n×k, C m×n.
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
+             float beta = 0.0f);
+
+/// Convenience allocating forms.
+Matrix matmul(const Matrix& a, const Matrix& b);         ///< A·B
+Matrix matmul_tn(const Matrix& a, const Matrix& b);      ///< Aᵀ·B
+Matrix matmul_nt(const Matrix& a, const Matrix& b);      ///< A·Bᵀ
+
+/// Naive triple loop used as the test oracle.
+Matrix matmul_reference(const Matrix& a, const Matrix& b);
+
+}  // namespace mbd::tensor

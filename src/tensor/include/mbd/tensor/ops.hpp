@@ -1,0 +1,27 @@
+// Elementwise and vector operations shared by the nn layers and trainers.
+#pragma once
+
+#include <span>
+
+#include "mbd/tensor/matrix.hpp"
+
+namespace mbd::tensor {
+
+/// y += alpha * x (sizes must match).
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// Elementwise max(x, 0).
+void relu_forward(std::span<const float> x, std::span<float> y);
+
+/// dx = dy where x > 0 else 0.
+void relu_backward(std::span<const float> x, std::span<const float> dy,
+                   std::span<float> dx);
+
+/// Sum of all elements.
+double sum(std::span<const float> x);
+
+/// Numerically stable column-wise softmax of `logits` (classes × batch),
+/// written to `probs` (same shape).
+void softmax_columns(const Matrix& logits, Matrix& probs);
+
+}  // namespace mbd::tensor

@@ -1,0 +1,130 @@
+#include "mbd/tensor/gemm.hpp"
+
+#include <algorithm>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::tensor {
+namespace {
+
+// Block sizes sized for ~L1/L2 residency of the B panel.
+constexpr std::size_t kBlockI = 64;
+constexpr std::size_t kBlockK = 256;
+
+}  // namespace
+
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
+             float beta) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  MBD_CHECK_EQ(b.rows(), k);
+  MBD_CHECK_EQ(c.rows(), m);
+  MBD_CHECK_EQ(c.cols(), n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  if (beta == 0.0f) {
+    std::fill(pc, pc + m * n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::size_t i = 0; i < m * n; ++i) pc[i] *= beta;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlockI) {
+    const std::size_t i1 = std::min(i0 + kBlockI, m);
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::size_t k1 = std::min(k0 + kBlockK, k);
+      for (std::size_t i = i0; i < i1; ++i) {
+        float* crow = pc + i * n;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const float av = alpha * pa[i * k + kk];
+          const float* brow = pb + kk * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
+             float beta) {
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  MBD_CHECK_EQ(b.rows(), k);
+  MBD_CHECK_EQ(c.rows(), m);
+  MBD_CHECK_EQ(c.cols(), n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  if (beta == 0.0f) {
+    std::fill(pc, pc + m * n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::size_t i = 0; i < m * n; ++i) pc[i] *= beta;
+  }
+  // A is traversed down columns; iterate kk outer so both A and B stream rows.
+#pragma omp parallel for schedule(static)
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlockI) {
+    const std::size_t i1 = std::min(i0 + kBlockI, m);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* arow = pa + kk * m;
+      const float* brow = pb + kk * n;
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float av = alpha * arow[i];
+        float* crow = pc + i * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
+             float beta) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  MBD_CHECK_EQ(b.cols(), k);
+  MBD_CHECK_EQ(c.rows(), m);
+  MBD_CHECK_EQ(c.cols(), n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = alpha * acc + beta * crow[j];
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  gemm_nn(a, b, c);
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  gemm_tn(a, b, c);
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  gemm_nt(a, b, c);
+  return c;
+}
+
+Matrix matmul_reference(const Matrix& a, const Matrix& b) {
+  MBD_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < a.cols(); ++kk)
+        acc += a(i, kk) * b(kk, j);
+      c(i, j) = acc;
+    }
+  return c;
+}
+
+}  // namespace mbd::tensor

@@ -1,0 +1,72 @@
+#include "mbd/tensor/im2col.hpp"
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::tensor {
+
+Matrix im2col(const Tensor4& input, std::size_t n, const ConvGeom& g) {
+  MBD_CHECK_EQ(input.c(), g.in_c);
+  MBD_CHECK_EQ(input.h(), g.in_h);
+  MBD_CHECK_EQ(input.w(), g.in_w);
+  MBD_CHECK_LT(n, input.n());
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  Matrix cols(g.in_c * g.kernel_h * g.kernel_w, oh * ow);
+  for (std::size_t c = 0; c < g.in_c; ++c) {
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw) {
+        const std::size_t row = (c * g.kernel_h + kh) * g.kernel_w + kw;
+        for (std::size_t y = 0; y < oh; ++y) {
+          // Signed arithmetic for the padded coordinate.
+          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+                                    static_cast<std::ptrdiff_t>(g.pad);
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            float v = 0.0f;
+            if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(g.in_h) &&
+                ix >= 0 && ix < static_cast<std::ptrdiff_t>(g.in_w)) {
+              v = input.at(n, c, static_cast<std::size_t>(iy),
+                           static_cast<std::size_t>(ix));
+            }
+            cols(row, y * ow + x) = v;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+void col2im_add(const Matrix& cols, Tensor4& grad_input, std::size_t n,
+                const ConvGeom& g) {
+  MBD_CHECK_EQ(grad_input.c(), g.in_c);
+  MBD_CHECK_EQ(grad_input.h(), g.in_h);
+  MBD_CHECK_EQ(grad_input.w(), g.in_w);
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  MBD_CHECK_EQ(cols.rows(), g.in_c * g.kernel_h * g.kernel_w);
+  MBD_CHECK_EQ(cols.cols(), oh * ow);
+  for (std::size_t c = 0; c < g.in_c; ++c) {
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw) {
+        const std::size_t row = (c * g.kernel_h + kh) * g.kernel_w + kw;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+                                    static_cast<std::ptrdiff_t>(g.pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w)) continue;
+            grad_input.at(n, c, static_cast<std::size_t>(iy),
+                          static_cast<std::size_t>(ix)) +=
+                cols(row, y * ow + x);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mbd::tensor

@@ -1,0 +1,151 @@
+#include "mbd/tensor/matrix.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::tensor {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols);
+}
+
+Matrix Matrix::filled(std::size_t rows, std::size_t cols, float value) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = value;
+  return m;
+}
+
+Matrix Matrix::random_normal(std::size_t rows, std::size_t cols, Rng& rng,
+                             float stddev) {
+  Matrix m(rows, cols);
+  rng.fill_normal(m.data_, stddev);
+  return m;
+}
+
+Matrix Matrix::from_data(std::size_t rows, std::size_t cols,
+                         std::vector<float> data) {
+  MBD_CHECK_EQ(data.size(), rows * cols);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(data);
+  return m;
+}
+
+Matrix Matrix::row_block(std::size_t lo, std::size_t hi) const {
+  MBD_CHECK_LE(lo, hi);
+  MBD_CHECK_LE(hi, rows_);
+  Matrix out(hi - lo, cols_);
+  std::memcpy(out.data(), data() + lo * cols_, (hi - lo) * cols_ * sizeof(float));
+  return out;
+}
+
+Matrix Matrix::col_block(std::size_t lo, std::size_t hi) const {
+  MBD_CHECK_LE(lo, hi);
+  MBD_CHECK_LE(hi, cols_);
+  Matrix out(rows_, hi - lo);
+  for (std::size_t i = 0; i < rows_; ++i)
+    std::memcpy(out.data() + i * out.cols_, data() + i * cols_ + lo,
+                (hi - lo) * sizeof(float));
+  return out;
+}
+
+void Matrix::set_row_block(std::size_t lo, const Matrix& block) {
+  MBD_CHECK_EQ(block.cols(), cols_);
+  MBD_CHECK_LE(lo + block.rows(), rows_);
+  std::memcpy(data() + lo * cols_, block.data(),
+              block.rows() * cols_ * sizeof(float));
+}
+
+void Matrix::set_col_block(std::size_t lo, const Matrix& block) {
+  MBD_CHECK_EQ(block.rows(), rows_);
+  MBD_CHECK_LE(lo + block.cols(), cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    std::memcpy(data() + i * cols_ + lo, block.data() + i * block.cols_,
+                block.cols() * sizeof(float));
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  MBD_CHECK_EQ(rows_, other.rows_);
+  MBD_CHECK_EQ(cols_, other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  MBD_CHECK_EQ(rows_, other.rows_);
+  MBD_CHECK_EQ(cols_, other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::hcat(std::span<const Matrix> blocks) {
+  MBD_CHECK(!blocks.empty());
+  const std::size_t rows = blocks.front().rows();
+  std::size_t cols = 0;
+  for (const auto& b : blocks) {
+    MBD_CHECK_EQ(b.rows(), rows);
+    cols += b.cols();
+  }
+  Matrix out(rows, cols);
+  std::size_t at = 0;
+  for (const auto& b : blocks) {
+    out.set_col_block(at, b);
+    at += b.cols();
+  }
+  return out;
+}
+
+Matrix Matrix::vcat(std::span<const Matrix> blocks) {
+  MBD_CHECK(!blocks.empty());
+  const std::size_t cols = blocks.front().cols();
+  std::size_t rows = 0;
+  for (const auto& b : blocks) {
+    MBD_CHECK_EQ(b.cols(), cols);
+    rows += b.rows();
+  }
+  Matrix out(rows, cols);
+  std::size_t at = 0;
+  for (const auto& b : blocks) {
+    out.set_row_block(at, b);
+    at += b.rows();
+  }
+  return out;
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  MBD_CHECK_EQ(a.rows(), b.rows());
+  MBD_CHECK_EQ(a.cols(), b.cols());
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+float frobenius_norm(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double v = a.data()[i];
+    s += v * v;
+  }
+  return static_cast<float>(std::sqrt(s));
+}
+
+}  // namespace mbd::tensor

@@ -1,0 +1,52 @@
+#include "mbd/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::tensor {
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  MBD_CHECK_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void relu_forward(std::span<const float> x, std::span<float> y) {
+  MBD_CHECK_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::max(x[i], 0.0f);
+}
+
+void relu_backward(std::span<const float> x, std::span<const float> dy,
+                   std::span<float> dx) {
+  MBD_CHECK_EQ(x.size(), dy.size());
+  MBD_CHECK_EQ(x.size(), dx.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+}
+
+double sum(std::span<const float> x) {
+  double s = 0.0;
+  for (float v : x) s += v;
+  return s;
+}
+
+void softmax_columns(const Matrix& logits, Matrix& probs) {
+  MBD_CHECK_EQ(logits.rows(), probs.rows());
+  MBD_CHECK_EQ(logits.cols(), probs.cols());
+  const std::size_t classes = logits.rows(), batch = logits.cols();
+  for (std::size_t j = 0; j < batch; ++j) {
+    float mx = logits(0, j);
+    for (std::size_t i = 1; i < classes; ++i) mx = std::max(mx, logits(i, j));
+    double denom = 0.0;
+    for (std::size_t i = 0; i < classes; ++i) {
+      const float e = std::exp(logits(i, j) - mx);
+      probs(i, j) = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t i = 0; i < classes; ++i) probs(i, j) *= inv;
+  }
+}
+
+}  // namespace mbd::tensor

@@ -1,0 +1,303 @@
+// Collective correctness, parameterized over world size, payload size, and
+// algorithm choice. The reference for every collective is computed locally.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mbd/comm/world.hpp"
+
+namespace mbd::comm {
+namespace {
+
+std::vector<float> rank_payload(int rank, std::size_t n) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<float>(rank * 1000 + static_cast<int>(i));
+  return v;
+}
+
+// --- parameterized over (world size, vector length) ------------------------
+
+class CollectiveSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(CollectiveSweep, Barrier) {
+  const auto [p, n] = GetParam();
+  (void)n;
+  World world(p);
+  world.run([](Comm& c) { c.barrier(); });
+}
+
+TEST_P(CollectiveSweep, BroadcastFromEveryRoot) {
+  const auto [p, n] = GetParam();
+  World world(p);
+  world.run([&, pp = p, nn = n](Comm& c) {
+    for (int root = 0; root < pp; ++root) {
+      std::vector<float> data = c.rank() == root
+                                    ? rank_payload(root, nn)
+                                    : std::vector<float>(nn, -1.0f);
+      c.broadcast(std::span<float>(data), root);
+      EXPECT_EQ(data, rank_payload(root, nn));
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, ReduceSumsOnRoot) {
+  const auto [p, n] = GetParam();
+  World world(p);
+  world.run([&, pp = p, nn = n](Comm& c) {
+    std::vector<float> data(nn);
+    for (std::size_t i = 0; i < nn; ++i)
+      data[i] = static_cast<float>(c.rank() + 1);
+    c.reduce(std::span<float>(data), /*root=*/0);
+    if (c.rank() == 0) {
+      const float expect = static_cast<float>(pp * (pp + 1) / 2);
+      for (std::size_t i = 0; i < nn; ++i) EXPECT_FLOAT_EQ(data[i], expect);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllGatherBruckOrdersByRank) {
+  const auto [p, n] = GetParam();
+  World world(p);
+  world.run([&, pp = p, nn = n](Comm& c) {
+    auto local = rank_payload(c.rank(), nn);
+    auto all = c.allgather(std::span<const float>(local), AllGatherAlgo::Bruck);
+    ASSERT_EQ(all.size(), nn * static_cast<std::size_t>(pp));
+    for (int r = 0; r < pp; ++r) {
+      const auto expect = rank_payload(r, nn);
+      for (std::size_t i = 0; i < nn; ++i)
+        EXPECT_FLOAT_EQ(all[static_cast<std::size_t>(r) * nn + i], expect[i]);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllGatherRingMatchesBruck) {
+  const auto [p, n] = GetParam();
+  World world(p);
+  world.run([&, nn = n](Comm& c) {
+    auto local = rank_payload(c.rank(), nn);
+    auto a = c.allgather(std::span<const float>(local), AllGatherAlgo::Bruck);
+    auto b = c.allgather(std::span<const float>(local), AllGatherAlgo::Ring);
+    EXPECT_EQ(a, b);
+  });
+}
+
+TEST_P(CollectiveSweep, AllReduceRingSums) {
+  const auto [p, n] = GetParam();
+  World world(p);
+  world.run([&, pp = p, nn = n](Comm& c) {
+    std::vector<float> data(nn);
+    for (std::size_t i = 0; i < nn; ++i)
+      data[i] = static_cast<float>(c.rank()) + static_cast<float>(i) * 0.5f;
+    c.allreduce(std::span<float>(data), std::plus<float>{},
+                AllReduceAlgo::Ring);
+    for (std::size_t i = 0; i < nn; ++i) {
+      const float expect = static_cast<float>(pp * (pp - 1) / 2) +
+                           static_cast<float>(pp) * static_cast<float>(i) * 0.5f;
+      EXPECT_FLOAT_EQ(data[i], expect);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllReduceRecursiveDoublingSums) {
+  const auto [p, n] = GetParam();
+  World world(p);
+  world.run([&, pp = p, nn = n](Comm& c) {
+    std::vector<float> data(nn, static_cast<float>(c.rank() + 1));
+    c.allreduce(std::span<float>(data), std::plus<float>{},
+                AllReduceAlgo::RecursiveDoubling);
+    const float expect = static_cast<float>(pp * (pp + 1) / 2);
+    for (std::size_t i = 0; i < nn; ++i) EXPECT_FLOAT_EQ(data[i], expect);
+  });
+}
+
+TEST_P(CollectiveSweep, AllReduceRabenseifnerSums) {
+  const auto [p, n] = GetParam();
+  World world(p);
+  world.run([&, pp = p, nn = n](Comm& c) {
+    std::vector<float> data(nn);
+    for (std::size_t i = 0; i < nn; ++i)
+      data[i] = static_cast<float>(c.rank()) + static_cast<float>(i);
+    c.allreduce(std::span<float>(data), std::plus<float>{},
+                AllReduceAlgo::Rabenseifner);
+    for (std::size_t i = 0; i < nn; ++i) {
+      const float expect = static_cast<float>(pp * (pp - 1) / 2) +
+                           static_cast<float>(pp) * static_cast<float>(i);
+      EXPECT_FLOAT_EQ(data[i], expect);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, ReduceScatterDeliversOwnBlock) {
+  const auto [p, n] = GetParam();
+  World world(p);
+  world.run([&, pp = p, nn = n](Comm& c) {
+    std::vector<float> data(nn);
+    for (std::size_t i = 0; i < nn; ++i) data[i] = static_cast<float>(i);
+    auto block = c.reduce_scatter(std::span<const float>(data));
+    const std::size_t lo = Comm::block_lo(nn, pp, c.rank());
+    const std::size_t hi = Comm::block_lo(nn, pp, c.rank() + 1);
+    ASSERT_EQ(block.size(), hi - lo);
+    for (std::size_t i = 0; i < block.size(); ++i)
+      EXPECT_FLOAT_EQ(block[i],
+                      static_cast<float>(pp) * static_cast<float>(lo + i));
+  });
+}
+
+TEST_P(CollectiveSweep, GatherConcatenatesOnRoot) {
+  const auto [p, n] = GetParam();
+  World world(p);
+  world.run([&, pp = p, nn = n](Comm& c) {
+    auto local = rank_payload(c.rank(), nn);
+    auto all = c.gather(std::span<const float>(local), /*root=*/0);
+    if (c.rank() == 0) {
+      ASSERT_EQ(all.size(), nn * static_cast<std::size_t>(pp));
+      for (int r = 0; r < pp; ++r)
+        EXPECT_FLOAT_EQ(all[static_cast<std::size_t>(r) * nn],
+                        static_cast<float>(r * 1000));
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, ScatterDistributesChunks) {
+  const auto [p, n] = GetParam();
+  World world(p);
+  world.run([&, pp = p, nn = n](Comm& c) {
+    std::vector<float> all;
+    if (c.rank() == 0) {
+      all.resize(nn * static_cast<std::size_t>(pp));
+      std::iota(all.begin(), all.end(), 0.0f);
+    }
+    auto mine = c.scatter(std::span<const float>(all), /*root=*/0, nn);
+    ASSERT_EQ(mine.size(), nn);
+    for (std::size_t i = 0; i < nn; ++i)
+      EXPECT_FLOAT_EQ(mine[i],
+                      static_cast<float>(static_cast<std::size_t>(c.rank()) * nn + i));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRanks, CollectiveSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 7, 8, 12),
+                       ::testing::Values<std::size_t>(1, 16, 23, 64)),
+    [](const auto& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(CollectiveSweep, AllGatherVMatchesAllGatherForEqualBlocks) {
+  const auto [p, n] = GetParam();
+  World world(p);
+  world.run([&, nn = n](Comm& c) {
+    auto local = rank_payload(c.rank(), nn);
+    auto a = c.allgather(std::span<const float>(local));
+    auto b = c.allgatherv(std::span<const float>(local));
+    EXPECT_EQ(a, b);
+  });
+}
+
+TEST_P(CollectiveSweep, AllToAllTransposesChunks) {
+  const auto [p, n] = GetParam();
+  World world(p);
+  world.run([&, pp = p, nn = n](Comm& c) {
+    // Chunk destined for rank d carries value 1000·me + d at each slot.
+    std::vector<float> data(nn * static_cast<std::size_t>(pp));
+    for (int d = 0; d < pp; ++d)
+      for (std::size_t i = 0; i < nn; ++i)
+        data[static_cast<std::size_t>(d) * nn + i] =
+            static_cast<float>(1000 * c.rank() + d);
+    auto out = c.alltoall(std::span<const float>(data), nn);
+    ASSERT_EQ(out.size(), data.size());
+    for (int s = 0; s < pp; ++s)
+      for (std::size_t i = 0; i < nn; ++i)
+        EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(s) * nn + i],
+                        static_cast<float>(1000 * s + c.rank()));
+  });
+}
+
+// --- variable-size all-gather -------------------------------------------------
+
+TEST(AllGatherV, UnevenBlocksOrderedByRank) {
+  World world(4);
+  world.run([](Comm& c) {
+    // Rank r contributes r+1 elements valued r.
+    std::vector<float> local(static_cast<std::size_t>(c.rank() + 1),
+                             static_cast<float>(c.rank()));
+    auto all = c.allgatherv(std::span<const float>(local));
+    ASSERT_EQ(all.size(), 10u);  // 1+2+3+4
+    std::size_t at = 0;
+    for (int r = 0; r < 4; ++r)
+      for (int k = 0; k <= r; ++k)
+        EXPECT_FLOAT_EQ(all[at++], static_cast<float>(r));
+  });
+}
+
+TEST(AllGatherV, EmptyContributionsAllowed) {
+  World world(3);
+  world.run([](Comm& c) {
+    std::vector<float> local;
+    if (c.rank() == 1) local = {7.0f, 8.0f};
+    auto all = c.allgatherv(std::span<const float>(local));
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_FLOAT_EQ(all[0], 7.0f);
+    EXPECT_FLOAT_EQ(all[1], 8.0f);
+  });
+}
+
+TEST(AllGatherV, TotalTrafficIsPMinus1TimesTotal) {
+  // The closed form the traffic predictions rely on: ring all-gatherv moves
+  // exactly (P−1)·total_words across the machine, even for uneven blocks.
+  World world(5);
+  world.run([](Comm& c) {
+    std::vector<float> local(static_cast<std::size_t>(3 * c.rank() + 1), 1.0f);
+    (void)c.allgatherv(std::span<const float>(local));
+  });
+  const std::size_t total_words = 1 + 4 + 7 + 10 + 13;
+  EXPECT_EQ(world.stats()[Coll::AllGather].bytes,
+            4 * total_words * sizeof(float));
+}
+
+// --- back-to-back collectives must not cross ---------------------------------
+
+TEST(Collectives, RepeatedAllReducesStaySeparated) {
+  World world(4);
+  world.run([](Comm& c) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<float> v(9, static_cast<float>(c.rank() + round));
+      c.allreduce(std::span<float>(v));
+      const float expect = static_cast<float>(6 + 4 * round);  // Σ ranks + 4·round
+      for (float x : v) EXPECT_FLOAT_EQ(x, expect);
+    }
+  });
+}
+
+TEST(Collectives, MixedCollectiveSequence) {
+  World world(3);
+  world.run([](Comm& c) {
+    std::vector<float> v{static_cast<float>(c.rank())};
+    c.allreduce(std::span<float>(v));
+    EXPECT_FLOAT_EQ(v[0], 3.0f);
+    auto g = c.allgather(std::span<const float>(v));
+    ASSERT_EQ(g.size(), 3u);
+    c.barrier();
+    c.broadcast(std::span<float>(v), 2);
+    EXPECT_FLOAT_EQ(v[0], 3.0f);
+  });
+}
+
+TEST(Collectives, AllReduceMaxOp) {
+  World world(4);
+  world.run([](Comm& c) {
+    std::vector<float> v{static_cast<float>(c.rank() * 10)};
+    c.allreduce(std::span<float>(v),
+                [](float a, float b) { return std::max(a, b); });
+    EXPECT_FLOAT_EQ(v[0], 30.0f);
+  });
+}
+
+}  // namespace
+}  // namespace mbd::comm

@@ -1,0 +1,95 @@
+// Two-level network extension (paper Limitations: topology deferred to
+// "adjusting the latency and bandwidth terms").
+#include "mbd/costmodel/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mbd/nn/models.hpp"
+
+namespace mbd::costmodel {
+namespace {
+
+std::vector<nn::LayerSpec> alexnet_weighted() {
+  return nn::weighted_layers(nn::alexnet_spec());
+}
+
+TEST(Hierarchy, SingleRankFree) {
+  const auto hm = HierarchicalMachine::cori_like();
+  EXPECT_DOUBLE_EQ(hierarchical_allreduce_cost(hm, 1, 1e6).total(), 0.0);
+  EXPECT_DOUBLE_EQ(hierarchical_allgather_cost(hm, 1, 1e6).total(), 0.0);
+}
+
+TEST(Hierarchy, WithinOneNodeUsesIntraLinks) {
+  const auto hm = HierarchicalMachine::cori_like(8);
+  const auto c = hierarchical_allreduce_cost(hm, 4, 1000.0);
+  const auto intra = allreduce_cost(hm.intra, 4, 1000.0);
+  EXPECT_DOUBLE_EQ(c.total(), intra.total());
+}
+
+TEST(Hierarchy, BeatsFlatInterForBigReductions) {
+  // With a 10× faster intra level, reducing most of the volume locally must
+  // beat running the whole ring over the slow links.
+  const auto hm = HierarchicalMachine::cori_like(8);
+  const std::size_t p = 64;
+  const double words = 16e6;  // AlexNet-gradient scale
+  const auto hier = hierarchical_allreduce_cost(hm, p, words);
+  const auto flat = allreduce_cost(hm.inter, p, words);
+  EXPECT_LT(hier.bandwidth, flat.bandwidth);
+}
+
+TEST(Hierarchy, InterVolumeShrinksByNodeSize) {
+  // The inter-node stage carries 1/S of the words — the defining saving.
+  const auto base = MachineModel::cori_knl();
+  HierarchicalMachine hm{8, base, base};
+  // Make intra free to isolate the inter stage.
+  hm.intra.beta = 1e-30;
+  hm.intra.alpha = 0.0;
+  const std::size_t p = 64;
+  const double words = 8e6;
+  const auto hier = hierarchical_allreduce_cost(hm, p, words);
+  const auto inter_only = allreduce_cost(base, p / 8, words / 8.0);
+  EXPECT_NEAR(hier.bandwidth, inter_only.bandwidth, 1e-12);
+}
+
+TEST(Hierarchy, FlatDegenerationWithinSmallFactor) {
+  // With identical levels the hierarchical algorithm does extra local work
+  // but must stay within a small constant of the flat ring.
+  const auto m = MachineModel::cori_knl();
+  const auto hm = HierarchicalMachine::flat(m);
+  const auto hier = hierarchical_allreduce_cost(hm, 32, 1e6);
+  const auto flat = allreduce_cost(m, 32, 1e6);
+  EXPECT_DOUBLE_EQ(hier.total(), flat.total());  // node_size 1 → same path
+}
+
+TEST(Hierarchy, NonDivisibleFallsBackToFlat) {
+  const auto hm = HierarchicalMachine::cori_like(8);
+  const auto c = hierarchical_allreduce_cost(hm, 12, 1000.0);  // 12 % 8 != 0
+  EXPECT_DOUBLE_EQ(c.total(), allreduce_cost(hm.inter, 12, 1000.0).total());
+}
+
+TEST(Hierarchy, IntegratedCostPrefersBatchGroupsInsideNodes) {
+  // With Pc = node size the ∆W reduction rides the fast links; the same
+  // grid on a flat slow network must cost more.
+  const auto net = alexnet_weighted();
+  const auto hm = HierarchicalMachine::cori_like(8);
+  const auto hier = integrated_cost_hierarchical(net, 2048, 64, 8, hm,
+                                                 GridMode::BatchParallelConv);
+  const auto flat = integrated_cost(net, 2048, 64, 8, hm.inter,
+                                    GridMode::BatchParallelConv);
+  EXPECT_LT(hier.comm(), flat.comm());
+}
+
+TEST(Hierarchy, AllGatherStagesAddUp) {
+  const auto hm = HierarchicalMachine::cori_like(4);
+  const std::size_t p = 16;
+  const double words = 4096;
+  const auto c = hierarchical_allgather_cost(hm, p, words);
+  const double expect_bw =
+      hm.intra.word_time() * (words * 4.0 / 16.0) * (3.0 / 4.0) +  // local
+      hm.inter.word_time() * words * (3.0 / 4.0) +                 // leaders
+      hm.intra.word_time() * words;                                // fan-out
+  EXPECT_NEAR(c.bandwidth, expect_bw, 1e-15);
+}
+
+}  // namespace
+}  // namespace mbd::costmodel

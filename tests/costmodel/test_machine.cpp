@@ -1,0 +1,77 @@
+#include "mbd/costmodel/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::costmodel {
+namespace {
+
+TEST(MachineModel, CoriKnlTable1Parameters) {
+  const auto m = MachineModel::cori_knl();
+  EXPECT_DOUBLE_EQ(m.alpha, 2e-6);            // latency 2 µs
+  EXPECT_DOUBLE_EQ(1.0 / m.beta, 6e9);        // 6 GB/s
+  EXPECT_DOUBLE_EQ(m.word_bytes, 4.0);        // float32
+  EXPECT_DOUBLE_EQ(m.word_time(), 4.0 / 6e9);
+}
+
+TEST(ComputeCurve, Fig4ShapeMinimumAt256) {
+  const auto c = ComputeCurve::alexnet_knl();
+  // Per-iteration time at the table's own batch points: epoch·B/N.
+  auto iter_time = [&](double b) {
+    return c.seconds_per_image(b) * b;
+  };
+  // Per-image time falls monotonically up to the 256 minimum.
+  EXPECT_GT(c.seconds_per_image(1), c.seconds_per_image(16));
+  EXPECT_GT(c.seconds_per_image(16), c.seconds_per_image(256));
+  // ... and rises past it (Fig. 4: 512, 1024, 2048 are slower per epoch).
+  EXPECT_LT(c.seconds_per_image(256), c.seconds_per_image(2048));
+  // Iteration time always grows with batch.
+  EXPECT_LT(iter_time(32), iter_time(256));
+}
+
+TEST(ComputeCurve, InterpolationBracketsTablePoints) {
+  const auto c = ComputeCurve::alexnet_knl();
+  const double at_64 = c.seconds_per_image(64);
+  const double at_128 = c.seconds_per_image(128);
+  const double mid = c.seconds_per_image(90);
+  EXPECT_LT(mid, at_64);
+  EXPECT_GT(mid, at_128);
+}
+
+TEST(ComputeCurve, ClampsOutsideTable) {
+  const auto c = ComputeCurve::alexnet_knl();
+  EXPECT_DOUBLE_EQ(c.seconds_per_image(0.5), c.seconds_per_image(1));
+  EXPECT_DOUBLE_EQ(c.seconds_per_image(10000), c.seconds_per_image(2048));
+}
+
+TEST(ComputeCurve, IterationSecondsScalesLinearly) {
+  const auto c = ComputeCurve::alexnet_knl();
+  // Model fraction 1/4 quarters the work at the same efficiency point.
+  EXPECT_DOUBLE_EQ(c.iteration_seconds(64, 0.25),
+                   c.iteration_seconds(64, 1.0) / 4.0);
+  EXPECT_DOUBLE_EQ(c.iteration_seconds(0, 1.0), 0.0);
+}
+
+TEST(ComputeCurve, FractionalBatchUsesUnitEfficiency) {
+  const auto c = ComputeCurve::alexnet_knl();
+  // Half an image costs half of one image (perfect within-image scaling).
+  EXPECT_DOUBLE_EQ(c.iteration_seconds(0.5, 1.0),
+                   0.5 * c.iteration_seconds(1.0, 1.0));
+}
+
+TEST(ComputeCurve, RejectsBadTables) {
+  EXPECT_THROW(ComputeCurve({}, 100), Error);
+  EXPECT_THROW(ComputeCurve({{4, 10}, {2, 10}}, 100), Error);
+  EXPECT_THROW(ComputeCurve({{1, -5}}, 100), Error);
+}
+
+TEST(ComputeCurve, CustomCurveInterpolation) {
+  // Log-log interpolation between (1, 100) and (100, 1): at b=10 the epoch
+  // time is the geometric mean, 10.
+  ComputeCurve c({{1, 100}, {100, 1}}, 1000);
+  EXPECT_NEAR(c.seconds_per_image(10) * 1000, 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mbd::costmodel

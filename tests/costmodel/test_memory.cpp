@@ -1,0 +1,92 @@
+// §4 memory model: "the 1.5D algorithms cut down the model replication cost
+// by a factor of pr, at the cost of an increase in data replication by a
+// factor of pc"; 2D is memory-optimal.
+#include "mbd/costmodel/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mbd/nn/models.hpp"
+
+namespace mbd::costmodel {
+namespace {
+
+std::vector<nn::LayerSpec> alexnet_weighted() {
+  return nn::weighted_layers(nn::alexnet_spec());
+}
+
+TEST(Memory, PureBatchReplicatesWholeModel) {
+  const auto net = alexnet_weighted();
+  const auto f = memory_15d(net, 2048, /*pr=*/1, /*pc=*/64);
+  EXPECT_DOUBLE_EQ(f.weights,
+                   static_cast<double>(nn::total_weights(net)));
+  EXPECT_DOUBLE_EQ(f.gradients, f.weights);
+}
+
+TEST(Memory, WeightsScaleInverselyWithPr) {
+  const auto net = alexnet_weighted();
+  const auto a = memory_15d(net, 2048, 1, 64);
+  const auto b = memory_15d(net, 2048, 8, 8);
+  EXPECT_DOUBLE_EQ(a.weights / b.weights, 8.0);
+}
+
+TEST(Memory, ActivationsScaleInverselyWithPc) {
+  const auto net = alexnet_weighted();
+  const auto a = memory_15d(net, 2048, 8, 8);
+  const auto b = memory_15d(net, 2048, 8, 64);
+  EXPECT_DOUBLE_EQ(a.activations / b.activations, 8.0);
+}
+
+TEST(Memory, TwoDIsNeverWorsePerProcess) {
+  // 2D holds exactly 1/P of everything — the memory optimum §4 concedes.
+  const auto net = alexnet_weighted();
+  for (std::size_t pr : {1u, 4u, 16u, 64u}) {
+    const std::size_t pc = 64 / pr * 8;  // vary total P too
+    const std::size_t p = pr * pc;
+    const auto ours = memory_15d(net, 2048, pr, pc);
+    const auto twod = memory_2d_optimal(net, 2048, p);
+    EXPECT_LE(twod.total(), ours.total() * (1.0 + 1e-12))
+        << "pr=" << pr << " pc=" << pc;
+  }
+}
+
+TEST(Memory, MachineWideReplicationFactors) {
+  const auto r = replication_15d(16, 32);
+  EXPECT_DOUBLE_EQ(r.weights, 32.0);      // W stored Pc times
+  EXPECT_DOUBLE_EQ(r.activations, 16.0);  // X/Y stored Pr times
+}
+
+TEST(Memory, MachineWideTotalsMatchReplication) {
+  // P processes × per-process footprint == one copy × replication factor.
+  const auto net = alexnet_weighted();
+  const std::size_t pr = 8, pc = 16, batch = 512;
+  const auto f = memory_15d(net, batch, pr, pc);
+  const double one_model = static_cast<double>(nn::total_weights(net));
+  EXPECT_DOUBLE_EQ(f.weights * static_cast<double>(pr * pc),
+                   one_model * static_cast<double>(pc));
+}
+
+TEST(Memory, LinearCombinationOfExtremes) {
+  // §4: "our memory costs are simply a linear combination of the memory
+  // costs of these two extremes" — weights follow the model extreme scaled
+  // by P/pr·..., activations the batch extreme. Concretely: the (pr, pc)
+  // footprint equals pure-model weights × (P/pr)/P ... verified via the two
+  // axes independently.
+  const auto net = alexnet_weighted();
+  const std::size_t batch = 1024, p = 64;
+  const auto pure_model = memory_15d(net, batch, p, 1);
+  const auto pure_batch = memory_15d(net, batch, 1, p);
+  const auto mixed = memory_15d(net, batch, 8, 8);
+  EXPECT_DOUBLE_EQ(mixed.weights, pure_model.weights * 8.0);
+  EXPECT_DOUBLE_EQ(mixed.activations, pure_batch.activations * 8.0);
+}
+
+TEST(Memory, CountsInputActivationOnce) {
+  std::vector<nn::LayerSpec> net{nn::fc_spec("f1", 10, 20),
+                                 nn::fc_spec("f2", 20, 5)};
+  const auto f = memory_15d(net, 4, 1, 1);
+  // input 10 + y1 20 + y2 5 per sample, 4 samples.
+  EXPECT_DOUBLE_EQ(f.activations, 4.0 * (10 + 20 + 5));
+}
+
+}  // namespace
+}  // namespace mbd::costmodel

@@ -1,0 +1,126 @@
+#include "mbd/costmodel/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mbd/nn/models.hpp"
+#include "mbd/support/check.hpp"
+
+namespace mbd::costmodel {
+namespace {
+
+std::vector<nn::LayerSpec> alexnet_weighted() {
+  return nn::weighted_layers(nn::alexnet_spec());
+}
+
+TEST(Factorizations, EnumeratesDivisorPairs) {
+  const auto f = grid_factorizations(12);
+  ASSERT_EQ(f.size(), 6u);
+  EXPECT_EQ(f.front(), (std::pair<std::size_t, std::size_t>{1, 12}));
+  EXPECT_EQ(f.back(), (std::pair<std::size_t, std::size_t>{12, 1}));
+  for (const auto& [pr, pc] : f) EXPECT_EQ(pr * pc, 12u);
+}
+
+TEST(Factorizations, PowerOfTwo) {
+  EXPECT_EQ(grid_factorizations(512).size(), 10u);
+  EXPECT_EQ(grid_factorizations(1).size(), 1u);
+}
+
+TEST(Enumerate, SkipsGridsWithMoreColumnsThanSamples) {
+  const auto net = alexnet_weighted();
+  const auto opts = enumerate_integrated_grids(net, /*batch=*/16, /*p=*/64,
+                                               MachineModel::cori_knl());
+  for (const auto& o : opts) EXPECT_LE(o.pc, 16u);
+}
+
+TEST(Enumerate, SortedByTotal) {
+  const auto net = alexnet_weighted();
+  const auto opts =
+      enumerate_integrated_grids(net, 2048, 512, MachineModel::cori_knl());
+  for (std::size_t i = 1; i < opts.size(); ++i)
+    EXPECT_LE(opts[i - 1].cost.total(), opts[i].cost.total());
+}
+
+TEST(BestGrid, PaperHeadlineP512B2048PicksHybridGrid) {
+  // Fig. 7: at P=512, B=2048 with model parallelism in FC layers only, a
+  // hybrid Pr×Pc grid beats pure batch parallelism (paper reports 2.5×
+  // total / 9.7× comm speedups with the best grid).
+  const auto net = alexnet_weighted();
+  const auto m = MachineModel::cori_knl();
+  const auto best = best_integrated_grid(net, 2048, 512, m,
+                                         GridMode::BatchParallelConv);
+  EXPECT_GT(best.pr, 1u);  // not pure batch
+  EXPECT_GT(best.pc, 1u);  // not pure model
+  const auto pure = integrated_cost(net, 2048, 1, 512, m,
+                                    GridMode::BatchParallelConv);
+  EXPECT_LT(best.cost.total(), pure.total());
+  // Communication speedup is the dominant effect (many-fold).
+  EXPECT_GT(pure.comm() / best.cost.comm(), 3.0);
+}
+
+TEST(BestGrid, SmallPFavorsPureBatch) {
+  // Fig. 6(a): "the benefit of the integrated approach is not realized on a
+  // relatively small number of processors" — at P=8 compute dominates and
+  // pure batch is (near-)optimal.
+  const auto net = alexnet_weighted();
+  const auto m = MachineModel::cori_knl();
+  const auto best = best_integrated_grid(net, 2048, 8, m, GridMode::Uniform);
+  const auto pure = integrated_cost(net, 2048, 1, 8, m);
+  EXPECT_NEAR(best.cost.total(), pure.total(),
+              0.05 * pure.total());
+}
+
+TEST(BestGrid, OverlapRankingCanDiffer) {
+  const auto net = alexnet_weighted();
+  const auto m = MachineModel::cori_knl();
+  const auto plain = best_integrated_grid(net, 2048, 512, m,
+                                          GridMode::BatchParallelConv, {},
+                                          /*overlap=*/false);
+  const auto overlapped = best_integrated_grid(net, 2048, 512, m,
+                                               GridMode::BatchParallelConv, {},
+                                               /*overlap=*/true);
+  // Overlapped total is never worse than the plain total for the same grid.
+  EXPECT_LE(overlapped.cost.total_overlapped(), plain.cost.total());
+}
+
+TEST(BestGrid, ThrowsWhenNoFeasibleGrid) {
+  std::vector<nn::LayerSpec> net{nn::fc_spec("f", 13, 13, false)};
+  // p = 7 (prime) > batch = 3: the only grids are 1×7 and 7×1; 1×7 is
+  // infeasible (pc > batch), 7×1 is fine — so this must NOT throw...
+  EXPECT_NO_THROW(
+      best_integrated_grid(net, 3, 7, MachineModel::cori_knl()));
+  // ...but batch = 0 leaves nothing.
+  EXPECT_THROW(best_integrated_grid(net, 0, 7, MachineModel::cori_knl()),
+               Error);
+}
+
+TEST(FullPlan, ExtendsScalingBeyondBatchSize) {
+  // Fig. 10: with B=512 and P=4096 pure batch parallelism is impossible
+  // (P > B); the full plan uses Pr=8 worth of domain/model parallelism.
+  const auto net = alexnet_weighted();
+  const auto m = MachineModel::cori_knl();
+  const auto plan = best_full_plan(net, 512, 4096, m);
+  EXPECT_EQ(plan.pr * plan.pc, 4096u);
+  EXPECT_LE(plan.pc, 512u);
+  EXPECT_GE(plan.pr, 8u);
+  ASSERT_EQ(plan.roles.size(), 8u);
+  // FC layers are model-parallel.
+  EXPECT_EQ(plan.roles[5], LayerRole::Model);
+  // At least one early conv layer is domain-parallel.
+  EXPECT_EQ(plan.roles[0], LayerRole::Domain);
+}
+
+TEST(FullPlan, MoreProcessesNeverSlowerAtFixedBatch) {
+  // The planner's best time is non-increasing in P (it can always emulate a
+  // smaller machine... up to integer-grid granularity — compare doublings).
+  const auto net = alexnet_weighted();
+  const auto m = MachineModel::cori_knl();
+  double prev = 1e30;
+  for (std::size_t p : {512u, 1024u, 2048u, 4096u}) {
+    const auto plan = best_full_plan(net, 512, p, m);
+    EXPECT_LT(plan.cost.total(), prev * 1.001) << "P=" << p;
+    prev = plan.cost.total();
+  }
+}
+
+}  // namespace
+}  // namespace mbd::costmodel

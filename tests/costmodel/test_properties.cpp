@@ -1,0 +1,153 @@
+// Property tests: the paper's formula identities checked across randomly
+// generated network shapes, batch sizes, and grids (parameterized sweep).
+#include <gtest/gtest.h>
+
+#include "mbd/costmodel/memory.hpp"
+#include "mbd/costmodel/optimizer.hpp"
+#include "mbd/costmodel/strategy.hpp"
+#include "mbd/nn/layer_spec.hpp"
+#include "mbd/support/rng.hpp"
+
+namespace mbd::costmodel {
+namespace {
+
+/// A random weighted-layer list (shapes need not chain — the cost formulas
+/// are per-layer sums over d_in/d_out/|W|).
+std::vector<nn::LayerSpec> random_layers(Rng& rng) {
+  const std::size_t n = 2 + rng.uniform_index(6);
+  std::vector<nn::LayerSpec> net;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.5) {
+      const std::size_t c_in = 1 + rng.uniform_index(64);
+      const std::size_t hw = 4 + rng.uniform_index(28);
+      const std::size_t c_out = 1 + rng.uniform_index(128);
+      const std::size_t k = 1 + 2 * rng.uniform_index(3);  // 1, 3, 5
+      net.push_back(nn::conv_spec("c" + std::to_string(i), c_in, hw, hw,
+                                  c_out, k, 1, k / 2));
+    } else {
+      net.push_back(nn::fc_spec("f" + std::to_string(i),
+                                1 + rng.uniform_index(4096),
+                                1 + rng.uniform_index(4096)));
+    }
+  }
+  return net;
+}
+
+class RandomNetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomNetSweep, Eq8ReductionIdentities) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto net = random_layers(rng);
+  const auto m = MachineModel::cori_knl();
+  const std::size_t batch = 1 + rng.uniform_index(4096);
+  const std::size_t p = 1 + rng.uniform_index(512);
+  const auto grid_as_batch = integrated_cost(net, batch, 1, p, m);
+  const auto pure_batch = batch_parallel_cost(net, batch, p, m);
+  EXPECT_DOUBLE_EQ(grid_as_batch.comm(), pure_batch.comm());
+  const auto grid_as_model = integrated_cost(net, batch, p, 1, m);
+  const auto pure_model = model_parallel_cost(net, batch, p, m);
+  EXPECT_DOUBLE_EQ(grid_as_model.comm(), pure_model.comm());
+}
+
+TEST_P(RandomNetSweep, Eq9AllModelEqualsEq8) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const auto net = random_layers(rng);
+  const auto m = MachineModel::cori_knl();
+  const std::size_t batch = 64 + rng.uniform_index(2048);
+  const std::size_t pr = 1 + rng.uniform_index(16);
+  const std::size_t pc = 1 + rng.uniform_index(64);
+  std::vector<LayerRole> roles(net.size(), LayerRole::Model);
+  const auto eq9 = full_integrated_cost(net, roles, batch, pr, pc, m);
+  const auto eq8 = integrated_cost(net, batch, pr, pc, m);
+  EXPECT_DOUBLE_EQ(eq9.comm(), eq8.comm());
+}
+
+TEST_P(RandomNetSweep, DwBandwidthScalesInverselyWithPr) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 200);
+  const auto net = random_layers(rng);
+  const auto m = MachineModel::cori_knl();
+  const std::size_t batch = 256, pc = 8;
+  const std::size_t pr = 1 + rng.uniform_index(32);
+  const auto a = integrated_cost(net, batch, pr, pc, m);
+  const auto b = integrated_cost(net, batch, 2 * pr, pc, m);
+  EXPECT_NEAR(a.ar_dw().bandwidth / b.ar_dw().bandwidth, 2.0, 1e-9);
+}
+
+TEST_P(RandomNetSweep, BestGridNeverWorseThanPureStrategies) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 300);
+  const auto net = random_layers(rng);
+  const auto m = MachineModel::cori_knl();
+  const std::size_t p = 1u << (1 + rng.uniform_index(8));
+  const std::size_t batch = p * (1 + rng.uniform_index(16));
+  const auto best = best_integrated_grid(net, batch, p, m);
+  const auto pure_batch = integrated_cost(net, batch, 1, p, m);
+  EXPECT_LE(best.cost.total(), pure_batch.total() * (1 + 1e-12));
+  // Pure model (pc = 1) is always a feasible grid, so best ≤ it too.
+  const auto pure_model = integrated_cost(net, batch, p, 1, m);
+  EXPECT_LE(best.cost.total(), pure_model.total() * (1 + 1e-12));
+}
+
+TEST_P(RandomNetSweep, ChooseRolesKeepsFcModelParallel) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 400);
+  const auto net = random_layers(rng);
+  const auto m = MachineModel::cori_knl();
+  const auto roles = choose_roles(net, 256, 4, 64, m);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net[i].kind == nn::LayerKind::FullyConnected)
+      EXPECT_EQ(roles[i], LayerRole::Model) << net[i].name;
+  }
+}
+
+TEST_P(RandomNetSweep, CrossoverRatioInverseInBatch) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  const auto net = random_layers(rng);
+  for (const auto& l : net) {
+    if (l.kind != nn::LayerKind::Conv) continue;
+    const double r1 = batch_over_model_volume_ratio(l, 16);
+    const double r2 = batch_over_model_volume_ratio(l, 32);
+    EXPECT_NEAR(r1 / r2, 2.0, 1e-9);
+  }
+}
+
+TEST_P(RandomNetSweep, MemoryAxesMonotone) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 600);
+  const auto net = random_layers(rng);
+  const std::size_t batch = 64 + rng.uniform_index(1024);
+  const auto a = memory_15d(net, batch, 2, 4);
+  const auto b = memory_15d(net, batch, 4, 4);
+  EXPECT_GT(a.weights, b.weights);
+  EXPECT_DOUBLE_EQ(a.activations, b.activations);
+  const auto c = memory_15d(net, batch, 2, 8);
+  EXPECT_DOUBLE_EQ(a.weights, c.weights);
+  EXPECT_GT(a.activations, c.activations);
+}
+
+TEST_P(RandomNetSweep, OverlapNeverIncreasesTotal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 700);
+  const auto net = random_layers(rng);
+  const auto m = MachineModel::cori_knl();
+  const std::size_t batch = 64 + rng.uniform_index(2048);
+  const std::size_t pr = 1 + rng.uniform_index(8);
+  const std::size_t pc = 1 + rng.uniform_index(32);
+  const auto c = integrated_cost(net, batch, pr, pc, m);
+  EXPECT_LE(c.total_overlapped(), c.total() * (1 + 1e-12));
+  EXPECT_GE(c.total_overlapped(), c.compute);
+}
+
+TEST_P(RandomNetSweep, EnumerationSortedAndExhaustive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 800);
+  const auto net = random_layers(rng);
+  const auto m = MachineModel::cori_knl();
+  const std::size_t p = 1u << (1 + rng.uniform_index(6));
+  const std::size_t batch = p * 4;
+  const auto opts = enumerate_integrated_grids(net, batch, p, m);
+  EXPECT_EQ(opts.size(), grid_factorizations(p).size());
+  for (std::size_t i = 1; i < opts.size(); ++i)
+    EXPECT_LE(opts[i - 1].cost.total(), opts[i].cost.total());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetSweep, ::testing::Range(0, 12),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace mbd::costmodel

@@ -1,0 +1,280 @@
+// The paper's formulas as properties: hand-computed single-layer values,
+// reduction identities between Eqs. 3/4/8/9, the Eq. 5 crossover claim, and
+// the Eq. 6 redistribution claim.
+#include "mbd/costmodel/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mbd/nn/models.hpp"
+#include "mbd/support/check.hpp"
+
+namespace mbd::costmodel {
+namespace {
+
+std::vector<nn::LayerSpec> alexnet_weighted() {
+  return nn::weighted_layers(nn::alexnet_spec());
+}
+
+MachineModel machine() { return MachineModel::cori_knl(); }
+
+TEST(BatchParallel, Eq4HandComputedSingleLayer) {
+  // One FC layer 100×50: T = 2(α⌈logP⌉ + β(P−1)/P·|W|).
+  std::vector<nn::LayerSpec> net{nn::fc_spec("f", 50, 100)};
+  const auto m = machine();
+  const auto c = batch_parallel_cost(net, /*batch=*/64, /*p=*/8, m);
+  const auto comm = c.ar_dw();
+  EXPECT_DOUBLE_EQ(comm.latency, 2.0 * 3.0 * m.alpha);
+  EXPECT_DOUBLE_EQ(comm.bandwidth, 2.0 * m.word_time() * 5000.0 * 7.0 / 8.0);
+  EXPECT_DOUBLE_EQ(c.ag_forward().total(), 0.0);
+  EXPECT_DOUBLE_EQ(c.ar_dx().total(), 0.0);
+  EXPECT_DOUBLE_EQ(c.halo().total(), 0.0);
+}
+
+TEST(ModelParallel, Eq3HandComputedTwoLayers) {
+  // Two FC layers: all-gather B·d_i per layer; ∆X all-reduce B·d_{i-1} for
+  // the second layer only.
+  std::vector<nn::LayerSpec> net{nn::fc_spec("f1", 10, 20),
+                                 nn::fc_spec("f2", 20, 30)};
+  const auto m = machine();
+  const std::size_t B = 16, P = 4;
+  const auto c = model_parallel_cost(net, B, P, m);
+  const double f = 3.0 / 4.0;
+  EXPECT_DOUBLE_EQ(c.ag_forward().bandwidth,
+                   m.word_time() * (16.0 * 20 + 16.0 * 30) * f);
+  EXPECT_DOUBLE_EQ(c.ag_forward().latency, 2.0 * 2.0 * m.alpha);
+  EXPECT_DOUBLE_EQ(c.ar_dx().bandwidth,
+                   2.0 * m.word_time() * (16.0 * 20) * f);
+  EXPECT_DOUBLE_EQ(c.ar_dw().total(), 0.0);
+}
+
+TEST(Integrated, Eq8ReducesToEq4WhenPrIsOne) {
+  const auto net = alexnet_weighted();
+  const auto m = machine();
+  const auto batch = batch_parallel_cost(net, 2048, 64, m);
+  const auto grid = integrated_cost(net, 2048, /*pr=*/1, /*pc=*/64, m);
+  EXPECT_DOUBLE_EQ(batch.comm(), grid.comm());
+  EXPECT_DOUBLE_EQ(batch.compute, grid.compute);
+}
+
+TEST(Integrated, Eq8ReducesToEq3WhenPcIsOne) {
+  const auto net = alexnet_weighted();
+  const auto m = machine();
+  const auto model = model_parallel_cost(net, 2048, 64, m);
+  const auto grid = integrated_cost(net, 2048, /*pr=*/64, /*pc=*/1, m);
+  EXPECT_DOUBLE_EQ(model.comm(), grid.comm());
+}
+
+TEST(Integrated, DwVolumeReducedByPrFactor) {
+  // Eq. 8's key effect: the ∆W all-reduce volume shrinks by Pr vs Eq. 4.
+  const auto net = alexnet_weighted();
+  const auto m = machine();
+  const auto pure = integrated_cost(net, 2048, 1, 64, m);
+  const auto grid = integrated_cost(net, 2048, 8, 8, m);
+  // (Pc−1)/Pc differs slightly between the two; compare the dominant scale.
+  const double ratio = pure.ar_dw().bandwidth / grid.ar_dw().bandwidth;
+  const double adjust = (63.0 / 64.0) / (7.0 / 8.0);
+  EXPECT_NEAR(ratio, 8.0 * adjust, 1e-9);
+}
+
+TEST(Integrated, Eq8AllThreeTermsHandComputed) {
+  // Two FC layers (10->20->30) on a 2×3 grid with B = 12: every term of
+  // Eq. 8 written out by hand.
+  std::vector<nn::LayerSpec> net{nn::fc_spec("f1", 10, 20),
+                                 nn::fc_spec("f2", 20, 30)};
+  const auto m = machine();
+  const std::size_t B = 12, pr = 2, pc = 3;
+  const auto c = integrated_cost(net, B, pr, pc, m);
+  const double b_loc = 4.0;          // B/Pc
+  const double w = m.word_time();
+  const double fr = 0.5;             // (Pr-1)/Pr
+  const double fc = 2.0 / 3.0;       // (Pc-1)/Pc
+  // Term 1: all-gather of Y_i over Pr for both layers.
+  EXPECT_DOUBLE_EQ(c.ag_forward().bandwidth,
+                   w * b_loc * (20.0 + 30.0) * fr);
+  EXPECT_DOUBLE_EQ(c.ag_forward().latency, 2.0 * m.alpha * 1.0);  // ⌈log2⌉=1
+  // Term 2: ∆X all-reduce over Pr, second layer only (d_{i-1} = 20).
+  EXPECT_DOUBLE_EQ(c.ar_dx().bandwidth, 2.0 * w * b_loc * 20.0 * fr);
+  EXPECT_DOUBLE_EQ(c.ar_dx().latency, 2.0 * m.alpha * 1.0);
+  // Term 3: ∆W all-reduce over Pc on |W_i|/Pr for both layers.
+  EXPECT_DOUBLE_EQ(c.ar_dw().bandwidth,
+                   2.0 * w * (200.0 / 2 + 600.0 / 2) * fc);
+  EXPECT_DOUBLE_EQ(c.ar_dw().latency, 2.0 * (2.0 * m.alpha * 2.0));  // ⌈log3⌉=2
+}
+
+TEST(Integrated, BatchParallelConvModeZerosConvActivationComm) {
+  const auto net = alexnet_weighted();
+  const auto m = machine();
+  const auto c =
+      integrated_cost(net, 2048, 16, 32, m, GridMode::BatchParallelConv);
+  for (const auto& lc : c.layers) {
+    if (lc.name.rfind("conv", 0) == 0) {
+      EXPECT_DOUBLE_EQ(lc.ag_forward.total(), 0.0) << lc.name;
+      EXPECT_DOUBLE_EQ(lc.ar_dx.total(), 0.0) << lc.name;
+      EXPECT_GT(lc.ar_dw.total(), 0.0) << lc.name;
+    } else {
+      EXPECT_GT(lc.ag_forward.total(), 0.0) << lc.name;
+    }
+  }
+}
+
+TEST(Integrated, Fig7ModeBeatsFig6ModeAtScale) {
+  // Making conv layers pure batch-parallel "can reduce the communication
+  // significantly" (paper, comparing Figs. 6 and 7).
+  const auto net = alexnet_weighted();
+  const auto m = machine();
+  const auto uniform = integrated_cost(net, 2048, 16, 32, m, GridMode::Uniform);
+  const auto fc_only =
+      integrated_cost(net, 2048, 16, 32, m, GridMode::BatchParallelConv);
+  EXPECT_LT(fc_only.comm(), uniform.comm());
+}
+
+TEST(FullIntegration, Eq9ReducesToEq8WhenAllModel) {
+  const auto net = alexnet_weighted();
+  const auto m = machine();
+  std::vector<LayerRole> all_model(net.size(), LayerRole::Model);
+  const auto eq9 = full_integrated_cost(net, all_model, 2048, 8, 64, m);
+  const auto eq8 = integrated_cost(net, 2048, 8, 64, m, GridMode::Uniform);
+  EXPECT_DOUBLE_EQ(eq9.comm(), eq8.comm());
+  EXPECT_DOUBLE_EQ(eq9.compute, eq8.compute);
+}
+
+TEST(FullIntegration, DomainRoleRequiresConvLayer) {
+  std::vector<nn::LayerSpec> net{nn::fc_spec("f", 8, 8)};
+  EXPECT_THROW(full_integrated_cost(net, {LayerRole::Domain}, 8, 2, 4,
+                                    machine()),
+               Error);
+}
+
+TEST(FullIntegration, OneByOneConvHasZeroHaloBandwidth) {
+  // Paper: "the domain parallel approach does not require any communication
+  // for 1×1 convolutions".
+  std::vector<nn::LayerSpec> net{nn::conv_spec("c1x1", 64, 14, 14, 128, 1, 1, 0)};
+  const auto c = full_integrated_cost(net, {LayerRole::Domain}, 256, 4, 64,
+                                      machine());
+  EXPECT_DOUBLE_EQ(c.halo().total(), 0.0);
+}
+
+TEST(FullIntegration, DomainHaloMatchesEq9Terms) {
+  // Forward halo: α + β·(B/Pc)·X_W·X_C·⌊kh/2⌋; backward: with Y_W·Y_C·⌊kw/2⌋.
+  std::vector<nn::LayerSpec> net{nn::conv_spec("c", 16, 32, 32, 32, 3, 1, 1)};
+  const auto m = machine();
+  const std::size_t B = 128, pr = 4, pc = 32;
+  const auto c = full_integrated_cost(net, {LayerRole::Domain}, B, pr, pc, m);
+  const double b_loc = static_cast<double>(B) / pc;
+  const double fwd_words = b_loc * 32 * 16 * 1;
+  const double bwd_words = b_loc * 32 * 32 * 1;
+  EXPECT_DOUBLE_EQ(c.halo().bandwidth, m.word_time() * (fwd_words + bwd_words));
+  EXPECT_DOUBLE_EQ(c.halo().latency, 2.0 * m.alpha);
+  // ∆W all-reduce over ALL P = pr·pc.
+  const double w = static_cast<double>(net[0].weight_count());
+  EXPECT_DOUBLE_EQ(c.ar_dw().bandwidth,
+                   2.0 * m.word_time() * w * 127.0 / 128.0);
+}
+
+TEST(Eq5Crossover, AlexNetConv4ModelFavorableForSmallBatch) {
+  // Paper: "3x3 filters on 13x13x384 activations, model parallelism has
+  // lower communication volume than batch parallelism for B ≤ 12" (our
+  // exact floor of 2·kh·kw·X_C/(3·Y_H·Y_W) gives 13 — same regime).
+  const auto ws = alexnet_weighted();
+  const auto& conv4 = ws[3];  // 384 -> 384, 3x3 on 13x13
+  const std::size_t limit = model_favorable_batch_limit(conv4);
+  EXPECT_GE(limit, 12u);
+  EXPECT_LE(limit, 14u);
+  // Ratio = T_batch/T_model volume: > 1 at small B means batch parallelism
+  // moves MORE data, i.e. model parallelism is favorable there.
+  EXPECT_GT(batch_over_model_volume_ratio(conv4, 4), 1.0);
+  EXPECT_LT(batch_over_model_volume_ratio(conv4, 64), 1.0);
+}
+
+TEST(Eq5Crossover, RatioFormula) {
+  // ratio = 2|W|/(3·B·d_i).
+  const auto conv = nn::conv_spec("c", 8, 10, 10, 16, 3, 1, 1);
+  const double expect =
+      2.0 * static_cast<double>(conv.weight_count()) /
+      (3.0 * 32.0 * static_cast<double>(conv.d_out()));
+  EXPECT_DOUBLE_EQ(batch_over_model_volume_ratio(conv, 32), expect);
+}
+
+TEST(Eq6Redistribution, AsymptoticallyFreeVsModelStep) {
+  // "the redistribution cost is asymptotically free because the subsequent
+  // model parallel step has communication cost that is three times the
+  // redistribution" — the model step for one layer costs ~3× (one
+  // all-gather of B·d plus a 2× all-reduce of B·d).
+  const auto m = machine();
+  const std::size_t p = 64, B = 1024, d = 4096;
+  const auto redist = redistribution_cost(m, p, B, d);
+  std::vector<nn::LayerSpec> net{nn::fc_spec("f1", d, d), nn::fc_spec("f2", d, d)};
+  const auto model = model_parallel_cost(net, B, p, m);
+  // Layer 2's model-parallel comm (all-gather + 2·all-reduce) ≈ 3× redist.
+  const auto& l2 = model.layers[1];
+  EXPECT_NEAR((l2.ag_forward.bandwidth + l2.ar_dx.bandwidth) /
+                  redist.bandwidth,
+              3.0, 1e-9);
+}
+
+TEST(Overlap, Fig8Formula) {
+  StrategyCost c;
+  LayerCost lc;
+  lc.ar_dw = CostBreakdown{0.0, 0.3};
+  c.layers.push_back(lc);
+  c.compute = 0.9;
+  // comm = 0.3; overlappable = 0.2; window = 0.6 -> hidden = 0.2.
+  EXPECT_NEAR(c.total_overlapped(), 0.9 + 0.3 - 0.2, 1e-12);
+  // Comm-dominated case: hiding is capped by the window.
+  c.compute = 0.15;
+  // overlappable = 0.2, window = 0.1 -> hidden = 0.1.
+  EXPECT_NEAR(c.total_overlapped(), 0.15 + 0.3 - 0.1, 1e-12);
+}
+
+TEST(Epoch, IterationsCeiling) {
+  EXPECT_EQ(iterations_per_epoch(100, 32), 4u);
+  EXPECT_EQ(iterations_per_epoch(96, 32), 3u);
+  EXPECT_EQ(iterations_per_epoch(nn::kImageNetTrainImages, 2048), 626u);
+}
+
+TEST(Epoch, ScalesIterationCost) {
+  const auto net = alexnet_weighted();
+  const auto m = machine();
+  const auto c = batch_parallel_cost(net, 2048, 64, m);
+  EXPECT_DOUBLE_EQ(epoch_seconds(c, 2048 * 10, 2048), 10.0 * c.total());
+}
+
+TEST(Strategy, RejectsPoolLayers) {
+  const auto net = nn::alexnet_spec();  // includes pools
+  EXPECT_THROW(batch_parallel_cost(net, 256, 8, machine()), Error);
+}
+
+TEST(DomainParallel, Eq7FcFallsBackToFullGather) {
+  std::vector<nn::LayerSpec> net{nn::conv_spec("c", 4, 16, 16, 4, 3, 1, 1),
+                                 nn::fc_spec("f", 4 * 16 * 16, 10)};
+  const auto m = machine();
+  const auto c = domain_parallel_cost(net, 32, 4, m);
+  // FC layer charged a full-input all-gather.
+  const auto& fc = c.layers[1];
+  EXPECT_DOUBLE_EQ(fc.halo.bandwidth,
+                   m.word_time() * 32.0 * (4 * 16 * 16) * 3.0 / 4.0);
+  // Conv layer pays halo + full-weight all-reduce.
+  EXPECT_GT(c.layers[0].halo.total(), 0.0);
+  EXPECT_GT(c.layers[0].ar_dw.total(), 0.0);
+}
+
+TEST(ChooseRoles, EarlyConvLayersGoDomainAtScale) {
+  // Paper §2.4: "it is better to use domain parallelism for the initial
+  // layers of the network, since the activation size is large", while FC
+  // layers must stay model-parallel.
+  const auto net = alexnet_weighted();
+  const auto m = machine();
+  const auto roles = choose_roles(net, /*batch=*/512, /*pr=*/8, /*pc=*/512, m);
+  ASSERT_EQ(roles.size(), 8u);
+  EXPECT_EQ(roles[0], LayerRole::Domain);  // conv1: huge activations
+  for (std::size_t i = 5; i < 8; ++i) EXPECT_EQ(roles[i], LayerRole::Model);
+}
+
+TEST(ChooseRoles, TrivialPrLeavesAllModel) {
+  const auto net = alexnet_weighted();
+  const auto roles = choose_roles(net, 512, /*pr=*/1, /*pc=*/64, machine());
+  for (const auto r : roles) EXPECT_EQ(r, LayerRole::Model);
+}
+
+}  // namespace
+}  // namespace mbd::costmodel

@@ -1,0 +1,70 @@
+// §4 claims about 2D SUMMA variants vs the 1.5D algorithm.
+#include "mbd/costmodel/summa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbd::costmodel {
+namespace {
+
+TEST(Summa, StationaryAFormula) {
+  // §4: 2·B·d/pr + B·d/pc.
+  EXPECT_DOUBLE_EQ(
+      summa_words_per_process(SummaVariant::StationaryA, 100, 50, 4, 8),
+      2.0 * 50 * 100 / 4 + 50.0 * 100 / 8);
+}
+
+TEST(Summa, OneDotFiveDForwardWords) {
+  EXPECT_DOUBLE_EQ(words_15d_forward(100, 50, 8), 50.0 * 100 / 8);
+}
+
+TEST(Summa, StationaryANeverBeats15D) {
+  // "its communication costs approach 1.5D when pr ≫ pc but never surpass
+  // it" — sweep grids and sizes.
+  for (double d : {256.0, 4096.0}) {
+    for (double b : {32.0, 512.0, 8192.0}) {
+      for (std::size_t pr : {1u, 2u, 8u, 64u, 512u}) {
+        for (std::size_t pc : {1u, 2u, 8u, 64u}) {
+          const double summa =
+              summa_words_per_process(SummaVariant::StationaryA, d, b, pr, pc);
+          const double ours = words_15d_forward(d, b, pc);
+          EXPECT_GE(summa, ours)
+              << "d=" << d << " b=" << b << " pr=" << pr << " pc=" << pc;
+        }
+      }
+    }
+  }
+}
+
+TEST(Summa, StationaryAApproaches15DForLargePr) {
+  const double d = 4096, b = 512;
+  const std::size_t pc = 8;
+  const double ours = words_15d_forward(d, b, pc);
+  const double far = summa_words_per_process(SummaVariant::StationaryA, d, b,
+                                             4096, pc);
+  EXPECT_NEAR(far / ours, 1.0, 0.05);
+}
+
+TEST(Summa, TwoDMovesTwoMatricesWhenWeightsSmall) {
+  // |W| < B·d regime: every 2D variant moves ≥ the smaller operand from two
+  // matrices, while 1.5D moves only the smaller one.
+  const double d = 128;       // |W| = d² = 16384
+  const double b = 4096;      // |X| = d·b = 524288 ≫ |W|
+  const std::size_t pr = 8, pc = 8;
+  const double ours_total = smaller_operand_words(d, b);  // d² per process set
+  EXPECT_DOUBLE_EQ(ours_total, d * d);
+  for (auto v : {SummaVariant::StationaryA, SummaVariant::StationaryB,
+                 SummaVariant::StationaryC}) {
+    const double per_proc = summa_words_per_process(v, d, b, pr, pc);
+    // Aggregate over the pr·pc processes and compare against |W| alone.
+    EXPECT_GT(per_proc * static_cast<double>(pr * pc), ours_total)
+        << summa_variant_name(v);
+  }
+}
+
+TEST(Summa, VariantNames) {
+  EXPECT_EQ(summa_variant_name(SummaVariant::StationaryA), "stationary-A");
+  EXPECT_EQ(summa_variant_name(SummaVariant::StationaryC), "stationary-C");
+}
+
+}  // namespace
+}  // namespace mbd::costmodel

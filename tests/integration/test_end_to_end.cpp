@@ -1,0 +1,229 @@
+// Cross-strategy integration: every parallelization of the same problem —
+// sequential, batch, model, 1.5D, domain, hybrid — produces the same
+// training trajectory, which is the paper's synchronous-SGD premise ("we
+// focus only on [synchronous SGD] which obeys the sequential consistency of
+// the original algorithm").
+#include <gtest/gtest.h>
+
+#include "mbd/costmodel/optimizer.hpp"
+#include "mbd/nn/models.hpp"
+#include "mbd/parallel/batch_parallel.hpp"
+#include "mbd/parallel/domain_parallel.hpp"
+#include "mbd/parallel/hybrid.hpp"
+#include "mbd/parallel/integrated.hpp"
+#include "mbd/parallel/model_parallel.hpp"
+#include "parallel/parallel_test_util.hpp"
+
+namespace mbd::parallel {
+namespace {
+
+using testing::expect_losses_close;
+using testing::expect_params_close;
+using testing::run_distributed;
+using testing::run_reference;
+
+TEST(EndToEnd, AllMlpStrategiesAgree) {
+  const auto specs = nn::mlp_spec({12, 24, 12, 12});
+  const auto data = nn::make_synthetic_dataset(12, 12, 96, /*seed=*/41);
+  nn::TrainConfig cfg;
+  cfg.batch = 12;
+  cfg.lr = 0.04f;
+  cfg.iterations = 10;
+
+  const auto ref = run_reference(specs, data, cfg);
+
+  const auto batch = run_distributed(4, [&](comm::Comm& c) {
+    return train_batch_parallel(c, specs, data, cfg);
+  });
+  const auto model = run_distributed(4, [&](comm::Comm& c) {
+    return train_model_parallel(c, specs, data, cfg);
+  });
+  const auto grid = run_distributed(4, [&](comm::Comm& c) {
+    return train_integrated_15d(c, {2, 2}, specs, data, cfg);
+  });
+
+  expect_losses_close(ref.losses, batch.losses);
+  expect_losses_close(ref.losses, model.losses);
+  expect_losses_close(ref.losses, grid.losses);
+  expect_params_close(ref.params, batch.params);
+  expect_params_close(ref.params, model.params);
+  expect_params_close(ref.params, grid.params);
+}
+
+TEST(EndToEnd, AllCnnStrategiesAgree) {
+  std::vector<nn::LayerSpec> specs;
+  specs.push_back(nn::conv_spec("conv1", 2, 8, 8, 4, 3, 1, 1));
+  specs.push_back(nn::conv_spec("conv2", 4, 8, 8, 4, 3, 1, 1));
+  specs.push_back(nn::fc_spec("fc1", 4 * 8 * 8, 16));
+  specs.push_back(nn::fc_spec("fc2", 16, 4, false));
+  const auto data = nn::make_synthetic_dataset(2 * 8 * 8, 4, 48, /*seed=*/43);
+  nn::TrainConfig cfg;
+  cfg.batch = 8;
+  cfg.lr = 0.02f;
+  cfg.iterations = 6;
+
+  const auto ref = run_reference(specs, data, cfg);
+
+  const auto batch = run_distributed(4, [&](comm::Comm& c) {
+    return train_batch_parallel(c, specs, data, cfg);
+  });
+  const auto domain = run_distributed(4, [&](comm::Comm& c) {
+    return train_domain_parallel(c, specs, data, cfg);
+  });
+  const auto hybrid = run_distributed(4, [&](comm::Comm& c) {
+    return train_hybrid(c, {2, 2}, specs, data, cfg);
+  });
+
+  expect_losses_close(ref.losses, batch.losses);
+  expect_losses_close(ref.losses, domain.losses);
+  expect_losses_close(ref.losses, hybrid.losses);
+  expect_params_close(ref.params, batch.params);
+  expect_params_close(ref.params, domain.params);
+  expect_params_close(ref.params, hybrid.params);
+}
+
+TEST(EndToEnd, AllStrategiesAgreeWithMomentum) {
+  // Momentum velocity is local state per weight shard, so heavy-ball SGD
+  // must preserve the parallel-equals-sequential invariant everywhere.
+  const auto mlp = nn::mlp_spec({12, 24, 12, 12});
+  const auto mlp_data = nn::make_synthetic_dataset(12, 12, 96, /*seed=*/71);
+  nn::TrainConfig cfg;
+  cfg.batch = 12;
+  cfg.lr = 0.02f;
+  cfg.momentum = 0.9f;
+  cfg.iterations = 8;
+
+  const auto ref = run_reference(mlp, mlp_data, cfg);
+  const auto batch = run_distributed(4, [&](comm::Comm& c) {
+    return train_batch_parallel(c, mlp, mlp_data, cfg);
+  });
+  const auto model = run_distributed(4, [&](comm::Comm& c) {
+    return train_model_parallel(c, mlp, mlp_data, cfg);
+  });
+  const auto grid = run_distributed(6, [&](comm::Comm& c) {
+    return train_integrated_15d(c, {3, 2}, mlp, mlp_data, cfg);
+  });
+  expect_losses_close(ref.losses, batch.losses);
+  expect_losses_close(ref.losses, model.losses);
+  expect_losses_close(ref.losses, grid.losses);
+  expect_params_close(ref.params, batch.params, 1e-3f);
+  expect_params_close(ref.params, model.params, 1e-3f);
+  expect_params_close(ref.params, grid.params, 1e-3f);
+
+  // CNN strategies with momentum too.
+  std::vector<nn::LayerSpec> cnn;
+  cnn.push_back(nn::conv_spec("conv1", 2, 8, 8, 4, 3, 1, 1));
+  cnn.push_back(nn::fc_spec("fc1", 4 * 8 * 8, 8, false));
+  const auto cnn_data = nn::make_synthetic_dataset(2 * 8 * 8, 8, 32, 73);
+  nn::TrainConfig ccfg = cfg;
+  ccfg.batch = 8;
+  nn::Network net = nn::build_network(cnn, {.seed = 42});
+  const auto cnn_ref = nn::train_sgd(net, cnn_data, ccfg);
+  const auto domain = run_distributed(4, [&](comm::Comm& c) {
+    return train_domain_parallel(c, cnn, cnn_data, ccfg);
+  });
+  const auto hybrid = run_distributed(4, [&](comm::Comm& c) {
+    return train_hybrid(c, {2, 2}, cnn, cnn_data, ccfg);
+  });
+  expect_losses_close(cnn_ref, domain.losses);
+  expect_losses_close(cnn_ref, hybrid.losses);
+}
+
+TEST(EndToEnd, LrScheduleAgreesAcrossStrategies) {
+  const auto specs = nn::mlp_spec({12, 24, 12, 12});
+  const auto data = nn::make_synthetic_dataset(12, 12, 96, /*seed=*/89);
+  nn::TrainConfig cfg;
+  cfg.batch = 12;
+  cfg.lr = 0.08f;
+  cfg.lr_decay = 0.5f;
+  cfg.decay_every = 3;
+  cfg.momentum = 0.9f;
+  cfg.iterations = 10;
+  const auto ref = run_reference(specs, data, cfg);
+  const auto batch = run_distributed(4, [&](comm::Comm& c) {
+    return train_batch_parallel(c, specs, data, cfg);
+  });
+  const auto grid = run_distributed(4, [&](comm::Comm& c) {
+    return train_integrated_15d(c, {2, 2}, specs, data, cfg);
+  });
+  expect_losses_close(ref.losses, batch.losses);
+  expect_losses_close(ref.losses, grid.losses);
+  expect_params_close(ref.params, batch.params, 1e-3f);
+  expect_params_close(ref.params, grid.params, 1e-3f);
+}
+
+TEST(EndToEnd, LrAtStepDecaySchedule) {
+  nn::TrainConfig cfg;
+  cfg.lr = 1.0f;
+  cfg.lr_decay = 0.1f;
+  cfg.decay_every = 4;
+  EXPECT_FLOAT_EQ(nn::lr_at(cfg, 0), 1.0f);
+  EXPECT_FLOAT_EQ(nn::lr_at(cfg, 3), 1.0f);
+  EXPECT_FLOAT_EQ(nn::lr_at(cfg, 4), 0.1f);
+  EXPECT_FLOAT_EQ(nn::lr_at(cfg, 11), 0.01f);
+  cfg.decay_every = 0;  // disabled
+  EXPECT_FLOAT_EQ(nn::lr_at(cfg, 100), 1.0f);
+}
+
+TEST(EndToEnd, MomentumAcceleratesConvergence) {
+  const auto specs = nn::mlp_spec({16, 32, 8, 8});
+  const auto data = nn::make_synthetic_dataset(16, 8, 128, /*seed=*/79);
+  nn::TrainConfig plain;
+  plain.batch = 16;
+  plain.lr = 0.01f;
+  plain.iterations = 40;
+  nn::TrainConfig heavy = plain;
+  heavy.momentum = 0.9f;
+  nn::Network a = nn::build_network(specs, {.seed = 5});
+  nn::Network b = nn::build_network(specs, {.seed = 5});
+  const auto l_plain = nn::train_sgd(a, data, plain);
+  const auto l_heavy = nn::train_sgd(b, data, heavy);
+  EXPECT_LT(l_heavy.back(), l_plain.back());
+}
+
+TEST(EndToEnd, PlannerChoicesAreExecutable) {
+  // Ask the cost-model planner for the best grid on a small MLP problem and
+  // execute exactly that configuration.
+  const auto specs = nn::mlp_spec({12, 24, 12, 12});
+  const auto data = nn::make_synthetic_dataset(12, 12, 96, /*seed=*/47);
+  nn::TrainConfig cfg;
+  cfg.batch = 12;
+  cfg.lr = 0.04f;
+  cfg.iterations = 5;
+
+  const int p = 4;
+  const auto best = costmodel::best_integrated_grid(
+      specs, cfg.batch, static_cast<std::size_t>(p),
+      costmodel::MachineModel::cori_knl());
+  // Any factorization our divisibility constraints allow is runnable; fall
+  // back to 2×2 if the planner picked an incompatible shape.
+  GridShape grid{static_cast<int>(best.pr), static_cast<int>(best.pc)};
+  for (const auto& s : specs)
+    if (s.fc_out % best.pr != 0) grid = {2, 2};
+  if (cfg.batch % static_cast<std::size_t>(grid.pc) != 0) grid = {2, 2};
+
+  const auto ref = run_reference(specs, data, cfg);
+  const auto dist = run_distributed(p, [&](comm::Comm& c) {
+    return train_integrated_15d(c, grid, specs, data, cfg);
+  });
+  expect_losses_close(ref.losses, dist.losses);
+}
+
+TEST(EndToEnd, LongerTrainingConverges) {
+  const auto specs = nn::mlp_spec({16, 32, 8, 8});
+  const auto data = nn::make_synthetic_dataset(16, 8, 128, /*seed=*/53);
+  nn::TrainConfig cfg;
+  cfg.batch = 16;
+  cfg.lr = 0.05f;
+  cfg.iterations = 80;
+  const auto dist = run_distributed(4, [&](comm::Comm& c) {
+    return train_integrated_15d(c, {2, 2}, specs, data, cfg);
+  });
+  double head = 0.0, tail = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) head += dist.losses[i];
+  for (std::size_t i = 75; i < 80; ++i) tail += dist.losses[i];
+  EXPECT_LT(tail, 0.5 * head);
+}
+
+}  // namespace
+}  // namespace mbd::parallel

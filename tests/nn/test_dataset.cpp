@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "mbd/nn/models.hpp"
+#include "mbd/nn/network.hpp"
+#include "mbd/nn/trainer.hpp"
+#include "mbd/support/check.hpp"
+
+namespace mbd::nn {
+namespace {
+
+TEST(Shuffle, PermutesWithoutLoss) {
+  const auto data = make_synthetic_dataset(4, 3, 30, 7);
+  const auto shuffled = shuffle_dataset(data, 99);
+  ASSERT_EQ(shuffled.size(), data.size());
+  // Same multiset of (first-feature, label) pairs.
+  auto key = [](const Dataset& d, std::size_t j) {
+    return std::pair{d.inputs(0, j), d.labels[j]};
+  };
+  std::multiset<std::pair<float, int>> a, b;
+  for (std::size_t j = 0; j < data.size(); ++j) {
+    a.insert(key(data, j));
+    b.insert(key(shuffled, j));
+  }
+  EXPECT_EQ(a, b);
+  // And actually permuted.
+  bool moved = false;
+  for (std::size_t j = 0; j < data.size(); ++j)
+    if (key(data, j) != key(shuffled, j)) moved = true;
+  EXPECT_TRUE(moved);
+}
+
+TEST(Shuffle, DeterministicPerSeed) {
+  const auto data = make_synthetic_dataset(4, 3, 30, 7);
+  const auto a = shuffle_dataset(data, 5);
+  const auto b = shuffle_dataset(data, 5);
+  const auto c = shuffle_dataset(data, 6);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_NE(a.labels, c.labels);
+}
+
+TEST(Shuffle, ColumnsStayCoherent) {
+  // Each shuffled column must be an intact original column (inputs and
+  // label move together).
+  const auto data = make_synthetic_dataset(3, 2, 20, 9);
+  const auto shuffled = shuffle_dataset(data, 1);
+  for (std::size_t j = 0; j < shuffled.size(); ++j) {
+    bool found = false;
+    for (std::size_t k = 0; k < data.size() && !found; ++k) {
+      bool same = data.labels[k] == shuffled.labels[j];
+      for (std::size_t i = 0; i < 3 && same; ++i)
+        same = data.inputs(i, k) == shuffled.inputs(i, j);
+      found = same;
+    }
+    EXPECT_TRUE(found) << "column " << j;
+  }
+}
+
+TEST(Split, FractionsAndOrder) {
+  const auto data = make_synthetic_dataset(4, 2, 40, 11);
+  const auto s = split_dataset(data, 0.75);
+  EXPECT_EQ(s.first.size(), 30u);
+  EXPECT_EQ(s.second.size(), 10u);
+  EXPECT_FLOAT_EQ(s.second.inputs(2, 0), data.inputs(2, 30));
+  EXPECT_EQ(s.second.labels[0], data.labels[30]);
+}
+
+TEST(Split, RejectsDegenerateFractions) {
+  const auto data = make_synthetic_dataset(4, 2, 10, 13);
+  EXPECT_THROW(split_dataset(data, 0.0), Error);
+  EXPECT_THROW(split_dataset(data, 1.0), Error);
+  EXPECT_THROW(split_dataset(data, 0.01), Error);  // ⌊0.1⌋ = 0 columns
+}
+
+TEST(Normalize, ZeroMeanUnitVariance) {
+  auto data = make_synthetic_dataset(5, 3, 200, 17);
+  (void)normalize_features(data);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      sum += data.inputs(i, j);
+      sum2 += static_cast<double>(data.inputs(i, j)) * data.inputs(i, j);
+    }
+    EXPECT_NEAR(sum / 200.0, 0.0, 1e-4) << "row " << i;
+    EXPECT_NEAR(sum2 / 200.0, 1.0, 1e-3) << "row " << i;
+  }
+}
+
+TEST(Normalize, SameTransformOnHeldOutData) {
+  auto data = make_synthetic_dataset(3, 2, 100, 19);
+  const auto split = split_dataset(data, 0.8);
+  auto train = split.first;
+  auto test = split.second;
+  const auto norm = normalize_features(train);
+  const float before = test.inputs(1, 0);
+  apply_normalization(test, norm);
+  EXPECT_FLOAT_EQ(test.inputs(1, 0),
+                  (before - norm.mean[1]) / norm.stddev[1]);
+}
+
+TEST(Normalize, ConstantFeatureOnlyCentered) {
+  Dataset d;
+  d.inputs = tensor::Matrix::filled(2, 5, 3.0f);
+  d.labels.assign(5, 0);
+  (void)normalize_features(d);
+  for (std::size_t j = 0; j < 5; ++j)
+    EXPECT_FLOAT_EQ(d.inputs(0, j), 0.0f);  // centered, not divided by 0
+}
+
+TEST(Shuffle, TrainingOnShuffledDataStillConverges) {
+  const auto data =
+      shuffle_dataset(make_synthetic_dataset(8, 4, 96, 23), 31);
+  Network net = build_network(mlp_spec({8, 16, 4}), {.seed = 37});
+  TrainConfig cfg;
+  cfg.batch = 16;
+  cfg.lr = 0.05f;
+  cfg.iterations = 40;
+  const auto losses = train_sgd(net, data, cfg);
+  EXPECT_LT(losses.back(), 0.7 * losses.front());
+}
+
+}  // namespace
+}  // namespace mbd::nn

@@ -1,0 +1,200 @@
+// Central finite-difference gradient checks for every layer's backward pass
+// and for the loss — the correctness bedrock under all the parallel trainers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "mbd/nn/layers.hpp"
+#include "mbd/nn/loss.hpp"
+#include "mbd/support/rng.hpp"
+#include "mbd/tensor/ops.hpp"
+
+namespace mbd::nn {
+namespace {
+
+using tensor::Matrix;
+
+/// Scalar objective: J = Σ_ij y_ij · coef_ij with fixed pseudo-random coefs,
+/// so dJ/dy = coef.
+Matrix make_coefs(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::random_normal(r, c, rng, 1.0f);
+}
+
+double objective(const Matrix& y, const Matrix& coef) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    s += static_cast<double>(y.data()[i]) * coef.data()[i];
+  return s;
+}
+
+/// Check dJ/dx from backward() against central differences on a sample of
+/// input coordinates.
+void check_input_gradient(Layer& layer, Matrix x, double tolerance) {
+  const Matrix y0 = layer.forward(x);
+  const Matrix coef = make_coefs(y0.rows(), y0.cols(), 99);
+  const Matrix dx = layer.backward(coef);
+  ASSERT_EQ(dx.rows(), x.rows());
+  ASSERT_EQ(dx.cols(), x.cols());
+  const float eps = 1e-3f;
+  // Sample a deterministic subset of coordinates.
+  Rng rng(7);
+  const std::size_t checks = std::min<std::size_t>(x.size(), 24);
+  for (std::size_t t = 0; t < checks; ++t) {
+    const std::size_t i = rng.uniform_index(x.size());
+    const float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    const double jp = objective(layer.forward(x), coef);
+    x.data()[i] = orig - eps;
+    const double jm = objective(layer.forward(x), coef);
+    x.data()[i] = orig;
+    const double fd = (jp - jm) / (2.0 * eps);
+    EXPECT_NEAR(dx.data()[i], fd, tolerance)
+        << "input coordinate " << i;
+  }
+  // Restore forward state for callers that continue using the layer.
+  (void)layer.forward(x);
+}
+
+/// Check dJ/dw against central differences.
+void check_weight_gradient(Layer& layer, const Matrix& x, double tolerance) {
+  const Matrix y0 = layer.forward(x);
+  const Matrix coef = make_coefs(y0.rows(), y0.cols(), 101);
+  (void)layer.backward(coef);
+  auto w = layer.weights();
+  auto g = layer.grads();
+  ASSERT_FALSE(w.empty());
+  const float eps = 1e-3f;
+  Rng rng(9);
+  const std::size_t checks = std::min<std::size_t>(w.size(), 24);
+  for (std::size_t t = 0; t < checks; ++t) {
+    const std::size_t i = rng.uniform_index(w.size());
+    const float orig = w[i];
+    w[i] = orig + eps;
+    const double jp = objective(layer.forward(x), coef);
+    w[i] = orig - eps;
+    const double jm = objective(layer.forward(x), coef);
+    w[i] = orig;
+    const double fd = (jp - jm) / (2.0 * eps);
+    EXPECT_NEAR(g[i], fd, tolerance) << "weight coordinate " << i;
+  }
+}
+
+Matrix random_input(std::size_t d, std::size_t b, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::random_normal(d, b, rng, 1.0f);
+}
+
+TEST(GradCheck, FullyConnectedInput) {
+  Rng rng(1);
+  FullyConnected fc("fc", 7, 5, rng);
+  check_input_gradient(fc, random_input(7, 3, 2), 2e-2);
+}
+
+TEST(GradCheck, FullyConnectedWeights) {
+  Rng rng(1);
+  FullyConnected fc("fc", 7, 5, rng);
+  check_weight_gradient(fc, random_input(7, 3, 2), 2e-2);
+}
+
+TEST(GradCheck, Conv2DInput) {
+  Rng rng(3);
+  const tensor::ConvGeom g{2, 5, 5, 3, 3, 3, 1, 1};
+  Conv2D conv("conv", g, rng);
+  check_input_gradient(conv, random_input(2 * 5 * 5, 2, 4), 2e-2);
+}
+
+TEST(GradCheck, Conv2DWeights) {
+  Rng rng(3);
+  const tensor::ConvGeom g{2, 5, 5, 3, 3, 3, 1, 1};
+  Conv2D conv("conv", g, rng);
+  check_weight_gradient(conv, random_input(2 * 5 * 5, 2, 4), 2e-2);
+}
+
+TEST(GradCheck, Conv2DStridedNoPad) {
+  Rng rng(5);
+  const tensor::ConvGeom g{3, 7, 7, 2, 3, 3, 2, 0};
+  Conv2D conv("conv", g, rng);
+  check_input_gradient(conv, random_input(3 * 7 * 7, 2, 6), 2e-2);
+  check_weight_gradient(conv, random_input(3 * 7 * 7, 2, 6), 2e-2);
+}
+
+TEST(GradCheck, ReLUInput) {
+  ReLU relu("r");
+  // Keep inputs away from the kink at 0 where FD is invalid.
+  Matrix x = random_input(6, 4, 7);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (std::abs(x.data()[i]) < 0.05f) x.data()[i] = 0.2f;
+  check_input_gradient(relu, x, 1e-2);
+}
+
+TEST(GradCheck, MaxPoolInput) {
+  const tensor::ConvGeom g{2, 6, 6, 2, 2, 2, 2, 0};
+  MaxPool2D pool("p", g);
+  // Perturbations must not flip the argmax: spread the values out.
+  Matrix x = random_input(2 * 6 * 6, 2, 8);
+  x *= 10.0f;
+  check_input_gradient(pool, x, 1e-2);
+}
+
+TEST(GradCheck, DropoutInput) {
+  Dropout drop("d", 0.4, /*seed=*/11);
+  drop.set_batch_context(3, 17);
+  check_input_gradient(drop, random_input(10, 4, 9), 1e-2);
+}
+
+TEST(Dropout, MaskIsPureFunctionOfGlobalSampleIndex) {
+  Dropout a("d", 0.5, 21), b("d", 0.5, 21);
+  // a sees samples [0, 8); b sees the second half [4, 8) of the same batch.
+  a.set_batch_context(5, 0);
+  b.set_batch_context(5, 4);
+  Matrix xa = random_input(6, 8, 13);
+  Matrix xb = xa.col_block(4, 8);
+  const Matrix ya = a.forward(xa);
+  const Matrix yb = b.forward(xb);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_FLOAT_EQ(yb(i, j), ya(i, j + 4));
+}
+
+TEST(Dropout, MaskChangesAcrossIterations) {
+  Dropout d("d", 0.5, 22);
+  Matrix x = Matrix::filled(32, 4, 1.0f);
+  d.set_batch_context(0, 0);
+  const Matrix y0 = d.forward(x);
+  d.set_batch_context(1, 0);
+  const Matrix y1 = d.forward(x);
+  EXPECT_GT(tensor::max_abs_diff(y0, y1), 0.0f);
+}
+
+TEST(Dropout, KeepRateApproximatesProbability) {
+  Dropout d("d", 0.3, 23);
+  int kept = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (d.kept(0, static_cast<std::uint64_t>(i), 5)) ++kept;
+  EXPECT_NEAR(static_cast<double>(kept) / n, 0.7, 0.02);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropyGradient) {
+  const std::size_t classes = 5, batch = 3;
+  Matrix logits = random_input(classes, batch, 31);
+  std::vector<int> labels{1, 4, 0};
+  const LossResult base = softmax_cross_entropy(logits, labels, batch);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float orig = logits.data()[i];
+    logits.data()[i] = orig + eps;
+    const double jp =
+        softmax_cross_entropy(logits, labels, batch).loss_sum / batch;
+    logits.data()[i] = orig - eps;
+    const double jm =
+        softmax_cross_entropy(logits, labels, batch).loss_sum / batch;
+    logits.data()[i] = orig;
+    EXPECT_NEAR(base.dlogits.data()[i], (jp - jm) / (2.0 * eps), 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace mbd::nn

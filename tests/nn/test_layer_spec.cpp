@@ -1,0 +1,121 @@
+// Eq. 2 shape algebra and the AlexNet specification (Table 1: "parameters:
+// 61M", 5 conv + 3 FC layers).
+#include "mbd/nn/layer_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mbd/nn/models.hpp"
+#include "mbd/support/check.hpp"
+
+namespace mbd::nn {
+namespace {
+
+TEST(LayerSpec, ConvWeightCountEq2) {
+  // |W_i| = (kh·kw·X_C)·Y_C
+  const LayerSpec s = conv_spec("c", 96, 27, 27, 256, 5, 1, 2);
+  EXPECT_EQ(s.weight_count(), 5u * 5 * 96 * 256);
+}
+
+TEST(LayerSpec, ConvDimsEq2) {
+  // d_{i-1} = X_H·X_W·X_C and d_i = ⌈X_W/s⌉⌈X_H/s⌉·Y_C (with padding).
+  const LayerSpec s = conv_spec("c", 96, 27, 27, 256, 5, 1, 2);
+  EXPECT_EQ(s.d_in(), 27u * 27 * 96);
+  EXPECT_EQ(s.d_out(), 27u * 27 * 256);
+}
+
+TEST(LayerSpec, FcCounts) {
+  const LayerSpec s = fc_spec("f", 9216, 4096);
+  EXPECT_EQ(s.weight_count(), 9216u * 4096);
+  EXPECT_EQ(s.d_in(), 9216u);
+  EXPECT_EQ(s.d_out(), 4096u);
+}
+
+TEST(LayerSpec, PoolHasNoWeights) {
+  const LayerSpec s = pool_spec("p", 96, 55, 55, 3, 2);
+  EXPECT_EQ(s.weight_count(), 0u);
+  EXPECT_FALSE(s.has_weights());
+  EXPECT_EQ(s.d_out(), 96u * 27 * 27);
+}
+
+TEST(LayerSpec, MacsPerSample) {
+  const LayerSpec fc = fc_spec("f", 10, 20);
+  EXPECT_DOUBLE_EQ(fc.macs_per_sample(), 200.0);
+  const LayerSpec c = conv_spec("c", 2, 4, 4, 3, 3, 1, 1);
+  EXPECT_DOUBLE_EQ(c.macs_per_sample(), 2.0 * 3 * 3 * 4 * 4 * 3);
+}
+
+TEST(LayerSpec, ChainValidation) {
+  auto good = mlp_spec({10, 20, 5});
+  check_chain(good);  // must not throw
+  std::vector<LayerSpec> bad{fc_spec("a", 10, 20), fc_spec("b", 21, 5)};
+  EXPECT_THROW(check_chain(bad), Error);
+}
+
+TEST(AlexNet, HasFiveConvAndThreeFc) {
+  const auto net = alexnet_spec();
+  int convs = 0, fcs = 0;
+  for (const auto& l : net) {
+    if (l.kind == LayerKind::Conv) ++convs;
+    if (l.kind == LayerKind::FullyConnected) ++fcs;
+  }
+  EXPECT_EQ(convs, 5);
+  EXPECT_EQ(fcs, 3);
+}
+
+TEST(AlexNet, TotalParamsAbout61M) {
+  const auto net = alexnet_spec();
+  const std::size_t total = total_weights(net);
+  // Krizhevsky's counts (weights only, no biases): ≈62.4M; Table 1 rounds
+  // to 61M.
+  EXPECT_GT(total, 58'000'000u);
+  EXPECT_LT(total, 64'000'000u);
+}
+
+TEST(AlexNet, PerLayerWeightCounts) {
+  const auto ws = weighted_layers(alexnet_spec());
+  ASSERT_EQ(ws.size(), 8u);
+  EXPECT_EQ(ws[0].weight_count(), 11u * 11 * 3 * 96);       // conv1
+  EXPECT_EQ(ws[1].weight_count(), 5u * 5 * 96 * 256);       // conv2
+  EXPECT_EQ(ws[2].weight_count(), 3u * 3 * 256 * 384);      // conv3
+  EXPECT_EQ(ws[3].weight_count(), 3u * 3 * 384 * 384);      // conv4
+  EXPECT_EQ(ws[4].weight_count(), 3u * 3 * 384 * 256);      // conv5
+  EXPECT_EQ(ws[5].weight_count(), 9216u * 4096);            // fc6
+  EXPECT_EQ(ws[6].weight_count(), 4096u * 4096);            // fc7
+  EXPECT_EQ(ws[7].weight_count(), 4096u * 1000);            // fc8
+}
+
+TEST(AlexNet, ActivationShapesChain) {
+  const auto net = alexnet_spec();
+  check_chain(net);
+  EXPECT_EQ(net.front().d_in(), 3u * 227 * 227);
+  EXPECT_EQ(net.back().d_out(), 1000u);
+}
+
+TEST(AlexNet, Conv5OutputIs13x13x256) {
+  const auto ws = weighted_layers(alexnet_spec());
+  EXPECT_EQ(ws[4].d_out(), 13u * 13 * 256);
+}
+
+TEST(Models, MlpSpecStructure) {
+  const auto net = mlp_spec({8, 16, 4});
+  ASSERT_EQ(net.size(), 2u);
+  EXPECT_TRUE(net[0].relu_after);
+  EXPECT_FALSE(net[1].relu_after);
+  EXPECT_EQ(total_weights(net), 8u * 16 + 16 * 4);
+}
+
+TEST(Models, SmallCnnChains) {
+  const auto net = small_cnn_spec(3, 8, 10);
+  check_chain(net);
+  EXPECT_EQ(net.back().d_out(), 10u);
+}
+
+TEST(Models, WeightedLayersFiltersPools) {
+  const auto net = alexnet_spec();
+  const auto ws = weighted_layers(net);
+  EXPECT_LT(ws.size(), net.size());
+  for (const auto& l : ws) EXPECT_TRUE(l.has_weights());
+}
+
+}  // namespace
+}  // namespace mbd::nn

@@ -1,0 +1,106 @@
+#include "mbd/nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mbd/support/check.hpp"
+#include "mbd/tensor/ops.hpp"
+
+namespace mbd::nn {
+namespace {
+
+using tensor::Matrix;
+
+TEST(Loss, UniformLogitsGiveLogC) {
+  const std::size_t classes = 4, batch = 2;
+  Matrix logits(classes, batch);  // all zero -> uniform softmax
+  std::vector<int> labels{0, 3};
+  const auto r = softmax_cross_entropy(logits, labels, batch);
+  EXPECT_NEAR(r.loss_sum / batch, std::log(4.0), 1e-6);
+}
+
+TEST(Loss, ConfidentCorrectPredictionNearZeroLoss) {
+  Matrix logits(3, 1);
+  logits(1, 0) = 30.0f;
+  std::vector<int> labels{1};
+  const auto r = softmax_cross_entropy(logits, labels, 1);
+  EXPECT_LT(r.loss_sum, 1e-6);
+}
+
+TEST(Loss, GradientIsProbsMinusOneHotOverB) {
+  Matrix logits(3, 2);
+  logits(0, 0) = 1.0f;
+  logits(2, 1) = -0.5f;
+  std::vector<int> labels{0, 2};
+  const std::size_t global_b = 4;  // larger than local batch: partial shard
+  const auto r = softmax_cross_entropy(logits, labels, global_b);
+  Matrix probs(3, 2);
+  tensor::softmax_columns(logits, probs);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) {
+      float expect = probs(i, j);
+      if ((j == 0 && i == 0) || (j == 1 && i == 2)) expect -= 1.0f;
+      expect /= static_cast<float>(global_b);
+      EXPECT_NEAR(r.dlogits(i, j), expect, 1e-6f);
+    }
+}
+
+TEST(Loss, GradientColumnsSumToZero) {
+  Rng rng(1);
+  Matrix logits = Matrix::random_normal(6, 5, rng, 2.0f);
+  std::vector<int> labels{0, 1, 2, 3, 4};
+  const auto r = softmax_cross_entropy(logits, labels, 5);
+  for (std::size_t j = 0; j < 5; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < 6; ++i) s += r.dlogits(i, j);
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(Loss, ShardedGradientsEqualFullBatch) {
+  // Batch-parallel invariant: splitting columns across two shards with the
+  // same global_batch reproduces the full-batch gradient exactly.
+  Rng rng(2);
+  Matrix logits = Matrix::random_normal(4, 6, rng, 1.5f);
+  std::vector<int> labels{0, 1, 2, 3, 0, 1};
+  const auto full = softmax_cross_entropy(logits, labels, 6);
+  const Matrix left = logits.col_block(0, 3);
+  const Matrix right = logits.col_block(3, 6);
+  const auto rl = softmax_cross_entropy(
+      left, std::span<const int>(labels.data(), 3), 6);
+  const auto rr = softmax_cross_entropy(
+      right, std::span<const int>(labels.data() + 3, 3), 6);
+  EXPECT_NEAR(rl.loss_sum + rr.loss_sum, full.loss_sum, 1e-9);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_FLOAT_EQ(rl.dlogits(i, j), full.dlogits(i, j));
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_FLOAT_EQ(rr.dlogits(i, j), full.dlogits(i, j + 3));
+  }
+}
+
+TEST(Loss, SoftmaxNumericallyStableForHugeLogits) {
+  Matrix logits(2, 1);
+  logits(0, 0) = 1000.0f;
+  logits(1, 0) = 999.0f;
+  std::vector<int> labels{0};
+  const auto r = softmax_cross_entropy(logits, labels, 1);
+  EXPECT_TRUE(std::isfinite(r.loss_sum));
+  EXPECT_NEAR(r.loss_sum, std::log(1.0 + std::exp(-1.0)), 1e-4);
+}
+
+TEST(Loss, InvalidLabelThrows) {
+  Matrix logits(3, 1);
+  std::vector<int> labels{5};
+  EXPECT_THROW(softmax_cross_entropy(logits, labels, 1), Error);
+}
+
+TEST(Loss, LabelCountMismatchThrows) {
+  Matrix logits(3, 2);
+  std::vector<int> labels{0};
+  EXPECT_THROW(softmax_cross_entropy(logits, labels, 2), Error);
+}
+
+}  // namespace
+}  // namespace mbd::nn

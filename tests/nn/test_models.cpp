@@ -1,0 +1,68 @@
+// Model-zoo specs beyond AlexNet (covered in test_layer_spec): the RNN proxy
+// and the machine-model variants its bench uses.
+#include <gtest/gtest.h>
+
+#include "mbd/costmodel/machine.hpp"
+#include "mbd/nn/models.hpp"
+#include "mbd/nn/network.hpp"
+#include "mbd/nn/trainer.hpp"
+#include "mbd/support/check.hpp"
+
+namespace mbd::nn {
+namespace {
+
+TEST(RnnProxy, StructureAndCounts) {
+  const auto net = rnn_proxy_spec(128, 256, 4, 10);
+  ASSERT_EQ(net.size(), 6u);  // embed + 4 steps + readout
+  EXPECT_EQ(net.front().fc_in, 128u);
+  EXPECT_EQ(net.back().fc_out, 10u);
+  EXPECT_FALSE(net.back().relu_after);
+  for (std::size_t i = 1; i + 1 < net.size(); ++i) {
+    EXPECT_EQ(net[i].fc_in, 256u);
+    EXPECT_EQ(net[i].fc_out, 256u);
+    EXPECT_TRUE(net[i].relu_after);
+  }
+  EXPECT_EQ(total_weights(net),
+            128u * 256 + 4u * 256 * 256 + 256u * 10);
+}
+
+TEST(RnnProxy, ChainsAndTrains) {
+  const auto specs = rnn_proxy_spec(12, 16, 3, 4);
+  check_chain(specs);
+  const auto data = make_synthetic_dataset(12, 4, 64, 83);
+  Network net = build_network(specs, {.seed = 2});
+  TrainConfig cfg;
+  cfg.batch = 16;
+  cfg.lr = 0.02f;
+  cfg.iterations = 25;
+  const auto losses = train_sgd(net, data, cfg);
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(RnnProxy, RejectsZeroSteps) {
+  EXPECT_THROW(rnn_proxy_spec(8, 8, 0, 2), Error);
+}
+
+TEST(MachineVariants, FastClusterParameters) {
+  const auto m = costmodel::MachineModel::fast_cluster();
+  EXPECT_DOUBLE_EQ(m.alpha, 1e-6);
+  EXPECT_DOUBLE_EQ(1.0 / m.beta, 25e9);
+  // 12x faster compute than the KNL curve at every batch point.
+  const auto knl = costmodel::MachineModel::cori_knl();
+  for (double b : {1.0, 64.0, 256.0, 2048.0}) {
+    EXPECT_NEAR(knl.compute.seconds_per_image(b) /
+                    m.compute.seconds_per_image(b),
+                12.0, 1e-6);
+  }
+}
+
+TEST(MachineVariants, WithNetworkScales) {
+  const auto base = costmodel::MachineModel::cori_knl();
+  const auto scaled = base.with_network(3.0, 0.5);
+  EXPECT_DOUBLE_EQ(scaled.alpha, 3.0 * base.alpha);
+  EXPECT_DOUBLE_EQ(scaled.beta, 0.5 * base.beta);
+  EXPECT_THROW(base.with_network(0.0, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace mbd::nn

@@ -1,0 +1,191 @@
+#include "mbd/nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mbd/nn/models.hpp"
+#include "mbd/nn/trainer.hpp"
+#include "mbd/support/check.hpp"
+
+namespace mbd::nn {
+namespace {
+
+TEST(Network, BuildMlpLayerCount) {
+  Network net = build_network(mlp_spec({8, 16, 4}));
+  // fc1, relu, fc2 — no relu after the output layer.
+  EXPECT_EQ(net.num_layers(), 3u);
+  EXPECT_EQ(net.num_params(), 8u * 16 + 16 * 4);
+}
+
+TEST(Network, BuildCnnIncludesPool) {
+  Network net = build_network(small_cnn_spec(3, 8, 10));
+  // conv1+relu, conv2+relu, pool, fc1+relu, fc2 = 8 layers.
+  EXPECT_EQ(net.num_layers(), 8u);
+}
+
+TEST(Network, BuildWithDropoutAfterHiddenFc) {
+  BuildOptions opts;
+  opts.dropout_prob = 0.5;
+  Network net = build_network(mlp_spec({8, 16, 16, 4}), opts);
+  // fc1, relu, drop, fc2, relu, drop, fc3.
+  EXPECT_EQ(net.num_layers(), 7u);
+}
+
+TEST(Network, ForwardShapes) {
+  Network net = build_network(mlp_spec({8, 16, 4}));
+  Rng rng(1);
+  const auto x = tensor::Matrix::random_normal(8, 5, rng, 1.0f);
+  const auto y = net.forward(x);
+  EXPECT_EQ(y.rows(), 4u);
+  EXPECT_EQ(y.cols(), 5u);
+}
+
+TEST(Network, SaveLoadRoundTrip) {
+  Network a = build_network(mlp_spec({8, 16, 4}), {.seed = 1});
+  Network b = build_network(mlp_spec({8, 16, 4}), {.seed = 2});
+  const auto pa = a.save_params();
+  b.load_params(pa);
+  EXPECT_EQ(b.save_params(), pa);
+}
+
+TEST(Network, LoadRejectsWrongSize) {
+  Network a = build_network(mlp_spec({8, 16, 4}));
+  std::vector<float> flat(3, 0.0f);
+  EXPECT_THROW(a.load_params(flat), Error);
+}
+
+TEST(Network, SameSeedSameWeights) {
+  Network a = build_network(mlp_spec({8, 16, 4}), {.seed = 7});
+  Network b = build_network(mlp_spec({8, 16, 4}), {.seed = 7});
+  EXPECT_EQ(a.save_params(), b.save_params());
+}
+
+TEST(Network, SgdStepMovesAgainstGradient) {
+  Network net = build_network(mlp_spec({4, 4, 2}));
+  Rng rng(3);
+  const auto x = tensor::Matrix::random_normal(4, 3, rng, 1.0f);
+  const auto y = net.forward(x);
+  tensor::Matrix dy = tensor::Matrix::filled(y.rows(), y.cols(), 1.0f);
+  net.backward(dy);
+  const auto before = net.save_params();
+  net.sgd_step(0.1f);
+  const auto after = net.save_params();
+  // Parameters with nonzero gradient must move by exactly -lr·g.
+  auto g0 = net.layer(0).grads();
+  bool moved = false;
+  for (std::size_t i = 0; i < g0.size(); ++i) {
+    EXPECT_NEAR(after[i], before[i] - 0.1f * g0[i], 1e-6f);
+    if (g0[i] != 0.0f) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(Trainer, LossDecreasesOnSyntheticData) {
+  const auto data = make_synthetic_dataset(16, 4, 256, /*seed=*/5);
+  Network net = build_network(mlp_spec({16, 32, 4}), {.seed = 11});
+  TrainConfig cfg;
+  cfg.batch = 32;
+  cfg.lr = 0.05f;
+  cfg.iterations = 60;
+  const auto losses = train_sgd(net, data, cfg);
+  ASSERT_EQ(losses.size(), 60u);
+  // Average of the last 10 iterations well below the first.
+  double head = losses[0];
+  double tail = 0.0;
+  for (std::size_t i = 50; i < 60; ++i) tail += losses[i];
+  tail /= 10.0;
+  EXPECT_LT(tail, 0.7 * head);
+}
+
+TEST(Trainer, CnnTrainsOnSyntheticImages) {
+  const std::size_t hw = 8;
+  const auto specs = small_cnn_spec(3, hw, 4);
+  const auto data = make_synthetic_dataset(3 * hw * hw, 4, 64, /*seed=*/6);
+  Network net = build_network(specs, {.seed = 13});
+  TrainConfig cfg;
+  cfg.batch = 16;
+  cfg.lr = 0.02f;
+  cfg.iterations = 25;
+  const auto losses = train_sgd(net, data, cfg);
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(Trainer, DeterministicAcrossRuns) {
+  const auto data = make_synthetic_dataset(8, 2, 64, 7);
+  TrainConfig cfg;
+  cfg.batch = 8;
+  cfg.lr = 0.1f;
+  cfg.iterations = 5;
+  Network a = build_network(mlp_spec({8, 8, 2}), {.seed = 3});
+  Network b = build_network(mlp_spec({8, 8, 2}), {.seed = 3});
+  const auto la = train_sgd(a, data, cfg);
+  const auto lb = train_sgd(b, data, cfg);
+  EXPECT_EQ(la, lb);
+  EXPECT_EQ(a.save_params(), b.save_params());
+}
+
+TEST(Evaluate, UntrainedNetNearChance) {
+  const auto data = make_synthetic_dataset(16, 4, 200, /*seed=*/15);
+  Network net = build_network(mlp_spec({16, 32, 4}), {.seed = 21});
+  const double acc = evaluate_accuracy(net, data);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(Evaluate, TrainingImprovesAccuracy) {
+  const auto data = make_synthetic_dataset(16, 4, 200, /*seed=*/15);
+  Network net = build_network(mlp_spec({16, 32, 4}), {.seed = 21});
+  const double before = evaluate_accuracy(net, data);
+  TrainConfig cfg;
+  cfg.batch = 25;
+  cfg.lr = 0.05f;
+  cfg.iterations = 80;
+  (void)train_sgd(net, data, cfg);
+  const double after = evaluate_accuracy(net, data);
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 0.85);  // well-separated Gaussian clusters
+}
+
+TEST(Evaluate, BatchSizeDoesNotChangeResult) {
+  const auto data = make_synthetic_dataset(8, 3, 50, /*seed=*/17);
+  Network net = build_network(mlp_spec({8, 16, 3}), {.seed = 23});
+  EXPECT_DOUBLE_EQ(evaluate_accuracy(net, data, 7),
+                   evaluate_accuracy(net, data, 50));
+}
+
+TEST(Network, MomentumStepMatchesHandComputedRecurrence) {
+  Network net = build_network(mlp_spec({4, 4, 2}), {.seed = 31});
+  Rng rng(9);
+  const auto x = tensor::Matrix::random_normal(4, 3, rng, 1.0f);
+  auto step = [&] {
+    const auto y = net.forward(x);
+    net.backward(tensor::Matrix::filled(y.rows(), y.cols(), 1.0f));
+    net.sgd_step(0.1f, 0.9f);
+  };
+  const auto w0 = net.save_params();
+  // First step: v = g, w1 = w0 − lr·g.
+  step();
+  const auto w1 = net.save_params();
+  auto g1 = std::vector<float>(net.layer(0).grads().begin(),
+                               net.layer(0).grads().end());
+  for (std::size_t i = 0; i < g1.size(); ++i)
+    EXPECT_NEAR(w1[i], w0[i] - 0.1f * g1[i], 1e-6f);
+  // Second step: v = 0.9·g1 + g2, w2 = w1 − lr·v.
+  step();
+  const auto w2 = net.save_params();
+  auto g2 = std::vector<float>(net.layer(0).grads().begin(),
+                               net.layer(0).grads().end());
+  for (std::size_t i = 0; i < g2.size(); ++i)
+    EXPECT_NEAR(w2[i], w1[i] - 0.1f * (0.9f * g1[i] + g2[i]), 1e-5f);
+}
+
+TEST(Dataset, SyntheticBalancedLabels) {
+  const auto data = make_synthetic_dataset(4, 3, 30, 9);
+  std::vector<int> counts(3, 0);
+  for (int l : data.labels) counts[static_cast<std::size_t>(l)]++;
+  EXPECT_EQ(counts[0], 10);
+  EXPECT_EQ(counts[1], 10);
+  EXPECT_EQ(counts[2], 10);
+}
+
+}  // namespace
+}  // namespace mbd::nn

@@ -1,0 +1,83 @@
+#include "mbd/nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "mbd/nn/models.hpp"
+#include "mbd/support/check.hpp"
+
+namespace mbd::nn {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Checkpoint, RoundTripRestoresExactParams) {
+  Network a = build_network(mlp_spec({8, 16, 4}), {.seed = 3});
+  const std::string path = temp_path("ckpt_roundtrip.bin");
+  save_checkpoint(a, path);
+  Network b = build_network(mlp_spec({8, 16, 4}), {.seed = 99});
+  EXPECT_NE(a.save_params(), b.save_params());
+  load_checkpoint(b, path);
+  EXPECT_EQ(a.save_params(), b.save_params());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, WorksForCnn) {
+  Network a = build_network(small_cnn_spec(2, 8, 4), {.seed = 5});
+  const std::string path = temp_path("ckpt_cnn.bin");
+  save_checkpoint(a, path);
+  Network b = build_network(small_cnn_spec(2, 8, 4), {.seed = 6});
+  load_checkpoint(b, path);
+  EXPECT_EQ(a.save_params(), b.save_params());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsWrongArchitecture) {
+  Network a = build_network(mlp_spec({8, 16, 4}), {.seed = 3});
+  const std::string path = temp_path("ckpt_wrong.bin");
+  save_checkpoint(a, path);
+  Network b = build_network(mlp_spec({8, 32, 4}), {.seed = 3});
+  EXPECT_THROW(load_checkpoint(b, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbageFile) {
+  const std::string path = temp_path("ckpt_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a checkpoint";
+  }
+  Network b = build_network(mlp_spec({8, 16, 4}));
+  EXPECT_THROW(load_checkpoint(b, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsTruncatedFile) {
+  Network a = build_network(mlp_spec({8, 16, 4}), {.seed = 3});
+  const std::string path = temp_path("ckpt_trunc.bin");
+  save_checkpoint(a, path);
+  // Truncate to half size.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() / 2));
+  }
+  Network b = build_network(mlp_spec({8, 16, 4}));
+  EXPECT_THROW(load_checkpoint(b, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  Network b = build_network(mlp_spec({8, 16, 4}));
+  EXPECT_THROW(load_checkpoint(b, temp_path("does_not_exist.bin")), Error);
+}
+
+}  // namespace
+}  // namespace mbd::nn

@@ -1,0 +1,242 @@
+#include "mbd/parallel/domain_parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parallel_test_util.hpp"
+
+namespace mbd::parallel {
+namespace {
+
+using testing::expect_losses_close;
+using testing::expect_params_close;
+using testing::run_distributed;
+using testing::run_reference;
+
+struct Problem {
+  std::vector<nn::LayerSpec> specs;
+  nn::Dataset data;
+  nn::TrainConfig cfg;
+};
+
+/// Stride-1 same-pad conv stack + FC tail on 8×8 images (height divisible
+/// by 1, 2, 4, 8 ranks).
+std::vector<nn::LayerSpec> domain_cnn_spec(std::size_t in_c, std::size_t hw,
+                                           std::size_t classes) {
+  std::vector<nn::LayerSpec> net;
+  net.push_back(nn::conv_spec("conv1", in_c, hw, hw, 4, 3, 1, 1));
+  net.push_back(nn::conv_spec("conv2", 4, hw, hw, 4, 3, 1, 1));
+  net.push_back(nn::fc_spec("fc1", 4 * hw * hw, 16));
+  net.push_back(nn::fc_spec("fc2", 16, classes, /*relu=*/false));
+  nn::check_chain(net);
+  return net;
+}
+
+Problem domain_problem() {
+  Problem p;
+  p.specs = domain_cnn_spec(2, 8, 4);
+  p.data = nn::make_synthetic_dataset(2 * 8 * 8, 4, 32, /*seed=*/17);
+  p.cfg.batch = 8;
+  p.cfg.lr = 0.02f;
+  p.cfg.iterations = 4;
+  return p;
+}
+
+// Sweep both the rank count and the halo schedule (blocking vs overlapped —
+// §2.2's non-blocking exchange must be bit-identical in results).
+class DomainSweep
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(DomainSweep, MatchesSequential) {
+  const auto [p, overlap] = GetParam();
+  auto prob = domain_problem();
+  const auto ref = run_reference(prob.specs, prob.data, prob.cfg);
+  const auto dist = run_distributed(p, [&, overlap = overlap](comm::Comm& c) {
+    return train_domain_parallel(c, prob.specs, prob.data, prob.cfg,
+                                 /*seed=*/42, overlap);
+  });
+  expect_losses_close(ref.losses, dist.losses);
+  expect_params_close(ref.params, dist.params);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranks, DomainSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_overlapped" : "_blocking");
+    });
+
+TEST(DomainParallel, OverlappedHaloSameTraffic) {
+  // The overlapped schedule changes only when compute happens, not what is
+  // communicated.
+  auto prob = domain_problem();
+  auto run = [&](bool overlap) {
+    comm::World world(4);
+    world.run([&](comm::Comm& c) {
+      (void)train_domain_parallel(c, prob.specs, prob.data, prob.cfg, 42,
+                                  overlap);
+    });
+    return world.stats();
+  };
+  const auto blocking = run(false);
+  const auto overlapped = run(true);
+  EXPECT_EQ(blocking[comm::Coll::PointToPoint].bytes,
+            overlapped[comm::Coll::PointToPoint].bytes);
+  EXPECT_EQ(blocking[comm::Coll::AllGather].bytes,
+            overlapped[comm::Coll::AllGather].bytes);
+}
+
+TEST(DomainParallel, FiveByFiveKernelHaloOfTwo) {
+  // Larger halo (⌊5/2⌋ = 2 rows) across 2 ranks on 8-row images.
+  Problem prob;
+  std::vector<nn::LayerSpec> net;
+  net.push_back(nn::conv_spec("conv1", 1, 8, 8, 3, 5, 1, 2));
+  net.push_back(nn::fc_spec("fc", 3 * 8 * 8, 4, false));
+  prob.specs = net;
+  prob.data = nn::make_synthetic_dataset(1 * 8 * 8, 4, 16, 19);
+  prob.cfg.batch = 4;
+  prob.cfg.lr = 0.02f;
+  prob.cfg.iterations = 3;
+  const auto ref = run_reference(prob.specs, prob.data, prob.cfg);
+  const auto dist = run_distributed(2, [&](comm::Comm& c) {
+    return train_domain_parallel(c, prob.specs, prob.data, prob.cfg);
+  });
+  expect_losses_close(ref.losses, dist.losses);
+  expect_params_close(ref.params, dist.params);
+}
+
+TEST(DomainParallel, OneByOneConvNeedsNoHalo) {
+  // 1×1 convolutions: zero halo traffic (paper's point about modern nets).
+  Problem prob;
+  std::vector<nn::LayerSpec> net;
+  net.push_back(nn::conv_spec("conv1x1", 2, 4, 4, 6, 1, 1, 0));
+  net.push_back(nn::fc_spec("fc", 6 * 4 * 4, 3, false));
+  prob.specs = net;
+  prob.data = nn::make_synthetic_dataset(2 * 4 * 4, 3, 12, 23);
+  prob.cfg.batch = 4;
+  prob.cfg.lr = 0.02f;
+  prob.cfg.iterations = 2;
+  const auto ref = run_reference(prob.specs, prob.data, prob.cfg);
+
+  comm::World world(2);
+  std::vector<DistResult> results(2);
+  std::mutex mu;
+  world.run([&](comm::Comm& c) {
+    auto r = train_domain_parallel(c, prob.specs, prob.data, prob.cfg);
+    std::lock_guard lock(mu);
+    results[static_cast<std::size_t>(c.rank())] = std::move(r);
+  });
+  expect_losses_close(ref.losses, results[0].losses);
+  // No point-to-point (halo) traffic at all.
+  EXPECT_EQ(world.stats()[comm::Coll::PointToPoint].bytes, 0u);
+}
+
+TEST(DomainParallel, RejectsPooling) {
+  auto specs = nn::small_cnn_spec(2, 8, 4);  // has a pool layer
+  const auto data = nn::make_synthetic_dataset(2 * 8 * 8, 4, 16, 29);
+  nn::TrainConfig cfg;
+  cfg.batch = 4;
+  comm::World world(2);
+  EXPECT_THROW(world.run([&](comm::Comm& c) {
+    (void)train_domain_parallel(c, specs, data, cfg);
+  }),
+               Error);
+}
+
+TEST(DomainParallel, SupportsIndivisibleHeight) {
+  // Height 8 over 3 ranks: slabs of 2, 3, 3 rows — uneven halo neighbours
+  // and an all-gatherv at the conv→FC transition.
+  auto prob = domain_problem();
+  const auto ref = run_reference(prob.specs, prob.data, prob.cfg);
+  const auto dist = run_distributed(3, [&](comm::Comm& c) {
+    return train_domain_parallel(c, prob.specs, prob.data, prob.cfg);
+  });
+  expect_losses_close(ref.losses, dist.losses);
+  expect_params_close(ref.params, dist.params);
+}
+
+TEST(DomainParallel, RejectsMoreRanksThanRows) {
+  auto prob = domain_problem();  // height 8
+  comm::World world(9);
+  EXPECT_THROW(world.run([&](comm::Comm& c) {
+    (void)train_domain_parallel(c, prob.specs, prob.data, prob.cfg);
+  }),
+               Error);
+}
+
+TEST(DomainParallel, RejectsStridedConv) {
+  std::vector<nn::LayerSpec> net;
+  net.push_back(nn::conv_spec("strided", 1, 8, 8, 2, 3, 2, 1));
+  net.push_back(nn::fc_spec("fc", 2 * 4 * 4, 2, false));
+  const auto data = nn::make_synthetic_dataset(64, 2, 8, 31);
+  nn::TrainConfig cfg;
+  cfg.batch = 4;
+  comm::World world(2);
+  EXPECT_THROW(world.run([&](comm::Comm& c) {
+    (void)train_domain_parallel(c, net, data, cfg);
+  }),
+               Error);
+}
+
+TEST(DomainParallel, NonSquareImages) {
+  // Height 6 (split axis) vs width 10 — the H/W roles must not be conflated
+  // anywhere in the halo or slab logic.
+  Problem prob;
+  std::vector<nn::LayerSpec> net;
+  nn::LayerSpec c1;
+  c1.kind = nn::LayerKind::Conv;
+  c1.name = "conv_rect";
+  c1.conv = tensor::ConvGeom{2, 6, 10, 3, 3, 3, 1, 1};
+  c1.relu_after = true;
+  net.push_back(c1);
+  net.push_back(nn::fc_spec("fc", 3 * 6 * 10, 4, false));
+  nn::check_chain(net);
+  prob.specs = net;
+  prob.data = nn::make_synthetic_dataset(2 * 6 * 10, 4, 24, 97);
+  prob.cfg.batch = 6;
+  prob.cfg.lr = 0.02f;
+  prob.cfg.iterations = 3;
+  const auto ref = run_reference(prob.specs, prob.data, prob.cfg);
+  for (int p : {2, 3}) {
+    const auto dist = run_distributed(p, [&](comm::Comm& c) {
+      return train_domain_parallel(c, prob.specs, prob.data, prob.cfg);
+    });
+    expect_losses_close(ref.losses, dist.losses);
+    expect_params_close(ref.params, dist.params);
+  }
+}
+
+TEST(DomainParallel, GrowingChannelStack) {
+  // Channel counts changing layer to layer (2 -> 6 -> 3) exercise the
+  // per-layer halo sizes.
+  Problem prob;
+  std::vector<nn::LayerSpec> net;
+  net.push_back(nn::conv_spec("c1", 2, 8, 8, 6, 3, 1, 1));
+  net.push_back(nn::conv_spec("c2", 6, 8, 8, 3, 5, 1, 2));  // halo 2
+  net.push_back(nn::fc_spec("fc", 3 * 8 * 8, 4, false));
+  nn::check_chain(net);
+  prob.specs = net;
+  prob.data = nn::make_synthetic_dataset(2 * 8 * 8, 4, 24, 101);
+  prob.cfg.batch = 6;
+  prob.cfg.lr = 0.02f;
+  prob.cfg.iterations = 3;
+  const auto ref = run_reference(prob.specs, prob.data, prob.cfg);
+  const auto dist = run_distributed(4, [&](comm::Comm& c) {
+    return train_domain_parallel(c, prob.specs, prob.data, prob.cfg);
+  });
+  expect_losses_close(ref.losses, dist.losses);
+  expect_params_close(ref.params, dist.params);
+}
+
+TEST(DomainParallel, LossDecreases) {
+  auto prob = domain_problem();
+  prob.cfg.iterations = 20;
+  const auto dist = run_distributed(2, [&](comm::Comm& c) {
+    return train_domain_parallel(c, prob.specs, prob.data, prob.cfg);
+  });
+  EXPECT_LT(dist.losses.back(), dist.losses.front());
+}
+
+}  // namespace
+}  // namespace mbd::parallel

@@ -1,0 +1,134 @@
+#include "mbd/parallel/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parallel_test_util.hpp"
+
+namespace mbd::parallel {
+namespace {
+
+using testing::expect_losses_close;
+using testing::expect_params_close;
+using testing::run_distributed;
+using testing::run_reference;
+
+struct Problem {
+  std::vector<nn::LayerSpec> specs;
+  nn::Dataset data;
+  nn::TrainConfig cfg;
+};
+
+/// Conv stack + FC tail with dims divisible by pr ∈ {1, 2, 4} and image
+/// height 8.
+Problem hybrid_problem() {
+  Problem p;
+  std::vector<nn::LayerSpec> net;
+  net.push_back(nn::conv_spec("conv1", 2, 8, 8, 4, 3, 1, 1));
+  net.push_back(nn::conv_spec("conv2", 4, 8, 8, 4, 3, 1, 1));
+  net.push_back(nn::fc_spec("fc1", 4 * 8 * 8, 16));
+  net.push_back(nn::fc_spec("fc2", 16, 8, /*relu=*/false));
+  nn::check_chain(net);
+  p.specs = std::move(net);
+  p.data = nn::make_synthetic_dataset(2 * 8 * 8, 8, 48, /*seed=*/37);
+  p.cfg.batch = 12;
+  p.cfg.lr = 0.02f;
+  p.cfg.iterations = 4;
+  return p;
+}
+
+class HybridGridSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(HybridGridSweep, MatchesSequential) {
+  const auto [pr, pc] = GetParam();
+  auto prob = hybrid_problem();
+  const auto ref = run_reference(prob.specs, prob.data, prob.cfg);
+  const auto dist = run_distributed(pr * pc, [&, pr = pr, pc = pc](comm::Comm& c) {
+    return train_hybrid(c, {pr, pc}, prob.specs, prob.data, prob.cfg);
+  });
+  expect_losses_close(ref.losses, dist.losses);
+  expect_params_close(ref.params, dist.params);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, HybridGridSweep,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 1}, std::pair{1, 2},
+                      std::pair{2, 2}, std::pair{4, 1}, std::pair{4, 2},
+                      std::pair{2, 4}),
+    [](const auto& info) {
+      return "pr" + std::to_string(info.param.first) + "_pc" +
+             std::to_string(info.param.second);
+    });
+
+TEST(Hybrid, ScalesBeyondBatchSize) {
+  // The paper's headline capability (Fig. 10): P > B still trains correctly.
+  auto prob = hybrid_problem();
+  prob.cfg.batch = 4;  // P = 8 > B = 4, Pc = 4, Pr = 2
+  const auto ref = run_reference(prob.specs, prob.data, prob.cfg);
+  const auto dist = run_distributed(8, [&](comm::Comm& c) {
+    return train_hybrid(c, {2, 4}, prob.specs, prob.data, prob.cfg);
+  });
+  expect_losses_close(ref.losses, dist.losses);
+  expect_params_close(ref.params, dist.params);
+}
+
+TEST(Hybrid, SupportsIndivisibleImageHeight) {
+  // Height 8 over pr = 3: slab heights 2/3/3 within each model group.
+  auto prob = hybrid_problem();
+  const auto ref = run_reference(prob.specs, prob.data, prob.cfg);
+  const auto dist = run_distributed(3, [&](comm::Comm& c) {
+    return train_hybrid(c, {3, 1}, prob.specs, prob.data, prob.cfg);
+  });
+  expect_losses_close(ref.losses, dist.losses);
+  expect_params_close(ref.params, dist.params);
+}
+
+TEST(Hybrid, SupportsIndivisibleFcWidthAndBatch) {
+  // FC widths 12/8 over pr = 5 and batch 14 over pc = 4 — every partition
+  // uneven at once.
+  auto prob = hybrid_problem();
+  prob.specs[2] = nn::fc_spec("fc1", 4 * 8 * 8, 12);
+  prob.specs[3] = nn::fc_spec("fc2", 12, 8, false);
+  prob.cfg.batch = 14;
+  const auto ref = run_reference(prob.specs, prob.data, prob.cfg);
+  const auto dist = run_distributed(20, [&](comm::Comm& c) {
+    return train_hybrid(c, {5, 4}, prob.specs, prob.data, prob.cfg);
+  });
+  expect_losses_close(ref.losses, dist.losses);
+  expect_params_close(ref.params, dist.params);
+}
+
+TEST(Hybrid, OverlappedHaloMatchesSequential) {
+  // §2.2's overlapped schedule inside the Eq. 9 trainer: identical results.
+  auto prob = hybrid_problem();
+  const auto ref = run_reference(prob.specs, prob.data, prob.cfg);
+  const auto dist = run_distributed(4, [&](comm::Comm& c) {
+    return train_hybrid(c, {2, 2}, prob.specs, prob.data, prob.cfg,
+                        /*seed=*/42, /*overlap_halo=*/true);
+  });
+  expect_losses_close(ref.losses, dist.losses);
+  expect_params_close(ref.params, dist.params);
+}
+
+TEST(Hybrid, RejectsPooling) {
+  auto prob = hybrid_problem();
+  prob.specs.insert(prob.specs.begin() + 2,
+                    nn::pool_spec("pool", 4, 8, 8, 2, 2));
+  comm::World world(2);
+  EXPECT_THROW(world.run([&](comm::Comm& c) {
+    (void)train_hybrid(c, {2, 1}, prob.specs, prob.data, prob.cfg);
+  }),
+               Error);
+}
+
+TEST(Hybrid, LossDecreases) {
+  auto prob = hybrid_problem();
+  prob.cfg.iterations = 20;
+  const auto dist = run_distributed(4, [&](comm::Comm& c) {
+    return train_hybrid(c, {2, 2}, prob.specs, prob.data, prob.cfg);
+  });
+  EXPECT_LT(dist.losses.back(), dist.losses.front());
+}
+
+}  // namespace
+}  // namespace mbd::parallel

@@ -1,0 +1,128 @@
+#include "mbd/parallel/integrated.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mbd/parallel/batch_parallel.hpp"
+#include "mbd/parallel/model_parallel.hpp"
+#include "parallel_test_util.hpp"
+
+namespace mbd::parallel {
+namespace {
+
+using testing::expect_losses_close;
+using testing::expect_params_close;
+using testing::run_distributed;
+using testing::run_reference;
+
+struct Problem {
+  std::vector<nn::LayerSpec> specs;
+  nn::Dataset data;
+  nn::TrainConfig cfg;
+};
+
+// Every layer's output dim divisible by all tested pr values (1, 2, 3, 4, 6).
+Problem grid_problem() {
+  Problem p;
+  p.specs = nn::mlp_spec({10, 24, 12, 12});
+  p.data = nn::make_synthetic_dataset(10, 12, 96, /*seed=*/11);
+  p.cfg.batch = 24;
+  p.cfg.lr = 0.05f;
+  p.cfg.iterations = 6;
+  return p;
+}
+
+class GridSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GridSweep, MatchesSequential) {
+  const auto [pr, pc] = GetParam();
+  auto prob = grid_problem();
+  const auto ref = run_reference(prob.specs, prob.data, prob.cfg);
+  const auto dist = run_distributed(pr * pc, [&, pr = pr, pc = pc](comm::Comm& c) {
+    return train_integrated_15d(c, {pr, pc}, prob.specs, prob.data, prob.cfg);
+  });
+  expect_losses_close(ref.losses, dist.losses);
+  expect_params_close(ref.params, dist.params);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, GridSweep,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 1}, std::pair{1, 2},
+                      std::pair{2, 2}, std::pair{3, 2}, std::pair{2, 3},
+                      std::pair{2, 4}, std::pair{4, 2}, std::pair{6, 2}),
+    [](const auto& info) {
+      return "pr" + std::to_string(info.param.first) + "_pc" +
+             std::to_string(info.param.second);
+    });
+
+TEST(Integrated, DegeneratesToPureBatch) {
+  // Pr = 1: bit-level agreement with the batch-parallel trainer is not
+  // guaranteed (different reduction order), but loss curves must agree to
+  // float tolerance.
+  auto prob = grid_problem();
+  const auto grid = run_distributed(4, [&](comm::Comm& c) {
+    return train_integrated_15d(c, {1, 4}, prob.specs, prob.data, prob.cfg);
+  });
+  const auto batch = run_distributed(4, [&](comm::Comm& c) {
+    return train_batch_parallel(c, prob.specs, prob.data, prob.cfg);
+  });
+  expect_losses_close(grid.losses, batch.losses);
+  expect_params_close(grid.params, batch.params);
+}
+
+TEST(Integrated, DegeneratesToPureModel) {
+  auto prob = grid_problem();
+  const auto grid = run_distributed(4, [&](comm::Comm& c) {
+    return train_integrated_15d(c, {4, 1}, prob.specs, prob.data, prob.cfg);
+  });
+  const auto model = run_distributed(4, [&](comm::Comm& c) {
+    return train_model_parallel(c, prob.specs, prob.data, prob.cfg);
+  });
+  expect_losses_close(grid.losses, model.losses);
+  expect_params_close(grid.params, model.params);
+}
+
+TEST(Integrated, RejectsBadGridShape) {
+  auto prob = grid_problem();
+  comm::World world(4);
+  EXPECT_THROW(world.run([&](comm::Comm& c) {
+    (void)train_integrated_15d(c, {3, 2}, prob.specs, prob.data, prob.cfg);
+  }),
+               Error);
+}
+
+TEST(Integrated, SupportsIndivisibleBatch) {
+  // batch = 25 over pc = 2: column blocks of 12 and 13.
+  auto prob = grid_problem();
+  prob.cfg.batch = 25;
+  const auto ref = run_reference(prob.specs, prob.data, prob.cfg);
+  const auto dist = run_distributed(4, [&](comm::Comm& c) {
+    return train_integrated_15d(c, {2, 2}, prob.specs, prob.data, prob.cfg);
+  });
+  expect_losses_close(ref.losses, dist.losses);
+  expect_params_close(ref.params, dist.params);
+}
+
+TEST(Integrated, SupportsIndivisibleModelDimension) {
+  // Layer widths 24/12/12 are not divisible by pr = 5: all-gatherv path.
+  auto prob = grid_problem();
+  prob.cfg.batch = 10;
+  const auto ref = run_reference(prob.specs, prob.data, prob.cfg);
+  const auto dist = run_distributed(10, [&](comm::Comm& c) {
+    return train_integrated_15d(c, {5, 2}, prob.specs, prob.data, prob.cfg);
+  });
+  expect_losses_close(ref.losses, dist.losses);
+  expect_params_close(ref.params, dist.params);
+}
+
+TEST(Integrated, LossDecreases) {
+  auto prob = grid_problem();
+  prob.cfg.iterations = 30;
+  const auto dist = run_distributed(4, [&](comm::Comm& c) {
+    return train_integrated_15d(c, {2, 2}, prob.specs, prob.data, prob.cfg);
+  });
+  EXPECT_LT(dist.losses.back(), 0.8 * dist.losses.front());
+}
+
+}  // namespace
+}  // namespace mbd::parallel

@@ -1,0 +1,67 @@
+#include "mbd/support/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mbd {
+namespace {
+
+TEST(Check, PassingConditionsAreSilent) {
+  MBD_CHECK(true);
+  MBD_CHECK_EQ(3, 3);
+  MBD_CHECK_LT(1, 2);
+  MBD_CHECK_LE(2, 2);
+  MBD_CHECK_GT(5, 4);
+}
+
+TEST(Check, FailureThrowsError) {
+  EXPECT_THROW(MBD_CHECK(false), Error);
+  EXPECT_THROW(MBD_CHECK_EQ(1, 2), Error);
+  EXPECT_THROW(MBD_CHECK_LT(2, 1), Error);
+}
+
+TEST(Check, MessageCarriesExpressionAndOperands) {
+  try {
+    MBD_CHECK_EQ(7, 9);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lhs=7"), std::string::npos);
+    EXPECT_NE(what.find("rhs=9"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, StreamedMessage) {
+  try {
+    const int x = 42;
+    MBD_CHECK_MSG(x == 0, "x was " << x << " instead");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("x was 42 instead"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto once = [&] {
+    ++calls;
+    return true;
+  };
+  MBD_CHECK(once());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, ErrorIsARuntimeError) {
+  // Catchable through the standard hierarchy (library boundary guarantee).
+  try {
+    throw Error("boom");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+}  // namespace
+}  // namespace mbd

@@ -1,0 +1,85 @@
+#include "mbd/support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("test");
+  p.add_int("count", 5, "a count");
+  p.add_double("rate", 0.5, "a rate");
+  p.add_string("name", "default", "a name");
+  p.add_bool("verbose", false, "chatty");
+  return p;
+}
+
+TEST(ArgParser, Defaults) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.get_int("count"), 5);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 0.5);
+  EXPECT_EQ(p.get_string("name"), "default");
+  EXPECT_FALSE(p.get_bool("verbose"));
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--count=9", "--rate=1.25", "--name=xyz"};
+  ASSERT_TRUE(p.parse(4, argv));
+  EXPECT_EQ(p.get_int("count"), 9);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 1.25);
+  EXPECT_EQ(p.get_string("name"), "xyz");
+}
+
+TEST(ArgParser, SpaceSyntax) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--count", "12"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.get_int("count"), 12);
+}
+
+TEST(ArgParser, BareBoolFlag) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(ArgParser, UnknownFlagThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(p.parse(2, argv), Error);
+}
+
+TEST(ArgParser, BadIntThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--count=abc"};
+  EXPECT_THROW(p.parse(2, argv), Error);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_THROW(p.parse(2, argv), Error);
+}
+
+TEST(ArgParser, WrongTypeAccessThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_THROW(p.get_int("rate"), Error);
+  EXPECT_THROW(p.get_bool("count"), Error);
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+}  // namespace
+}  // namespace mbd

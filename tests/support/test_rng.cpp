@@ -1,0 +1,99 @@
+#include "mbd/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace mbd {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutOverflow) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, NormalHasApproxUnitMoments) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScaling) {
+  Rng a(17), b(17);
+  for (int i = 0; i < 10; ++i) {
+    const double x = a.normal();
+    const double y = b.normal(3.0, 2.0);
+    EXPECT_DOUBLE_EQ(y, 3.0 + 2.0 * x);
+  }
+}
+
+TEST(Rng, SplitIsDeterministicAndIndependent) {
+  Rng parent(21);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(1);
+  Rng c3 = parent.split(2);
+  EXPECT_EQ(c1.next_u64(), c2.next_u64());
+  // Different salts give different streams.
+  Rng c1b = parent.split(1);
+  EXPECT_NE(c1b.next_u64(), c3.next_u64());
+}
+
+TEST(Rng, FillNormalSizesAndScale) {
+  Rng rng(33);
+  std::vector<float> v(1000);
+  rng.fill_normal(v, 0.5f);
+  double sum2 = 0.0;
+  for (float x : v) sum2 += static_cast<double>(x) * x;
+  // variance ≈ 0.25
+  EXPECT_NEAR(sum2 / static_cast<double>(v.size()), 0.25, 0.05);
+}
+
+}  // namespace
+}  // namespace mbd

@@ -1,0 +1,58 @@
+#include "mbd/support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.row().add("alpha").add_num(1.5, 2);
+  t.row().add("b").add_int(42);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b", "c"});
+  t.row().add("1").add("2").add("3");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(TextTable, SizeCountsRows) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.size(), 0u);
+  t.row().add("1");
+  t.row().add("2");
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TextTable, RejectsTooManyCells) {
+  TextTable t({"only"});
+  t.row().add("ok");
+  EXPECT_THROW(t.add("overflow"), Error);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable t({}), Error);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+}  // namespace
+}  // namespace mbd

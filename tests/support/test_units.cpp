@@ -1,0 +1,29 @@
+#include "mbd/support/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbd {
+namespace {
+
+TEST(Units, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(2.0 * 1024 * 1024 * 1024), "2.00 GiB");
+}
+
+TEST(Units, Seconds) {
+  EXPECT_EQ(format_seconds(2e-6), "2.00 us");
+  EXPECT_EQ(format_seconds(1.3e-3), "1.30 ms");
+  EXPECT_EQ(format_seconds(4.2), "4.20 s");
+  EXPECT_EQ(format_seconds(3600.0), "60.0 min");
+  EXPECT_EQ(format_seconds(10800.0), "3.00 h");
+}
+
+TEST(Units, Counts) {
+  EXPECT_EQ(format_count(61e6), "61.0M");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1200), "1.2K");
+}
+
+}  // namespace
+}  // namespace mbd

@@ -1,0 +1,99 @@
+#include "mbd/tensor/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mbd/support/check.hpp"
+#include "mbd/support/rng.hpp"
+
+namespace mbd::tensor {
+namespace {
+
+Matrix random(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::random_normal(r, c, rng, 1.0f);
+}
+
+float tol(std::size_t k) { return 1e-4f * static_cast<float>(k); }
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(GemmShapes, NnMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Matrix a = random(m, k, 1), b = random(k, n, 2);
+  Matrix c = matmul(a, b);
+  Matrix ref = matmul_reference(a, b);
+  EXPECT_LE(max_abs_diff(c, ref), tol(k));
+}
+
+TEST_P(GemmShapes, TnMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Matrix a = random(k, m, 3), b = random(k, n, 4);  // Aᵀ is m×k
+  Matrix c = matmul_tn(a, b);
+  Matrix ref = matmul_reference(a.transposed(), b);
+  EXPECT_LE(max_abs_diff(c, ref), tol(k));
+}
+
+TEST_P(GemmShapes, NtMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Matrix a = random(m, k, 5), b = random(n, k, 6);  // Bᵀ is k×n
+  Matrix c = matmul_nt(a, b);
+  Matrix ref = matmul_reference(a, b.transposed());
+  EXPECT_LE(max_abs_diff(c, ref), tol(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::tuple{1u, 1u, 1u}, std::tuple{3u, 5u, 2u},
+                      std::tuple{17u, 9u, 31u}, std::tuple{64u, 64u, 64u},
+                      std::tuple{65u, 257u, 3u}, std::tuple{128u, 70u, 96u}),
+    [](const auto& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "k" +
+             std::to_string(std::get<1>(info.param)) + "n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Gemm, AlphaBetaAccumulate) {
+  Matrix a = random(4, 6, 7), b = random(6, 5, 8);
+  Matrix c = Matrix::filled(4, 5, 2.0f);
+  gemm_nn(a, b, c, /*alpha=*/0.5f, /*beta=*/3.0f);
+  Matrix ref = matmul_reference(a, b);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      EXPECT_NEAR(c(i, j), 0.5f * ref(i, j) + 6.0f, 1e-4f);
+}
+
+TEST(Gemm, BetaOneAccumulatesNt) {
+  Matrix a = random(3, 4, 9), b = random(2, 4, 10);
+  Matrix c = Matrix::filled(3, 2, 1.0f);
+  gemm_nt(a, b, c, 1.0f, 1.0f);
+  Matrix ref = matmul_reference(a, b.transposed());
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      EXPECT_NEAR(c(i, j), ref(i, j) + 1.0f, 1e-4f);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 2), c(2, 2);
+  EXPECT_THROW(gemm_nn(a, b, c), Error);
+}
+
+TEST(Gemm, AssociativityProperty) {
+  // (AB)C == A(BC) within float tolerance — a classic linear-algebra
+  // property check on the blocked kernel.
+  Matrix a = random(8, 9, 11), b = random(9, 7, 12), c = random(7, 6, 13);
+  Matrix left = matmul(matmul(a, b), c);
+  Matrix right = matmul(a, matmul(b, c));
+  EXPECT_LE(max_abs_diff(left, right), 1e-3f);
+}
+
+TEST(Gemm, TransposeIdentity) {
+  // (A·B)ᵀ == Bᵀ·Aᵀ.
+  Matrix a = random(5, 8, 14), b = random(8, 4, 15);
+  Matrix lhs = matmul(a, b).transposed();
+  Matrix rhs = matmul(b.transposed(), a.transposed());
+  EXPECT_LE(max_abs_diff(lhs, rhs), 1e-4f);
+}
+
+}  // namespace
+}  // namespace mbd::tensor

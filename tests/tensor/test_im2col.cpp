@@ -1,0 +1,117 @@
+#include "mbd/tensor/im2col.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mbd/support/rng.hpp"
+#include "mbd/tensor/gemm.hpp"
+
+namespace mbd::tensor {
+namespace {
+
+/// Direct (definitional) convolution used as the oracle.
+Tensor4 conv_direct(const Tensor4& in, const Matrix& w, const ConvGeom& g) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  Tensor4 out(in.n(), g.out_c, oh, ow);
+  for (std::size_t n = 0; n < in.n(); ++n)
+    for (std::size_t oc = 0; oc < g.out_c; ++oc)
+      for (std::size_t y = 0; y < oh; ++y)
+        for (std::size_t x = 0; x < ow; ++x) {
+          double acc = 0.0;
+          for (std::size_t c = 0; c < g.in_c; ++c)
+            for (std::size_t kh = 0; kh < g.kernel_h; ++kh)
+              for (std::size_t kw = 0; kw < g.kernel_w; ++kw) {
+                const std::ptrdiff_t iy =
+                    static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+                    static_cast<std::ptrdiff_t>(g.pad);
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                    static_cast<std::ptrdiff_t>(g.pad);
+                if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h) ||
+                    ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w))
+                  continue;
+                const std::size_t wi = (c * g.kernel_h + kh) * g.kernel_w + kw;
+                acc += static_cast<double>(
+                           w(oc, wi)) *
+                       in.at(n, c, static_cast<std::size_t>(iy),
+                             static_cast<std::size_t>(ix));
+              }
+          out.at(n, oc, y, x) = static_cast<float>(acc);
+        }
+  return out;
+}
+
+struct GeomCase {
+  ConvGeom g;
+  const char* name;
+};
+
+class Im2ColSweep : public ::testing::TestWithParam<GeomCase> {};
+
+TEST_P(Im2ColSweep, MatmulEqualsDirectConvolution) {
+  const ConvGeom g = GetParam().g;
+  Rng rng(3);
+  Tensor4 in = Tensor4::random_normal(2, g.in_c, g.in_h, g.in_w, rng, 1.0f);
+  Matrix w = Matrix::random_normal(g.out_c, g.in_c * g.kernel_h * g.kernel_w,
+                                   rng, 1.0f);
+  Tensor4 ref = conv_direct(in, w, g);
+  for (std::size_t n = 0; n < in.n(); ++n) {
+    const Matrix cols = im2col(in, n, g);
+    const Matrix y = matmul(w, cols);
+    for (std::size_t oc = 0; oc < g.out_c; ++oc)
+      for (std::size_t i = 0; i < g.out_h() * g.out_w(); ++i)
+        EXPECT_NEAR(y(oc, i),
+                    ref.data()[ref.offset(n, oc, 0, 0) + i], 1e-3f)
+            << "sample " << n << " channel " << oc << " pos " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2ColSweep,
+    ::testing::Values(
+        GeomCase{{1, 5, 5, 1, 3, 3, 1, 0}, "single_channel_3x3"},
+        GeomCase{{3, 8, 8, 4, 3, 3, 1, 1}, "same_pad"},
+        GeomCase{{2, 9, 7, 3, 3, 3, 2, 1}, "strided"},
+        GeomCase{{4, 6, 6, 8, 1, 1, 1, 0}, "one_by_one"},
+        GeomCase{{3, 11, 11, 2, 5, 5, 2, 2}, "alexnet_like_5x5"},
+        GeomCase{{1, 10, 10, 2, 3, 3, 3, 0}, "stride3"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Im2Col, AdjointProperty) {
+  // <im2col(x), c> == <x, col2im_add(c)> — col2im is the exact adjoint,
+  // which is what makes the conv backward pass correct.
+  const ConvGeom g{2, 6, 6, 3, 3, 3, 1, 1};
+  Rng rng(4);
+  Tensor4 x = Tensor4::random_normal(1, g.in_c, g.in_h, g.in_w, rng, 1.0f);
+  Matrix c = Matrix::random_normal(g.in_c * g.kernel_h * g.kernel_w,
+                                   g.out_h() * g.out_w(), rng, 1.0f);
+  const Matrix cols = im2col(x, 0, g);
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cols.size(); ++i)
+    lhs += static_cast<double>(cols.data()[i]) * c.data()[i];
+  Tensor4 xadj(1, g.in_c, g.in_h, g.in_w);
+  col2im_add(c, xadj, 0, g);
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    rhs += static_cast<double>(x.data()[i]) * xadj.data()[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::abs(lhs) + 1e-3);
+}
+
+TEST(Im2Col, PaddingRegionsAreZero) {
+  const ConvGeom g{1, 3, 3, 1, 3, 3, 1, 1};
+  Tensor4 x(1, 1, 3, 3);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = 1.0f;
+  const Matrix cols = im2col(x, 0, g);
+  // Top-left output position: kernel taps above/left of the image are zero.
+  EXPECT_FLOAT_EQ(cols(0, 0), 0.0f);  // (kh=0, kw=0) tap at (-1, -1)
+  EXPECT_FLOAT_EQ(cols(4, 0), 1.0f);  // centre tap at (0, 0)
+}
+
+TEST(Im2Col, ConvGeomShapeAlgebra) {
+  const ConvGeom g{3, 227, 227, 96, 11, 11, 4, 0};
+  EXPECT_EQ(g.out_h(), 55u);
+  EXPECT_EQ(g.out_w(), 55u);
+  EXPECT_EQ(g.weight_count(), 11u * 11 * 3 * 96);
+}
+
+}  // namespace
+}  // namespace mbd::tensor

@@ -1,0 +1,125 @@
+#include "mbd/tensor/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::tensor {
+namespace {
+
+Matrix iota_matrix(std::size_t r, std::size_t c) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j)
+      m(i, j) = static_cast<float>(i * c + j);
+  return m;
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_FLOAT_EQ(m.data()[i], 0.0f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+}
+
+TEST(Matrix, RowMajorIndexing) {
+  Matrix m = iota_matrix(2, 3);
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m(0, 2), 2.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(m.data()[4], m(1, 1));
+}
+
+TEST(Matrix, RowBlockRoundTrip) {
+  Matrix m = iota_matrix(6, 4);
+  Matrix b = m.row_block(2, 5);
+  EXPECT_EQ(b.rows(), 3u);
+  EXPECT_FLOAT_EQ(b(0, 0), m(2, 0));
+  Matrix m2(6, 4);
+  m2.set_row_block(2, b);
+  EXPECT_FLOAT_EQ(m2(3, 1), m(3, 1));
+  EXPECT_FLOAT_EQ(m2(0, 0), 0.0f);
+}
+
+TEST(Matrix, ColBlockRoundTrip) {
+  Matrix m = iota_matrix(4, 6);
+  Matrix b = m.col_block(1, 4);
+  EXPECT_EQ(b.cols(), 3u);
+  EXPECT_FLOAT_EQ(b(2, 0), m(2, 1));
+  Matrix m2(4, 6);
+  m2.set_col_block(1, b);
+  EXPECT_FLOAT_EQ(m2(2, 3), m(2, 3));
+  EXPECT_FLOAT_EQ(m2(2, 0), 0.0f);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Matrix m = iota_matrix(3, 5);
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_FLOAT_EQ(t(4, 2), m(2, 4));
+  EXPECT_FLOAT_EQ(max_abs_diff(t.transposed(), m), 0.0f);
+}
+
+TEST(Matrix, HcatInvertsColBlocks) {
+  Matrix m = iota_matrix(3, 6);
+  std::vector<Matrix> blocks{m.col_block(0, 2), m.col_block(2, 5),
+                             m.col_block(5, 6)};
+  Matrix back = Matrix::hcat(blocks);
+  EXPECT_FLOAT_EQ(max_abs_diff(back, m), 0.0f);
+}
+
+TEST(Matrix, VcatInvertsRowBlocks) {
+  Matrix m = iota_matrix(6, 3);
+  std::vector<Matrix> blocks{m.row_block(0, 1), m.row_block(1, 4),
+                             m.row_block(4, 6)};
+  Matrix back = Matrix::vcat(blocks);
+  EXPECT_FLOAT_EQ(max_abs_diff(back, m), 0.0f);
+}
+
+TEST(Matrix, ArithmeticOps) {
+  Matrix a = iota_matrix(2, 2);
+  Matrix b = Matrix::filled(2, 2, 1.0f);
+  a += b;
+  EXPECT_FLOAT_EQ(a(1, 1), 4.0f);
+  a -= b;
+  EXPECT_FLOAT_EQ(a(1, 1), 3.0f);
+  a *= 2.0f;
+  EXPECT_FLOAT_EQ(a(0, 1), 2.0f);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, Error);
+  EXPECT_THROW(max_abs_diff(a, b), Error);
+  EXPECT_THROW(a.row_block(1, 3), Error);
+  EXPECT_THROW(Matrix::from_data(2, 2, {1.0f, 2.0f, 3.0f}), Error);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix m(1, 2);
+  m(0, 0) = 3.0f;
+  m(0, 1) = 4.0f;
+  EXPECT_FLOAT_EQ(frobenius_norm(m), 5.0f);
+}
+
+TEST(Matrix, RandomNormalDeterministic) {
+  Rng r1(5), r2(5);
+  Matrix a = Matrix::random_normal(4, 4, r1, 1.0f);
+  Matrix b = Matrix::random_normal(4, 4, r2, 1.0f);
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.0f);
+}
+
+TEST(Matrix, RandomNormalRowBlockMatchesFullDraw) {
+  // The partitioned trainers rely on this: drawing the full matrix and
+  // slicing rows equals what the sequential build sees.
+  Rng r1(5);
+  Matrix full = Matrix::random_normal(8, 3, r1, 0.7f);
+  Matrix block = full.row_block(2, 6);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_FLOAT_EQ(block(i, j), full(i + 2, j));
+}
+
+}  // namespace
+}  // namespace mbd::tensor

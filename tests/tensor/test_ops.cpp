@@ -1,0 +1,87 @@
+#include "mbd/tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mbd/support/check.hpp"
+#include "mbd/support/rng.hpp"
+
+namespace mbd::tensor {
+namespace {
+
+TEST(Ops, Axpy) {
+  std::vector<float> x{1.0f, 2.0f, 3.0f};
+  std::vector<float> y{10.0f, 20.0f, 30.0f};
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+}
+
+TEST(Ops, AxpySizeMismatchThrows) {
+  std::vector<float> x{1.0f};
+  std::vector<float> y{1.0f, 2.0f};
+  EXPECT_THROW(axpy(1.0f, x, y), Error);
+}
+
+TEST(Ops, ReluForwardBackwardPair) {
+  std::vector<float> x{-2.0f, 0.0f, 3.0f, -0.5f};
+  std::vector<float> y(4);
+  relu_forward(x, y);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 3.0f);
+  std::vector<float> dy{1.0f, 1.0f, 1.0f, 1.0f}, dx(4);
+  relu_backward(x, dy, dx);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+  EXPECT_FLOAT_EQ(dx[1], 0.0f);  // subgradient 0 at the kink
+  EXPECT_FLOAT_EQ(dx[2], 1.0f);
+  EXPECT_FLOAT_EQ(dx[3], 0.0f);
+}
+
+TEST(Ops, SumAccumulatesInDouble) {
+  std::vector<float> x(1000, 0.1f);
+  EXPECT_NEAR(sum(x), 100.0, 1e-3);
+}
+
+TEST(Ops, SoftmaxColumnsNormalized) {
+  Rng rng(1);
+  Matrix logits = Matrix::random_normal(5, 7, rng, 3.0f);
+  Matrix probs(5, 7);
+  softmax_columns(logits, probs);
+  for (std::size_t j = 0; j < 7; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_GE(probs(i, j), 0.0f);
+      s += probs(i, j);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxShiftInvariance) {
+  Matrix a(3, 1), b(3, 1);
+  for (std::size_t i = 0; i < 3; ++i) {
+    a(i, 0) = static_cast<float>(i);
+    b(i, 0) = static_cast<float>(i) + 100.0f;  // shifted logits
+  }
+  Matrix pa(3, 1), pb(3, 1);
+  softmax_columns(a, pa);
+  softmax_columns(b, pb);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(pa(i, 0), pb(i, 0), 1e-6f);
+}
+
+TEST(Ops, SoftmaxExtremeLogitsFinite) {
+  Matrix logits(2, 1);
+  logits(0, 0) = 1e4f;
+  logits(1, 0) = -1e4f;
+  Matrix probs(2, 1);
+  softmax_columns(logits, probs);
+  EXPECT_NEAR(probs(0, 0), 1.0f, 1e-6f);
+  EXPECT_NEAR(probs(1, 0), 0.0f, 1e-6f);
+  EXPECT_TRUE(std::isfinite(probs(0, 0)));
+}
+
+}  // namespace
+}  // namespace mbd::tensor

@@ -1,0 +1,69 @@
+#include "mbd/tensor/tensor4.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::tensor {
+namespace {
+
+Tensor4 iota(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  Tensor4 t(n, c, h, w);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t.data()[i] = static_cast<float>(i);
+  return t;
+}
+
+TEST(Tensor4, NchwLayout) {
+  Tensor4 t = iota(2, 3, 4, 5);
+  // Width runs fastest, then height, channel, batch (paper Fig. 3 caption).
+  EXPECT_FLOAT_EQ(t.at(0, 0, 0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0, 1, 0), 5.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 1, 0, 0), 20.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0, 0, 0), 60.0f);
+}
+
+TEST(Tensor4, HeightSlabRoundTrip) {
+  Tensor4 t = iota(2, 3, 8, 4);
+  Tensor4 slab = t.height_slab(2, 5);
+  EXPECT_EQ(slab.h(), 3u);
+  EXPECT_FLOAT_EQ(slab.at(1, 2, 0, 3), t.at(1, 2, 2, 3));
+  Tensor4 back(2, 3, 8, 4);
+  back.set_height_slab(2, slab);
+  EXPECT_FLOAT_EQ(back.at(1, 2, 4, 1), t.at(1, 2, 4, 1));
+  EXPECT_FLOAT_EQ(back.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Tensor4, SlabPartitionReassembles) {
+  Tensor4 t = iota(1, 2, 6, 3);
+  Tensor4 out(1, 2, 6, 3);
+  for (int p = 0; p < 3; ++p) {
+    const std::size_t lo = static_cast<std::size_t>(p) * 2;
+    out.set_height_slab(lo, t.height_slab(lo, lo + 2));
+  }
+  EXPECT_FLOAT_EQ(max_abs_diff(t, out), 0.0f);
+}
+
+TEST(Tensor4, BoundsChecked) {
+  Tensor4 t(1, 1, 4, 4);
+  EXPECT_THROW(t.height_slab(2, 6), Error);
+  Tensor4 slab(1, 1, 2, 4);
+  EXPECT_THROW(t.set_height_slab(3, slab), Error);
+}
+
+TEST(Tensor4, MaxAbsDiff) {
+  Tensor4 a = iota(1, 1, 2, 2);
+  Tensor4 b = iota(1, 1, 2, 2);
+  b.at(0, 0, 1, 1) += 2.5f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 2.5f);
+}
+
+TEST(Tensor4, RandomNormalDeterministic) {
+  Rng r1(8), r2(8);
+  Tensor4 a = Tensor4::random_normal(1, 2, 3, 4, r1, 1.0f);
+  Tensor4 b = Tensor4::random_normal(1, 2, 3, 4, r2, 1.0f);
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.0f);
+}
+
+}  // namespace
+}  // namespace mbd::tensor
