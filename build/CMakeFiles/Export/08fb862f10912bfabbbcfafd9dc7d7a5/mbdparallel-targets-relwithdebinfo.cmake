@@ -1,0 +1,69 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "mbd::mbd_support" for configuration "RelWithDebInfo"
+set_property(TARGET mbd::mbd_support APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(mbd::mbd_support PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmbd_support.a"
+  )
+
+list(APPEND _cmake_import_check_targets mbd::mbd_support )
+list(APPEND _cmake_import_check_files_for_mbd::mbd_support "${_IMPORT_PREFIX}/lib/libmbd_support.a" )
+
+# Import target "mbd::mbd_comm" for configuration "RelWithDebInfo"
+set_property(TARGET mbd::mbd_comm APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(mbd::mbd_comm PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmbd_comm.a"
+  )
+
+list(APPEND _cmake_import_check_targets mbd::mbd_comm )
+list(APPEND _cmake_import_check_files_for_mbd::mbd_comm "${_IMPORT_PREFIX}/lib/libmbd_comm.a" )
+
+# Import target "mbd::mbd_tensor" for configuration "RelWithDebInfo"
+set_property(TARGET mbd::mbd_tensor APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(mbd::mbd_tensor PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmbd_tensor.a"
+  )
+
+list(APPEND _cmake_import_check_targets mbd::mbd_tensor )
+list(APPEND _cmake_import_check_files_for_mbd::mbd_tensor "${_IMPORT_PREFIX}/lib/libmbd_tensor.a" )
+
+# Import target "mbd::mbd_nn" for configuration "RelWithDebInfo"
+set_property(TARGET mbd::mbd_nn APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(mbd::mbd_nn PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmbd_nn.a"
+  )
+
+list(APPEND _cmake_import_check_targets mbd::mbd_nn )
+list(APPEND _cmake_import_check_files_for_mbd::mbd_nn "${_IMPORT_PREFIX}/lib/libmbd_nn.a" )
+
+# Import target "mbd::mbd_costmodel" for configuration "RelWithDebInfo"
+set_property(TARGET mbd::mbd_costmodel APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(mbd::mbd_costmodel PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmbd_costmodel.a"
+  )
+
+list(APPEND _cmake_import_check_targets mbd::mbd_costmodel )
+list(APPEND _cmake_import_check_files_for_mbd::mbd_costmodel "${_IMPORT_PREFIX}/lib/libmbd_costmodel.a" )
+
+# Import target "mbd::mbd_parallel" for configuration "RelWithDebInfo"
+set_property(TARGET mbd::mbd_parallel APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(mbd::mbd_parallel PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmbd_parallel.a"
+  )
+
+list(APPEND _cmake_import_check_targets mbd::mbd_parallel )
+list(APPEND _cmake_import_check_files_for_mbd::mbd_parallel "${_IMPORT_PREFIX}/lib/libmbd_parallel.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

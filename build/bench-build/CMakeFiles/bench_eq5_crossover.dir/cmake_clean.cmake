@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_eq5_crossover"
+  "../bench/bench_eq5_crossover.pdb"
+  "CMakeFiles/bench_eq5_crossover.dir/bench_eq5_crossover.cpp.o"
+  "CMakeFiles/bench_eq5_crossover.dir/bench_eq5_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq5_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_domain_extension"
+  "../bench/bench_fig10_domain_extension.pdb"
+  "CMakeFiles/bench_fig10_domain_extension.dir/bench_fig10_domain_extension.cpp.o"
+  "CMakeFiles/bench_fig10_domain_extension.dir/bench_fig10_domain_extension.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_domain_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_fc_only"
+  "../bench/bench_fig7_fc_only.pdb"
+  "CMakeFiles/bench_fig7_fc_only.dir/bench_fig7_fc_only.cpp.o"
+  "CMakeFiles/bench_fig7_fc_only.dir/bench_fig7_fc_only.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fc_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_overlap"
+  "../bench/bench_fig8_overlap.pdb"
+  "CMakeFiles/bench_fig8_overlap.dir/bench_fig8_overlap.cpp.o"
+  "CMakeFiles/bench_fig8_overlap.dir/bench_fig8_overlap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gemm"
+  "../bench/bench_gemm.pdb"
+  "CMakeFiles/bench_gemm.dir/bench_gemm.cpp.o"
+  "CMakeFiles/bench_gemm.dir/bench_gemm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

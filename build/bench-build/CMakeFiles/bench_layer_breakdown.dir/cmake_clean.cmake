@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_layer_breakdown"
+  "../bench/bench_layer_breakdown.pdb"
+  "CMakeFiles/bench_layer_breakdown.dir/bench_layer_breakdown.cpp.o"
+  "CMakeFiles/bench_layer_breakdown.dir/bench_layer_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layer_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rnn_fc_heavy"
+  "../bench/bench_rnn_fc_heavy.pdb"
+  "CMakeFiles/bench_rnn_fc_heavy.dir/bench_rnn_fc_heavy.cpp.o"
+  "CMakeFiles/bench_rnn_fc_heavy.dir/bench_rnn_fc_heavy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rnn_fc_heavy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

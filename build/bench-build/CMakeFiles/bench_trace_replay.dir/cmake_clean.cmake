@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_trace_replay"
+  "../bench/bench_trace_replay.pdb"
+  "CMakeFiles/bench_trace_replay.dir/bench_trace_replay.cpp.o"
+  "CMakeFiles/bench_trace_replay.dir/bench_trace_replay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alexnet_planner.dir/alexnet_planner.cpp.o"
+  "CMakeFiles/alexnet_planner.dir/alexnet_planner.cpp.o.d"
+  "alexnet_planner"
+  "alexnet_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alexnet_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summa_demo.dir/summa_demo.cpp.o"
+  "CMakeFiles/summa_demo.dir/summa_demo.cpp.o.d"
+  "summa_demo"
+  "summa_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summa_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

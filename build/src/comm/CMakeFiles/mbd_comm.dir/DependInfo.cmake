@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/src/comm.cpp" "src/comm/CMakeFiles/mbd_comm.dir/src/comm.cpp.o" "gcc" "src/comm/CMakeFiles/mbd_comm.dir/src/comm.cpp.o.d"
+  "/root/repo/src/comm/src/mailbox.cpp" "src/comm/CMakeFiles/mbd_comm.dir/src/mailbox.cpp.o" "gcc" "src/comm/CMakeFiles/mbd_comm.dir/src/mailbox.cpp.o.d"
+  "/root/repo/src/comm/src/stats.cpp" "src/comm/CMakeFiles/mbd_comm.dir/src/stats.cpp.o" "gcc" "src/comm/CMakeFiles/mbd_comm.dir/src/stats.cpp.o.d"
+  "/root/repo/src/comm/src/world.cpp" "src/comm/CMakeFiles/mbd_comm.dir/src/world.cpp.o" "gcc" "src/comm/CMakeFiles/mbd_comm.dir/src/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mbd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

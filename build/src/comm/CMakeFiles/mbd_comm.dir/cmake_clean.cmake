@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbd_comm.dir/src/comm.cpp.o"
+  "CMakeFiles/mbd_comm.dir/src/comm.cpp.o.d"
+  "CMakeFiles/mbd_comm.dir/src/mailbox.cpp.o"
+  "CMakeFiles/mbd_comm.dir/src/mailbox.cpp.o.d"
+  "CMakeFiles/mbd_comm.dir/src/stats.cpp.o"
+  "CMakeFiles/mbd_comm.dir/src/stats.cpp.o.d"
+  "CMakeFiles/mbd_comm.dir/src/world.cpp.o"
+  "CMakeFiles/mbd_comm.dir/src/world.cpp.o.d"
+  "libmbd_comm.a"
+  "libmbd_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbd_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/src/collective_costs.cpp" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/collective_costs.cpp.o" "gcc" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/collective_costs.cpp.o.d"
+  "/root/repo/src/costmodel/src/hierarchy.cpp" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/hierarchy.cpp.o" "gcc" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/hierarchy.cpp.o.d"
+  "/root/repo/src/costmodel/src/machine.cpp" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/machine.cpp.o" "gcc" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/machine.cpp.o.d"
+  "/root/repo/src/costmodel/src/memory.cpp" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/memory.cpp.o" "gcc" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/memory.cpp.o.d"
+  "/root/repo/src/costmodel/src/optimizer.cpp" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/optimizer.cpp.o" "gcc" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/optimizer.cpp.o.d"
+  "/root/repo/src/costmodel/src/replay.cpp" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/replay.cpp.o" "gcc" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/replay.cpp.o.d"
+  "/root/repo/src/costmodel/src/strategy.cpp" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/strategy.cpp.o" "gcc" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/strategy.cpp.o.d"
+  "/root/repo/src/costmodel/src/summa.cpp" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/summa.cpp.o" "gcc" "src/costmodel/CMakeFiles/mbd_costmodel.dir/src/summa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mbd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/mbd_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mbd_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mbd_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

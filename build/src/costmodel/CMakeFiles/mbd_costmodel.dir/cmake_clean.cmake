@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbd_costmodel.dir/src/collective_costs.cpp.o"
+  "CMakeFiles/mbd_costmodel.dir/src/collective_costs.cpp.o.d"
+  "CMakeFiles/mbd_costmodel.dir/src/hierarchy.cpp.o"
+  "CMakeFiles/mbd_costmodel.dir/src/hierarchy.cpp.o.d"
+  "CMakeFiles/mbd_costmodel.dir/src/machine.cpp.o"
+  "CMakeFiles/mbd_costmodel.dir/src/machine.cpp.o.d"
+  "CMakeFiles/mbd_costmodel.dir/src/memory.cpp.o"
+  "CMakeFiles/mbd_costmodel.dir/src/memory.cpp.o.d"
+  "CMakeFiles/mbd_costmodel.dir/src/optimizer.cpp.o"
+  "CMakeFiles/mbd_costmodel.dir/src/optimizer.cpp.o.d"
+  "CMakeFiles/mbd_costmodel.dir/src/replay.cpp.o"
+  "CMakeFiles/mbd_costmodel.dir/src/replay.cpp.o.d"
+  "CMakeFiles/mbd_costmodel.dir/src/strategy.cpp.o"
+  "CMakeFiles/mbd_costmodel.dir/src/strategy.cpp.o.d"
+  "CMakeFiles/mbd_costmodel.dir/src/summa.cpp.o"
+  "CMakeFiles/mbd_costmodel.dir/src/summa.cpp.o.d"
+  "libmbd_costmodel.a"
+  "libmbd_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbd_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

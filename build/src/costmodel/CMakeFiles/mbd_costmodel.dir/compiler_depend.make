@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mbd_costmodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/src/layer_spec.cpp" "src/nn/CMakeFiles/mbd_nn.dir/src/layer_spec.cpp.o" "gcc" "src/nn/CMakeFiles/mbd_nn.dir/src/layer_spec.cpp.o.d"
+  "/root/repo/src/nn/src/layers.cpp" "src/nn/CMakeFiles/mbd_nn.dir/src/layers.cpp.o" "gcc" "src/nn/CMakeFiles/mbd_nn.dir/src/layers.cpp.o.d"
+  "/root/repo/src/nn/src/loss.cpp" "src/nn/CMakeFiles/mbd_nn.dir/src/loss.cpp.o" "gcc" "src/nn/CMakeFiles/mbd_nn.dir/src/loss.cpp.o.d"
+  "/root/repo/src/nn/src/models.cpp" "src/nn/CMakeFiles/mbd_nn.dir/src/models.cpp.o" "gcc" "src/nn/CMakeFiles/mbd_nn.dir/src/models.cpp.o.d"
+  "/root/repo/src/nn/src/network.cpp" "src/nn/CMakeFiles/mbd_nn.dir/src/network.cpp.o" "gcc" "src/nn/CMakeFiles/mbd_nn.dir/src/network.cpp.o.d"
+  "/root/repo/src/nn/src/serialize.cpp" "src/nn/CMakeFiles/mbd_nn.dir/src/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/mbd_nn.dir/src/serialize.cpp.o.d"
+  "/root/repo/src/nn/src/trainer.cpp" "src/nn/CMakeFiles/mbd_nn.dir/src/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/mbd_nn.dir/src/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/mbd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mbd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbd_nn.dir/src/layer_spec.cpp.o"
+  "CMakeFiles/mbd_nn.dir/src/layer_spec.cpp.o.d"
+  "CMakeFiles/mbd_nn.dir/src/layers.cpp.o"
+  "CMakeFiles/mbd_nn.dir/src/layers.cpp.o.d"
+  "CMakeFiles/mbd_nn.dir/src/loss.cpp.o"
+  "CMakeFiles/mbd_nn.dir/src/loss.cpp.o.d"
+  "CMakeFiles/mbd_nn.dir/src/models.cpp.o"
+  "CMakeFiles/mbd_nn.dir/src/models.cpp.o.d"
+  "CMakeFiles/mbd_nn.dir/src/network.cpp.o"
+  "CMakeFiles/mbd_nn.dir/src/network.cpp.o.d"
+  "CMakeFiles/mbd_nn.dir/src/serialize.cpp.o"
+  "CMakeFiles/mbd_nn.dir/src/serialize.cpp.o.d"
+  "CMakeFiles/mbd_nn.dir/src/trainer.cpp.o"
+  "CMakeFiles/mbd_nn.dir/src/trainer.cpp.o.d"
+  "libmbd_nn.a"
+  "libmbd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

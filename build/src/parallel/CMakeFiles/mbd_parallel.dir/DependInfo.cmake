@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/src/batch_parallel.cpp" "src/parallel/CMakeFiles/mbd_parallel.dir/src/batch_parallel.cpp.o" "gcc" "src/parallel/CMakeFiles/mbd_parallel.dir/src/batch_parallel.cpp.o.d"
+  "/root/repo/src/parallel/src/common.cpp" "src/parallel/CMakeFiles/mbd_parallel.dir/src/common.cpp.o" "gcc" "src/parallel/CMakeFiles/mbd_parallel.dir/src/common.cpp.o.d"
+  "/root/repo/src/parallel/src/domain_conv.cpp" "src/parallel/CMakeFiles/mbd_parallel.dir/src/domain_conv.cpp.o" "gcc" "src/parallel/CMakeFiles/mbd_parallel.dir/src/domain_conv.cpp.o.d"
+  "/root/repo/src/parallel/src/domain_parallel.cpp" "src/parallel/CMakeFiles/mbd_parallel.dir/src/domain_parallel.cpp.o" "gcc" "src/parallel/CMakeFiles/mbd_parallel.dir/src/domain_parallel.cpp.o.d"
+  "/root/repo/src/parallel/src/hybrid.cpp" "src/parallel/CMakeFiles/mbd_parallel.dir/src/hybrid.cpp.o" "gcc" "src/parallel/CMakeFiles/mbd_parallel.dir/src/hybrid.cpp.o.d"
+  "/root/repo/src/parallel/src/integrated.cpp" "src/parallel/CMakeFiles/mbd_parallel.dir/src/integrated.cpp.o" "gcc" "src/parallel/CMakeFiles/mbd_parallel.dir/src/integrated.cpp.o.d"
+  "/root/repo/src/parallel/src/mixed_grid.cpp" "src/parallel/CMakeFiles/mbd_parallel.dir/src/mixed_grid.cpp.o" "gcc" "src/parallel/CMakeFiles/mbd_parallel.dir/src/mixed_grid.cpp.o.d"
+  "/root/repo/src/parallel/src/model_parallel.cpp" "src/parallel/CMakeFiles/mbd_parallel.dir/src/model_parallel.cpp.o" "gcc" "src/parallel/CMakeFiles/mbd_parallel.dir/src/model_parallel.cpp.o.d"
+  "/root/repo/src/parallel/src/summa.cpp" "src/parallel/CMakeFiles/mbd_parallel.dir/src/summa.cpp.o" "gcc" "src/parallel/CMakeFiles/mbd_parallel.dir/src/summa.cpp.o.d"
+  "/root/repo/src/parallel/src/validation.cpp" "src/parallel/CMakeFiles/mbd_parallel.dir/src/validation.cpp.o" "gcc" "src/parallel/CMakeFiles/mbd_parallel.dir/src/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/mbd_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mbd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/mbd_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mbd_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mbd_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

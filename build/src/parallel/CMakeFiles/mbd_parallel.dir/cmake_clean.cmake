@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbd_parallel.dir/src/batch_parallel.cpp.o"
+  "CMakeFiles/mbd_parallel.dir/src/batch_parallel.cpp.o.d"
+  "CMakeFiles/mbd_parallel.dir/src/common.cpp.o"
+  "CMakeFiles/mbd_parallel.dir/src/common.cpp.o.d"
+  "CMakeFiles/mbd_parallel.dir/src/domain_conv.cpp.o"
+  "CMakeFiles/mbd_parallel.dir/src/domain_conv.cpp.o.d"
+  "CMakeFiles/mbd_parallel.dir/src/domain_parallel.cpp.o"
+  "CMakeFiles/mbd_parallel.dir/src/domain_parallel.cpp.o.d"
+  "CMakeFiles/mbd_parallel.dir/src/hybrid.cpp.o"
+  "CMakeFiles/mbd_parallel.dir/src/hybrid.cpp.o.d"
+  "CMakeFiles/mbd_parallel.dir/src/integrated.cpp.o"
+  "CMakeFiles/mbd_parallel.dir/src/integrated.cpp.o.d"
+  "CMakeFiles/mbd_parallel.dir/src/mixed_grid.cpp.o"
+  "CMakeFiles/mbd_parallel.dir/src/mixed_grid.cpp.o.d"
+  "CMakeFiles/mbd_parallel.dir/src/model_parallel.cpp.o"
+  "CMakeFiles/mbd_parallel.dir/src/model_parallel.cpp.o.d"
+  "CMakeFiles/mbd_parallel.dir/src/summa.cpp.o"
+  "CMakeFiles/mbd_parallel.dir/src/summa.cpp.o.d"
+  "CMakeFiles/mbd_parallel.dir/src/validation.cpp.o"
+  "CMakeFiles/mbd_parallel.dir/src/validation.cpp.o.d"
+  "libmbd_parallel.a"
+  "libmbd_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbd_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbd_support.dir/src/cli.cpp.o"
+  "CMakeFiles/mbd_support.dir/src/cli.cpp.o.d"
+  "CMakeFiles/mbd_support.dir/src/rng.cpp.o"
+  "CMakeFiles/mbd_support.dir/src/rng.cpp.o.d"
+  "CMakeFiles/mbd_support.dir/src/table.cpp.o"
+  "CMakeFiles/mbd_support.dir/src/table.cpp.o.d"
+  "CMakeFiles/mbd_support.dir/src/units.cpp.o"
+  "CMakeFiles/mbd_support.dir/src/units.cpp.o.d"
+  "libmbd_support.a"
+  "libmbd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmbd_support.a"
+)

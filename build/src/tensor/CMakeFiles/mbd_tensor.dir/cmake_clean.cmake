@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbd_tensor.dir/src/gemm.cpp.o"
+  "CMakeFiles/mbd_tensor.dir/src/gemm.cpp.o.d"
+  "CMakeFiles/mbd_tensor.dir/src/im2col.cpp.o"
+  "CMakeFiles/mbd_tensor.dir/src/im2col.cpp.o.d"
+  "CMakeFiles/mbd_tensor.dir/src/matrix.cpp.o"
+  "CMakeFiles/mbd_tensor.dir/src/matrix.cpp.o.d"
+  "CMakeFiles/mbd_tensor.dir/src/ops.cpp.o"
+  "CMakeFiles/mbd_tensor.dir/src/ops.cpp.o.d"
+  "CMakeFiles/mbd_tensor.dir/src/tensor4.cpp.o"
+  "CMakeFiles/mbd_tensor.dir/src/tensor4.cpp.o.d"
+  "libmbd_tensor.a"
+  "libmbd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

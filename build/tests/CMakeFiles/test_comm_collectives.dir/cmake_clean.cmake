@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_collectives.dir/comm/test_collectives.cpp.o"
+  "CMakeFiles/test_comm_collectives.dir/comm/test_collectives.cpp.o.d"
+  "test_comm_collectives"
+  "test_comm_collectives.pdb"
+  "test_comm_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_split.dir/comm/test_split.cpp.o"
+  "CMakeFiles/test_comm_split.dir/comm/test_split.cpp.o.d"
+  "test_comm_split"
+  "test_comm_split.pdb"
+  "test_comm_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costmodel_collectives.dir/costmodel/test_collective_costs.cpp.o"
+  "CMakeFiles/test_costmodel_collectives.dir/costmodel/test_collective_costs.cpp.o.d"
+  "test_costmodel_collectives"
+  "test_costmodel_collectives.pdb"
+  "test_costmodel_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costmodel_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costmodel_machine.dir/costmodel/test_machine.cpp.o"
+  "CMakeFiles/test_costmodel_machine.dir/costmodel/test_machine.cpp.o.d"
+  "test_costmodel_machine"
+  "test_costmodel_machine.pdb"
+  "test_costmodel_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costmodel_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costmodel_memory.dir/costmodel/test_memory.cpp.o"
+  "CMakeFiles/test_costmodel_memory.dir/costmodel/test_memory.cpp.o.d"
+  "test_costmodel_memory"
+  "test_costmodel_memory.pdb"
+  "test_costmodel_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costmodel_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costmodel_properties.dir/costmodel/test_properties.cpp.o"
+  "CMakeFiles/test_costmodel_properties.dir/costmodel/test_properties.cpp.o.d"
+  "test_costmodel_properties"
+  "test_costmodel_properties.pdb"
+  "test_costmodel_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costmodel_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

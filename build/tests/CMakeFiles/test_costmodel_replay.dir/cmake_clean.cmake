@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costmodel_replay.dir/costmodel/test_replay.cpp.o"
+  "CMakeFiles/test_costmodel_replay.dir/costmodel/test_replay.cpp.o.d"
+  "test_costmodel_replay"
+  "test_costmodel_replay.pdb"
+  "test_costmodel_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costmodel_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/costmodel/test_summa.cpp" "tests/CMakeFiles/test_costmodel_summa.dir/costmodel/test_summa.cpp.o" "gcc" "tests/CMakeFiles/test_costmodel_summa.dir/costmodel/test_summa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/mbd_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/mbd_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mbd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mbd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/mbd_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mbd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

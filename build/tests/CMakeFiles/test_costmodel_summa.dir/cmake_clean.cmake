@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costmodel_summa.dir/costmodel/test_summa.cpp.o"
+  "CMakeFiles/test_costmodel_summa.dir/costmodel/test_summa.cpp.o.d"
+  "test_costmodel_summa"
+  "test_costmodel_summa.pdb"
+  "test_costmodel_summa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costmodel_summa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

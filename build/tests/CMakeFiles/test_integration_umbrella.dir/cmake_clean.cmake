@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_umbrella.dir/integration/test_umbrella.cpp.o"
+  "CMakeFiles/test_integration_umbrella.dir/integration/test_umbrella.cpp.o.d"
+  "test_integration_umbrella"
+  "test_integration_umbrella.pdb"
+  "test_integration_umbrella[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_umbrella.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

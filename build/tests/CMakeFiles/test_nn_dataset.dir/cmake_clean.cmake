@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_dataset.dir/nn/test_dataset.cpp.o"
+  "CMakeFiles/test_nn_dataset.dir/nn/test_dataset.cpp.o.d"
+  "test_nn_dataset"
+  "test_nn_dataset.pdb"
+  "test_nn_dataset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

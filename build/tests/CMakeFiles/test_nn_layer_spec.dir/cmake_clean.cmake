@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_layer_spec.dir/nn/test_layer_spec.cpp.o"
+  "CMakeFiles/test_nn_layer_spec.dir/nn/test_layer_spec.cpp.o.d"
+  "test_nn_layer_spec"
+  "test_nn_layer_spec.pdb"
+  "test_nn_layer_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_layer_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_batch.dir/parallel/test_batch_parallel.cpp.o"
+  "CMakeFiles/test_parallel_batch.dir/parallel/test_batch_parallel.cpp.o.d"
+  "test_parallel_batch"
+  "test_parallel_batch.pdb"
+  "test_parallel_batch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_domain.dir/parallel/test_domain_parallel.cpp.o"
+  "CMakeFiles/test_parallel_domain.dir/parallel/test_domain_parallel.cpp.o.d"
+  "test_parallel_domain"
+  "test_parallel_domain.pdb"
+  "test_parallel_domain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

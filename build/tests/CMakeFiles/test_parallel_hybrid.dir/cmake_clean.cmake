@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_hybrid.dir/parallel/test_hybrid.cpp.o"
+  "CMakeFiles/test_parallel_hybrid.dir/parallel/test_hybrid.cpp.o.d"
+  "test_parallel_hybrid"
+  "test_parallel_hybrid.pdb"
+  "test_parallel_hybrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

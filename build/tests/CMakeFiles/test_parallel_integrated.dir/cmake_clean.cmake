@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_integrated.dir/parallel/test_integrated.cpp.o"
+  "CMakeFiles/test_parallel_integrated.dir/parallel/test_integrated.cpp.o.d"
+  "test_parallel_integrated"
+  "test_parallel_integrated.pdb"
+  "test_parallel_integrated[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_integrated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_mixed_grid.dir/parallel/test_mixed_grid.cpp.o"
+  "CMakeFiles/test_parallel_mixed_grid.dir/parallel/test_mixed_grid.cpp.o.d"
+  "test_parallel_mixed_grid"
+  "test_parallel_mixed_grid.pdb"
+  "test_parallel_mixed_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_mixed_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_model.dir/parallel/test_model_parallel.cpp.o"
+  "CMakeFiles/test_parallel_model.dir/parallel/test_model_parallel.cpp.o.d"
+  "test_parallel_model"
+  "test_parallel_model.pdb"
+  "test_parallel_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

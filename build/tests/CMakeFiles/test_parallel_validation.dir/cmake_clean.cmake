@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_validation.dir/parallel/test_validation.cpp.o"
+  "CMakeFiles/test_parallel_validation.dir/parallel/test_validation.cpp.o.d"
+  "test_parallel_validation"
+  "test_parallel_validation.pdb"
+  "test_parallel_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_check.dir/support/test_check.cpp.o"
+  "CMakeFiles/test_support_check.dir/support/test_check.cpp.o.d"
+  "test_support_check"
+  "test_support_check.pdb"
+  "test_support_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

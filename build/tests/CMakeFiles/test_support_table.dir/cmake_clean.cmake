@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_table.dir/support/test_table.cpp.o"
+  "CMakeFiles/test_support_table.dir/support/test_table.cpp.o.d"
+  "test_support_table"
+  "test_support_table.pdb"
+  "test_support_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

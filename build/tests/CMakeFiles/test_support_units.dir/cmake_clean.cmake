@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_units.dir/support/test_units.cpp.o"
+  "CMakeFiles/test_support_units.dir/support/test_units.cpp.o.d"
+  "test_support_units"
+  "test_support_units.pdb"
+  "test_support_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

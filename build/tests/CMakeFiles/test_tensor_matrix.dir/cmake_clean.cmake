@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor_matrix.dir/tensor/test_matrix.cpp.o"
+  "CMakeFiles/test_tensor_matrix.dir/tensor/test_matrix.cpp.o.d"
+  "test_tensor_matrix"
+  "test_tensor_matrix.pdb"
+  "test_tensor_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

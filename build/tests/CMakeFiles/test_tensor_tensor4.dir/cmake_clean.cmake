@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor_tensor4.dir/tensor/test_tensor4.cpp.o"
+  "CMakeFiles/test_tensor_tensor4.dir/tensor/test_tensor4.cpp.o.d"
+  "test_tensor_tensor4"
+  "test_tensor_tensor4.pdb"
+  "test_tensor_tensor4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor_tensor4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

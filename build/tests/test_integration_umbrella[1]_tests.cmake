@@ -1,0 +1,3 @@
+add_test([=[Umbrella.ExposesEverySubsystem]=]  /root/repo/build/tests/test_integration_umbrella [==[--gtest_filter=Umbrella.ExposesEverySubsystem]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Umbrella.ExposesEverySubsystem]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_integration_umbrella_TESTS Umbrella.ExposesEverySubsystem)
