@@ -3,6 +3,9 @@
 # section separators, into stdout (tee to a file to archive a run).
 #
 #   scripts/run_all_benches.sh [build-dir]
+#
+# The binary list is explicit (not a directory glob) so a bench that fails to
+# build is a loud error here rather than a silently missing section.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -12,11 +15,37 @@ if [[ ! -d "${BUILD_DIR}/bench" ]]; then
   exit 1
 fi
 
-for b in "${BUILD_DIR}"/bench/*; do
-  [[ -x "$b" && -f "$b" ]] || continue
+BENCHES=(
+  bench_gemm
+  bench_collectives
+  bench_eq5_crossover
+  bench_fig4_batch_size
+  bench_fig6_strong_scaling
+  bench_fig7_fc_only
+  bench_fig8_overlap
+  bench_fig9_weak_scaling
+  bench_fig10_domain_extension
+  bench_hierarchy
+  bench_latency_ablation
+  bench_layer_breakdown
+  bench_machine_sensitivity
+  bench_memory_model
+  bench_rnn_fc_heavy
+  bench_summa_ablation
+  bench_trace_replay
+  bench_validation_volume
+  bench_executable_scaling
+)
+
+for name in "${BENCHES[@]}"; do
+  b="${BUILD_DIR}/bench/${name}"
+  if [[ ! -x "$b" ]]; then
+    echo "error: bench binary missing: $b" >&2
+    exit 1
+  fi
   echo
   echo "################################################################"
-  echo "## $(basename "$b")"
+  echo "## ${name}"
   echo "################################################################"
   "$b"
 done

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# clang-tidy gate over the library sources (src/**/*.cpp), driven by the
+# CMake compilation database so include paths and C++20 flags match the real
+# build. Fails (exit 1) on any warning — .clang-tidy sets WarningsAsErrors.
+#
+#   scripts/run_clang_tidy.sh [--allow-missing] [build-dir]
+#
+#   --allow-missing   exit 0 with a notice when clang-tidy is not installed
+#                     (for developer boxes without LLVM; CI installs it and
+#                     must NOT pass this flag)
+#   build-dir         compilation-database dir (default: build-tidy, created)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ALLOW_MISSING=0
+BUILD_DIR="build-tidy"
+for arg in "$@"; do
+  case "$arg" in
+    --allow-missing) ALLOW_MISSING=1 ;;
+    -*) echo "unknown flag: $arg" >&2; exit 2 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  if [[ "$ALLOW_MISSING" == 1 ]]; then
+    echo "clang-tidy not found; skipping static-analysis gate (--allow-missing)"
+    exit 0
+  fi
+  echo "error: clang-tidy not found (set CLANG_TIDY or pass --allow-missing)" >&2
+  exit 1
+fi
+
+# Library sources only: the gate covers src/; tests and benches follow the
+# same config via editor integration but do not block CI.
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  cmake -B "${BUILD_DIR}" -S . \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DMBD_BUILD_TESTS=OFF -DMBD_BUILD_BENCH=OFF -DMBD_BUILD_EXAMPLES=OFF \
+    >/dev/null
+fi
+
+mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
+echo "clang-tidy ($("$TIDY" --version | head -n1)) over ${#SOURCES[@]} files"
+
+FAILED=0
+for f in "${SOURCES[@]}"; do
+  if ! "$TIDY" -p "${BUILD_DIR}" --quiet "$f"; then
+    FAILED=1
+    echo "FAIL: $f" >&2
+  fi
+done
+
+if [[ "$FAILED" != 0 ]]; then
+  echo "clang-tidy gate failed — fix the warnings above or justify a" \
+       "suppression in .clang-tidy" >&2
+  exit 1
+fi
+echo "clang-tidy gate clean"

@@ -16,9 +16,11 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <typeinfo>
 #include <vector>
 
 #include "mbd/comm/fabric.hpp"
+#include "mbd/comm/validator.hpp"
 #include "mbd/support/check.hpp"
 
 namespace mbd::comm {
@@ -171,13 +173,19 @@ class Comm {
   static std::vector<T> from_bytes(std::vector<std::byte> b) {
     MBD_CHECK_EQ(b.size() % sizeof(T), 0u);
     std::vector<T> out(b.size() / sizeof(T));
-    std::memcpy(out.data(), b.data(), b.size());
+    // Zero-length payloads are legal and their data() may be null; memcpy's
+    // arguments are declared nonnull even for n == 0 (UBSan enforces this).
+    if (!b.empty()) std::memcpy(out.data(), b.data(), b.size());
     return out;
   }
 
   void send_bytes(int dst, std::span<const std::byte> data, int tag, Coll c);
   std::vector<std::byte> recv_bytes(int src, int tag);
   int global_rank(int comm_rank) const;
+
+  // Registers a collective entry with the World's validator (no-op when
+  // validation is off). Throws ValidationError on a cross-rank mismatch.
+  void validate_entry(const CollectiveDesc& desc);
 
   // Internal tags are offset per collective so user p2p traffic on the same
   // communicator can never be confused with collective traffic.
@@ -222,6 +230,11 @@ template <typename T>
 void Comm::broadcast(std::span<T> data, int root) {
   const int p = size();
   MBD_CHECK(root >= 0 && root < p);
+  validate_entry({.kind = OpKind::Broadcast,
+                  .count = data.size(),
+                  .elem_size = sizeof(T),
+                  .elem_type = typeid(T).name(),
+                  .root = root});
   if (p == 1) return;
   const int vr = (rank_ - root + p) % p;
   int mask = 1;
@@ -247,6 +260,12 @@ template <typename T, typename Op>
 void Comm::reduce(std::span<T> data, int root, Op op) {
   const int p = size();
   MBD_CHECK(root >= 0 && root < p);
+  validate_entry({.kind = OpKind::Reduce,
+                  .count = data.size(),
+                  .elem_size = sizeof(T),
+                  .elem_type = typeid(T).name(),
+                  .reduce_op = typeid(Op).name(),
+                  .root = root});
   if (p == 1) return;
   const int vr = (rank_ - root + p) % p;
   int mask = 1;
@@ -269,6 +288,11 @@ void Comm::reduce(std::span<T> data, int root, Op op) {
 
 template <typename T>
 std::vector<T> Comm::allgather(std::span<const T> local, AllGatherAlgo algo) {
+  validate_entry({.kind = OpKind::AllGather,
+                  .count = local.size(),
+                  .elem_size = sizeof(T),
+                  .elem_type = typeid(T).name(),
+                  .algo = static_cast<int>(algo)});
   switch (algo) {
     case AllGatherAlgo::Bruck: return allgather_bruck(local);
     case AllGatherAlgo::Ring: return allgather_ring(local);
@@ -337,6 +361,10 @@ template <typename T>
 std::vector<T> Comm::alltoall(std::span<const T> data, std::size_t chunk) {
   const int p = size();
   MBD_CHECK_EQ(data.size(), chunk * static_cast<std::size_t>(p));
+  validate_entry({.kind = OpKind::AllToAll,
+                  .count = chunk,
+                  .elem_size = sizeof(T),
+                  .elem_type = typeid(T).name()});
   std::vector<T> out(data.size());
   // Own chunk moves locally.
   std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(
@@ -363,6 +391,11 @@ std::vector<T> Comm::alltoall(std::span<const T> data, std::size_t chunk) {
 
 template <typename T>
 std::vector<T> Comm::allgatherv(std::span<const T> local) {
+  // Per-rank counts legitimately differ; only kind and element type match.
+  validate_entry({.kind = OpKind::AllGatherV,
+                  .count = CollectiveDesc::kAnyCount,
+                  .elem_size = sizeof(T),
+                  .elem_type = typeid(T).name()});
   const int p = size();
   std::vector<std::vector<T>> blocks(static_cast<std::size_t>(p));
   blocks[static_cast<std::size_t>(rank_)].assign(local.begin(), local.end());
@@ -391,6 +424,12 @@ std::vector<T> Comm::allgatherv(std::span<const T> local) {
 
 template <typename T, typename Op>
 void Comm::allreduce(std::span<T> data, Op op, AllReduceAlgo algo) {
+  validate_entry({.kind = OpKind::AllReduce,
+                  .count = data.size(),
+                  .elem_size = sizeof(T),
+                  .elem_type = typeid(T).name(),
+                  .reduce_op = typeid(Op).name(),
+                  .algo = static_cast<int>(algo)});
   if (size() == 1) return;
   switch (algo) {
     case AllReduceAlgo::Ring: allreduce_ring(data, op); return;
@@ -569,6 +608,11 @@ void Comm::allreduce_rabenseifner(std::span<T> data, Op op) {
 
 template <typename T, typename Op>
 std::vector<T> Comm::reduce_scatter(std::span<const T> data, Op op) {
+  validate_entry({.kind = OpKind::ReduceScatter,
+                  .count = data.size(),
+                  .elem_size = sizeof(T),
+                  .elem_type = typeid(T).name(),
+                  .reduce_op = typeid(Op).name()});
   const int p = size();
   const std::size_t n = data.size();
   std::vector<T> work(data.begin(), data.end());
@@ -598,6 +642,13 @@ std::vector<T> Comm::reduce_scatter(std::span<const T> data, Op op) {
 template <typename T>
 std::vector<T> Comm::gather(std::span<const T> local, int root) {
   const int p = size();
+  MBD_CHECK(root >= 0 && root < p);
+  // Linear gather concatenates whatever each rank offers; sizes may differ.
+  validate_entry({.kind = OpKind::Gather,
+                  .count = CollectiveDesc::kAnyCount,
+                  .elem_size = sizeof(T),
+                  .elem_type = typeid(T).name(),
+                  .root = root});
   if (rank_ != root) {
     csend<T>(root, local, Coll::Gather, 0);
     return {};
@@ -618,6 +669,12 @@ template <typename T>
 std::vector<T> Comm::scatter(std::span<const T> all, int root,
                              std::size_t chunk) {
   const int p = size();
+  MBD_CHECK(root >= 0 && root < p);
+  validate_entry({.kind = OpKind::Scatter,
+                  .count = chunk,
+                  .elem_size = sizeof(T),
+                  .elem_type = typeid(T).name(),
+                  .root = root});
   if (rank_ == root) {
     MBD_CHECK_EQ(all.size(), chunk * static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r) {

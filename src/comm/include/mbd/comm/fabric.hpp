@@ -9,6 +9,7 @@
 #include "mbd/comm/mailbox.hpp"
 #include "mbd/comm/stats.hpp"
 #include "mbd/comm/trace.hpp"
+#include "mbd/comm/validator.hpp"
 
 namespace mbd::comm::detail {
 
@@ -25,10 +26,22 @@ struct Fabric {
   std::unique_ptr<Trace> trace;
   std::atomic<std::uint64_t> next_msg_id{1};
 
+  // Optional collective-call validator: allocated by
+  // World::enable_validation() (default-on in Debug builds) strictly
+  // before rank threads exist, so the plain pointer reads during a run
+  // need no synchronization.
+  std::unique_ptr<Validator> validator;
+
   bool tracing() const { return trace != nullptr; }
 
+  // Release/acquire pairing with the loads in Comm::send_bytes and
+  // World::run: a rank that observes poisoned==true is guaranteed to also
+  // observe every write the poisoning thread made before failing (its
+  // error slot in particular). The per-mailbox poisoned_ flag is mutex
+  // protected and needs no ordering here; this flag alone gates the
+  // fast-path throw in send_bytes.
   void poison_all() {
-    poisoned.store(true, std::memory_order_relaxed);
+    poisoned.store(true, std::memory_order_release);
     for (auto& mb : mailboxes) mb.poison();
   }
 };

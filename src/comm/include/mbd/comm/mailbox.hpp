@@ -6,14 +6,27 @@
 // delivered FIFO per matching key, mirroring MPI's non-overtaking guarantee.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <vector>
 
+#include "mbd/support/check.hpp"
+
 namespace mbd::comm {
+
+/// Thrown by blocked receives (and attempted sends) after another rank
+/// poisoned the fabric. Distinguished from primary failures so World::run
+/// can rethrow the rank's original exception rather than one of the
+/// secondary wakeup errors it caused.
+class PoisonedError : public ::mbd::Error {
+ public:
+  using Error::Error;
+};
 
 /// Envelope for one in-flight message.
 struct Message {
@@ -24,6 +37,14 @@ struct Message {
   std::vector<std::byte> payload;
 };
 
+/// Watchdog for a blocking pop: if no matching message arrives within
+/// `timeout`, the pop throws an mbd::Error carrying `report()` — used by the
+/// collective validator to turn silent deadlocks into diagnostics.
+struct PopWatch {
+  std::chrono::milliseconds timeout{0};
+  std::function<std::string()> report;
+};
+
 /// Thread-safe mailbox for one rank.
 class Mailbox {
  public:
@@ -31,9 +52,11 @@ class Mailbox {
   void push(Message msg);
 
   /// Block until a message matching (context, source, tag) is available and
-  /// return the earliest such message. Throws mbd::Error if the fabric is
-  /// poisoned (another rank threw) while waiting.
-  Message pop(std::uint64_t context, int source, int tag);
+  /// return the earliest such message. Throws PoisonedError if the fabric is
+  /// poisoned (another rank threw) while waiting. If `watch` is non-null and
+  /// the wait exceeds watch->timeout, throws mbd::Error with watch->report().
+  Message pop(std::uint64_t context, int source, int tag,
+              const PopWatch* watch = nullptr);
 
   /// Wake all waiters so they can observe a poisoned fabric.
   void poison();

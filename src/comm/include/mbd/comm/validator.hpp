@@ -1,0 +1,147 @@
+// Runtime collective-call validation for the mbd::comm runtime.
+//
+// Standard MPI semantics require every rank of a communicator to call the
+// same sequence of collectives with compatible arguments. Violations in a
+// message-passing runtime do not crash — they hang, or worse, silently
+// mis-match payloads. The Validator turns both failure modes into precise,
+// rank-attributed diagnostics:
+//
+//  * Every collective entry registers a descriptor (op kind, element type,
+//    count, algorithm, reduce op, root) in a per-context rendezvous slot.
+//    The first rank whose descriptor disagrees with the slot throws a
+//    ValidationError naming both ranks and both calls — e.g. "rank 3 called
+//    allreduce(count=1024, ...) but rank 0 called allgather(count=512, ...)"
+//    — instead of deadlocking inside the collective's message schedule.
+//  * A watchdog bounds every blocking Mailbox receive: a rank blocked past a
+//    configurable timeout throws a probable-deadlock report that dumps each
+//    rank's last-known collective so the missing or extra call is evident.
+//
+// Enabled via World::enable_validation(); on by default in Debug builds
+// (!NDEBUG). Overhead is one mutex-protected map operation per collective
+// entry — negligible next to the payload copies the transport already does.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::comm {
+
+/// Thrown by the validator on a collective-argument mismatch.
+class ValidationError : public ::mbd::Error {
+ public:
+  using Error::Error;
+};
+
+/// The operation kinds the validator distinguishes. Finer-grained than the
+/// Coll traffic classes: allgatherv has different matching rules than
+/// allgather, and split/alltoall are validated even though their traffic is
+/// recorded under other classes.
+enum class OpKind : int {
+  Barrier = 0,
+  Broadcast,
+  Reduce,
+  AllGather,
+  AllGatherV,
+  AllReduce,
+  ReduceScatter,
+  Gather,
+  Scatter,
+  AllToAll,
+  Split,
+  kCount
+};
+
+/// Human-readable name of an OpKind value.
+std::string_view op_kind_name(OpKind k);
+
+/// What one rank claims about the collective it is entering. Two ranks match
+/// when every field agrees; `count == kAnyCount` marks operations whose
+/// element counts may legitimately differ across ranks (allgatherv, gather).
+struct CollectiveDesc {
+  /// Sentinel count for collectives with legitimately rank-varying sizes.
+  static constexpr std::size_t kAnyCount = ~std::size_t{0};
+
+  OpKind kind = OpKind::Barrier;
+  std::size_t count = 0;         ///< elements per rank, or kAnyCount
+  std::size_t elem_size = 0;     ///< sizeof(T), 0 if no payload
+  std::string_view elem_type{};  ///< typeid(T).name(), empty if no payload
+  std::string_view reduce_op{};  ///< typeid(Op).name(), empty if no reduction
+  int algo = -1;                 ///< AllGatherAlgo/AllReduceAlgo value, or -1
+  int root = -1;                 ///< root rank, or -1 for rootless ops
+
+  bool matches(const CollectiveDesc& other) const {
+    return kind == other.kind && count == other.count &&
+           elem_size == other.elem_size && elem_type == other.elem_type &&
+           reduce_op == other.reduce_op && algo == other.algo &&
+           root == other.root;
+  }
+
+  /// "allreduce(count=1024, elem=float, op=std::plus<float>, algo=0)".
+  std::string describe() const;
+};
+
+/// Shared rendezvous state for one World; owned by the Fabric and consulted
+/// by every Comm on collective entry. Thread-safe.
+class Validator {
+ public:
+  /// Default watchdog timeout. Generous so heavily oversubscribed sanitizer
+  /// runs never trip it; tests that provoke deadlocks lower it.
+  static constexpr std::chrono::milliseconds kDefaultTimeout{120'000};
+
+  explicit Validator(int world_size);
+
+  /// Register `comm_rank` (global rank `global_rank`) entering a collective
+  /// described by `desc` on communicator `context` of `comm_size` ranks.
+  /// Throws ValidationError if the descriptor disagrees with the one the
+  /// first-arriving rank registered for the same operation slot.
+  void on_enter(std::uint64_t context, int comm_rank, int global_rank,
+                int comm_size, const CollectiveDesc& desc);
+
+  /// Record user point-to-point activity (for the deadlock report only).
+  void on_p2p(int global_rank, std::string activity);
+
+  /// Watchdog timeout for blocking receives.
+  void set_timeout(std::chrono::milliseconds t);
+  std::chrono::milliseconds timeout() const;
+
+  /// Diagnostic for a rank whose blocking receive exceeded the watchdog
+  /// timeout: names the stuck receive and dumps every rank's last-known
+  /// collective.
+  std::string deadlock_report(int global_rank, std::uint64_t context, int src,
+                              int tag) const;
+
+ private:
+  // One collective operation some ranks have entered but not all.
+  struct InflightOp {
+    CollectiveDesc desc;
+    int first_comm_rank;  // who registered the slot (for diagnostics)
+    int arrived;          // ranks that have entered so far
+  };
+  // Per-communicator-context rendezvous state. Ranks of a communicator each
+  // execute the same ordered sequence of collectives, so the k-th entry of
+  // every rank must land in the k-th slot; slots retire once all ranks of
+  // the context have arrived.
+  struct ContextState {
+    std::uint64_t retired = 0;            // fully-matched ops, dropped
+    std::deque<InflightOp> inflight;      // ops entered by a proper subset
+    std::vector<std::uint64_t> next_seq;  // per comm rank: next op index
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, ContextState> contexts_;
+  std::vector<std::string> last_collective_;  // per global rank
+  std::vector<std::string> last_p2p_;         // per global rank
+  std::atomic<std::chrono::milliseconds::rep> timeout_ms_;
+};
+
+}  // namespace mbd::comm

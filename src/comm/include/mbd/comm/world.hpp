@@ -7,6 +7,7 @@
 // cluster timing.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <memory>
 
@@ -18,15 +19,17 @@ namespace mbd::comm {
 /// A fixed-size group of ranks backed by threads.
 class World {
  public:
-  /// Create a world of `size` ranks (size >= 1).
+  /// Create a world of `size` ranks (size >= 1). Collective-call validation
+  /// (see validator.hpp) starts enabled in Debug (!NDEBUG) builds.
   explicit World(int size);
 
   int size() const { return size_; }
 
   /// Run `fn(comm)` on every rank concurrently; returns when all ranks
   /// finish. If any rank throws, the fabric is poisoned (blocked ranks are
-  /// woken with an error) and the first exception is rethrown here.
-  /// May be called repeatedly; mailboxes must be drained by each run
+  /// woken with an error) and the failing rank's original exception is
+  /// rethrown here — secondary PoisonedErrors from woken peers never mask
+  /// it. May be called repeatedly; mailboxes must be drained by each run
   /// (collective code always does).
   void run(const std::function<void(Comm&)>& fn);
 
@@ -43,6 +46,17 @@ class World {
   const Trace& trace() const;
   /// Clear the recorded events (tracing stays enabled).
   void reset_trace();
+
+  /// Turn on collective-call validation and the recv watchdog for subsequent
+  /// run() calls (idempotent; on by default in Debug builds). Only call
+  /// between run()s. See mbd/comm/validator.hpp for what is checked.
+  void enable_validation();
+  /// Turn validation back off. Only call between run()s.
+  void disable_validation();
+  bool validation_enabled() const;
+  /// Watchdog timeout for blocking receives while validation is enabled
+  /// (default Validator::kDefaultTimeout). Enables validation if needed.
+  void set_validation_timeout(std::chrono::milliseconds t);
 
  private:
   int size_;

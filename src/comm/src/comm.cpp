@@ -1,6 +1,7 @@
 #include "mbd/comm/comm.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <tuple>
 
 namespace mbd::comm {
@@ -36,11 +37,23 @@ int Comm::global_rank(int comm_rank) const {
   return (*members_)[static_cast<std::size_t>(comm_rank)];
 }
 
+void Comm::validate_entry(const CollectiveDesc& desc) {
+  if (Validator* v = fabric_->validator.get()) {
+    v->on_enter(context_, rank_, global_rank(rank_), size(), desc);
+  }
+}
+
 void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag,
                       Coll c) {
   MBD_CHECK_MSG(dst != rank_, "self-send is not supported");
-  if (fabric_->poisoned.load(std::memory_order_relaxed)) {
-    throw Error("mbd::comm fabric poisoned: another rank threw");
+  if (fabric_->poisoned.load(std::memory_order_acquire)) {
+    throw PoisonedError("mbd::comm fabric poisoned: another rank threw");
+  }
+  if (Validator* v = fabric_->validator.get(); v != nullptr && c == Coll::PointToPoint) {
+    std::ostringstream os;
+    os << "send(to=" << global_rank(dst) << ", tag=" << tag
+       << ", bytes=" << data.size() << ')';
+    v->on_p2p(global_rank(rank_), os.str());
   }
   fabric_->counters.record(c, data.size());
   Message msg;
@@ -62,8 +75,26 @@ void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag,
 std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   const int gsrc = global_rank(src);
   const int gme = global_rank(rank_);
-  Message msg =
-      fabric_->mailboxes[static_cast<std::size_t>(gme)].pop(context_, gsrc, tag);
+  Message msg;
+  if (Validator* v = fabric_->validator.get()) {
+    if (tag < kInternalTagBase) {
+      std::ostringstream os;
+      os << "recv(from=" << gsrc << ", tag=" << tag << ')';
+      v->on_p2p(gme, os.str());
+    }
+    // Watchdog: a receive blocked past the validator timeout throws a
+    // probable-deadlock report instead of hanging the test run.
+    const PopWatch watch{
+        v->timeout(),
+        [v, gme, this, gsrc, tag] {
+          return v->deadlock_report(gme, context_, gsrc, tag);
+        }};
+    msg = fabric_->mailboxes[static_cast<std::size_t>(gme)].pop(context_, gsrc,
+                                                                tag, &watch);
+  } else {
+    msg = fabric_->mailboxes[static_cast<std::size_t>(gme)].pop(context_, gsrc,
+                                                                tag);
+  }
   if (fabric_->tracing() && msg.trace_id != 0) {
     fabric_->trace->ranks[static_cast<std::size_t>(gme)].push_back(
         {TraceEvent::Kind::Recv, gsrc, msg.payload.size(), msg.trace_id, 0.0});
@@ -79,6 +110,7 @@ void Comm::annotate_compute(double seconds) {
 }
 
 void Comm::barrier() {
+  validate_entry({.kind = OpKind::Barrier});
   const int p = size();
   const std::byte token{0};
   for (int k = 1, step = 0; k < p; k <<= 1, ++step) {
@@ -91,6 +123,9 @@ void Comm::barrier() {
 }
 
 Comm Comm::split(int color, int key) {
+  // Color and key legitimately differ across ranks; only the fact that every
+  // rank entered split() is validated (the inner allgather re-validates).
+  validate_entry({.kind = OpKind::Split});
   // Gather (color, key, parent_rank) from everyone, then carve out the group.
   struct Entry {
     int color, key, parent_rank;

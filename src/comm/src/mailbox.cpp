@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "mbd/support/check.hpp"
-
 namespace mbd::comm {
 
 void Mailbox::push(Message msg) {
@@ -14,8 +12,12 @@ void Mailbox::push(Message msg) {
   cv_.notify_all();
 }
 
-Message Mailbox::pop(std::uint64_t context, int source, int tag) {
+Message Mailbox::pop(std::uint64_t context, int source, int tag,
+                     const PopWatch* watch) {
   std::unique_lock lock(mu_);
+  const auto deadline = watch != nullptr
+                            ? std::chrono::steady_clock::now() + watch->timeout
+                            : std::chrono::steady_clock::time_point::max();
   for (;;) {
     auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
       return m.context == context && m.source == source && m.tag == tag;
@@ -26,11 +28,21 @@ Message Mailbox::pop(std::uint64_t context, int source, int tag) {
       return msg;
     }
     if (poisoned_) {
-      throw Error(
+      throw PoisonedError(
           "mbd::comm fabric poisoned: another rank threw while this rank was "
           "blocked in recv");
     }
-    cv_.wait(lock);
+    if (watch == nullptr) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Re-scan under the lock before declaring a deadlock: a matching
+      // message may have raced in with the timeout.
+      auto late = std::find_if(
+          queue_.begin(), queue_.end(), [&](const Message& m) {
+            return m.context == context && m.source == source && m.tag == tag;
+          });
+      if (late == queue_.end() && !poisoned_) throw Error(watch->report());
+    }
   }
 }
 

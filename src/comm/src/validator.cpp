@@ -1,0 +1,149 @@
+#include "mbd/comm/validator.hpp"
+
+#include <cxxabi.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+
+namespace mbd::comm {
+namespace {
+
+// Demangle a typeid name for diagnostics; falls back to the mangled form.
+std::string demangle(std::string_view mangled) {
+  if (mangled.empty()) return {};
+  const std::string name(mangled);
+  int status = 0;
+  std::unique_ptr<char, void (*)(void*)> out(
+      abi::__cxa_demangle(name.c_str(), nullptr, nullptr, &status),
+      std::free);
+  return status == 0 && out ? std::string(out.get()) : name;
+}
+
+}  // namespace
+
+std::string_view op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::Barrier: return "barrier";
+    case OpKind::Broadcast: return "broadcast";
+    case OpKind::Reduce: return "reduce";
+    case OpKind::AllGather: return "allgather";
+    case OpKind::AllGatherV: return "allgatherv";
+    case OpKind::AllReduce: return "allreduce";
+    case OpKind::ReduceScatter: return "reduce_scatter";
+    case OpKind::Gather: return "gather";
+    case OpKind::Scatter: return "scatter";
+    case OpKind::AllToAll: return "alltoall";
+    case OpKind::Split: return "split";
+    case OpKind::kCount: break;
+  }
+  return "unknown";
+}
+
+std::string CollectiveDesc::describe() const {
+  std::ostringstream os;
+  os << op_kind_name(kind) << '(';
+  const char* sep = "";
+  if (kind != OpKind::Barrier && kind != OpKind::Split) {
+    if (count == kAnyCount) {
+      os << "count=<per-rank>";
+    } else {
+      os << "count=" << count;
+    }
+    sep = ", ";
+  }
+  if (!elem_type.empty()) {
+    os << sep << "elem=" << demangle(elem_type);
+    sep = ", ";
+  }
+  if (!reduce_op.empty()) {
+    os << sep << "op=" << demangle(reduce_op);
+    sep = ", ";
+  }
+  if (algo >= 0) {
+    os << sep << "algo=" << algo;
+    sep = ", ";
+  }
+  if (root >= 0) os << sep << "root=" << root;
+  os << ')';
+  return os.str();
+}
+
+Validator::Validator(int world_size)
+    : last_collective_(static_cast<std::size_t>(world_size)),
+      last_p2p_(static_cast<std::size_t>(world_size)),
+      timeout_ms_(kDefaultTimeout.count()) {}
+
+void Validator::set_timeout(std::chrono::milliseconds t) {
+  MBD_CHECK_GT(t.count(), 0);
+  timeout_ms_.store(t.count(), std::memory_order_relaxed);
+}
+
+std::chrono::milliseconds Validator::timeout() const {
+  return std::chrono::milliseconds(
+      timeout_ms_.load(std::memory_order_relaxed));
+}
+
+void Validator::on_enter(std::uint64_t context, int comm_rank, int global_rank,
+                         int comm_size, const CollectiveDesc& desc) {
+  std::lock_guard lock(mu_);
+  auto& st = contexts_[context];
+  if (st.next_seq.empty())
+    st.next_seq.resize(static_cast<std::size_t>(comm_size), 0);
+  MBD_CHECK_EQ(st.next_seq.size(), static_cast<std::size_t>(comm_size));
+
+  const std::uint64_t seq = st.next_seq[static_cast<std::size_t>(comm_rank)]++;
+  const std::size_t idx = static_cast<std::size_t>(seq - st.retired);
+  // A rank enters collectives on a context strictly in order, so its slot is
+  // either an existing in-flight op or the next fresh one — never beyond.
+  MBD_CHECK_LE(idx, st.inflight.size());
+
+  if (idx == st.inflight.size()) {
+    st.inflight.push_back(InflightOp{desc, comm_rank, 1});
+  } else {
+    InflightOp& op = st.inflight[idx];
+    if (!desc.matches(op.desc)) {
+      std::ostringstream os;
+      os << "collective mismatch on communicator context 0x" << std::hex
+         << context << std::dec << " (size " << comm_size << "), operation #"
+         << seq << ": rank " << comm_rank << " called " << desc.describe()
+         << " but rank " << op.first_comm_rank << " called "
+         << op.desc.describe();
+      throw ValidationError(os.str());
+    }
+    ++op.arrived;
+  }
+  // Retire fully-matched ops from the front so the deque stays small.
+  while (!st.inflight.empty() && st.inflight.front().arrived == comm_size) {
+    st.inflight.pop_front();
+    ++st.retired;
+  }
+
+  std::ostringstream act;
+  act << desc.describe() << " [op #" << seq << " on context 0x" << std::hex
+      << context << std::dec << ']';
+  last_collective_[static_cast<std::size_t>(global_rank)] = act.str();
+}
+
+void Validator::on_p2p(int global_rank, std::string activity) {
+  std::lock_guard lock(mu_);
+  last_p2p_[static_cast<std::size_t>(global_rank)] = std::move(activity);
+}
+
+std::string Validator::deadlock_report(int global_rank, std::uint64_t context,
+                                       int src, int tag) const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  os << "probable deadlock: rank " << global_rank << " blocked longer than "
+     << timeout().count() << " ms in recv(context=0x" << std::hex << context
+     << std::dec << ", src=" << src << ", tag=" << tag
+     << "); last known activity per rank:";
+  for (std::size_t r = 0; r < last_collective_.size(); ++r) {
+    os << "\n  rank " << r << ": collective "
+       << (last_collective_[r].empty() ? "<none yet>" : last_collective_[r]);
+    if (!last_p2p_[r].empty()) os << ", p2p " << last_p2p_[r];
+  }
+  return os.str();
+}
+
+}  // namespace mbd::comm

@@ -7,14 +7,30 @@
 #include "mbd/support/check.hpp"
 
 namespace mbd::comm {
+namespace {
+
+bool is_poison_error(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const PoisonedError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
 
 World::World(int size) : size_(size) {
   MBD_CHECK_GT(size, 0);
   fabric_ = std::make_shared<detail::Fabric>(size);
+#ifndef NDEBUG
+  enable_validation();
+#endif
 }
 
 void World::run(const std::function<void(Comm&)>& fn) {
-  MBD_CHECK_MSG(!fabric_->poisoned.load(),
+  MBD_CHECK_MSG(!fabric_->poisoned.load(std::memory_order_acquire),
                 "World was poisoned by a previous failed run; create a new one");
   auto members = std::make_shared<const std::vector<int>>([&] {
     std::vector<int> m(static_cast<std::size_t>(size_));
@@ -37,8 +53,18 @@ void World::run(const std::function<void(Comm&)>& fn) {
     });
   }
   for (auto& t : threads) t.join();
-  for (const auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  // Rethrow the primary failure: the first rank (by rank order) whose error
+  // is not a secondary PoisonedError wakeup. Pure-poison error sets (all
+  // ranks woken by an external poisoner) fall back to the first error.
+  std::exception_ptr first;
+  for (const auto& e : errors) {
+    if (!e) continue;
+    if (!first) first = e;
+    if (!is_poison_error(e)) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 StatsSnapshot World::stats() const { return fabric_->counters.snapshot(); }
@@ -60,6 +86,22 @@ const Trace& World::trace() const {
 void World::reset_trace() {
   if (!fabric_->trace) return;
   for (auto& r : fabric_->trace->ranks) r.clear();
+}
+
+void World::enable_validation() {
+  if (fabric_->validator) return;
+  fabric_->validator = std::make_unique<Validator>(size_);
+}
+
+void World::disable_validation() { fabric_->validator.reset(); }
+
+bool World::validation_enabled() const {
+  return fabric_->validator != nullptr;
+}
+
+void World::set_validation_timeout(std::chrono::milliseconds t) {
+  enable_validation();
+  fabric_->validator->set_timeout(t);
 }
 
 }  // namespace mbd::comm

@@ -1,0 +1,107 @@
+// Poison/teardown path: a rank that throws mid-collective must wake every
+// peer blocked in Mailbox::pop, World::run must rethrow the *original*
+// exception (not one of the secondary PoisonedError wakeups), and no thread
+// may deadlock. The CI sanitizer jobs run this file under TSan, which is the
+// actual proof the teardown path is race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "mbd/comm/world.hpp"
+
+namespace mbd::comm {
+namespace {
+
+TEST(Poison, ThrowMidCollectiveReleasesBlockedPeers) {
+  // Ranks != 2 block in a barrier that rank 2 never joins; rank 2 throws.
+  // Every peer is woken via mailbox poisoning and run() completes.
+  World world(4);
+  EXPECT_THROW(
+      {
+        try {
+          world.run([](Comm& c) {
+            if (c.rank() == 2) throw std::runtime_error("boom on rank 2");
+            c.barrier();
+          });
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("boom on rank 2"),
+                    std::string::npos)
+              << "expected the original exception, got: " << e.what();
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(Poison, OriginalExceptionWinsOverSecondaryWakeups) {
+  // Rank 3 throws while ranks 0..2 are blocked receiving from it. The woken
+  // ranks all fail with PoisonedError; run() must surface rank 3's error
+  // even though lower ranks also recorded exceptions.
+  World world(4);
+  try {
+    world.run([](Comm& c) {
+      if (c.rank() == 3) throw Error("primary failure on rank 3");
+      (void)c.recv<float>(/*src=*/3);
+    });
+    FAIL() << "run() should have thrown";
+  } catch (const PoisonedError&) {
+    FAIL() << "secondary PoisonedError masked the original exception";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("primary failure on rank 3"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Poison, ThrowInsideRingAllreduceUnblocksRing) {
+  // Rank 0 throws partway into a ring allreduce schedule while its ring
+  // neighbours are blocked waiting for the next step's message.
+  World world(4);
+  std::atomic<int> entered{0};
+  try {
+    world.run([&](Comm& c) {
+      std::vector<float> data(64, static_cast<float>(c.rank()));
+      entered.fetch_add(1);
+      if (c.rank() == 0) throw Error("rank 0 aborts before the collective");
+      c.allreduce(std::span<float>(data));
+    });
+    FAIL() << "run() should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 0 aborts"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(entered.load(), 4);
+}
+
+TEST(Poison, SendAfterPoisonThrowsPoisonedError) {
+  World world(2);
+  try {
+    world.run([](Comm& c) {
+      if (c.rank() == 1) throw Error("rank 1 fails first");
+      // Rank 0 spins sending; once rank 1 poisons the fabric the send
+      // itself must throw (PoisonedError), not deposit into dead mailboxes.
+      std::vector<float> payload(16, 1.0f);
+      for (;;) c.send(1, std::span<const float>(payload));
+    });
+    FAIL() << "run() should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 1 fails first"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Poison, PoisonedWorldRefusesFurtherRuns) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& c) {
+    if (c.rank() == 0) throw Error("first run fails");
+    c.barrier();
+  }),
+               Error);
+  EXPECT_THROW(world.run([](Comm&) {}), Error);
+}
+
+}  // namespace
+}  // namespace mbd::comm

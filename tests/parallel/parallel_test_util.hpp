@@ -32,10 +32,13 @@ inline Reference run_reference(const std::vector<nn::LayerSpec>& specs,
 }
 
 /// Runs `fn` on a world of `p` ranks, collects every rank's DistResult, and
-/// checks the ranks agree with each other bit-for-bit on losses.
+/// checks the ranks agree with each other bit-for-bit on losses. Collective
+/// validation is always on — every distributed trainer doubles as a
+/// validator integration test in every build type.
 template <typename Fn>
 DistResult run_distributed(int p, Fn fn) {
   comm::World world(p);
+  world.enable_validation();
   std::vector<DistResult> results(static_cast<std::size_t>(p));
   std::mutex mu;
   world.run([&](comm::Comm& c) {
