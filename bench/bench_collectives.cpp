@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "mbd/comm/world.hpp"
+#include "microbench_json.hpp"
 
 namespace {
 
@@ -138,3 +139,7 @@ void BM_Barrier(benchmark::State& state) {
 BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Arg(16);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return mbd::bench::run_microbench(argc, argv, "bench_collectives");
+}

@@ -70,7 +70,8 @@ void redistribution_table() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_eq5_crossover");
   bench::print_table1_banner(
       "Eq. 5 / Eq. 6 — crossover batch sizes and redistribution");
   crossover_table();

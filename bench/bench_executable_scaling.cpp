@@ -35,7 +35,8 @@ comm::StatsSnapshot per_iteration(int p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_executable_scaling");
   bench::print_table1_banner(
       "Executable scaling — measured traffic of the running trainers");
   const auto specs = nn::mlp_spec({32, 64, 32, 16});

@@ -8,7 +8,8 @@
 #include "common.hpp"
 #include "mbd/support/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_fig10_domain_extension");
   using namespace mbd;
   using costmodel::LayerRole;
   bench::print_table1_banner(

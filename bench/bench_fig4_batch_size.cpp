@@ -88,7 +88,8 @@ void measure_local_shape() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_fig4_batch_size");
   bench::print_table1_banner("Fig. 4 — one-epoch time vs mini-batch size");
   print_digitized_curve();
   measure_local_shape();

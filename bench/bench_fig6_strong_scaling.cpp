@@ -11,7 +11,8 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_fig6_strong_scaling");
   using namespace mbd;
   bench::print_table1_banner(
       "Fig. 6 — strong scaling, same grid for all layers (Eq. 8)");

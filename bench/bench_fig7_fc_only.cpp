@@ -7,7 +7,8 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_fig7_fc_only");
   using namespace mbd;
   bench::print_table1_banner(
       "Fig. 7 — strong scaling, model parallelism in FC layers only (Eq. 8)");

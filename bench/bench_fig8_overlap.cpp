@@ -6,7 +6,8 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_fig8_overlap");
   using namespace mbd;
   bench::print_table1_banner(
       "Fig. 8 — perfect communication/backprop overlap (Fig. 7 config)");

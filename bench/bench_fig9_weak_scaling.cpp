@@ -7,7 +7,8 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_fig9_weak_scaling");
   using namespace mbd;
   bench::print_table1_banner(
       "Fig. 9 — weak scaling, variable mini-batch (Eq. 8, uniform grid)");

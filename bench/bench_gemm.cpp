@@ -1,12 +1,22 @@
 // Microbenchmarks of the three DNN-training gemm kernels (forward W·X,
-// gradient ∆Y·Xᵀ, backward Wᵀ·∆Y) across AlexNet-FC-like shapes — the
-// blocking ablation from DESIGN.md §5.
+// gradient ∆Y·Xᵀ, backward Wᵀ·∆Y) over the shapes the trainers actually
+// emit, plus the im2col/conv substrate.
+//
+// Shape provenance: run any trainer with MBD_GEMM_LOG_SHAPES=1 to harvest
+// the (variant, m, n, k) set from gemm.cpp's one-shot logger. The headline
+// cases here are the full-size AlexNet FC layers (9216→4096→4096→1000 at
+// batch 128/512, paper Table 1) and im2col-lowered conv shapes; the small
+// cases keep granularity for quick regressions.
+//
+// Every case records {flop, bytes} counters that `--json <path>` turns into
+// the committed BENCH_gemm.json baseline guarded by CI (docs/benchmarks.md).
 #include <benchmark/benchmark.h>
 
 #include "mbd/nn/layers.hpp"
 #include "mbd/support/rng.hpp"
 #include "mbd/tensor/gemm.hpp"
 #include "mbd/tensor/im2col.hpp"
+#include "microbench_json.hpp"
 
 namespace {
 
@@ -17,47 +27,86 @@ Matrix rand_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
   return Matrix::random_normal(r, c, rng, 1.0f);
 }
 
+// m×k · k×n work/traffic counters: "GFLOP/s" for the console, plain "flop"
+// and "bytes" per iteration for the JSON records.
+void set_gemm_counters(benchmark::State& state, std::size_t m, std::size_t n,
+                       std::size_t k) {
+  const double flop = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                      static_cast<double>(k);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flop * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+  state.counters["flop"] = benchmark::Counter(flop);
+  state.counters["bytes"] = benchmark::Counter(
+      4.0 * (static_cast<double>(m * k) + static_cast<double>(k * n) +
+             2.0 * static_cast<double>(m * n)));
+}
+
+// Forward Y = W·X: args {m, k, n} = {d_out, d_in, B} for FC layers, or the
+// im2col-lowered {C_out, C_in·KH·KW, H_out·W_out} for conv layers.
 void BM_GemmNN(benchmark::State& state) {
-  const auto d = static_cast<std::size_t>(state.range(0));
-  const auto b = static_cast<std::size_t>(state.range(1));
-  const Matrix w = rand_matrix(d, d, 1);
-  const Matrix x = rand_matrix(d, b, 2);
-  Matrix y(d, b);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  const Matrix w = rand_matrix(m, k, 1);
+  const Matrix x = rand_matrix(k, n, 2);
+  Matrix y(m, n);
   for (auto _ : state) {
     gemm_nn(w, x, y);
     benchmark::DoNotOptimize(y.data());
   }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      2.0 * static_cast<double>(d) * d * b * static_cast<double>(state.iterations()) * 1e-9,
-      benchmark::Counter::kIsRate);
+  set_gemm_counters(state, m, n, k);
 }
-BENCHMARK(BM_GemmNN)->Args({128, 32})->Args({256, 64})->Args({512, 64});
+BENCHMARK(BM_GemmNN)
+    ->Args({128, 128, 32})
+    ->Args({512, 512, 64})
+    // AlexNet FC forward: fc6 (9216→4096), fc7 (4096→4096), fc8 (4096→1000).
+    ->Args({4096, 9216, 128})
+    ->Args({4096, 4096, 128})
+    ->Args({1000, 4096, 128})
+    ->Args({4096, 4096, 512})
+    // AlexNet conv1/conv2/conv3 lowered via im2col, one sample.
+    ->Args({96, 363, 3025})
+    ->Args({256, 2400, 729})
+    ->Args({384, 2304, 169});
 
+// Gradient ∆W = ∆Y·Xᵀ: args {m, n, k} = {d_out, d_in, B}.
 void BM_GemmNT(benchmark::State& state) {
-  const auto d = static_cast<std::size_t>(state.range(0));
-  const auto b = static_cast<std::size_t>(state.range(1));
-  const Matrix dy = rand_matrix(d, b, 3);
-  const Matrix x = rand_matrix(d, b, 4);
-  Matrix dw(d, d);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto k = static_cast<std::size_t>(state.range(2));
+  const Matrix dy = rand_matrix(m, k, 3);
+  const Matrix x = rand_matrix(n, k, 4);
+  Matrix dw(m, n);
   for (auto _ : state) {
     gemm_nt(dy, x, dw);
     benchmark::DoNotOptimize(dw.data());
   }
+  set_gemm_counters(state, m, n, k);
 }
-BENCHMARK(BM_GemmNT)->Args({128, 32})->Args({256, 64})->Args({512, 64});
+BENCHMARK(BM_GemmNT)
+    ->Args({512, 512, 64})
+    ->Args({4096, 9216, 128})
+    ->Args({4096, 4096, 512});
 
+// Backward ∆X = Wᵀ·∆Y: args {m, n, k} = {d_in, B, d_out}.
 void BM_GemmTN(benchmark::State& state) {
-  const auto d = static_cast<std::size_t>(state.range(0));
-  const auto b = static_cast<std::size_t>(state.range(1));
-  const Matrix w = rand_matrix(d, d, 5);
-  const Matrix dy = rand_matrix(d, b, 6);
-  Matrix dx(d, b);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto k = static_cast<std::size_t>(state.range(2));
+  const Matrix w = rand_matrix(k, m, 5);
+  const Matrix dy = rand_matrix(k, n, 6);
+  Matrix dx(m, n);
   for (auto _ : state) {
     gemm_tn(w, dy, dx);
     benchmark::DoNotOptimize(dx.data());
   }
+  set_gemm_counters(state, m, n, k);
 }
-BENCHMARK(BM_GemmTN)->Args({128, 32})->Args({256, 64})->Args({512, 64});
+BENCHMARK(BM_GemmTN)
+    ->Args({512, 64, 512})
+    ->Args({9216, 128, 4096})
+    ->Args({4096, 512, 4096});
 
 void BM_Conv2DForward(benchmark::State& state) {
   // One AlexNet-conv3-shaped layer (256 -> 384, 3x3 on 13x13) per sample.
@@ -110,7 +159,12 @@ void BM_GemmReference(benchmark::State& state) {
     Matrix c = matmul_reference(a, b);
     benchmark::DoNotOptimize(c.data());
   }
+  set_gemm_counters(state, d, d, d);
 }
 BENCHMARK(BM_GemmReference)->Arg(128)->Arg(256);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return mbd::bench::run_microbench(argc, argv, "bench_gemm");
+}

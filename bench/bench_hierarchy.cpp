@@ -7,7 +7,8 @@
 #include "mbd/costmodel/hierarchy.hpp"
 #include "mbd/support/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_hierarchy");
   using namespace mbd;
   bench::print_table1_banner(
       "Extension — two-level (intra/inter node) network model");

@@ -7,7 +7,8 @@
 #include "common.hpp"
 #include "mbd/support/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_latency_ablation");
   using namespace mbd;
   using costmodel::LatencyMode;
   bench::print_table1_banner(

@@ -9,7 +9,8 @@
 #include "common.hpp"
 #include "mbd/support/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_layer_breakdown");
   using namespace mbd;
   bench::print_table1_banner(
       "Per-layer breakdown — why conv wants batch and FC wants model rows");

@@ -12,7 +12,8 @@
 #include "mbd/costmodel/memory.hpp"
 #include "mbd/support/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_memory_model");
   using namespace mbd;
   bench::print_table1_banner("§4 — per-process memory across the grid spectrum");
   const auto net = bench::alexnet();

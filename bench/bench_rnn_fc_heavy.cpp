@@ -9,7 +9,8 @@
 #include "common.hpp"
 #include "mbd/support/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_rnn_fc_heavy");
   using namespace mbd;
   bench::print_table1_banner(
       "RNN/FC-heavy extension — where the 1.5D integration pays off most");

@@ -14,7 +14,8 @@
 #include "mbd/support/units.hpp"
 #include "mbd/tensor/gemm.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_summa_ablation");
   using namespace mbd;
   using costmodel::SummaVariant;
   bench::print_table1_banner("§4 — 1.5D vs 2D SUMMA communication volume");

@@ -34,7 +34,8 @@ costmodel::ReplayResult replay_one(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_trace_replay");
   bench::print_table1_banner(
       "Trace replay — simulated iteration time from executed schedules");
   const auto m = costmodel::MachineModel::cori_knl();

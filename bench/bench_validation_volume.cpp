@@ -60,7 +60,8 @@ void report(TextTable& t, const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_validation_volume");
   bench::print_table1_banner(
       "Validation — measured vs predicted communication volume per iteration");
   std::cout << "Executable trainers on thread ranks (small networks);"

@@ -1,6 +1,10 @@
 #include "common.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "mbd/support/units.hpp"
 
@@ -20,6 +24,72 @@ void print_table1_banner(const std::string& experiment) {
 
 std::vector<nn::LayerSpec> alexnet() {
   return nn::weighted_layers(nn::alexnet_spec());
+}
+
+namespace {
+
+// Global record sink: opened once per process by open_json_sink, flushed by
+// std::atexit so every main stays a one-liner.
+struct JsonSink {
+  std::string path;
+  std::string bench;
+  std::vector<std::pair<std::string, std::array<double, 3>>> records;
+  bool open = false;
+};
+
+JsonSink& sink() {
+  static JsonSink s;
+  return s;
+}
+
+void flush_sink() {
+  JsonSink& s = sink();
+  if (!s.open) return;
+  std::FILE* f = std::fopen(s.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write bench json to %s\n",
+                 s.path.c_str());
+    return;
+  }
+  std::fputs("[\n", f);
+  for (std::size_t i = 0; i < s.records.size(); ++i) {
+    const auto& [name, v] = s.records[i];
+    std::fprintf(f,
+                 "  {\"bench\": \"%s\", \"case\": \"%s\", \"bytes\": %.17g,"
+                 " \"ns\": %.17g, \"gflops\": %.17g}%s\n",
+                 s.bench.c_str(), name.c_str(), v[0], v[1], v[2],
+                 i + 1 == s.records.size() ? "" : ",");
+  }
+  std::fputs("]\n", f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+void open_json_sink(int& argc, char** argv, const std::string& bench_name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--json") continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: --json needs a path argument\n");
+      std::exit(2);
+    }
+    JsonSink& s = sink();
+    s.path = argv[i + 1];
+    s.bench = bench_name;
+    s.open = true;
+    // Strip the two arguments so later flag parsers never see them.
+    for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    std::atexit(flush_sink);
+    return;
+  }
+}
+
+void record_json(const std::string& case_name, double bytes, double ns,
+                 double gflops) {
+  JsonSink& s = sink();
+  if (!s.open) return;
+  s.records.emplace_back(case_name, std::array<double, 3>{bytes, ns, gflops});
 }
 
 GridOption print_grid_sweep(const std::vector<nn::LayerSpec>& net,
@@ -67,6 +137,15 @@ GridOption print_grid_sweep(const std::vector<nn::LayerSpec>& net,
               << " (pure batch parallel is optimal here)\n";
   }
   std::cout << '\n';
+  // Model-predicted best-grid time as a machine-readable record, so table
+  // harnesses also accrue a trajectory under --json (docs/benchmarks.md).
+  record_json("P" + std::to_string(p) + "/B" + std::to_string(batch) +
+                  "/grid" + std::to_string(best.pr) + "x" +
+                  std::to_string(best.pc),
+              0.0,
+              (overlap ? best.cost.total_overlapped() : best.cost.total()) *
+                  1e9,
+              0.0);
   return best;
 }
 

@@ -28,4 +28,23 @@ costmodel::GridOption print_grid_sweep(const std::vector<nn::LayerSpec>& net,
                                        costmodel::GridMode mode,
                                        bool overlap = false);
 
+// --- machine-readable bench records (docs/benchmarks.md) --------------------
+//
+// Every bench binary accepts `--json <path>` and appends one record per
+// measured case:
+//   {"bench": ..., "case": ..., "bytes": ..., "ns": ..., "gflops": ...}
+// `ns` is per-iteration wall time for the microbenchmarks and model-predicted
+// time for the table harnesses; `bytes`/`gflops` are 0 where not meaningful.
+
+/// Parse and strip a `--json <path>` flag from argv and open the global
+/// record sink. Without the flag the sink stays closed and record_json() is
+/// a no-op. The file is written when the process exits normally. Call this
+/// first in every bench main (before benchmark::Initialize, which rejects
+/// flags it does not know).
+void open_json_sink(int& argc, char** argv, const std::string& bench_name);
+
+/// Append one record to the sink opened by open_json_sink.
+void record_json(const std::string& case_name, double bytes, double ns,
+                 double gflops);
+
 }  // namespace mbd::bench

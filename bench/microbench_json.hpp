@@ -1,0 +1,54 @@
+// Glue between the google-benchmark microbenchmarks and the --json record
+// sink in common.{hpp,cpp}. Header-only so mbd_bench_common does not need a
+// google-benchmark dependency for the table harnesses.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+namespace mbd::bench {
+
+/// ConsoleReporter that additionally appends one record per measured run to
+/// the global JSON sink. Benchmarks opt in to richer records by setting the
+/// plain per-iteration counters "flop" and "bytes"; gflops is derived as
+/// flop/ns (identical units: flop per iteration over ns per iteration).
+class JsonForwardingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;  // skip aggregates
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      const double ns = run.real_accumulated_time / iters * 1e9;
+      double flop = 0.0, bytes = 0.0;
+      if (auto it = run.counters.find("flop"); it != run.counters.end())
+        flop = static_cast<double>(it->second);
+      if (auto it = run.counters.find("bytes"); it != run.counters.end())
+        bytes = static_cast<double>(it->second);
+      else if (auto bi = run.counters.find("bytes_per_iter");
+               bi != run.counters.end())
+        bytes = static_cast<double>(bi->second);
+      record_json(run.benchmark_name(), bytes, ns,
+                  ns > 0.0 ? flop / ns : 0.0);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
+/// Shared main body for the google-benchmark binaries: --json handling plus
+/// the standard Initialize/Run sequence.
+inline int run_microbench(int argc, char** argv, const char* bench_name) {
+  open_json_sink(argc, argv, bench_name);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonForwardingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mbd::bench

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON run against a committed baseline.
+
+    scripts/check_bench_regression.py --baseline BENCH_gemm.json \
+        --fresh fresh.json [--threshold 1.25]
+
+Both files hold a JSON array of records {bench, case, bytes, ns, gflops}
+(see docs/benchmarks.md). Records are matched on (bench, case); a case is a
+regression when fresh ns exceeds baseline ns by more than the threshold
+ratio (default 1.25 = 25% slower). Cases present on only one side are
+reported but never fail the gate, so adding or retiring benchmarks does not
+require touching the baseline in the same commit.
+
+Exit status: 0 clean, 1 regression(s), 2 usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_records(path: str) -> dict[tuple[str, str], dict]:
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if not isinstance(data, list):
+        sys.exit(f"error: {path}: expected a JSON array of records")
+    out: dict[tuple[str, str], dict] = {}
+    for rec in data:
+        try:
+            out[(rec["bench"], rec["case"])] = rec
+        except (TypeError, KeyError):
+            sys.exit(f"error: {path}: malformed record: {rec!r}")
+    return out
+
+
+def fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.3f} us"
+    return f"{ns:.0f} ns"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    ap.add_argument("--fresh", required=True, help="JSON from this run")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="fail when fresh_ns / baseline_ns exceeds this (default 1.25)",
+    )
+    args = ap.parse_args()
+    if args.threshold <= 0:
+        ap.error("--threshold must be positive")
+
+    base = load_records(args.baseline)
+    fresh = load_records(args.fresh)
+
+    rows = []
+    regressions = []
+    for key in sorted(base.keys() | fresh.keys()):
+        b, f = base.get(key), fresh.get(key)
+        case = f"{key[0]}:{key[1]}"
+        if b is None:
+            rows.append((case, "-", fmt_ns(f["ns"]), "-", "NEW"))
+            continue
+        if f is None:
+            rows.append((case, fmt_ns(b["ns"]), "-", "-", "MISSING"))
+            continue
+        if b["ns"] <= 0:
+            rows.append((case, fmt_ns(b["ns"]), fmt_ns(f["ns"]), "-", "SKIP"))
+            continue
+        ratio = f["ns"] / b["ns"]
+        status = "OK"
+        if ratio > args.threshold:
+            status = "REGRESSION"
+            regressions.append((case, ratio))
+        elif ratio < 1 / args.threshold:
+            status = "FASTER"
+        rows.append((case, fmt_ns(b["ns"]), fmt_ns(f["ns"]), f"{ratio:.2f}x", status))
+
+    headers = ("case", "baseline", "fresh", "ratio", "status")
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i]) for i in range(5)]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for r in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} case(s) more than "
+            f"{(args.threshold - 1) * 100:.0f}% slower than {args.baseline}:",
+            file=sys.stderr,
+        )
+        for case, ratio in regressions:
+            print(f"  {case}: {ratio:.2f}x baseline", file=sys.stderr)
+        print(
+            "If this slowdown is intended, re-baseline per docs/benchmarks.md.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no case slower than {args.threshold:.2f}x baseline "
+          f"({len(rows)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

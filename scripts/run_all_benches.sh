@@ -2,13 +2,32 @@
 # Regenerate the paper's full evaluation: every bench binary in order, with
 # section separators, into stdout (tee to a file to archive a run).
 #
-#   scripts/run_all_benches.sh [build-dir]
+#   scripts/run_all_benches.sh [--json <dir>] [build-dir]
+#
+# With --json, each binary additionally writes machine-readable records to
+# <dir>/<bench>.json (schema in docs/benchmarks.md) — the nightly workflow
+# archives that directory so the perf trajectory accrues per commit.
 #
 # The binary list is explicit (not a directory glob) so a bench that fails to
 # build is a loud error here rather than a silently missing section.
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
+BUILD_DIR="build"
+JSON_DIR=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --json)
+      [[ $# -ge 2 ]] || { echo "error: --json needs a directory" >&2; exit 2; }
+      JSON_DIR="$2"
+      shift 2
+      ;;
+    -*) echo "unknown flag: $1" >&2; exit 2 ;;
+    *) BUILD_DIR="$1"; shift ;;
+  esac
+done
+if [[ -n "${JSON_DIR}" ]]; then
+  mkdir -p "${JSON_DIR}"
+fi
 if [[ ! -d "${BUILD_DIR}/bench" ]]; then
   echo "error: '${BUILD_DIR}/bench' not found — build first:" >&2
   echo "  cmake -B ${BUILD_DIR} -G Ninja && cmake --build ${BUILD_DIR}" >&2
@@ -47,5 +66,9 @@ for name in "${BENCHES[@]}"; do
   echo "################################################################"
   echo "## ${name}"
   echo "################################################################"
-  "$b"
+  if [[ -n "${JSON_DIR}" ]]; then
+    "$b" --json "${JSON_DIR}/${name}.json"
+  else
+    "$b"
+  fi
 done

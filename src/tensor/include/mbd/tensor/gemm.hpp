@@ -1,11 +1,15 @@
-// Blocked single-precision matrix multiplication.
+// Packed, register-blocked single-precision matrix multiplication.
 //
 // The three multiplies of DNN training (paper §1):
 //   forward:   Y  = W X      -> gemm_nn
 //   backward:  ∆X = Wᵀ ∆Y    -> gemm_tn
 //   gradient:  ∆W = ∆Y Xᵀ    -> gemm_nt
-// Cache-blocked with an OpenMP-parallel outer loop; not a vendor BLAS but
-// within the performance class needed for shape-level benchmarking.
+// All three variants route through one packed driver: A/B are repacked into
+// microkernel-native panels (transposes absorbed by the pack), an mr×nr
+// register-tiled inner kernel does the FMAs, and OpenMP threads split the
+// row-block macro loop. Blocking parameters are runtime-queryable via
+// gemm_config() (mbd/tensor/gemm_config.hpp). Set MBD_GEMM_LOG_SHAPES to
+// log each distinct shape a process issues once to stderr.
 #pragma once
 
 #include "mbd/tensor/matrix.hpp"

@@ -1,15 +1,136 @@
 #include "mbd/tensor/gemm.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
 
 #include "mbd/support/check.hpp"
+#include "mbd/tensor/detail/gemm_packing.hpp"
+#include "mbd/tensor/gemm_config.hpp"
 
 namespace mbd::tensor {
 namespace {
 
-// Block sizes sized for ~L1/L2 residency of the B panel.
-constexpr std::size_t kBlockI = 64;
-constexpr std::size_t kBlockK = 256;
+using detail::AlignedBuffer;
+using detail::round_up;
+
+// One-shot shape logger: with MBD_GEMM_LOG_SHAPES set, every distinct
+// (variant, m, n, k) a process issues is printed once to stderr. Run any
+// trainer/example under it to harvest the shape list bench_gemm sweeps.
+void log_shape_once(const char* variant, std::size_t m, std::size_t n,
+                    std::size_t k) {
+  // Magic-static init: getenv runs once, before any concurrent caller races.
+  static const bool enabled =
+      std::getenv("MBD_GEMM_LOG_SHAPES") != nullptr;  // NOLINT(concurrency-mt-unsafe)
+  if (!enabled) return;
+  static std::mutex mu;
+  static std::set<std::tuple<std::string, std::size_t, std::size_t, std::size_t>>
+      seen;
+  const std::lock_guard<std::mutex> lock(mu);
+  if (seen.emplace(variant, m, n, k).second) {
+    std::fprintf(stderr, "[mbd-gemm-shape] %s m=%zu n=%zu k=%zu\n", variant, m,
+                 n, k);
+  }
+}
+
+void scale_c(float* c, std::size_t m, std::size_t n, float beta) {
+  if (beta == 1.0f) return;
+  if (beta == 0.0f) {
+    std::fill(c, c + m * n, 0.0f);
+  } else {
+    for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+}
+
+// mr×nr microkernel: rank-1 updates over the shared dimension, accumulators
+// held in `acc` (registers — both trip counts are compile-time constants and
+// the tile is sized so the accumulators fit the SIMD register file).
+void micro_kernel(std::size_t kb, const float* __restrict__ ap,
+                  const float* __restrict__ bp, float* __restrict__ acc) {
+  for (std::size_t p = 0; p < kb; ++p) {
+    const float* __restrict__ a = ap + p * kGemmMR;
+    const float* __restrict__ b = bp + p * kGemmNR;
+#pragma GCC unroll 8
+    for (std::size_t i = 0; i < kGemmMR; ++i) {
+#pragma omp simd
+      for (std::size_t j = 0; j < kGemmNR; ++j)
+        acc[i * kGemmNR + j] += a[i] * b[j];
+    }
+  }
+}
+
+// Merge a finished microtile into C (alpha is already folded into acc via
+// the A pack; beta is applied exactly once, on the first k-block).
+void merge_tile(const float* __restrict__ acc, float* __restrict__ c,
+                std::size_t ldc, std::size_t mr_eff, std::size_t nr_eff,
+                float beta) {
+  for (std::size_t i = 0; i < mr_eff; ++i) {
+    const float* arow = acc + i * kGemmNR;
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+#pragma omp simd
+      for (std::size_t j = 0; j < nr_eff; ++j) crow[j] = arow[j];
+    } else if (beta == 1.0f) {
+#pragma omp simd
+      for (std::size_t j = 0; j < nr_eff; ++j) crow[j] += arow[j];
+    } else {
+#pragma omp simd
+      for (std::size_t j = 0; j < nr_eff; ++j)
+        crow[j] = beta * crow[j] + arow[j];
+    }
+  }
+}
+
+// Shared packed driver. op(A) is m×k, op(B) is k×n, C is m×n with row
+// stride ldc. `TransA` means A is stored k×m, `TransB` means B is stored
+// n×k; the packing routines absorb the transposes so all three public
+// variants run the same unit-stride microkernel.
+template <bool TransA, bool TransB>
+void gemm_packed(const float* a, std::size_t lda, const float* b,
+                 std::size_t ldb, float* c, std::size_t ldc, std::size_t m,
+                 std::size_t n, std::size_t k, float alpha, float beta) {
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    scale_c(c, m, n, beta);
+    return;
+  }
+  const GemmConfig& cfg = gemm_config();
+  AlignedBuffer bbuf;
+  for (std::size_t jc = 0; jc < n; jc += cfg.nc) {
+    const std::size_t nb = std::min(cfg.nc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += cfg.kc) {
+      const std::size_t kb = std::min(cfg.kc, k - pc);
+      const float beta_eff = pc == 0 ? beta : 1.0f;
+      float* bp = bbuf.ensure(round_up(nb, kGemmNR) * kb);
+      detail::pack_b<kGemmNR, TransB>(b, ldb, pc, kb, jc, nb, bp);
+      // Threads split the macro-tile (row-block) loop; each packs its own A
+      // block into a thread-local buffer and streams the shared B block.
+#pragma omp parallel for schedule(static)
+      for (std::size_t ic = 0; ic < m; ic += cfg.mc) {
+        const std::size_t mb = std::min(cfg.mc, m - ic);
+        static thread_local AlignedBuffer abuf;
+        float* ap = abuf.ensure(round_up(mb, kGemmMR) * kb);
+        detail::pack_a<kGemmMR, TransA>(a, lda, ic, mb, pc, kb, alpha, ap);
+        for (std::size_t jr = 0; jr < nb; jr += kGemmNR) {
+          const std::size_t nr_eff = std::min(kGemmNR, nb - jr);
+          const float* bpanel = bp + (jr / kGemmNR) * (kb * kGemmNR);
+          for (std::size_t ir = 0; ir < mb; ir += kGemmMR) {
+            const std::size_t mr_eff = std::min(kGemmMR, mb - ir);
+            const float* apanel = ap + (ir / kGemmMR) * (kb * kGemmMR);
+            alignas(detail::kGemmAlign) float acc[kGemmMR * kGemmNR] = {};
+            micro_kernel(kb, apanel, bpanel, acc);
+            merge_tile(acc, c + (ic + ir) * ldc + jc + jr, ldc, mr_eff,
+                       nr_eff, beta_eff);
+          }
+        }
+      }
+    }
+  }
+}
 
 }  // namespace
 
@@ -19,29 +140,9 @@ void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
   MBD_CHECK_EQ(b.rows(), k);
   MBD_CHECK_EQ(c.rows(), m);
   MBD_CHECK_EQ(c.cols(), n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  if (beta == 0.0f) {
-    std::fill(pc, pc + m * n, 0.0f);
-  } else if (beta != 1.0f) {
-    for (std::size_t i = 0; i < m * n; ++i) pc[i] *= beta;
-  }
-#pragma omp parallel for schedule(static)
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlockI) {
-    const std::size_t i1 = std::min(i0 + kBlockI, m);
-    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::size_t k1 = std::min(k0 + kBlockK, k);
-      for (std::size_t i = i0; i < i1; ++i) {
-        float* crow = pc + i * n;
-        for (std::size_t kk = k0; kk < k1; ++kk) {
-          const float av = alpha * pa[i * k + kk];
-          const float* brow = pb + kk * n;
-          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  }
+  log_shape_once("nn", m, n, k);
+  gemm_packed<false, false>(a.data(), k, b.data(), n, c.data(), n, m, n, k,
+                            alpha, beta);
 }
 
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
@@ -50,28 +151,9 @@ void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
   MBD_CHECK_EQ(b.rows(), k);
   MBD_CHECK_EQ(c.rows(), m);
   MBD_CHECK_EQ(c.cols(), n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  if (beta == 0.0f) {
-    std::fill(pc, pc + m * n, 0.0f);
-  } else if (beta != 1.0f) {
-    for (std::size_t i = 0; i < m * n; ++i) pc[i] *= beta;
-  }
-  // A is traversed down columns; iterate kk outer so both A and B stream rows.
-#pragma omp parallel for schedule(static)
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlockI) {
-    const std::size_t i1 = std::min(i0 + kBlockI, m);
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float* arow = pa + kk * m;
-      const float* brow = pb + kk * n;
-      for (std::size_t i = i0; i < i1; ++i) {
-        const float av = alpha * arow[i];
-        float* crow = pc + i * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  }
+  log_shape_once("tn", m, n, k);
+  gemm_packed<true, false>(a.data(), m, b.data(), n, c.data(), n, m, n, k,
+                           alpha, beta);
 }
 
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
@@ -80,20 +162,9 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
   MBD_CHECK_EQ(b.cols(), k);
   MBD_CHECK_EQ(c.rows(), m);
   MBD_CHECK_EQ(c.cols(), n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = alpha * acc + beta * crow[j];
-    }
-  }
+  log_shape_once("nt", m, n, k);
+  gemm_packed<false, true>(a.data(), k, b.data(), k, c.data(), n, m, n, k,
+                           alpha, beta);
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {

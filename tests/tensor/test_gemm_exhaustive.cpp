@@ -1,0 +1,161 @@
+// Exhaustive shape sweep for the packed GEMM: every m,n,k around the
+// register-tile boundaries (mr, nr — see gemm_config.hpp) plus odd and
+// coprime sizes, all three variants, and the (alpha, beta) pairs the
+// trainers use, checked against a naive reference kept here (independent of
+// the library's matmul_reference, which has no alpha/beta). This is the
+// test that pins the packing/edge-tail logic; it runs under the ASan/UBSan
+// CI matrix like every other test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "mbd/support/rng.hpp"
+#include "mbd/tensor/gemm.hpp"
+#include "mbd/tensor/gemm_config.hpp"
+
+namespace mbd::tensor {
+namespace {
+
+Matrix random(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::random_normal(r, c, rng, 1.0f);
+}
+
+enum class Variant { NN, TN, NT };
+
+// Max |gemm - naive| over the output for one case. Storage shapes:
+//   NN: A m×k, B k×n;  TN: A k×m, B k×n;  NT: A m×k, B n×k.
+float run_case(Variant v, std::size_t m, std::size_t n, std::size_t k,
+               float alpha, float beta, std::uint64_t seed) {
+  Matrix a, b;
+  switch (v) {
+    case Variant::NN:
+      a = random(m, k, seed);
+      b = random(k, n, seed + 1);
+      break;
+    case Variant::TN:
+      a = random(k, m, seed);
+      b = random(k, n, seed + 1);
+      break;
+    case Variant::NT:
+      a = random(m, k, seed);
+      b = random(n, k, seed + 1);
+      break;
+  }
+  const Matrix c0 = random(m, n, seed + 2);
+  Matrix c = c0;
+  switch (v) {
+    case Variant::NN: gemm_nn(a, b, c, alpha, beta); break;
+    case Variant::TN: gemm_tn(a, b, c, alpha, beta); break;
+    case Variant::NT: gemm_nt(a, b, c, alpha, beta); break;
+  }
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = v == Variant::TN ? a(p, i) : a(i, p);
+        const float bv = v == Variant::NT ? b(j, p) : b(p, j);
+        acc += av * bv;
+      }
+      const float want = alpha * acc + beta * c0(i, j);
+      worst = std::max(worst, std::abs(c(i, j) - want));
+    }
+  }
+  return worst;
+}
+
+// Sizes straddling every tail boundary: the microtile edges (mr, nr), one
+// below/above each, and odd sizes with no relation to any block size.
+std::vector<std::size_t> boundary_sizes() {
+  std::vector<std::size_t> s{1,
+                             2,
+                             kGemmMR - 1,
+                             kGemmMR,
+                             kGemmMR + 1,
+                             kGemmNR - 1,
+                             kGemmNR,
+                             kGemmNR + 1,
+                             2 * kGemmNR + 1,
+                             31,
+                             67};
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+  return s;
+}
+
+constexpr std::array<std::pair<float, float>, 3> kAlphaBeta{
+    {{1.0f, 0.0f}, {1.0f, 1.0f}, {0.5f, 2.0f}}};
+
+void sweep(Variant v, const char* tag) {
+  const auto sizes = boundary_sizes();
+  for (std::size_t m : sizes) {
+    for (std::size_t n : sizes) {
+      for (std::size_t k : sizes) {
+        for (std::size_t ab = 0; ab < kAlphaBeta.size(); ++ab) {
+          const auto [alpha, beta] = kAlphaBeta[ab];
+          const auto seed =
+              static_cast<std::uint64_t>(((m * 73 + n) * 73 + k) * 4 + ab);
+          const float tol = 1e-4f * static_cast<float>(k + 1);
+          ASSERT_LE(run_case(v, m, n, k, alpha, beta, seed), tol)
+              << tag << " m=" << m << " n=" << n << " k=" << k
+              << " alpha=" << alpha << " beta=" << beta;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmExhaustive, NnSweep) { sweep(Variant::NN, "nn"); }
+TEST(GemmExhaustive, TnSweep) { sweep(Variant::TN, "tn"); }
+TEST(GemmExhaustive, NtSweep) { sweep(Variant::NT, "nt"); }
+
+TEST(GemmExhaustive, AlphaZeroOnlyScalesC) {
+  // alpha == 0 must not touch A·B at all (fast path) — only scale C.
+  const Matrix a = random(9, 13, 1), b = random(13, 7, 2);
+  const Matrix c0 = random(9, 7, 3);
+  Matrix c = c0;
+  gemm_nn(a, b, c, 0.0f, 0.5f);
+  for (std::size_t i = 0; i < 9; ++i)
+    for (std::size_t j = 0; j < 7; ++j)
+      ASSERT_FLOAT_EQ(c(i, j), 0.5f * c0(i, j));
+}
+
+TEST(GemmExhaustive, BetaZeroOverwritesGarbage) {
+  // beta == 0 must overwrite, not accumulate into, whatever C holds — huge
+  // values would otherwise poison the result.
+  const Matrix a = random(18, 19, 4), b = random(19, 17, 5);
+  Matrix c = Matrix::filled(18, 17, 1e30f);
+  gemm_nn(a, b, c, 1.0f, 0.0f);
+  const Matrix ref = matmul_reference(a, b);
+  EXPECT_LE(max_abs_diff(c, ref), 1e-3f);
+}
+
+TEST(GemmExhaustive, SameMatrixBothOperands) {
+  // A aliased as both operands (e.g. Gram matrices): packing must read both
+  // before any write lands in C. Square so all variants are shape-legal.
+  const Matrix a = random(23, 23, 6);
+  Matrix c(23, 23);
+  gemm_nn(a, a, c);
+  EXPECT_LE(max_abs_diff(c, matmul_reference(a, a)), 1e-3f);
+  gemm_nt(a, a, c);
+  EXPECT_LE(max_abs_diff(c, matmul_reference(a, a.transposed())), 1e-3f);
+  gemm_tn(a, a, c);
+  EXPECT_LE(max_abs_diff(c, matmul_reference(a.transposed(), a)), 1e-3f);
+}
+
+TEST(GemmExhaustive, ConfigIsSane) {
+  const GemmConfig& cfg = gemm_config();
+  EXPECT_EQ(cfg.mr, kGemmMR);
+  EXPECT_EQ(cfg.nr, kGemmNR);
+  EXPECT_GE(cfg.mc, cfg.mr);
+  EXPECT_GE(cfg.nc, cfg.nr);
+  EXPECT_GE(cfg.kc, 1u);
+  EXPECT_NE(cfg.kernel, nullptr);
+}
+
+}  // namespace
+}  // namespace mbd::tensor
