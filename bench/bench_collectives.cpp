@@ -129,6 +129,87 @@ BENCHMARK(BM_AllGatherRing)
     ->Args({8, 1 << 12})
     ->Args({8, 1 << 16});
 
+// Nonblocking entry points, driven the way the layer engine drives them.
+// On this in-process fabric the message schedule is identical to the
+// blocking ring, so these gate the handle machinery's overhead: state
+// allocation, Post-only initiation, validator tokens, drain-order waits.
+
+void BM_IAllReduceWait(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  comm::World world(p);
+  for (auto _ : state) {
+    world.run([n](comm::Comm& c) {
+      std::vector<float> v(n, static_cast<float>(c.rank()));
+      auto h = c.iallreduce(std::span<float>(v));
+      h.wait();
+      benchmark::DoNotOptimize(v.data());
+    });
+  }
+  const auto s = world.stats();
+  state.counters["bytes_per_iter"] = static_cast<double>(
+      s[comm::Coll::AllReduce].bytes / state.iterations());
+  state.counters["msgs_per_iter"] = static_cast<double>(
+      s[comm::Coll::AllReduce].messages / state.iterations());
+}
+BENCHMARK(BM_IAllReduceWait)
+    ->Args({2, 1 << 14})
+    ->Args({4, 1 << 14})
+    ->Args({8, 1 << 14})
+    ->Args({4, 1 << 18});
+
+void BM_IAllGatherWait(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  comm::World world(p);
+  for (auto _ : state) {
+    world.run([n](comm::Comm& c) {
+      std::vector<float> v(n, static_cast<float>(c.rank()));
+      std::vector<float> out(n * static_cast<std::size_t>(c.size()));
+      auto h = c.iallgather(std::span<const float>(v), std::span<float>(out));
+      h.wait();
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+  const auto s = world.stats();
+  state.counters["bytes_per_iter"] = static_cast<double>(
+      s[comm::Coll::AllGather].bytes / state.iterations());
+}
+BENCHMARK(BM_IAllGatherWait)
+    ->Args({2, 1 << 12})
+    ->Args({8, 1 << 12})
+    ->Args({8, 1 << 16});
+
+void BM_IAllReduceMultiDrain(benchmark::State& state) {
+  // The GradReducer pattern: several reductions outstanding at once, drained
+  // in initiation order. Stresses per-handle tag isolation and the mailbox
+  // under interleaved schedules.
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  constexpr int kHandles = 4;
+  comm::World world(p);
+  for (auto _ : state) {
+    world.run([n](comm::Comm& c) {
+      std::vector<std::vector<float>> bufs(
+          kHandles, std::vector<float>(n, static_cast<float>(c.rank())));
+      std::vector<comm::CollectiveHandle> hs;
+      hs.reserve(kHandles);
+      for (auto& b : bufs) hs.push_back(c.iallreduce(std::span<float>(b)));
+      for (auto& h : hs) h.wait();
+      benchmark::DoNotOptimize(bufs.data());
+    });
+  }
+  const auto s = world.stats();
+  state.counters["bytes_per_iter"] = static_cast<double>(
+      s[comm::Coll::AllReduce].bytes / state.iterations());
+  state.counters["msgs_per_iter"] = static_cast<double>(
+      s[comm::Coll::AllReduce].messages / state.iterations());
+}
+BENCHMARK(BM_IAllReduceMultiDrain)
+    ->Args({2, 1 << 12})
+    ->Args({4, 1 << 12})
+    ->Args({4, 1 << 16});
+
 void BM_Barrier(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   comm::World world(p);

@@ -2,9 +2,127 @@
 // with backpropagation compute. Only the backprop all-reduces (≈ 2/3 of the
 // communication) can hide behind the transpose-convolution work; the paper
 // reports the integrated approach still wins 2.0× at P = 512.
+//
+// The second section makes the overlap *executable*: the 1.5D trainer runs
+// once with blocking reductions and once with the nonblocking schedule
+// (ReduceMode::Overlapped), both traced with modeled GEMM durations. The
+// traces replay under in-flight transfer semantics, and the measured hidden
+// fraction of communication is printed next to the analytic model's
+// min(f·comm, f·compute) prediction.
+#include <algorithm>
+#include <iomanip>
 #include <iostream>
 
 #include "common.hpp"
+#include "mbd/comm/world.hpp"
+#include "mbd/costmodel/replay.hpp"
+#include "mbd/parallel/integrated.hpp"
+
+namespace {
+
+using namespace mbd;
+
+struct ExecCase {
+  parallel::GridShape grid;
+  std::vector<nn::LayerSpec> net;
+  std::size_t batch;
+};
+
+/// Traced 1.5D run with modeled GEMM times; returns the recorded trace.
+comm::Trace run_traced(const ExecCase& ec, parallel::ReduceMode mode,
+                       double seconds_per_flop, std::size_t iterations) {
+  nn::TrainConfig cfg;
+  cfg.batch = ec.batch;
+  cfg.iterations = iterations;
+  const auto data = nn::make_synthetic_dataset(
+      ec.net.front().d_in(), ec.net.back().d_out(), 4 * ec.batch, 13);
+  comm::World world(ec.grid.pr * ec.grid.pc);
+  world.enable_tracing();
+  world.run([&](comm::Comm& c) {
+    (void)parallel::train_integrated_15d(c, ec.grid, ec.net, data, cfg, 42,
+                                         mode, seconds_per_flop);
+  });
+  return world.trace();
+}
+
+/// Critical-path pure-compute time: max over ranks of annotated seconds.
+double max_rank_compute(const comm::Trace& t) {
+  double mx = 0.0;
+  for (const auto& rank : t.ranks) {
+    double s = 0.0;
+    for (const auto& e : rank)
+      if (e.kind == comm::TraceEvent::Kind::Compute) s += e.seconds;
+    mx = std::max(mx, s);
+  }
+  return mx;
+}
+
+void executable_overlap_section() {
+  std::cout << "\n-- executable overlap: 1.5D trainer, blocking vs "
+               "nonblocking reduction schedule --\n"
+               "(traces replayed under in-flight transfer semantics; "
+               "'hidden' is the comm fraction\n completed behind modeled "
+               "GEMM compute; predicted = min(f*comm, f*compute)/comm, "
+               "f = 2/3)\n";
+  const auto m = costmodel::MachineModel::cori_knl();
+  const costmodel::ReplayOptions inflight{.inflight_transfer = true};
+  // Modeled GEMM rate chosen so per-layer compute and per-layer reduction
+  // wire time are the same order — the regime where overlap matters (at
+  // cori_knl beta, a 256x512 layer's dW ring round is ~40 us of wire).
+  const double spf = 3e-11;
+  const std::size_t iters = 3;
+  const std::vector<ExecCase> cases = {
+      {{2, 2}, nn::mlp_spec({256, 512, 256, 10}), 32},
+      {{2, 2}, nn::mlp_spec({512, 1024, 10}), 64},
+      {{4, 1}, nn::mlp_spec({256, 512, 256, 10}), 32},
+  };
+  std::cout << std::left << std::setw(34) << "case" << std::right
+            << std::setw(14) << "blocking(ms)" << std::setw(14)
+            << "overlap(ms)" << std::setw(10) << "saved%" << std::setw(12)
+            << "hidden" << std::setw(12) << "predicted" << '\n';
+  for (const auto& ec : cases) {
+    const auto tb = run_traced(ec, parallel::ReduceMode::Blocking, spf, iters);
+    const auto to =
+        run_traced(ec, parallel::ReduceMode::Overlapped, spf, iters);
+    const auto rb = costmodel::replay_trace(tb, m, inflight);
+    const auto ro = costmodel::replay_trace(to, m, inflight);
+    // Exposed communication in the blocking schedule: everything on the
+    // critical path that is not annotated compute.
+    const double exposed = rb.makespan - max_rank_compute(tb);
+    const double saved = rb.makespan - ro.makespan;
+    const double measured_hidden = exposed > 0.0 ? saved / exposed : 0.0;
+    // The analytic counterpart on the same network/grid/machine.
+    const auto cost = costmodel::integrated_cost(
+        ec.net, ec.batch, static_cast<std::size_t>(ec.grid.pr),
+        static_cast<std::size_t>(ec.grid.pc), m);
+    const double predicted_hidden =
+        cost.comm() > 0.0
+            ? (cost.total() - cost.total_overlapped()) / cost.comm()
+            : 0.0;
+    std::ostringstream name;
+    name << "15d pr=" << ec.grid.pr << " pc=" << ec.grid.pc << " B="
+         << ec.batch << " L=" << ec.net.size();
+    std::cout << std::left << std::setw(34) << name.str() << std::right
+              << std::fixed << std::setprecision(3) << std::setw(14)
+              << rb.makespan * 1e3 << std::setw(14) << ro.makespan * 1e3
+              << std::setprecision(1) << std::setw(9)
+              << 100.0 * saved / rb.makespan << '%' << std::setprecision(2)
+              << std::setw(12) << measured_hidden << std::setw(12)
+              << predicted_hidden << '\n';
+    bench::record_json("exec_" + name.str() + "_blocking", 0,
+                       rb.makespan * 1e9, 0);
+    bench::record_json("exec_" + name.str() + "_overlapped", 0,
+                       ro.makespan * 1e9, 0);
+  }
+  std::cout << "note: measured < predicted is structural, not noise. The\n"
+               "analytic f=2/3 bound assumes every backprop byte can hide;\n"
+               "the executable schedule posts only round 0 of each ring at\n"
+               "initiation (later rounds depend on receives, which run at\n"
+               "deterministic drain points), so one round per reduction\n"
+               "overlaps compute and the remaining rounds stay exposed.\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   mbd::bench::open_json_sink(argc, argv, "bench_fig8_overlap");
@@ -23,5 +141,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "Paper reference point: even with perfect overlap the"
                " integrated approach keeps a ~2.0x speedup at P=512.\n";
+  executable_overlap_section();
   return 0;
 }

@@ -16,14 +16,20 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <typeinfo>
 #include <vector>
 
 #include "mbd/comm/fabric.hpp"
+#include "mbd/comm/nonblocking.hpp"
 #include "mbd/comm/validator.hpp"
 #include "mbd/support/check.hpp"
 
 namespace mbd::comm {
+
+namespace detail {
+struct NbAccess;
+}
 
 /// Algorithm selection for all-gather.
 enum class AllGatherAlgo { Bruck, Ring };
@@ -74,6 +80,43 @@ class Comm {
     send_bytes(dst, as_bytes_span(send_data), tag, Coll::PointToPoint);
     return from_bytes<T>(recv_bytes(src, tag));
   }
+
+  /// --- nonblocking operations ---------------------------------------------
+  ///
+  /// Each i* call deposits its first round of messages and returns a
+  /// CollectiveHandle; overlap compute with the operation and then wait().
+  /// The spans/pointers passed in must stay alive and unmodified (except by
+  /// the operation itself) until the handle reports done(). Nonblocking
+  /// collectives must be issued through the same Comm object on every rank
+  /// and in the same program order (their private tag blocks are derived
+  /// from a per-communicator issue counter). See mbd/comm/nonblocking.hpp
+  /// for progress and validator semantics.
+
+  /// Nonblocking ring all-reduce (elementwise, in place). Identical message
+  /// schedule, byte counts, and reduction order as the blocking ring — the
+  /// completed result is bitwise equal to allreduce(..., AllReduceAlgo::Ring).
+  template <typename T, typename Op = std::plus<T>>
+  CollectiveHandle iallreduce(std::span<T> data, Op op = {});
+
+  /// Nonblocking ring all-gather of equal-size blocks into caller-owned
+  /// `out` (size local.size() * P, rank-ordered). This rank's block is
+  /// copied in at initiation.
+  template <typename T>
+  CollectiveHandle iallgather(std::span<const T> local, std::span<T> out);
+
+  /// Nonblocking ring all-gather of VARIABLE-size blocks; `*out` receives
+  /// the rank-ordered concatenation at completion.
+  template <typename T>
+  CollectiveHandle iallgatherv(std::span<const T> local, std::vector<T>* out);
+
+  /// Nonblocking exchange with (possibly different) peers: `send_data` is
+  /// deposited to `dst` immediately; the handle completes the receive from
+  /// `src` into `*recv_out`. Matching mirrors sendrecv() (user tag space),
+  /// so blocking sends pair with it fine. Used for halo exchange overlapped
+  /// with interior compute.
+  template <typename T>
+  CollectiveHandle isendrecv(int dst, std::span<const T> send_data, int src,
+                             std::vector<T>* recv_out, int tag = 0);
 
   /// --- collectives ---------------------------------------------------------
 
@@ -181,7 +224,15 @@ class Comm {
 
   void send_bytes(int dst, std::span<const std::byte> data, int tag, Coll c);
   std::vector<std::byte> recv_bytes(int src, int tag);
+  // Nonblocking variant: false (and `out` untouched) when no matching
+  // message has been delivered yet.
+  bool try_recv_bytes(int src, int tag, std::vector<std::byte>& out);
   int global_rank(int comm_rank) const;
+
+  // Registers `op` with the validator (leak tracking), eagerly advances it
+  // once (posting round-0 sends), and wraps it in a handle.
+  CollectiveHandle make_handle(std::unique_ptr<detail::PendingOp> op,
+                               std::string what);
 
   // Registers a collective entry with the World's validator (no-op when
   // validation is off). Throws ValidationError on a cross-rank mismatch.
@@ -192,6 +243,23 @@ class Comm {
   static constexpr int kInternalTagBase = 1 << 20;
   static int internal_tag(Coll c, int step) {
     return kInternalTagBase + (static_cast<int>(c) << 12) + step;
+  }
+
+  // Nonblocking collectives draw a private tag block per operation instance
+  // so several may be outstanding on one communicator without their round
+  // messages cross-matching (the mailbox matches on (context, source, tag)
+  // only). The issue counter is consistent across ranks because standard
+  // collective semantics require identical program order; its wraparound is
+  // safe because kNbSeqWrap operations can never be simultaneously in
+  // flight. The block sits above both the user tag space and
+  // kInternalTagBase.
+  static constexpr int kNbTagBase = 1 << 24;
+  static constexpr int kNbTagStride = 1 << 12;  // max rounds per op
+  static constexpr int kNbSeqWrap = 1 << 14;
+  int nb_tag_block() {
+    const int seq = nb_seq_;
+    nb_seq_ = (nb_seq_ + 1) % kNbSeqWrap;
+    return kNbTagBase + seq * kNbTagStride;
   }
 
   template <typename T, typename Op>
@@ -215,12 +283,43 @@ class Comm {
     return from_bytes<T>(recv_bytes(src, internal_tag(c, step)));
   }
 
+  friend struct detail::NbAccess;
+
   std::shared_ptr<detail::Fabric> fabric_;
   std::uint64_t context_;
   std::shared_ptr<const std::vector<int>> members_;  // comm rank -> global rank
   int rank_;
   int split_seq_ = 0;  // number of splits performed (consistent across ranks)
+  int nb_seq_ = 0;     // nonblocking ops issued (consistent across ranks)
 };
+
+namespace detail {
+
+/// Byte-level transport access for the nonblocking op state machines; keeps
+/// the friendship surface to one struct instead of one per op template.
+struct NbAccess {
+  static void send(Comm& c, int dst, std::span<const std::byte> data, int tag,
+                   Coll cl) {
+    c.send_bytes(dst, data, tag, cl);
+  }
+  static std::vector<std::byte> recv(Comm& c, int src, int tag) {
+    return c.recv_bytes(src, tag);
+  }
+  static bool try_recv(Comm& c, int src, int tag,
+                       std::vector<std::byte>& out) {
+    return c.try_recv_bytes(src, tag, out);
+  }
+  template <typename T>
+  static std::span<const std::byte> bytes(std::span<const T> s) {
+    return Comm::as_bytes_span(s);
+  }
+  template <typename T>
+  static std::vector<T> typed(std::vector<std::byte> b) {
+    return Comm::from_bytes<T>(std::move(b));
+  }
+};
+
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // Template implementations.
@@ -686,6 +785,282 @@ std::vector<T> Comm::scatter(std::span<const T> all, int root,
     return {mine.begin(), mine.end()};
   }
   return crecv<T>(root, Coll::Scatter, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Nonblocking operation state machines.
+//
+// Each op is the corresponding blocking algorithm unrolled into a resumable
+// loop: a step posts its send once (`sent_` latches across advance() calls)
+// and then either polls or blocks for the matching receive. The schedules,
+// block math, and reduction order are copied from the blocking versions
+// above so byte counts and floating-point results are identical.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+template <typename T, typename Op>
+class IAllReduceOp final : public PendingOp {
+ public:
+  IAllReduceOp(Comm comm, std::span<T> data, Op op, int tag_base)
+      : comm_(std::move(comm)), data_(data), op_(op), tag_base_(tag_base) {}
+
+  bool advance(Drive drive) override {
+    const int p = comm_.size();
+    const int rank = comm_.rank();
+    const std::size_t n = data_.size();
+    const int right = (rank + 1) % p;
+    const int left = (rank - 1 + p) % p;
+    auto block = [&](int b) {
+      b = ((b % p) + p) % p;
+      return std::pair{Comm::block_lo(n, p, b), Comm::block_lo(n, p, b + 1)};
+    };
+    // Steps 0..p-2: reduce-scatter phase; steps p-1..2p-3: all-gather phase.
+    const int total = 2 * (p - 1);
+    while (step_ < total) {
+      const bool reduce_phase = step_ < p - 1;
+      const int s = reduce_phase ? step_ : step_ - (p - 1);
+      const auto [slo, shi] = reduce_phase ? block(rank - s)
+                                           : block(rank + 1 - s);
+      const auto [rlo, rhi] = reduce_phase ? block(rank - s - 1)
+                                           : block(rank - s);
+      if (!sent_) {
+        NbAccess::send(comm_, right,
+                       NbAccess::bytes(std::span<const T>(data_.data() + slo,
+                                                          shi - slo)),
+                       tag_base_ + step_, Coll::AllReduce);
+        sent_ = true;
+      }
+      if (drive == Drive::Post) return false;
+      std::vector<std::byte> raw;
+      if (drive == Drive::Block) {
+        raw = NbAccess::recv(comm_, left, tag_base_ + step_);
+      } else if (!NbAccess::try_recv(comm_, left, tag_base_ + step_, raw)) {
+        return false;
+      }
+      auto in = NbAccess::typed<T>(std::move(raw));
+      MBD_CHECK_EQ(in.size(), rhi - rlo);
+      if (reduce_phase) {
+        for (std::size_t i = 0; i < in.size(); ++i)
+          data_[rlo + i] = op_(data_[rlo + i], in[i]);
+      } else {
+        std::copy(in.begin(), in.end(),
+                  data_.begin() + static_cast<std::ptrdiff_t>(rlo));
+      }
+      sent_ = false;
+      ++step_;
+    }
+    return true;
+  }
+
+ private:
+  Comm comm_;
+  std::span<T> data_;
+  Op op_;
+  int tag_base_;
+  int step_ = 0;
+  bool sent_ = false;
+};
+
+template <typename T>
+class IAllGatherOp final : public PendingOp {
+ public:
+  IAllGatherOp(Comm comm, std::span<T> out, std::size_t m, int tag_base)
+      : comm_(std::move(comm)), out_(out), m_(m), tag_base_(tag_base) {}
+
+  bool advance(Drive drive) override {
+    const int p = comm_.size();
+    const int rank = comm_.rank();
+    const int right = (rank + 1) % p;
+    const int left = (rank - 1 + p) % p;
+    while (step_ < p - 1) {
+      const int send_block = (rank - step_ + p) % p;
+      const int recv_block = (rank - step_ - 1 + p) % p;
+      if (!sent_) {
+        NbAccess::send(
+            comm_, right,
+            NbAccess::bytes(std::span<const T>(
+                out_.data() + static_cast<std::size_t>(send_block) * m_, m_)),
+            tag_base_ + step_, Coll::AllGather);
+        sent_ = true;
+      }
+      if (drive == Drive::Post) return false;
+      std::vector<std::byte> raw;
+      if (drive == Drive::Block) {
+        raw = NbAccess::recv(comm_, left, tag_base_ + step_);
+      } else if (!NbAccess::try_recv(comm_, left, tag_base_ + step_, raw)) {
+        return false;
+      }
+      auto in = NbAccess::typed<T>(std::move(raw));
+      MBD_CHECK_EQ(in.size(), m_);
+      std::copy(in.begin(), in.end(),
+                out_.begin() + static_cast<std::ptrdiff_t>(recv_block) *
+                                   static_cast<std::ptrdiff_t>(m_));
+      sent_ = false;
+      ++step_;
+    }
+    return true;
+  }
+
+ private:
+  Comm comm_;
+  std::span<T> out_;
+  std::size_t m_;
+  int tag_base_;
+  int step_ = 0;
+  bool sent_ = false;
+};
+
+template <typename T>
+class IAllGatherVOp final : public PendingOp {
+ public:
+  IAllGatherVOp(Comm comm, std::span<const T> local, std::vector<T>* out,
+                int tag_base)
+      : comm_(std::move(comm)),
+        blocks_(static_cast<std::size_t>(comm_.size())),
+        out_(out),
+        tag_base_(tag_base) {
+    blocks_[static_cast<std::size_t>(comm_.rank())].assign(local.begin(),
+                                                           local.end());
+  }
+
+  bool advance(Drive drive) override {
+    const int p = comm_.size();
+    const int rank = comm_.rank();
+    const int right = (rank + 1) % p;
+    const int left = (rank - 1 + p) % p;
+    while (step_ < p - 1) {
+      const int send_origin = (rank - step_ + p) % p;
+      const int recv_origin = (rank - step_ - 1 + p) % p;
+      if (!sent_) {
+        NbAccess::send(comm_, right,
+                       NbAccess::bytes(std::span<const T>(
+                           blocks_[static_cast<std::size_t>(send_origin)])),
+                       tag_base_ + step_, Coll::AllGather);
+        sent_ = true;
+      }
+      if (drive == Drive::Post) return false;
+      std::vector<std::byte> raw;
+      if (drive == Drive::Block) {
+        raw = NbAccess::recv(comm_, left, tag_base_ + step_);
+      } else if (!NbAccess::try_recv(comm_, left, tag_base_ + step_, raw)) {
+        return false;
+      }
+      blocks_[static_cast<std::size_t>(recv_origin)] =
+          NbAccess::typed<T>(std::move(raw));
+      sent_ = false;
+      ++step_;
+    }
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b.size();
+    out_->clear();
+    out_->reserve(total);
+    for (const auto& b : blocks_) out_->insert(out_->end(), b.begin(), b.end());
+    return true;
+  }
+
+ private:
+  Comm comm_;
+  std::vector<std::vector<T>> blocks_;
+  std::vector<T>* out_;
+  int tag_base_;
+  int step_ = 0;
+  bool sent_ = false;
+};
+
+// The pending-receive half of isendrecv (the send is buffered at initiation).
+template <typename T>
+class IRecvOp final : public PendingOp {
+ public:
+  IRecvOp(Comm comm, int src, int tag, std::vector<T>* out)
+      : comm_(std::move(comm)), src_(src), tag_(tag), out_(out) {}
+
+  bool advance(Drive drive) override {
+    // The send half was buffered at initiation; nothing to post here.
+    if (drive == Drive::Post) return false;
+    std::vector<std::byte> raw;
+    if (drive == Drive::Block) {
+      raw = NbAccess::recv(comm_, src_, tag_);
+    } else if (!NbAccess::try_recv(comm_, src_, tag_, raw)) {
+      return false;
+    }
+    *out_ = NbAccess::typed<T>(std::move(raw));
+    return true;
+  }
+
+ private:
+  Comm comm_;
+  int src_;
+  int tag_;
+  std::vector<T>* out_;
+};
+
+}  // namespace detail
+
+template <typename T, typename Op>
+CollectiveHandle Comm::iallreduce(std::span<T> data, Op op) {
+  validate_entry({.kind = OpKind::AllReduce,
+                  .count = data.size(),
+                  .elem_size = sizeof(T),
+                  .elem_type = typeid(T).name(),
+                  .reduce_op = typeid(Op).name(),
+                  .algo = static_cast<int>(AllReduceAlgo::Ring),
+                  .nonblocking = true});
+  if (size() == 1) return {};
+  return make_handle(std::make_unique<detail::IAllReduceOp<T, Op>>(
+                         *this, data, op, nb_tag_block()),
+                     "iallreduce(count=" + std::to_string(data.size()) + ')');
+}
+
+template <typename T>
+CollectiveHandle Comm::iallgather(std::span<const T> local, std::span<T> out) {
+  validate_entry({.kind = OpKind::AllGather,
+                  .count = local.size(),
+                  .elem_size = sizeof(T),
+                  .elem_type = typeid(T).name(),
+                  .algo = static_cast<int>(AllGatherAlgo::Ring),
+                  .nonblocking = true});
+  const std::size_t m = local.size();
+  MBD_CHECK_EQ(out.size(), m * static_cast<std::size_t>(size()));
+  std::copy(local.begin(), local.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(rank_) *
+                              static_cast<std::ptrdiff_t>(m));
+  if (size() == 1) return {};
+  return make_handle(std::make_unique<detail::IAllGatherOp<T>>(
+                         *this, out, m, nb_tag_block()),
+                     "iallgather(count=" + std::to_string(m) + ')');
+}
+
+template <typename T>
+CollectiveHandle Comm::iallgatherv(std::span<const T> local,
+                                   std::vector<T>* out) {
+  MBD_CHECK(out != nullptr);
+  validate_entry({.kind = OpKind::AllGatherV,
+                  .count = CollectiveDesc::kAnyCount,
+                  .elem_size = sizeof(T),
+                  .elem_type = typeid(T).name(),
+                  .nonblocking = true});
+  if (size() == 1) {
+    out->assign(local.begin(), local.end());
+    return {};
+  }
+  return make_handle(std::make_unique<detail::IAllGatherVOp<T>>(
+                         *this, local, out, nb_tag_block()),
+                     "iallgatherv(local_count=" + std::to_string(local.size()) +
+                         ')');
+}
+
+template <typename T>
+CollectiveHandle Comm::isendrecv(int dst, std::span<const T> send_data,
+                                 int src, std::vector<T>* recv_out, int tag) {
+  MBD_CHECK(recv_out != nullptr);
+  MBD_CHECK_MSG(tag >= 0 && tag < kInternalTagBase,
+                "isendrecv tag " << tag << " outside the user tag space");
+  send_bytes(dst, as_bytes_span(send_data), tag, Coll::PointToPoint);
+  return make_handle(
+      std::make_unique<detail::IRecvOp<T>>(*this, src, tag, recv_out),
+      "isendrecv(from=" + std::to_string(global_rank(src)) +
+          ", tag=" + std::to_string(tag) + ')');
 }
 
 }  // namespace mbd::comm

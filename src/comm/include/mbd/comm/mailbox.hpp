@@ -58,6 +58,12 @@ class Mailbox {
   Message pop(std::uint64_t context, int source, int tag,
               const PopWatch* watch = nullptr);
 
+  /// Non-blocking pop: if a message matching (context, source, tag) is
+  /// queued, move the earliest one into `out` and return true. Returns false
+  /// when no match is available; throws PoisonedError if the fabric is
+  /// poisoned and no match is queued. Used by CollectiveHandle::test().
+  bool try_pop(std::uint64_t context, int source, int tag, Message& out);
+
   /// Wake all waiters so they can observe a poisoned fabric.
   void poison();
 

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -78,12 +79,17 @@ struct CollectiveDesc {
   std::string_view reduce_op{};  ///< typeid(Op).name(), empty if no reduction
   int algo = -1;                 ///< AllGatherAlgo/AllReduceAlgo value, or -1
   int root = -1;                 ///< root rank, or -1 for rootless ops
+  /// Initiated via the nonblocking API. Part of the match so a rank calling
+  /// allreduce() against peers calling iallreduce() (whose tags live in a
+  /// different space and would never pair up) fails loudly instead of
+  /// hanging.
+  bool nonblocking = false;
 
   bool matches(const CollectiveDesc& other) const {
     return kind == other.kind && count == other.count &&
            elem_size == other.elem_size && elem_type == other.elem_type &&
            reduce_op == other.reduce_op && algo == other.algo &&
-           root == other.root;
+           root == other.root && nonblocking == other.nonblocking;
   }
 
   /// "allreduce(count=1024, elem=float, op=std::plus<float>, algo=0)".
@@ -109,6 +115,17 @@ class Validator {
 
   /// Record user point-to-point activity (for the deadlock report only).
   void on_p2p(int global_rank, std::string activity);
+
+  /// Track a nonblocking operation from initiation to completion. The token
+  /// returned by on_nb_initiated is surrendered via on_nb_completed when the
+  /// handle's wait()/test() observes completion; anything still tracked is a
+  /// leaked or un-waited CollectiveHandle and is reported by name both in
+  /// deadlock_report() and at the end of World::run.
+  std::uint64_t on_nb_initiated(int global_rank, std::string what);
+  void on_nb_completed(int global_rank, std::uint64_t token);
+  /// "rank R: <op>" lines for every initiated-but-incomplete nonblocking
+  /// operation, in initiation order; empty when all handles completed.
+  std::vector<std::string> outstanding_nonblocking() const;
 
   /// Watchdog timeout for blocking receives.
   void set_timeout(std::chrono::milliseconds t);
@@ -141,6 +158,10 @@ class Validator {
   std::unordered_map<std::uint64_t, ContextState> contexts_;
   std::vector<std::string> last_collective_;  // per global rank
   std::vector<std::string> last_p2p_;         // per global rank
+  // Per global rank: token -> description of in-flight nonblocking ops.
+  // std::map keeps initiation order (tokens are issued monotonically).
+  std::vector<std::map<std::uint64_t, std::string>> nb_inflight_;
+  std::uint64_t next_nb_token_ = 1;
   std::atomic<std::chrono::milliseconds::rep> timeout_ms_;
 };
 

@@ -30,7 +30,10 @@ class World {
   /// woken with an error) and the failing rank's original exception is
   /// rethrown here — secondary PoisonedErrors from woken peers never mask
   /// it. May be called repeatedly; mailboxes must be drained by each run
-  /// (collective code always does).
+  /// (collective code always does). When validation is on, a nonblocking
+  /// operation whose CollectiveHandle was never driven to completion fails
+  /// the run with a named ValidationError ("leaked CollectiveHandle: ...")
+  /// after the ranks join, distinct from the watchdog's deadlock report.
   void run(const std::function<void(Comm&)>& fn);
 
   /// Traffic counters accumulated over all run() calls since construction or

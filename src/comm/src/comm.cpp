@@ -102,6 +102,40 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   return std::move(msg.payload);
 }
 
+bool Comm::try_recv_bytes(int src, int tag, std::vector<std::byte>& out) {
+  const int gsrc = global_rank(src);
+  const int gme = global_rank(rank_);
+  Message msg;
+  if (!fabric_->mailboxes[static_cast<std::size_t>(gme)].try_pop(context_,
+                                                                 gsrc, tag,
+                                                                 msg)) {
+    return false;
+  }
+  if (fabric_->tracing() && msg.trace_id != 0) {
+    fabric_->trace->ranks[static_cast<std::size_t>(gme)].push_back(
+        {TraceEvent::Kind::Recv, gsrc, msg.payload.size(), msg.trace_id, 0.0});
+  }
+  out = std::move(msg.payload);
+  return true;
+}
+
+CollectiveHandle Comm::make_handle(std::unique_ptr<detail::PendingOp> op,
+                                   std::string what) {
+  if (Validator* v = fabric_->validator.get()) {
+    op->validator = v;
+    op->global_rank = global_rank(rank_);
+    op->nb_token = v->on_nb_initiated(op->global_rank, std::move(what));
+  }
+  CollectiveHandle h(std::move(op));
+  // Post round 0 only — never consume here. Buffered sends keep peers from
+  // stalling while this rank computes, and deferring every receive to
+  // test()/wait() keeps the Recv positions in a recorded trace at
+  // deterministic program points (replay_trace depends on that order).
+  // Single-rank schedules have no rounds and complete at initiation.
+  if (h.op_->advance(detail::Drive::Post)) h.finish();
+  return h;
+}
+
 void Comm::annotate_compute(double seconds) {
   MBD_CHECK(seconds >= 0.0);
   if (!fabric_->tracing()) return;

@@ -46,6 +46,27 @@ Message Mailbox::pop(std::uint64_t context, int source, int tag,
   }
 }
 
+bool Mailbox::try_pop(std::uint64_t context, int source, int tag,
+                      Message& out) {
+  std::lock_guard lock(mu_);
+  auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+    return m.context == context && m.source == source && m.tag == tag;
+  });
+  if (it == queue_.end()) {
+    // Match-first, poison-second: a delivered message is still consumable
+    // after the fabric is poisoned, mirroring pop().
+    if (poisoned_) {
+      throw PoisonedError(
+          "mbd::comm fabric poisoned: another rank threw while this rank was "
+          "polling recv");
+    }
+    return false;
+  }
+  out = std::move(*it);
+  queue_.erase(it);
+  return true;
+}
+
 void Mailbox::poison() {
   {
     std::lock_guard lock(mu_);

@@ -1,0 +1,33 @@
+#include "mbd/comm/nonblocking.hpp"
+
+#include "mbd/comm/validator.hpp"
+
+namespace mbd::comm {
+
+bool CollectiveHandle::test() {
+  if (done()) return true;
+  if (!op_->advance(detail::Drive::Poll)) return false;
+  finish();
+  return true;
+}
+
+void CollectiveHandle::wait() {
+  if (done()) return;
+  op_->advance(detail::Drive::Block);
+  finish();
+}
+
+void CollectiveHandle::finish() {
+  completed_ = true;
+  if (op_->validator != nullptr) {
+    op_->validator->on_nb_completed(op_->global_rank, op_->nb_token);
+  }
+}
+
+bool progress_all(std::span<CollectiveHandle> handles) {
+  bool all = true;
+  for (auto& h : handles) all &= h.test();
+  return all;
+}
+
+}  // namespace mbd::comm

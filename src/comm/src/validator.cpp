@@ -64,7 +64,11 @@ std::string CollectiveDesc::describe() const {
     os << sep << "algo=" << algo;
     sep = ", ";
   }
-  if (root >= 0) os << sep << "root=" << root;
+  if (root >= 0) {
+    os << sep << "root=" << root;
+    sep = ", ";
+  }
+  if (nonblocking) os << sep << "nonblocking";
   os << ')';
   return os.str();
 }
@@ -72,6 +76,7 @@ std::string CollectiveDesc::describe() const {
 Validator::Validator(int world_size)
     : last_collective_(static_cast<std::size_t>(world_size)),
       last_p2p_(static_cast<std::size_t>(world_size)),
+      nb_inflight_(static_cast<std::size_t>(world_size)),
       timeout_ms_(kDefaultTimeout.count()) {}
 
 void Validator::set_timeout(std::chrono::milliseconds t) {
@@ -130,6 +135,36 @@ void Validator::on_p2p(int global_rank, std::string activity) {
   last_p2p_[static_cast<std::size_t>(global_rank)] = std::move(activity);
 }
 
+std::uint64_t Validator::on_nb_initiated(int global_rank, std::string what) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t token = next_nb_token_++;
+  nb_inflight_[static_cast<std::size_t>(global_rank)].emplace(token,
+                                                             std::move(what));
+  return token;
+}
+
+void Validator::on_nb_completed(int global_rank, std::uint64_t token) {
+  std::lock_guard lock(mu_);
+  auto& inflight = nb_inflight_[static_cast<std::size_t>(global_rank)];
+  const auto it = inflight.find(token);
+  MBD_CHECK_MSG(it != inflight.end(),
+                "nonblocking completion token " << token
+                                                << " unknown on rank "
+                                                << global_rank);
+  inflight.erase(it);
+}
+
+std::vector<std::string> Validator::outstanding_nonblocking() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  for (std::size_t r = 0; r < nb_inflight_.size(); ++r) {
+    for (const auto& [token, what] : nb_inflight_[r]) {
+      out.push_back("rank " + std::to_string(r) + ": " + what);
+    }
+  }
+  return out;
+}
+
 std::string Validator::deadlock_report(int global_rank, std::uint64_t context,
                                        int src, int tag) const {
   std::lock_guard lock(mu_);
@@ -142,6 +177,20 @@ std::string Validator::deadlock_report(int global_rank, std::uint64_t context,
     os << "\n  rank " << r << ": collective "
        << (last_collective_[r].empty() ? "<none yet>" : last_collective_[r]);
     if (!last_p2p_[r].empty()) os << ", p2p " << last_p2p_[r];
+  }
+  // A stuck recv while nonblocking operations are pending usually means a
+  // CollectiveHandle was never waited (its peers' schedule messages are
+  // parked in the mailboxes) — name those ops distinctly from a plain stall.
+  bool any_nb = false;
+  for (const auto& per_rank : nb_inflight_) any_nb |= !per_rank.empty();
+  if (any_nb) {
+    os << "\nnonblocking operations initiated but not completed (un-waited or "
+          "leaked CollectiveHandle?):";
+    for (std::size_t r = 0; r < nb_inflight_.size(); ++r) {
+      for (const auto& [token, what] : nb_inflight_[r]) {
+        os << "\n  rank " << r << ": " << what;
+      }
+    }
   }
   return os.str();
 }

@@ -1,6 +1,7 @@
 #include "mbd/comm/world.hpp"
 
 #include <exception>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -65,6 +66,20 @@ void World::run(const std::function<void(Comm&)>& fn) {
     }
   }
   if (first) std::rethrow_exception(first);
+  // A handle that was initiated but never waited leaves schedule messages
+  // parked in the mailboxes, corrupting the next run. Surface it as a named
+  // error (which op, which rank) rather than a later generic deadlock.
+  if (Validator* v = fabric_->validator.get()) {
+    const auto leaked = v->outstanding_nonblocking();
+    if (!leaked.empty()) {
+      std::ostringstream os;
+      os << "leaked CollectiveHandle: " << leaked.size()
+         << " nonblocking operation(s) were initiated but never completed "
+            "(wait() or test()-to-done every handle before it is destroyed):";
+      for (const auto& l : leaked) os << "\n  " << l;
+      throw ValidationError(os.str());
+    }
+  }
 }
 
 StatsSnapshot World::stats() const { return fabric_->counters.snapshot(); }

@@ -12,6 +12,15 @@
 //             then pays α for the matching overhead;
 //   Compute — the rank is busy for the annotated seconds.
 //
+// Under store-and-forward every byte consumes endpoint busy-time, so two
+// schedules with the same events always replay to the same busy totals and
+// comm/compute overlap is invisible — only waits can differ. The in-flight
+// variant (ReplayOptions::inflight_transfer) instead charges the sender only
+// the α injection overhead and lets β·bytes elapse on the wire: a receiver
+// that computes past the arrival hides the transfer completely, which is
+// precisely the DMA-style transport the paper's overlap factor f assumes.
+// Use it to measure how much transfer a nonblocking schedule actually hides.
+//
 // The makespan therefore includes serialization chains, load imbalance, and
 // dependency stalls that per-collective formulas cannot express, while
 // using exactly the same α and β. Ring pipelines replay to their exact-
@@ -36,9 +45,19 @@ struct ReplayResult {
   double total_recv_wait = 0.0;
 };
 
+/// Transport semantics for replay.
+struct ReplayOptions {
+  /// false (default): store-and-forward — the sender is busy α + β·bytes and
+  /// the message is available when its send completes. true: in-flight (DMA)
+  /// transfer — the sender is busy only α; β·bytes then elapses on the wire,
+  /// so compute scheduled between initiation and completion hides it.
+  bool inflight_transfer = false;
+};
+
 /// Replay `trace` under machine `m`. Throws mbd::Error if the trace is
 /// inconsistent (a Recv whose Send never appears — cannot happen for traces
 /// recorded from a completed run).
-ReplayResult replay_trace(const comm::Trace& trace, const MachineModel& m);
+ReplayResult replay_trace(const comm::Trace& trace, const MachineModel& m,
+                          ReplayOptions opts = {});
 
 }  // namespace mbd::costmodel

@@ -8,7 +8,8 @@ namespace mbd::costmodel {
 
 using comm::TraceEvent;
 
-ReplayResult replay_trace(const comm::Trace& trace, const MachineModel& m) {
+ReplayResult replay_trace(const comm::Trace& trace, const MachineModel& m,
+                          ReplayOptions opts) {
   const std::size_t p = trace.ranks.size();
   ReplayResult r;
   r.rank_finish.assign(p, 0.0);
@@ -36,11 +37,14 @@ ReplayResult replay_trace(const comm::Trace& trace, const MachineModel& m) {
           clock += e.seconds;
           r.total_compute += e.seconds;
         } else if (e.kind == TraceEvent::Kind::Send) {
-          const double busy =
-              m.alpha + m.beta * static_cast<double>(e.bytes);
+          const double wire = m.beta * static_cast<double>(e.bytes);
+          const double busy = opts.inflight_transfer ? m.alpha : m.alpha + wire;
           clock += busy;
           r.total_send_busy += busy;
-          available[e.msg_id] = clock;
+          // In-flight: the payload is still on the wire after the sender's
+          // injection overhead; the receiver can only match it once it lands.
+          available[e.msg_id] =
+              opts.inflight_transfer ? clock + wire : clock;
         } else {  // Recv
           auto it = available.find(e.msg_id);
           if (it == available.end()) break;  // sender not replayed yet

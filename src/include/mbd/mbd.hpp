@@ -13,6 +13,7 @@
 
 // comm: the message-passing runtime
 #include "mbd/comm/comm.hpp"
+#include "mbd/comm/nonblocking.hpp"
 #include "mbd/comm/stats.hpp"
 #include "mbd/comm/trace.hpp"
 #include "mbd/comm/world.hpp"
@@ -49,6 +50,7 @@
 #include "mbd/parallel/domain_parallel.hpp"
 #include "mbd/parallel/hybrid.hpp"
 #include "mbd/parallel/integrated.hpp"
+#include "mbd/parallel/layer_engine.hpp"
 #include "mbd/parallel/mixed_grid.hpp"
 #include "mbd/parallel/model_parallel.hpp"
 #include "mbd/parallel/summa.hpp"

@@ -14,11 +14,15 @@ namespace mbd::parallel {
 /// Run `cfg.iterations` steps of batch-parallel SGD on comm's ranks.
 /// Every rank builds an identical network from (specs, build options), so
 /// weights start equal and stay equal after each all-reduced step.
-/// Must be called collectively (inside World::run).
+/// Must be called collectively (inside World::run). With
+/// ReduceMode::Overlapped the per-layer ∆W all-reduces are issued
+/// nonblocking and drained before the SGD step — same ring schedule, same
+/// bytes, bitwise-identical weights.
 DistResult train_batch_parallel(comm::Comm& comm,
                                 const std::vector<nn::LayerSpec>& specs,
                                 const nn::Dataset& data,
                                 const nn::TrainConfig& cfg,
-                                const nn::BuildOptions& build = {});
+                                const nn::BuildOptions& build = {},
+                                ReduceMode mode = ReduceMode::Blocking);
 
 }  // namespace mbd::parallel

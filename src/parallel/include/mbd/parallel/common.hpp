@@ -7,6 +7,7 @@
 
 #include "mbd/comm/comm.hpp"
 #include "mbd/nn/trainer.hpp"
+#include "mbd/support/rng.hpp"
 #include "mbd/tensor/matrix.hpp"
 
 namespace mbd::parallel {
@@ -16,6 +17,14 @@ struct Range {
   std::size_t lo = 0, hi = 0;
   std::size_t size() const { return hi - lo; }
 };
+
+/// How the layer-engine completes the ∆W gradient reductions of a backward
+/// pass. Blocking reduces each layer's gradient in place inside its backward
+/// step (the paper's baseline schedule). Overlapped issues them as
+/// nonblocking ring all-reduces and drains them behind the remaining layers'
+/// GEMMs (Fig. 8's comm/compute overlap); the ring schedule is identical, so
+/// byte counts and numerics match Blocking bit for bit.
+enum class ReduceMode { Blocking, Overlapped };
 
 /// Canonical block partition (same convention as Comm::block_lo, so trainer
 /// partitions line up with reduce_scatter blocks).
@@ -51,5 +60,16 @@ double sum_scalar(comm::Comm& comm, double value);
 /// reference.
 void sgd_update(std::span<float> w, std::span<const float> g,
                 std::span<float> v, float lr, float momentum);
+
+/// He-initialised d_out × d_in weight matrix, drawn with the exact stream
+/// nn::build_network uses (scale √(2/d_in)). Every trainer draws its weights
+/// through these two helpers so all trainers provably start from the weights
+/// of the sequential reference.
+tensor::Matrix he_init_full(std::size_t d_out, std::size_t d_in, Rng& rng);
+
+/// Row-partitioned variant: draws the FULL matrix (keeping the random stream
+/// aligned with the replicated layout) and returns rows [rows.lo, rows.hi).
+tensor::Matrix he_init_rows(std::size_t d_out, std::size_t d_in, Rng& rng,
+                            Range rows);
 
 }  // namespace mbd::parallel

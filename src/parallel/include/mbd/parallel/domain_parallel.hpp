@@ -21,11 +21,14 @@ namespace mbd::parallel {
 /// the largest halo. Weight init matches nn::build_network(specs).
 /// `overlap_halo` computes interior conv rows while the halo is in flight
 /// (§2.2's non-blocking exchange); results are identical either way.
+/// `mode` selects blocking or overlapped (nonblocking, drained before the
+/// SGD step) ∆W all-reduces — also bitwise identical.
 DistResult train_domain_parallel(comm::Comm& comm,
                                  const std::vector<nn::LayerSpec>& specs,
                                  const nn::Dataset& data,
                                  const nn::TrainConfig& cfg,
                                  std::uint64_t seed = 42,
-                                 bool overlap_halo = false);
+                                 bool overlap_halo = false,
+                                 ReduceMode mode = ReduceMode::Blocking);
 
 }  // namespace mbd::parallel

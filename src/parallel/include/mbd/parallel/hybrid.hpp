@@ -24,9 +24,12 @@ namespace mbd::parallel {
 /// conv stack followed by FC layers; grid.pr must not exceed the image
 /// height and grid.pc must not exceed the batch (uneven partitions allowed).
 /// `overlap_halo` computes interior conv rows while the halo is in flight.
+/// `mode` selects blocking or overlapped (nonblocking) gradient reductions;
+/// both produce bitwise-identical weights and identical traffic.
 DistResult train_hybrid(comm::Comm& comm, GridShape grid,
                         const std::vector<nn::LayerSpec>& specs,
                         const nn::Dataset& data, const nn::TrainConfig& cfg,
-                        std::uint64_t seed = 42, bool overlap_halo = false);
+                        std::uint64_t seed = 42, bool overlap_halo = false,
+                        ReduceMode mode = ReduceMode::Blocking);
 
 }  // namespace mbd::parallel

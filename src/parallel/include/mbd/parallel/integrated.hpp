@@ -27,10 +27,20 @@ struct GridShape {
 /// blocks use the ring all-gatherv / block column partition). pr = P, pc = 1
 /// degenerates to pure model parallelism; pr = 1, pc = P to pure batch
 /// parallelism.
+///
+/// With ReduceMode::Overlapped, each layer's ∆W all-reduce (Pc group) is
+/// issued nonblocking and completes behind the GEMMs of the layers below,
+/// and the ∆X all-reduce (Pr group) hides behind the same layer's ∆W GEMM —
+/// the paper's Fig. 8 overlap, executable. The nonblocking ring runs the
+/// identical schedule as blocking mode: byte counts and weights match bit
+/// for bit. `seconds_per_flop` > 0 logs modeled compute annotations into an
+/// enabled trace so replay can measure the overlap actually achieved.
 DistResult train_integrated_15d(comm::Comm& comm, GridShape grid,
                                 const std::vector<nn::LayerSpec>& specs,
                                 const nn::Dataset& data,
                                 const nn::TrainConfig& cfg,
-                                std::uint64_t seed = 42);
+                                std::uint64_t seed = 42,
+                                ReduceMode mode = ReduceMode::Blocking,
+                                double seconds_per_flop = 0.0);
 
 }  // namespace mbd::parallel

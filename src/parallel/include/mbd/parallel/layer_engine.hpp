@@ -1,0 +1,294 @@
+// The shared layer-engine behind every distributed trainer.
+//
+// Each of the six trainers (model-, batch-, domain-parallel, 1.5D
+// integrated, hybrid, mixed-grid) used to carry its own copy of the same
+// training loop: slice the mini-batch, run the stages forward, evaluate the
+// softmax loss, run the stages backward while reducing weight gradients,
+// apply momentum SGD, and finally assemble the replicated parameter vector.
+// The engine owns that loop once; a trainer is reduced to *configuration* —
+// it picks the stages (partitioned FC layer, domain-decomposed conv stack,
+// whole sequential network, Eq. 6 redistribution, ...) and a StepSchedule
+// (which batch columns this rank owns, how the loss partials combine, and
+// whether gradient reductions block or overlap with compute).
+//
+// Overlap (ReduceMode::Overlapped) is *executable*, not modeled: ∆W ring
+// all-reduces are issued as nonblocking collectives (mbd/comm/nonblocking.hpp)
+// and drained behind the remaining layers' GEMMs; ∆X all-reduces hide behind
+// the same layer's ∆W GEMM. The nonblocking ring runs the identical schedule
+// as the blocking one, so byte counts (validation.hpp) and numerics match the
+// blocking mode bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mbd/comm/comm.hpp"
+#include "mbd/nn/network.hpp"
+#include "mbd/nn/trainer.hpp"
+#include "mbd/parallel/common.hpp"
+#include "mbd/parallel/detail/domain_conv.hpp"
+#include "mbd/support/check.hpp"
+#include "mbd/tensor/matrix.hpp"
+#include "mbd/tensor/tensor4.hpp"
+
+namespace mbd::parallel {
+
+/// Per-iteration facts the engine hands to every stage.
+struct StepContext {
+  std::size_t iteration = 0;
+  std::size_t batch = 0;         ///< global mini-batch size B
+  std::size_t first_sample = 0;  ///< dataset index of this rank's first column
+  comm::Comm* world = nullptr;   ///< the full communicator
+  ReduceMode mode = ReduceMode::Blocking;
+  /// When > 0, stages log `flops * seconds_per_flop` of modeled compute into
+  /// the trace (Comm::annotate_compute) so replay can measure how much
+  /// communication the overlapped schedule actually hides.
+  double seconds_per_flop = 0.0;
+
+  void annotate(double flops) const;
+};
+
+/// What a trainer tells the engine about one training step.
+struct StepSchedule {
+  Range input_cols;  ///< this rank's input columns within [0, B)
+  Range label_cols;  ///< columns the loss is evaluated on (== input_cols
+                     ///< unless a redistribution stage changes the layout)
+  bool sum_loss = false;     ///< sum loss partials over the world?
+  double loss_replicas = 1;  ///< how often each partial is replicated in it
+  ReduceMode mode = ReduceMode::Blocking;
+  double seconds_per_flop = 0.0;  ///< see StepContext
+};
+
+/// Collects the ∆W reductions of one backward pass. Blocking mode reduces in
+/// place; Overlapped mode issues nonblocking ring all-reduces and drains them
+/// all before the SGD update (the gradient buffers stay live until then, so
+/// overlap is safe). Draining in initiation order keeps the receive side of
+/// every reduction at a deterministic program point — important for traces.
+class GradReducer {
+ public:
+  explicit GradReducer(ReduceMode mode) : mode_(mode) {}
+
+  /// Reduce `grads` over `group` (sum). No-op traffic when group has 1 rank.
+  void allreduce(comm::Comm& group, std::span<float> grads);
+  /// Complete every pending reduction (must run before the weights update).
+  void drain();
+
+ private:
+  ReduceMode mode_;
+  std::vector<comm::CollectiveHandle> pending_;
+};
+
+/// The value flowing between stages: activations forward, gradients
+/// backward. Either a matrix (d × B_local, one column per sample) or an NCHW
+/// tensor (the domain-decomposed conv stages).
+struct Flow {
+  tensor::Matrix mat;
+  tensor::Tensor4 ten;
+  bool is_tensor = false;
+
+  static Flow from_matrix(tensor::Matrix m) {
+    Flow f;
+    f.mat = std::move(m);
+    return f;
+  }
+  static Flow from_tensor(tensor::Tensor4 t) {
+    Flow f;
+    f.ten = std::move(t);
+    f.is_tensor = true;
+    return f;
+  }
+  tensor::Matrix& as_matrix() {
+    MBD_CHECK_MSG(!is_tensor, "stage expected a matrix flow");
+    return mat;
+  }
+  tensor::Tensor4& as_tensor() {
+    MBD_CHECK_MSG(is_tensor, "stage expected a tensor flow");
+    return ten;
+  }
+};
+
+/// One stop of the per-iteration schedule: owns its parameter shard and
+/// momentum state, knows its own communication pattern.
+class EngineStage {
+ public:
+  virtual ~EngineStage() = default;
+  EngineStage() = default;
+  EngineStage(const EngineStage&) = delete;
+  EngineStage& operator=(const EngineStage&) = delete;
+
+  /// Called once per iteration before the forward pass.
+  virtual void begin_iteration(const StepContext& /*ctx*/) {}
+  virtual Flow forward(Flow in, const StepContext& ctx) = 0;
+  /// Consumes the gradient at this stage's output, registers its ∆W
+  /// reductions with `red`, returns the gradient at its input (an empty
+  /// Flow if the stage below needs none).
+  virtual Flow backward(Flow grad, const StepContext& ctx,
+                        GradReducer& red) = 0;
+  virtual void update(float lr, float momentum) = 0;
+  /// Append this stage's parameters in the full (unpartitioned) layout.
+  virtual void collect_params(std::vector<float>& out) = 0;
+};
+
+/// Row-partitioned (or replicated) fully connected layer with optional ReLU:
+/// the layer math of the model-parallel, 1.5D, hybrid, and mixed trainers,
+/// and — with no groups — the replicated FC tail of the domain trainer.
+class FcStage final : public EngineStage {
+ public:
+  struct Config {
+    std::size_t d_in = 0, d_out = 0;
+    bool relu_after = false;
+    /// Row-partition group (forward all-gather of Y, ∆X all-reduce);
+    /// nullptr = weights replicated, no model communication.
+    comm::Comm* model_group = nullptr;
+    /// ∆W all-reduce group; nullptr (or a 1-rank group) = no ∆W reduction.
+    comm::Comm* batch_group = nullptr;
+    Range rows;  ///< owned rows of W (== {0, d_out} when replicated)
+    bool compute_dx = true;  ///< false for the bottom layer of an FC-only net
+  };
+
+  FcStage(const Config& cfg, tensor::Matrix w);
+
+  Flow forward(Flow in, const StepContext& ctx) override;
+  Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
+  void update(float lr, float momentum) override;
+  void collect_params(std::vector<float>& out) override;
+
+ private:
+  Config cfg_;
+  tensor::Matrix w_, dw_, vel_;  // rows.size() × d_in
+  tensor::Matrix x_, y_pre_;     // forward state
+};
+
+/// A whole sequential nn::Network as one stage: the batch-parallel trainer.
+/// Every layer's ∆W is all-reduced over `reduce_group`.
+class NetworkStage final : public EngineStage {
+ public:
+  NetworkStage(nn::Network net, comm::Comm* reduce_group);
+
+  void begin_iteration(const StepContext& ctx) override;
+  Flow forward(Flow in, const StepContext& ctx) override;
+  Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
+  void update(float lr, float momentum) override;
+  void collect_params(std::vector<float>& out) override;
+
+ private:
+  nn::Network net_;
+  comm::Comm* reduce_group_;
+};
+
+/// A batch-parallel conv/pool prefix with fully replicated weights (the
+/// mixed-grid trainer's conv phase): raw layers run on this rank's B/P
+/// columns; conv ∆W is all-reduced over `reduce_group` after the backward.
+class ConvStackStage final : public EngineStage {
+ public:
+  ConvStackStage(std::vector<std::unique_ptr<nn::Layer>> layers,
+                 std::size_t d_out, comm::Comm* reduce_group);
+
+  Flow forward(Flow in, const StepContext& ctx) override;
+  Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
+  void update(float lr, float momentum) override;
+  void collect_params(std::vector<float>& out) override;
+
+ private:
+  std::vector<std::unique_ptr<nn::Layer>> layers_;
+  std::size_t d_out_;
+  comm::Comm* reduce_group_;
+  std::vector<std::vector<float>> vel_;
+};
+
+/// One domain-decomposed conv layer on a height slab (Fig. 3): halo
+/// exchanges within `conv_group`, ∆W all-reduced over `reduce_group`
+/// (the full world when the weights are replicated everywhere).
+class DomainConvStage final : public EngineStage {
+ public:
+  DomainConvStage(detail::DomainConvState state, comm::Comm* conv_group,
+                  comm::Comm* reduce_group);
+
+  Flow forward(Flow in, const StepContext& ctx) override;
+  Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
+  void update(float lr, float momentum) override;
+  void collect_params(std::vector<float>& out) override;
+
+ private:
+  detail::DomainConvState st_;
+  comm::Comm* conv_group_;
+  comm::Comm* reduce_group_;
+};
+
+/// Entry into a domain-decomposed conv stack: reshapes the replicated batch
+/// matrix to NCHW and keeps this rank's height rows. Backward discards the
+/// input gradient (the data layer needs none).
+class SlabScatterStage final : public EngineStage {
+ public:
+  SlabScatterStage(std::size_t in_c, std::size_t in_h, std::size_t in_w,
+                   Range rows);
+
+  Flow forward(Flow in, const StepContext& ctx) override;
+  Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
+  void update(float /*lr*/, float /*momentum*/) override {}
+  void collect_params(std::vector<float>& /*out*/) override {}
+
+ private:
+  std::size_t in_c_, in_h_, in_w_;
+  Range rows_;
+};
+
+/// Exit from a domain-decomposed conv stack: all-gathers the height slabs
+/// within `group` into the full activation matrix ("the halo is the whole
+/// input"); backward slices this rank's slab rows back out.
+class SlabGatherStage final : public EngineStage {
+ public:
+  SlabGatherStage(comm::Comm* group, std::size_t out_c, std::size_t img_h,
+                  std::size_t img_w, Range rows);
+
+  Flow forward(Flow in, const StepContext& ctx) override;
+  Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
+  void update(float /*lr*/, float /*momentum*/) override {}
+  void collect_params(std::vector<float>& /*out*/) override {}
+
+ private:
+  comm::Comm* group_;
+  std::size_t out_c_, img_h_, img_w_;
+  Range rows_;
+};
+
+/// The mixed-grid trainer's Eq. 6 redistribution: all-gather the conv-phase
+/// B/P column blocks within the model group so each rank holds its FC-phase
+/// B/Pc columns; backward slices this rank's conv columns back out.
+class RedistributeStage final : public EngineStage {
+ public:
+  RedistributeStage(comm::Comm* model_group, int world_size, int pr, int col,
+                    std::size_t d_out, Range group_cols, Range conv_cols);
+
+  Flow forward(Flow in, const StepContext& ctx) override;
+  Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
+  void update(float /*lr*/, float /*momentum*/) override {}
+  void collect_params(std::vector<float>& /*out*/) override {}
+
+ private:
+  comm::Comm* model_group_;
+  int world_size_, pr_, col_;
+  std::size_t d_out_;
+  Range group_cols_, conv_cols_;
+};
+
+/// The one training loop shared by all trainers. Stages run first-to-last
+/// forward and last-to-first backward; the gradient reducer is drained
+/// before the SGD update; parameters are collected in stage order.
+class LayerEngine {
+ public:
+  LayerEngine(comm::Comm& world, StepSchedule sched);
+
+  void add_stage(std::unique_ptr<EngineStage> stage);
+
+  DistResult train(const nn::Dataset& data, const nn::TrainConfig& cfg);
+
+ private:
+  comm::Comm* world_;
+  StepSchedule sched_;
+  std::vector<std::unique_ptr<EngineStage>> stages_;
+};
+
+}  // namespace mbd::parallel

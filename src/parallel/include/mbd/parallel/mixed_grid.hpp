@@ -21,11 +21,14 @@ namespace mbd::parallel {
 /// Run mixed-grid SGD. `specs` must be conv/pool layers followed by FC
 /// layers (any conv geometry — stride, padding, pooling all allowed, since
 /// the conv stack is batch parallel); batch ≥ P so every process holds at
-/// least one sample. Uneven partitions are allowed everywhere.
+/// least one sample. Uneven partitions are allowed everywhere. `mode`
+/// selects blocking or overlapped (nonblocking) gradient reductions; both
+/// produce bitwise-identical weights and identical traffic.
 DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
                             const std::vector<nn::LayerSpec>& specs,
                             const nn::Dataset& data,
                             const nn::TrainConfig& cfg,
-                            std::uint64_t seed = 42);
+                            std::uint64_t seed = 42,
+                            ReduceMode mode = ReduceMode::Blocking);
 
 }  // namespace mbd::parallel

@@ -17,11 +17,13 @@ namespace mbd::parallel {
 /// through the Bruck all-gather, uneven ones through the ring all-gatherv.
 /// Weight initialization matches nn::build_network(specs, {seed}) exactly,
 /// so final parameters are directly comparable with the sequential
-/// reference.
+/// reference. `mode` selects how gradient reductions complete (see
+/// ReduceMode); results are bitwise identical either way.
 DistResult train_model_parallel(comm::Comm& comm,
                                 const std::vector<nn::LayerSpec>& specs,
                                 const nn::Dataset& data,
                                 const nn::TrainConfig& cfg,
-                                std::uint64_t seed = 42);
+                                std::uint64_t seed = 42,
+                                ReduceMode mode = ReduceMode::Blocking);
 
 }  // namespace mbd::parallel

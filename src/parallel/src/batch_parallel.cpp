@@ -1,6 +1,8 @@
 #include "mbd/parallel/batch_parallel.hpp"
 
-#include "mbd/nn/loss.hpp"
+#include <memory>
+
+#include "mbd/parallel/layer_engine.hpp"
 #include "mbd/support/check.hpp"
 
 namespace mbd::parallel {
@@ -9,37 +11,23 @@ DistResult train_batch_parallel(comm::Comm& comm,
                                 const std::vector<nn::LayerSpec>& specs,
                                 const nn::Dataset& data,
                                 const nn::TrainConfig& cfg,
-                                const nn::BuildOptions& build) {
+                                const nn::BuildOptions& build,
+                                ReduceMode mode) {
   const int p = comm.size();
   const int r = comm.rank();
   MBD_CHECK_LE(static_cast<std::size_t>(p), cfg.batch);
-  nn::Network net = nn::build_network(specs, build);
 
-  DistResult result;
-  result.losses.reserve(cfg.iterations);
-  for (std::size_t it = 0; it < cfg.iterations; ++it) {
-    const std::size_t start = (it * cfg.batch) % data.size();
-    const Range cols = block_range(cfg.batch, p, r);
-    const BatchSlice local = batch_slice(data, start + cols.lo, cols.size());
-    net.set_batch_context(it, start + cols.lo);
-
-    const tensor::Matrix logits = net.forward(local.inputs);
-    const nn::LossResult lr =
-        nn::softmax_cross_entropy(logits, local.labels, cfg.batch);
-    net.backward(lr.dlogits);
-
-    // The defining communication step: ring all-reduce of every ∆W.
-    for (std::size_t li = 0; li < net.num_layers(); ++li) {
-      auto g = net.layer(li).grads();
-      if (!g.empty()) comm.allreduce(g);
-    }
-    net.sgd_step(nn::lr_at(cfg, it), cfg.momentum);
-
-    result.losses.push_back(sum_scalar(comm, lr.loss_sum) /
-                            static_cast<double>(cfg.batch));
-  }
-  result.params = net.save_params();
-  return result;
+  // Full replicated model, block of the batch columns; loss partials are
+  // summed over all ranks.
+  StepSchedule sched;
+  sched.input_cols = block_range(cfg.batch, p, r);
+  sched.label_cols = sched.input_cols;
+  sched.sum_loss = true;
+  sched.mode = mode;
+  LayerEngine engine(comm, sched);
+  engine.add_stage(
+      std::make_unique<NetworkStage>(nn::build_network(specs, build), &comm));
+  return engine.train(data, cfg);
 }
 
 }  // namespace mbd::parallel

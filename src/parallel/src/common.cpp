@@ -1,5 +1,7 @@
 #include "mbd/parallel/common.hpp"
 
+#include <cmath>
+
 #include "mbd/support/check.hpp"
 
 namespace mbd::parallel {
@@ -37,6 +39,21 @@ void sgd_update(std::span<float> w, std::span<const float> g,
     v[i] = momentum * v[i] + g[i];
     w[i] -= lr * v[i];
   }
+}
+
+tensor::Matrix he_init_full(std::size_t d_out, std::size_t d_in, Rng& rng) {
+  return tensor::Matrix::random_normal(
+      d_out, d_in, rng, std::sqrt(2.0f / static_cast<float>(d_in)));
+}
+
+tensor::Matrix he_init_rows(std::size_t d_out, std::size_t d_in, Rng& rng,
+                            Range rows) {
+  MBD_CHECK_LE(rows.hi, d_out);
+  // Draw the FULL matrix so the random stream stays aligned with the
+  // replicated layout, then keep only the owned rows.
+  tensor::Matrix full = he_init_full(d_out, d_in, rng);
+  if (rows.lo == 0 && rows.hi == d_out) return full;
+  return full.row_block(rows.lo, rows.hi);
 }
 
 double sum_scalar(comm::Comm& comm, double value) {

@@ -1,41 +1,29 @@
 #include "mbd/parallel/domain_parallel.hpp"
 
-#include <cmath>
+#include <memory>
 
-#include "mbd/nn/loss.hpp"
-#include "mbd/parallel/detail/domain_conv.hpp"
+#include "mbd/parallel/layer_engine.hpp"
 #include "mbd/support/check.hpp"
-#include "mbd/tensor/gemm.hpp"
-#include "mbd/tensor/ops.hpp"
 
 namespace mbd::parallel {
 
 using detail::DomainConvState;
 using tensor::Matrix;
-using tensor::Tensor4;
-
-namespace {
-
-struct FcState {
-  std::size_t d_in = 0, d_out = 0;
-  bool relu_after = false;
-  Matrix w, dw, vel;
-  Matrix x, y_pre;
-};
-
-}  // namespace
 
 DistResult train_domain_parallel(comm::Comm& comm,
                                  const std::vector<nn::LayerSpec>& specs,
                                  const nn::Dataset& data,
                                  const nn::TrainConfig& cfg,
-                                 std::uint64_t seed, bool overlap_halo) {
+                                 std::uint64_t seed, bool overlap_halo,
+                                 ReduceMode mode) {
   const int p = comm.size();
   const int r = comm.rank();
 
-  // Split specs into the conv stack and the FC tail; validate structure.
+  // Validate the spec structure (conv stack, then FC tail) and build the
+  // partitioned state with the exact weight stream of build_network.
   std::vector<DomainConvState> convs;
-  std::vector<FcState> fcs;
+  std::vector<FcStage::Config> fc_cfgs;
+  std::vector<Matrix> fc_weights;
   Rng rng(seed);
   bool seen_fc = false;
   std::size_t img_h = 0;
@@ -53,24 +41,22 @@ DistResult train_domain_parallel(comm::Comm& comm,
       l.geom = g;
       l.relu_after = s.relu_after;
       l.overlap_halo = overlap_halo;
-      l.w = Matrix::random_normal(
-          g.out_c, g.in_c * g.kernel_h * g.kernel_w, rng,
-          std::sqrt(2.0f /
-                    static_cast<float>(g.in_c * g.kernel_h * g.kernel_w)));
+      l.w = he_init_full(g.out_c, g.in_c * g.kernel_h * g.kernel_w, rng);
       l.dw = Matrix(l.w.rows(), l.w.cols());
       l.vel = Matrix(l.w.rows(), l.w.cols());
       convs.push_back(std::move(l));
     } else if (s.kind == nn::LayerKind::FullyConnected) {
       seen_fc = true;
-      FcState l;
-      l.d_in = s.fc_in;
-      l.d_out = s.fc_out;
-      l.relu_after = s.relu_after;
-      l.w = Matrix::random_normal(
-          s.fc_out, s.fc_in, rng, std::sqrt(2.0f / static_cast<float>(s.fc_in)));
-      l.dw = Matrix(l.w.rows(), l.w.cols());
-      l.vel = Matrix(l.w.rows(), l.w.cols());
-      fcs.push_back(std::move(l));
+      FcStage::Config c;
+      c.d_in = s.fc_in;
+      c.d_out = s.fc_out;
+      c.relu_after = s.relu_after;
+      c.model_group = nullptr;   // replicated FC tail, no model comm
+      c.batch_group = nullptr;   // full batch everywhere: ∆W already complete
+      c.rows = {0, s.fc_out};
+      c.compute_dx = true;  // the conv stack below always needs ∆X
+      fc_cfgs.push_back(c);
+      fc_weights.push_back(he_init_full(s.fc_out, s.fc_in, rng));
     } else {
       MBD_CHECK_MSG(false, "domain trainer does not support pooling ('"
                                << s.name << "')");
@@ -81,79 +67,32 @@ DistResult train_domain_parallel(comm::Comm& comm,
                 "more ranks (" << p << ") than image rows (" << img_h << ")");
   const Range rows = block_range(img_h, p, r);
 
-  DistResult result;
-  result.losses.reserve(cfg.iterations);
-  for (std::size_t it = 0; it < cfg.iterations; ++it) {
-    const std::size_t start = (it * cfg.batch) % data.size();
-    // Every process reads the whole mini-batch but keeps only its rows.
-    BatchSlice batch = batch_slice(data, start, cfg.batch);
-    const auto& g0 = convs.front().geom;
-    Tensor4 full_in =
-        detail::matrix_to_tensor(batch.inputs, g0.in_c, g0.in_h, g0.in_w);
-    Tensor4 slab = full_in.height_slab(rows.lo, rows.hi);
+  // Every process reads the whole mini-batch but keeps only its image rows;
+  // the loss is computed on replicated logits.
+  StepSchedule sched;
+  sched.input_cols = {0, cfg.batch};
+  sched.label_cols = sched.input_cols;
+  sched.mode = mode;
+  LayerEngine engine(comm, sched);
 
-    // Forward through the conv stack with per-layer halo exchange.
-    for (auto& l : convs) slab = detail::domain_conv_forward(comm, l, slab);
+  const auto& g0 = convs.front().geom;
+  engine.add_stage(
+      std::make_unique<SlabScatterStage>(g0.in_c, g0.in_h, g0.in_w, rows));
+  const auto& gl = convs.back().geom;
+  const std::size_t last_out_c = gl.out_c;
+  const std::size_t last_in_w = gl.in_w;
+  for (auto& l : convs)
+    engine.add_stage(std::make_unique<DomainConvStage>(
+        std::move(l), /*conv_group=*/&comm, /*reduce_group=*/&comm));
+  // FC tail: gather the full activation ("the halo is the whole input"),
+  // then compute replicated on every process.
+  engine.add_stage(std::make_unique<SlabGatherStage>(&comm, last_out_c, img_h,
+                                                     last_in_w, rows));
+  for (std::size_t li = 0; li < fc_cfgs.size(); ++li)
+    engine.add_stage(
+        std::make_unique<FcStage>(fc_cfgs[li], std::move(fc_weights[li])));
 
-    // FC tail: gather the full activation ("the halo is the whole input"),
-    // then compute replicated on every process.
-    const Tensor4 full_act = detail::gather_slabs(comm, slab, img_h);
-    Matrix x = detail::tensor_to_matrix(full_act);
-    for (auto& l : fcs) {
-      l.x = x;
-      l.y_pre = tensor::matmul(l.w, x);
-      if (l.relu_after) {
-        Matrix y(l.d_out, cfg.batch);
-        tensor::relu_forward(l.y_pre.span(), y.span());
-        x = std::move(y);
-      } else {
-        x = l.y_pre;
-      }
-    }
-
-    const nn::LossResult lr =
-        nn::softmax_cross_entropy(x, batch.labels, cfg.batch);
-    result.losses.push_back(lr.loss_sum / static_cast<double>(cfg.batch));
-
-    // FC backward (replicated — identical on every process).
-    Matrix dx = lr.dlogits;
-    for (std::size_t li = fcs.size(); li-- > 0;) {
-      auto& l = fcs[li];
-      Matrix dy_pre;
-      if (l.relu_after) {
-        dy_pre = Matrix(l.d_out, cfg.batch);
-        tensor::relu_backward(l.y_pre.span(), dx.span(), dy_pre.span());
-      } else {
-        dy_pre = std::move(dx);
-      }
-      tensor::gemm_nt(dy_pre, l.x, l.dw);
-      dx = tensor::matmul_tn(l.w, dy_pre);
-    }
-
-    // Conv backward on my slab, with gradient halo exchange and a full
-    // ∆W all-reduce per layer (each process saw only its output rows).
-    const auto& gl = convs.back().geom;
-    Tensor4 full_dx = detail::matrix_to_tensor(dx, gl.out_c, img_h, gl.in_w);
-    Tensor4 dslab = full_dx.height_slab(rows.lo, rows.hi);
-    for (std::size_t li = convs.size(); li-- > 0;) {
-      auto& l = convs[li];
-      dslab = detail::domain_conv_backward(comm, l, std::move(dslab));
-      comm.allreduce(l.dw.span());
-    }
-
-    for (auto& l : convs)
-      sgd_update(l.w.span(), l.dw.span(), l.vel.span(), nn::lr_at(cfg, it), cfg.momentum);
-    for (auto& l : fcs)
-      sgd_update(l.w.span(), l.dw.span(), l.vel.span(), nn::lr_at(cfg, it), cfg.momentum);
-  }
-
-  for (const auto& l : convs)
-    result.params.insert(result.params.end(), l.w.span().begin(),
-                         l.w.span().end());
-  for (const auto& l : fcs)
-    result.params.insert(result.params.end(), l.w.span().begin(),
-                         l.w.span().end());
-  return result;
+  return engine.train(data, cfg);
 }
 
 }  // namespace mbd::parallel

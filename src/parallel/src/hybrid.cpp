@@ -1,35 +1,20 @@
 #include "mbd/parallel/hybrid.hpp"
 
-#include <cmath>
+#include <memory>
 
-#include "mbd/nn/loss.hpp"
-#include "mbd/parallel/detail/domain_conv.hpp"
+#include "mbd/parallel/layer_engine.hpp"
 #include "mbd/support/check.hpp"
-#include "mbd/tensor/gemm.hpp"
-#include "mbd/tensor/ops.hpp"
 
 namespace mbd::parallel {
 
 using detail::DomainConvState;
 using tensor::Matrix;
-using tensor::Tensor4;
-
-namespace {
-
-struct FcGridState {
-  std::size_t d_in = 0, d_out = 0;
-  bool relu_after = false;
-  Range rows;         // owned rows of W over Pr
-  Matrix w, dw, vel;  // rows.size() × d_in
-  Matrix x, y_pre;
-};
-
-}  // namespace
 
 DistResult train_hybrid(comm::Comm& comm, GridShape grid,
                         const std::vector<nn::LayerSpec>& specs,
                         const nn::Dataset& data, const nn::TrainConfig& cfg,
-                        std::uint64_t seed, bool overlap_halo) {
+                        std::uint64_t seed, bool overlap_halo,
+                        ReduceMode mode) {
   MBD_CHECK_EQ(grid.pr * grid.pc, comm.size());
   MBD_CHECK_LE(static_cast<std::size_t>(grid.pc), cfg.batch);
   const int rank = comm.rank();
@@ -39,12 +24,11 @@ DistResult train_hybrid(comm::Comm& comm, GridShape grid,
   comm::Comm batch_group = comm.split(/*color=*/row, /*key=*/col);
   MBD_CHECK_EQ(model_group.size(), grid.pr);
   MBD_CHECK_EQ(batch_group.size(), grid.pc);
-  const Range batch_cols = block_range(cfg.batch, grid.pc, col);
-  const std::size_t b_loc = batch_cols.size();
 
   // --- build partitioned state (weight stream identical to build_network) --
   std::vector<DomainConvState> convs;
-  std::vector<FcGridState> fcs;
+  std::vector<FcStage::Config> fc_cfgs;
+  std::vector<Matrix> fc_weights;
   Rng rng(seed);
   bool seen_fc = false;
   std::size_t img_h = 0;
@@ -61,127 +45,62 @@ DistResult train_hybrid(comm::Comm& comm, GridShape grid,
       l.geom = g;
       l.relu_after = s.relu_after;
       l.overlap_halo = overlap_halo;
-      l.w = Matrix::random_normal(
-          g.out_c, g.in_c * g.kernel_h * g.kernel_w, rng,
-          std::sqrt(2.0f /
-                    static_cast<float>(g.in_c * g.kernel_h * g.kernel_w)));
+      l.w = he_init_full(g.out_c, g.in_c * g.kernel_h * g.kernel_w, rng);
       l.dw = Matrix(l.w.rows(), l.w.cols());
       l.vel = Matrix(l.w.rows(), l.w.cols());
       convs.push_back(std::move(l));
     } else if (s.kind == nn::LayerKind::FullyConnected) {
       seen_fc = true;
-      FcGridState l;
-      l.d_in = s.fc_in;
-      l.d_out = s.fc_out;
-      l.relu_after = s.relu_after;
-      l.rows = block_range(s.fc_out, grid.pr, row);
-      const Matrix full = Matrix::random_normal(
-          s.fc_out, s.fc_in, rng,
-          std::sqrt(2.0f / static_cast<float>(s.fc_in)));
-      l.w = full.row_block(l.rows.lo, l.rows.hi);
-      l.dw = Matrix(l.w.rows(), l.w.cols());
-      l.vel = Matrix(l.w.rows(), l.w.cols());
-      fcs.push_back(std::move(l));
+      FcStage::Config c;
+      c.d_in = s.fc_in;
+      c.d_out = s.fc_out;
+      c.relu_after = s.relu_after;
+      c.model_group = &model_group;
+      c.batch_group = &batch_group;
+      c.rows = block_range(s.fc_out, grid.pr, row);
+      // Unlike the FC-only trainers, the first FC layer's ∆X is still
+      // needed to backpropagate into the conv stack.
+      c.compute_dx = true;
+      fc_cfgs.push_back(c);
+      fc_weights.push_back(he_init_rows(s.fc_out, s.fc_in, rng, c.rows));
     } else {
       MBD_CHECK_MSG(false, "hybrid trainer does not support pooling ('"
                                << s.name << "')");
     }
   }
   MBD_CHECK(!convs.empty());
-  MBD_CHECK(!fcs.empty());
+  MBD_CHECK(!fc_cfgs.empty());
   MBD_CHECK_MSG(static_cast<std::size_t>(grid.pr) <= img_h,
                 "more Pr ranks than image rows");
   const Range rows = block_range(img_h, grid.pr, row);
 
-  DistResult result;
-  result.losses.reserve(cfg.iterations);
-  for (std::size_t it = 0; it < cfg.iterations; ++it) {
-    const std::size_t start = (it * cfg.batch) % data.size();
-    BatchSlice batch = batch_slice(data, start + batch_cols.lo, b_loc);
+  StepSchedule sched;
+  sched.input_cols = block_range(cfg.batch, grid.pc, col);
+  sched.label_cols = sched.input_cols;
+  sched.sum_loss = true;
+  sched.loss_replicas = grid.pr;
+  sched.mode = mode;
+  LayerEngine engine(comm, sched);
 
-    // --- conv stack: domain-parallel within the model group (LD layers) ---
-    const auto& g0 = convs.front().geom;
-    Tensor4 full_in =
-        detail::matrix_to_tensor(batch.inputs, g0.in_c, g0.in_h, g0.in_w);
-    Tensor4 slab = full_in.height_slab(rows.lo, rows.hi);
-    for (auto& l : convs)
-      slab = detail::domain_conv_forward(model_group, l, slab);
+  // Conv stack: domain-parallel within the model group (LD layers); ∆W
+  // all-reduced over ALL processes (weights are replicated everywhere).
+  const auto& g0 = convs.front().geom;
+  engine.add_stage(
+      std::make_unique<SlabScatterStage>(g0.in_c, g0.in_h, g0.in_w, rows));
+  const auto& gl = convs.back().geom;
+  const std::size_t last_out_c = gl.out_c;
+  const std::size_t last_in_w = gl.in_w;
+  for (auto& l : convs)
+    engine.add_stage(std::make_unique<DomainConvStage>(
+        std::move(l), /*conv_group=*/&model_group, /*reduce_group=*/&comm));
+  engine.add_stage(std::make_unique<SlabGatherStage>(
+      &model_group, last_out_c, img_h, last_in_w, rows));
+  // FC tail: 1.5D model-parallel over Pr (LM layers).
+  for (std::size_t li = 0; li < fc_cfgs.size(); ++li)
+    engine.add_stage(
+        std::make_unique<FcStage>(fc_cfgs[li], std::move(fc_weights[li])));
 
-    // --- transition: gather slabs within the model group -------------------
-    const Tensor4 full_act = detail::gather_slabs(model_group, slab, img_h);
-    Matrix x = detail::tensor_to_matrix(full_act);
-
-    // --- FC tail: 1.5D model-parallel over Pr (LM layers) ------------------
-    for (auto& l : fcs) {
-      l.x = x;
-      const Matrix y_local = tensor::matmul(l.w, x);
-      auto gathered = l.d_out % static_cast<std::size_t>(grid.pr) == 0
-                          ? model_group.allgather(y_local.span())
-                          : model_group.allgatherv(y_local.span());
-      l.y_pre = Matrix::from_data(l.d_out, b_loc, std::move(gathered));
-      if (l.relu_after) {
-        Matrix y(l.d_out, b_loc);
-        tensor::relu_forward(l.y_pre.span(), y.span());
-        x = std::move(y);
-      } else {
-        x = l.y_pre;
-      }
-    }
-
-    const nn::LossResult lr =
-        nn::softmax_cross_entropy(x, batch.labels, cfg.batch);
-    result.losses.push_back(sum_scalar(comm, lr.loss_sum) /
-                            static_cast<double>(grid.pr) /
-                            static_cast<double>(cfg.batch));
-
-    // --- FC backward --------------------------------------------------------
-    Matrix dx = lr.dlogits;
-    for (std::size_t li = fcs.size(); li-- > 0;) {
-      auto& l = fcs[li];
-      Matrix dy_pre;
-      if (l.relu_after) {
-        dy_pre = Matrix(l.d_out, b_loc);
-        tensor::relu_backward(l.y_pre.span(), dx.span(), dy_pre.span());
-      } else {
-        dy_pre = std::move(dx);
-      }
-      const Matrix dy_block = dy_pre.row_block(l.rows.lo, l.rows.hi);
-      tensor::gemm_nt(dy_block, l.x, l.dw);
-      if (grid.pc > 1) batch_group.allreduce(l.dw.span());
-      // Unlike the FC-only trainer, the first FC layer's ∆X is still needed
-      // to backpropagate into the conv stack.
-      Matrix dxl = tensor::matmul_tn(l.w, dy_block);
-      if (grid.pr > 1) model_group.allreduce(dxl.span());
-      dx = std::move(dxl);
-    }
-
-    // --- conv backward: slice my slab rows, domain backward, ∆W all-reduce
-    //     over ALL processes (weights are replicated everywhere) ------------
-    const auto& gl = convs.back().geom;
-    Tensor4 full_ddx = detail::matrix_to_tensor(dx, gl.out_c, img_h, gl.in_w);
-    Tensor4 dslab = full_ddx.height_slab(rows.lo, rows.hi);
-    for (std::size_t li = convs.size(); li-- > 0;) {
-      auto& l = convs[li];
-      dslab = detail::domain_conv_backward(model_group, l, std::move(dslab));
-      comm.allreduce(l.dw.span());
-    }
-
-    for (auto& l : convs)
-      sgd_update(l.w.span(), l.dw.span(), l.vel.span(), nn::lr_at(cfg, it), cfg.momentum);
-    for (auto& l : fcs)
-      sgd_update(l.w.span(), l.dw.span(), l.vel.span(), nn::lr_at(cfg, it), cfg.momentum);
-  }
-
-  for (const auto& l : convs)
-    result.params.insert(result.params.end(), l.w.span().begin(),
-                         l.w.span().end());
-  for (auto& l : fcs) {
-    auto full = l.d_out % static_cast<std::size_t>(grid.pr) == 0
-                    ? model_group.allgather(l.w.span())
-                    : model_group.allgatherv(l.w.span());
-    result.params.insert(result.params.end(), full.begin(), full.end());
-  }
-  return result;
+  return engine.train(data, cfg);
 }
 
 }  // namespace mbd::parallel

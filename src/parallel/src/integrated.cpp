@@ -1,34 +1,18 @@
 #include "mbd/parallel/integrated.hpp"
 
-#include <cmath>
+#include <memory>
 
-#include "mbd/nn/loss.hpp"
+#include "mbd/parallel/layer_engine.hpp"
 #include "mbd/support/check.hpp"
-#include "mbd/tensor/gemm.hpp"
-#include "mbd/tensor/ops.hpp"
 
 namespace mbd::parallel {
-
-using tensor::Matrix;
-
-namespace {
-
-struct GridLayer {
-  std::size_t d_in = 0, d_out = 0;
-  bool relu_after = false;
-  Range rows;         // owned rows of W (block over Pr)
-  Matrix w, dw, vel;  // rows.size() × d_in
-  Matrix x;      // input, d_in × (B/Pc)
-  Matrix y_pre;  // gathered pre-activation, d_out × (B/Pc)
-};
-
-}  // namespace
 
 DistResult train_integrated_15d(comm::Comm& comm, GridShape grid,
                                 const std::vector<nn::LayerSpec>& specs,
                                 const nn::Dataset& data,
                                 const nn::TrainConfig& cfg,
-                                std::uint64_t seed) {
+                                std::uint64_t seed, ReduceMode mode,
+                                double seconds_per_flop) {
   MBD_CHECK_EQ(grid.pr * grid.pc, comm.size());
   MBD_CHECK_LE(static_cast<std::size_t>(grid.pc), cfg.batch);
   const int rank = comm.rank();
@@ -41,97 +25,36 @@ DistResult train_integrated_15d(comm::Comm& comm, GridShape grid,
   MBD_CHECK_EQ(model_group.size(), grid.pr);
   MBD_CHECK_EQ(batch_group.size(), grid.pc);
 
-  // This process holds the batch columns of its Pc block (uneven splits OK).
-  const Range batch_cols = block_range(cfg.batch, grid.pc, col);
-  const std::size_t b_loc = batch_cols.size();
+  // This process holds the batch columns of its Pc block (uneven splits OK);
+  // each column group's loss partial is replicated Pr times.
+  StepSchedule sched;
+  sched.input_cols = block_range(cfg.batch, grid.pc, col);
+  sched.label_cols = sched.input_cols;
+  sched.sum_loss = true;
+  sched.loss_replicas = grid.pr;
+  sched.mode = mode;
+  sched.seconds_per_flop = seconds_per_flop;
+  LayerEngine engine(comm, sched);
 
-  std::vector<GridLayer> layers;
   Rng rng(seed);
+  bool first = true;
   for (const auto& s : specs) {
     MBD_CHECK_MSG(s.kind == nn::LayerKind::FullyConnected,
                   "1.5D trainer supports MLPs only; '" << s.name
                                                        << "' is not FC");
-    GridLayer l;
-    l.d_in = s.fc_in;
-    l.d_out = s.fc_out;
-    l.relu_after = s.relu_after;
-    l.rows = block_range(s.fc_out, grid.pr, row);
-    const Matrix full = Matrix::random_normal(
-        s.fc_out, s.fc_in, rng, std::sqrt(2.0f / static_cast<float>(s.fc_in)));
-    l.w = full.row_block(l.rows.lo, l.rows.hi);
-    l.dw = Matrix(l.w.rows(), l.w.cols());
-    l.vel = Matrix(l.w.rows(), l.w.cols());
-    layers.push_back(std::move(l));
+    FcStage::Config c;
+    c.d_in = s.fc_in;
+    c.d_out = s.fc_out;
+    c.relu_after = s.relu_after;
+    c.model_group = &model_group;
+    c.batch_group = &batch_group;
+    c.rows = block_range(s.fc_out, grid.pr, row);
+    c.compute_dx = !first;
+    first = false;
+    engine.add_stage(std::make_unique<FcStage>(
+        c, he_init_rows(s.fc_out, s.fc_in, rng, c.rows)));
   }
-
-  DistResult result;
-  result.losses.reserve(cfg.iterations);
-  for (std::size_t it = 0; it < cfg.iterations; ++it) {
-    const std::size_t start = (it * cfg.batch) % data.size();
-    BatchSlice batch = batch_slice(data, start + batch_cols.lo, b_loc);
-
-    // Forward (Fig. 5 top).
-    Matrix x = std::move(batch.inputs);
-    for (auto& l : layers) {
-      l.x = x;
-      const Matrix y_local = tensor::matmul(l.w, x);
-      auto gathered = l.d_out % static_cast<std::size_t>(grid.pr) == 0
-                          ? model_group.allgather(y_local.span())
-                          : model_group.allgatherv(y_local.span());
-      l.y_pre = Matrix::from_data(l.d_out, b_loc, std::move(gathered));
-      if (l.relu_after) {
-        Matrix y(l.d_out, b_loc);
-        tensor::relu_forward(l.y_pre.span(), y.span());
-        x = std::move(y);
-      } else {
-        x = l.y_pre;
-      }
-    }
-
-    // Loss over local columns; gradient already scaled by 1/B (global).
-    const nn::LossResult lr =
-        nn::softmax_cross_entropy(x, batch.labels, cfg.batch);
-    // Each column group's partial is replicated Pr times; divide it out.
-    result.losses.push_back(sum_scalar(comm, lr.loss_sum) /
-                            static_cast<double>(grid.pr) /
-                            static_cast<double>(cfg.batch));
-
-    // Backward (Fig. 5 middle/bottom).
-    Matrix dx = lr.dlogits;
-    for (std::size_t li = layers.size(); li-- > 0;) {
-      auto& l = layers[li];
-      Matrix dy_pre;
-      if (l.relu_after) {
-        dy_pre = Matrix(l.d_out, b_loc);
-        tensor::relu_backward(l.y_pre.span(), dx.span(), dy_pre.span());
-      } else {
-        dy_pre = std::move(dx);
-      }
-      const Matrix dy_block = dy_pre.row_block(l.rows.lo, l.rows.hi);
-      // ∆W: partial over local columns, all-reduce over the Pc group.
-      tensor::gemm_nt(dy_block, l.x, l.dw);
-      if (grid.pc > 1) batch_group.allreduce(l.dw.span());
-      if (li > 0) {
-        // ∆X: partial over owned rows, all-reduce over the Pr group.
-        Matrix dxl = tensor::matmul_tn(l.w, dy_block);
-        if (grid.pr > 1) model_group.allreduce(dxl.span());
-        dx = std::move(dxl);
-      }
-    }
-
-    for (auto& l : layers)
-      sgd_update(l.w.span(), l.dw.span(), l.vel.span(), nn::lr_at(cfg, it), cfg.momentum);
-  }
-
-  // Assemble full parameters: gather the row blocks over the model group
-  // (identical across the batch group by construction).
-  for (auto& l : layers) {
-    auto full = l.d_out % static_cast<std::size_t>(grid.pr) == 0
-                    ? model_group.allgather(l.w.span())
-                    : model_group.allgatherv(l.w.span());
-    result.params.insert(result.params.end(), full.begin(), full.end());
-  }
-  return result;
+  return engine.train(data, cfg);
 }
 
 }  // namespace mbd::parallel

@@ -1,0 +1,406 @@
+#include "mbd/parallel/layer_engine.hpp"
+
+#include "mbd/nn/loss.hpp"
+#include "mbd/support/check.hpp"
+#include "mbd/tensor/gemm.hpp"
+#include "mbd/tensor/ops.hpp"
+
+namespace mbd::parallel {
+
+using tensor::Matrix;
+using tensor::Tensor4;
+
+// ---------------------------------------------------------------------------
+// StepContext / GradReducer
+// ---------------------------------------------------------------------------
+
+void StepContext::annotate(double flops) const {
+  if (seconds_per_flop > 0.0 && flops > 0.0)
+    world->annotate_compute(flops * seconds_per_flop);
+}
+
+void GradReducer::allreduce(comm::Comm& group, std::span<float> grads) {
+  if (mode_ == ReduceMode::Blocking) {
+    group.allreduce(grads);
+    return;
+  }
+  pending_.push_back(group.iallreduce(grads));
+}
+
+void GradReducer::drain() {
+  for (auto& h : pending_) h.wait();
+  pending_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// FcStage
+// ---------------------------------------------------------------------------
+
+FcStage::FcStage(const Config& cfg, Matrix w) : cfg_(cfg), w_(std::move(w)) {
+  MBD_CHECK_EQ(w_.rows(), cfg_.rows.size());
+  MBD_CHECK_EQ(w_.cols(), cfg_.d_in);
+  dw_ = Matrix(w_.rows(), w_.cols());
+  vel_ = Matrix(w_.rows(), w_.cols());
+}
+
+Flow FcStage::forward(Flow in, const StepContext& ctx) {
+  x_ = std::move(in.as_matrix());
+  MBD_CHECK_EQ(x_.rows(), cfg_.d_in);
+  const std::size_t b = x_.cols();
+  Matrix y_local = tensor::matmul(w_, x_);  // rows.size() × b
+  ctx.annotate(2.0 * static_cast<double>(w_.rows() * w_.cols() * b));
+  if (cfg_.model_group) {
+    // All-gather the row blocks into the full Y (Fig. 1 / Fig. 5 top): Bruck
+    // for equal blocks, ring all-gatherv when Pr does not divide d_out.
+    const auto pr = static_cast<std::size_t>(cfg_.model_group->size());
+    auto gathered = cfg_.d_out % pr == 0
+                        ? cfg_.model_group->allgather(y_local.span())
+                        : cfg_.model_group->allgatherv(y_local.span());
+    y_pre_ = Matrix::from_data(cfg_.d_out, b, std::move(gathered));
+  } else {
+    y_pre_ = std::move(y_local);
+  }
+  if (cfg_.relu_after) {
+    Matrix y(cfg_.d_out, b);
+    tensor::relu_forward(y_pre_.span(), y.span());
+    return Flow::from_matrix(std::move(y));
+  }
+  return Flow::from_matrix(y_pre_);
+}
+
+Flow FcStage::backward(Flow grad, const StepContext& ctx, GradReducer& red) {
+  const std::size_t b = x_.cols();
+  Matrix dy_pre;
+  if (cfg_.relu_after) {
+    dy_pre = Matrix(cfg_.d_out, b);
+    tensor::relu_backward(y_pre_.span(), grad.as_matrix().span(),
+                          dy_pre.span());
+  } else {
+    dy_pre = std::move(grad.as_matrix());
+  }
+  Matrix dy_owned;
+  const Matrix* dy_block = &dy_pre;
+  if (cfg_.model_group) {
+    dy_owned = dy_pre.row_block(cfg_.rows.lo, cfg_.rows.hi);
+    dy_block = &dy_owned;
+  }
+  const double gemm_flops =
+      2.0 * static_cast<double>(w_.rows() * w_.cols() * b);
+
+  const bool reduce_dx =
+      cfg_.compute_dx && cfg_.model_group && cfg_.model_group->size() > 1;
+  if (ctx.mode == ReduceMode::Overlapped && reduce_dx) {
+    // ∆X first: issue its ring all-reduce nonblocking and hide it behind the
+    // ∆W GEMM; the nonblocking ∆W reduction then drains behind the layers
+    // below. Same ring schedule as the blocking branch — bitwise-identical
+    // results and identical traffic.
+    Matrix dxl = tensor::matmul_tn(w_, *dy_block);
+    ctx.annotate(gemm_flops);
+    comm::CollectiveHandle dx_reduce =
+        cfg_.model_group->iallreduce(dxl.span());
+    tensor::gemm_nt(*dy_block, x_, dw_);
+    ctx.annotate(gemm_flops);
+    if (cfg_.batch_group && cfg_.batch_group->size() > 1)
+      red.allreduce(*cfg_.batch_group, dw_.span());
+    dx_reduce.wait();
+    return Flow::from_matrix(std::move(dxl));
+  }
+
+  // Blocking schedule: ∆W (partial over local columns, reduced over the
+  // batch group), then ∆X (partial over owned rows, reduced over the model
+  // group).
+  tensor::gemm_nt(*dy_block, x_, dw_);
+  ctx.annotate(gemm_flops);
+  if (cfg_.batch_group && cfg_.batch_group->size() > 1)
+    red.allreduce(*cfg_.batch_group, dw_.span());
+  if (!cfg_.compute_dx) return {};
+  Matrix dxl = tensor::matmul_tn(w_, *dy_block);
+  ctx.annotate(gemm_flops);
+  if (reduce_dx) cfg_.model_group->allreduce(dxl.span());
+  return Flow::from_matrix(std::move(dxl));
+}
+
+void FcStage::update(float lr, float momentum) {
+  sgd_update(w_.span(), dw_.span(), vel_.span(), lr, momentum);
+}
+
+void FcStage::collect_params(std::vector<float>& out) {
+  if (!cfg_.model_group) {
+    out.insert(out.end(), w_.span().begin(), w_.span().end());
+    return;
+  }
+  const auto pr = static_cast<std::size_t>(cfg_.model_group->size());
+  auto full = cfg_.d_out % pr == 0 ? cfg_.model_group->allgather(w_.span())
+                                   : cfg_.model_group->allgatherv(w_.span());
+  out.insert(out.end(), full.begin(), full.end());
+}
+
+// ---------------------------------------------------------------------------
+// NetworkStage
+// ---------------------------------------------------------------------------
+
+NetworkStage::NetworkStage(nn::Network net, comm::Comm* reduce_group)
+    : net_(std::move(net)), reduce_group_(reduce_group) {}
+
+void NetworkStage::begin_iteration(const StepContext& ctx) {
+  net_.set_batch_context(ctx.iteration, ctx.first_sample);
+}
+
+Flow NetworkStage::forward(Flow in, const StepContext& /*ctx*/) {
+  return Flow::from_matrix(net_.forward(in.as_matrix()));
+}
+
+Flow NetworkStage::backward(Flow grad, const StepContext& /*ctx*/,
+                            GradReducer& red) {
+  Matrix din = net_.backward(grad.as_matrix());
+  // The defining communication step: ring all-reduce of every ∆W.
+  for (std::size_t li = 0; li < net_.num_layers(); ++li) {
+    auto g = net_.layer(li).grads();
+    if (!g.empty()) red.allreduce(*reduce_group_, g);
+  }
+  return Flow::from_matrix(std::move(din));
+}
+
+void NetworkStage::update(float lr, float momentum) {
+  net_.sgd_step(lr, momentum);
+}
+
+void NetworkStage::collect_params(std::vector<float>& out) {
+  const auto p = net_.save_params();
+  out.insert(out.end(), p.begin(), p.end());
+}
+
+// ---------------------------------------------------------------------------
+// ConvStackStage
+// ---------------------------------------------------------------------------
+
+ConvStackStage::ConvStackStage(std::vector<std::unique_ptr<nn::Layer>> layers,
+                               std::size_t d_out, comm::Comm* reduce_group)
+    : layers_(std::move(layers)), d_out_(d_out), reduce_group_(reduce_group) {
+  vel_.resize(layers_.size());
+  for (std::size_t li = 0; li < layers_.size(); ++li)
+    vel_[li].assign(layers_[li]->weights().size(), 0.0f);
+}
+
+Flow ConvStackStage::forward(Flow in, const StepContext& /*ctx*/) {
+  Matrix x = std::move(in.as_matrix());
+  for (auto& l : layers_) x = l->forward(x);
+  MBD_CHECK_EQ(x.rows(), d_out_);
+  return Flow::from_matrix(std::move(x));
+}
+
+Flow ConvStackStage::backward(Flow grad, const StepContext& /*ctx*/,
+                              GradReducer& red) {
+  Matrix dx = std::move(grad.as_matrix());
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    dx = (*it)->backward(dx);
+  for (auto& l : layers_) {
+    auto g = l->grads();
+    if (!g.empty()) red.allreduce(*reduce_group_, g);
+  }
+  return Flow::from_matrix(std::move(dx));
+}
+
+void ConvStackStage::update(float lr, float momentum) {
+  for (std::size_t li = 0; li < layers_.size(); ++li)
+    sgd_update(layers_[li]->weights(), layers_[li]->grads(), vel_[li], lr,
+               momentum);
+}
+
+void ConvStackStage::collect_params(std::vector<float>& out) {
+  for (auto& l : layers_) {
+    auto w = l->weights();
+    out.insert(out.end(), w.begin(), w.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DomainConvStage
+// ---------------------------------------------------------------------------
+
+DomainConvStage::DomainConvStage(detail::DomainConvState state,
+                                 comm::Comm* conv_group,
+                                 comm::Comm* reduce_group)
+    : st_(std::move(state)),
+      conv_group_(conv_group),
+      reduce_group_(reduce_group) {}
+
+Flow DomainConvStage::forward(Flow in, const StepContext& /*ctx*/) {
+  return Flow::from_tensor(
+      detail::domain_conv_forward(*conv_group_, st_, in.as_tensor()));
+}
+
+Flow DomainConvStage::backward(Flow grad, const StepContext& /*ctx*/,
+                               GradReducer& red) {
+  Tensor4 dslab = detail::domain_conv_backward(*conv_group_, st_,
+                                               std::move(grad.as_tensor()));
+  // ∆W all-reduce over every process that shares the (replicated) weights,
+  // interleaved per layer exactly like the halo exchanges.
+  red.allreduce(*reduce_group_, st_.dw.span());
+  return Flow::from_tensor(std::move(dslab));
+}
+
+void DomainConvStage::update(float lr, float momentum) {
+  sgd_update(st_.w.span(), st_.dw.span(), st_.vel.span(), lr, momentum);
+}
+
+void DomainConvStage::collect_params(std::vector<float>& out) {
+  out.insert(out.end(), st_.w.span().begin(), st_.w.span().end());
+}
+
+// ---------------------------------------------------------------------------
+// SlabScatterStage / SlabGatherStage
+// ---------------------------------------------------------------------------
+
+SlabScatterStage::SlabScatterStage(std::size_t in_c, std::size_t in_h,
+                                   std::size_t in_w, Range rows)
+    : in_c_(in_c), in_h_(in_h), in_w_(in_w), rows_(rows) {}
+
+Flow SlabScatterStage::forward(Flow in, const StepContext& /*ctx*/) {
+  const Tensor4 full =
+      detail::matrix_to_tensor(in.as_matrix(), in_c_, in_h_, in_w_);
+  return Flow::from_tensor(full.height_slab(rows_.lo, rows_.hi));
+}
+
+Flow SlabScatterStage::backward(Flow /*grad*/, const StepContext& /*ctx*/,
+                                GradReducer& /*red*/) {
+  return {};  // the data layer needs no input gradient
+}
+
+SlabGatherStage::SlabGatherStage(comm::Comm* group, std::size_t out_c,
+                                 std::size_t img_h, std::size_t img_w,
+                                 Range rows)
+    : group_(group), out_c_(out_c), img_h_(img_h), img_w_(img_w), rows_(rows) {}
+
+Flow SlabGatherStage::forward(Flow in, const StepContext& /*ctx*/) {
+  const Tensor4 full = detail::gather_slabs(*group_, in.as_tensor(), img_h_);
+  return Flow::from_matrix(detail::tensor_to_matrix(full));
+}
+
+Flow SlabGatherStage::backward(Flow grad, const StepContext& /*ctx*/,
+                               GradReducer& /*red*/) {
+  const Tensor4 full =
+      detail::matrix_to_tensor(grad.as_matrix(), out_c_, img_h_, img_w_);
+  return Flow::from_tensor(full.height_slab(rows_.lo, rows_.hi));
+}
+
+// ---------------------------------------------------------------------------
+// RedistributeStage
+// ---------------------------------------------------------------------------
+
+RedistributeStage::RedistributeStage(comm::Comm* model_group, int world_size,
+                                     int pr, int col, std::size_t d_out,
+                                     Range group_cols, Range conv_cols)
+    : model_group_(model_group),
+      world_size_(world_size),
+      pr_(pr),
+      col_(col),
+      d_out_(d_out),
+      group_cols_(group_cols),
+      conv_cols_(conv_cols) {}
+
+Flow RedistributeStage::forward(Flow in, const StepContext& ctx) {
+  Matrix& x = in.as_matrix();
+  MBD_CHECK_EQ(x.rows(), d_out_);
+  // Eq. 6: all-gather the conv-phase blocks within the model group, then
+  // reassemble them in batch-column order (block j·Pr + i of the canonical
+  // P-way partition tiles this group's B/Pc column range exactly).
+  Matrix x_group(d_out_, group_cols_.size());
+  auto gathered = model_group_->allgatherv(x.span());
+  MBD_CHECK_EQ(gathered.size(), d_out_ * group_cols_.size());
+  std::size_t at = 0, col_at = 0;
+  for (int m = 0; m < pr_; ++m) {
+    const Range mc = block_range(ctx.batch, world_size_, col_ * pr_ + m);
+    const Matrix block = Matrix::from_data(
+        d_out_, mc.size(),
+        {gathered.begin() + static_cast<std::ptrdiff_t>(at),
+         gathered.begin() +
+             static_cast<std::ptrdiff_t>(at + d_out_ * mc.size())});
+    x_group.set_col_block(col_at, block);
+    at += d_out_ * mc.size();
+    col_at += mc.size();
+  }
+  return Flow::from_matrix(std::move(x_group));
+}
+
+Flow RedistributeStage::backward(Flow grad, const StepContext& /*ctx*/,
+                                 GradReducer& /*red*/) {
+  // Slice this rank's conv-phase columns back out of the group gradient.
+  return Flow::from_matrix(grad.as_matrix().col_block(
+      conv_cols_.lo - group_cols_.lo, conv_cols_.hi - group_cols_.lo));
+}
+
+// ---------------------------------------------------------------------------
+// LayerEngine
+// ---------------------------------------------------------------------------
+
+LayerEngine::LayerEngine(comm::Comm& world, StepSchedule sched)
+    : world_(&world), sched_(sched) {
+  MBD_CHECK_LE(sched_.input_cols.lo, sched_.input_cols.hi);
+  MBD_CHECK_GT(sched_.loss_replicas, 0);
+}
+
+void LayerEngine::add_stage(std::unique_ptr<EngineStage> stage) {
+  stages_.push_back(std::move(stage));
+}
+
+DistResult LayerEngine::train(const nn::Dataset& data,
+                              const nn::TrainConfig& cfg) {
+  MBD_CHECK(!stages_.empty());
+  const bool labels_match =
+      sched_.label_cols.lo == sched_.input_cols.lo &&
+      sched_.label_cols.hi == sched_.input_cols.hi;
+
+  DistResult result;
+  result.losses.reserve(cfg.iterations);
+  for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    const std::size_t start = (it * cfg.batch) % data.size();
+    StepContext ctx;
+    ctx.iteration = it;
+    ctx.batch = cfg.batch;
+    ctx.first_sample = start + sched_.input_cols.lo;
+    ctx.world = world_;
+    ctx.mode = sched_.mode;
+    ctx.seconds_per_flop = sched_.seconds_per_flop;
+
+    BatchSlice in = batch_slice(data, start + sched_.input_cols.lo,
+                                sched_.input_cols.size());
+    std::vector<int> labels =
+        labels_match ? std::move(in.labels)
+                     : batch_slice(data, start + sched_.label_cols.lo,
+                                   sched_.label_cols.size())
+                           .labels;
+
+    for (auto& s : stages_) s->begin_iteration(ctx);
+    Flow f = Flow::from_matrix(std::move(in.inputs));
+    for (auto& s : stages_) f = s->forward(std::move(f), ctx);
+
+    // Loss over this rank's columns; the gradient is already scaled by 1/B
+    // (global), so the ∆W reductions recover the full mini-batch gradient.
+    const nn::LossResult lr =
+        nn::softmax_cross_entropy(f.as_matrix(), labels, cfg.batch);
+    double loss = lr.loss_sum;
+    if (sched_.sum_loss) loss = sum_scalar(*world_, loss);
+    result.losses.push_back(loss / sched_.loss_replicas /
+                            static_cast<double>(cfg.batch));
+
+    GradReducer red(sched_.mode);
+    Flow g = Flow::from_matrix(lr.dlogits);
+    for (std::size_t si = stages_.size(); si-- > 0;) {
+      g = stages_[si]->backward(std::move(g), ctx, red);
+    }
+    // No polling between stages: each handle's receives run inside drain(),
+    // in initiation order, so the recorded trace is a deterministic program
+    // order. The overlap is still real — every peer's sends were posted at
+    // initiation, so by drain time the rounds are already in the mailbox.
+    red.drain();
+
+    const float rate = nn::lr_at(cfg, it);
+    for (auto& s : stages_) s->update(rate, cfg.momentum);
+  }
+
+  for (auto& s : stages_) s->collect_params(result.params);
+  return result;
+}
+
+}  // namespace mbd::parallel

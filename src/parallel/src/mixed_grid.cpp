@@ -1,34 +1,20 @@
 #include "mbd/parallel/mixed_grid.hpp"
 
-#include <cmath>
 #include <memory>
 
 #include "mbd/nn/layers.hpp"
-#include "mbd/nn/loss.hpp"
+#include "mbd/parallel/layer_engine.hpp"
 #include "mbd/support/check.hpp"
-#include "mbd/tensor/gemm.hpp"
-#include "mbd/tensor/ops.hpp"
 
 namespace mbd::parallel {
 
 using tensor::Matrix;
 
-namespace {
-
-struct FcGridLayer {
-  std::size_t d_in = 0, d_out = 0;
-  bool relu_after = false;
-  Range rows;
-  Matrix w, dw, vel;
-  Matrix x, y_pre;
-};
-
-}  // namespace
-
 DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
                             const std::vector<nn::LayerSpec>& specs,
                             const nn::Dataset& data,
-                            const nn::TrainConfig& cfg, std::uint64_t seed) {
+                            const nn::TrainConfig& cfg, std::uint64_t seed,
+                            ReduceMode mode) {
   const int p = comm.size();
   MBD_CHECK_EQ(grid.pr * grid.pc, p);
   MBD_CHECK_LE(static_cast<std::size_t>(p), cfg.batch);
@@ -51,7 +37,8 @@ DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
 
   // --- build: conv/pool prefix (full weights) + FC grid suffix -----------
   std::vector<std::unique_ptr<nn::Layer>> conv_stack;
-  std::vector<FcGridLayer> fcs;
+  std::vector<FcStage::Config> fc_cfgs;
+  std::vector<Matrix> fc_weights;
   Rng rng(seed);
   std::size_t d_conv_out = 0;
   bool seen_fc = false;
@@ -73,143 +60,45 @@ DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
       }
       case nn::LayerKind::FullyConnected: {
         seen_fc = true;
-        FcGridLayer l;
-        l.d_in = s.fc_in;
-        l.d_out = s.fc_out;
-        l.relu_after = s.relu_after;
-        l.rows = block_range(s.fc_out, grid.pr, row);
-        const Matrix full = Matrix::random_normal(
-            s.fc_out, s.fc_in, rng,
-            std::sqrt(2.0f / static_cast<float>(s.fc_in)));
-        l.w = full.row_block(l.rows.lo, l.rows.hi);
-        l.dw = Matrix(l.w.rows(), l.w.cols());
-        l.vel = Matrix(l.w.rows(), l.w.cols());
-        fcs.push_back(std::move(l));
+        FcStage::Config c;
+        c.d_in = s.fc_in;
+        c.d_out = s.fc_out;
+        c.relu_after = s.relu_after;
+        c.model_group = &model_group;
+        c.batch_group = &batch_group;
+        c.rows = block_range(s.fc_out, grid.pr, row);
+        // ∆X needed for every layer — the conv stack sits below the first
+        // FC.
+        c.compute_dx = true;
+        fc_cfgs.push_back(c);
+        fc_weights.push_back(he_init_rows(s.fc_out, s.fc_in, rng, c.rows));
         break;
       }
     }
   }
   MBD_CHECK(!conv_stack.empty());
-  MBD_CHECK(!fcs.empty());
-  MBD_CHECK_EQ(d_conv_out, fcs.front().d_in);
-  // Momentum velocity buffers for the conv stack (layer order).
-  std::vector<std::vector<float>> conv_vel(conv_stack.size());
-  for (std::size_t li = 0; li < conv_stack.size(); ++li)
-    conv_vel[li].assign(conv_stack[li]->weights().size(), 0.0f);
+  MBD_CHECK(!fc_cfgs.empty());
+  MBD_CHECK_EQ(d_conv_out, fc_cfgs.front().d_in);
 
-  DistResult result;
-  result.losses.reserve(cfg.iterations);
-  for (std::size_t it = 0; it < cfg.iterations; ++it) {
-    const std::size_t start = (it * cfg.batch) % data.size();
-    BatchSlice batch = batch_slice(data, start + conv_cols.lo,
-                                   conv_cols.size());
+  // The conv phase runs on this rank's B/P columns; the loss (and the FC
+  // phase) on its group's B/Pc columns, replicated Pr times.
+  StepSchedule sched;
+  sched.input_cols = conv_cols;
+  sched.label_cols = group_cols;
+  sched.sum_loss = true;
+  sched.loss_replicas = grid.pr;
+  sched.mode = mode;
+  LayerEngine engine(comm, sched);
 
-    // --- conv phase: pure batch parallel, B/P samples, full weights -------
-    Matrix x = std::move(batch.inputs);
-    for (auto& l : conv_stack) x = l->forward(x);
-    MBD_CHECK_EQ(x.rows(), d_conv_out);
+  engine.add_stage(std::make_unique<ConvStackStage>(std::move(conv_stack),
+                                                    d_conv_out, &comm));
+  engine.add_stage(std::make_unique<RedistributeStage>(
+      &model_group, p, grid.pr, col, d_conv_out, group_cols, conv_cols));
+  for (std::size_t li = 0; li < fc_cfgs.size(); ++li)
+    engine.add_stage(
+        std::make_unique<FcStage>(fc_cfgs[li], std::move(fc_weights[li])));
 
-    // --- Eq. 6 redistribution: all-gather the conv blocks within the model
-    //     group so everyone holds the group's B/Pc columns ------------------
-    Matrix x_group(d_conv_out, group_cols.size());
-    {
-      auto gathered = model_group.allgatherv(x.span());
-      MBD_CHECK_EQ(gathered.size(), d_conv_out * group_cols.size());
-      std::size_t at = 0, col_at = 0;
-      for (int m = 0; m < grid.pr; ++m) {
-        const Range mc =
-            block_range(cfg.batch, p, col * grid.pr + m);
-        const Matrix block = Matrix::from_data(
-            d_conv_out, mc.size(),
-            {gathered.begin() + static_cast<std::ptrdiff_t>(at),
-             gathered.begin() +
-                 static_cast<std::ptrdiff_t>(at + d_conv_out * mc.size())});
-        x_group.set_col_block(col_at, block);
-        at += d_conv_out * mc.size();
-        col_at += mc.size();
-      }
-    }
-
-    // Labels for the whole group's columns.
-    const BatchSlice group_batch =
-        batch_slice(data, start + group_cols.lo, group_cols.size());
-
-    // --- FC phase: 1.5D on the Pr × Pc grid --------------------------------
-    Matrix xg = std::move(x_group);
-    for (auto& l : fcs) {
-      l.x = xg;
-      const Matrix y_local = tensor::matmul(l.w, xg);
-      auto gathered = l.d_out % static_cast<std::size_t>(grid.pr) == 0
-                          ? model_group.allgather(y_local.span())
-                          : model_group.allgatherv(y_local.span());
-      l.y_pre = Matrix::from_data(l.d_out, group_cols.size(),
-                                  std::move(gathered));
-      if (l.relu_after) {
-        Matrix y(l.d_out, group_cols.size());
-        tensor::relu_forward(l.y_pre.span(), y.span());
-        xg = std::move(y);
-      } else {
-        xg = l.y_pre;
-      }
-    }
-
-    const nn::LossResult lr =
-        nn::softmax_cross_entropy(xg, group_batch.labels, cfg.batch);
-    result.losses.push_back(sum_scalar(comm, lr.loss_sum) /
-                            static_cast<double>(grid.pr) /
-                            static_cast<double>(cfg.batch));
-
-    // --- FC backward --------------------------------------------------------
-    Matrix dxg = lr.dlogits;
-    for (std::size_t li = fcs.size(); li-- > 0;) {
-      auto& l = fcs[li];
-      Matrix dy_pre;
-      if (l.relu_after) {
-        dy_pre = Matrix(l.d_out, group_cols.size());
-        tensor::relu_backward(l.y_pre.span(), dxg.span(), dy_pre.span());
-      } else {
-        dy_pre = std::move(dxg);
-      }
-      const Matrix dy_block = dy_pre.row_block(l.rows.lo, l.rows.hi);
-      tensor::gemm_nt(dy_block, l.x, l.dw);
-      if (grid.pc > 1) batch_group.allreduce(l.dw.span());
-      // ∆X needed for every layer — the conv stack sits below the first FC.
-      Matrix dxl = tensor::matmul_tn(l.w, dy_block);
-      if (grid.pr > 1) model_group.allreduce(dxl.span());
-      dxg = std::move(dxl);
-    }
-
-    // --- conv backward: slice my columns back out of the group gradient ---
-    Matrix dx_local =
-        dxg.col_block(conv_cols.lo - group_cols.lo,
-                      conv_cols.hi - group_cols.lo);
-    for (auto it_l = conv_stack.rbegin(); it_l != conv_stack.rend(); ++it_l)
-      dx_local = (*it_l)->backward(dx_local);
-    for (auto& l : conv_stack) {
-      auto g = l->grads();
-      if (!g.empty()) comm.allreduce(g);
-    }
-
-    // --- SGD step -----------------------------------------------------------
-    for (std::size_t li = 0; li < conv_stack.size(); ++li) {
-      sgd_update(conv_stack[li]->weights(), conv_stack[li]->grads(),
-                 conv_vel[li], nn::lr_at(cfg, it), cfg.momentum);
-    }
-    for (auto& l : fcs)
-      sgd_update(l.w.span(), l.dw.span(), l.vel.span(), nn::lr_at(cfg, it), cfg.momentum);
-  }
-
-  for (auto& l : conv_stack) {
-    auto w = l->weights();
-    result.params.insert(result.params.end(), w.begin(), w.end());
-  }
-  for (auto& l : fcs) {
-    auto full = l.d_out % static_cast<std::size_t>(grid.pr) == 0
-                    ? model_group.allgather(l.w.span())
-                    : model_group.allgatherv(l.w.span());
-    result.params.insert(result.params.end(), full.begin(), full.end());
-  }
-  return result;
+  return engine.train(data, cfg);
 }
 
 }  // namespace mbd::parallel

@@ -1,125 +1,47 @@
 #include "mbd/parallel/model_parallel.hpp"
 
-#include <cmath>
+#include <memory>
 
-#include "mbd/nn/loss.hpp"
+#include "mbd/parallel/layer_engine.hpp"
 #include "mbd/support/check.hpp"
-#include "mbd/tensor/gemm.hpp"
-#include "mbd/tensor/ops.hpp"
 
 namespace mbd::parallel {
-
-using tensor::Matrix;
-
-namespace {
-
-struct MpLayer {
-  std::size_t d_in = 0, d_out = 0;
-  bool relu_after = false;
-  Range rows;        // owned rows of W
-  Matrix w, dw, vel; // (rows.size) × d_in
-  // forward state
-  Matrix x;         // input, d_in × B (replicated)
-  Matrix y_pre;     // pre-activation output, d_out × B (replicated)
-};
-
-}  // namespace
 
 DistResult train_model_parallel(comm::Comm& comm,
                                 const std::vector<nn::LayerSpec>& specs,
                                 const nn::Dataset& data,
                                 const nn::TrainConfig& cfg,
-                                std::uint64_t seed) {
+                                std::uint64_t seed, ReduceMode mode) {
   const int p = comm.size();
   const int r = comm.rank();
 
-  std::vector<MpLayer> layers;
+  // Replicated input: the entire mini-batch on every process; the loss is
+  // computed on fully replicated logits, identical on every rank.
+  StepSchedule sched;
+  sched.input_cols = {0, cfg.batch};
+  sched.label_cols = sched.input_cols;
+  sched.mode = mode;
+  LayerEngine engine(comm, sched);
+
   Rng rng(seed);
+  bool first = true;
   for (const auto& s : specs) {
     MBD_CHECK_MSG(s.kind == nn::LayerKind::FullyConnected,
                   "model-parallel trainer supports MLPs only; '"
                       << s.name << "' is not fully connected");
-    MpLayer l;
-    l.d_in = s.fc_in;
-    l.d_out = s.fc_out;
-    l.relu_after = s.relu_after;
-    l.rows = block_range(s.fc_out, p, r);
-    // Draw the full matrix with the same stream build_network uses, then
-    // keep only the owned rows — weights match the sequential net exactly.
-    const Matrix full = Matrix::random_normal(
-        s.fc_out, s.fc_in, rng, std::sqrt(2.0f / static_cast<float>(s.fc_in)));
-    l.w = full.row_block(l.rows.lo, l.rows.hi);
-    l.dw = Matrix(l.w.rows(), l.w.cols());
-    l.vel = Matrix(l.w.rows(), l.w.cols());
-    layers.push_back(std::move(l));
+    FcStage::Config c;
+    c.d_in = s.fc_in;
+    c.d_out = s.fc_out;
+    c.relu_after = s.relu_after;
+    c.model_group = &comm;  // every weight row-partitioned over all of P
+    c.batch_group = nullptr;  // ∆W complete locally — full batch everywhere
+    c.rows = block_range(s.fc_out, p, r);
+    c.compute_dx = !first;  // the data layer needs no ∆X
+    first = false;
+    engine.add_stage(std::make_unique<FcStage>(
+        c, he_init_rows(s.fc_out, s.fc_in, rng, c.rows)));
   }
-
-  DistResult result;
-  result.losses.reserve(cfg.iterations);
-  for (std::size_t it = 0; it < cfg.iterations; ++it) {
-    const std::size_t start = (it * cfg.batch) % data.size();
-    // Replicated input: the entire mini-batch on every process.
-    BatchSlice batch = batch_slice(data, start, cfg.batch);
-
-    // Forward.
-    Matrix x = std::move(batch.inputs);
-    for (auto& l : layers) {
-      l.x = x;
-      const Matrix y_local = tensor::matmul(l.w, x);  // (d_out/P) × B
-      // All-gather the row blocks into the full Y (Fig. 1 top): Bruck for
-      // equal blocks, ring all-gatherv when d_out does not divide evenly.
-      auto gathered = l.d_out % static_cast<std::size_t>(p) == 0
-                          ? comm.allgather(y_local.span())
-                          : comm.allgatherv(y_local.span());
-      l.y_pre = Matrix::from_data(l.d_out, cfg.batch, std::move(gathered));
-      if (l.relu_after) {
-        Matrix y(l.d_out, cfg.batch);
-        tensor::relu_forward(l.y_pre.span(), y.span());
-        x = std::move(y);
-      } else {
-        x = l.y_pre;
-      }
-    }
-
-    // Loss on fully replicated logits — identical on every rank.
-    const nn::LossResult lr =
-        nn::softmax_cross_entropy(x, batch.labels, cfg.batch);
-    result.losses.push_back(lr.loss_sum / static_cast<double>(cfg.batch));
-
-    // Backward.
-    Matrix dx = lr.dlogits;  // gradient w.r.t. layer output (post-ReLU)
-    for (std::size_t li = layers.size(); li-- > 0;) {
-      auto& l = layers[li];
-      Matrix dy_pre;
-      if (l.relu_after) {
-        dy_pre = Matrix(l.d_out, cfg.batch);
-        tensor::relu_backward(l.y_pre.span(), dx.span(), dy_pre.span());
-      } else {
-        dy_pre = std::move(dx);
-      }
-      const Matrix dy_block = dy_pre.row_block(l.rows.lo, l.rows.hi);
-      // ∆W for the owned rows: complete over the batch, no communication.
-      tensor::gemm_nt(dy_block, l.x, l.dw);
-      if (li > 0) {
-        // ∆X = Wᵀ∆Y: local contribution then all-reduce (Fig. 1 bottom).
-        Matrix dxl = tensor::matmul_tn(l.w, dy_block);  // d_in × B
-        comm.allreduce(dxl.span());
-        dx = std::move(dxl);
-      }
-    }
-
-    for (auto& l : layers)
-      sgd_update(l.w.span(), l.dw.span(), l.vel.span(), nn::lr_at(cfg, it), cfg.momentum);
-  }
-
-  // Assemble full parameters: all-gather the row blocks of each W.
-  for (auto& l : layers) {
-    auto full = l.d_out % static_cast<std::size_t>(p) == 0
-                    ? comm.allgather(l.w.span())
-                    : comm.allgatherv(l.w.span());
-    result.params.insert(result.params.end(), full.begin(), full.end());
-  }
-  return result;
+  return engine.train(data, cfg);
 }
 
 }  // namespace mbd::parallel

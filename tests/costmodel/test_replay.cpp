@@ -75,6 +75,47 @@ TEST(Replay, OverlappedComputeHidesWait) {
   EXPECT_NEAR(r.rank_finish[1], 1.0 + m.alpha, 1e-12);
 }
 
+TEST(Replay, InflightPingPongMatchesStoreAndForward) {
+  // With no compute to hide behind, moving β·bytes from sender busy-time to
+  // wire time changes who pays, not the round-trip: still 4α + 2βn.
+  const auto m = machine();
+  const std::uint64_t n = 4096;
+  Trace t;
+  t.ranks.resize(2);
+  t.ranks[0] = {send(1, n, 1), recv(1, n, 2)};
+  t.ranks[1] = {recv(0, n, 1), send(0, n, 2)};
+  const auto r = replay_trace(t, m, {.inflight_transfer = true});
+  const double expect = 4.0 * m.alpha + 2.0 * m.beta * static_cast<double>(n);
+  EXPECT_NEAR(r.makespan, expect, 1e-15);
+  // The sender is only busy the injection overhead; the wire time shows up
+  // as the idle receiver's wait instead (first hop: α+βn; return hop: the
+  // original sender idled since its own α, so it waits 2α+2βn).
+  EXPECT_NEAR(r.total_send_busy, 2.0 * m.alpha, 1e-15);
+  EXPECT_NEAR(r.total_recv_wait,
+              3.0 * m.alpha + 3.0 * m.beta * static_cast<double>(n), 1e-15);
+}
+
+TEST(Replay, InflightTransferHiddenBehindCompute) {
+  // A receiver that computes past the arrival pays nothing for the wire
+  // time — the overlap the store-and-forward model cannot express.
+  const auto m = machine();
+  const std::uint64_t n = 60000;  // βn = 10 µs on cori_knl
+  const double wire = m.beta * static_cast<double>(n);
+  Trace t;
+  t.ranks.resize(2);
+  t.ranks[0] = {send(1, n, 1)};
+  t.ranks[1] = {compute(10.0 * wire), recv(0, n, 1)};
+  const auto r = replay_trace(t, m, {.inflight_transfer = true});
+  EXPECT_DOUBLE_EQ(r.total_recv_wait, 0.0);
+  EXPECT_NEAR(r.rank_finish[1], 10.0 * wire + m.alpha, 1e-12);
+
+  // The same schedule without the compute exposes the full transfer (plus
+  // the sender's injection overhead, since the receiver starts at t = 0).
+  t.ranks[1] = {recv(0, n, 1)};
+  const auto exposed = replay_trace(t, m, {.inflight_transfer = true});
+  EXPECT_NEAR(exposed.total_recv_wait, m.alpha + wire, 1e-12);
+}
+
 TEST(Replay, InconsistentTraceThrows) {
   Trace t;
   t.ranks.resize(1);
