@@ -1,0 +1,141 @@
+// Recovery-path costs, measured on the executable batch-parallel trainer:
+//
+//  * baseline        — uninterrupted training, no checkpointing
+//  * ckpt_every_1    — checkpoint after every step (worst-case cadence), so
+//                      the delta over baseline is the full snapshot cost:
+//                      two barriers plus staging every stage's weights,
+//                      velocities, and loss history into the host-side store
+//  * crash_restart   — an injected mid-run RankFailure under
+//                      World::run_restartable with checkpoint cadence 2:
+//                      fabric teardown + rebuild + restore + replay
+//
+// Per-case `ns` is total wall time for the full training run (median of
+// kReps), so crash_restart / baseline reads directly as the end-to-end cost
+// multiplier of one failure.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "mbd/comm/world.hpp"
+#include "mbd/nn/trainer.hpp"
+#include "mbd/parallel/batch_parallel.hpp"
+
+namespace {
+
+using namespace mbd;
+
+constexpr int kP = 4;
+constexpr std::size_t kIters = 12;
+constexpr int kReps = 3;
+
+struct Setup {
+  std::vector<nn::LayerSpec> specs = nn::mlp_spec({64, 128, 64, 10});
+  nn::Dataset data = nn::make_synthetic_dataset(64, 10, 96, /*seed=*/11);
+  nn::TrainConfig cfg;
+  Setup() {
+    cfg.batch = 32;
+    cfg.lr = 0.02f;
+    cfg.momentum = 0.9f;
+    cfg.iterations = kIters;
+  }
+};
+
+double elapsed_ns(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+double median_of_reps(const std::function<void()>& fn) {
+  fn();  // warm-up: thread spawn + allocator + cache effects dominate rep 0
+  std::vector<double> ns;
+  ns.reserve(kReps);
+  for (int i = 0; i < kReps; ++i) ns.push_back(elapsed_ns(fn));
+  std::sort(ns.begin(), ns.end());
+  return ns[ns.size() / 2];
+}
+
+double run_plain(const Setup& s, std::size_t ckpt_every) {
+  return median_of_reps([&] {
+    comm::World w(kP);
+    w.disable_validation();  // measure the transport, not the watchdog
+    // Fresh store each rep: a carried-over checkpoint would make later reps
+    // resume near the end instead of training the full run.
+    parallel::CheckpointStore store(kP);
+    parallel::RecoveryContext rc{&store, {.every = ckpt_every}};
+    w.run([&](comm::Comm& c) {
+      parallel::train_batch_parallel(c, s.specs, s.data, s.cfg, {},
+                                     parallel::ReduceMode::Blocking,
+                                     ckpt_every > 0 ? &rc : nullptr);
+    });
+  });
+}
+
+double run_crash_restart(const Setup& s, std::uint64_t crash_op) {
+  return median_of_reps([&] {
+    comm::World w(kP);
+    w.disable_validation();
+    comm::FaultPlan plan;
+    plan.actions.push_back({.kind = comm::FaultKind::CrashRank,
+                            .rank = 1,
+                            .op_index = crash_op});
+    w.install_faults(std::move(plan));
+    parallel::CheckpointStore store(kP);
+    parallel::RecoveryContext rc{&store, {.every = 2}};
+    w.run_restartable([&](comm::Comm& c) {
+      parallel::train_batch_parallel(c, s.specs, s.data, s.cfg, {},
+                                     parallel::ReduceMode::Blocking, &rc);
+    });
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_recovery");
+  const Setup s;
+
+  // Count one rank's transport ops with an empty-plan injector, then place
+  // the crash at the halfway point of the run.
+  std::uint64_t rank1_ops = 0;
+  {
+    comm::World w(kP);
+    w.disable_validation();
+    w.install_faults({});
+    w.run([&](comm::Comm& c) {
+      parallel::train_batch_parallel(c, s.specs, s.data, s.cfg);
+    });
+    rank1_ops = w.fault_injector()->op_count(1);
+  }
+
+  const double base_ns = run_plain(s, /*ckpt_every=*/0);
+  const double ckpt_ns = run_plain(s, /*ckpt_every=*/1);
+  const double crash_ns = run_crash_restart(s, rank1_ops / 2);
+
+  std::cout << "-- recovery costs: batch-parallel MLP 64-128-64-10, P=" << kP
+            << ", B=" << s.cfg.batch << ", " << kIters
+            << " iterations (median of " << kReps << ") --\n";
+  std::cout << std::left << std::setw(18) << "case" << std::right
+            << std::setw(14) << "total(ms)" << std::setw(14) << "vs base"
+            << '\n';
+  const auto row = [&](const std::string& name, double ns) {
+    std::cout << std::left << std::setw(18) << name << std::right
+              << std::fixed << std::setprecision(3) << std::setw(14)
+              << ns / 1e6 << std::setprecision(2) << std::setw(13)
+              << ns / base_ns << "x\n";
+    mbd::bench::record_json(name, 0, ns, 0);
+  };
+  row("baseline", base_ns);
+  row("ckpt_every_1", ckpt_ns);
+  row("crash_restart", crash_ns);
+  std::cout << "(crash at rank-1 transport op " << rank1_ops / 2 << " of "
+            << rank1_ops << "; checkpoint cadence 2 for the crash case)\n";
+  return 0;
+}

@@ -54,6 +54,7 @@ BENCHES=(
   bench_trace_replay
   bench_validation_volume
   bench_executable_scaling
+  bench_recovery
 )
 
 for name in "${BENCHES[@]}"; do

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "mbd/comm/fault.hpp"
 #include "mbd/comm/mailbox.hpp"
 #include "mbd/comm/stats.hpp"
 #include "mbd/comm/trace.hpp"
@@ -31,6 +32,12 @@ struct Fabric {
   // before rank threads exist, so the plain pointer reads during a run
   // need no synchronization.
   std::unique_ptr<Validator> validator;
+
+  // Optional fault injector: installed by World::install_faults strictly
+  // before rank threads exist (same publication rule as the validator).
+  // Shared so World::run_restartable can move it onto a fresh Fabric while
+  // its cumulative event log survives.
+  std::shared_ptr<FaultInjector> injector;
 
   bool tracing() const { return trace != nullptr; }
 

@@ -1,0 +1,228 @@
+// Deterministic fault injection for the mbd::comm runtime.
+//
+// A FaultPlan is a list of FaultActions pinned to exact (rank, op-sequence)
+// points: every send and every blocking receive a rank performs increments
+// its transport op counter, and an action fires when the counter reaches the
+// action's op_index in the action's epoch (attempt number under
+// World::run_restartable). Nothing is keyed on wall-clock time, so one seed
+// replays the same failure step, retry count, and event log on every run —
+// that is what makes recovery testable bitwise.
+//
+// Five fault kinds:
+//  * CrashRank — the rank throws RankFailure at the op, poisoning the fabric
+//    exactly like any other rank failure. World::run_restartable catches it.
+//  * DropMessage — the rank's next send is swallowed instead of delivered.
+//    The receiver's blocking pop recovers it via the timed-retry path: every
+//    retry_interval it asks the injector to retransmit anything swallowed or
+//    still deferred for it (the mailbox deposit doubles as the ack — a
+//    delivered message is never retransmitted again).
+//  * DuplicateDelivery — the send is deposited twice; the mailbox drops the
+//    duplicate by per-channel sequence number.
+//  * DelayDelivery — the send is parked until the sender's op counter
+//    advances by defer_ops (or a receiver-side retry flushes it first).
+//  * SlowRank — every op in [op_index, op_index + slow_ops) sleeps for
+//    `delay`. Perturbs thread interleaving without changing any result.
+//
+// Reliability substrate: when an injector is installed every message carries
+// a per-channel (context, src, dst, tag) sequence number, the destination
+// mailbox delivers strictly in sequence order, and duplicates are dropped on
+// deposit. Drops and delays therefore never reorder what a receiver observes
+// — payload streams stay FIFO per channel exactly as without faults.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "mbd/comm/mailbox.hpp"
+#include "mbd/support/check.hpp"
+
+namespace mbd::comm {
+
+/// Thrown on the crashing rank by FaultKind::CrashRank; the one exception
+/// class World::run_restartable treats as recoverable.
+class RankFailure : public ::mbd::Error {
+ public:
+  using Error::Error;
+};
+
+enum class FaultKind : int {
+  DelayDelivery = 0,  ///< park the next send for defer_ops further ops
+  DropMessage,        ///< swallow the next send (timed retry recovers it)
+  DuplicateDelivery,  ///< deposit the next send twice (seq dedup drops one)
+  CrashRank,          ///< throw RankFailure at the op
+  SlowRank,           ///< sleep `delay` per op for slow_ops ops
+};
+
+std::string_view fault_kind_name(FaultKind k);
+
+/// One injected fault, pinned to a (rank, op-sequence, epoch) point.
+struct FaultAction {
+  FaultKind kind = FaultKind::CrashRank;
+  int rank = 0;                ///< global rank the fault applies to
+  std::uint64_t op_index = 1;  ///< 1-based transport op that triggers it
+  int epoch = 0;               ///< restart attempt the action is armed in
+  /// SlowRank: per-op sleep. Pure perturbation — never affects results.
+  std::chrono::milliseconds delay{1};
+  std::uint64_t defer_ops = 4;  ///< DelayDelivery: release after this many ops
+  std::uint64_t slow_ops = 8;   ///< SlowRank: how many ops are slowed
+
+  std::string describe() const;
+};
+
+/// Knobs for FaultPlan::random.
+struct FaultPlanOptions {
+  int crashes = 1;     ///< one CrashRank per epoch 0..crashes-1
+  int drops = 0;       ///< DropMessage actions (epoch 0)
+  int duplicates = 0;  ///< DuplicateDelivery actions (epoch 0)
+  int delays = 0;      ///< DelayDelivery actions (epoch 0)
+  /// Crash op index range (inclusive); keep min high enough that the
+  /// transport ops of the send-faults (placed strictly before the first
+  /// crash on the same rank) exist.
+  std::uint64_t min_op = 8;
+  std::uint64_t max_op = 48;
+};
+
+/// A replayable schedule of fault actions.
+struct FaultPlan {
+  std::uint64_t seed = 0;  ///< provenance only (0 = hand-written)
+  std::vector<FaultAction> actions;
+
+  bool empty() const { return actions.empty(); }
+
+  /// Seeded plan: deterministic function of (seed, world_size, opts). The
+  /// epoch-0 send-faults are co-located on the epoch-0 crash rank at earlier
+  /// op indices, so every action deterministically fires before the crash
+  /// tears the run down.
+  static FaultPlan random(std::uint64_t seed, int world_size,
+                          const FaultPlanOptions& opts = {});
+
+  std::string describe() const;
+};
+
+/// One fired fault (or recovery-path retransmission), for the structured
+/// event log.
+struct FaultEvent {
+  int epoch = 0;
+  int rank = -1;
+  std::uint64_t op_index = 0;
+  std::string kind;    ///< "crash", "drop", "duplicate", "delay", "slow",
+                       ///< "retransmit"
+  std::string detail;  ///< human-readable specifics
+
+  /// "[epoch 0] rank 2 @op 17: drop — ..." (deterministic across runs).
+  std::string describe() const;
+};
+
+/// Injector configuration independent of the plan.
+struct FaultConfig {
+  /// Receiver-side retransmission period for a blocking recv with no match:
+  /// how often the injector is asked to flush swallowed/deferred messages
+  /// destined for the receiver. Wall-clock only decides *when* the retry
+  /// fires, never *what* is retransmitted, so results stay deterministic.
+  std::chrono::milliseconds retry_interval{25};
+};
+
+/// The runtime side of a FaultPlan: owned by the Fabric (installed via
+/// World::install_faults), consulted by Comm on every send and blocking
+/// recv. Thread-safe; per-rank trigger state is only touched by its own rank
+/// thread, the swallowed/deferred buffers and the event log are mutex
+/// protected.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, FaultConfig cfg, int world_size);
+
+  // --- transport hooks (called on rank threads by Comm) ------------------
+  /// Count one transport op on `rank`; fire crash/slow actions and release
+  /// due deferred messages. Throws RankFailure for a crash action.
+  void on_op(int rank, std::vector<Mailbox>& mailboxes);
+  /// Next per-channel sequence number for a (context, src, dst, tag) send.
+  std::uint64_t assign_seq(std::uint64_t context, int src, int dst, int tag);
+  /// Deliver `msg` from `src` to `dst`, applying any armed send-fault
+  /// (drop / duplicate / delay) whose op point has been reached.
+  void deliver(std::vector<Mailbox>& mailboxes, int src, int dst, Message msg);
+  /// Receiver-side retry: flush every swallowed or deferred message destined
+  /// for `dst` into its mailbox. The deposit is the ack — flushed messages
+  /// leave the injector for good. Called from the Mailbox pop retry hook.
+  void retry_deliver(std::vector<Mailbox>& mailboxes, int dst);
+  std::chrono::milliseconds retry_interval() const {
+    return cfg_.retry_interval;
+  }
+
+  // --- lifecycle (no rank threads running) -------------------------------
+  /// Re-arm for restart attempt `epoch`: reset op counters and sequence
+  /// numbers (the fabric's mailboxes are fresh), drop undelivered buffers,
+  /// arm exactly the plan actions with action.epoch == epoch. The event log
+  /// is cumulative across epochs.
+  void begin_epoch(int epoch);
+  int epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  /// Drop swallowed/deferred messages (used after a run whose pending
+  /// nonblocking ops were cancelled mid-unwind).
+  void drop_pending();
+
+  // --- observability ------------------------------------------------------
+  /// Every fired fault and retransmission so far, in deterministic
+  /// (epoch, rank, op, kind) order.
+  std::vector<FaultEvent> events() const;
+  /// Transport ops rank has performed in the current epoch.
+  std::uint64_t op_count(int rank) const;
+  /// Messages re-deposited by retry_deliver over the injector's lifetime.
+  std::uint64_t retransmit_count() const {
+    return retransmits_.load(std::memory_order_relaxed);
+  }
+  /// Appended to the watchdog's deadlock report so a stall caused by an
+  /// injected fault names its cause.
+  std::string attribution_note() const;
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct Deferred {
+    std::uint64_t release_at = 0;  ///< sender op count that releases it
+    int dst = -1;
+    Message msg;
+  };
+  struct Armed {
+    FaultAction action;
+    bool fired = false;
+  };
+  // Per-rank trigger state: `ops` is written by the owning rank thread and
+  // read by diagnostics; the action queues are touched only by the owning
+  // rank thread between begin_epoch calls.
+  struct PerRank {
+    std::atomic<std::uint64_t> ops{0};
+    std::vector<Armed> point_actions;   // CrashRank / SlowRank, by op_index
+    std::deque<FaultAction> send_actions;  // Drop / Duplicate / Delay
+  };
+
+  void record(FaultEvent ev);
+  void release_due(int rank, std::uint64_t op, std::vector<Mailbox>& mbs);
+
+  FaultPlan plan_;
+  FaultConfig cfg_;
+  int world_size_;
+  std::vector<std::unique_ptr<PerRank>> ranks_;
+  std::atomic<int> epoch_{0};
+  // A fired crash disarms every other action: the fabric is being poisoned
+  // and whatever peers still do is teardown, not the experiment.
+  std::atomic<bool> disarmed_{false};
+  std::atomic<std::uint64_t> retransmits_{0};
+
+  mutable std::mutex buf_mu_;  // guards swallowed_ + deferred_
+  std::vector<std::vector<Message>> swallowed_;  // by destination rank
+  std::vector<Deferred> deferred_;
+
+  mutable std::mutex ev_mu_;
+  std::vector<FaultEvent> events_;
+
+  mutable std::mutex seq_mu_;
+  std::map<std::tuple<std::uint64_t, int, int, int>, std::uint64_t> seq_;
+};
+
+}  // namespace mbd::comm

@@ -12,7 +12,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "mbd/support/check.hpp"
@@ -34,15 +36,25 @@ struct Message {
   int source = -1;            ///< global rank of sender
   int tag = 0;
   std::uint64_t trace_id = 0;  ///< pairs Send/Recv trace events (0 = untraced)
+  /// Per-channel (context, source, tag) sequence number, 1-based; 0 marks an
+  /// unsequenced message (no fault injector installed). Sequenced messages
+  /// are delivered strictly in order and duplicates are dropped on deposit —
+  /// the reliability substrate under injected drops and duplications.
+  std::uint64_t seq = 0;
   std::vector<std::byte> payload;
 };
 
 /// Watchdog for a blocking pop: if no matching message arrives within
 /// `timeout`, the pop throws an mbd::Error carrying `report()` — used by the
-/// collective validator to turn silent deadlocks into diagnostics.
+/// collective validator to turn silent deadlocks into diagnostics. When
+/// `on_retry` is set, a pop still unmatched after each `retry_interval`
+/// invokes it (with the mailbox unlocked) — the fault injector's timed
+/// retransmission path for dropped deliveries.
 struct PopWatch {
   std::chrono::milliseconds timeout{0};
   std::function<std::string()> report;
+  std::chrono::milliseconds retry_interval{0};  ///< <= 0 disables retries
+  std::function<void()> on_retry;
 };
 
 /// Thread-safe mailbox for one rank.
@@ -70,10 +82,28 @@ class Mailbox {
   /// Number of queued messages (diagnostic only).
   std::size_t pending() const;
 
+  /// Drop every queued message. Sequence cursors fast-forward past the
+  /// dropped messages so a later run reusing the same (context, source,
+  /// tag) channels is not stuck waiting for sequence numbers that will
+  /// never be sent again. Only call between World::run calls.
+  void clear();
+
  private:
+  using ChannelKey = std::tuple<std::uint64_t, int, int>;
+
+  // Sequenced messages deliver in order: a message matches only when its
+  // seq is the channel's next expected. Plain (seq == 0) messages match
+  // unconditionally. Callers hold mu_.
+  bool matches(const Message& m, std::uint64_t context, int source,
+               int tag) const;
+  // Record consumption of `m` (advances the channel cursor).
+  void consumed(const Message& m);
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  // Per channel: next expected (not yet consumed) sequence number.
+  std::map<ChannelKey, std::uint64_t> next_seq_;
   bool poisoned_ = false;
 };
 

@@ -77,10 +77,14 @@ class CollectiveHandle {
   CollectiveHandle& operator=(CollectiveHandle&&) noexcept = default;
   CollectiveHandle(const CollectiveHandle&) = delete;
   CollectiveHandle& operator=(const CollectiveHandle&) = delete;
-  // Destroying an incomplete handle leaks the operation: its remaining
-  // messages stay queued and the validator reports it by name at the end of
-  // World::run. The destructor itself must not throw (stack unwinding).
-  ~CollectiveHandle() = default;
+  // Destroying an incomplete handle during exception unwind *cancels* the
+  // operation: the validator stops tracking it (the unwind explains the
+  // abandonment — e.g. a peer crashed mid-Overlapped-backward and this
+  // rank's drain threw PoisonedError) and World::run drains the parked
+  // schedule messages after the ranks join instead of reporting a leak.
+  // Outside an unwind, destroying an incomplete handle is still a leak and
+  // is reported by name at the end of World::run. Never throws.
+  ~CollectiveHandle();
 
   /// True once the operation has completed (empty handles are complete).
   bool done() const { return op_ == nullptr || completed_; }

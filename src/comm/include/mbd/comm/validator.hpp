@@ -101,7 +101,10 @@ struct CollectiveDesc {
 class Validator {
  public:
   /// Default watchdog timeout. Generous so heavily oversubscribed sanitizer
-  /// runs never trip it; tests that provoke deadlocks lower it.
+  /// runs never trip it; tests that provoke deadlocks lower it. The
+  /// MBD_WATCHDOG_MS environment variable (a positive integer, read at
+  /// construction) overrides this default so CI jobs can lengthen it
+  /// without code edits; World::set_validation_timeout overrides both.
   static constexpr std::chrono::milliseconds kDefaultTimeout{120'000};
 
   explicit Validator(int world_size);
@@ -123,6 +126,14 @@ class Validator {
   /// deadlock_report() and at the end of World::run.
   std::uint64_t on_nb_initiated(int global_rank, std::string what);
   void on_nb_completed(int global_rank, std::uint64_t token);
+  /// RAII cancellation: ~CollectiveHandle calls this when an incomplete
+  /// handle is destroyed during exception unwind — the operation stops
+  /// being tracked (it is an abandonment the unwind explains, not a leak)
+  /// and the cancellation is counted so World::run can drain the parked
+  /// schedule messages after the ranks join. Tolerates unknown tokens.
+  void on_nb_cancelled(int global_rank, std::uint64_t token);
+  /// Cancellations since the last call (resets the counter).
+  std::uint64_t take_cancelled();
   /// "rank R: <op>" lines for every initiated-but-incomplete nonblocking
   /// operation, in initiation order; empty when all handles completed.
   std::vector<std::string> outstanding_nonblocking() const;
@@ -162,6 +173,7 @@ class Validator {
   // std::map keeps initiation order (tokens are issued monotonically).
   std::vector<std::map<std::uint64_t, std::string>> nb_inflight_;
   std::uint64_t next_nb_token_ = 1;
+  std::uint64_t cancelled_ = 0;  // nb ops abandoned during unwind
   std::atomic<std::chrono::milliseconds::rep> timeout_ms_;
 };
 

@@ -10,11 +10,27 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "mbd/comm/comm.hpp"
+#include "mbd/comm/fault.hpp"
 #include "mbd/comm/stats.hpp"
 
 namespace mbd::comm {
+
+/// What World::run_restartable did: how many times it tore down and reran,
+/// a human-readable restart log, and (when a fault injector is installed)
+/// the cumulative injected-fault event log. Everything here is a
+/// deterministic function of the fault plan — asserting equality across
+/// runs is the replayability test.
+struct RecoveryReport {
+  int restarts = 0;
+  /// One line per restart: which attempt failed and why.
+  std::vector<std::string> log;
+  /// FaultInjector::events() at completion (empty without an injector).
+  std::vector<FaultEvent> events;
+};
 
 /// A fixed-size group of ranks backed by threads.
 class World {
@@ -35,6 +51,23 @@ class World {
   /// the run with a named ValidationError ("leaked CollectiveHandle: ...")
   /// after the ranks join, distinct from the watchdog's deadlock report.
   void run(const std::function<void(Comm&)>& fn);
+
+  /// run(fn) with crash recovery: a RankFailure (the injected-crash error —
+  /// any other exception propagates unchanged) tears the poisoned fabric
+  /// down, rebuilds it with the same validation / tracing / fault-injection
+  /// configuration, advances the injector to the next epoch, and reruns
+  /// `fn`. `fn` is responsible for restoring its own state (the parallel
+  /// layer's CheckpointStore does exactly that); after `max_restarts`
+  /// failed attempts the RankFailure is rethrown. Unlike run(), the World
+  /// stays usable after an injected crash.
+  RecoveryReport run_restartable(const std::function<void(Comm&)>& fn,
+                                 int max_restarts = 3);
+
+  /// Install a fault-injection plan for subsequent run() calls (replacing
+  /// any previous one). Only call between run()s. See mbd/comm/fault.hpp.
+  void install_faults(FaultPlan plan, FaultConfig cfg = {});
+  /// The installed injector (event log, op counters); nullptr if none.
+  FaultInjector* fault_injector() const;
 
   /// Traffic counters accumulated over all run() calls since construction or
   /// the last reset_stats().
@@ -58,8 +91,11 @@ class World {
   void disable_validation();
   bool validation_enabled() const;
   /// Watchdog timeout for blocking receives while validation is enabled
-  /// (default Validator::kDefaultTimeout). Enables validation if needed.
+  /// (default Validator::kDefaultTimeout, overridable via the
+  /// MBD_WATCHDOG_MS environment variable). Enables validation if needed.
   void set_validation_timeout(std::chrono::milliseconds t);
+  /// The effective watchdog timeout; 0 when validation is off.
+  std::chrono::milliseconds validation_timeout() const;
 
  private:
   int size_;

@@ -49,46 +49,75 @@ void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag,
   if (fabric_->poisoned.load(std::memory_order_acquire)) {
     throw PoisonedError("mbd::comm fabric poisoned: another rank threw");
   }
+  const int gme = global_rank(rank_);
+  const int gdst = global_rank(dst);
+  FaultInjector* fi = fabric_->injector.get();
+  // One transport op per send: the injector counts it, fires crash/slow
+  // actions pinned to this op index, and releases due deferred deliveries.
+  if (fi != nullptr) fi->on_op(gme, fabric_->mailboxes);
   if (Validator* v = fabric_->validator.get(); v != nullptr && c == Coll::PointToPoint) {
     std::ostringstream os;
-    os << "send(to=" << global_rank(dst) << ", tag=" << tag
+    os << "send(to=" << gdst << ", tag=" << tag
        << ", bytes=" << data.size() << ')';
-    v->on_p2p(global_rank(rank_), os.str());
+    v->on_p2p(gme, os.str());
   }
   fabric_->counters.record(c, data.size());
   Message msg;
   msg.context = context_;
-  msg.source = global_rank(rank_);
+  msg.source = gme;
   msg.tag = tag;
   msg.payload.assign(data.begin(), data.end());
   if (fabric_->tracing()) {
     msg.trace_id =
         fabric_->next_msg_id.fetch_add(1, std::memory_order_relaxed);
     fabric_->trace->ranks[static_cast<std::size_t>(msg.source)].push_back(
-        {TraceEvent::Kind::Send, global_rank(dst), data.size(), msg.trace_id,
-         0.0});
+        {TraceEvent::Kind::Send, gdst, data.size(), msg.trace_id, 0.0});
   }
-  fabric_->mailboxes[static_cast<std::size_t>(global_rank(dst))].push(
-      std::move(msg));
+  if (fi != nullptr) {
+    msg.seq = fi->assign_seq(context_, gme, gdst, tag);
+    fi->deliver(fabric_->mailboxes, gme, gdst, std::move(msg));
+  } else {
+    fabric_->mailboxes[static_cast<std::size_t>(gdst)].push(std::move(msg));
+  }
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   const int gsrc = global_rank(src);
   const int gme = global_rank(rank_);
+  Validator* v = fabric_->validator.get();
+  FaultInjector* fi = fabric_->injector.get();
+  // A blocking recv is a transport op like a send (crash points land on
+  // receives too). Nonblocking test() polls are deliberately not counted:
+  // their call frequency is timing-dependent, which would break op-sequence
+  // determinism.
+  if (fi != nullptr) fi->on_op(gme, fabric_->mailboxes);
   Message msg;
-  if (Validator* v = fabric_->validator.get()) {
-    if (tag < kInternalTagBase) {
+  if (v != nullptr || fi != nullptr) {
+    if (v != nullptr && tag < kInternalTagBase) {
       std::ostringstream os;
       os << "recv(from=" << gsrc << ", tag=" << tag << ')';
       v->on_p2p(gme, os.str());
     }
     // Watchdog: a receive blocked past the validator timeout throws a
-    // probable-deadlock report instead of hanging the test run.
-    const PopWatch watch{
-        v->timeout(),
-        [v, gme, this, gsrc, tag] {
-          return v->deadlock_report(gme, context_, gsrc, tag);
-        }};
+    // probable-deadlock report instead of hanging the test run — naming the
+    // injected fault when one is responsible. The retry hook is the ack/
+    // retransmission path for injected drops: every retry_interval the
+    // injector re-deposits anything swallowed or deferred for this rank.
+    PopWatch watch;
+    if (v != nullptr) {
+      watch.timeout = v->timeout();
+      watch.report = [v, fi, gme, this, gsrc, tag] {
+        std::string r = v->deadlock_report(gme, context_, gsrc, tag);
+        if (fi != nullptr) r += fi->attribution_note();
+        return r;
+      };
+    }
+    if (fi != nullptr) {
+      watch.retry_interval = fi->retry_interval();
+      watch.on_retry = [this, fi, gme] {
+        fi->retry_deliver(fabric_->mailboxes, gme);
+      };
+    }
     msg = fabric_->mailboxes[static_cast<std::size_t>(gme)].pop(context_, gsrc,
                                                                 tag, &watch);
   } else {

@@ -1,0 +1,316 @@
+#include "mbd/comm/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "mbd/support/rng.hpp"
+
+namespace mbd::comm {
+
+std::string_view fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::DelayDelivery: return "delay";
+    case FaultKind::DropMessage: return "drop";
+    case FaultKind::DuplicateDelivery: return "duplicate";
+    case FaultKind::CrashRank: return "crash";
+    case FaultKind::SlowRank: return "slow";
+  }
+  return "unknown";
+}
+
+std::string FaultAction::describe() const {
+  std::ostringstream os;
+  os << fault_kind_name(kind) << "(rank=" << rank << ", op=" << op_index
+     << ", epoch=" << epoch;
+  if (kind == FaultKind::DelayDelivery) os << ", defer_ops=" << defer_ops;
+  if (kind == FaultKind::SlowRank)
+    os << ", slow_ops=" << slow_ops << ", delay=" << delay.count() << "ms";
+  os << ')';
+  return os.str();
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int world_size,
+                            const FaultPlanOptions& opts) {
+  MBD_CHECK_GT(world_size, 0);
+  MBD_CHECK_LE(opts.min_op, opts.max_op);
+  Rng rng(seed);
+  FaultPlan plan;
+  plan.seed = seed;
+
+  const auto pick_op = [&] {
+    return opts.min_op +
+           rng.uniform_index(opts.max_op - opts.min_op + 1);
+  };
+
+  // One crash per epoch. The epoch-0 crash anchors the send-faults: they go
+  // on the same rank at strictly earlier op indices so they are guaranteed
+  // to fire before the fabric is torn down.
+  std::vector<FaultAction> crashes;
+  for (int e = 0; e < opts.crashes; ++e) {
+    FaultAction a;
+    a.kind = FaultKind::CrashRank;
+    a.rank = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(world_size)));
+    a.op_index = pick_op();
+    a.epoch = e;
+    crashes.push_back(a);
+  }
+
+  const int send_rank = crashes.empty() ? 0 : crashes.front().rank;
+  const std::uint64_t ceiling =
+      crashes.empty() ? opts.max_op : crashes.front().op_index;
+  const auto pick_early_op = [&] {
+    // In [1, ceiling - 1]; every send-fault op precedes the crash op.
+    return 1 + rng.uniform_index(std::max<std::uint64_t>(ceiling, 2) - 1);
+  };
+  const auto add_send_faults = [&](FaultKind kind, int n) {
+    for (int i = 0; i < n; ++i) {
+      FaultAction a;
+      a.kind = kind;
+      a.rank = send_rank;
+      a.op_index = pick_early_op();
+      a.epoch = 0;
+      if (kind == FaultKind::DelayDelivery)
+        a.defer_ops = 1 + rng.uniform_index(4);
+      plan.actions.push_back(a);
+    }
+  };
+  add_send_faults(FaultKind::DropMessage, opts.drops);
+  add_send_faults(FaultKind::DuplicateDelivery, opts.duplicates);
+  add_send_faults(FaultKind::DelayDelivery, opts.delays);
+  plan.actions.insert(plan.actions.end(), crashes.begin(), crashes.end());
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "FaultPlan(seed=" << seed << ", " << actions.size() << " action(s)";
+  for (const auto& a : actions) os << "\n  " << a.describe();
+  os << ')';
+  return os.str();
+}
+
+std::string FaultEvent::describe() const {
+  std::ostringstream os;
+  os << "[epoch " << epoch << "] rank " << rank << " @op " << op_index << ": "
+     << kind << " — " << detail;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+FaultInjector::FaultInjector(FaultPlan plan, FaultConfig cfg, int world_size)
+    : plan_(std::move(plan)), cfg_(cfg), world_size_(world_size) {
+  MBD_CHECK_GT(world_size_, 0);
+  MBD_CHECK_GT(cfg_.retry_interval.count(), 0);
+  for (const auto& a : plan_.actions) {
+    MBD_CHECK_MSG(a.rank >= 0 && a.rank < world_size_,
+                  "fault action rank " << a.rank << " out of range");
+    MBD_CHECK_GT(a.op_index, 0U);
+  }
+  ranks_.reserve(static_cast<std::size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r)
+    ranks_.push_back(std::make_unique<PerRank>());
+  swallowed_.resize(static_cast<std::size_t>(world_size_));
+  begin_epoch(0);
+}
+
+void FaultInjector::begin_epoch(int epoch) {
+  epoch_.store(epoch, std::memory_order_relaxed);
+  disarmed_.store(false, std::memory_order_relaxed);
+  for (int r = 0; r < world_size_; ++r) {
+    auto& rs = *ranks_[static_cast<std::size_t>(r)];
+    rs.ops.store(0, std::memory_order_relaxed);
+    rs.point_actions.clear();
+    rs.send_actions.clear();
+    for (const auto& a : plan_.actions) {
+      if (a.rank != r || a.epoch != epoch) continue;
+      if (a.kind == FaultKind::CrashRank || a.kind == FaultKind::SlowRank)
+        rs.point_actions.push_back({a, false});
+      else
+        rs.send_actions.push_back(a);
+    }
+    const auto by_op = [](const auto& x, const auto& y) {
+      return x.op_index < y.op_index;
+    };
+    std::stable_sort(rs.point_actions.begin(), rs.point_actions.end(),
+                     [&](const Armed& x, const Armed& y) {
+                       return by_op(x.action, y.action);
+                     });
+    std::stable_sort(rs.send_actions.begin(), rs.send_actions.end(), by_op);
+  }
+  drop_pending();
+  {
+    std::lock_guard lock(seq_mu_);
+    seq_.clear();
+  }
+}
+
+void FaultInjector::drop_pending() {
+  std::lock_guard lock(buf_mu_);
+  for (auto& s : swallowed_) s.clear();
+  deferred_.clear();
+}
+
+void FaultInjector::record(FaultEvent ev) {
+  std::lock_guard lock(ev_mu_);
+  events_.push_back(std::move(ev));
+}
+
+void FaultInjector::release_due(int rank, std::uint64_t op,
+                                std::vector<Mailbox>& mbs) {
+  std::lock_guard lock(buf_mu_);
+  for (auto it = deferred_.begin(); it != deferred_.end();) {
+    if (it->msg.source == rank && it->release_at <= op) {
+      mbs[static_cast<std::size_t>(it->dst)].push(std::move(it->msg));
+      it = deferred_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FaultInjector::on_op(int rank, std::vector<Mailbox>& mailboxes) {
+  auto& rs = *ranks_[static_cast<std::size_t>(rank)];
+  const std::uint64_t op =
+      rs.ops.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (disarmed_.load(std::memory_order_relaxed)) return;
+  release_due(rank, op, mailboxes);
+  for (auto& armed : rs.point_actions) {
+    const FaultAction& a = armed.action;
+    if (a.kind == FaultKind::CrashRank) {
+      if (!armed.fired && op >= a.op_index) {
+        armed.fired = true;
+        disarmed_.store(true, std::memory_order_relaxed);
+        record({epoch(), rank, op, "crash", "rank crashed (injected)"});
+        std::ostringstream os;
+        os << "injected RankFailure: rank " << rank << " crashed at op " << op
+           << " (epoch " << epoch() << ')';
+        throw RankFailure(os.str());
+      }
+    } else {  // SlowRank
+      if (op >= a.op_index && op < a.op_index + a.slow_ops) {
+        if (op == a.op_index) {
+          std::ostringstream os;
+          os << "slowing " << a.slow_ops << " op(s) by " << a.delay.count()
+             << "ms each";
+          record({epoch(), rank, op, "slow", os.str()});
+        }
+        std::this_thread::sleep_for(a.delay);
+      }
+    }
+  }
+}
+
+std::uint64_t FaultInjector::assign_seq(std::uint64_t context, int src,
+                                        int dst, int tag) {
+  std::lock_guard lock(seq_mu_);
+  return ++seq_[{context, src, dst, tag}];
+}
+
+void FaultInjector::deliver(std::vector<Mailbox>& mailboxes, int src, int dst,
+                            Message msg) {
+  auto& rs = *ranks_[static_cast<std::size_t>(src)];
+  const std::uint64_t op = rs.ops.load(std::memory_order_relaxed);
+  if (!disarmed_.load(std::memory_order_relaxed) &&
+      !rs.send_actions.empty() && op >= rs.send_actions.front().op_index) {
+    const FaultAction a = rs.send_actions.front();
+    rs.send_actions.pop_front();
+    std::ostringstream os;
+    os << "message to rank " << dst << " (tag=" << msg.tag
+       << ", bytes=" << msg.payload.size() << ", seq=" << msg.seq << ')';
+    switch (a.kind) {
+      case FaultKind::DropMessage: {
+        record({epoch(), src, op, "drop", "dropped " + os.str()});
+        std::lock_guard lock(buf_mu_);
+        swallowed_[static_cast<std::size_t>(dst)].push_back(std::move(msg));
+        return;
+      }
+      case FaultKind::DuplicateDelivery: {
+        record({epoch(), src, op, "duplicate", "duplicated " + os.str()});
+        Message copy = msg;
+        auto& mb = mailboxes[static_cast<std::size_t>(dst)];
+        mb.push(std::move(copy));
+        mb.push(std::move(msg));
+        return;
+      }
+      case FaultKind::DelayDelivery: {
+        std::ostringstream ds;
+        ds << "deferred " << os.str() << " by " << a.defer_ops << " op(s)";
+        record({epoch(), src, op, "delay", ds.str()});
+        std::lock_guard lock(buf_mu_);
+        deferred_.push_back({op + a.defer_ops, dst, std::move(msg)});
+        return;
+      }
+      case FaultKind::CrashRank:
+      case FaultKind::SlowRank:
+        break;  // never queued as send actions
+    }
+  }
+  mailboxes[static_cast<std::size_t>(dst)].push(std::move(msg));
+}
+
+void FaultInjector::retry_deliver(std::vector<Mailbox>& mailboxes, int dst) {
+  std::size_t flushed = 0;
+  {
+    std::lock_guard lock(buf_mu_);
+    auto& sw = swallowed_[static_cast<std::size_t>(dst)];
+    for (auto& m : sw) {
+      mailboxes[static_cast<std::size_t>(dst)].push(std::move(m));
+      ++flushed;
+    }
+    sw.clear();
+    for (auto it = deferred_.begin(); it != deferred_.end();) {
+      if (it->dst == dst) {
+        mailboxes[static_cast<std::size_t>(dst)].push(std::move(it->msg));
+        it = deferred_.erase(it);
+        ++flushed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (flushed == 0) return;
+  retransmits_.fetch_add(flushed, std::memory_order_relaxed);
+  std::ostringstream os;
+  os << "retransmitted " << flushed
+     << " message(s) to rank " << dst << " after recv timeout";
+  record({epoch(), dst, op_count(dst), "retransmit", os.str()});
+}
+
+std::vector<FaultEvent> FaultInjector::events() const {
+  std::vector<FaultEvent> out;
+  {
+    std::lock_guard lock(ev_mu_);
+    out = events_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return std::tie(x.epoch, x.rank, x.op_index, x.kind) <
+                            std::tie(y.epoch, y.rank, y.op_index, y.kind);
+                   });
+  return out;
+}
+
+std::uint64_t FaultInjector::op_count(int rank) const {
+  return ranks_[static_cast<std::size_t>(rank)]->ops.load(
+      std::memory_order_relaxed);
+}
+
+std::string FaultInjector::attribution_note() const {
+  std::ostringstream os;
+  os << "\nfault injection is active (plan seed " << plan_.seed << ", epoch "
+     << epoch() << "); injected faults so far:";
+  const auto evs = events();
+  if (evs.empty()) {
+    os << "\n  (none fired yet)";
+  } else {
+    for (const auto& e : evs) os << "\n  " << e.describe();
+  }
+  return os.str();
+}
+
+}  // namespace mbd::comm

@@ -4,9 +4,38 @@
 
 namespace mbd::comm {
 
+bool Mailbox::matches(const Message& m, std::uint64_t context, int source,
+                      int tag) const {
+  if (m.context != context || m.source != source || m.tag != tag) return false;
+  if (m.seq == 0) return true;
+  const auto it = next_seq_.find(ChannelKey{context, source, tag});
+  const std::uint64_t expected = it == next_seq_.end() ? 1 : it->second;
+  return m.seq == expected;
+}
+
+void Mailbox::consumed(const Message& m) {
+  if (m.seq == 0) return;
+  next_seq_[ChannelKey{m.context, m.source, m.tag}] = m.seq + 1;
+}
+
 void Mailbox::push(Message msg) {
   {
     std::lock_guard lock(mu_);
+    if (msg.seq != 0) {
+      // Dedup by per-channel sequence number: a retransmission (or injected
+      // duplicate) of an already-consumed or already-queued message is
+      // dropped silently.
+      const auto it =
+          next_seq_.find(ChannelKey{msg.context, msg.source, msg.tag});
+      const std::uint64_t expected = it == next_seq_.end() ? 1 : it->second;
+      if (msg.seq < expected) return;
+      const bool queued = std::any_of(
+          queue_.begin(), queue_.end(), [&](const Message& q) {
+            return q.seq == msg.seq && q.context == msg.context &&
+                   q.source == msg.source && q.tag == msg.tag;
+          });
+      if (queued) return;
+    }
     queue_.push_back(std::move(msg));
   }
   cv_.notify_all();
@@ -15,16 +44,22 @@ void Mailbox::push(Message msg) {
 Message Mailbox::pop(std::uint64_t context, int source, int tag,
                      const PopWatch* watch) {
   std::unique_lock lock(mu_);
-  const auto deadline = watch != nullptr
-                            ? std::chrono::steady_clock::now() + watch->timeout
-                            : std::chrono::steady_clock::time_point::max();
+  const auto now = std::chrono::steady_clock::now();
+  constexpr auto kNever = std::chrono::steady_clock::time_point::max();
+  const bool has_watchdog = watch != nullptr && watch->timeout.count() > 0;
+  const bool has_retry = watch != nullptr &&
+                         watch->retry_interval.count() > 0 &&
+                         watch->on_retry != nullptr;
+  const auto deadline = has_watchdog ? now + watch->timeout : kNever;
+  auto next_retry = has_retry ? now + watch->retry_interval : kNever;
   for (;;) {
     auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
-      return m.context == context && m.source == source && m.tag == tag;
+      return matches(m, context, source, tag);
     });
     if (it != queue_.end()) {
       Message msg = std::move(*it);
       queue_.erase(it);
+      consumed(msg);
       return msg;
     }
     if (poisoned_) {
@@ -32,14 +67,31 @@ Message Mailbox::pop(std::uint64_t context, int source, int tag,
           "mbd::comm fabric poisoned: another rank threw while this rank was "
           "blocked in recv");
     }
-    if (watch == nullptr) {
+    if (!has_watchdog && !has_retry) {
       cv_.wait(lock);
-    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      continue;
+    }
+    if (cv_.wait_until(lock, std::min(deadline, next_retry)) !=
+        std::cv_status::timeout) {
+      continue;
+    }
+    const auto woke = std::chrono::steady_clock::now();
+    // Retry first: the retransmission may deliver the match the watchdog
+    // would otherwise report as a deadlock. The loop head re-scans, so a
+    // message that raced in while unlocked is consumed normally.
+    if (has_retry && woke >= next_retry) {
+      lock.unlock();
+      watch->on_retry();
+      lock.lock();
+      next_retry = std::chrono::steady_clock::now() + watch->retry_interval;
+      continue;
+    }
+    if (has_watchdog && woke >= deadline) {
       // Re-scan under the lock before declaring a deadlock: a matching
       // message may have raced in with the timeout.
       auto late = std::find_if(
           queue_.begin(), queue_.end(), [&](const Message& m) {
-            return m.context == context && m.source == source && m.tag == tag;
+            return matches(m, context, source, tag);
           });
       if (late == queue_.end() && !poisoned_) throw Error(watch->report());
     }
@@ -50,7 +102,7 @@ bool Mailbox::try_pop(std::uint64_t context, int source, int tag,
                       Message& out) {
   std::lock_guard lock(mu_);
   auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
-    return m.context == context && m.source == source && m.tag == tag;
+    return matches(m, context, source, tag);
   });
   if (it == queue_.end()) {
     // Match-first, poison-second: a delivered message is still consumable
@@ -64,6 +116,7 @@ bool Mailbox::try_pop(std::uint64_t context, int source, int tag,
   }
   out = std::move(*it);
   queue_.erase(it);
+  consumed(out);
   return true;
 }
 
@@ -78,6 +131,16 @@ void Mailbox::poison() {
 std::size_t Mailbox::pending() const {
   std::lock_guard lock(mu_);
   return queue_.size();
+}
+
+void Mailbox::clear() {
+  std::lock_guard lock(mu_);
+  for (const auto& m : queue_) {
+    if (m.seq == 0) continue;
+    auto& next = next_seq_[ChannelKey{m.context, m.source, m.tag}];
+    next = std::max(next == 0 ? 1 : next, m.seq + 1);
+  }
+  queue_.clear();
 }
 
 }  // namespace mbd::comm

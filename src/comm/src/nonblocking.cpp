@@ -1,8 +1,19 @@
 #include "mbd/comm/nonblocking.hpp"
 
+#include <exception>
+
 #include "mbd/comm/validator.hpp"
 
 namespace mbd::comm {
+
+CollectiveHandle::~CollectiveHandle() {
+  if (op_ == nullptr || completed_) return;
+  // RAII cancellation (only during unwind — a quietly dropped handle on the
+  // happy path is a bug the leak report should still name).
+  if (op_->validator != nullptr && std::uncaught_exceptions() > 0) {
+    op_->validator->on_nb_cancelled(op_->global_rank, op_->nb_token);
+  }
+}
 
 bool CollectiveHandle::test() {
   if (done()) return true;

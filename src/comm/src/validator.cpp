@@ -77,7 +77,18 @@ Validator::Validator(int world_size)
     : last_collective_(static_cast<std::size_t>(world_size)),
       last_p2p_(static_cast<std::size_t>(world_size)),
       nb_inflight_(static_cast<std::size_t>(world_size)),
-      timeout_ms_(kDefaultTimeout.count()) {}
+      timeout_ms_(kDefaultTimeout.count()) {
+  // Environment override: sanitizer CI jobs lengthen the watchdog without
+  // code edits. Invalid or non-positive values are ignored; an explicit
+  // set_timeout() call still wins (it runs after construction).
+  if (const char* env = std::getenv("MBD_WATCHDOG_MS")) {  // NOLINT(concurrency-mt-unsafe)
+    char* end = nullptr;
+    const long long ms = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && ms > 0) {
+      timeout_ms_.store(ms, std::memory_order_relaxed);
+    }
+  }
+}
 
 void Validator::set_timeout(std::chrono::milliseconds t) {
   MBD_CHECK_GT(t.count(), 0);
@@ -152,6 +163,22 @@ void Validator::on_nb_completed(int global_rank, std::uint64_t token) {
                                                 << " unknown on rank "
                                                 << global_rank);
   inflight.erase(it);
+}
+
+void Validator::on_nb_cancelled(int global_rank, std::uint64_t token) {
+  std::lock_guard lock(mu_);
+  auto& inflight = nb_inflight_[static_cast<std::size_t>(global_rank)];
+  const auto it = inflight.find(token);
+  if (it == inflight.end()) return;  // already completed before the unwind
+  inflight.erase(it);
+  ++cancelled_;
+}
+
+std::uint64_t Validator::take_cancelled() {
+  std::lock_guard lock(mu_);
+  const std::uint64_t n = cancelled_;
+  cancelled_ = 0;
+  return n;
 }
 
 std::vector<std::string> Validator::outstanding_nonblocking() const {

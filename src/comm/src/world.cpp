@@ -66,10 +66,20 @@ void World::run(const std::function<void(Comm&)>& fn) {
     }
   }
   if (first) std::rethrow_exception(first);
-  // A handle that was initiated but never waited leaves schedule messages
-  // parked in the mailboxes, corrupting the next run. Surface it as a named
-  // error (which op, which rank) rather than a later generic deadlock.
   if (Validator* v = fabric_->validator.get()) {
+    // Handles cancelled during exception unwind (the RAII path in
+    // ~CollectiveHandle) are not leaks, but their remaining schedule
+    // messages are still parked in the mailboxes and would cross-match a
+    // later run's tag-block reuse. Drain everything so the World stays
+    // usable after a caught-and-recovered failure.
+    if (v->take_cancelled() > 0) {
+      for (auto& mb : fabric_->mailboxes) mb.clear();
+      if (fabric_->injector) fabric_->injector->drop_pending();
+    }
+    // A handle that was initiated but never waited leaves schedule messages
+    // parked in the mailboxes, corrupting the next run. Surface it as a
+    // named error (which op, which rank) rather than a later generic
+    // deadlock.
     const auto leaked = v->outstanding_nonblocking();
     if (!leaked.empty()) {
       std::ostringstream os;
@@ -80,6 +90,53 @@ void World::run(const std::function<void(Comm&)>& fn) {
       throw ValidationError(os.str());
     }
   }
+}
+
+RecoveryReport World::run_restartable(const std::function<void(Comm&)>& fn,
+                                      int max_restarts) {
+  MBD_CHECK(max_restarts >= 0);
+  RecoveryReport rep;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      run(fn);
+      if (fabric_->injector) rep.events = fabric_->injector->events();
+      return rep;
+    } catch (const RankFailure& e) {
+      if (attempt >= max_restarts) throw;
+      ++rep.restarts;
+      std::ostringstream os;
+      os << "attempt " << attempt << " failed (" << e.what()
+         << "); restarting as epoch " << attempt + 1;
+      rep.log.push_back(os.str());
+      // Tear down the poisoned fabric and rebuild with the same
+      // configuration. The injector is shared across fabrics: its event log
+      // is cumulative, its trigger state re-arms for the next epoch.
+      auto fresh = std::make_shared<detail::Fabric>(size_);
+      if (fabric_->validator) {
+        fresh->validator = std::make_unique<Validator>(size_);
+        fresh->validator->set_timeout(fabric_->validator->timeout());
+      }
+      if (fabric_->trace) {
+        auto t = std::make_unique<Trace>();
+        t->ranks.resize(static_cast<std::size_t>(size_));
+        fresh->trace = std::move(t);
+      }
+      fresh->injector = fabric_->injector;
+      fabric_ = std::move(fresh);
+      if (fabric_->injector) fabric_->injector->begin_epoch(attempt + 1);
+    }
+  }
+}
+
+void World::install_faults(FaultPlan plan, FaultConfig cfg) {
+  MBD_CHECK_MSG(!fabric_->poisoned.load(std::memory_order_acquire),
+                "cannot install faults on a poisoned World");
+  fabric_->injector =
+      std::make_shared<FaultInjector>(std::move(plan), cfg, size_);
+}
+
+FaultInjector* World::fault_injector() const {
+  return fabric_->injector.get();
 }
 
 StatsSnapshot World::stats() const { return fabric_->counters.snapshot(); }
@@ -117,6 +174,11 @@ bool World::validation_enabled() const {
 void World::set_validation_timeout(std::chrono::milliseconds t) {
   enable_validation();
   fabric_->validator->set_timeout(t);
+}
+
+std::chrono::milliseconds World::validation_timeout() const {
+  return fabric_->validator ? fabric_->validator->timeout()
+                            : std::chrono::milliseconds{0};
 }
 
 }  // namespace mbd::comm

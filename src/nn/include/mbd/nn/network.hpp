@@ -45,6 +45,14 @@ class Network {
   std::vector<float> save_params() const;
   void load_params(std::span<const float> flat);
 
+  /// Full optimizer-visible state: parameters followed by the momentum
+  /// velocities (zeros when no momentum step has run yet). load_state
+  /// materializes the velocity buffers, so a restored network resumes the
+  /// exact SGD trajectory — the checkpoint/restart substrate.
+  std::size_t state_size() const { return 2 * num_params(); }
+  std::vector<float> save_state() const;
+  void load_state(std::span<const float> flat);
+
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<std::vector<float>> velocity_;  // lazily sized, momentum only

@@ -80,6 +80,36 @@ void Network::load_params(std::span<const float> flat) {
   MBD_CHECK_EQ(at, flat.size());
 }
 
+std::vector<float> Network::save_state() const {
+  std::vector<float> flat = save_params();
+  flat.reserve(state_size());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const std::size_t n = const_cast<Layer&>(*layers_[li]).weights().size();
+    if (li < velocity_.size() && !velocity_[li].empty()) {
+      MBD_CHECK_EQ(velocity_[li].size(), n);
+      flat.insert(flat.end(), velocity_[li].begin(), velocity_[li].end());
+    } else {
+      flat.insert(flat.end(), n, 0.0f);
+    }
+  }
+  return flat;
+}
+
+void Network::load_state(std::span<const float> flat) {
+  MBD_CHECK_EQ(flat.size(), state_size());
+  const std::size_t np = num_params();
+  load_params(flat.first(np));
+  velocity_.resize(layers_.size());
+  std::size_t at = np;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const std::size_t n = layers_[li]->weights().size();
+    velocity_[li].assign(flat.begin() + static_cast<std::ptrdiff_t>(at),
+                         flat.begin() + static_cast<std::ptrdiff_t>(at + n));
+    at += n;
+  }
+  MBD_CHECK_EQ(at, flat.size());
+}
+
 Network build_network(const std::vector<LayerSpec>& specs,
                       const BuildOptions& opts) {
   check_chain(specs);

@@ -8,6 +8,7 @@
 #include "mbd/comm/comm.hpp"
 #include "mbd/nn/network.hpp"
 #include "mbd/parallel/common.hpp"
+#include "mbd/parallel/recovery.hpp"
 
 namespace mbd::parallel {
 
@@ -23,6 +24,7 @@ DistResult train_batch_parallel(comm::Comm& comm,
                                 const nn::Dataset& data,
                                 const nn::TrainConfig& cfg,
                                 const nn::BuildOptions& build = {},
-                                ReduceMode mode = ReduceMode::Blocking);
+                                ReduceMode mode = ReduceMode::Blocking,
+                                const RecoveryContext* recovery = nullptr);
 
 }  // namespace mbd::parallel

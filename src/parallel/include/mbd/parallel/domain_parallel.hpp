@@ -12,6 +12,7 @@
 #include "mbd/comm/comm.hpp"
 #include "mbd/nn/layer_spec.hpp"
 #include "mbd/parallel/common.hpp"
+#include "mbd/parallel/recovery.hpp"
 
 namespace mbd::parallel {
 
@@ -29,6 +30,7 @@ DistResult train_domain_parallel(comm::Comm& comm,
                                  const nn::TrainConfig& cfg,
                                  std::uint64_t seed = 42,
                                  bool overlap_halo = false,
-                                 ReduceMode mode = ReduceMode::Blocking);
+                                 ReduceMode mode = ReduceMode::Blocking,
+                                 const RecoveryContext* recovery = nullptr);
 
 }  // namespace mbd::parallel

@@ -16,6 +16,7 @@
 #include "mbd/comm/comm.hpp"
 #include "mbd/nn/layer_spec.hpp"
 #include "mbd/parallel/common.hpp"
+#include "mbd/parallel/recovery.hpp"
 #include "mbd/parallel/integrated.hpp"
 
 namespace mbd::parallel {
@@ -30,6 +31,7 @@ DistResult train_hybrid(comm::Comm& comm, GridShape grid,
                         const std::vector<nn::LayerSpec>& specs,
                         const nn::Dataset& data, const nn::TrainConfig& cfg,
                         std::uint64_t seed = 42, bool overlap_halo = false,
-                        ReduceMode mode = ReduceMode::Blocking);
+                        ReduceMode mode = ReduceMode::Blocking,
+                        const RecoveryContext* recovery = nullptr);
 
 }  // namespace mbd::parallel

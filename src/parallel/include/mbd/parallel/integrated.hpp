@@ -13,6 +13,7 @@
 #include "mbd/comm/comm.hpp"
 #include "mbd/nn/layer_spec.hpp"
 #include "mbd/parallel/common.hpp"
+#include "mbd/parallel/recovery.hpp"
 
 namespace mbd::parallel {
 
@@ -41,6 +42,7 @@ DistResult train_integrated_15d(comm::Comm& comm, GridShape grid,
                                 const nn::TrainConfig& cfg,
                                 std::uint64_t seed = 42,
                                 ReduceMode mode = ReduceMode::Blocking,
-                                double seconds_per_flop = 0.0);
+                                double seconds_per_flop = 0.0,
+                                const RecoveryContext* recovery = nullptr);
 
 }  // namespace mbd::parallel

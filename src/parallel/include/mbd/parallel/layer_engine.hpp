@@ -29,6 +29,7 @@
 #include "mbd/nn/trainer.hpp"
 #include "mbd/parallel/common.hpp"
 #include "mbd/parallel/detail/domain_conv.hpp"
+#include "mbd/parallel/recovery.hpp"
 #include "mbd/support/check.hpp"
 #include "mbd/tensor/matrix.hpp"
 #include "mbd/tensor/tensor4.hpp"
@@ -129,6 +130,14 @@ class EngineStage {
   virtual void update(float lr, float momentum) = 0;
   /// Append this stage's parameters in the full (unpartitioned) layout.
   virtual void collect_params(std::vector<float>& out) = 0;
+
+  /// Append this rank's persistent training state (weight shard + momentum
+  /// velocities; forward scratch is per-iteration and excluded). Stateless
+  /// stages append nothing.
+  virtual void save_state(std::vector<float>& /*out*/) {}
+  /// Restore state written by save_state, consuming this stage's prefix of
+  /// `in` (the span is advanced past what was read).
+  virtual void restore_state(std::span<const float>& /*in*/) {}
 };
 
 /// Row-partitioned (or replicated) fully connected layer with optional ReLU:
@@ -154,6 +163,8 @@ class FcStage final : public EngineStage {
   Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
   void update(float lr, float momentum) override;
   void collect_params(std::vector<float>& out) override;
+  void save_state(std::vector<float>& out) override;
+  void restore_state(std::span<const float>& in) override;
 
  private:
   Config cfg_;
@@ -172,6 +183,8 @@ class NetworkStage final : public EngineStage {
   Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
   void update(float lr, float momentum) override;
   void collect_params(std::vector<float>& out) override;
+  void save_state(std::vector<float>& out) override;
+  void restore_state(std::span<const float>& in) override;
 
  private:
   nn::Network net_;
@@ -190,6 +203,8 @@ class ConvStackStage final : public EngineStage {
   Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
   void update(float lr, float momentum) override;
   void collect_params(std::vector<float>& out) override;
+  void save_state(std::vector<float>& out) override;
+  void restore_state(std::span<const float>& in) override;
 
  private:
   std::vector<std::unique_ptr<nn::Layer>> layers_;
@@ -210,6 +225,8 @@ class DomainConvStage final : public EngineStage {
   Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
   void update(float lr, float momentum) override;
   void collect_params(std::vector<float>& out) override;
+  void save_state(std::vector<float>& out) override;
+  void restore_state(std::span<const float>& in) override;
 
  private:
   detail::DomainConvState st_;
@@ -283,9 +300,19 @@ class LayerEngine {
 
   void add_stage(std::unique_ptr<EngineStage> stage);
 
-  DistResult train(const nn::Dataset& data, const nn::TrainConfig& cfg);
+  /// Run the training loop. With a RecoveryContext, training (re)starts
+  /// from the store's last committed checkpoint when one exists and
+  /// checkpoints every policy.every steps (barrier-coordinated, see
+  /// recovery.hpp) — the restart half of World::run_restartable.
+  DistResult train(const nn::Dataset& data, const nn::TrainConfig& cfg,
+                   const RecoveryContext* recovery = nullptr);
 
  private:
+  void save_checkpoint(const RecoveryContext& rc, std::size_t next_step,
+                       const std::vector<double>& losses);
+  std::size_t restore_checkpoint(const RecoveryContext& rc,
+                                 std::vector<double>& losses);
+
   comm::Comm* world_;
   StepSchedule sched_;
   std::vector<std::unique_ptr<EngineStage>> stages_;

@@ -14,6 +14,7 @@
 #include "mbd/comm/comm.hpp"
 #include "mbd/nn/layer_spec.hpp"
 #include "mbd/parallel/common.hpp"
+#include "mbd/parallel/recovery.hpp"
 #include "mbd/parallel/integrated.hpp"
 
 namespace mbd::parallel {
@@ -29,6 +30,7 @@ DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
                             const nn::Dataset& data,
                             const nn::TrainConfig& cfg,
                             std::uint64_t seed = 42,
-                            ReduceMode mode = ReduceMode::Blocking);
+                            ReduceMode mode = ReduceMode::Blocking,
+                            const RecoveryContext* recovery = nullptr);
 
 }  // namespace mbd::parallel

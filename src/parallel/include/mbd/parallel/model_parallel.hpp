@@ -9,6 +9,7 @@
 #include "mbd/comm/comm.hpp"
 #include "mbd/nn/layer_spec.hpp"
 #include "mbd/parallel/common.hpp"
+#include "mbd/parallel/recovery.hpp"
 
 namespace mbd::parallel {
 
@@ -24,6 +25,7 @@ DistResult train_model_parallel(comm::Comm& comm,
                                 const nn::Dataset& data,
                                 const nn::TrainConfig& cfg,
                                 std::uint64_t seed = 42,
-                                ReduceMode mode = ReduceMode::Blocking);
+                                ReduceMode mode = ReduceMode::Blocking,
+                                const RecoveryContext* recovery = nullptr);
 
 }  // namespace mbd::parallel

@@ -1,0 +1,87 @@
+// Checkpoint/restart for the layer engine.
+//
+// A CheckpointPolicy tells LayerEngine::train to snapshot its training state
+// — every stage's weights and momentum velocities, the per-rank loss history,
+// and the step counter — every k steps. The snapshot is coordinated by two
+// barriers: every rank reaches the checkpoint step, stages its state, and
+// only after the second barrier does rank 0 commit the staged slots as the
+// new recovery point. A rank can therefore crash at any transport op without
+// ever leaving a torn (partially-staged) committed checkpoint: either the
+// commit happened and every rank's slot is from the same step, or the
+// previous checkpoint is still intact.
+//
+// RNG streams need no snapshot bytes beyond the step counter: every source
+// of randomness downstream of initialization (dropout masks, batch order) is
+// a pure function of (seed, iteration, sample), so restoring weights,
+// velocities, and the step counter resumes the identical trajectory — that
+// is what makes crashed-and-recovered runs bitwise-equal to uninterrupted
+// ones.
+//
+// The store lives outside the World (host memory, one slot per rank),
+// mirroring a parallel filesystem in the paper's Cori setting: it survives
+// the fabric teardown World::run_restartable performs after a RankFailure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace mbd::parallel {
+
+/// Snapshot cadence: checkpoint after every `every` completed steps
+/// (0 = never). The final step is never checkpointed — training is done.
+struct CheckpointPolicy {
+  std::size_t every = 0;
+};
+
+/// Double-buffered in-memory checkpoint, one slot per global rank.
+/// Thread-safe: rank threads stage/read concurrently under one mutex.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(int world_size);
+
+  /// True once a checkpoint has been committed.
+  bool valid() const;
+  /// The step training resumes from (number of completed steps at commit).
+  std::size_t step() const;
+  /// Commits so far (diagnostic).
+  std::uint64_t commits() const;
+
+  /// Stage rank `rank`'s state for the checkpoint being taken. Staging
+  /// never touches the committed slots.
+  void stage_rank(int rank, std::vector<float> state,
+                  std::vector<double> losses);
+  /// Promote every staged slot to committed, tagged with `next_step`.
+  /// Called by one rank, after a barrier guarantees all ranks staged.
+  void commit(std::size_t next_step);
+
+  /// Committed state / loss history for `rank` (copies; restore mutates
+  /// the engine's copy in place).
+  std::vector<float> state(int rank) const;
+  std::vector<double> losses(int rank) const;
+
+  /// Forget everything (back to the never-checkpointed state).
+  void reset();
+
+ private:
+  struct Slot {
+    std::vector<float> state;
+    std::vector<double> losses;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Slot> staging_, committed_;
+  std::size_t step_ = 0;
+  bool valid_ = false;
+  std::uint64_t commits_ = 0;
+};
+
+/// Threaded through a trainer into LayerEngine::train: where to checkpoint
+/// to (and restore from), and how often.
+struct RecoveryContext {
+  CheckpointStore* store = nullptr;
+  CheckpointPolicy policy;
+};
+
+}  // namespace mbd::parallel

@@ -12,7 +12,8 @@ DistResult train_batch_parallel(comm::Comm& comm,
                                 const nn::Dataset& data,
                                 const nn::TrainConfig& cfg,
                                 const nn::BuildOptions& build,
-                                ReduceMode mode) {
+                                ReduceMode mode,
+                                const RecoveryContext* recovery) {
   const int p = comm.size();
   const int r = comm.rank();
   MBD_CHECK_LE(static_cast<std::size_t>(p), cfg.batch);
@@ -27,7 +28,7 @@ DistResult train_batch_parallel(comm::Comm& comm,
   LayerEngine engine(comm, sched);
   engine.add_stage(
       std::make_unique<NetworkStage>(nn::build_network(specs, build), &comm));
-  return engine.train(data, cfg);
+  return engine.train(data, cfg, recovery);
 }
 
 }  // namespace mbd::parallel

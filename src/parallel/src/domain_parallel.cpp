@@ -15,7 +15,8 @@ DistResult train_domain_parallel(comm::Comm& comm,
                                  const nn::Dataset& data,
                                  const nn::TrainConfig& cfg,
                                  std::uint64_t seed, bool overlap_halo,
-                                 ReduceMode mode) {
+                                 ReduceMode mode,
+                                 const RecoveryContext* recovery) {
   const int p = comm.size();
   const int r = comm.rank();
 
@@ -92,7 +93,7 @@ DistResult train_domain_parallel(comm::Comm& comm,
     engine.add_stage(
         std::make_unique<FcStage>(fc_cfgs[li], std::move(fc_weights[li])));
 
-  return engine.train(data, cfg);
+  return engine.train(data, cfg, recovery);
 }
 
 }  // namespace mbd::parallel

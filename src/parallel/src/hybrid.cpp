@@ -14,7 +14,8 @@ DistResult train_hybrid(comm::Comm& comm, GridShape grid,
                         const std::vector<nn::LayerSpec>& specs,
                         const nn::Dataset& data, const nn::TrainConfig& cfg,
                         std::uint64_t seed, bool overlap_halo,
-                        ReduceMode mode) {
+                        ReduceMode mode,
+                        const RecoveryContext* recovery) {
   MBD_CHECK_EQ(grid.pr * grid.pc, comm.size());
   MBD_CHECK_LE(static_cast<std::size_t>(grid.pc), cfg.batch);
   const int rank = comm.rank();
@@ -100,7 +101,7 @@ DistResult train_hybrid(comm::Comm& comm, GridShape grid,
     engine.add_stage(
         std::make_unique<FcStage>(fc_cfgs[li], std::move(fc_weights[li])));
 
-  return engine.train(data, cfg);
+  return engine.train(data, cfg, recovery);
 }
 
 }  // namespace mbd::parallel

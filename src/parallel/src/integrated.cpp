@@ -12,7 +12,8 @@ DistResult train_integrated_15d(comm::Comm& comm, GridShape grid,
                                 const nn::Dataset& data,
                                 const nn::TrainConfig& cfg,
                                 std::uint64_t seed, ReduceMode mode,
-                                double seconds_per_flop) {
+                                double seconds_per_flop,
+                                const RecoveryContext* recovery) {
   MBD_CHECK_EQ(grid.pr * grid.pc, comm.size());
   MBD_CHECK_LE(static_cast<std::size_t>(grid.pc), cfg.batch);
   const int rank = comm.rank();
@@ -54,7 +55,7 @@ DistResult train_integrated_15d(comm::Comm& comm, GridShape grid,
     engine.add_stage(std::make_unique<FcStage>(
         c, he_init_rows(s.fc_out, s.fc_in, rng, c.rows)));
   }
-  return engine.train(data, cfg);
+  return engine.train(data, cfg, recovery);
 }
 
 }  // namespace mbd::parallel

@@ -10,6 +10,22 @@ namespace mbd::parallel {
 using tensor::Matrix;
 using tensor::Tensor4;
 
+namespace {
+
+// Flat-state (de)serialization helpers for EngineStage::save_state /
+// restore_state: append a span, or consume a prefix of the input span.
+void append_state(std::vector<float>& out, std::span<const float> s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void take_state(std::span<const float>& in, std::span<float> dst) {
+  MBD_CHECK_LE(dst.size(), in.size());
+  std::copy_n(in.begin(), dst.size(), dst.begin());
+  in = in.subspan(dst.size());
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // StepContext / GradReducer
 // ---------------------------------------------------------------------------
@@ -124,6 +140,16 @@ void FcStage::update(float lr, float momentum) {
   sgd_update(w_.span(), dw_.span(), vel_.span(), lr, momentum);
 }
 
+void FcStage::save_state(std::vector<float>& out) {
+  append_state(out, w_.span());
+  append_state(out, vel_.span());
+}
+
+void FcStage::restore_state(std::span<const float>& in) {
+  take_state(in, w_.span());
+  take_state(in, vel_.span());
+}
+
 void FcStage::collect_params(std::vector<float>& out) {
   if (!cfg_.model_group) {
     out.insert(out.end(), w_.span().begin(), w_.span().end());
@@ -170,6 +196,17 @@ void NetworkStage::collect_params(std::vector<float>& out) {
   out.insert(out.end(), p.begin(), p.end());
 }
 
+void NetworkStage::save_state(std::vector<float>& out) {
+  const auto s = net_.save_state();
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void NetworkStage::restore_state(std::span<const float>& in) {
+  const std::size_t n = net_.state_size();
+  net_.load_state(in.first(n));
+  in = in.subspan(n);
+}
+
 // ---------------------------------------------------------------------------
 // ConvStackStage
 // ---------------------------------------------------------------------------
@@ -214,6 +251,20 @@ void ConvStackStage::collect_params(std::vector<float>& out) {
   }
 }
 
+void ConvStackStage::save_state(std::vector<float>& out) {
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    append_state(out, layers_[li]->weights());
+    append_state(out, vel_[li]);
+  }
+}
+
+void ConvStackStage::restore_state(std::span<const float>& in) {
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    take_state(in, layers_[li]->weights());
+    take_state(in, vel_[li]);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // DomainConvStage
 // ---------------------------------------------------------------------------
@@ -246,6 +297,16 @@ void DomainConvStage::update(float lr, float momentum) {
 
 void DomainConvStage::collect_params(std::vector<float>& out) {
   out.insert(out.end(), st_.w.span().begin(), st_.w.span().end());
+}
+
+void DomainConvStage::save_state(std::vector<float>& out) {
+  append_state(out, st_.w.span());
+  append_state(out, st_.vel.span());
+}
+
+void DomainConvStage::restore_state(std::span<const float>& in) {
+  take_state(in, st_.w.span());
+  take_state(in, st_.vel.span());
 }
 
 // ---------------------------------------------------------------------------
@@ -344,8 +405,36 @@ void LayerEngine::add_stage(std::unique_ptr<EngineStage> stage) {
   stages_.push_back(std::move(stage));
 }
 
+void LayerEngine::save_checkpoint(const RecoveryContext& rc,
+                                  std::size_t next_step,
+                                  const std::vector<double>& losses) {
+  // Barrier / stage / barrier / commit: the first barrier proves every rank
+  // finished step next_step-1 (no rank can stage mid-step state), the
+  // second proves every rank staged before rank 0 promotes the staged slots.
+  // A crash anywhere in between leaves the previous committed checkpoint
+  // untouched — commits are atomic under the store mutex.
+  world_->barrier();
+  std::vector<float> state;
+  for (auto& s : stages_) s->save_state(state);
+  rc.store->stage_rank(world_->rank(), std::move(state), losses);
+  world_->barrier();
+  if (world_->rank() == 0) rc.store->commit(next_step);
+}
+
+std::size_t LayerEngine::restore_checkpoint(const RecoveryContext& rc,
+                                            std::vector<double>& losses) {
+  std::vector<float> state = rc.store->state(world_->rank());
+  std::span<const float> in(state);
+  for (auto& s : stages_) s->restore_state(in);
+  MBD_CHECK_MSG(in.empty(), "checkpoint state has " << in.size()
+                                                    << " unconsumed floats");
+  losses = rc.store->losses(world_->rank());
+  return rc.store->step();
+}
+
 DistResult LayerEngine::train(const nn::Dataset& data,
-                              const nn::TrainConfig& cfg) {
+                              const nn::TrainConfig& cfg,
+                              const RecoveryContext* recovery) {
   MBD_CHECK(!stages_.empty());
   const bool labels_match =
       sched_.label_cols.lo == sched_.input_cols.lo &&
@@ -353,7 +442,13 @@ DistResult LayerEngine::train(const nn::Dataset& data,
 
   DistResult result;
   result.losses.reserve(cfg.iterations);
-  for (std::size_t it = 0; it < cfg.iterations; ++it) {
+  std::size_t first_it = 0;
+  if (recovery != nullptr && recovery->store != nullptr &&
+      recovery->store->valid()) {
+    first_it = restore_checkpoint(*recovery, result.losses);
+    MBD_CHECK_LE(first_it, cfg.iterations);
+  }
+  for (std::size_t it = first_it; it < cfg.iterations; ++it) {
     const std::size_t start = (it * cfg.batch) % data.size();
     StepContext ctx;
     ctx.iteration = it;
@@ -397,6 +492,14 @@ DistResult LayerEngine::train(const nn::Dataset& data,
 
     const float rate = nn::lr_at(cfg, it);
     for (auto& s : stages_) s->update(rate, cfg.momentum);
+
+    // Checkpoint after every policy.every completed steps; never after the
+    // final step (training is done — there is nothing left to recover).
+    if (recovery != nullptr && recovery->store != nullptr &&
+        recovery->policy.every > 0 && (it + 1) % recovery->policy.every == 0 &&
+        it + 1 < cfg.iterations) {
+      save_checkpoint(*recovery, it + 1, result.losses);
+    }
   }
 
   for (auto& s : stages_) s->collect_params(result.params);

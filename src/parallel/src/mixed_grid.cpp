@@ -14,7 +14,8 @@ DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
                             const std::vector<nn::LayerSpec>& specs,
                             const nn::Dataset& data,
                             const nn::TrainConfig& cfg, std::uint64_t seed,
-                            ReduceMode mode) {
+                            ReduceMode mode,
+                            const RecoveryContext* recovery) {
   const int p = comm.size();
   MBD_CHECK_EQ(grid.pr * grid.pc, p);
   MBD_CHECK_LE(static_cast<std::size_t>(p), cfg.batch);
@@ -98,7 +99,7 @@ DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
     engine.add_stage(
         std::make_unique<FcStage>(fc_cfgs[li], std::move(fc_weights[li])));
 
-  return engine.train(data, cfg);
+  return engine.train(data, cfg, recovery);
 }
 
 }  // namespace mbd::parallel

@@ -11,7 +11,8 @@ DistResult train_model_parallel(comm::Comm& comm,
                                 const std::vector<nn::LayerSpec>& specs,
                                 const nn::Dataset& data,
                                 const nn::TrainConfig& cfg,
-                                std::uint64_t seed, ReduceMode mode) {
+                                std::uint64_t seed, ReduceMode mode,
+                                const RecoveryContext* recovery) {
   const int p = comm.size();
   const int r = comm.rank();
 
@@ -41,7 +42,7 @@ DistResult train_model_parallel(comm::Comm& comm,
     engine.add_stage(std::make_unique<FcStage>(
         c, he_init_rows(s.fc_out, s.fc_in, rng, c.rows)));
   }
-  return engine.train(data, cfg);
+  return engine.train(data, cfg, recovery);
 }
 
 }  // namespace mbd::parallel

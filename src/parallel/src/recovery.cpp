@@ -1,0 +1,65 @@
+#include "mbd/parallel/recovery.hpp"
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::parallel {
+
+CheckpointStore::CheckpointStore(int world_size) {
+  MBD_CHECK_GT(world_size, 0);
+  staging_.resize(static_cast<std::size_t>(world_size));
+  committed_.resize(static_cast<std::size_t>(world_size));
+}
+
+bool CheckpointStore::valid() const {
+  std::lock_guard lock(mu_);
+  return valid_;
+}
+
+std::size_t CheckpointStore::step() const {
+  std::lock_guard lock(mu_);
+  return step_;
+}
+
+std::uint64_t CheckpointStore::commits() const {
+  std::lock_guard lock(mu_);
+  return commits_;
+}
+
+void CheckpointStore::stage_rank(int rank, std::vector<float> state,
+                                 std::vector<double> losses) {
+  std::lock_guard lock(mu_);
+  auto& slot = staging_[static_cast<std::size_t>(rank)];
+  slot.state = std::move(state);
+  slot.losses = std::move(losses);
+}
+
+void CheckpointStore::commit(std::size_t next_step) {
+  std::lock_guard lock(mu_);
+  committed_ = staging_;
+  step_ = next_step;
+  valid_ = true;
+  ++commits_;
+}
+
+std::vector<float> CheckpointStore::state(int rank) const {
+  std::lock_guard lock(mu_);
+  MBD_CHECK_MSG(valid_, "no committed checkpoint to restore");
+  return committed_[static_cast<std::size_t>(rank)].state;
+}
+
+std::vector<double> CheckpointStore::losses(int rank) const {
+  std::lock_guard lock(mu_);
+  MBD_CHECK_MSG(valid_, "no committed checkpoint to restore");
+  return committed_[static_cast<std::size_t>(rank)].losses;
+}
+
+void CheckpointStore::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& s : staging_) s = {};
+  for (auto& s : committed_) s = {};
+  step_ = 0;
+  valid_ = false;
+  commits_ = 0;
+}
+
+}  // namespace mbd::parallel

@@ -1,0 +1,455 @@
+// Deterministic fault injection (mbd/comm/fault.hpp): seeded plans, the
+// drop/retry/ack path, sequence-number dedup, delayed and duplicated
+// deliveries, injected crashes with World::run_restartable recovery, fault
+// attribution in watchdog reports, RAII handle cancellation, and the
+// MBD_WATCHDOG_MS environment override.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "mbd/comm/world.hpp"
+
+using namespace std::chrono_literals;
+
+namespace mbd::comm {
+namespace {
+
+FaultPlan crash_plan(int rank, std::uint64_t op, int epoch = 0) {
+  FaultPlan plan;
+  plan.actions.push_back({.kind = FaultKind::CrashRank,
+                          .rank = rank,
+                          .op_index = op,
+                          .epoch = epoch});
+  return plan;
+}
+
+std::vector<std::string> event_lines(const FaultInjector& fi) {
+  std::vector<std::string> out;
+  for (const auto& e : fi.events()) out.push_back(e.describe());
+  return out;
+}
+
+TEST(FaultPlan, RandomIsDeterministicInSeed) {
+  const FaultPlanOptions opts{
+      .crashes = 2, .drops = 1, .duplicates = 1, .delays = 1};
+  const FaultPlan a = FaultPlan::random(7, 4, opts);
+  const FaultPlan b = FaultPlan::random(7, 4, opts);
+  EXPECT_EQ(a.describe(), b.describe());
+  EXPECT_EQ(a.actions.size(), 5U);
+  const FaultPlan c = FaultPlan::random(8, 4, opts);
+  EXPECT_NE(a.describe(), c.describe());
+  // Every epoch-0 send-fault precedes the epoch-0 crash on the same rank,
+  // so the whole plan deterministically fires before teardown.
+  std::uint64_t crash_op = 0;
+  int crash_rank = -1;
+  for (const auto& act : a.actions) {
+    if (act.kind == FaultKind::CrashRank && act.epoch == 0) {
+      crash_op = act.op_index;
+      crash_rank = act.rank;
+    }
+  }
+  for (const auto& act : a.actions) {
+    if (act.kind == FaultKind::CrashRank) continue;
+    EXPECT_EQ(act.rank, crash_rank);
+    EXPECT_LT(act.op_index, crash_op);
+  }
+}
+
+TEST(FaultInjection, CrashThrowsRankFailureAndLogsEvent) {
+  World w(3);
+  w.enable_validation();
+  w.install_faults(crash_plan(/*rank=*/1, /*op=*/5));
+  try {
+    w.run([](Comm& c) {
+      std::vector<float> v(4, static_cast<float>(c.rank()));
+      for (int i = 0; i < 10; ++i) c.allreduce(std::span<float>(v));
+    });
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("op 5"), std::string::npos);
+  }
+  const auto evs = w.fault_injector()->events();
+  ASSERT_EQ(evs.size(), 1U);
+  EXPECT_EQ(evs[0].kind, "crash");
+  EXPECT_EQ(evs[0].rank, 1);
+  EXPECT_EQ(evs[0].op_index, 5U);
+}
+
+TEST(FaultInjection, DroppedMessageIsRetransmittedInOrder) {
+  World w(2);
+  w.enable_validation();
+  // Rank 0's 3rd transport op (the send of value 2) is dropped; the
+  // receiver's timed retry recovers it. Later sends (3..9) arrive first but
+  // sequence gating keeps the delivered order FIFO.
+  FaultPlan plan;
+  plan.actions.push_back(
+      {.kind = FaultKind::DropMessage, .rank = 0, .op_index = 3});
+  w.install_faults(plan, {.retry_interval = 10ms});
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i)
+        c.send(1, std::span<const int>(&i, 1), /*tag=*/7);
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        const auto v = c.recv<int>(0, /*tag=*/7);
+        ASSERT_EQ(v.size(), 1U);
+        EXPECT_EQ(v[0], i);
+      }
+    }
+  });
+  const FaultInjector& fi = *w.fault_injector();
+  EXPECT_EQ(fi.retransmit_count(), 1U);
+  const auto evs = fi.events();
+  ASSERT_EQ(evs.size(), 2U);
+  EXPECT_EQ(evs[0].kind, "drop");
+  EXPECT_EQ(evs[0].rank, 0);
+  EXPECT_EQ(evs[0].op_index, 3U);
+  EXPECT_EQ(evs[1].kind, "retransmit");
+  EXPECT_EQ(evs[1].rank, 1);
+}
+
+TEST(FaultInjection, DropInsideSendrecvUsesRetryPath) {
+  World w(2);
+  w.enable_validation();
+  FaultPlan plan;
+  plan.actions.push_back(
+      {.kind = FaultKind::DropMessage, .rank = 0, .op_index = 5});
+  w.install_faults(plan, {.retry_interval = 10ms});
+  w.run([](Comm& c) {
+    const int peer = 1 - c.rank();
+    for (int i = 0; i < 8; ++i) {
+      const int mine = 100 * c.rank() + i;
+      const auto got =
+          c.sendrecv(peer, std::span<const int>(&mine, 1), peer);
+      ASSERT_EQ(got.size(), 1U);
+      EXPECT_EQ(got[0], 100 * peer + i);
+    }
+  });
+  EXPECT_EQ(w.fault_injector()->retransmit_count(), 1U);
+}
+
+TEST(FaultInjection, DuplicateDeliveryIsDeduped) {
+  World w(2);
+  w.enable_validation();
+  FaultPlan plan;
+  plan.actions.push_back(
+      {.kind = FaultKind::DuplicateDelivery, .rank = 0, .op_index = 2});
+  w.install_faults(plan);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 5; ++i) c.send(1, std::span<const int>(&i, 1));
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        const auto v = c.recv<int>(0);
+        EXPECT_EQ(v[0], i);  // a consumed duplicate would repeat a value
+      }
+    }
+  });
+  const auto evs = w.fault_injector()->events();
+  ASSERT_EQ(evs.size(), 1U);
+  EXPECT_EQ(evs[0].kind, "duplicate");
+}
+
+TEST(FaultInjection, DelayedDeliveryIsReleasedByOpProgress) {
+  World w(2);
+  w.enable_validation();
+  FaultPlan plan;
+  plan.actions.push_back({.kind = FaultKind::DelayDelivery,
+                          .rank = 0,
+                          .op_index = 2,
+                          .defer_ops = 3});
+  w.install_faults(plan);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 6; ++i) c.send(1, std::span<const int>(&i, 1));
+    } else {
+      for (int i = 0; i < 6; ++i) {
+        const auto v = c.recv<int>(0);
+        EXPECT_EQ(v[0], i);
+      }
+    }
+  });
+  const auto evs = w.fault_injector()->events();
+  ASSERT_EQ(evs.size(), 1U);
+  EXPECT_EQ(evs[0].kind, "delay");
+  // Released by the sender's own op progress, not by a receiver retry.
+  EXPECT_EQ(w.fault_injector()->retransmit_count(), 0U);
+}
+
+TEST(FaultInjection, DelayPastEndOfRunIsRescuedByRetry) {
+  World w(2);
+  w.enable_validation();
+  FaultPlan plan;
+  plan.actions.push_back({.kind = FaultKind::DelayDelivery,
+                          .rank = 0,
+                          .op_index = 3,
+                          .defer_ops = 1000});
+  w.install_faults(plan, {.retry_interval = 10ms});
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 4; ++i) c.send(1, std::span<const int>(&i, 1));
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        const auto v = c.recv<int>(0);
+        EXPECT_EQ(v[0], i);
+      }
+    }
+  });
+  EXPECT_EQ(w.fault_injector()->retransmit_count(), 1U);
+}
+
+TEST(FaultInjection, SlowRankPerturbsOnlyTiming) {
+  World w(2);
+  w.enable_validation();
+  FaultPlan plan;
+  plan.actions.push_back({.kind = FaultKind::SlowRank,
+                          .rank = 0,
+                          .op_index = 1,
+                          .delay = 2ms,
+                          .slow_ops = 4});
+  w.install_faults(plan);
+  w.run([](Comm& c) {
+    std::vector<float> v{1.0f + static_cast<float>(c.rank()), 2.0f};
+    c.allreduce(std::span<float>(v));
+    EXPECT_EQ(v[0], 3.0f);
+    EXPECT_EQ(v[1], 4.0f);
+  });
+  const auto evs = w.fault_injector()->events();
+  ASSERT_EQ(evs.size(), 1U);
+  EXPECT_EQ(evs[0].kind, "slow");
+}
+
+TEST(FaultInjection, WatchdogReportNamesInjectedFault) {
+  World w(2);
+  w.set_validation_timeout(300ms);
+  // The drop is never retransmitted (enormous retry interval), so the
+  // receiver stalls until the watchdog fires — and the deadlock report must
+  // attribute the stall to the injected drop.
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.actions.push_back(
+      {.kind = FaultKind::DropMessage, .rank = 0, .op_index = 1});
+  w.install_faults(plan, {.retry_interval = std::chrono::hours(1)});
+  try {
+    w.run([](Comm& c) {
+      if (c.rank() == 0) {
+        const int x = 42;
+        c.send(1, std::span<const int>(&x, 1));
+      } else {
+        (void)c.recv<int>(0);
+      }
+    });
+    FAIL() << "expected watchdog Error";
+  } catch (const PoisonedError&) {
+    FAIL() << "watchdog report was masked by a secondary PoisonedError";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fault injection is active"), std::string::npos);
+    EXPECT_NE(what.find("plan seed 1234"), std::string::npos);
+    EXPECT_NE(what.find("drop"), std::string::npos);
+  }
+}
+
+TEST(FaultInjection, RunRestartableRecoversFromCrash) {
+  World w(2);
+  w.enable_validation();
+  w.install_faults(crash_plan(/*rank=*/0, /*op=*/7));
+  int completions = 0;
+  const auto rep = w.run_restartable([&](Comm& c) {
+    std::vector<float> v(3, 1.0f);
+    for (int i = 0; i < 5; ++i) c.allreduce(std::span<float>(v));
+    if (c.rank() == 0) ++completions;
+  });
+  EXPECT_EQ(rep.restarts, 1);
+  ASSERT_EQ(rep.log.size(), 1U);
+  EXPECT_NE(rep.log[0].find("restarting as epoch 1"), std::string::npos);
+  ASSERT_EQ(rep.events.size(), 1U);
+  EXPECT_EQ(rep.events[0].kind, "crash");
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(w.fault_injector()->epoch(), 1);
+}
+
+TEST(FaultInjection, RecoveryLogIsIdenticalAcrossRuns) {
+  const FaultPlan plan = FaultPlan::random(
+      99, 2, {.crashes = 1, .drops = 1, .min_op = 10, .max_op = 20});
+  const auto run_once = [&] {
+    World w(2);
+    w.enable_validation();
+    w.install_faults(plan, {.retry_interval = 10ms});
+    const auto rep = w.run_restartable([](Comm& c) {
+      std::vector<float> v(2, 1.0f);
+      for (int i = 0; i < 8; ++i) c.allreduce(std::span<float>(v));
+    });
+    std::vector<std::string> lines = rep.log;
+    for (const auto& e : rep.events) lines.push_back(e.describe());
+    lines.push_back("restarts=" + std::to_string(rep.restarts));
+    lines.push_back("retransmits=" +
+                    std::to_string(w.fault_injector()->retransmit_count()));
+    return lines;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(FaultInjection, ConsecutiveCrashesRestartTwice) {
+  FaultPlan plan = crash_plan(/*rank=*/0, /*op=*/5, /*epoch=*/0);
+  plan.actions.push_back({.kind = FaultKind::CrashRank,
+                          .rank = 1,
+                          .op_index = 5,
+                          .epoch = 1});
+  World w(2);
+  w.enable_validation();
+  w.install_faults(plan);
+  const auto rep = w.run_restartable([](Comm& c) {
+    std::vector<float> v(2, 1.0f);
+    for (int i = 0; i < 4; ++i) c.allreduce(std::span<float>(v));
+  });
+  EXPECT_EQ(rep.restarts, 2);
+  ASSERT_EQ(rep.events.size(), 2U);
+  EXPECT_EQ(rep.events[0].epoch, 0);
+  EXPECT_EQ(rep.events[1].epoch, 1);
+}
+
+TEST(FaultInjection, RestartBudgetExhaustionRethrows) {
+  FaultPlan plan;
+  for (int e = 0; e < 4; ++e)
+    plan.actions.push_back(
+        {.kind = FaultKind::CrashRank, .rank = 0, .op_index = 3, .epoch = e});
+  World w(2);
+  w.enable_validation();
+  w.install_faults(plan);
+  EXPECT_THROW(w.run_restartable(
+                   [](Comm& c) {
+                     std::vector<float> v(2, 1.0f);
+                     for (int i = 0; i < 4; ++i)
+                       c.allreduce(std::span<float>(v));
+                   },
+                   /*max_restarts=*/1),
+               RankFailure);
+}
+
+// --- Satellite: RAII cancellation of CollectiveHandle -----------------------
+
+TEST(HandleCancellation, UnwindDestroyedHandleIsNotALeak) {
+  World w(2);
+  w.enable_validation();
+  // Throw between initiation and wait() on every rank: the handles are
+  // destroyed during unwind, which must cancel them (no "leaked
+  // CollectiveHandle" ValidationError at the World::run join) and leave the
+  // World usable for a subsequent run.
+  w.run([](Comm& c) {
+    std::vector<float> v(4, 1.0f);
+    try {
+      CollectiveHandle h = c.iallreduce(std::span<float>(v));
+      throw std::runtime_error("unwind with handle in flight");
+    } catch (const std::runtime_error&) {
+      // recovered locally; no rank failed
+    }
+  });
+  // The cancelled operations' parked round-0 messages were drained at the
+  // join, so the same nonblocking tag block is reusable in the next run.
+  w.run([](Comm& c) {
+    std::vector<float> v{static_cast<float>(c.rank() + 1), 1.0f};
+    CollectiveHandle h = c.iallreduce(std::span<float>(v));
+    h.wait();
+    EXPECT_EQ(v[0], 3.0f);
+    EXPECT_EQ(v[1], 2.0f);
+  });
+}
+
+TEST(HandleCancellation, CompletedHandleDestroyedDuringUnwindIsFine) {
+  World w(2);
+  w.enable_validation();
+  w.run([](Comm& c) {
+    std::vector<float> v(2, 1.0f);
+    try {
+      CollectiveHandle h = c.iallreduce(std::span<float>(v));
+      h.wait();
+      throw std::runtime_error("unwind after completion");
+    } catch (const std::runtime_error&) {
+    }
+    EXPECT_EQ(v[0], 2.0f);
+  });
+}
+
+// --- Satellite: primary-exception propagation under Overlapped --------------
+
+class PrimaryBoom : public std::runtime_error {
+ public:
+  PrimaryBoom() : std::runtime_error("primary boom") {}
+};
+
+TEST(PoisonPropagation, PrimaryExceptionWinsWithInflightHandles) {
+  World w(4);
+  w.enable_validation();
+  w.set_validation_timeout(30s);
+  try {
+    w.run([](Comm& c) {
+      std::vector<float> v(8, static_cast<float>(c.rank()));
+      CollectiveHandle h = c.iallreduce(std::span<float>(v));
+      if (c.rank() == 2) throw PrimaryBoom();  // crash mid-Overlapped-drain
+      h.wait();  // survivors block in the ring until poisoned
+    });
+    FAIL() << "expected PrimaryBoom";
+  } catch (const PrimaryBoom& e) {
+    EXPECT_STREQ(e.what(), "primary boom");
+  } catch (const PoisonedError& e) {
+    FAIL() << "secondary PoisonedError masked the primary: " << e.what();
+  } catch (const ValidationError& e) {
+    FAIL() << "cancelled handles were misreported as leaks: " << e.what();
+  }
+}
+
+TEST(PoisonPropagation, InjectedCrashWinsWithInflightHandles) {
+  // Same shape, but the primary failure is an injected RankFailure and the
+  // in-flight handles belong to a GradReducer-style Overlapped drain.
+  World w(4);
+  w.enable_validation();
+  w.install_faults(crash_plan(/*rank=*/2, /*op=*/9));
+  try {
+    w.run([](Comm& c) {
+      std::vector<float> a(4, 1.0f), b(4, 2.0f);
+      for (int i = 0; i < 6; ++i) {
+        CollectiveHandle ha = c.iallreduce(std::span<float>(a));
+        CollectiveHandle hb = c.iallreduce(std::span<float>(b));
+        ha.wait();
+        hb.wait();
+      }
+    });
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 2"), std::string::npos);
+  } catch (const PoisonedError&) {
+    FAIL() << "secondary PoisonedError masked the injected RankFailure";
+  }
+}
+
+// --- Satellite: MBD_WATCHDOG_MS -------------------------------------------
+
+TEST(WatchdogEnv, EnvVariableOverridesDefaultTimeout) {
+  ASSERT_EQ(setenv("MBD_WATCHDOG_MS", "12345", 1), 0);
+  World w(2);
+  w.enable_validation();
+  EXPECT_EQ(w.validation_timeout(), 12345ms);
+  // An explicit set_validation_timeout still wins over the environment.
+  w.set_validation_timeout(777ms);
+  EXPECT_EQ(w.validation_timeout(), 777ms);
+  ASSERT_EQ(unsetenv("MBD_WATCHDOG_MS"), 0);
+}
+
+TEST(WatchdogEnv, InvalidValuesAreIgnored) {
+  for (const char* bad : {"abc", "-5", "0", "12x"}) {
+    ASSERT_EQ(setenv("MBD_WATCHDOG_MS", bad, 1), 0);
+    World w(2);
+    w.enable_validation();
+    EXPECT_EQ(w.validation_timeout(), Validator::kDefaultTimeout)
+        << "MBD_WATCHDOG_MS=" << bad;
+  }
+  ASSERT_EQ(unsetenv("MBD_WATCHDOG_MS"), 0);
+}
+
+}  // namespace
+}  // namespace mbd::comm

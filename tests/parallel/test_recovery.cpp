@@ -1,0 +1,322 @@
+// Checkpoint/restart recovery (mbd/parallel/recovery.hpp): every trainer ×
+// both ReduceModes survives an injected mid-run RankFailure under
+// World::run_restartable and produces bitwise-identical losses and final
+// weights to the uninterrupted run. Also: crash-before-first-checkpoint
+// restarts from scratch, recovery is deterministic in the fault plan seed,
+// send-faults (drop/duplicate/delay) compose with a crash, and dropout
+// recovery works without snapshotting any RNG state beyond the step counter.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "mbd/parallel/batch_parallel.hpp"
+#include "mbd/parallel/domain_parallel.hpp"
+#include "mbd/parallel/hybrid.hpp"
+#include "mbd/parallel/integrated.hpp"
+#include "mbd/parallel/mixed_grid.hpp"
+#include "mbd/parallel/model_parallel.hpp"
+#include "parallel_test_util.hpp"
+
+namespace mbd::parallel {
+namespace {
+
+constexpr int kP = 4;
+
+enum class TrainerKind { Batch, Model, Integrated, MixedGrid, Domain, Hybrid };
+
+const char* trainer_name(TrainerKind k) {
+  switch (k) {
+    case TrainerKind::Batch: return "Batch";
+    case TrainerKind::Model: return "Model";
+    case TrainerKind::Integrated: return "Integrated";
+    case TrainerKind::MixedGrid: return "MixedGrid";
+    case TrainerKind::Domain: return "Domain";
+    case TrainerKind::Hybrid: return "Hybrid";
+  }
+  return "?";
+}
+
+struct Problem {
+  std::vector<nn::LayerSpec> specs;
+  nn::Dataset data;
+  nn::TrainConfig cfg;
+  nn::BuildOptions build;  // batch trainer only (others take a seed)
+};
+
+/// Small per-trainer problems: 7 iterations with momentum (so restored
+/// velocity buffers matter), checkpoint cadence 3 → recovery points after
+/// steps 3 and 6.
+Problem problem_for(TrainerKind k) {
+  Problem p;
+  p.cfg.batch = 8;
+  p.cfg.lr = 0.02f;
+  p.cfg.momentum = 0.9f;
+  p.cfg.iterations = 7;
+  switch (k) {
+    case TrainerKind::Batch:
+    case TrainerKind::Model:
+    case TrainerKind::Integrated:
+      p.specs = nn::mlp_spec({12, 16, 8});
+      p.data = nn::make_synthetic_dataset(12, 8, 40, /*seed=*/23);
+      break;
+    case TrainerKind::Domain:
+    case TrainerKind::Hybrid: {
+      std::vector<nn::LayerSpec> net;
+      net.push_back(nn::conv_spec("conv1", 2, 8, 8, 4, 3, 1, 1));
+      net.push_back(nn::conv_spec("conv2", 4, 8, 8, 4, 3, 1, 1));
+      net.push_back(nn::fc_spec("fc1", 4 * 8 * 8, 16));
+      net.push_back(nn::fc_spec("fc2", 16, 8, /*relu=*/false));
+      nn::check_chain(net);
+      p.specs = std::move(net);
+      p.data = nn::make_synthetic_dataset(2 * 8 * 8, 8, 40, /*seed=*/23);
+      break;
+    }
+    case TrainerKind::MixedGrid:
+      p.specs = nn::small_cnn_spec(2, 8, 8);
+      p.data = nn::make_synthetic_dataset(2 * 8 * 8, 8, 40, /*seed=*/23);
+      break;
+  }
+  return p;
+}
+
+DistResult run_trainer(comm::Comm& c, TrainerKind k, const Problem& p,
+                       ReduceMode mode, const RecoveryContext* rc) {
+  switch (k) {
+    case TrainerKind::Batch:
+      return train_batch_parallel(c, p.specs, p.data, p.cfg, p.build, mode,
+                                  rc);
+    case TrainerKind::Model:
+      return train_model_parallel(c, p.specs, p.data, p.cfg, /*seed=*/42,
+                                  mode, rc);
+    case TrainerKind::Integrated:
+      return train_integrated_15d(c, {2, 2}, p.specs, p.data, p.cfg,
+                                  /*seed=*/42, mode, /*seconds_per_flop=*/0.0,
+                                  rc);
+    case TrainerKind::MixedGrid:
+      return train_mixed_grid(c, {2, 2}, p.specs, p.data, p.cfg, /*seed=*/42,
+                              mode, rc);
+    case TrainerKind::Domain:
+      return train_domain_parallel(c, p.specs, p.data, p.cfg, /*seed=*/42,
+                                   /*overlap_halo=*/false, mode, rc);
+    case TrainerKind::Hybrid:
+      return train_hybrid(c, {2, 2}, p.specs, p.data, p.cfg, /*seed=*/42,
+                          /*overlap_halo=*/false, mode, rc);
+  }
+  MBD_CHECK(false);
+  return {};
+}
+
+/// Collect every rank's result, asserting the ranks agree bit-for-bit.
+DistResult agree(std::vector<DistResult>& results) {
+  for (int r = 1; r < kP; ++r) {
+    EXPECT_EQ(results[0].losses, results[static_cast<std::size_t>(r)].losses)
+        << "rank " << r << " diverged";
+    EXPECT_EQ(results[0].params, results[static_cast<std::size_t>(r)].params);
+  }
+  return results[0];
+}
+
+/// Fault-free run with an op-counting (empty-plan) injector installed, so
+/// the transport path is identical to the faulted runs and the rank-1 op
+/// count is available for placing the crash mid-run.
+DistResult reference_run(TrainerKind k, const Problem& p, ReduceMode mode,
+                         std::uint64_t* rank1_ops) {
+  comm::World w(kP);
+  w.enable_validation();
+  w.install_faults({});
+  std::vector<DistResult> results(kP);
+  std::mutex mu;
+  w.run([&](comm::Comm& c) {
+    DistResult r = run_trainer(c, k, p, mode, nullptr);
+    std::lock_guard lock(mu);
+    results[static_cast<std::size_t>(c.rank())] = std::move(r);
+  });
+  if (rank1_ops != nullptr) *rank1_ops = w.fault_injector()->op_count(1);
+  return agree(results);
+}
+
+struct RecoveredRun {
+  DistResult result;
+  comm::RecoveryReport report;
+  std::uint64_t commits = 0;
+};
+
+/// Run the trainer under run_restartable with `plan` installed and a
+/// checkpoint-every-3 policy; the final (successful) attempt's results win.
+RecoveredRun recovered_run(TrainerKind k, const Problem& p, ReduceMode mode,
+                           comm::FaultPlan plan,
+                           CheckpointPolicy policy = {.every = 3},
+                           comm::FaultConfig fcfg = {}) {
+  comm::World w(kP);
+  w.enable_validation();
+  w.install_faults(std::move(plan), fcfg);
+  CheckpointStore store(kP);
+  RecoveryContext rc{&store, policy};
+  std::vector<DistResult> results(kP);
+  std::mutex mu;
+  RecoveredRun out;
+  out.report = w.run_restartable([&](comm::Comm& c) {
+    DistResult r = run_trainer(c, k, p, mode, &rc);
+    std::lock_guard lock(mu);
+    results[static_cast<std::size_t>(c.rank())] = std::move(r);
+  });
+  out.result = agree(results);
+  out.commits = store.commits();
+  return out;
+}
+
+comm::FaultPlan crash_at(std::uint64_t op, int rank = 1) {
+  comm::FaultPlan plan;
+  plan.actions.push_back({.kind = comm::FaultKind::CrashRank,
+                          .rank = rank,
+                          .op_index = op});
+  return plan;
+}
+
+class RecoveryMatrix
+    : public ::testing::TestWithParam<std::tuple<TrainerKind, ReduceMode>> {};
+
+TEST_P(RecoveryMatrix, CrashedRunRecoversBitwise) {
+  const auto [kind, mode] = GetParam();
+  const Problem p = problem_for(kind);
+  std::uint64_t rank1_ops = 0;
+  const DistResult ref = reference_run(kind, p, mode, &rank1_ops);
+  ASSERT_GT(rank1_ops, 4U);
+  const auto rec =
+      recovered_run(kind, p, mode, crash_at(rank1_ops / 2));
+  EXPECT_EQ(rec.report.restarts, 1);
+  ASSERT_EQ(rec.report.events.size(), 1U);
+  EXPECT_EQ(rec.report.events[0].kind, "crash");
+  // The acceptance bar: losses and final weights bitwise-equal to the
+  // uninterrupted run.
+  EXPECT_EQ(rec.result.losses, ref.losses);
+  EXPECT_EQ(rec.result.params, ref.params);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Trainers, RecoveryMatrix,
+    ::testing::Combine(::testing::Values(TrainerKind::Batch,
+                                         TrainerKind::Model,
+                                         TrainerKind::Integrated,
+                                         TrainerKind::MixedGrid,
+                                         TrainerKind::Domain,
+                                         TrainerKind::Hybrid),
+                       ::testing::Values(ReduceMode::Blocking,
+                                         ReduceMode::Overlapped)),
+    [](const auto& info) {
+      return std::string(trainer_name(std::get<0>(info.param))) +
+             (std::get<1>(info.param) == ReduceMode::Blocking ? "_Blocking"
+                                                              : "_Overlapped");
+    });
+
+TEST(Recovery, CrashBeforeFirstCheckpointRestartsFromScratch) {
+  const Problem p = problem_for(TrainerKind::Batch);
+  std::uint64_t rank1_ops = 0;
+  const DistResult ref =
+      reference_run(TrainerKind::Batch, p, ReduceMode::Blocking, &rank1_ops);
+  // Cadence longer than the run: no checkpoint is ever committed, so the
+  // restart replays from iteration 0 — and must still match bitwise.
+  const auto rec = recovered_run(TrainerKind::Batch, p, ReduceMode::Blocking,
+                                 crash_at(rank1_ops / 2), {.every = 100});
+  EXPECT_EQ(rec.report.restarts, 1);
+  EXPECT_EQ(rec.commits, 0U);
+  EXPECT_EQ(rec.result.losses, ref.losses);
+  EXPECT_EQ(rec.result.params, ref.params);
+}
+
+TEST(Recovery, CheckpointActuallyCommits) {
+  const Problem p = problem_for(TrainerKind::Batch);
+  std::uint64_t rank1_ops = 0;
+  reference_run(TrainerKind::Batch, p, ReduceMode::Blocking, &rank1_ops);
+  const auto rec = recovered_run(TrainerKind::Batch, p, ReduceMode::Blocking,
+                                 crash_at(rank1_ops - 2), {.every = 3});
+  // 7 iterations at cadence 3 → commits after steps 3 and 6, possibly again
+  // on the restarted attempt.
+  EXPECT_GE(rec.commits, 2U);
+}
+
+TEST(Recovery, IdenticalConfigReplaysIdenticalRecovery) {
+  const Problem p = problem_for(TrainerKind::Model);
+  std::uint64_t rank1_ops = 0;
+  reference_run(TrainerKind::Model, p, ReduceMode::Overlapped, &rank1_ops);
+  const auto once = [&] {
+    return recovered_run(TrainerKind::Model, p, ReduceMode::Overlapped,
+                         crash_at(rank1_ops / 2));
+  };
+  const RecoveredRun a = once();
+  const RecoveredRun b = once();
+  EXPECT_EQ(a.report.restarts, b.report.restarts);
+  EXPECT_EQ(a.report.log, b.report.log);
+  ASSERT_EQ(a.report.events.size(), b.report.events.size());
+  for (std::size_t i = 0; i < a.report.events.size(); ++i)
+    EXPECT_EQ(a.report.events[i].describe(), b.report.events[i].describe());
+  EXPECT_EQ(a.result.losses, b.result.losses);
+  EXPECT_EQ(a.result.params, b.result.params);
+}
+
+TEST(Recovery, SeededPlanWithSendFaultsStillRecoversBitwise) {
+  // A full random plan: drop + duplicate + delay land on the crash rank
+  // before the crash; the reliability substrate absorbs them and the restart
+  // absorbs the crash.
+  const Problem p = problem_for(TrainerKind::Batch);
+  const DistResult ref =
+      reference_run(TrainerKind::Batch, p, ReduceMode::Blocking, nullptr);
+  const auto plan = comm::FaultPlan::random(
+      /*seed=*/5, kP,
+      {.crashes = 1, .drops = 1, .duplicates = 1, .delays = 1, .min_op = 12,
+       .max_op = 40});
+  const auto rec =
+      recovered_run(TrainerKind::Batch, p, ReduceMode::Blocking, plan,
+                    {.every = 3}, {.retry_interval = std::chrono::milliseconds(10)});
+  EXPECT_EQ(rec.report.restarts, 1);
+  EXPECT_EQ(rec.result.losses, ref.losses);
+  EXPECT_EQ(rec.result.params, ref.params);
+}
+
+TEST(Recovery, DropoutRecoversWithoutRngSnapshot) {
+  // Dropout masks are a pure function of (seed, iteration, sample), so a
+  // restored step counter reproduces them exactly — no RNG state in the
+  // checkpoint.
+  Problem p = problem_for(TrainerKind::Batch);
+  p.build.dropout_prob = 0.2;
+  std::uint64_t rank1_ops = 0;
+  const DistResult ref =
+      reference_run(TrainerKind::Batch, p, ReduceMode::Blocking, &rank1_ops);
+  const auto rec = recovered_run(TrainerKind::Batch, p, ReduceMode::Blocking,
+                                 crash_at(rank1_ops / 2));
+  EXPECT_EQ(rec.report.restarts, 1);
+  EXPECT_EQ(rec.result.losses, ref.losses);
+  EXPECT_EQ(rec.result.params, ref.params);
+}
+
+TEST(CheckpointStore, StageCommitRestoreSemantics) {
+  CheckpointStore store(2);
+  EXPECT_FALSE(store.valid());
+  EXPECT_EQ(store.commits(), 0U);
+  store.stage_rank(0, {1.0f, 2.0f}, {0.5});
+  store.stage_rank(1, {3.0f}, {0.5});
+  EXPECT_FALSE(store.valid());  // staging alone is not a recovery point
+  store.commit(/*next_step=*/3);
+  EXPECT_TRUE(store.valid());
+  EXPECT_EQ(store.step(), 3U);
+  EXPECT_EQ(store.commits(), 1U);
+  EXPECT_EQ(store.state(0), (std::vector<float>{1.0f, 2.0f}));
+  EXPECT_EQ(store.state(1), (std::vector<float>{3.0f}));
+  EXPECT_EQ(store.losses(0), (std::vector<double>{0.5}));
+  // Re-staging never touches the committed slots until the next commit.
+  store.stage_rank(0, {9.0f, 9.0f}, {0.9});
+  EXPECT_EQ(store.state(0), (std::vector<float>{1.0f, 2.0f}));
+  store.stage_rank(1, {8.0f}, {0.9});
+  store.commit(/*next_step=*/6);
+  EXPECT_EQ(store.step(), 6U);
+  EXPECT_EQ(store.state(0), (std::vector<float>{9.0f, 9.0f}));
+  store.reset();
+  EXPECT_FALSE(store.valid());
+  EXPECT_EQ(store.commits(), 0U);
+}
+
+}  // namespace
+}  // namespace mbd::parallel
