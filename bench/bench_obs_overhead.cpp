@@ -1,0 +1,136 @@
+// Profiler overhead, measured on the two hot paths the timeline profiler
+// instruments:
+//
+//  * gemm_off / gemm_on           — single-thread gemm_nn 96x96x96; the "on"
+//                                   run records one Gemm span (plus nested
+//                                   Pack spans) per call
+//  * allreduce_off / allreduce_on — 4-rank iallreduce().wait() loop on a
+//                                   16 KiB buffer; the "on" run records a
+//                                   CollPost and a CollWait span per call
+//
+// Per-case `ns` is per-iteration wall time (median of kReps), so the on/off
+// ratio per path reads directly as the runtime-enabled profiler tax. The
+// committed BENCH_obs.json baseline gates these in the perf-regression CI
+// job; the off cases double as the compiled-in-but-disabled cost guard the
+// observability subsystem promises (docs/observability.md).
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "mbd/comm/world.hpp"
+#include "mbd/obs/metrics.hpp"
+#include "mbd/obs/profiler.hpp"
+#include "mbd/tensor/gemm.hpp"
+#include "mbd/tensor/matrix.hpp"
+
+namespace {
+
+using namespace mbd;
+
+constexpr int kReps = 5;
+constexpr std::size_t kGemmDim = 96;
+constexpr std::size_t kGemmIters = 400;
+constexpr int kP = 4;
+constexpr std::size_t kCollWords = 4096;
+constexpr std::size_t kCollIters = 512;
+
+double median_ns_per_iter(std::size_t iters, const std::function<void()>& fn) {
+  fn();  // warm-up: page faults, thread spawn, and buffer growth land here
+  std::vector<double> ns;
+  ns.reserve(kReps);
+  for (int i = 0; i < kReps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    ns.push_back(static_cast<double>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
+                                                                          t0)
+                         .count()) /
+                 static_cast<double>(iters));
+  }
+  std::sort(ns.begin(), ns.end());
+  return ns[ns.size() / 2];
+}
+
+double gemm_ns_per_iter(bool profile) {
+  obs::enable_profiling(profile);
+  obs::reset_timeline();
+  tensor::Matrix a(kGemmDim, kGemmDim);
+  tensor::Matrix b(kGemmDim, kGemmDim);
+  tensor::Matrix c(kGemmDim, kGemmDim);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(i % 7) * 0.25f;
+    b.data()[i] = static_cast<float>(i % 5) * 0.5f;
+  }
+  const double ns = median_ns_per_iter(kGemmIters, [&] {
+    obs::reset_timeline();  // keep span buffers from growing across reps
+    for (std::size_t i = 0; i < kGemmIters; ++i)
+      tensor::gemm_nn(a, b, c, 1.0f, 0.0f);
+  });
+  obs::reset_timeline();
+  return ns;
+}
+
+double allreduce_ns_per_iter(bool profile) {
+  obs::enable_profiling(profile);
+  obs::reset_timeline();
+  const double ns = median_ns_per_iter(kCollIters, [&] {
+    obs::reset_timeline();
+    comm::World world(kP);
+    world.disable_validation();  // measure the transport, not the watchdog
+    world.run([](comm::Comm& c) {
+      std::vector<float> buf(kCollWords, 1.0f);
+      for (std::size_t i = 0; i < kCollIters; ++i)
+        c.iallreduce(std::span<float>(buf)).wait();
+    });
+  });
+  obs::reset_timeline();
+  return ns;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mbd::bench::open_json_sink(argc, argv, "bench_obs_overhead");
+  // The sink turns the one-shot GEMM shape logger on; its per-call cost is
+  // identical for the off and on runs, so the ratio is unaffected.
+
+  const double gemm_off = gemm_ns_per_iter(false);
+  const double gemm_on = gemm_ns_per_iter(true);
+  const double coll_off = allreduce_ns_per_iter(false);
+  const double coll_on = allreduce_ns_per_iter(true);
+  obs::enable_profiling(false);
+
+  std::cout << "-- profiler overhead: gemm_nn " << kGemmDim << "^3 x"
+            << kGemmIters << ", iallreduce " << kCollWords << "f P=" << kP
+            << " x" << kCollIters << " (median of " << kReps << ") --\n";
+  std::cout << std::left << std::setw(16) << "case" << std::right
+            << std::setw(14) << "ns/iter" << std::setw(12) << "on/off"
+            << '\n';
+  const auto row = [&](const std::string& name, double ns, double ratio) {
+    std::cout << std::left << std::setw(16) << name << std::right
+              << std::fixed << std::setprecision(1) << std::setw(14) << ns
+              << std::setprecision(4) << std::setw(12);
+    if (ratio > 0.0)
+      std::cout << ratio;
+    else
+      std::cout << "-";
+    std::cout << '\n';
+    mbd::bench::record_json(name, 0, ns, 0);
+  };
+  row("gemm_off", gemm_off, 0.0);
+  row("gemm_on", gemm_on, gemm_on / gemm_off);
+  row("allreduce_off", coll_off, 0.0);
+  row("allreduce_on", coll_on, coll_on / coll_off);
+  obs::Metrics::instance().gauge_set("obs.overhead.gemm_ratio",
+                                     gemm_on / gemm_off);
+  obs::Metrics::instance().gauge_set("obs.overhead.allreduce_ratio",
+                                     coll_on / coll_off);
+  return 0;
+}

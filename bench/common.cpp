@@ -6,7 +6,9 @@
 #include <cstdlib>
 #include <utility>
 
+#include "mbd/obs/metrics.hpp"
 #include "mbd/support/units.hpp"
+#include "mbd/tensor/gemm.hpp"
 
 namespace mbd::bench {
 
@@ -51,14 +53,28 @@ void flush_sink() {
                  s.path.c_str());
     return;
   }
+  // Metric records ride along after the timing records: counters/gauges from
+  // the obs registry (GEMM shape inventory, ...) as {"case": "metric:<name>",
+  // "value": ...} — deliberately without "ns", so regression tooling knows
+  // they are not timings (scripts/check_bench_regression.py skips them).
+  const auto metrics = obs::Metrics::instance().snapshot();
   std::fputs("[\n", f);
-  for (std::size_t i = 0; i < s.records.size(); ++i) {
-    const auto& [name, v] = s.records[i];
+  const std::size_t total = s.records.size() + metrics.size();
+  std::size_t emitted = 0;
+  for (const auto& [name, v] : s.records) {
+    ++emitted;
     std::fprintf(f,
                  "  {\"bench\": \"%s\", \"case\": \"%s\", \"bytes\": %.17g,"
                  " \"ns\": %.17g, \"gflops\": %.17g}%s\n",
                  s.bench.c_str(), name.c_str(), v[0], v[1], v[2],
-                 i + 1 == s.records.size() ? "" : ",");
+                 emitted == total ? "" : ",");
+  }
+  for (const auto& m : metrics) {
+    ++emitted;
+    std::fprintf(f, "  {\"bench\": \"%s\", \"case\": \"metric:%s\","
+                    " \"value\": %.17g}%s\n",
+                 s.bench.c_str(), m.name.c_str(), m.value,
+                 emitted == total ? "" : ",");
   }
   std::fputs("]\n", f);
   std::fclose(f);
@@ -77,6 +93,9 @@ void open_json_sink(int& argc, char** argv, const std::string& bench_name) {
     s.path = argv[i + 1];
     s.bench = bench_name;
     s.open = true;
+    // Shape inventory for the record stream (one counter per distinct GEMM
+    // shape the process issues), replacing the old stderr-only logger.
+    tensor::set_gemm_shape_metrics(true);
     // Strip the two arguments so later flag parsers never see them.
     for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
     argc -= 2;

@@ -9,7 +9,10 @@ Both files hold a JSON array of records {bench, case, bytes, ns, gflops}
 regression when fresh ns exceeds baseline ns by more than the threshold
 ratio (default 1.25 = 25% slower). Cases present on only one side are
 reported but never fail the gate, so adding or retiring benchmarks does not
-require touching the baseline in the same commit.
+require touching the baseline in the same commit. Records without an "ns"
+field (metric records: {"case": "metric:...", "value": ...} from the obs
+registry) are listed as METRIC and never gated — they are inventories, not
+timings.
 
 Exit status: 0 clean, 1 regression(s), 2 usage/input error.
 """
@@ -38,7 +41,9 @@ def load_records(path: str) -> dict[tuple[str, str], dict]:
     return out
 
 
-def fmt_ns(ns: float) -> str:
+def fmt_ns(ns: float | None) -> str:
+    if ns is None:
+        return "-"
     if ns >= 1e9:
         return f"{ns / 1e9:.3f} s"
     if ns >= 1e6:
@@ -70,23 +75,30 @@ def main() -> int:
     for key in sorted(base.keys() | fresh.keys()):
         b, f = base.get(key), fresh.get(key)
         case = f"{key[0]}:{key[1]}"
+        b_ns = b.get("ns") if b is not None else None
+        f_ns = f.get("ns") if f is not None else None
         if b is None:
-            rows.append((case, "-", fmt_ns(f["ns"]), "-", "NEW"))
+            rows.append((case, "-", fmt_ns(f_ns), "-", "NEW"))
             continue
         if f is None:
-            rows.append((case, fmt_ns(b["ns"]), "-", "-", "MISSING"))
+            rows.append((case, fmt_ns(b_ns), "-", "-", "MISSING"))
             continue
-        if b["ns"] <= 0:
-            rows.append((case, fmt_ns(b["ns"]), fmt_ns(f["ns"]), "-", "SKIP"))
+        if b_ns is None or f_ns is None:
+            # Metric records (and any future non-timing record) carry no
+            # "ns"; list them for visibility, never gate on them.
+            rows.append((case, fmt_ns(b_ns), fmt_ns(f_ns), "-", "METRIC"))
             continue
-        ratio = f["ns"] / b["ns"]
+        if b_ns <= 0:
+            rows.append((case, fmt_ns(b_ns), fmt_ns(f_ns), "-", "SKIP"))
+            continue
+        ratio = f_ns / b_ns
         status = "OK"
         if ratio > args.threshold:
             status = "REGRESSION"
             regressions.append((case, ratio))
         elif ratio < 1 / args.threshold:
             status = "FASTER"
-        rows.append((case, fmt_ns(b["ns"]), fmt_ns(f["ns"]), f"{ratio:.2f}x", status))
+        rows.append((case, fmt_ns(b_ns), fmt_ns(f_ns), f"{ratio:.2f}x", status))
 
     headers = ("case", "baseline", "fresh", "ratio", "status")
     widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i]) for i in range(5)]

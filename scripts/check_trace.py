@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Schema-check a Chrome trace-event JSON exported by mbd/obs/chrome_trace.
+
+    scripts/check_trace.py trace.json [--expect-ranks N]
+
+Checks (see docs/observability.md):
+  * top level is {"traceEvents": [...]}
+  * every event has string "name"/"ph" and integer "pid"
+  * every complete ("X") event has ts/dur/tid/cat and a deterministic
+    args.seq
+  * exactly one process_name metadata event per pid; with --expect-ranks N,
+    processes named "rank 0" .. "rank N-1" must all be present
+  * flow arrows pair up: each flow id has exactly one "s" (post) and one
+    "f" (completing wait/drain), and every coll_post event carrying
+    args.flow has its arrow emitted
+
+Exit status: 0 schema-valid, 1 violation(s), 2 usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace JSON file")
+    ap.add_argument(
+        "--expect-ranks",
+        type=int,
+        default=0,
+        help="require process rows for ranks 0..N-1",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {args.trace}: {e}")
+
+    errors: list[str] = []
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        sys.exit(f"error: {args.trace}: top level must be {{'traceEvents': [...]}}")
+    events = doc["traceEvents"]
+
+    process_names: dict[int, list[str]] = {}
+    flow_starts: dict[int, int] = {}
+    flow_finishes: dict[int, int] = {}
+    posted_flows: set[int] = set()
+    n_complete = 0
+
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(ev.get("name"), str) or not isinstance(ev.get("ph"), str):
+            errors.append(f"{where}: missing string name/ph")
+            continue
+        if not isinstance(ev.get("pid"), int):
+            errors.append(f"{where}: missing integer pid")
+            continue
+        ph = ev["ph"]
+        if ph == "M":
+            if ev["name"] == "process_name":
+                name = ev.get("args", {}).get("name")
+                if not isinstance(name, str):
+                    errors.append(f"{where}: process_name without args.name")
+                else:
+                    process_names.setdefault(ev["pid"], []).append(name)
+        elif ph == "X":
+            n_complete += 1
+            for field, ty in (("ts", (int, float)), ("dur", (int, float)),
+                              ("tid", int), ("cat", str)):
+                if not isinstance(ev.get(field), ty):
+                    errors.append(f"{where} ({ev['name']}): missing {field}")
+            ev_args = ev.get("args", {})
+            if not isinstance(ev_args.get("seq"), int):
+                errors.append(f"{where} ({ev['name']}): missing args.seq")
+            if ev["name"].startswith("coll_post:") and "flow" in ev_args:
+                posted_flows.add(ev_args["flow"])
+        elif ph in ("s", "f"):
+            fid = ev.get("id")
+            if not isinstance(fid, int):
+                errors.append(f"{where}: flow event without integer id")
+                continue
+            bucket = flow_starts if ph == "s" else flow_finishes
+            bucket[fid] = bucket.get(fid, 0) + 1
+
+    for pid, names in sorted(process_names.items()):
+        if len(names) > 1:
+            errors.append(f"pid {pid}: named {len(names)} times: {names}")
+    rank_pids = {
+        name: pid
+        for pid, names in process_names.items()
+        for name in names
+        if name.startswith("rank ")
+    }
+    for r in range(args.expect_ranks):
+        if f"rank {r}" not in rank_pids:
+            errors.append(f"no process row for rank {r}")
+
+    for fid, n in sorted(flow_starts.items()):
+        if n != 1:
+            errors.append(f"flow {fid}: {n} start events (want 1)")
+        if flow_finishes.get(fid, 0) != 1:
+            errors.append(
+                f"flow {fid}: {flow_finishes.get(fid, 0)} finish events (want 1)"
+            )
+    for fid in sorted(set(flow_finishes) - set(flow_starts)):
+        errors.append(f"flow {fid}: finish without start")
+    for fid in sorted(posted_flows - set(flow_starts)):
+        errors.append(f"flow {fid}: coll_post carries it but no arrow emitted")
+
+    if errors:
+        print(f"{args.trace}: {len(errors)} schema violation(s):", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(
+        f"{args.trace}: OK — {n_complete} spans, {len(flow_starts)} flow "
+        f"arrows, {len(process_names)} processes"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,7 @@ BENCHES=(
   bench_validation_volume
   bench_executable_scaling
   bench_recovery
+  bench_obs_overhead
 )
 
 for name in "${BENCHES[@]}"; do

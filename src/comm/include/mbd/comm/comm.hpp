@@ -23,6 +23,7 @@
 #include "mbd/comm/fabric.hpp"
 #include "mbd/comm/nonblocking.hpp"
 #include "mbd/comm/validator.hpp"
+#include "mbd/obs/profiler.hpp"
 #include "mbd/support/check.hpp"
 
 namespace mbd::comm {
@@ -77,6 +78,8 @@ class Comm {
   template <typename T>
   std::vector<T> sendrecv(int dst, std::span<const T> send_data, int src,
                           int tag = 0) {
+    obs::ScopedSpan obs_span(obs::SpanKind::CollWait, "sendrecv");
+    obs_span.set_args(send_data.size() * sizeof(T), 0);
     send_bytes(dst, as_bytes_span(send_data), tag, Coll::PointToPoint);
     return from_bytes<T>(recv_bytes(src, tag));
   }
@@ -230,9 +233,11 @@ class Comm {
   int global_rank(int comm_rank) const;
 
   // Registers `op` with the validator (leak tracking), eagerly advances it
-  // once (posting round-0 sends), and wraps it in a handle.
+  // once (posting round-0 sends), and wraps it in a handle. `op_name` must
+  // point at a string literal: the profiler keeps it for the lifetime of the
+  // timeline (CollPost span label + completion-span label via obs_what).
   CollectiveHandle make_handle(std::unique_ptr<detail::PendingOp> op,
-                               std::string what);
+                               const char* op_name, std::string what);
 
   // Registers a collective entry with the World's validator (no-op when
   // validation is off). Throws ValidationError on a cross-rank mismatch.
@@ -329,6 +334,8 @@ template <typename T>
 void Comm::broadcast(std::span<T> data, int root) {
   const int p = size();
   MBD_CHECK(root >= 0 && root < p);
+  obs::ScopedSpan obs_span(obs::SpanKind::CollWait, "broadcast");
+  obs_span.set_args(data.size() * sizeof(T), 0);
   validate_entry({.kind = OpKind::Broadcast,
                   .count = data.size(),
                   .elem_size = sizeof(T),
@@ -359,6 +366,8 @@ template <typename T, typename Op>
 void Comm::reduce(std::span<T> data, int root, Op op) {
   const int p = size();
   MBD_CHECK(root >= 0 && root < p);
+  obs::ScopedSpan obs_span(obs::SpanKind::CollWait, "reduce");
+  obs_span.set_args(data.size() * sizeof(T), 0);
   validate_entry({.kind = OpKind::Reduce,
                   .count = data.size(),
                   .elem_size = sizeof(T),
@@ -387,6 +396,8 @@ void Comm::reduce(std::span<T> data, int root, Op op) {
 
 template <typename T>
 std::vector<T> Comm::allgather(std::span<const T> local, AllGatherAlgo algo) {
+  obs::ScopedSpan obs_span(obs::SpanKind::CollWait, "allgather");
+  obs_span.set_args(local.size() * sizeof(T), 0);
   validate_entry({.kind = OpKind::AllGather,
                   .count = local.size(),
                   .elem_size = sizeof(T),
@@ -460,6 +471,8 @@ template <typename T>
 std::vector<T> Comm::alltoall(std::span<const T> data, std::size_t chunk) {
   const int p = size();
   MBD_CHECK_EQ(data.size(), chunk * static_cast<std::size_t>(p));
+  obs::ScopedSpan obs_span(obs::SpanKind::CollWait, "alltoall");
+  obs_span.set_args(data.size() * sizeof(T), 0);
   validate_entry({.kind = OpKind::AllToAll,
                   .count = chunk,
                   .elem_size = sizeof(T),
@@ -491,6 +504,8 @@ std::vector<T> Comm::alltoall(std::span<const T> data, std::size_t chunk) {
 template <typename T>
 std::vector<T> Comm::allgatherv(std::span<const T> local) {
   // Per-rank counts legitimately differ; only kind and element type match.
+  obs::ScopedSpan obs_span(obs::SpanKind::CollWait, "allgatherv");
+  obs_span.set_args(local.size() * sizeof(T), 0);
   validate_entry({.kind = OpKind::AllGatherV,
                   .count = CollectiveDesc::kAnyCount,
                   .elem_size = sizeof(T),
@@ -523,6 +538,8 @@ std::vector<T> Comm::allgatherv(std::span<const T> local) {
 
 template <typename T, typename Op>
 void Comm::allreduce(std::span<T> data, Op op, AllReduceAlgo algo) {
+  obs::ScopedSpan obs_span(obs::SpanKind::CollWait, "allreduce");
+  obs_span.set_args(data.size() * sizeof(T), 0);
   validate_entry({.kind = OpKind::AllReduce,
                   .count = data.size(),
                   .elem_size = sizeof(T),
@@ -707,6 +724,8 @@ void Comm::allreduce_rabenseifner(std::span<T> data, Op op) {
 
 template <typename T, typename Op>
 std::vector<T> Comm::reduce_scatter(std::span<const T> data, Op op) {
+  obs::ScopedSpan obs_span(obs::SpanKind::CollWait, "reduce_scatter");
+  obs_span.set_args(data.size() * sizeof(T), 0);
   validate_entry({.kind = OpKind::ReduceScatter,
                   .count = data.size(),
                   .elem_size = sizeof(T),
@@ -743,6 +762,8 @@ std::vector<T> Comm::gather(std::span<const T> local, int root) {
   const int p = size();
   MBD_CHECK(root >= 0 && root < p);
   // Linear gather concatenates whatever each rank offers; sizes may differ.
+  obs::ScopedSpan obs_span(obs::SpanKind::CollWait, "gather");
+  obs_span.set_args(local.size() * sizeof(T), 0);
   validate_entry({.kind = OpKind::Gather,
                   .count = CollectiveDesc::kAnyCount,
                   .elem_size = sizeof(T),
@@ -769,6 +790,8 @@ std::vector<T> Comm::scatter(std::span<const T> all, int root,
                              std::size_t chunk) {
   const int p = size();
   MBD_CHECK(root >= 0 && root < p);
+  obs::ScopedSpan obs_span(obs::SpanKind::CollWait, "scatter");
+  obs_span.set_args(chunk * sizeof(T), 0);
   validate_entry({.kind = OpKind::Scatter,
                   .count = chunk,
                   .elem_size = sizeof(T),
@@ -1009,6 +1032,7 @@ CollectiveHandle Comm::iallreduce(std::span<T> data, Op op) {
   if (size() == 1) return {};
   return make_handle(std::make_unique<detail::IAllReduceOp<T, Op>>(
                          *this, data, op, nb_tag_block()),
+                     "iallreduce",
                      "iallreduce(count=" + std::to_string(data.size()) + ')');
 }
 
@@ -1028,7 +1052,7 @@ CollectiveHandle Comm::iallgather(std::span<const T> local, std::span<T> out) {
   if (size() == 1) return {};
   return make_handle(std::make_unique<detail::IAllGatherOp<T>>(
                          *this, out, m, nb_tag_block()),
-                     "iallgather(count=" + std::to_string(m) + ')');
+                     "iallgather", "iallgather(count=" + std::to_string(m) + ')');
 }
 
 template <typename T>
@@ -1046,6 +1070,7 @@ CollectiveHandle Comm::iallgatherv(std::span<const T> local,
   }
   return make_handle(std::make_unique<detail::IAllGatherVOp<T>>(
                          *this, local, out, nb_tag_block()),
+                     "iallgatherv",
                      "iallgatherv(local_count=" + std::to_string(local.size()) +
                          ')');
 }
@@ -1059,6 +1084,7 @@ CollectiveHandle Comm::isendrecv(int dst, std::span<const T> send_data,
   send_bytes(dst, as_bytes_span(send_data), tag, Coll::PointToPoint);
   return make_handle(
       std::make_unique<detail::IRecvOp<T>>(*this, src, tag, recv_out),
+      "isendrecv",
       "isendrecv(from=" + std::to_string(global_rank(src)) +
           ", tag=" + std::to_string(tag) + ')');
 }

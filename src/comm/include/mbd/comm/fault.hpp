@@ -177,6 +177,12 @@ class FaultInjector {
   std::uint64_t retransmit_count() const {
     return retransmits_.load(std::memory_order_relaxed);
   }
+  /// Payload bytes re-deposited by retry_deliver. Kept apart from
+  /// StatsCounters on purpose: a collective's logical volume is counted
+  /// exactly once at send time, and retransmissions must never inflate it.
+  std::uint64_t retransmit_bytes() const {
+    return retransmit_bytes_.load(std::memory_order_relaxed);
+  }
   /// Appended to the watchdog's deadlock report so a stall caused by an
   /// injected fault names its cause.
   std::string attribution_note() const;
@@ -213,6 +219,7 @@ class FaultInjector {
   // and whatever peers still do is teardown, not the experiment.
   std::atomic<bool> disarmed_{false};
   std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> retransmit_bytes_{0};
 
   mutable std::mutex buf_mu_;  // guards swallowed_ + deferred_
   std::vector<std::vector<Message>> swallowed_;  // by destination rank

@@ -63,6 +63,11 @@ struct PendingOp {
   Validator* validator = nullptr;
   int global_rank = -1;
   std::uint64_t nb_token = 0;
+  // Profiler flow id linking this op's CollPost span to the CollWait/NbDrain
+  // span that completes it (0 when profiling is off). Deterministic: derived
+  // from (rank, per-thread counter), not from the validator's global token.
+  std::uint64_t obs_flow = 0;
+  const char* obs_what = "";  ///< static label for completion spans
 };
 
 }  // namespace detail

@@ -149,11 +149,20 @@ bool Comm::try_recv_bytes(int src, int tag, std::vector<std::byte>& out) {
 }
 
 CollectiveHandle Comm::make_handle(std::unique_ptr<detail::PendingOp> op,
-                                   std::string what) {
+                                   const char* op_name, std::string what) {
   if (Validator* v = fabric_->validator.get()) {
     op->validator = v;
     op->global_rank = global_rank(rank_);
     op->nb_token = v->on_nb_initiated(op->global_rank, std::move(what));
+  }
+  // The CollPost span covers initiation (round-0 sends); its flow id is
+  // echoed by the CollWait/NbDrain span that later completes the op, which
+  // the Chrome-trace exporter turns into an arrow across the timeline.
+  obs::ScopedSpan obs_span(obs::SpanKind::CollPost, op_name);
+  op->obs_what = op_name;
+  if (obs_span.active()) {
+    op->obs_flow = obs::next_flow_id();
+    obs_span.set_flow(op->obs_flow);
   }
   CollectiveHandle h(std::move(op));
   // Post round 0 only — never consume here. Buffered sends keep peers from
@@ -173,6 +182,7 @@ void Comm::annotate_compute(double seconds) {
 }
 
 void Comm::barrier() {
+  obs::ScopedSpan obs_span(obs::SpanKind::CollWait, "barrier");
   validate_entry({.kind = OpKind::Barrier});
   const int p = size();
   const std::byte token{0};

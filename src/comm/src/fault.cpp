@@ -4,6 +4,7 @@
 #include <sstream>
 #include <thread>
 
+#include "mbd/obs/profiler.hpp"
 #include "mbd/support/rng.hpp"
 
 namespace mbd::comm {
@@ -254,17 +255,25 @@ void FaultInjector::deliver(std::vector<Mailbox>& mailboxes, int src, int dst,
 }
 
 void FaultInjector::retry_deliver(std::vector<Mailbox>& mailboxes, int dst) {
+  // The retry timer fires on wall-clock, so only a retry that actually
+  // flushes something records a span — empty polls would make the span
+  // structure timing-dependent.
+  const bool prof = obs::profiling_enabled();
+  const std::uint64_t t0 = prof ? obs::now_ns() : 0;
   std::size_t flushed = 0;
+  std::uint64_t bytes = 0;
   {
     std::lock_guard lock(buf_mu_);
     auto& sw = swallowed_[static_cast<std::size_t>(dst)];
     for (auto& m : sw) {
+      bytes += m.payload.size();
       mailboxes[static_cast<std::size_t>(dst)].push(std::move(m));
       ++flushed;
     }
     sw.clear();
     for (auto it = deferred_.begin(); it != deferred_.end();) {
       if (it->dst == dst) {
+        bytes += it->msg.payload.size();
         mailboxes[static_cast<std::size_t>(dst)].push(std::move(it->msg));
         it = deferred_.erase(it);
         ++flushed;
@@ -274,7 +283,12 @@ void FaultInjector::retry_deliver(std::vector<Mailbox>& mailboxes, int dst) {
     }
   }
   if (flushed == 0) return;
+  if (prof) {
+    obs::record_span(obs::SpanKind::FaultRetry, "retry_deliver", t0,
+                     obs::now_ns(), /*flow=*/0, flushed, bytes);
+  }
   retransmits_.fetch_add(flushed, std::memory_order_relaxed);
+  retransmit_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   std::ostringstream os;
   os << "retransmitted " << flushed
      << " message(s) to rank " << dst << " after recv timeout";

@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "mbd/comm/validator.hpp"
+#include "mbd/obs/profiler.hpp"
 
 namespace mbd::comm {
 
@@ -17,14 +18,24 @@ CollectiveHandle::~CollectiveHandle() {
 
 bool CollectiveHandle::test() {
   if (done()) return true;
-  if (!op_->advance(detail::Drive::Poll)) return false;
+  bool completed;
+  {
+    obs::ScopedSpan span(obs::SpanKind::NbDrain, op_->obs_what);
+    span.set_flow(op_->obs_flow);
+    completed = op_->advance(detail::Drive::Poll);
+  }
+  if (!completed) return false;
   finish();
   return true;
 }
 
 void CollectiveHandle::wait() {
   if (done()) return;
-  op_->advance(detail::Drive::Block);
+  {
+    obs::ScopedSpan span(obs::SpanKind::CollWait, op_->obs_what);
+    span.set_flow(op_->obs_flow);
+    op_->advance(detail::Drive::Block);
+  }
   finish();
 }
 

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "mbd/obs/profiler.hpp"
 #include "mbd/support/check.hpp"
 
 namespace mbd::comm {
@@ -44,6 +45,7 @@ void World::run(const std::function<void(Comm&)>& fn) {
   threads.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([&, r] {
+      obs::bind_thread(r);
       try {
         Comm comm(fabric_, /*context=*/1, members, r);
         fn(comm);

@@ -1,0 +1,25 @@
+// Chrome trace-event exporter for timeline snapshots.
+//
+// Emits the JSON Object Format ({"traceEvents": [...]}) understood by
+// chrome://tracing and https://ui.perfetto.dev: one *process* per rank
+// (pid = rank + 1; unbound threads land in pid 0 "unbound"), one *thread*
+// row per (rank, life), a complete ("X") event per span with microsecond
+// ts/dur, and flow events ("s" at each CollPost, "f" at the matching
+// CollWait/NbDrain) so the arrow from a collective's initiation to its
+// completion is visible across the timeline. docs/observability.md shows
+// the schema and a how-to.
+#pragma once
+
+#include <string>
+
+#include "mbd/obs/profiler.hpp"
+
+namespace mbd::obs {
+
+/// Serialize `snap` as Chrome trace-event JSON.
+std::string chrome_trace_json(const TimelineSnapshot& snap);
+
+/// Write chrome_trace_json(snap) to `path`. Throws mbd::Error on I/O error.
+void write_chrome_trace(const std::string& path, const TimelineSnapshot& snap);
+
+}  // namespace mbd::obs

@@ -1,0 +1,61 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms, snapshot-able to JSON. Replaces the ad-hoc one-shot loggers
+// (e.g. the MBD_GEMM_LOG_SHAPES stderr printer) with records that land in
+// every bench's --json sink (bench/common.cpp appends a
+// {"bench", "case": "metric:<name>", "value": ...} record per metric).
+//
+// Metrics are not a hot-path facility: every mutation takes one mutex and a
+// map lookup. Instrument per-call code through the timeline profiler
+// (mbd/obs/profiler.hpp) instead; use metrics for occurrence counts, shapes,
+// and configuration facts that should survive into machine-readable output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbd::obs {
+
+/// Power-of-two bucket histogram: bucket i counts observations in
+/// [2^i, 2^(i+1)) with bucket 0 catching everything below 2 and the last
+/// bucket everything at or above 2^(kBuckets-1).
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 32;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::uint64_t buckets[kBuckets] = {};
+};
+
+/// One named metric in a snapshot. `value` is the counter value, the gauge
+/// value, or the histogram sum; histograms additionally carry `hist`.
+struct MetricValue {
+  enum class Kind { Counter, Gauge, Histogram };
+  std::string name;
+  Kind kind = Kind::Counter;
+  double value = 0.0;
+  HistogramSnapshot hist;
+};
+
+class Metrics {
+ public:
+  /// The process-wide registry.
+  static Metrics& instance();
+
+  void counter_add(const std::string& name, double v = 1.0);
+  void gauge_set(const std::string& name, double v);
+  void hist_observe(const std::string& name, double v);
+
+  /// All metrics, sorted by name (stable across runs).
+  std::vector<MetricValue> snapshot() const;
+  /// Serialize the snapshot as a JSON array of
+  /// {"name", "kind", "value"[, "count", "buckets"]} objects.
+  std::string to_json() const;
+  void reset();
+
+ private:
+  Metrics() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace mbd::obs

@@ -1,0 +1,48 @@
+// Overlap analysis over recorded timelines.
+//
+// The paper's Fig. 8 question — how much communication hides behind
+// backprop compute — becomes measurable once real runs are profiled: in a
+// single-threaded rank, every nanosecond spent inside a communication span
+// (CollPost, CollWait, NbDrain, the blocking collectives recorded as
+// CollWait) is *exposed* communication, and overlap shows up as those spans
+// shrinking when the schedule switches from ReduceMode::Blocking to
+// Overlapped while the wire traffic stays byte-identical. The measured
+// hidden fraction is therefore
+//
+//   hidden = 1 − exposed_comm(overlapped) / exposed_comm(blocking)
+//
+// evaluated on the critical rank (the one with the most exposed
+// communication), directly comparable to the replay-predicted fraction
+// (costmodel::replay_trace with inflight_transfer) and the analytic bound
+// min(f·comm, f·compute)/comm with f = 2/3.
+#pragma once
+
+#include <vector>
+
+#include "mbd/obs/profiler.hpp"
+
+namespace mbd::obs {
+
+/// Wall-time decomposition of one rank's timeline.
+struct RankActivity {
+  int rank = -1;
+  double comm_seconds = 0.0;     ///< CollPost + CollWait + NbDrain
+  double compute_seconds = 0.0;  ///< Gemm + Im2col (Pack nests inside Gemm)
+  double span_seconds = 0.0;     ///< last span end − first span start
+};
+
+/// Per-rank activity extracted from a snapshot (unbound threads skipped;
+/// a rank's threads are merged). Sorted by rank.
+std::vector<RankActivity> rank_activity(const TimelineSnapshot& snap);
+
+/// Exposed communication of the critical rank: max over ranks of
+/// comm_seconds. Returns 0 when the snapshot holds no bound threads.
+double critical_comm_seconds(const TimelineSnapshot& snap);
+
+/// Measured hidden fraction between two runs of identical traffic, clamped
+/// to [0, 1]: 1 − critical_comm(overlapped)/critical_comm(blocking).
+/// Returns 0 when the blocking run recorded no communication.
+double measured_hidden_fraction(const TimelineSnapshot& blocking,
+                                const TimelineSnapshot& overlapped);
+
+}  // namespace mbd::obs

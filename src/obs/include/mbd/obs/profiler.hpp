@@ -1,0 +1,181 @@
+// Per-rank timeline profiler.
+//
+// Every instrumented hot path (GEMM macro-kernel, collective post/wait,
+// nonblocking drains, layer-engine stage boundaries, checkpoint and fault
+// retransmission paths) records typed *spans* into a lock-free per-thread
+// buffer. A span carries a deterministic identity — (rank, bind-life,
+// per-thread op sequence) — so two runs of the same program produce the
+// identical span *structure*; only the nanosecond timestamps differ. That
+// determinism is what lets CI diff two profiled runs, and what makes flow
+// ids (CollPost → CollWait arrows in the Chrome trace) reproducible.
+//
+// Gates, in order of cost:
+//  * compile time — building with -DMBD_PROFILER=OFF defines
+//    MBD_OBS_PROFILER=0 and the MBD_OBS_* macros expand to nothing;
+//  * runtime — profiling_enabled() is one relaxed atomic load. Disabled,
+//    an instrumentation point costs that single load and nothing else
+//    (ScopedSpan does not even read the clock).
+//
+// Threading model: each OS thread owns one ThreadLog (created on first use,
+// retained by the global registry after the thread exits). Only the owning
+// thread appends spans — no locks on the hot path; the registry mutex is
+// taken only at thread registration and snapshot time. snapshot_timeline()
+// must run at a quiescent point (after World::run has joined its rank
+// threads): the joins order every rank-thread write before the snapshot.
+//
+// Rank attribution: World::run calls bind_thread(rank) at rank-thread entry.
+// Threads that never bind (bench mains, helpers) report rank -1. Because
+// thread *registration* order is scheduler-dependent, logs are keyed and
+// sorted by (rank, life) — life counts how many threads have bound that rank
+// — never by registration order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef MBD_OBS_PROFILER
+#define MBD_OBS_PROFILER 1
+#endif
+
+namespace mbd::obs {
+
+/// Span taxonomy (docs/observability.md). Compute kinds first, then
+/// communication, then lifecycle.
+enum class SpanKind : std::uint8_t {
+  Gemm = 0,    ///< one packed-GEMM driver call (tensor/gemm.cpp)
+  Pack,        ///< B-panel packing on the calling thread
+  Im2col,      ///< im2col/col2im lowering
+  CollPost,    ///< blocking collective, or nonblocking initiation
+  CollWait,    ///< CollectiveHandle::wait draining to completion
+  NbDrain,     ///< CollectiveHandle::test partial progress
+  Checkpoint,  ///< LayerEngine save/restore checkpoint
+  FaultRetry,  ///< fault-fabric retransmission flush
+  StageFwd,    ///< one EngineStage::forward call
+  StageBwd,    ///< one EngineStage::backward call
+  kCount
+};
+
+/// Human-readable name of a SpanKind ("gemm", "coll_wait", ...).
+const char* span_kind_name(SpanKind k);
+
+/// One closed interval on one thread's timeline. `label` must be a string
+/// with static storage duration (the buffers never copy it).
+struct Span {
+  SpanKind kind = SpanKind::Gemm;
+  const char* label = "";
+  std::uint64_t seq = 0;   ///< per-thread op sequence (deterministic id)
+  std::uint64_t flow = 0;  ///< nonzero links CollPost to CollWait/NbDrain
+  std::uint64_t t0_ns = 0, t1_ns = 0;  ///< steady-clock interval
+  std::uint64_t arg0 = 0, arg1 = 0;    ///< kind-specific (bytes, flops, ...)
+};
+
+/// One thread's recorded timeline, as captured by snapshot_timeline().
+struct ThreadTimeline {
+  int rank = -1;  ///< bound rank, -1 for unbound threads
+  int life = 0;   ///< nth thread bound to this rank (0-based); ties broken
+                  ///< by registration for unbound threads
+  std::vector<Span> spans;
+};
+
+/// Snapshot of every thread timeline, sorted by (rank, life). Take it only
+/// at quiescent points (no instrumented thread running).
+struct TimelineSnapshot {
+  std::vector<ThreadTimeline> threads;
+
+  /// Sum of span durations of `kind` across all threads, in seconds.
+  double total_seconds(SpanKind kind) const;
+};
+
+#if MBD_OBS_PROFILER
+
+/// Runtime gate: one relaxed atomic load. Every instrumentation point checks
+/// it first; all other profiler calls are no-ops while disabled.
+bool profiling_enabled();
+
+/// Flip the runtime gate. Enable only at quiescent points (it is the caller's
+/// ordering — World::run boundaries — that keeps buffers single-writer).
+/// Also enabled at startup when the MBD_PROFILE environment variable is set.
+void enable_profiling(bool on = true);
+
+/// Attribute the calling thread's timeline to `rank` (called by World::run
+/// at rank-thread entry). Assigns the (rank, life) identity used for
+/// deterministic ordering. Cheap no-op while profiling is disabled.
+void bind_thread(int rank);
+
+/// Next deterministic flow id for the calling thread: encodes (rank, local
+/// counter) so CollPost and its matching CollWait/NbDrain agree across runs.
+/// Returns 0 (no flow) when profiling is disabled or the thread is unbound.
+std::uint64_t next_flow_id();
+
+/// Append one span to the calling thread's buffer (no-op while disabled).
+void record_span(SpanKind kind, const char* label, std::uint64_t t0_ns,
+                 std::uint64_t t1_ns, std::uint64_t flow = 0,
+                 std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
+
+/// Monotonic nanosecond clock used by all spans.
+std::uint64_t now_ns();
+
+/// Copy out every registered timeline (including exited threads'), sorted by
+/// (rank, life). Quiescent points only.
+TimelineSnapshot snapshot_timeline();
+
+/// Drop all recorded spans and rank-life bookkeeping. Quiescent points only;
+/// already-bound live threads keep their (rank, life) identity.
+void reset_timeline();
+
+/// RAII span: captures t0 at construction, records at destruction. The
+/// enabled check happens once, at construction.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanKind kind, const char* label, std::uint64_t arg0 = 0,
+             std::uint64_t arg1 = 0)
+      : on_(profiling_enabled()), kind_(kind), label_(label), arg0_(arg0),
+        arg1_(arg1) {
+    if (on_) t0_ = now_ns();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (on_) record_span(kind_, label_, t0_, now_ns(), flow_, arg0_, arg1_);
+  }
+
+  /// Attach a flow id (CollPost side creates it; wait sides echo it).
+  void set_flow(std::uint64_t flow) { flow_ = flow; }
+  void set_args(std::uint64_t arg0, std::uint64_t arg1) {
+    arg0_ = arg0;
+    arg1_ = arg1;
+  }
+  bool active() const { return on_; }
+
+ private:
+  bool on_;
+  SpanKind kind_;
+  const char* label_;
+  std::uint64_t t0_ = 0, flow_ = 0, arg0_, arg1_;
+};
+
+#else  // MBD_OBS_PROFILER == 0: compile everything out.
+
+inline bool profiling_enabled() { return false; }
+inline void enable_profiling(bool = true) {}
+inline void bind_thread(int) {}
+inline std::uint64_t next_flow_id() { return 0; }
+inline void record_span(SpanKind, const char*, std::uint64_t, std::uint64_t,
+                        std::uint64_t = 0, std::uint64_t = 0,
+                        std::uint64_t = 0) {}
+inline std::uint64_t now_ns() { return 0; }
+inline TimelineSnapshot snapshot_timeline() { return {}; }
+inline void reset_timeline() {}
+
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanKind, const char*, std::uint64_t = 0, std::uint64_t = 0) {}
+  void set_flow(std::uint64_t) {}
+  void set_args(std::uint64_t, std::uint64_t) {}
+  bool active() const { return false; }
+};
+
+#endif  // MBD_OBS_PROFILER
+
+}  // namespace mbd::obs

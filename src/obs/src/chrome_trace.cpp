@@ -1,0 +1,144 @@
+#include "mbd/obs/chrome_trace.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::obs {
+
+namespace {
+
+// pid 0 holds unbound threads; rank r is process r + 1 so every rank gets
+// its own process row as the acceptance schema requires.
+int pid_of(int rank) { return rank < 0 ? 0 : rank + 1; }
+
+void common_fields(std::ostringstream& os, double ts_us, int pid, int tid) {
+  char ts[32];
+  std::snprintf(ts, sizeof ts, "%.3f", ts_us);
+  os << "\"ts\": " << ts << ", \"pid\": " << pid << ", \"tid\": " << tid;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TimelineSnapshot& snap) {
+  // Rebase timestamps to the earliest span so ts stays small and readable.
+  std::uint64_t t_min = ~0ULL;
+  for (const auto& t : snap.threads)
+    for (const auto& s : t.spans) t_min = std::min(t_min, s.t0_ns);
+  if (t_min == ~0ULL) t_min = 0;
+  const auto us = [t_min](std::uint64_t ns) {
+    return static_cast<double>(ns - t_min) * 1e-3;
+  };
+
+  // A flow arrow needs exactly one "s" (at the CollPost) and one "f" (at the
+  // completing CollWait/NbDrain — the last span echoing the id).
+  struct FlowEnds {
+    const Span* post = nullptr;
+    const Span* finish = nullptr;
+    int post_pid = 0, post_tid = 0, finish_pid = 0, finish_tid = 0;
+  };
+  std::map<std::uint64_t, FlowEnds> flows;
+
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  const auto emit = [&](const std::string& ev) {
+    os << (first ? "\n  " : ",\n  ") << ev;
+    first = false;
+  };
+
+  std::map<int, bool> process_named;
+  int tid = 0;
+  for (const auto& t : snap.threads) {
+    ++tid;  // tids start at 1; unique across the snapshot
+    const int pid = pid_of(t.rank);
+    if (!process_named[pid]) {
+      process_named[pid] = true;
+      std::ostringstream m;
+      m << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+        << ", \"args\": {\"name\": \""
+        << (t.rank < 0 ? std::string("unbound")
+                       : "rank " + std::to_string(t.rank))
+        << "\"}}";
+      emit(m.str());
+    }
+    {
+      std::ostringstream m;
+      m << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << pid
+        << ", \"tid\": " << tid << ", \"args\": {\"name\": \""
+        << (t.rank < 0 ? "thread " + std::to_string(t.life)
+                       : "rank " + std::to_string(t.rank) + " life " +
+                             std::to_string(t.life))
+        << "\"}}";
+      emit(m.str());
+    }
+    for (const auto& s : t.spans) {
+      std::ostringstream e;
+      e << "{\"name\": \"" << span_kind_name(s.kind) << ":" << s.label
+        << "\", \"cat\": \"" << span_kind_name(s.kind) << "\", \"ph\": \"X\", ";
+      common_fields(e, us(s.t0_ns), pid, tid);
+      char dur[32];
+      std::snprintf(dur, sizeof dur, "%.3f",
+                    static_cast<double>(s.t1_ns - s.t0_ns) * 1e-3);
+      e << ", \"dur\": " << dur << ", \"args\": {\"seq\": " << s.seq;
+      if (s.flow != 0) e << ", \"flow\": " << s.flow;
+      if (s.arg0 != 0) e << ", \"arg0\": " << s.arg0;
+      if (s.arg1 != 0) e << ", \"arg1\": " << s.arg1;
+      e << "}}";
+      emit(e.str());
+
+      if (s.flow != 0) {
+        FlowEnds& fe = flows[s.flow];
+        if (s.kind == SpanKind::CollPost) {
+          fe.post = &s;
+          fe.post_pid = pid;
+          fe.post_tid = tid;
+        } else if (s.kind == SpanKind::CollWait ||
+                   s.kind == SpanKind::NbDrain) {
+          // Later spans overwrite: the completing drain wins.
+          fe.finish = &s;
+          fe.finish_pid = pid;
+          fe.finish_tid = tid;
+        }
+      }
+    }
+  }
+
+  for (const auto& [id, fe] : flows) {
+    if (fe.post == nullptr || fe.finish == nullptr) continue;
+    {
+      std::ostringstream e;
+      e << "{\"name\": \"coll\", \"cat\": \"flow\", \"ph\": \"s\", \"id\": "
+        << id << ", ";
+      common_fields(e, us(fe.post->t1_ns), fe.post_pid, fe.post_tid);
+      e << "}";
+      emit(e.str());
+    }
+    {
+      std::ostringstream e;
+      e << "{\"name\": \"coll\", \"cat\": \"flow\", \"ph\": \"f\", \"bp\": "
+           "\"e\", \"id\": "
+        << id << ", ";
+      common_fields(e, us(fe.finish->t0_ns), fe.finish_pid, fe.finish_tid);
+      e << "}";
+      emit(e.str());
+    }
+  }
+
+  os << "\n]}\n";
+  return os.str();
+}
+
+void write_chrome_trace(const std::string& path,
+                        const TimelineSnapshot& snap) {
+  const std::string json = chrome_trace_json(snap);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  MBD_CHECK_MSG(f != nullptr, "cannot write chrome trace to " << path);
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  MBD_CHECK_MSG(n == json.size(), "short write to " << path);
+}
+
+}  // namespace mbd::obs

@@ -1,0 +1,145 @@
+#include "mbd/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace mbd::obs {
+
+namespace {
+
+std::size_t bucket_of(double v) {
+  if (!(v >= 2.0)) return 0;  // also catches NaN and negatives
+  const auto b = static_cast<std::size_t>(std::log2(v));
+  return std::min(b, HistogramSnapshot::kBuckets - 1);
+}
+
+struct Hist {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::uint64_t buckets[HistogramSnapshot::kBuckets] = {};
+};
+
+// JSON string escape for metric names (quotes/backslashes/control chars).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+struct Metrics::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Hist> hists;
+};
+
+Metrics& Metrics::instance() {
+  static Metrics* m = new Metrics;  // leaked: usable from atexit handlers
+  return *m;
+}
+
+Metrics::Impl& Metrics::impl() const {
+  static Impl* i = new Impl;
+  return *i;
+}
+
+void Metrics::counter_add(const std::string& name, double v) {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mu);
+  i.counters[name] += v;
+}
+
+void Metrics::gauge_set(const std::string& name, double v) {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mu);
+  i.gauges[name] = v;
+}
+
+void Metrics::hist_observe(const std::string& name, double v) {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mu);
+  Hist& h = i.hists[name];
+  ++h.count;
+  h.sum += v;
+  ++h.buckets[bucket_of(v)];
+}
+
+std::vector<MetricValue> Metrics::snapshot() const {
+  Impl& i = impl();
+  std::vector<MetricValue> out;
+  const std::lock_guard<std::mutex> lock(i.mu);
+  for (const auto& [name, v] : i.counters)
+    out.push_back({name, MetricValue::Kind::Counter, v, {}});
+  for (const auto& [name, v] : i.gauges)
+    out.push_back({name, MetricValue::Kind::Gauge, v, {}});
+  for (const auto& [name, h] : i.hists) {
+    MetricValue m;
+    m.name = name;
+    m.kind = MetricValue::Kind::Histogram;
+    m.value = h.sum;
+    m.hist.count = h.count;
+    m.hist.sum = h.sum;
+    std::copy(std::begin(h.buckets), std::end(h.buckets),
+              std::begin(m.hist.buckets));
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string Metrics::to_json() const {
+  const auto snap = snapshot();
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t idx = 0; idx < snap.size(); ++idx) {
+    const MetricValue& m = snap[idx];
+    const char* kind = m.kind == MetricValue::Kind::Counter   ? "counter"
+                       : m.kind == MetricValue::Kind::Gauge   ? "gauge"
+                                                              : "histogram";
+    os << (idx == 0 ? "" : ",") << "\n  {\"name\": \"" << escape(m.name)
+       << "\", \"kind\": \"" << kind << "\", \"value\": " << m.value;
+    if (m.kind == MetricValue::Kind::Histogram) {
+      os << ", \"count\": " << m.hist.count << ", \"buckets\": [";
+      // Trailing zero buckets are elided to keep records compact.
+      std::size_t last = HistogramSnapshot::kBuckets;
+      while (last > 0 && m.hist.buckets[last - 1] == 0) --last;
+      for (std::size_t b = 0; b < last; ++b)
+        os << (b == 0 ? "" : ", ") << m.hist.buckets[b];
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+void Metrics::reset() {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mu);
+  i.counters.clear();
+  i.gauges.clear();
+  i.hists.clear();
+}
+
+}  // namespace mbd::obs

@@ -1,0 +1,60 @@
+#include "mbd/obs/overlap.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mbd::obs {
+
+namespace {
+
+bool is_comm(SpanKind k) {
+  return k == SpanKind::CollPost || k == SpanKind::CollWait ||
+         k == SpanKind::NbDrain;
+}
+
+// Pack spans nest inside the enclosing Gemm span, so only the outer kinds
+// count toward compute (no double counting).
+bool is_compute(SpanKind k) {
+  return k == SpanKind::Gemm || k == SpanKind::Im2col;
+}
+
+}  // namespace
+
+std::vector<RankActivity> rank_activity(const TimelineSnapshot& snap) {
+  std::map<int, RankActivity> by_rank;
+  for (const auto& t : snap.threads) {
+    if (t.rank < 0 || t.spans.empty()) continue;
+    RankActivity& ra = by_rank[t.rank];
+    ra.rank = t.rank;
+    std::uint64_t lo = ~0ULL, hi = 0;
+    for (const auto& s : t.spans) {
+      const double sec = static_cast<double>(s.t1_ns - s.t0_ns) * 1e-9;
+      if (is_comm(s.kind)) ra.comm_seconds += sec;
+      if (is_compute(s.kind)) ra.compute_seconds += sec;
+      lo = std::min(lo, s.t0_ns);
+      hi = std::max(hi, s.t1_ns);
+    }
+    ra.span_seconds += static_cast<double>(hi - lo) * 1e-9;
+  }
+  std::vector<RankActivity> out;
+  out.reserve(by_rank.size());
+  for (auto& [rank, ra] : by_rank) out.push_back(ra);
+  return out;
+}
+
+double critical_comm_seconds(const TimelineSnapshot& snap) {
+  double mx = 0.0;
+  for (const auto& ra : rank_activity(snap))
+    mx = std::max(mx, ra.comm_seconds);
+  return mx;
+}
+
+double measured_hidden_fraction(const TimelineSnapshot& blocking,
+                                const TimelineSnapshot& overlapped) {
+  const double cb = critical_comm_seconds(blocking);
+  if (cb <= 0.0) return 0.0;
+  const double co = critical_comm_seconds(overlapped);
+  return std::clamp(1.0 - co / cb, 0.0, 1.0);
+}
+
+}  // namespace mbd::obs

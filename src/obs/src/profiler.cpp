@@ -1,0 +1,164 @@
+#include "mbd/obs/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace mbd::obs {
+
+const char* span_kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::Gemm: return "gemm";
+    case SpanKind::Pack: return "pack";
+    case SpanKind::Im2col: return "im2col";
+    case SpanKind::CollPost: return "coll_post";
+    case SpanKind::CollWait: return "coll_wait";
+    case SpanKind::NbDrain: return "nb_drain";
+    case SpanKind::Checkpoint: return "checkpoint";
+    case SpanKind::FaultRetry: return "fault_retry";
+    case SpanKind::StageFwd: return "stage_fwd";
+    case SpanKind::StageBwd: return "stage_bwd";
+    case SpanKind::kCount: break;
+  }
+  return "unknown";
+}
+
+double TimelineSnapshot::total_seconds(SpanKind kind) const {
+  std::uint64_t ns = 0;
+  for (const auto& t : threads)
+    for (const auto& s : t.spans)
+      if (s.kind == kind) ns += s.t1_ns - s.t0_ns;
+  return static_cast<double>(ns) * 1e-9;
+}
+
+#if MBD_OBS_PROFILER
+
+namespace {
+
+// One thread's buffer. Owned by the registry (so it survives thread exit for
+// the snapshot); appended to only by the owning thread.
+struct ThreadLog {
+  int rank = -1;
+  int life = 0;
+  std::uint64_t seq = 0;       // per-thread span sequence
+  std::uint64_t flow_seq = 0;  // per-thread flow-id counter
+  std::vector<Span> spans;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadLog>> logs;
+  std::map<int, int> lives;  // rank -> number of threads bound so far
+  int unbound_life = 0;      // registration counter for never-bound threads
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives exiting threads
+  return *r;
+}
+
+std::atomic<bool> g_enabled{[] {
+  return std::getenv("MBD_PROFILE") != nullptr;  // NOLINT(concurrency-mt-unsafe)
+}()};
+
+ThreadLog& local_log() {
+  thread_local ThreadLog* log = [] {
+    auto owned = std::make_unique<ThreadLog>();
+    ThreadLog* p = owned.get();
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    p->life = r.unbound_life++;
+    r.logs.push_back(std::move(owned));
+    return p;
+  }();
+  return *log;
+}
+
+}  // namespace
+
+bool profiling_enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void enable_profiling(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void bind_thread(int rank) {
+  if (!profiling_enabled()) return;
+  ThreadLog& log = local_log();
+  log.rank = rank;
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  log.life = r.lives[rank]++;
+}
+
+std::uint64_t next_flow_id() {
+  if (!profiling_enabled()) return 0;
+  ThreadLog& log = local_log();
+  if (log.rank < 0) return 0;
+  // (rank+1) in the high bits keeps ids unique across ranks; the low bits
+  // count this thread's flows — both deterministic run to run.
+  return (static_cast<std::uint64_t>(log.rank + 1) << 32) | ++log.flow_seq;
+}
+
+void record_span(SpanKind kind, const char* label, std::uint64_t t0_ns,
+                 std::uint64_t t1_ns, std::uint64_t flow, std::uint64_t arg0,
+                 std::uint64_t arg1) {
+  if (!profiling_enabled()) return;
+  ThreadLog& log = local_log();
+  log.spans.push_back(
+      {kind, label, log.seq++, flow, t0_ns, t1_ns, arg0, arg1});
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TimelineSnapshot snapshot_timeline() {
+  TimelineSnapshot snap;
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  snap.threads.reserve(r.logs.size());
+  for (const auto& log : r.logs) {
+    if (log->spans.empty()) continue;
+    ThreadTimeline t;
+    t.rank = log->rank;
+    t.life = log->life;
+    t.spans = log->spans;
+    snap.threads.push_back(std::move(t));
+  }
+  // (rank, life) is the deterministic identity; unbound threads (-1) sort
+  // first in registration order.
+  std::sort(snap.threads.begin(), snap.threads.end(),
+            [](const ThreadTimeline& a, const ThreadTimeline& b) {
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.life < b.life;
+            });
+  return snap;
+}
+
+void reset_timeline() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& log : r.logs) {
+    log->spans.clear();
+    log->seq = 0;
+    log->flow_seq = 0;
+  }
+  r.lives.clear();
+  // Live bound threads keep their rank but would collide on life after the
+  // lives map reset; every binder (World::run) re-binds at thread entry, so
+  // stale logs are simply left with their old identity and empty buffers.
+}
+
+#endif  // MBD_OBS_PROFILER
+
+}  // namespace mbd::obs

@@ -25,6 +25,7 @@ DistResult train_batch_parallel(comm::Comm& comm,
                                 const nn::TrainConfig& cfg,
                                 const nn::BuildOptions& build = {},
                                 ReduceMode mode = ReduceMode::Blocking,
-                                const RecoveryContext* recovery = nullptr);
+                                const RecoveryContext* recovery = nullptr,
+                                double seconds_per_flop = 0.0);
 
 }  // namespace mbd::parallel

@@ -31,6 +31,7 @@ DistResult train_domain_parallel(comm::Comm& comm,
                                  std::uint64_t seed = 42,
                                  bool overlap_halo = false,
                                  ReduceMode mode = ReduceMode::Blocking,
-                                 const RecoveryContext* recovery = nullptr);
+                                 const RecoveryContext* recovery = nullptr,
+                                 double seconds_per_flop = 0.0);
 
 }  // namespace mbd::parallel

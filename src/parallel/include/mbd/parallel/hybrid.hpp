@@ -32,6 +32,7 @@ DistResult train_hybrid(comm::Comm& comm, GridShape grid,
                         const nn::Dataset& data, const nn::TrainConfig& cfg,
                         std::uint64_t seed = 42, bool overlap_halo = false,
                         ReduceMode mode = ReduceMode::Blocking,
-                        const RecoveryContext* recovery = nullptr);
+                        const RecoveryContext* recovery = nullptr,
+                        double seconds_per_flop = 0.0);
 
 }  // namespace mbd::parallel

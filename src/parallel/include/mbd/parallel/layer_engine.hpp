@@ -119,6 +119,10 @@ class EngineStage {
   EngineStage(const EngineStage&) = delete;
   EngineStage& operator=(const EngineStage&) = delete;
 
+  /// Static label used by the timeline profiler for this stage's
+  /// StageFwd/StageBwd spans. Must return a string literal.
+  virtual const char* name() const { return "stage"; }
+
   /// Called once per iteration before the forward pass.
   virtual void begin_iteration(const StepContext& /*ctx*/) {}
   virtual Flow forward(Flow in, const StepContext& ctx) = 0;
@@ -159,6 +163,7 @@ class FcStage final : public EngineStage {
 
   FcStage(const Config& cfg, tensor::Matrix w);
 
+  const char* name() const override { return "fc"; }
   Flow forward(Flow in, const StepContext& ctx) override;
   Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
   void update(float lr, float momentum) override;
@@ -176,8 +181,13 @@ class FcStage final : public EngineStage {
 /// Every layer's ∆W is all-reduced over `reduce_group`.
 class NetworkStage final : public EngineStage {
  public:
-  NetworkStage(nn::Network net, comm::Comm* reduce_group);
+  /// `macs_per_sample` is the whole network's forward multiply-accumulate
+  /// count per sample (nn::LayerSpec::macs_per_sample summed); it feeds
+  /// StepContext::annotate so replay prediction works for this trainer.
+  NetworkStage(nn::Network net, comm::Comm* reduce_group,
+               double macs_per_sample = 0.0);
 
+  const char* name() const override { return "network"; }
   void begin_iteration(const StepContext& ctx) override;
   Flow forward(Flow in, const StepContext& ctx) override;
   Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
@@ -189,6 +199,7 @@ class NetworkStage final : public EngineStage {
  private:
   nn::Network net_;
   comm::Comm* reduce_group_;
+  double macs_per_sample_;
 };
 
 /// A batch-parallel conv/pool prefix with fully replicated weights (the
@@ -197,8 +208,10 @@ class NetworkStage final : public EngineStage {
 class ConvStackStage final : public EngineStage {
  public:
   ConvStackStage(std::vector<std::unique_ptr<nn::Layer>> layers,
-                 std::size_t d_out, comm::Comm* reduce_group);
+                 std::size_t d_out, comm::Comm* reduce_group,
+                 double macs_per_sample = 0.0);
 
+  const char* name() const override { return "conv_stack"; }
   Flow forward(Flow in, const StepContext& ctx) override;
   Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
   void update(float lr, float momentum) override;
@@ -211,6 +224,7 @@ class ConvStackStage final : public EngineStage {
   std::size_t d_out_;
   comm::Comm* reduce_group_;
   std::vector<std::vector<float>> vel_;
+  double macs_per_sample_;
 };
 
 /// One domain-decomposed conv layer on a height slab (Fig. 3): halo
@@ -219,8 +233,9 @@ class ConvStackStage final : public EngineStage {
 class DomainConvStage final : public EngineStage {
  public:
   DomainConvStage(detail::DomainConvState state, comm::Comm* conv_group,
-                  comm::Comm* reduce_group);
+                  comm::Comm* reduce_group, double macs_per_sample = 0.0);
 
+  const char* name() const override { return "domain_conv"; }
   Flow forward(Flow in, const StepContext& ctx) override;
   Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
   void update(float lr, float momentum) override;
@@ -232,6 +247,7 @@ class DomainConvStage final : public EngineStage {
   detail::DomainConvState st_;
   comm::Comm* conv_group_;
   comm::Comm* reduce_group_;
+  double macs_per_sample_;
 };
 
 /// Entry into a domain-decomposed conv stack: reshapes the replicated batch
@@ -242,6 +258,7 @@ class SlabScatterStage final : public EngineStage {
   SlabScatterStage(std::size_t in_c, std::size_t in_h, std::size_t in_w,
                    Range rows);
 
+  const char* name() const override { return "slab_scatter"; }
   Flow forward(Flow in, const StepContext& ctx) override;
   Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
   void update(float /*lr*/, float /*momentum*/) override {}
@@ -260,6 +277,7 @@ class SlabGatherStage final : public EngineStage {
   SlabGatherStage(comm::Comm* group, std::size_t out_c, std::size_t img_h,
                   std::size_t img_w, Range rows);
 
+  const char* name() const override { return "slab_gather"; }
   Flow forward(Flow in, const StepContext& ctx) override;
   Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
   void update(float /*lr*/, float /*momentum*/) override {}
@@ -279,6 +297,7 @@ class RedistributeStage final : public EngineStage {
   RedistributeStage(comm::Comm* model_group, int world_size, int pr, int col,
                     std::size_t d_out, Range group_cols, Range conv_cols);
 
+  const char* name() const override { return "redistribute"; }
   Flow forward(Flow in, const StepContext& ctx) override;
   Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
   void update(float /*lr*/, float /*momentum*/) override {}

@@ -31,6 +31,7 @@ DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
                             const nn::TrainConfig& cfg,
                             std::uint64_t seed = 42,
                             ReduceMode mode = ReduceMode::Blocking,
-                            const RecoveryContext* recovery = nullptr);
+                            const RecoveryContext* recovery = nullptr,
+                            double seconds_per_flop = 0.0);
 
 }  // namespace mbd::parallel

@@ -26,6 +26,7 @@ DistResult train_model_parallel(comm::Comm& comm,
                                 const nn::TrainConfig& cfg,
                                 std::uint64_t seed = 42,
                                 ReduceMode mode = ReduceMode::Blocking,
-                                const RecoveryContext* recovery = nullptr);
+                                const RecoveryContext* recovery = nullptr,
+                                double seconds_per_flop = 0.0);
 
 }  // namespace mbd::parallel

@@ -13,7 +13,8 @@ DistResult train_batch_parallel(comm::Comm& comm,
                                 const nn::TrainConfig& cfg,
                                 const nn::BuildOptions& build,
                                 ReduceMode mode,
-                                const RecoveryContext* recovery) {
+                                const RecoveryContext* recovery,
+                                double seconds_per_flop) {
   const int p = comm.size();
   const int r = comm.rank();
   MBD_CHECK_LE(static_cast<std::size_t>(p), cfg.batch);
@@ -25,9 +26,12 @@ DistResult train_batch_parallel(comm::Comm& comm,
   sched.label_cols = sched.input_cols;
   sched.sum_loss = true;
   sched.mode = mode;
+  sched.seconds_per_flop = seconds_per_flop;
   LayerEngine engine(comm, sched);
-  engine.add_stage(
-      std::make_unique<NetworkStage>(nn::build_network(specs, build), &comm));
+  double macs = 0.0;
+  for (const auto& s : specs) macs += static_cast<double>(s.macs_per_sample());
+  engine.add_stage(std::make_unique<NetworkStage>(
+      nn::build_network(specs, build), &comm, macs));
   return engine.train(data, cfg, recovery);
 }
 

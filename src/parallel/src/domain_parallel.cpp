@@ -16,13 +16,15 @@ DistResult train_domain_parallel(comm::Comm& comm,
                                  const nn::TrainConfig& cfg,
                                  std::uint64_t seed, bool overlap_halo,
                                  ReduceMode mode,
-                                 const RecoveryContext* recovery) {
+                                 const RecoveryContext* recovery,
+                                 double seconds_per_flop) {
   const int p = comm.size();
   const int r = comm.rank();
 
   // Validate the spec structure (conv stack, then FC tail) and build the
   // partitioned state with the exact weight stream of build_network.
   std::vector<DomainConvState> convs;
+  std::vector<double> conv_macs;  // full-image MACs/sample, scaled below
   std::vector<FcStage::Config> fc_cfgs;
   std::vector<Matrix> fc_weights;
   Rng rng(seed);
@@ -46,6 +48,7 @@ DistResult train_domain_parallel(comm::Comm& comm,
       l.dw = Matrix(l.w.rows(), l.w.cols());
       l.vel = Matrix(l.w.rows(), l.w.cols());
       convs.push_back(std::move(l));
+      conv_macs.push_back(static_cast<double>(s.macs_per_sample()));
     } else if (s.kind == nn::LayerKind::FullyConnected) {
       seen_fc = true;
       FcStage::Config c;
@@ -74,6 +77,7 @@ DistResult train_domain_parallel(comm::Comm& comm,
   sched.input_cols = {0, cfg.batch};
   sched.label_cols = sched.input_cols;
   sched.mode = mode;
+  sched.seconds_per_flop = seconds_per_flop;
   LayerEngine engine(comm, sched);
 
   const auto& g0 = convs.front().geom;
@@ -82,9 +86,13 @@ DistResult train_domain_parallel(comm::Comm& comm,
   const auto& gl = convs.back().geom;
   const std::size_t last_out_c = gl.out_c;
   const std::size_t last_in_w = gl.in_w;
-  for (auto& l : convs)
+  // Each rank computes its slab's share of the conv work.
+  const double slab_frac =
+      static_cast<double>(rows.size()) / static_cast<double>(img_h);
+  for (std::size_t li = 0; li < convs.size(); ++li)
     engine.add_stage(std::make_unique<DomainConvStage>(
-        std::move(l), /*conv_group=*/&comm, /*reduce_group=*/&comm));
+        std::move(convs[li]), /*conv_group=*/&comm, /*reduce_group=*/&comm,
+        conv_macs[li] * slab_frac));
   // FC tail: gather the full activation ("the halo is the whole input"),
   // then compute replicated on every process.
   engine.add_stage(std::make_unique<SlabGatherStage>(&comm, last_out_c, img_h,

@@ -15,7 +15,8 @@ DistResult train_hybrid(comm::Comm& comm, GridShape grid,
                         const nn::Dataset& data, const nn::TrainConfig& cfg,
                         std::uint64_t seed, bool overlap_halo,
                         ReduceMode mode,
-                        const RecoveryContext* recovery) {
+                        const RecoveryContext* recovery,
+                        double seconds_per_flop) {
   MBD_CHECK_EQ(grid.pr * grid.pc, comm.size());
   MBD_CHECK_LE(static_cast<std::size_t>(grid.pc), cfg.batch);
   const int rank = comm.rank();
@@ -28,6 +29,7 @@ DistResult train_hybrid(comm::Comm& comm, GridShape grid,
 
   // --- build partitioned state (weight stream identical to build_network) --
   std::vector<DomainConvState> convs;
+  std::vector<double> conv_macs;  // full-image MACs/sample, scaled below
   std::vector<FcStage::Config> fc_cfgs;
   std::vector<Matrix> fc_weights;
   Rng rng(seed);
@@ -50,6 +52,7 @@ DistResult train_hybrid(comm::Comm& comm, GridShape grid,
       l.dw = Matrix(l.w.rows(), l.w.cols());
       l.vel = Matrix(l.w.rows(), l.w.cols());
       convs.push_back(std::move(l));
+      conv_macs.push_back(static_cast<double>(s.macs_per_sample()));
     } else if (s.kind == nn::LayerKind::FullyConnected) {
       seen_fc = true;
       FcStage::Config c;
@@ -81,6 +84,7 @@ DistResult train_hybrid(comm::Comm& comm, GridShape grid,
   sched.sum_loss = true;
   sched.loss_replicas = grid.pr;
   sched.mode = mode;
+  sched.seconds_per_flop = seconds_per_flop;
   LayerEngine engine(comm, sched);
 
   // Conv stack: domain-parallel within the model group (LD layers); ∆W
@@ -91,9 +95,12 @@ DistResult train_hybrid(comm::Comm& comm, GridShape grid,
   const auto& gl = convs.back().geom;
   const std::size_t last_out_c = gl.out_c;
   const std::size_t last_in_w = gl.in_w;
-  for (auto& l : convs)
+  const double slab_frac =
+      static_cast<double>(rows.size()) / static_cast<double>(img_h);
+  for (std::size_t li = 0; li < convs.size(); ++li)
     engine.add_stage(std::make_unique<DomainConvStage>(
-        std::move(l), /*conv_group=*/&model_group, /*reduce_group=*/&comm));
+        std::move(convs[li]), /*conv_group=*/&model_group,
+        /*reduce_group=*/&comm, conv_macs[li] * slab_frac));
   engine.add_stage(std::make_unique<SlabGatherStage>(
       &model_group, last_out_c, img_h, last_in_w, rows));
   // FC tail: 1.5D model-parallel over Pr (LM layers).

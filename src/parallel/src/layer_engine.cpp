@@ -1,6 +1,7 @@
 #include "mbd/parallel/layer_engine.hpp"
 
 #include "mbd/nn/loss.hpp"
+#include "mbd/obs/profiler.hpp"
 #include "mbd/support/check.hpp"
 #include "mbd/tensor/gemm.hpp"
 #include "mbd/tensor/ops.hpp"
@@ -165,20 +166,29 @@ void FcStage::collect_params(std::vector<float>& out) {
 // NetworkStage
 // ---------------------------------------------------------------------------
 
-NetworkStage::NetworkStage(nn::Network net, comm::Comm* reduce_group)
-    : net_(std::move(net)), reduce_group_(reduce_group) {}
+NetworkStage::NetworkStage(nn::Network net, comm::Comm* reduce_group,
+                           double macs_per_sample)
+    : net_(std::move(net)),
+      reduce_group_(reduce_group),
+      macs_per_sample_(macs_per_sample) {}
 
 void NetworkStage::begin_iteration(const StepContext& ctx) {
   net_.set_batch_context(ctx.iteration, ctx.first_sample);
 }
 
-Flow NetworkStage::forward(Flow in, const StepContext& /*ctx*/) {
-  return Flow::from_matrix(net_.forward(in.as_matrix()));
+Flow NetworkStage::forward(Flow in, const StepContext& ctx) {
+  const auto b = static_cast<double>(in.as_matrix().cols());
+  Matrix y = net_.forward(in.as_matrix());
+  // 2 flops per MAC forward; backward (below) costs ≈ 2× forward.
+  ctx.annotate(2.0 * macs_per_sample_ * b);
+  return Flow::from_matrix(std::move(y));
 }
 
-Flow NetworkStage::backward(Flow grad, const StepContext& /*ctx*/,
+Flow NetworkStage::backward(Flow grad, const StepContext& ctx,
                             GradReducer& red) {
+  const auto b = static_cast<double>(grad.as_matrix().cols());
   Matrix din = net_.backward(grad.as_matrix());
+  ctx.annotate(4.0 * macs_per_sample_ * b);
   // The defining communication step: ring all-reduce of every ∆W.
   for (std::size_t li = 0; li < net_.num_layers(); ++li) {
     auto g = net_.layer(li).grads();
@@ -212,25 +222,33 @@ void NetworkStage::restore_state(std::span<const float>& in) {
 // ---------------------------------------------------------------------------
 
 ConvStackStage::ConvStackStage(std::vector<std::unique_ptr<nn::Layer>> layers,
-                               std::size_t d_out, comm::Comm* reduce_group)
-    : layers_(std::move(layers)), d_out_(d_out), reduce_group_(reduce_group) {
+                               std::size_t d_out, comm::Comm* reduce_group,
+                               double macs_per_sample)
+    : layers_(std::move(layers)),
+      d_out_(d_out),
+      reduce_group_(reduce_group),
+      macs_per_sample_(macs_per_sample) {
   vel_.resize(layers_.size());
   for (std::size_t li = 0; li < layers_.size(); ++li)
     vel_[li].assign(layers_[li]->weights().size(), 0.0f);
 }
 
-Flow ConvStackStage::forward(Flow in, const StepContext& /*ctx*/) {
+Flow ConvStackStage::forward(Flow in, const StepContext& ctx) {
   Matrix x = std::move(in.as_matrix());
+  const auto b = static_cast<double>(x.cols());
   for (auto& l : layers_) x = l->forward(x);
   MBD_CHECK_EQ(x.rows(), d_out_);
+  ctx.annotate(2.0 * macs_per_sample_ * b);
   return Flow::from_matrix(std::move(x));
 }
 
-Flow ConvStackStage::backward(Flow grad, const StepContext& /*ctx*/,
+Flow ConvStackStage::backward(Flow grad, const StepContext& ctx,
                               GradReducer& red) {
   Matrix dx = std::move(grad.as_matrix());
+  const auto b = static_cast<double>(dx.cols());
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
     dx = (*it)->backward(dx);
+  ctx.annotate(4.0 * macs_per_sample_ * b);
   for (auto& l : layers_) {
     auto g = l->grads();
     if (!g.empty()) red.allreduce(*reduce_group_, g);
@@ -271,20 +289,26 @@ void ConvStackStage::restore_state(std::span<const float>& in) {
 
 DomainConvStage::DomainConvStage(detail::DomainConvState state,
                                  comm::Comm* conv_group,
-                                 comm::Comm* reduce_group)
+                                 comm::Comm* reduce_group,
+                                 double macs_per_sample)
     : st_(std::move(state)),
       conv_group_(conv_group),
-      reduce_group_(reduce_group) {}
+      reduce_group_(reduce_group),
+      macs_per_sample_(macs_per_sample) {}
 
-Flow DomainConvStage::forward(Flow in, const StepContext& /*ctx*/) {
-  return Flow::from_tensor(
-      detail::domain_conv_forward(*conv_group_, st_, in.as_tensor()));
+Flow DomainConvStage::forward(Flow in, const StepContext& ctx) {
+  const auto b = static_cast<double>(in.as_tensor().n());
+  Tensor4 y = detail::domain_conv_forward(*conv_group_, st_, in.as_tensor());
+  ctx.annotate(2.0 * macs_per_sample_ * b);
+  return Flow::from_tensor(std::move(y));
 }
 
-Flow DomainConvStage::backward(Flow grad, const StepContext& /*ctx*/,
+Flow DomainConvStage::backward(Flow grad, const StepContext& ctx,
                                GradReducer& red) {
+  const auto b = static_cast<double>(grad.as_tensor().n());
   Tensor4 dslab = detail::domain_conv_backward(*conv_group_, st_,
                                                std::move(grad.as_tensor()));
+  ctx.annotate(4.0 * macs_per_sample_ * b);
   // ∆W all-reduce over every process that shares the (replicated) weights,
   // interleaved per layer exactly like the halo exchanges.
   red.allreduce(*reduce_group_, st_.dw.span());
@@ -413,6 +437,8 @@ void LayerEngine::save_checkpoint(const RecoveryContext& rc,
   // second proves every rank staged before rank 0 promotes the staged slots.
   // A crash anywhere in between leaves the previous committed checkpoint
   // untouched — commits are atomic under the store mutex.
+  obs::ScopedSpan span(obs::SpanKind::Checkpoint, "save");
+  span.set_args(next_step, 0);
   world_->barrier();
   std::vector<float> state;
   for (auto& s : stages_) s->save_state(state);
@@ -468,7 +494,11 @@ DistResult LayerEngine::train(const nn::Dataset& data,
 
     for (auto& s : stages_) s->begin_iteration(ctx);
     Flow f = Flow::from_matrix(std::move(in.inputs));
-    for (auto& s : stages_) f = s->forward(std::move(f), ctx);
+    for (auto& s : stages_) {
+      obs::ScopedSpan span(obs::SpanKind::StageFwd, s->name());
+      span.set_args(it, 0);
+      f = s->forward(std::move(f), ctx);
+    }
 
     // Loss over this rank's columns; the gradient is already scaled by 1/B
     // (global), so the ∆W reductions recover the full mini-batch gradient.
@@ -482,6 +512,8 @@ DistResult LayerEngine::train(const nn::Dataset& data,
     GradReducer red(sched_.mode);
     Flow g = Flow::from_matrix(lr.dlogits);
     for (std::size_t si = stages_.size(); si-- > 0;) {
+      obs::ScopedSpan span(obs::SpanKind::StageBwd, stages_[si]->name());
+      span.set_args(it, 0);
       g = stages_[si]->backward(std::move(g), ctx, red);
     }
     // No polling between stages: each handle's receives run inside drain(),

@@ -15,7 +15,8 @@ DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
                             const nn::Dataset& data,
                             const nn::TrainConfig& cfg, std::uint64_t seed,
                             ReduceMode mode,
-                            const RecoveryContext* recovery) {
+                            const RecoveryContext* recovery,
+                            double seconds_per_flop) {
   const int p = comm.size();
   MBD_CHECK_EQ(grid.pr * grid.pc, p);
   MBD_CHECK_LE(static_cast<std::size_t>(p), cfg.batch);
@@ -38,6 +39,7 @@ DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
 
   // --- build: conv/pool prefix (full weights) + FC grid suffix -----------
   std::vector<std::unique_ptr<nn::Layer>> conv_stack;
+  double conv_stack_macs = 0.0;
   std::vector<FcStage::Config> fc_cfgs;
   std::vector<Matrix> fc_weights;
   Rng rng(seed);
@@ -50,6 +52,7 @@ DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
         conv_stack.push_back(std::make_unique<nn::Conv2D>(s.name, s.conv, rng));
         if (s.relu_after)
           conv_stack.push_back(std::make_unique<nn::ReLU>(s.name + "_relu"));
+        conv_stack_macs += static_cast<double>(s.macs_per_sample());
         d_conv_out = s.d_out();
         break;
       }
@@ -89,10 +92,11 @@ DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
   sched.sum_loss = true;
   sched.loss_replicas = grid.pr;
   sched.mode = mode;
+  sched.seconds_per_flop = seconds_per_flop;
   LayerEngine engine(comm, sched);
 
-  engine.add_stage(std::make_unique<ConvStackStage>(std::move(conv_stack),
-                                                    d_conv_out, &comm));
+  engine.add_stage(std::make_unique<ConvStackStage>(
+      std::move(conv_stack), d_conv_out, &comm, conv_stack_macs));
   engine.add_stage(std::make_unique<RedistributeStage>(
       &model_group, p, grid.pr, col, d_conv_out, group_cols, conv_cols));
   for (std::size_t li = 0; li < fc_cfgs.size(); ++li)

@@ -12,7 +12,8 @@ DistResult train_model_parallel(comm::Comm& comm,
                                 const nn::Dataset& data,
                                 const nn::TrainConfig& cfg,
                                 std::uint64_t seed, ReduceMode mode,
-                                const RecoveryContext* recovery) {
+                                const RecoveryContext* recovery,
+                                double seconds_per_flop) {
   const int p = comm.size();
   const int r = comm.rank();
 
@@ -22,6 +23,7 @@ DistResult train_model_parallel(comm::Comm& comm,
   sched.input_cols = {0, cfg.batch};
   sched.label_cols = sched.input_cols;
   sched.mode = mode;
+  sched.seconds_per_flop = seconds_per_flop;
   LayerEngine engine(comm, sched);
 
   Rng rng(seed);

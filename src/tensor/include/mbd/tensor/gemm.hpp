@@ -36,4 +36,11 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b);      ///< A·Bᵀ
 /// Naive triple loop used as the test oracle.
 Matrix matmul_reference(const Matrix& a, const Matrix& b);
 
+/// Record every distinct GEMM shape this process issues as an obs::Metrics
+/// counter ("gemm.shape.<variant> m<M> n<N> k<K>"), independent of the
+/// MBD_GEMM_LOG_SHAPES env var (which additionally prints to stderr for
+/// interactive harvesting). The bench JSON sink enables this so shape
+/// inventories land in --json records.
+void set_gemm_shape_metrics(bool on);
+
 }  // namespace mbd::tensor

@@ -1,6 +1,7 @@
 #include "mbd/tensor/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -8,6 +9,8 @@
 #include <string>
 #include <tuple>
 
+#include "mbd/obs/metrics.hpp"
+#include "mbd/obs/profiler.hpp"
 #include "mbd/support/check.hpp"
 #include "mbd/tensor/detail/gemm_packing.hpp"
 #include "mbd/tensor/gemm_config.hpp"
@@ -18,22 +21,36 @@ namespace {
 using detail::AlignedBuffer;
 using detail::round_up;
 
-// One-shot shape logger: with MBD_GEMM_LOG_SHAPES set, every distinct
-// (variant, m, n, k) a process issues is printed once to stderr. Run any
-// trainer/example under it to harvest the shape list bench_gemm sweeps.
+std::atomic<bool> g_shape_metrics{false};
+
+// One-shot shape logger: every distinct (variant, m, n, k) a process issues
+// is recorded once as an obs::Metrics counter (surfacing in bench --json
+// records via set_gemm_shape_metrics) and, with MBD_GEMM_LOG_SHAPES set,
+// printed once to stderr so any trainer/example run can harvest the shape
+// list bench_gemm sweeps. Disabled (the common case) it costs one relaxed
+// load per call.
 void log_shape_once(const char* variant, std::size_t m, std::size_t n,
                     std::size_t k) {
   // Magic-static init: getenv runs once, before any concurrent caller races.
-  static const bool enabled =
+  static const bool env_enabled =
       std::getenv("MBD_GEMM_LOG_SHAPES") != nullptr;  // NOLINT(concurrency-mt-unsafe)
-  if (!enabled) return;
+  const bool metrics = g_shape_metrics.load(std::memory_order_relaxed);
+  if (!env_enabled && !metrics) return;
   static std::mutex mu;
   static std::set<std::tuple<std::string, std::size_t, std::size_t, std::size_t>>
       seen;
   const std::lock_guard<std::mutex> lock(mu);
   if (seen.emplace(variant, m, n, k).second) {
-    std::fprintf(stderr, "[mbd-gemm-shape] %s m=%zu n=%zu k=%zu\n", variant, m,
-                 n, k);
+    if (metrics) {
+      char name[96];
+      std::snprintf(name, sizeof name, "gemm.shape.%s m%zu n%zu k%zu", variant,
+                    m, n, k);
+      obs::Metrics::instance().counter_add(name);
+    }
+    if (env_enabled) {
+      std::fprintf(stderr, "[mbd-gemm-shape] %s m=%zu n=%zu k=%zu\n", variant,
+                   m, n, k);
+    }
   }
 }
 
@@ -106,7 +123,14 @@ void gemm_packed(const float* a, std::size_t lda, const float* b,
       const std::size_t kb = std::min(cfg.kc, k - pc);
       const float beta_eff = pc == 0 ? beta : 1.0f;
       float* bp = bbuf.ensure(round_up(nb, kGemmNR) * kb);
-      detail::pack_b<kGemmNR, TransB>(b, ldb, pc, kb, jc, nb, bp);
+      {
+        // Calling-thread site only: the per-thread pack_a inside the omp
+        // region below is deliberately uninstrumented (worker registration
+        // order is nondeterministic and the span cost is per macro-tile).
+        obs::ScopedSpan pack_span(obs::SpanKind::Pack, "pack_b");
+        pack_span.set_args(kb, nb);
+        detail::pack_b<kGemmNR, TransB>(b, ldb, pc, kb, jc, nb, bp);
+      }
       // Threads split the macro-tile (row-block) loop; each packs its own A
       // block into a thread-local buffer and streams the shared B block.
 #pragma omp parallel for schedule(static)
@@ -141,6 +165,8 @@ void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
   MBD_CHECK_EQ(c.rows(), m);
   MBD_CHECK_EQ(c.cols(), n);
   log_shape_once("nn", m, n, k);
+  obs::ScopedSpan span(obs::SpanKind::Gemm, "nn");
+  span.set_args(m * n, k);
   gemm_packed<false, false>(a.data(), k, b.data(), n, c.data(), n, m, n, k,
                             alpha, beta);
 }
@@ -152,6 +178,8 @@ void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
   MBD_CHECK_EQ(c.rows(), m);
   MBD_CHECK_EQ(c.cols(), n);
   log_shape_once("tn", m, n, k);
+  obs::ScopedSpan span(obs::SpanKind::Gemm, "tn");
+  span.set_args(m * n, k);
   gemm_packed<true, false>(a.data(), m, b.data(), n, c.data(), n, m, n, k,
                            alpha, beta);
 }
@@ -163,8 +191,14 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
   MBD_CHECK_EQ(c.rows(), m);
   MBD_CHECK_EQ(c.cols(), n);
   log_shape_once("nt", m, n, k);
+  obs::ScopedSpan span(obs::SpanKind::Gemm, "nt");
+  span.set_args(m * n, k);
   gemm_packed<false, true>(a.data(), k, b.data(), k, c.data(), n, m, n, k,
                            alpha, beta);
+}
+
+void set_gemm_shape_metrics(bool on) {
+  g_shape_metrics.store(on, std::memory_order_relaxed);
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {

@@ -1,10 +1,13 @@
 #include "mbd/tensor/im2col.hpp"
 
+#include "mbd/obs/profiler.hpp"
 #include "mbd/support/check.hpp"
 
 namespace mbd::tensor {
 
 Matrix im2col(const Tensor4& input, std::size_t n, const ConvGeom& g) {
+  obs::ScopedSpan span(obs::SpanKind::Im2col, "im2col");
+  span.set_args(g.in_c * g.kernel_h * g.kernel_w, g.out_h() * g.out_w());
   MBD_CHECK_EQ(input.c(), g.in_c);
   MBD_CHECK_EQ(input.h(), g.in_h);
   MBD_CHECK_EQ(input.w(), g.in_w);
@@ -40,6 +43,8 @@ Matrix im2col(const Tensor4& input, std::size_t n, const ConvGeom& g) {
 
 void col2im_add(const Matrix& cols, Tensor4& grad_input, std::size_t n,
                 const ConvGeom& g) {
+  obs::ScopedSpan span(obs::SpanKind::Im2col, "col2im_add");
+  span.set_args(g.in_c * g.kernel_h * g.kernel_w, g.out_h() * g.out_w());
   MBD_CHECK_EQ(grad_input.c(), g.in_c);
   MBD_CHECK_EQ(grad_input.h(), g.in_h);
   MBD_CHECK_EQ(grad_input.w(), g.in_w);

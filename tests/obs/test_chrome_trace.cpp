@@ -1,0 +1,114 @@
+// Chrome trace export: one process per rank, unique tids, complete ("X")
+// events named <kind>:<label>, and flow arrows from each CollPost to the
+// completing CollWait/NbDrain — the schema scripts/check_trace.py enforces
+// in CI.
+#include "mbd/obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace mbd::obs {
+namespace {
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = hay.find(needle); at != std::string::npos;
+       at = hay.find(needle, at + needle.size()))
+    ++n;
+  return n;
+}
+
+TimelineSnapshot sample_snapshot() {
+  TimelineSnapshot snap;
+  ThreadTimeline main_thread;  // unbound: pid 0
+  main_thread.rank = -1;
+  main_thread.spans.push_back(
+      {SpanKind::Gemm, "nn", /*seq=*/1, /*flow=*/0, 500, 900, 64, 8});
+  snap.threads.push_back(main_thread);
+
+  ThreadTimeline r0;
+  r0.rank = 0;
+  r0.spans.push_back({SpanKind::CollPost, "iallreduce", 1, /*flow=*/77, 1000,
+                      1100, 256, 0});
+  // A partial drain echoes the flow id first; the completing wait must win
+  // the "f" endpoint.
+  r0.spans.push_back({SpanKind::NbDrain, "iallreduce", 2, 77, 1200, 1300, 0,
+                      0});
+  r0.spans.push_back({SpanKind::CollWait, "iallreduce", 3, 77, 1400, 1600, 0,
+                      0});
+  snap.threads.push_back(r0);
+
+  ThreadTimeline r1;
+  r1.rank = 1;
+  r1.spans.push_back({SpanKind::Gemm, "tn", 1, 0, 1000, 2000, 128, 16});
+  snap.threads.push_back(r1);
+  return snap;
+}
+
+TEST(ChromeTrace, ProcessPerRankAndNamedEvents) {
+  const std::string j = chrome_trace_json(sample_snapshot());
+  EXPECT_NE(j.find("\"traceEvents\": ["), std::string::npos);
+  // pid 0 = unbound, pid r+1 = rank r, each named once.
+  EXPECT_EQ(count_of(j, "\"name\": \"process_name\""), 3U);
+  EXPECT_NE(j.find("\"args\": {\"name\": \"unbound\"}"), std::string::npos);
+  EXPECT_NE(j.find("\"args\": {\"name\": \"rank 0\"}"), std::string::npos);
+  EXPECT_NE(j.find("\"args\": {\"name\": \"rank 1\"}"), std::string::npos);
+  // Complete events carry <kind>:<label> names and their deterministic seq.
+  EXPECT_NE(j.find("\"name\": \"gemm:nn\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\": \"coll_post:iallreduce\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\": \"coll_wait:iallreduce\""), std::string::npos);
+  EXPECT_EQ(count_of(j, "\"ph\": \"X\""), 5U);
+}
+
+TEST(ChromeTrace, FlowArrowLinksPostToCompletingWait) {
+  const std::string j = chrome_trace_json(sample_snapshot());
+  EXPECT_EQ(count_of(j, "\"ph\": \"s\""), 1U);
+  EXPECT_EQ(count_of(j, "\"ph\": \"f\""), 1U);
+  EXPECT_EQ(count_of(j, "\"id\": 77"), 2U);
+  // "s" anchors at the post's end (ts rebased to the earliest span, 500 ns):
+  // (1100 - 500) ns = 0.600 us. "f" at the completing wait's start: 0.900 us
+  // — the CollWait, not the earlier NbDrain.
+  const std::size_t s_at = j.find("\"ph\": \"s\"");
+  ASSERT_NE(s_at, std::string::npos);
+  EXPECT_NE(j.find("\"ts\": 0.600", s_at), std::string::npos);
+  const std::size_t f_at = j.find("\"ph\": \"f\"");
+  ASSERT_NE(f_at, std::string::npos);
+  EXPECT_NE(j.find("\"ts\": 0.900", f_at), std::string::npos);
+}
+
+TEST(ChromeTrace, UnpairedFlowEmitsNoArrow) {
+  TimelineSnapshot snap;
+  ThreadTimeline r0;
+  r0.rank = 0;
+  r0.spans.push_back({SpanKind::CollPost, "iallgather", 1, 5, 0, 10, 0, 0});
+  snap.threads.push_back(r0);
+  const std::string j = chrome_trace_json(snap);
+  EXPECT_EQ(count_of(j, "\"ph\": \"s\""), 0U);
+  EXPECT_EQ(count_of(j, "\"ph\": \"f\""), 0U);
+}
+
+TEST(ChromeTrace, BalancedJsonAndFileRoundTrip) {
+  const std::string j = chrome_trace_json(sample_snapshot());
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+            std::count(j.begin(), j.end(), ']'));
+
+  const std::string path =
+      ::testing::TempDir() + "mbd_obs_trace_test.json";
+  write_chrome_trace(path, sample_snapshot());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), j);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mbd::obs

@@ -1,0 +1,101 @@
+// Metrics registry: counters accumulate, gauges overwrite, histograms
+// bucket by powers of two, snapshots sort by name, and the JSON form stays
+// well-shaped (the bench --json sink and docs/observability.md rely on it).
+#include "mbd/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace mbd::obs {
+namespace {
+
+// The registry is process-wide; every test starts from a clean slate.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Metrics::instance().reset(); }
+  void TearDown() override { Metrics::instance().reset(); }
+};
+
+TEST_F(MetricsTest, CountersAccumulate) {
+  auto& m = Metrics::instance();
+  m.counter_add("ops");
+  m.counter_add("ops");
+  m.counter_add("ops", 2.5);
+  const auto snap = m.snapshot();
+  ASSERT_EQ(snap.size(), 1U);
+  EXPECT_EQ(snap[0].name, "ops");
+  EXPECT_EQ(snap[0].kind, MetricValue::Kind::Counter);
+  EXPECT_DOUBLE_EQ(snap[0].value, 4.5);
+}
+
+TEST_F(MetricsTest, GaugesOverwrite) {
+  auto& m = Metrics::instance();
+  m.gauge_set("temp", 1.0);
+  m.gauge_set("temp", -7.25);
+  const auto snap = m.snapshot();
+  ASSERT_EQ(snap.size(), 1U);
+  EXPECT_EQ(snap[0].kind, MetricValue::Kind::Gauge);
+  EXPECT_DOUBLE_EQ(snap[0].value, -7.25);
+}
+
+TEST_F(MetricsTest, HistogramBucketsArePowersOfTwo) {
+  auto& m = Metrics::instance();
+  m.hist_observe("h", 0.5);   // bucket 0 (below 2)
+  m.hist_observe("h", 1.0);   // bucket 0
+  m.hist_observe("h", 5.0);   // [4, 8) -> bucket 2
+  m.hist_observe("h", 1024);  // [2^10, 2^11) -> bucket 10
+  m.hist_observe("h", 1e300); // clamps to the last bucket
+  const auto snap = m.snapshot();
+  ASSERT_EQ(snap.size(), 1U);
+  const auto& h = snap[0].hist;
+  EXPECT_EQ(h.count, 5U);
+  EXPECT_DOUBLE_EQ(h.sum, 0.5 + 1.0 + 5.0 + 1024 + 1e300);
+  EXPECT_EQ(h.buckets[0], 2U);
+  EXPECT_EQ(h.buckets[2], 1U);
+  EXPECT_EQ(h.buckets[10], 1U);
+  EXPECT_EQ(h.buckets[HistogramSnapshot::kBuckets - 1], 1U);
+}
+
+TEST_F(MetricsTest, SnapshotSortsByNameAcrossKinds) {
+  auto& m = Metrics::instance();
+  m.gauge_set("b", 1.0);
+  m.counter_add("c");
+  m.hist_observe("a", 3.0);
+  const auto snap = m.snapshot();
+  ASSERT_EQ(snap.size(), 3U);
+  EXPECT_EQ(snap[0].name, "a");
+  EXPECT_EQ(snap[1].name, "b");
+  EXPECT_EQ(snap[2].name, "c");
+}
+
+TEST_F(MetricsTest, ToJsonEscapesAndShapes) {
+  auto& m = Metrics::instance();
+  m.counter_add("weird\"name\\x", 1.0);
+  m.hist_observe("lat", 3.0);
+  const std::string j = m.to_json();
+  EXPECT_NE(j.find("\"weird\\\"name\\\\x\""), std::string::npos);
+  EXPECT_NE(j.find("\"kind\": \"counter\""), std::string::npos);
+  EXPECT_NE(j.find("\"kind\": \"histogram\""), std::string::npos);
+  EXPECT_NE(j.find("\"count\": 1"), std::string::npos);
+  // Trailing zero buckets elided: value 3 lands in bucket 1, so the bucket
+  // array is exactly [0, 1].
+  EXPECT_NE(j.find("\"buckets\": [0, 1]"), std::string::npos);
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+            std::count(j.begin(), j.end(), ']'));
+}
+
+TEST_F(MetricsTest, ResetClears) {
+  auto& m = Metrics::instance();
+  m.counter_add("x");
+  m.gauge_set("y", 2.0);
+  m.hist_observe("z", 4.0);
+  m.reset();
+  EXPECT_TRUE(m.snapshot().empty());
+}
+
+}  // namespace
+}  // namespace mbd::obs

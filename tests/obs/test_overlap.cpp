@@ -1,0 +1,95 @@
+// Overlap-analysis math on hand-built timelines: which span kinds count as
+// communication vs compute, per-rank merging, critical-rank selection, and
+// the measured hidden fraction including its clamps.
+#include "mbd/obs/overlap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbd::obs {
+namespace {
+
+Span span(SpanKind k, std::uint64_t t0_ns, std::uint64_t t1_ns) {
+  Span s;
+  s.kind = k;
+  s.label = "t";
+  s.t0_ns = t0_ns;
+  s.t1_ns = t1_ns;
+  return s;
+}
+
+TimelineSnapshot two_rank_snapshot() {
+  TimelineSnapshot snap;
+  ThreadTimeline unbound;  // main thread: must be skipped
+  unbound.rank = -1;
+  unbound.spans.push_back(span(SpanKind::Gemm, 0, 1'000'000'000));
+  snap.threads.push_back(unbound);
+
+  ThreadTimeline r0;
+  r0.rank = 0;
+  r0.spans.push_back(span(SpanKind::Gemm, 0, 400'000'000));
+  r0.spans.push_back(span(SpanKind::Pack, 100'000'000, 200'000'000));
+  r0.spans.push_back(span(SpanKind::CollWait, 400'000'000, 600'000'000));
+  snap.threads.push_back(r0);
+
+  ThreadTimeline r1a;
+  r1a.rank = 1;
+  r1a.spans.push_back(span(SpanKind::CollPost, 0, 100'000'000));
+  r1a.spans.push_back(span(SpanKind::NbDrain, 100'000'000, 250'000'000));
+  snap.threads.push_back(r1a);
+  ThreadTimeline r1b;  // second life of rank 1: merged into the same rank
+  r1b.rank = 1;
+  r1b.life = 1;
+  r1b.spans.push_back(span(SpanKind::Im2col, 300'000'000, 350'000'000));
+  r1b.spans.push_back(span(SpanKind::CollWait, 350'000'000, 400'000'000));
+  snap.threads.push_back(r1b);
+  return snap;
+}
+
+TEST(Overlap, RankActivitySplitsCommAndCompute) {
+  const auto acts = rank_activity(two_rank_snapshot());
+  ASSERT_EQ(acts.size(), 2U);  // unbound thread skipped
+  EXPECT_EQ(acts[0].rank, 0);
+  // Pack nests inside Gemm and must NOT be double counted as compute.
+  EXPECT_NEAR(acts[0].compute_seconds, 0.4, 1e-12);
+  EXPECT_NEAR(acts[0].comm_seconds, 0.2, 1e-12);
+  EXPECT_NEAR(acts[0].span_seconds, 0.6, 1e-12);
+  EXPECT_EQ(acts[1].rank, 1);
+  // Both lives of rank 1 merge: post 0.1 + drain 0.15 + wait 0.05 = 0.3.
+  EXPECT_NEAR(acts[1].comm_seconds, 0.3, 1e-12);
+  EXPECT_NEAR(acts[1].compute_seconds, 0.05, 1e-12);
+}
+
+TEST(Overlap, CriticalCommIsMaxOverRanks) {
+  EXPECT_NEAR(critical_comm_seconds(two_rank_snapshot()), 0.3, 1e-12);
+  EXPECT_EQ(critical_comm_seconds(TimelineSnapshot{}), 0.0);
+}
+
+TEST(Overlap, MeasuredHiddenFraction) {
+  TimelineSnapshot blocking;
+  ThreadTimeline b0;
+  b0.rank = 0;
+  b0.spans.push_back(span(SpanKind::CollWait, 0, 1'000'000'000));
+  blocking.threads.push_back(b0);
+
+  TimelineSnapshot overlapped;
+  ThreadTimeline o0;
+  o0.rank = 0;
+  o0.spans.push_back(span(SpanKind::CollWait, 0, 400'000'000));
+  overlapped.threads.push_back(o0);
+
+  EXPECT_NEAR(measured_hidden_fraction(blocking, overlapped), 0.6, 1e-12);
+  // More exposed comm than blocking clamps to 0, never negative.
+  EXPECT_EQ(measured_hidden_fraction(overlapped, blocking), 0.0);
+  // No communication in the blocking run: defined as 0.
+  EXPECT_EQ(measured_hidden_fraction(TimelineSnapshot{}, overlapped), 0.0);
+}
+
+TEST(Overlap, TotalSecondsByKind) {
+  const auto snap = two_rank_snapshot();
+  EXPECT_NEAR(snap.total_seconds(SpanKind::Gemm), 1.4, 1e-12);
+  EXPECT_NEAR(snap.total_seconds(SpanKind::CollWait), 0.25, 1e-12);
+  EXPECT_EQ(snap.total_seconds(SpanKind::Checkpoint), 0.0);
+}
+
+}  // namespace
+}  // namespace mbd::obs

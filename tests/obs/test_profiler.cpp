@@ -1,0 +1,182 @@
+// Timeline profiler: gating, span recording, rank attribution, and the
+// property the whole observability layer leans on — two runs of the same
+// program produce the identical span *structure* (kind, label, sequence,
+// flow, args), differing only in timestamps.
+#include "mbd/obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "mbd/comm/world.hpp"
+#include "mbd/nn/models.hpp"
+#include "mbd/parallel/integrated.hpp"
+
+namespace mbd::obs {
+namespace {
+
+// Every test restores the ambient gate (MBD_PROFILE may have set it) and
+// leaves the registry empty.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = profiling_enabled();
+    enable_profiling(false);
+    reset_timeline();
+  }
+  void TearDown() override {
+    reset_timeline();
+    enable_profiling(was_enabled_);
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(ProfilerTest, DisabledRecordsNothing) {
+  {
+    ScopedSpan span(SpanKind::Gemm, "nn");
+    EXPECT_FALSE(span.active());
+  }
+  record_span(SpanKind::Pack, "pack_b", 0, 10);
+  EXPECT_EQ(next_flow_id(), 0U);
+  EXPECT_TRUE(snapshot_timeline().threads.empty());
+}
+
+// Everything below needs spans to actually be recorded, which the
+// MBD_PROFILER=OFF stub build compiles out by design.
+#if MBD_OBS_PROFILER
+
+TEST_F(ProfilerTest, RecordsSpansWithMonotonicSeq) {
+  enable_profiling(true);
+  {
+    ScopedSpan a(SpanKind::Gemm, "nn", /*arg0=*/64, /*arg1=*/8);
+    EXPECT_TRUE(a.active());
+  }
+  record_span(SpanKind::Im2col, "im2col", 100, 200, /*flow=*/0, /*arg0=*/3);
+  const auto snap = snapshot_timeline();
+  ASSERT_EQ(snap.threads.size(), 1U);
+  EXPECT_EQ(snap.threads[0].rank, -1);  // never bound
+  const auto& spans = snap.threads[0].spans;
+  ASSERT_EQ(spans.size(), 2U);
+  EXPECT_EQ(spans[0].kind, SpanKind::Gemm);
+  EXPECT_STREQ(spans[0].label, "nn");
+  EXPECT_EQ(spans[0].arg0, 64U);
+  EXPECT_EQ(spans[0].arg1, 8U);
+  EXPECT_LE(spans[0].t0_ns, spans[0].t1_ns);
+  EXPECT_LT(spans[0].seq, spans[1].seq);
+  EXPECT_EQ(spans[1].kind, SpanKind::Im2col);
+}
+
+TEST_F(ProfilerTest, SnapshotSortsByRankNotRegistrationOrder) {
+  enable_profiling(true);
+  // Bind rank 1 first so registration order disagrees with rank order.
+  std::thread t1([] {
+    bind_thread(1);
+    record_span(SpanKind::Gemm, "r1", 0, 1);
+  });
+  t1.join();
+  std::thread t0([] {
+    bind_thread(0);
+    record_span(SpanKind::Gemm, "r0", 0, 1);
+  });
+  t0.join();
+  const auto snap = snapshot_timeline();
+  ASSERT_EQ(snap.threads.size(), 2U);
+  EXPECT_EQ(snap.threads[0].rank, 0);
+  EXPECT_EQ(snap.threads[1].rank, 1);
+  EXPECT_STREQ(snap.threads[0].spans.at(0).label, "r0");
+}
+
+TEST_F(ProfilerTest, FlowIdsEncodeRankAndAreUnbound0) {
+  enable_profiling(true);
+  EXPECT_EQ(next_flow_id(), 0U);  // unbound thread: no flow identity
+  std::uint64_t f1 = 0, f2 = 0;
+  std::thread t([&] {
+    bind_thread(2);
+    f1 = next_flow_id();
+    f2 = next_flow_id();
+  });
+  t.join();
+  EXPECT_NE(f1, 0U);
+  EXPECT_NE(f1, f2);
+  EXPECT_EQ(f1 >> 32, 3U);  // (rank + 1) in the high word
+}
+
+using SpanSig = std::tuple<int, int, SpanKind, std::string, std::uint64_t,
+                           std::uint64_t, std::uint64_t, std::uint64_t>;
+
+std::vector<SpanSig> run_structure(parallel::ReduceMode mode) {
+  reset_timeline();
+  const auto specs = nn::mlp_spec({12, 17, 8});
+  const auto data = nn::make_synthetic_dataset(12, 8, 24, 5);
+  nn::TrainConfig cfg;
+  cfg.batch = 8;
+  cfg.iterations = 2;
+  comm::World world(4);
+  world.run([&](comm::Comm& c) {
+    (void)parallel::train_integrated_15d(c, {2, 2}, specs, data, cfg, 42,
+                                         mode);
+  });
+  std::vector<SpanSig> out;
+  for (const auto& t : snapshot_timeline().threads)
+    for (const auto& s : t.spans)
+      out.emplace_back(t.rank, t.life, s.kind, s.label, s.seq, s.flow,
+                       s.arg0, s.arg1);
+  return out;
+}
+
+TEST_F(ProfilerTest, SpanStructureIsDeterministicAcrossRuns) {
+  enable_profiling(true);
+  for (const auto mode :
+       {parallel::ReduceMode::Blocking, parallel::ReduceMode::Overlapped}) {
+    const auto a = run_structure(mode);
+    const auto b = run_structure(mode);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "span structure differs between identical runs";
+  }
+}
+
+TEST_F(ProfilerTest, OverlappedRunPairsEveryPostWithItsWait) {
+  enable_profiling(true);
+  (void)run_structure(parallel::ReduceMode::Blocking);  // warm path
+  const auto sigs = run_structure(parallel::ReduceMode::Overlapped);
+  bool saw_post = false;
+  for (const auto& [rank, life, kind, label, seq, flow, a0, a1] : sigs) {
+    if (kind != SpanKind::CollPost || flow == 0) continue;
+    saw_post = true;
+    bool paired = false;
+    for (const auto& [r2, l2, k2, lb2, s2, f2, x0, x1] : sigs)
+      if (f2 == flow && (k2 == SpanKind::CollWait || k2 == SpanKind::NbDrain))
+        paired = true;
+    EXPECT_TRUE(paired) << "flow " << flow << " (" << label
+                        << ") never completed";
+  }
+  EXPECT_TRUE(saw_post) << "overlapped run posted no nonblocking collective";
+}
+
+TEST_F(ProfilerTest, ResetClearsSpansAndLives) {
+  enable_profiling(true);
+  std::thread t([] {
+    bind_thread(0);
+    record_span(SpanKind::Gemm, "x", 0, 1);
+  });
+  t.join();
+  reset_timeline();
+  EXPECT_TRUE(snapshot_timeline().threads.empty());
+  // A fresh thread binding rank 0 starts again at life 0.
+  std::thread t2([] {
+    bind_thread(0);
+    record_span(SpanKind::Gemm, "y", 0, 1);
+  });
+  t2.join();
+  const auto snap = snapshot_timeline();
+  ASSERT_EQ(snap.threads.size(), 1U);
+  EXPECT_EQ(snap.threads[0].life, 0);
+}
+
+#endif  // MBD_OBS_PROFILER
+
+}  // namespace
+}  // namespace mbd::obs

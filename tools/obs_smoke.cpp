@@ -1,0 +1,146 @@
+// Observability smoke driver for CI (.github/workflows/ci.yml,
+// observability-smoke job).
+//
+// Runs a 4-rank engine sweep — all six trainers, nonblocking reduction
+// schedule — with the timeline profiler on, and writes into <outdir>:
+//   trace_<trainer>.json   Chrome trace-event export, one per trainer
+//   metrics.json           metrics-registry snapshot (incl. GEMM shapes)
+//   structure.txt          span structure (everything but timestamps)
+//
+// CI runs the binary twice and diffs the two structure.txt files: byte
+// equality is the span-structure determinism guarantee of
+// mbd/obs/profiler.hpp, checked under TSan. scripts/check_trace.py
+// schema-checks every trace file.
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mbd/comm/world.hpp"
+#include "mbd/nn/models.hpp"
+#include "mbd/obs/chrome_trace.hpp"
+#include "mbd/obs/metrics.hpp"
+#include "mbd/obs/profiler.hpp"
+#include "mbd/parallel/batch_parallel.hpp"
+#include "mbd/parallel/domain_parallel.hpp"
+#include "mbd/parallel/hybrid.hpp"
+#include "mbd/parallel/integrated.hpp"
+#include "mbd/parallel/mixed_grid.hpp"
+#include "mbd/parallel/model_parallel.hpp"
+#include "mbd/tensor/gemm.hpp"
+
+namespace {
+
+using namespace mbd;
+
+std::vector<nn::LayerSpec> small_conv_net() {
+  std::vector<nn::LayerSpec> specs;
+  specs.push_back(nn::conv_spec("conv1", 2, 8, 8, 4, 3, 1, 1));
+  specs.push_back(nn::conv_spec("conv2", 4, 8, 8, 4, 3, 1, 1));
+  specs.push_back(nn::fc_spec("fc1", 4 * 8 * 8, 16));
+  specs.push_back(nn::fc_spec("fc2", 16, 4, false));
+  return specs;
+}
+
+void dump_structure(std::ofstream& out, const std::string& trainer,
+                    const obs::TimelineSnapshot& snap) {
+  for (const auto& t : snap.threads)
+    for (const auto& s : t.spans)
+      out << trainer << ' ' << t.rank << ' ' << t.life << ' '
+          << obs::span_kind_name(s.kind) << ' ' << s.label << ' ' << s.seq
+          << ' ' << s.flow << ' ' << s.arg0 << ' ' << s.arg1 << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <outdir>\n", argv[0]);
+    return 2;
+  }
+  const std::string outdir = argv[1];
+
+  obs::enable_profiling(true);
+  tensor::set_gemm_shape_metrics(true);
+
+  const auto mlp = nn::mlp_spec({24, 32, 10});
+  const auto mlp_data = nn::make_synthetic_dataset(24, 10, 32, 13);
+  nn::TrainConfig mlp_cfg;
+  mlp_cfg.batch = 8;
+  mlp_cfg.iterations = 2;
+
+  const auto cnn = small_conv_net();
+  const auto cnn_data = nn::make_synthetic_dataset(2 * 8 * 8, 4, 16, 9);
+  nn::TrainConfig cnn_cfg;
+  cnn_cfg.batch = 8;
+  cnn_cfg.iterations = 2;
+
+  using parallel::GridShape;
+  using parallel::ReduceMode;
+  const auto mode = ReduceMode::Overlapped;
+  struct Case {
+    const char* name;
+    std::function<void(comm::Comm&)> run;
+  };
+  const std::vector<Case> cases = {
+      {"model",
+       [&](comm::Comm& c) {
+         (void)parallel::train_model_parallel(c, mlp, mlp_data, mlp_cfg, 42,
+                                              mode);
+       }},
+      {"batch",
+       [&](comm::Comm& c) {
+         (void)parallel::train_batch_parallel(c, mlp, mlp_data, mlp_cfg, {},
+                                              mode);
+       }},
+      {"integrated_15d",
+       [&](comm::Comm& c) {
+         (void)parallel::train_integrated_15d(c, GridShape{2, 2}, mlp,
+                                              mlp_data, mlp_cfg, 42, mode);
+       }},
+      {"mixed_grid",
+       [&](comm::Comm& c) {
+         (void)parallel::train_mixed_grid(c, GridShape{2, 2}, cnn, cnn_data,
+                                          cnn_cfg, 42, mode);
+       }},
+      {"domain",
+       [&](comm::Comm& c) {
+         (void)parallel::train_domain_parallel(c, cnn, cnn_data, cnn_cfg, 42,
+                                               /*overlap_halo=*/false, mode);
+       }},
+      {"hybrid",
+       [&](comm::Comm& c) {
+         (void)parallel::train_hybrid(c, GridShape{2, 2}, cnn, cnn_data,
+                                      cnn_cfg, 42, /*overlap_halo=*/false,
+                                      mode);
+       }},
+  };
+
+  std::ofstream structure(outdir + "/structure.txt");
+  if (!structure.good()) {
+    std::fprintf(stderr, "error: cannot write to %s\n", outdir.c_str());
+    return 2;
+  }
+  for (const auto& tc : cases) {
+    obs::reset_timeline();
+    comm::World world(4);
+    world.enable_validation();
+    world.run(tc.run);
+    const auto snap = obs::snapshot_timeline();
+    obs::write_chrome_trace(outdir + "/trace_" + tc.name + ".json", snap);
+    dump_structure(structure, tc.name, snap);
+    std::size_t spans = 0;
+    for (const auto& t : snap.threads) spans += t.spans.size();
+    std::printf("%-14s %zu threads, %zu spans\n", tc.name,
+                snap.threads.size(), spans);
+  }
+  structure.close();
+
+  std::ofstream metrics(outdir + "/metrics.json");
+  metrics << obs::Metrics::instance().to_json();
+  metrics.close();
+  std::printf("wrote %s/{trace_*.json, metrics.json, structure.txt}\n",
+              outdir.c_str());
+  return 0;
+}
