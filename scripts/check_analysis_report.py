@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Schema-check a static schedule-analysis report from tools/mbd_analyze.
+
+    scripts/check_analysis_report.py report.json [--expect-all-trainers]
+        [--expect-min-cases N] [--require-clean]
+
+Checks (see docs/static_analysis.md):
+  * top level is {"schema": "mbd-schedule-analysis-v1", "clean": bool,
+    "cases": [...]}
+  * every case names a known trainer, a valid grid (pr, pc >= 1), a known
+    reduce mode, a positive recorded event count, and a traffic object with
+    the three byte classes (allreduce/allgather/p2p)
+  * every violation entry carries a known kind, a rank, an op_index, and a
+    non-empty detail string
+  * the top-level "clean" flag agrees with the per-case violation lists
+  * --expect-all-trainers: all six trainers must appear (batch, model,
+    integrated, domain, hybrid, mixed)
+  * --expect-min-cases N: at least N cases analyzed
+  * --require-clean: a schema-valid report with violations still fails
+
+Exit status: 0 schema-valid (and clean if required), 1 violation(s),
+2 usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TRAINERS = {"batch", "model", "integrated", "domain", "hybrid", "mixed"}
+MODES = {"blocking", "overlapped"}
+VIOLATION_KINDS = {
+    "collective_mismatch",
+    "deadlock",
+    "unconsumed_message",
+    "handle_leak",
+    "traffic_mismatch",
+}
+TRAFFIC_KEYS = ("allreduce_bytes", "allgather_bytes", "p2p_bytes")
+
+
+def check_case(i: int, case: object, errors: list[str]) -> int:
+    """Validate one case object; returns its violation count."""
+    where = f"case {i}"
+    if not isinstance(case, dict):
+        errors.append(f"{where}: not an object")
+        return 0
+    trainer = case.get("trainer")
+    if trainer not in TRAINERS:
+        errors.append(f"{where}: unknown trainer {trainer!r}")
+    if case.get("mode") not in MODES:
+        errors.append(f"{where}: unknown mode {case.get('mode')!r}")
+    for field in ("pr", "pc", "batch", "iterations", "events"):
+        v = case.get(field)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+            errors.append(f"{where} ({trainer}): {field} must be a positive int")
+    traffic = case.get("traffic")
+    if not isinstance(traffic, dict):
+        errors.append(f"{where} ({trainer}): missing traffic object")
+    else:
+        for key in TRAFFIC_KEYS:
+            v = traffic.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                errors.append(f"{where} ({trainer}): traffic.{key} must be an int >= 0")
+        if sum(traffic.get(k, 0) for k in TRAFFIC_KEYS) == 0:
+            errors.append(f"{where} ({trainer}): schedule moved zero bytes")
+    violations = case.get("violations")
+    if not isinstance(violations, list):
+        errors.append(f"{where} ({trainer}): violations must be a list")
+        return 0
+    for j, viol in enumerate(violations):
+        vwhere = f"{where} violation {j}"
+        if not isinstance(viol, dict):
+            errors.append(f"{vwhere}: not an object")
+            continue
+        if viol.get("kind") not in VIOLATION_KINDS:
+            errors.append(f"{vwhere}: unknown kind {viol.get('kind')!r}")
+        if not isinstance(viol.get("rank"), int):
+            errors.append(f"{vwhere}: missing integer rank")
+        if not isinstance(viol.get("op_index"), int):
+            errors.append(f"{vwhere}: missing integer op_index")
+        if not isinstance(viol.get("detail"), str) or not viol.get("detail"):
+            errors.append(f"{vwhere}: missing detail string")
+    return len(violations)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="mbd_analyze JSON report")
+    ap.add_argument(
+        "--expect-all-trainers",
+        action="store_true",
+        help="require every trainer to appear in the sweep",
+    )
+    ap.add_argument(
+        "--expect-min-cases",
+        type=int,
+        default=1,
+        help="minimum number of analyzed cases",
+    )
+    ap.add_argument(
+        "--require-clean",
+        action="store_true",
+        help="fail if any case has violations",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {args.report}: {e}", file=sys.stderr)
+        return 2
+
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        print(f"error: {args.report}: top level must be an object", file=sys.stderr)
+        return 2
+    if doc.get("schema") != "mbd-schedule-analysis-v1":
+        errors.append(f"unknown schema {doc.get('schema')!r}")
+    if not isinstance(doc.get("clean"), bool):
+        errors.append("missing boolean 'clean'")
+    cases = doc.get("cases")
+    if not isinstance(cases, list):
+        print(f"error: {args.report}: 'cases' must be a list", file=sys.stderr)
+        return 2
+
+    n_violations = 0
+    for i, case in enumerate(cases):
+        n_violations += check_case(i, case, errors)
+
+    if len(cases) < args.expect_min_cases:
+        errors.append(
+            f"only {len(cases)} case(s) analyzed (want >= {args.expect_min_cases})"
+        )
+    if args.expect_all_trainers:
+        seen = {c.get("trainer") for c in cases if isinstance(c, dict)}
+        for t in sorted(TRAINERS - seen):
+            errors.append(f"trainer '{t}' missing from the sweep")
+    if isinstance(doc.get("clean"), bool) and doc["clean"] != (n_violations == 0):
+        errors.append(
+            f"'clean' is {doc['clean']} but cases carry {n_violations} violation(s)"
+        )
+    if args.require_clean and n_violations:
+        errors.append(f"{n_violations} schedule violation(s) reported")
+
+    if errors:
+        print(f"{args.report}: {len(errors)} problem(s):", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    modes = {c.get("mode") for c in cases if isinstance(c, dict)}
+    print(
+        f"{args.report}: OK — {len(cases)} case(s), "
+        f"{len({c.get('trainer') for c in cases if isinstance(c, dict)})} trainer(s), "
+        f"{len(modes)} mode(s), {n_violations} violation(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# clang-tidy gate over the library sources (src/**/*.cpp), driven by the
-# CMake compilation database so include paths and C++20 flags match the real
-# build. Fails (exit 1) on any warning — .clang-tidy sets WarningsAsErrors.
+# clang-tidy gate over the library, tool, and bench sources (src/**/*.cpp,
+# tools/**/*.cpp, bench/**/*.cpp), driven by the CMake compilation database
+# so include paths and C++20 flags match the real build. Fails (exit 1) on
+# any warning — .clang-tidy sets WarningsAsErrors. Files run in parallel and
+# a per-file timing summary prints at the end so slow TUs are visible.
 #
-#   scripts/run_clang_tidy.sh [--allow-missing] [build-dir]
+#   scripts/run_clang_tidy.sh [--allow-missing] [-j N] [build-dir]
 #
 #   --allow-missing   exit 0 with a notice when clang-tidy is not installed
 #                     (for developer boxes without LLVM; CI installs it and
 #                     must NOT pass this flag)
+#   -j N              parallel clang-tidy processes (default: nproc)
 #   build-dir         compilation-database dir (default: build-tidy, created)
 set -euo pipefail
 
@@ -15,12 +18,16 @@ cd "$(dirname "$0")/.."
 
 ALLOW_MISSING=0
 BUILD_DIR="build-tidy"
-for arg in "$@"; do
-  case "$arg" in
+JOBS="$(nproc 2>/dev/null || echo 4)"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
     --allow-missing) ALLOW_MISSING=1 ;;
-    -*) echo "unknown flag: $arg" >&2; exit 2 ;;
-    *) BUILD_DIR="$arg" ;;
+    -j) JOBS="$2"; shift ;;
+    -j*) JOBS="${1#-j}" ;;
+    -*) echo "unknown flag: $1" >&2; exit 2 ;;
+    *) BUILD_DIR="$1" ;;
   esac
+  shift
 done
 
 TIDY="${CLANG_TIDY:-clang-tidy}"
@@ -33,25 +40,76 @@ if ! command -v "$TIDY" >/dev/null 2>&1; then
   exit 1
 fi
 
-# Library sources only: the gate covers src/; tests and benches follow the
-# same config via editor integration but do not block CI.
+# The gate covers src/, tools/, and bench/; tests follow the same config via
+# editor integration but do not block CI. Benches need Google Benchmark to
+# configure — boxes without it fall back to a library+tools gate.
 if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
-  cmake -B "${BUILD_DIR}" -S . \
-    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-    -DMBD_BUILD_TESTS=OFF -DMBD_BUILD_BENCH=OFF -DMBD_BUILD_EXAMPLES=OFF \
-    >/dev/null
+  if ! cmake -B "${BUILD_DIR}" -S . \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DMBD_BUILD_TESTS=OFF -DMBD_BUILD_EXAMPLES=OFF \
+      >/dev/null 2>"${BUILD_DIR}-configure.log"; then
+    echo "notice: configure with benches failed" \
+         "(see ${BUILD_DIR}-configure.log); retrying without bench/" >&2
+    rm -rf "${BUILD_DIR}"
+    cmake -B "${BUILD_DIR}" -S . \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DMBD_BUILD_TESTS=OFF -DMBD_BUILD_EXAMPLES=OFF -DMBD_BUILD_BENCH=OFF \
+      >/dev/null
+  fi
 fi
 
-mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
-echo "clang-tidy ($("$TIDY" --version | head -n1)) over ${#SOURCES[@]} files"
+# Derive the file list from the compilation database itself so the gate and
+# the compiler always agree on what is buildable.
+mapfile -t SOURCES < <(python3 - "$BUILD_DIR" <<'EOF'
+import json, os, sys
+root = os.getcwd()
+with open(os.path.join(sys.argv[1], "compile_commands.json")) as f:
+    entries = json.load(f)
+files = set()
+for e in entries:
+    path = e["file"]
+    if not os.path.isabs(path):
+        path = os.path.join(e["directory"], path)
+    rel = os.path.relpath(os.path.normpath(path), root)
+    if rel.split(os.sep)[0] in ("src", "tools", "bench"):
+        files.add(rel)
+print("\n".join(sorted(files)))
+EOF
+)
+echo "clang-tidy ($("$TIDY" --version | head -n1)) over ${#SOURCES[@]} files, -j${JOBS}"
 
-FAILED=0
-for f in "${SOURCES[@]}"; do
-  if ! "$TIDY" -p "${BUILD_DIR}" --quiet "$f"; then
-    FAILED=1
+TIMES_DIR="$(mktemp -d)"
+trap 'rm -rf "$TIMES_DIR"' EXIT
+
+run_one() {
+  local f="$1" start end status=0 out
+  start=$(date +%s%N)
+  out=$("$TIDY" -p "$BUILD_DIR" --quiet "$f" 2>&1) || status=1
+  end=$(date +%s%N)
+  printf '%d %s\n' $(( (end - start) / 1000000 )) "$f" \
+    > "$TIMES_DIR/${f//\//_}.time"
+  if [[ -n "$out" ]]; then
+    printf '== %s\n%s\n' "$f" "$out"
+  fi
+  if [[ "$status" != 0 ]]; then
     echo "FAIL: $f" >&2
   fi
-done
+  return "$status"
+}
+export TIDY BUILD_DIR TIMES_DIR
+export -f run_one
+
+FAILED=0
+if ! printf '%s\n' "${SOURCES[@]}" \
+    | xargs -P "$JOBS" -n 1 bash -c 'run_one "$1"' _; then
+  FAILED=1
+fi
+
+echo "-- per-file timing (slowest 10) --"
+sort -rn "$TIMES_DIR"/*.time | head -n 10 \
+  | awk '{printf "  %7.2fs  %s\n", $1 / 1000, $2}'
+cat "$TIMES_DIR"/*.time \
+  | awk '{s += $1} END {printf "total tidy CPU time: %.1fs across %d files\n", s / 1000, NR}'
 
 if [[ "$FAILED" != 0 ]]; then
   echo "clang-tidy gate failed — fix the warnings above or justify a" \

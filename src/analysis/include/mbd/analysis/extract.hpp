@@ -1,0 +1,73 @@
+// Schedule extraction: dry-run a trainer and record its communication.
+//
+// extract_schedule runs the REAL trainer — the same EngineStage graph,
+// communicator splits, collective algorithms, and nonblocking schedules
+// that a production run executes — inside a thread-backed World with
+// (a) schedule recording attached to the fabric and (b) GEMM compute
+// elision turned on (tensor::set_gemm_dry_run). Payloads still flow, zero-
+// filled and size-exact, so every recorded message has the true byte count;
+// only the FLOPs disappear, which makes extraction take milliseconds per
+// configuration.
+//
+// This is an intentional deviation from "pure" static extraction: rather
+// than reimplementing each trainer's control flow symbolically (and
+// drifting from it), the analyzer elides compute from the real code path.
+// What is proven is therefore a property of the actual implementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mbd/analysis/schedule_checks.hpp"
+#include "mbd/comm/schedule_recorder.hpp"
+#include "mbd/costmodel/volumes.hpp"
+#include "mbd/nn/layer_spec.hpp"
+#include "mbd/parallel/common.hpp"
+#include "mbd/parallel/integrated.hpp"
+
+namespace mbd::analysis {
+
+/// One configuration to extract and analyze.
+struct AnalyzerConfig {
+  costmodel::TrainerKind kind = costmodel::TrainerKind::BatchParallel;
+  parallel::GridShape grid;  ///< pure trainers run on pr·pc ranks
+  std::vector<nn::LayerSpec> specs;
+  std::size_t batch = 8;
+  std::size_t iterations = 3;  ///< >= 2 so a steady-state window exists
+  parallel::ReduceMode mode = parallel::ReduceMode::Blocking;
+  std::uint64_t seed = 42;
+};
+
+/// Dry-run the configured trainer and return the recorded per-rank
+/// schedule. GEMM dry-run mode is enabled for the duration of the run and
+/// restored afterwards (also on exceptions).
+comm::ScheduleRecording extract_schedule(const AnalyzerConfig& cfg);
+
+/// The TrafficExpectation matching a configuration (for check_traffic).
+TrafficExpectation expectation_for(const AnalyzerConfig& cfg);
+
+/// Result of analyzing one configuration: extraction stats, the violations
+/// every check produced (empty == proven clean), and the steady-state
+/// per-iteration traffic actually recorded (summed over ranks, window 1).
+struct CaseResult {
+  std::string trainer;
+  int pr = 1;
+  int pc = 1;
+  std::size_t batch = 0;
+  std::size_t iterations = 0;
+  std::string mode;  ///< "blocking" or "overlapped"
+  std::size_t events = 0;  ///< total recorded schedule events
+  std::uint64_t allreduce_bytes = 0;  ///< recorded, per iteration, all ranks
+  std::uint64_t allgather_bytes = 0;
+  std::uint64_t p2p_bytes = 0;
+  std::vector<Violation> violations;
+
+  bool clean() const { return violations.empty(); }
+};
+
+/// extract_schedule + run_all_checks + traffic accounting for one
+/// configuration.
+CaseResult analyze_case(const AnalyzerConfig& cfg);
+
+}  // namespace mbd::analysis

@@ -1,0 +1,45 @@
+// JSON analysis reports for the mbd_analyze CLI and the schedule-analysis
+// CI job. Schema "mbd-schedule-analysis-v1", validated by
+// scripts/check_analysis_report.py:
+//
+//   {
+//     "schema": "mbd-schedule-analysis-v1",
+//     "clean": true,
+//     "cases": [
+//       {
+//         "trainer": "integrated", "pr": 2, "pc": 2,
+//         "batch": 16, "iterations": 3, "mode": "blocking",
+//         "events": 1234,
+//         "traffic": {"allreduce_bytes": ..., "allgather_bytes": ...,
+//                     "p2p_bytes": ...},
+//         "violations": [
+//           {"kind": "traffic_mismatch", "rank": 1, "op_index": 2,
+//            "detail": "..."}
+//         ]
+//       }
+//     ]
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mbd/analysis/extract.hpp"
+
+namespace mbd::analysis {
+
+/// A full analyzer sweep: one CaseResult per analyzed configuration.
+struct AnalysisReport {
+  std::vector<CaseResult> cases;
+
+  /// True when every case verified clean.
+  bool clean() const;
+  /// Total violations across all cases.
+  std::size_t violation_count() const;
+  /// Serialize to the mbd-schedule-analysis-v1 JSON schema.
+  std::string to_json() const;
+  /// One summary line per case plus every violation, for terminal output.
+  std::string summary() const;
+};
+
+}  // namespace mbd::analysis

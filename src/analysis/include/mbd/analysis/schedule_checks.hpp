@@ -1,0 +1,110 @@
+// Static checks over a recorded communication schedule.
+//
+// A ScheduleRecording (mbd/comm/schedule_recorder.hpp) is the full per-rank
+// message schedule of a training run — every send, receive, collective
+// entry, nonblocking handle lifetime, and engine-step marker. These checks
+// prove properties of that schedule offline, without re-running any
+// compute:
+//
+//  1. check_collective_matching — the offline analogue of the runtime
+//     Validator's rendezvous: on every communicator context, all
+//     participating ranks must enter the same ordered sequence of
+//     collectives with matching descriptors (kind, count, element type,
+//     reduce op, algorithm, root, blocking-ness).
+//  2. check_deadlock_free — replays the recorded sends and receives under
+//     the fabric's buffered-send semantics (a send never blocks; a receive
+//     blocks until the matching message was sent). The recorded schedule is
+//     deadlock-free iff this replay runs every rank to completion; messages
+//     sent but never received are flagged too.
+//  3. check_handle_lifetimes — every nonblocking post must be closed
+//     (waited or drained) before its engine step ends; an NbPost still open
+//     at a StepEnd marker or at end-of-log is a leaked CollectiveHandle.
+//  4. check_traffic — per-rank, per-iteration byte volumes summed from the
+//     Send events must equal the costmodel closed forms
+//     (costmodel::trainer_rank_volume) byte-for-byte, per traffic class.
+//
+// Every violation carries the global rank and the index of the offending
+// event in that rank's log, so reports point at an exact (rank, op)
+// position in the schedule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mbd/comm/schedule_recorder.hpp"
+#include "mbd/costmodel/volumes.hpp"
+
+namespace mbd::analysis {
+
+enum class ViolationKind : std::uint8_t {
+  CollectiveMismatch,  ///< cross-rank descriptor/sequence disagreement
+  Deadlock,            ///< replay stalled: a receive can never be satisfied
+  UnconsumedMessage,   ///< a sent message is never received
+  HandleLeak,          ///< nonblocking post not closed by step end
+  TrafficMismatch,     ///< measured bytes differ from the closed form
+};
+
+std::string_view violation_kind_name(ViolationKind k);
+
+/// One check failure, attributed to an exact position in the schedule.
+struct Violation {
+  ViolationKind kind = ViolationKind::CollectiveMismatch;
+  int rank = -1;            ///< global rank the violation is attributed to
+  std::size_t op_index = 0; ///< event index in that rank's log (see detail)
+  std::string detail;       ///< human-readable description
+
+  std::string describe() const;
+};
+
+/// Check 1: cross-rank collective matching per communicator context.
+std::vector<Violation> check_collective_matching(
+    const comm::ScheduleRecording& rec);
+
+/// Check 2: deadlock-freedom of the recorded send/receive schedule under
+/// buffered-send semantics, plus detection of never-received messages.
+std::vector<Violation> check_deadlock_free(const comm::ScheduleRecording& rec);
+
+/// Check 3: nonblocking handle lifetimes bounded by engine steps.
+std::vector<Violation> check_handle_lifetimes(
+    const comm::ScheduleRecording& rec);
+
+/// What a recorded schedule's traffic should be, for check 4.
+struct TrafficExpectation {
+  costmodel::TrainerKind kind = costmodel::TrainerKind::BatchParallel;
+  std::vector<nn::LayerSpec> specs;
+  std::size_t batch = 0;
+  int pr = 1;
+  int pc = 1;
+};
+
+/// Bytes one rank sent within one engine-step window, by traffic class.
+struct WindowTraffic {
+  std::uint64_t allreduce_bytes = 0;
+  std::uint64_t allgather_bytes = 0;
+  std::uint64_t p2p_bytes = 0;
+};
+
+/// Sum each rank's Send bytes inside iteration window `iteration` (the
+/// events between StepEnd marker `iteration−1` and marker `iteration`;
+/// window 0 starts at the beginning of the log and additionally contains
+/// setup traffic — communicator splits — which is why traffic checks start
+/// at window 1). Ranks whose logs contain fewer windows get zero entries.
+std::vector<WindowTraffic> window_traffic(const comm::ScheduleRecording& rec,
+                                          std::size_t iteration);
+
+/// Check 4: every rank's per-iteration traffic (steady-state windows, i.e.
+/// iteration >= 1) must equal trainer_rank_volume byte-for-byte per class.
+/// Also verifies all ranks agree on the number of engine steps. Requires at
+/// least two recorded iterations to have a steady-state window to check.
+std::vector<Violation> check_traffic(const comm::ScheduleRecording& rec,
+                                     const TrafficExpectation& expect);
+
+/// All structural checks (1–3), plus the traffic check when `expect` is
+/// non-null. Violations are concatenated in check order.
+std::vector<Violation> run_all_checks(const comm::ScheduleRecording& rec,
+                                      const TrafficExpectation* expect);
+
+}  // namespace mbd::analysis

@@ -1,0 +1,123 @@
+#include "mbd/analysis/extract.hpp"
+
+#include "mbd/comm/world.hpp"
+#include "mbd/nn/trainer.hpp"
+#include "mbd/parallel/batch_parallel.hpp"
+#include "mbd/parallel/domain_parallel.hpp"
+#include "mbd/parallel/hybrid.hpp"
+#include "mbd/parallel/mixed_grid.hpp"
+#include "mbd/parallel/model_parallel.hpp"
+#include "mbd/support/check.hpp"
+#include "mbd/tensor/gemm.hpp"
+
+namespace mbd::analysis {
+
+namespace {
+
+// RAII guard for the process-global GEMM elision flag: restores the prior
+// state even when the dry run throws.
+class GemmDryRunGuard {
+ public:
+  GemmDryRunGuard() : prev_(tensor::gemm_dry_run()) {
+    tensor::set_gemm_dry_run(true);
+  }
+  GemmDryRunGuard(const GemmDryRunGuard&) = delete;
+  GemmDryRunGuard& operator=(const GemmDryRunGuard&) = delete;
+  ~GemmDryRunGuard() { tensor::set_gemm_dry_run(prev_); }
+
+ private:
+  bool prev_;
+};
+
+}  // namespace
+
+comm::ScheduleRecording extract_schedule(const AnalyzerConfig& cfg) {
+  MBD_CHECK(!cfg.specs.empty());
+  MBD_CHECK_MSG(cfg.iterations >= 2,
+                "need >= 2 iterations for a steady-state traffic window");
+  const int p = cfg.grid.pr * cfg.grid.pc;
+  MBD_CHECK_GT(p, 0);
+
+  const std::size_t dim = cfg.specs.front().d_in();
+  const std::size_t classes = cfg.specs.back().d_out();
+  const nn::Dataset data =
+      nn::make_synthetic_dataset(dim, classes, cfg.batch, cfg.seed + 1);
+
+  nn::TrainConfig tc;
+  tc.batch = cfg.batch;
+  tc.iterations = cfg.iterations;
+
+  comm::World world(p);
+  world.enable_schedule_recording();
+
+  const GemmDryRunGuard dry_run;
+  world.run([&](comm::Comm& comm) {
+    switch (cfg.kind) {
+      case costmodel::TrainerKind::BatchParallel:
+        parallel::train_batch_parallel(comm, cfg.specs, data, tc,
+                                       nn::BuildOptions{.seed = cfg.seed},
+                                       cfg.mode);
+        return;
+      case costmodel::TrainerKind::ModelParallel:
+        parallel::train_model_parallel(comm, cfg.specs, data, tc, cfg.seed,
+                                       cfg.mode);
+        return;
+      case costmodel::TrainerKind::Integrated15D:
+        parallel::train_integrated_15d(comm, cfg.grid, cfg.specs, data, tc,
+                                       cfg.seed, cfg.mode);
+        return;
+      case costmodel::TrainerKind::DomainParallel:
+        parallel::train_domain_parallel(comm, cfg.specs, data, tc, cfg.seed,
+                                        /*overlap_halo=*/false, cfg.mode);
+        return;
+      case costmodel::TrainerKind::Hybrid:
+        parallel::train_hybrid(comm, cfg.grid, cfg.specs, data, tc, cfg.seed,
+                               /*overlap_halo=*/false, cfg.mode);
+        return;
+      case costmodel::TrainerKind::MixedGrid:
+        parallel::train_mixed_grid(comm, cfg.grid, cfg.specs, data, tc,
+                                   cfg.seed, cfg.mode);
+        return;
+    }
+    MBD_CHECK(false);
+  });
+
+  return world.schedule_recording();
+}
+
+TrafficExpectation expectation_for(const AnalyzerConfig& cfg) {
+  TrafficExpectation e;
+  e.kind = cfg.kind;
+  e.specs = cfg.specs;
+  e.batch = cfg.batch;
+  e.pr = cfg.grid.pr;
+  e.pc = cfg.grid.pc;
+  return e;
+}
+
+CaseResult analyze_case(const AnalyzerConfig& cfg) {
+  const comm::ScheduleRecording rec = extract_schedule(cfg);
+  const TrafficExpectation expect = expectation_for(cfg);
+
+  CaseResult res;
+  res.trainer = std::string(costmodel::trainer_kind_name(cfg.kind));
+  res.pr = cfg.grid.pr;
+  res.pc = cfg.grid.pc;
+  res.batch = cfg.batch;
+  res.iterations = cfg.iterations;
+  res.mode =
+      cfg.mode == parallel::ReduceMode::Blocking ? "blocking" : "overlapped";
+  res.events = rec.total_events();
+  res.violations = run_all_checks(rec, &expect);
+
+  // Steady-state per-iteration traffic, summed over ranks (window 1 — every
+  // later window is byte-identical when the traffic check passes).
+  for (const WindowTraffic& wt : window_traffic(rec, 1)) {
+    res.allreduce_bytes += wt.allreduce_bytes;
+    res.allgather_bytes += wt.allgather_bytes;
+    res.p2p_bytes += wt.p2p_bytes;
+  }
+  return res;
+}
+
+}  // namespace mbd::analysis

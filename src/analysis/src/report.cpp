@@ -1,0 +1,98 @@
+#include "mbd/analysis/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace mbd::analysis {
+
+namespace {
+
+// Minimal JSON string escaping: the details we emit only ever need quote,
+// backslash, and control-character escapes.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool AnalysisReport::clean() const {
+  for (const auto& c : cases)
+    if (!c.clean()) return false;
+  return true;
+}
+
+std::size_t AnalysisReport::violation_count() const {
+  std::size_t n = 0;
+  for (const auto& c : cases) n += c.violations.size();
+  return n;
+}
+
+std::string AnalysisReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"mbd-schedule-analysis-v1\",\n  \"clean\": "
+     << (clean() ? "true" : "false") << ",\n  \"cases\": [";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    os << (i == 0 ? "" : ",") << "\n    {\n"
+       << "      \"trainer\": \"" << json_escape(c.trainer) << "\",\n"
+       << "      \"pr\": " << c.pr << ",\n"
+       << "      \"pc\": " << c.pc << ",\n"
+       << "      \"batch\": " << c.batch << ",\n"
+       << "      \"iterations\": " << c.iterations << ",\n"
+       << "      \"mode\": \"" << json_escape(c.mode) << "\",\n"
+       << "      \"events\": " << c.events << ",\n"
+       << "      \"traffic\": {\"allreduce_bytes\": " << c.allreduce_bytes
+       << ", \"allgather_bytes\": " << c.allgather_bytes
+       << ", \"p2p_bytes\": " << c.p2p_bytes << "},\n"
+       << "      \"violations\": [";
+    for (std::size_t v = 0; v < c.violations.size(); ++v) {
+      const Violation& viol = c.violations[v];
+      os << (v == 0 ? "" : ",") << "\n        {\"kind\": \""
+         << violation_kind_name(viol.kind) << "\", \"rank\": " << viol.rank
+         << ", \"op_index\": " << viol.op_index << ", \"detail\": \""
+         << json_escape(viol.detail) << "\"}";
+    }
+    os << (c.violations.empty() ? "]" : "\n      ]") << "\n    }";
+  }
+  os << (cases.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+std::string AnalysisReport::summary() const {
+  std::ostringstream os;
+  for (const auto& c : cases) {
+    os << c.trainer << " pr=" << c.pr << " pc=" << c.pc << " batch=" << c.batch
+       << " mode=" << c.mode << ": " << c.events << " events, "
+       << "ar=" << c.allreduce_bytes << "B ag=" << c.allgather_bytes
+       << "B p2p=" << c.p2p_bytes << "B -> "
+       << (c.clean() ? "clean"
+                     : std::to_string(c.violations.size()) + " violation(s)")
+       << '\n';
+    for (const auto& v : c.violations) os << "  " << v.describe() << '\n';
+  }
+  os << (clean() ? "PROVEN CLEAN" : "VIOLATIONS FOUND") << ": " << cases.size()
+     << " case(s), " << violation_count() << " violation(s)\n";
+  return os.str();
+}
+
+}  // namespace mbd::analysis

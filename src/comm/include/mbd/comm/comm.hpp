@@ -199,6 +199,12 @@ class Comm {
   /// form a new communicator, ordered by (key, parent rank).
   Comm split(int color, int key);
 
+  /// If the World is recording schedules, mark the end of engine iteration
+  /// `iteration` in this rank's log (no-op otherwise). The analyzer uses
+  /// these markers to carve per-iteration traffic windows and to bound
+  /// nonblocking-handle lifetimes to their epoch.
+  void mark_engine_step(std::size_t iteration);
+
   /// If the World is tracing, log `seconds` of modeled compute on this rank
   /// at the current point in its event stream (no-op otherwise). Replay uses
   /// these annotations to interleave compute with communication.
@@ -231,6 +237,10 @@ class Comm {
   // message has been delivered yet.
   bool try_recv_bytes(int src, int tag, std::vector<std::byte>& out);
   int global_rank(int comm_rank) const;
+
+  // Append a Recv event to this rank's schedule log (no-op when the World
+  // is not recording). Shared by the blocking and nonblocking receive paths.
+  void record_recv(int gme, int gsrc, int tag, std::size_t bytes);
 
   // Registers `op` with the validator (leak tracking), eagerly advances it
   // once (posting round-0 sends), and wraps it in a handle. `op_name` must

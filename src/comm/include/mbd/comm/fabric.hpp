@@ -8,6 +8,7 @@
 
 #include "mbd/comm/fault.hpp"
 #include "mbd/comm/mailbox.hpp"
+#include "mbd/comm/schedule_recorder.hpp"
 #include "mbd/comm/stats.hpp"
 #include "mbd/comm/trace.hpp"
 #include "mbd/comm/validator.hpp"
@@ -32,6 +33,12 @@ struct Fabric {
   // before rank threads exist, so the plain pointer reads during a run
   // need no synchronization.
   std::unique_ptr<Validator> validator;
+
+  // Optional schedule recording: allocated by
+  // World::enable_schedule_recording() under the same publication rule as
+  // the validator (strictly before rank threads exist). Each rank appends
+  // only to its own log.
+  std::unique_ptr<ScheduleRecording> recorder;
 
   // Optional fault injector: installed by World::install_faults strictly
   // before rank threads exist (same publication rule as the validator).

@@ -35,6 +35,7 @@
 namespace mbd::comm {
 
 class Validator;
+struct ScheduleRecording;
 
 namespace detail {
 
@@ -63,6 +64,12 @@ struct PendingOp {
   Validator* validator = nullptr;
   int global_rank = -1;
   std::uint64_t nb_token = 0;
+  // Schedule-recording hookup, filled in by Comm::make_handle when the World
+  // is recording: the NbDone/NbCancel event closing this op's NbPost goes to
+  // ranks[rec_rank] with token rec_token.
+  ScheduleRecording* recorder = nullptr;
+  int rec_rank = -1;
+  std::uint64_t rec_token = 0;
   // Profiler flow id linking this op's CollPost span to the CollWait/NbDrain
   // span that completes it (0 when profiling is off). Deterministic: derived
   // from (rank, per-thread counter), not from the validator's global token.

@@ -83,6 +83,18 @@ class World {
   /// Clear the recorded events (tracing stays enabled).
   void reset_trace();
 
+  /// Start recording the full per-rank communication schedule (message
+  /// sends/receives, collective-entry descriptors, nonblocking handle
+  /// lifetimes, engine-step markers); subsequent run() calls append to it.
+  /// This is the extraction substrate of the static schedule analyzer
+  /// (mbd/analysis). See mbd/comm/schedule_recorder.hpp.
+  void enable_schedule_recording();
+  /// The recorded schedule; empty per-rank logs if recording was never
+  /// enabled. Only call between run()s (rank threads append during one).
+  const ScheduleRecording& schedule_recording() const;
+  /// Clear the recorded events (recording stays enabled).
+  void reset_schedule_recording();
+
   /// Turn on collective-call validation and the recv watchdog for subsequent
   /// run() calls (idempotent; on by default in Debug builds). Only call
   /// between run()s. See mbd/comm/validator.hpp for what is checked.

@@ -41,6 +41,16 @@ void Comm::validate_entry(const CollectiveDesc& desc) {
   if (Validator* v = fabric_->validator.get()) {
     v->on_enter(context_, rank_, global_rank(rank_), size(), desc);
   }
+  if (ScheduleRecording* rec = fabric_->recorder.get()) {
+    ScheduleEvent ev;
+    ev.kind = ScheduleEventKind::CollEnter;
+    ev.context = context_;
+    ev.comm_rank = rank_;
+    ev.comm_size = size();
+    ev.desc = desc;
+    rec->ranks[static_cast<std::size_t>(global_rank(rank_))].events.push_back(
+        std::move(ev));
+  }
 }
 
 void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag,
@@ -62,6 +72,16 @@ void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag,
     v->on_p2p(gme, os.str());
   }
   fabric_->counters.record(c, data.size());
+  if (ScheduleRecording* rec = fabric_->recorder.get()) {
+    ScheduleEvent ev;
+    ev.kind = ScheduleEventKind::Send;
+    ev.context = context_;
+    ev.peer = gdst;
+    ev.tag = tag;
+    ev.bytes = data.size();
+    ev.coll = c;
+    rec->ranks[static_cast<std::size_t>(gme)].events.push_back(std::move(ev));
+  }
   Message msg;
   msg.context = context_;
   msg.source = gme;
@@ -128,7 +148,30 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
     fabric_->trace->ranks[static_cast<std::size_t>(gme)].push_back(
         {TraceEvent::Kind::Recv, gsrc, msg.payload.size(), msg.trace_id, 0.0});
   }
+  record_recv(gme, gsrc, tag, msg.payload.size());
   return std::move(msg.payload);
+}
+
+void Comm::record_recv(int gme, int gsrc, int tag, std::size_t bytes) {
+  if (ScheduleRecording* rec = fabric_->recorder.get()) {
+    ScheduleEvent ev;
+    ev.kind = ScheduleEventKind::Recv;
+    ev.context = context_;
+    ev.peer = gsrc;
+    ev.tag = tag;
+    ev.bytes = bytes;
+    rec->ranks[static_cast<std::size_t>(gme)].events.push_back(std::move(ev));
+  }
+}
+
+void Comm::mark_engine_step(std::size_t iteration) {
+  if (ScheduleRecording* rec = fabric_->recorder.get()) {
+    ScheduleEvent ev;
+    ev.kind = ScheduleEventKind::StepEnd;
+    ev.token = iteration;
+    rec->ranks[static_cast<std::size_t>(global_rank(rank_))]
+        .events.push_back(std::move(ev));
+  }
 }
 
 bool Comm::try_recv_bytes(int src, int tag, std::vector<std::byte>& out) {
@@ -144,12 +187,26 @@ bool Comm::try_recv_bytes(int src, int tag, std::vector<std::byte>& out) {
     fabric_->trace->ranks[static_cast<std::size_t>(gme)].push_back(
         {TraceEvent::Kind::Recv, gsrc, msg.payload.size(), msg.trace_id, 0.0});
   }
+  record_recv(gme, gsrc, tag, msg.payload.size());
   out = std::move(msg.payload);
   return true;
 }
 
 CollectiveHandle Comm::make_handle(std::unique_ptr<detail::PendingOp> op,
                                    const char* op_name, std::string what) {
+  if (ScheduleRecording* rec = fabric_->recorder.get()) {
+    const int gme = global_rank(rank_);
+    auto& log = rec->ranks[static_cast<std::size_t>(gme)];
+    op->recorder = rec;
+    op->rec_rank = gme;
+    op->rec_token = log.next_nb_token++;
+    ScheduleEvent ev;
+    ev.kind = ScheduleEventKind::NbPost;
+    ev.context = context_;
+    ev.token = op->rec_token;
+    ev.what = what;  // copy: the validator takes ownership below
+    log.events.push_back(std::move(ev));
+  }
   if (Validator* v = fabric_->validator.get()) {
     op->validator = v;
     op->global_rank = global_rank(rank_);

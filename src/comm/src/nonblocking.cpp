@@ -2,17 +2,33 @@
 
 #include <exception>
 
+#include "mbd/comm/schedule_recorder.hpp"
 #include "mbd/comm/validator.hpp"
 #include "mbd/obs/profiler.hpp"
 
 namespace mbd::comm {
+namespace {
+
+void record_nb_close(detail::PendingOp& op, ScheduleEventKind kind) {
+  if (op.recorder == nullptr) return;
+  ScheduleEvent ev;
+  ev.kind = kind;
+  ev.token = op.rec_token;
+  op.recorder->ranks[static_cast<std::size_t>(op.rec_rank)].events.push_back(
+      std::move(ev));
+}
+
+}  // namespace
 
 CollectiveHandle::~CollectiveHandle() {
   if (op_ == nullptr || completed_) return;
   // RAII cancellation (only during unwind — a quietly dropped handle on the
   // happy path is a bug the leak report should still name).
-  if (op_->validator != nullptr && std::uncaught_exceptions() > 0) {
-    op_->validator->on_nb_cancelled(op_->global_rank, op_->nb_token);
+  if (std::uncaught_exceptions() > 0) {
+    if (op_->validator != nullptr) {
+      op_->validator->on_nb_cancelled(op_->global_rank, op_->nb_token);
+    }
+    record_nb_close(*op_, ScheduleEventKind::NbCancel);
   }
 }
 
@@ -44,6 +60,7 @@ void CollectiveHandle::finish() {
   if (op_->validator != nullptr) {
     op_->validator->on_nb_completed(op_->global_rank, op_->nb_token);
   }
+  record_nb_close(*op_, ScheduleEventKind::NbDone);
 }
 
 bool progress_all(std::span<CollectiveHandle> handles) {

@@ -123,6 +123,9 @@ RecoveryReport World::run_restartable(const std::function<void(Comm&)>& fn,
         t->ranks.resize(static_cast<std::size_t>(size_));
         fresh->trace = std::move(t);
       }
+      if (fabric_->recorder) {
+        fresh->recorder = std::make_unique<ScheduleRecording>(size_);
+      }
       fresh->injector = fabric_->injector;
       fabric_ = std::move(fresh);
       if (fabric_->injector) fabric_->injector->begin_epoch(attempt + 1);
@@ -160,6 +163,24 @@ const Trace& World::trace() const {
 void World::reset_trace() {
   if (!fabric_->trace) return;
   for (auto& r : fabric_->trace->ranks) r.clear();
+}
+
+void World::enable_schedule_recording() {
+  if (fabric_->recorder) return;
+  fabric_->recorder = std::make_unique<ScheduleRecording>(size_);
+}
+
+const ScheduleRecording& World::schedule_recording() const {
+  static const ScheduleRecording kEmpty{};
+  return fabric_->recorder ? *fabric_->recorder : kEmpty;
+}
+
+void World::reset_schedule_recording() {
+  if (!fabric_->recorder) return;
+  for (auto& r : fabric_->recorder->ranks) {
+    r.events.clear();
+    r.next_nb_token = 1;
+  }
 }
 
 void World::enable_validation() {

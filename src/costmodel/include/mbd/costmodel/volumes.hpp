@@ -1,0 +1,87 @@
+// Per-rank traffic volumes of the six distributed trainers, in closed form.
+//
+// mbd/parallel/validation.hpp predicts each trainer's per-iteration bytes
+// *summed over all ranks*; these functions refine that to the exact bytes
+// *one* rank sends per iteration, per traffic class. The refinement matters
+// because the implemented algorithms are rank-asymmetric: the ring
+// all-reduce's uneven ⌊n·b/p⌋ blocks and the ring all-gatherv's uneven
+// origin blocks give different ranks different send volumes, even though
+// the totals stay closed form.
+//
+// These are the reference the static schedule analyzer (mbd/analysis)
+// compares extracted schedules against byte-for-byte: analyzer-summed Send
+// events per rank per iteration must equal trainer_rank_volume exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "mbd/nn/layer_spec.hpp"
+
+namespace mbd::costmodel {
+
+/// Which distributed trainer a volume prediction describes.
+enum class TrainerKind {
+  BatchParallel,
+  ModelParallel,
+  Integrated15D,
+  DomainParallel,
+  Hybrid,
+  MixedGrid,
+};
+
+/// Stable lowercase name ("batch", "model", "integrated", "domain",
+/// "hybrid", "mixed") used in reports and CLI arguments.
+std::string_view trainer_kind_name(TrainerKind k);
+
+/// Bytes one rank sends per SGD iteration, by traffic class.
+struct RankVolume {
+  std::uint64_t allreduce_bytes = 0;
+  std::uint64_t allgather_bytes = 0;
+  std::uint64_t p2p_bytes = 0;  ///< halo exchanges
+
+  std::uint64_t total() const {
+    return allreduce_bytes + allgather_bytes + p2p_bytes;
+  }
+  RankVolume& operator+=(const RankVolume& o) {
+    allreduce_bytes += o.allreduce_bytes;
+    allgather_bytes += o.allgather_bytes;
+    p2p_bytes += o.p2p_bytes;
+    return *this;
+  }
+};
+
+/// --- exact per-rank send words of the implemented algorithms --------------
+
+/// Words sent by each rank of the Bruck all-gather of p equal blocks of
+/// `block_words` (rank-symmetric): Σ_{k=1,2,4,…<p} min(k, p−k)·block_words.
+std::uint64_t allgather_bruck_send_words(int p, std::uint64_t block_words);
+
+/// Words rank `rank` sends in the ring all-gatherv of per-origin blocks
+/// `block_words` (step s forwards the block that originated at rank−s):
+/// Σ_{s=0..p−2} block_words[(rank−s) mod p].
+std::uint64_t allgather_ringv_send_words(
+    const std::vector<std::uint64_t>& block_words, int rank);
+
+/// Words rank `rank` sends in the ring all-reduce of an n-word vector
+/// (uneven ⌊n·b/p⌋ partition; reduce-scatter + all-gather phases).
+std::uint64_t allreduce_ring_send_words(int p, std::size_t n, int rank);
+
+/// --- per-trainer closed forms ---------------------------------------------
+
+/// Exact bytes rank `rank` (global, row-major on the Pr×Pc grid: row =
+/// rank/pc, col = rank%pc) sends per iteration when training `specs` with
+/// the given trainer. Pure trainers (batch/model/domain) run on p = pr·pc
+/// ranks and ignore the grid shape. Mirrors mbd/parallel exactly: FC
+/// all-gathers use Bruck when the row count divides evenly and the ring
+/// all-gatherv otherwise, conv stacks halo-exchange and all-reduce per
+/// layer, and the mixed grid pays the Eq. 6 redistribution all-gatherv.
+/// Setup traffic (communicator splits, final parameter assembly) and the
+/// loss reduction are excluded, matching validation.hpp's conventions.
+RankVolume trainer_rank_volume(TrainerKind kind,
+                               const std::vector<nn::LayerSpec>& specs,
+                               std::size_t batch, int pr, int pc, int rank);
+
+}  // namespace mbd::costmodel

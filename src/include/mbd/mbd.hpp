@@ -14,6 +14,7 @@
 // comm: the message-passing runtime
 #include "mbd/comm/comm.hpp"
 #include "mbd/comm/nonblocking.hpp"
+#include "mbd/comm/schedule_recorder.hpp"
 #include "mbd/comm/stats.hpp"
 #include "mbd/comm/trace.hpp"
 #include "mbd/comm/world.hpp"
@@ -43,6 +44,12 @@
 #include "mbd/costmodel/replay.hpp"
 #include "mbd/costmodel/strategy.hpp"
 #include "mbd/costmodel/summa.hpp"
+#include "mbd/costmodel/volumes.hpp"
+
+// analysis: the static schedule analyzer
+#include "mbd/analysis/extract.hpp"
+#include "mbd/analysis/report.hpp"
+#include "mbd/analysis/schedule_checks.hpp"
 
 // parallel: the distributed trainers
 #include "mbd/parallel/batch_parallel.hpp"

@@ -532,6 +532,11 @@ DistResult LayerEngine::train(const nn::Dataset& data,
         it + 1 < cfg.iterations) {
       save_checkpoint(*recovery, it + 1, result.losses);
     }
+
+    // Close this iteration's window in the schedule recording (no-op unless
+    // the World is recording): the static analyzer slices per-iteration
+    // traffic and handle lifetimes at these markers.
+    world_->mark_engine_step(it);
   }
 
   for (auto& s : stages_) s->collect_params(result.params);

@@ -43,4 +43,13 @@ Matrix matmul_reference(const Matrix& a, const Matrix& b);
 /// inventories land in --json records.
 void set_gemm_shape_metrics(bool on);
 
+/// Compute elision for the static schedule analyzer (mbd/analysis): while
+/// on, every GEMM variant zero-fills C and returns without reading A or B.
+/// Shapes still propagate exactly, so communication schedules and message
+/// sizes are bit-identical to a real run — only the FLOPs disappear.
+/// Process-global; flip only while no GEMMs are in flight.
+void set_gemm_dry_run(bool on);
+/// Current compute-elision state.
+bool gemm_dry_run();
+
 }  // namespace mbd::tensor

@@ -22,6 +22,7 @@ using detail::AlignedBuffer;
 using detail::round_up;
 
 std::atomic<bool> g_shape_metrics{false};
+std::atomic<bool> g_dry_run{false};
 
 // One-shot shape logger: every distinct (variant, m, n, k) a process issues
 // is recorded once as an obs::Metrics counter (surfacing in bench --json
@@ -111,6 +112,13 @@ void gemm_packed(const float* a, std::size_t lda, const float* b,
                  std::size_t ldb, float* c, std::size_t ldc, std::size_t m,
                  std::size_t n, std::size_t k, float alpha, float beta) {
   if (m == 0 || n == 0) return;
+  if (g_dry_run.load(std::memory_order_relaxed)) {
+    // Compute elision (static schedule analyzer): zero C without reading
+    // A/B. Downstream layers see exact shapes and exact message sizes —
+    // payloads flow zero-filled — while the FMA cost disappears.
+    scale_c(c, m, n, 0.0f);
+    return;
+  }
   if (k == 0 || alpha == 0.0f) {
     scale_c(c, m, n, beta);
     return;
@@ -200,6 +208,12 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
 void set_gemm_shape_metrics(bool on) {
   g_shape_metrics.store(on, std::memory_order_relaxed);
 }
+
+void set_gemm_dry_run(bool on) {
+  g_dry_run.store(on, std::memory_order_relaxed);
+}
+
+bool gemm_dry_run() { return g_dry_run.load(std::memory_order_relaxed); }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
   Matrix c(a.rows(), b.cols());

@@ -1,0 +1,200 @@
+// Negative tests for the static schedule checks: hand-built recordings with
+// planted defects must be flagged with the exact (rank, op index) of the
+// offending event, and minimal clean schedules must pass every check.
+#include "mbd/analysis/schedule_checks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mbd/comm/schedule_recorder.hpp"
+
+namespace mbd::analysis {
+namespace {
+
+using comm::CollectiveDesc;
+using comm::OpKind;
+using comm::ScheduleEvent;
+using comm::ScheduleEventKind;
+using comm::ScheduleRecording;
+
+ScheduleEvent send_ev(std::uint64_t ctx, int dst, int tag, std::uint64_t bytes,
+                      comm::Coll coll = comm::Coll::PointToPoint) {
+  ScheduleEvent ev;
+  ev.kind = ScheduleEventKind::Send;
+  ev.context = ctx;
+  ev.peer = dst;
+  ev.tag = tag;
+  ev.bytes = bytes;
+  ev.coll = coll;
+  return ev;
+}
+
+ScheduleEvent recv_ev(std::uint64_t ctx, int src, int tag,
+                      std::uint64_t bytes) {
+  ScheduleEvent ev;
+  ev.kind = ScheduleEventKind::Recv;
+  ev.context = ctx;
+  ev.peer = src;
+  ev.tag = tag;
+  ev.bytes = bytes;
+  return ev;
+}
+
+ScheduleEvent coll_ev(std::uint64_t ctx, int comm_rank, int comm_size,
+                      std::size_t count) {
+  ScheduleEvent ev;
+  ev.kind = ScheduleEventKind::CollEnter;
+  ev.context = ctx;
+  ev.comm_rank = comm_rank;
+  ev.comm_size = comm_size;
+  ev.desc.kind = OpKind::AllReduce;
+  ev.desc.count = count;
+  ev.desc.elem_size = 4;
+  ev.desc.elem_type = "float";
+  ev.desc.reduce_op = "plus";
+  return ev;
+}
+
+ScheduleEvent nb_post(std::uint64_t token, const char* what) {
+  ScheduleEvent ev;
+  ev.kind = ScheduleEventKind::NbPost;
+  ev.token = token;
+  ev.what = what;
+  return ev;
+}
+
+ScheduleEvent nb_done(std::uint64_t token) {
+  ScheduleEvent ev;
+  ev.kind = ScheduleEventKind::NbDone;
+  ev.token = token;
+  return ev;
+}
+
+ScheduleEvent step_end(std::uint64_t iteration) {
+  ScheduleEvent ev;
+  ev.kind = ScheduleEventKind::StepEnd;
+  ev.token = iteration;
+  return ev;
+}
+
+TEST(ScheduleChecks, CleanScheduleHasNoViolations) {
+  ScheduleRecording rec(2);
+  // Matched collective entries, a consumed message each way, a closed
+  // nonblocking handle, and an agreed engine-step boundary.
+  rec.ranks[0].events = {coll_ev(7, 0, 2, 8), send_ev(7, 1, 0, 32),
+                         recv_ev(7, 1, 0, 32), nb_post(1, "iallreduce"),
+                         nb_done(1),           step_end(0)};
+  rec.ranks[1].events = {coll_ev(7, 1, 2, 8), send_ev(7, 0, 0, 32),
+                         recv_ev(7, 0, 0, 32), nb_post(1, "iallreduce"),
+                         nb_done(1),           step_end(0)};
+  EXPECT_TRUE(run_all_checks(rec, nullptr).empty());
+}
+
+TEST(ScheduleChecks, SendAfterRecvInProgramOrderIsNotADeadlock) {
+  // Rank 1's recv precedes nothing it depends on: the matching send exists
+  // on rank 0, so the greedy replay completes.
+  ScheduleRecording rec(2);
+  rec.ranks[0].events = {send_ev(3, 1, 1, 16)};
+  rec.ranks[1].events = {recv_ev(3, 0, 1, 16)};
+  EXPECT_TRUE(check_deadlock_free(rec).empty());
+}
+
+TEST(ScheduleChecks, CollectiveCountMismatchIsFlaggedAtExactOp) {
+  ScheduleRecording rec(2);
+  rec.ranks[0].events = {coll_ev(7, 0, 2, 8)};
+  rec.ranks[1].events = {coll_ev(7, 1, 2, 16)};  // disagrees on count
+  const auto v = check_collective_matching(rec);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, ViolationKind::CollectiveMismatch);
+  EXPECT_EQ(v[0].rank, 1);
+  EXPECT_EQ(v[0].op_index, 0u);
+  EXPECT_NE(v[0].detail.find("count=16"), std::string::npos) << v[0].detail;
+}
+
+TEST(ScheduleChecks, CollectiveSequenceLengthMismatchIsFlagged) {
+  ScheduleRecording rec(2);
+  rec.ranks[0].events = {coll_ev(7, 0, 2, 8), coll_ev(7, 0, 2, 8)};
+  rec.ranks[1].events = {coll_ev(7, 1, 2, 8)};  // one collective short
+  const auto v = check_collective_matching(rec);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, ViolationKind::CollectiveMismatch);
+  EXPECT_EQ(v[0].rank, 1);  // attributed to the rank that fell short
+  EXPECT_EQ(v[0].op_index, 0u);
+}
+
+TEST(ScheduleChecks, MissingParticipantIsFlagged) {
+  ScheduleRecording rec(2);
+  // Rank 0 claims a 2-rank communicator; rank 1 never shows up on it.
+  rec.ranks[0].events = {coll_ev(9, 0, 2, 8)};
+  const auto v = check_collective_matching(rec);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, ViolationKind::CollectiveMismatch);
+  EXPECT_EQ(v[0].rank, 0);
+  EXPECT_EQ(v[0].op_index, 0u);
+}
+
+TEST(ScheduleChecks, HeadToHeadBlockingRecvsDeadlock) {
+  // The classic exchange deadlock: both ranks post the blocking receive
+  // before the send. Under buffered-send replay neither receive can ever be
+  // satisfied, so both ranks stall at op 0.
+  ScheduleRecording rec(2);
+  rec.ranks[0].events = {recv_ev(3, 1, 5, 64), send_ev(3, 1, 5, 64)};
+  rec.ranks[1].events = {recv_ev(3, 0, 5, 64), send_ev(3, 0, 5, 64)};
+  const auto v = check_deadlock_free(rec);
+  ASSERT_EQ(v.size(), 2u);
+  for (const auto& viol : v) {
+    EXPECT_EQ(viol.kind, ViolationKind::Deadlock);
+    EXPECT_EQ(viol.op_index, 0u);
+  }
+  EXPECT_EQ(v[0].rank, 0);
+  EXPECT_EQ(v[1].rank, 1);
+}
+
+TEST(ScheduleChecks, UnconsumedMessageIsFlaggedAtSendIndex) {
+  ScheduleRecording rec(2);
+  rec.ranks[0].events = {send_ev(3, 1, 1, 16), send_ev(3, 1, 2, 24)};
+  rec.ranks[1].events = {recv_ev(3, 0, 1, 16)};  // tag 2 never received
+  const auto v = check_deadlock_free(rec);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, ViolationKind::UnconsumedMessage);
+  EXPECT_EQ(v[0].rank, 0);
+  EXPECT_EQ(v[0].op_index, 1u);
+}
+
+TEST(ScheduleChecks, UnwaitedHandleIsALeakAtStepEnd) {
+  ScheduleRecording rec(1);
+  rec.ranks[0].events = {nb_post(1, "iallreduce(dW)"), step_end(0)};
+  const auto v = check_handle_lifetimes(rec);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, ViolationKind::HandleLeak);
+  EXPECT_EQ(v[0].rank, 0);
+  EXPECT_EQ(v[0].op_index, 0u);  // points at the NbPost, not the StepEnd
+  EXPECT_NE(v[0].detail.find("iallreduce(dW)"), std::string::npos);
+}
+
+TEST(ScheduleChecks, UnwaitedHandleIsALeakAtEndOfSchedule) {
+  ScheduleRecording rec(1);
+  rec.ranks[0].events = {nb_post(4, "ireduce")};
+  const auto v = check_handle_lifetimes(rec);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, ViolationKind::HandleLeak);
+  EXPECT_NE(v[0].detail.find("end of schedule"), std::string::npos);
+}
+
+TEST(ScheduleChecks, CloseOfUnknownTokenIsFlagged) {
+  ScheduleRecording rec(1);
+  rec.ranks[0].events = {nb_done(9)};
+  const auto v = check_handle_lifetimes(rec);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, ViolationKind::HandleLeak);
+  EXPECT_EQ(v[0].op_index, 0u);
+}
+
+TEST(ScheduleChecks, HandleClosedBeforeStepEndIsClean) {
+  ScheduleRecording rec(1);
+  rec.ranks[0].events = {nb_post(1, "iallreduce"), nb_done(1), step_end(0),
+                         nb_post(2, "iallreduce"), nb_done(2), step_end(1)};
+  EXPECT_TRUE(check_handle_lifetimes(rec).empty());
+}
+
+}  // namespace
+}  // namespace mbd::analysis

@@ -1,0 +1,173 @@
+// Per-rank volume closed forms must refine the all-rank totals exactly:
+// summing costmodel::trainer_rank_volume over every rank of the grid has to
+// reproduce mbd/parallel/validation.hpp's predictions byte-for-byte, per
+// traffic class, for all six trainers. The per-rank forms are what the
+// static schedule analyzer checks recorded schedules against, so this test
+// pins them to the already-certified totals.
+#include "mbd/costmodel/volumes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mbd/nn/models.hpp"
+#include "mbd/parallel/validation.hpp"
+
+namespace mbd::costmodel {
+namespace {
+
+RankVolume sum_over_ranks(TrainerKind kind,
+                          const std::vector<nn::LayerSpec>& specs,
+                          std::size_t batch, int pr, int pc) {
+  RankVolume total;
+  for (int r = 0; r < pr * pc; ++r) {
+    total += trainer_rank_volume(kind, specs, batch, pr, pc, r);
+  }
+  return total;
+}
+
+std::vector<nn::LayerSpec> conv_net() {
+  std::vector<nn::LayerSpec> specs;
+  specs.push_back(nn::conv_spec("conv1", 2, 8, 8, 4, 3, 1, 1));
+  specs.push_back(nn::conv_spec("conv2", 4, 8, 8, 4, 3, 1, 1));
+  specs.push_back(nn::fc_spec("fc1", 4 * 8 * 8, 16));
+  specs.push_back(nn::fc_spec("fc2", 16, 8, false));
+  return specs;
+}
+
+TEST(Volumes, BruckSendWordsSumToAllGatherTotal) {
+  // Every rank of the Bruck all-gather sends Σ min(2^i, p−2^i)·m words, and
+  // p ranks together move the collective's total (p−1)·p·m words.
+  for (int p : {2, 3, 4, 5, 8}) {
+    const std::uint64_t m = 17;
+    std::uint64_t total = 0;
+    for (int r = 0; r < p; ++r) total += allgather_bruck_send_words(p, m);
+    EXPECT_EQ(total, static_cast<std::uint64_t>(p) * (p - 1) * m) << "p=" << p;
+  }
+}
+
+TEST(Volumes, RingvSendWordsSumToAllGatherTotal) {
+  // The ring all-gatherv forwards every origin block through p−1 hops.
+  const std::vector<std::uint64_t> blocks = {5, 0, 7, 3};
+  const int p = static_cast<int>(blocks.size());
+  std::uint64_t sum_blocks = 0;
+  for (const auto b : blocks) sum_blocks += b;
+  std::uint64_t total = 0;
+  for (int r = 0; r < p; ++r) total += allgather_ringv_send_words(blocks, r);
+  EXPECT_EQ(total, static_cast<std::uint64_t>(p - 1) * sum_blocks);
+}
+
+TEST(Volumes, RingAllReduceSendWordsSumToTotal) {
+  // Reduce-scatter + all-gather over uneven ⌊n·b/p⌋ blocks: all ranks
+  // together send 2(p−1)·n words regardless of how the blocks divide.
+  for (int p : {2, 3, 4, 7}) {
+    for (std::size_t n : {16u, 23u, 1024u}) {
+      std::uint64_t total = 0;
+      for (int r = 0; r < p; ++r) total += allreduce_ring_send_words(p, n, r);
+      EXPECT_EQ(total, 2u * static_cast<std::uint64_t>(p - 1) * n)
+          << "p=" << p << " n=" << n;
+    }
+  }
+}
+
+TEST(Volumes, BatchParallelRanksSumToPrediction) {
+  const auto specs = nn::mlp_spec({12, 16, 4});
+  for (int p : {2, 3, 4, 8}) {
+    const auto per_rank = sum_over_ranks(TrainerKind::BatchParallel, specs,
+                                         /*batch=*/16, /*pr=*/1, p);
+    const auto total = parallel::predict_batch_parallel(specs, p);
+    EXPECT_EQ(per_rank.allreduce_bytes, total.allreduce_bytes) << "p=" << p;
+    EXPECT_EQ(per_rank.allgather_bytes, 0u) << "p=" << p;
+    EXPECT_EQ(per_rank.p2p_bytes, 0u) << "p=" << p;
+  }
+}
+
+TEST(Volumes, ModelParallelRanksSumToPrediction) {
+  const auto specs = nn::mlp_spec({10, 24, 12, 6});
+  const std::size_t batch = 12;
+  for (int p : {2, 3, 6}) {  // p=3: 24/3 even but 10 and 12 stress ringv
+    const auto per_rank =
+        sum_over_ranks(TrainerKind::ModelParallel, specs, batch, p, 1);
+    const auto total = parallel::predict_model_parallel(specs, batch, p);
+    EXPECT_EQ(per_rank.allgather_bytes, total.allgather_bytes) << "p=" << p;
+    EXPECT_EQ(per_rank.allreduce_bytes, total.allreduce_bytes) << "p=" << p;
+    EXPECT_EQ(per_rank.p2p_bytes, 0u) << "p=" << p;
+  }
+}
+
+TEST(Volumes, Integrated15DRanksSumToPrediction) {
+  const auto specs = nn::mlp_spec({10, 24, 12, 12});
+  const std::size_t batch = 16;
+  for (const auto [pr, pc] : {std::pair{2, 2}, std::pair{3, 2},
+                              std::pair{2, 4}, std::pair{4, 2},
+                              std::pair{5, 3}}) {  // uneven rows AND columns
+    const auto per_rank =
+        sum_over_ranks(TrainerKind::Integrated15D, specs, batch, pr, pc);
+    const auto total =
+        parallel::predict_integrated_15d(specs, batch, {pr, pc});
+    EXPECT_EQ(per_rank.allgather_bytes, total.allgather_bytes)
+        << "grid " << pr << "x" << pc;
+    EXPECT_EQ(per_rank.allreduce_bytes, total.allreduce_bytes)
+        << "grid " << pr << "x" << pc;
+  }
+}
+
+TEST(Volumes, DomainParallelRanksSumToPrediction) {
+  const auto specs = conv_net();
+  const std::size_t batch = 8;
+  for (int p : {2, 3, 4, 8}) {  // p=3: uneven slabs, all-gatherv transition
+    const auto per_rank =
+        sum_over_ranks(TrainerKind::DomainParallel, specs, batch, p, 1);
+    const auto total = parallel::predict_domain_parallel(specs, batch, p);
+    EXPECT_EQ(per_rank.p2p_bytes, total.p2p_bytes) << "p=" << p;
+    EXPECT_EQ(per_rank.allgather_bytes, total.allgather_bytes) << "p=" << p;
+    EXPECT_EQ(per_rank.allreduce_bytes, total.allreduce_bytes) << "p=" << p;
+  }
+}
+
+TEST(Volumes, HybridRanksSumToPrediction) {
+  const auto specs = conv_net();
+  const std::size_t batch = 8;
+  for (const auto [pr, pc] :
+       {std::pair{2, 2}, std::pair{4, 2}, std::pair{2, 4}}) {
+    const auto per_rank =
+        sum_over_ranks(TrainerKind::Hybrid, specs, batch, pr, pc);
+    const auto total = parallel::predict_hybrid(specs, batch, {pr, pc});
+    EXPECT_EQ(per_rank.p2p_bytes, total.p2p_bytes)
+        << "grid " << pr << "x" << pc;
+    EXPECT_EQ(per_rank.allgather_bytes, total.allgather_bytes)
+        << "grid " << pr << "x" << pc;
+    EXPECT_EQ(per_rank.allreduce_bytes, total.allreduce_bytes)
+        << "grid " << pr << "x" << pc;
+  }
+}
+
+TEST(Volumes, MixedGridRanksSumToPrediction) {
+  const auto specs = nn::small_cnn_spec(2, 8, 8);
+  const std::size_t batch = 16;
+  for (const auto [pr, pc] : {std::pair{2, 2}, std::pair{3, 2},
+                              std::pair{2, 4}, std::pair{4, 2}}) {
+    const auto per_rank =
+        sum_over_ranks(TrainerKind::MixedGrid, specs, batch, pr, pc);
+    const auto total = parallel::predict_mixed_grid(specs, batch, {pr, pc});
+    EXPECT_EQ(per_rank.p2p_bytes, total.p2p_bytes)
+        << "grid " << pr << "x" << pc;
+    EXPECT_EQ(per_rank.allgather_bytes, total.allgather_bytes)
+        << "grid " << pr << "x" << pc;
+    EXPECT_EQ(per_rank.allreduce_bytes, total.allreduce_bytes)
+        << "grid " << pr << "x" << pc;
+  }
+}
+
+TEST(Volumes, TrainerKindNamesAreStable) {
+  EXPECT_EQ(trainer_kind_name(TrainerKind::BatchParallel), "batch");
+  EXPECT_EQ(trainer_kind_name(TrainerKind::ModelParallel), "model");
+  EXPECT_EQ(trainer_kind_name(TrainerKind::Integrated15D), "integrated");
+  EXPECT_EQ(trainer_kind_name(TrainerKind::DomainParallel), "domain");
+  EXPECT_EQ(trainer_kind_name(TrainerKind::Hybrid), "hybrid");
+  EXPECT_EQ(trainer_kind_name(TrainerKind::MixedGrid), "mixed");
+}
+
+}  // namespace
+}  // namespace mbd::costmodel
