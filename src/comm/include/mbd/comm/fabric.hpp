@@ -11,14 +11,28 @@
 #include "mbd/comm/schedule_recorder.hpp"
 #include "mbd/comm/stats.hpp"
 #include "mbd/comm/trace.hpp"
+#include "mbd/comm/transport.hpp"
 #include "mbd/comm/validator.hpp"
 
 namespace mbd::comm::detail {
 
 struct Fabric {
-  explicit Fabric(int size) : mailboxes(static_cast<std::size_t>(size)) {}
+  explicit Fabric(int size)
+      : Fabric(size, std::make_shared<InProcessTransport>()) {}
+
+  // Distributed form: the transport is shared across fabric rebuilds
+  // (run_restartable) and across the Worlds of one process; construction
+  // re-points it at this fabric's mailboxes.
+  Fabric(int size, std::shared_ptr<Transport> t)
+      : mailboxes(static_cast<std::size_t>(size)), transport(std::move(t)) {
+    transport->attach(this);
+  }
 
   std::vector<Mailbox> mailboxes;
+  // Delivery strategy: every Comm::send_bytes ends in transport->deposit.
+  // In-process this is a direct Mailbox::push; socket transports serialize
+  // to the destination process instead. Never null.
+  std::shared_ptr<Transport> transport;
   StatsCounters counters;
   std::atomic<bool> poisoned{false};
 

@@ -46,6 +46,8 @@
 
 namespace mbd::comm {
 
+class Transport;
+
 /// Thrown on the crashing rank by FaultKind::CrashRank; the one exception
 /// class World::run_restartable treats as recoverable.
 class RankFailure : public ::mbd::Error {
@@ -142,16 +144,21 @@ class FaultInjector {
   // --- transport hooks (called on rank threads by Comm) ------------------
   /// Count one transport op on `rank`; fire crash/slow actions and release
   /// due deferred messages. Throws RankFailure for a crash action.
-  void on_op(int rank, std::vector<Mailbox>& mailboxes);
+  void on_op(int rank, Transport& transport);
   /// Next per-channel sequence number for a (context, src, dst, tag) send.
   std::uint64_t assign_seq(std::uint64_t context, int src, int dst, int tag);
   /// Deliver `msg` from `src` to `dst`, applying any armed send-fault
-  /// (drop / duplicate / delay) whose op point has been reached.
-  void deliver(std::vector<Mailbox>& mailboxes, int src, int dst, Message msg);
+  /// (drop / duplicate / delay) whose op point has been reached. Delivery
+  /// goes through the transport, so over a socket backend a duplicate is two
+  /// wire frames and a drop swallows the frame before it is ever written —
+  /// the receiver's mailbox seq dedup and timed-retry recovery are identical
+  /// either way.
+  void deliver(Transport& transport, int src, int dst, Message msg);
   /// Receiver-side retry: flush every swallowed or deferred message destined
-  /// for `dst` into its mailbox. The deposit is the ack — flushed messages
-  /// leave the injector for good. Called from the Mailbox pop retry hook.
-  void retry_deliver(std::vector<Mailbox>& mailboxes, int dst);
+  /// for `dst` back through the transport. The deposit is the ack — flushed
+  /// messages leave the injector for good. Called from the Mailbox pop retry
+  /// hook (local receiver) and, off-process, on a peer's RetryRequest frame.
+  void retry_deliver(Transport& transport, int dst);
   std::chrono::milliseconds retry_interval() const {
     return cfg_.retry_interval;
   }
@@ -208,7 +215,7 @@ class FaultInjector {
   };
 
   void record(FaultEvent ev);
-  void release_due(int rank, std::uint64_t op, std::vector<Mailbox>& mbs);
+  void release_due(int rank, std::uint64_t op, Transport& transport);
 
   FaultPlan plan_;
   FaultConfig cfg_;

@@ -138,9 +138,30 @@ class Validator {
   /// operation, in initiation order; empty when all handles completed.
   std::vector<std::string> outstanding_nonblocking() const;
 
-  /// Watchdog timeout for blocking receives.
+  /// Watchdog timeout for blocking receives. An explicit set_timeout is
+  /// exact: it wins over the default, the environment override, and the
+  /// transport latency scale alike.
   void set_timeout(std::chrono::milliseconds t);
   std::chrono::milliseconds timeout() const;
+
+  /// Scale the default (or MBD_WATCHDOG_MS) deadline by the transport's
+  /// latency class (see watchdog_scale in mbd/comm/transport.hpp), so
+  /// socket-backed runs get a proportionally longer watchdog without every
+  /// CI job overriding the environment. Never applied on top of an explicit
+  /// set_timeout.
+  void set_timeout_scale(int scale);
+
+  /// Observe only this process's rank (multi-process worlds): cross-rank
+  /// collective rendezvous matching is skipped — the peers' descriptors
+  /// live in other processes, so a slot would never retire — while
+  /// last-activity tracking, the recv watchdog, and nonblocking handle-leak
+  /// detection stay on.
+  void set_local_only(bool local_only);
+  bool local_only() const;
+
+  /// Copy timeout / scale / scope configuration from `other` (fabric
+  /// rebuild under World::run_restartable).
+  void adopt_settings(const Validator& other);
 
   /// Diagnostic for a rank whose blocking receive exceeded the watchdog
   /// timeout: names the stuck receive and dumps every rank's last-known
@@ -175,6 +196,9 @@ class Validator {
   std::uint64_t next_nb_token_ = 1;
   std::uint64_t cancelled_ = 0;  // nb ops abandoned during unwind
   std::atomic<std::chrono::milliseconds::rep> timeout_ms_;
+  std::atomic<int> timeout_scale_{1};
+  std::atomic<bool> explicit_timeout_{false};
+  std::atomic<bool> local_only_{false};
 };
 
 }  // namespace mbd::comm

@@ -16,6 +16,7 @@
 #include "mbd/comm/comm.hpp"
 #include "mbd/comm/fault.hpp"
 #include "mbd/comm/stats.hpp"
+#include "mbd/comm/transport.hpp"
 
 namespace mbd::comm {
 
@@ -39,7 +40,22 @@ class World {
   /// (see validator.hpp) starts enabled in Debug (!NDEBUG) builds.
   explicit World(int size);
 
+  /// Distributed form: this process hosts exactly `local_rank` of a
+  /// `size`-rank world, with the other ranks reached through `transport`
+  /// (e.g. a connected TcpTransport). run() then executes `fn` on the local
+  /// rank only; deposits to remote ranks go over the wire and peer failures
+  /// surface as RankFailure, so run_restartable coordinates restarts across
+  /// processes. The watchdog deadline scales with the transport's latency
+  /// class and the validator observes the local rank only.
+  World(int size, int local_rank, std::shared_ptr<Transport> transport);
+
   int size() const { return size_; }
+  /// The rank this process hosts, or -1 for a thread-backed world.
+  int local_rank() const { return local_rank_; }
+  /// True for the distributed (one-rank-per-process) form.
+  bool distributed() const { return local_rank_ >= 0; }
+  /// The delivery strategy behind this world's fabric.
+  const Transport& transport() const;
 
   /// Run `fn(comm)` on every rank concurrently; returns when all ranks
   /// finish. If any rank throws, the fabric is poisoned (blocked ranks are
@@ -110,7 +126,11 @@ class World {
   std::chrono::milliseconds validation_timeout() const;
 
  private:
+  void configure_validator(Validator& v) const;
+  void rebuild_fabric(int next_epoch);
+
   int size_;
+  int local_rank_ = -1;  // -1: thread-backed, all ranks in-process
   std::shared_ptr<detail::Fabric> fabric_;
 };
 

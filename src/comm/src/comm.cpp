@@ -64,7 +64,7 @@ void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag,
   FaultInjector* fi = fabric_->injector.get();
   // One transport op per send: the injector counts it, fires crash/slow
   // actions pinned to this op index, and releases due deferred deliveries.
-  if (fi != nullptr) fi->on_op(gme, fabric_->mailboxes);
+  if (fi != nullptr) fi->on_op(gme, *fabric_->transport);
   if (Validator* v = fabric_->validator.get(); v != nullptr && c == Coll::PointToPoint) {
     std::ostringstream os;
     os << "send(to=" << gdst << ", tag=" << tag
@@ -95,9 +95,9 @@ void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag,
   }
   if (fi != nullptr) {
     msg.seq = fi->assign_seq(context_, gme, gdst, tag);
-    fi->deliver(fabric_->mailboxes, gme, gdst, std::move(msg));
+    fi->deliver(*fabric_->transport, gme, gdst, std::move(msg));
   } else {
-    fabric_->mailboxes[static_cast<std::size_t>(gdst)].push(std::move(msg));
+    fabric_->transport->deposit(gdst, std::move(msg));
   }
 }
 
@@ -110,7 +110,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   // receives too). Nonblocking test() polls are deliberately not counted:
   // their call frequency is timing-dependent, which would break op-sequence
   // determinism.
-  if (fi != nullptr) fi->on_op(gme, fabric_->mailboxes);
+  if (fi != nullptr) fi->on_op(gme, *fabric_->transport);
   Message msg;
   if (v != nullptr || fi != nullptr) {
     if (v != nullptr && tag < kInternalTagBase) {
@@ -134,8 +134,12 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
     }
     if (fi != nullptr) {
       watch.retry_interval = fi->retry_interval();
+      // Two recovery paths per retry tick: the local injector flushes what
+      // *this* process swallowed/deferred for us, and the transport asks the
+      // remote peers (a wire RetryRequest; no-op in-process) to do the same.
       watch.on_retry = [this, fi, gme] {
-        fi->retry_deliver(fabric_->mailboxes, gme);
+        fi->retry_deliver(*fabric_->transport, gme);
+        fabric_->transport->request_retransmit(gme);
       };
     }
     msg = fabric_->mailboxes[static_cast<std::size_t>(gme)].pop(context_, gsrc,

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <thread>
 
+#include "mbd/comm/transport.hpp"
 #include "mbd/obs/profiler.hpp"
 #include "mbd/support/rng.hpp"
 
@@ -162,11 +163,11 @@ void FaultInjector::record(FaultEvent ev) {
 }
 
 void FaultInjector::release_due(int rank, std::uint64_t op,
-                                std::vector<Mailbox>& mbs) {
+                                Transport& transport) {
   std::lock_guard lock(buf_mu_);
   for (auto it = deferred_.begin(); it != deferred_.end();) {
     if (it->msg.source == rank && it->release_at <= op) {
-      mbs[static_cast<std::size_t>(it->dst)].push(std::move(it->msg));
+      transport.deposit(it->dst, std::move(it->msg));
       it = deferred_.erase(it);
     } else {
       ++it;
@@ -174,12 +175,12 @@ void FaultInjector::release_due(int rank, std::uint64_t op,
   }
 }
 
-void FaultInjector::on_op(int rank, std::vector<Mailbox>& mailboxes) {
+void FaultInjector::on_op(int rank, Transport& transport) {
   auto& rs = *ranks_[static_cast<std::size_t>(rank)];
   const std::uint64_t op =
       rs.ops.fetch_add(1, std::memory_order_relaxed) + 1;
   if (disarmed_.load(std::memory_order_relaxed)) return;
-  release_due(rank, op, mailboxes);
+  release_due(rank, op, transport);
   for (auto& armed : rs.point_actions) {
     const FaultAction& a = armed.action;
     if (a.kind == FaultKind::CrashRank) {
@@ -212,7 +213,7 @@ std::uint64_t FaultInjector::assign_seq(std::uint64_t context, int src,
   return ++seq_[{context, src, dst, tag}];
 }
 
-void FaultInjector::deliver(std::vector<Mailbox>& mailboxes, int src, int dst,
+void FaultInjector::deliver(Transport& transport, int src, int dst,
                             Message msg) {
   auto& rs = *ranks_[static_cast<std::size_t>(src)];
   const std::uint64_t op = rs.ops.load(std::memory_order_relaxed);
@@ -233,9 +234,8 @@ void FaultInjector::deliver(std::vector<Mailbox>& mailboxes, int src, int dst,
       case FaultKind::DuplicateDelivery: {
         record({epoch(), src, op, "duplicate", "duplicated " + os.str()});
         Message copy = msg;
-        auto& mb = mailboxes[static_cast<std::size_t>(dst)];
-        mb.push(std::move(copy));
-        mb.push(std::move(msg));
+        transport.deposit(dst, std::move(copy));
+        transport.deposit(dst, std::move(msg));
         return;
       }
       case FaultKind::DelayDelivery: {
@@ -251,10 +251,10 @@ void FaultInjector::deliver(std::vector<Mailbox>& mailboxes, int src, int dst,
         break;  // never queued as send actions
     }
   }
-  mailboxes[static_cast<std::size_t>(dst)].push(std::move(msg));
+  transport.deposit(dst, std::move(msg));
 }
 
-void FaultInjector::retry_deliver(std::vector<Mailbox>& mailboxes, int dst) {
+void FaultInjector::retry_deliver(Transport& transport, int dst) {
   // The retry timer fires on wall-clock, so only a retry that actually
   // flushes something records a span — empty polls would make the span
   // structure timing-dependent.
@@ -267,14 +267,14 @@ void FaultInjector::retry_deliver(std::vector<Mailbox>& mailboxes, int dst) {
     auto& sw = swallowed_[static_cast<std::size_t>(dst)];
     for (auto& m : sw) {
       bytes += m.payload.size();
-      mailboxes[static_cast<std::size_t>(dst)].push(std::move(m));
+      transport.deposit(dst, std::move(m));
       ++flushed;
     }
     sw.clear();
     for (auto it = deferred_.begin(); it != deferred_.end();) {
       if (it->dst == dst) {
         bytes += it->msg.payload.size();
-        mailboxes[static_cast<std::size_t>(dst)].push(std::move(it->msg));
+        transport.deposit(dst, std::move(it->msg));
         it = deferred_.erase(it);
         ++flushed;
       } else {

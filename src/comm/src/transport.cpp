@@ -1,0 +1,29 @@
+#include "mbd/comm/transport.hpp"
+
+#include "mbd/comm/fabric.hpp"
+
+namespace mbd::comm {
+
+int watchdog_scale(TransportLatency latency) {
+  switch (latency) {
+    case TransportLatency::InProcess: return 1;
+    case TransportLatency::LoopbackSocket: return 5;
+    case TransportLatency::Network: return 15;
+  }
+  return 1;
+}
+
+std::string_view transport_latency_name(TransportLatency latency) {
+  switch (latency) {
+    case TransportLatency::InProcess: return "in-process";
+    case TransportLatency::LoopbackSocket: return "loopback-socket";
+    case TransportLatency::Network: return "network";
+  }
+  return "unknown";
+}
+
+void InProcessTransport::deposit(int dst, Message msg) {
+  fabric_->mailboxes[static_cast<std::size_t>(dst)].push(std::move(msg));
+}
+
+}  // namespace mbd::comm

@@ -93,15 +93,54 @@ Validator::Validator(int world_size)
 void Validator::set_timeout(std::chrono::milliseconds t) {
   MBD_CHECK_GT(t.count(), 0);
   timeout_ms_.store(t.count(), std::memory_order_relaxed);
+  explicit_timeout_.store(true, std::memory_order_relaxed);
 }
 
 std::chrono::milliseconds Validator::timeout() const {
-  return std::chrono::milliseconds(
+  const std::chrono::milliseconds base(
       timeout_ms_.load(std::memory_order_relaxed));
+  if (explicit_timeout_.load(std::memory_order_relaxed)) return base;
+  return base * timeout_scale_.load(std::memory_order_relaxed);
+}
+
+void Validator::set_timeout_scale(int scale) {
+  MBD_CHECK_GT(scale, 0);
+  timeout_scale_.store(scale, std::memory_order_relaxed);
+}
+
+void Validator::set_local_only(bool local_only) {
+  local_only_.store(local_only, std::memory_order_relaxed);
+}
+
+bool Validator::local_only() const {
+  return local_only_.load(std::memory_order_relaxed);
+}
+
+void Validator::adopt_settings(const Validator& other) {
+  timeout_ms_.store(other.timeout_ms_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  timeout_scale_.store(other.timeout_scale_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  explicit_timeout_.store(
+      other.explicit_timeout_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  local_only_.store(other.local_only_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
 }
 
 void Validator::on_enter(std::uint64_t context, int comm_rank, int global_rank,
                          int comm_size, const CollectiveDesc& desc) {
+  if (local_only_.load(std::memory_order_relaxed)) {
+    // Single observable rank: there is no cross-rank rendezvous to match
+    // (slots could never retire), but the last-activity line still feeds the
+    // deadlock report.
+    std::ostringstream act;
+    act << desc.describe() << " [on context 0x" << std::hex << context
+        << std::dec << ']';
+    std::lock_guard lock(mu_);
+    last_collective_[static_cast<std::size_t>(global_rank)] = act.str();
+    return;
+  }
   std::lock_guard lock(mu_);
   auto& st = contexts_[context];
   if (st.next_seq.empty())

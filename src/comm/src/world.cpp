@@ -21,6 +21,16 @@ bool is_poison_error(const std::exception_ptr& e) {
   }
 }
 
+std::string describe_error(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
 }  // namespace
 
 World::World(int size) : size_(size) {
@@ -29,6 +39,27 @@ World::World(int size) : size_(size) {
 #ifndef NDEBUG
   enable_validation();
 #endif
+}
+
+World::World(int size, int local_rank, std::shared_ptr<Transport> transport)
+    : size_(size), local_rank_(local_rank) {
+  MBD_CHECK_GT(size, 0);
+  MBD_CHECK_MSG(local_rank >= 0 && local_rank < size,
+                "local rank " << local_rank << " out of range for world size "
+                              << size);
+  MBD_CHECK_MSG(transport != nullptr,
+                "a distributed World needs a connected transport");
+  fabric_ = std::make_shared<detail::Fabric>(size, std::move(transport));
+#ifndef NDEBUG
+  enable_validation();
+#endif
+}
+
+const Transport& World::transport() const { return *fabric_->transport; }
+
+void World::configure_validator(Validator& v) const {
+  v.set_timeout_scale(watchdog_scale(fabric_->transport->latency()));
+  if (distributed()) v.set_local_only(true);
 }
 
 void World::run(const std::function<void(Comm&)>& fn) {
@@ -40,34 +71,64 @@ void World::run(const std::function<void(Comm&)>& fn) {
     return m;
   }());
 
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  // Thread-backed worlds spawn every rank; a distributed world spawns only
+  // the one rank this process hosts (its peers are other processes reached
+  // through the transport).
+  const std::vector<int> local_ranks = [&] {
+    if (distributed()) return std::vector<int>{local_rank_};
+    std::vector<int> all(static_cast<std::size_t>(size_));
+    for (int i = 0; i < size_; ++i) all[static_cast<std::size_t>(i)] = i;
+    return all;
+  }();
+
+  std::vector<std::exception_ptr> errors(local_ranks.size());
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(size_));
-  for (int r = 0; r < size_; ++r) {
-    threads.emplace_back([&, r] {
+  threads.reserve(local_ranks.size());
+  for (std::size_t i = 0; i < local_ranks.size(); ++i) {
+    const int r = local_ranks[i];
+    threads.emplace_back([&, i, r] {
       obs::bind_thread(r);
       try {
         Comm comm(fabric_, /*context=*/1, members, r);
         fn(comm);
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        errors[i] = std::current_exception();
         fabric_->poison_all();
       }
     });
   }
   for (auto& t : threads) t.join();
-  // Rethrow the primary failure: the first rank (by rank order) whose error
-  // is not a secondary PoisonedError wakeup. Pure-poison error sets (all
-  // ranks woken by an external poisoner) fall back to the first error.
-  std::exception_ptr first;
-  for (const auto& e : errors) {
-    if (!e) continue;
-    if (!first) first = e;
-    if (!is_poison_error(e)) {
-      std::rethrow_exception(e);
+  if (distributed()) {
+    // A transport-detected failure (peer process died mid-run, or a remote
+    // rank broadcast its primary error) is the cause; the local rank's
+    // PoisonedError is merely its wakeup. Rethrow the cause — always a
+    // RankFailure, so run_restartable coordinates the restart off-process.
+    if (auto transport_failure = fabric_->transport->take_failure()) {
+      std::rethrow_exception(transport_failure);
     }
+    if (errors[0]) {
+      // This process failed first: tell the peers why before rethrowing, so
+      // their runs fail with a named RankFailure instead of a stuck recv.
+      if (!is_poison_error(errors[0])) {
+        fabric_->transport->broadcast_failure(describe_error(errors[0]));
+      }
+      std::rethrow_exception(errors[0]);
+    }
+  } else {
+    // Rethrow the primary failure: the first rank (by rank order) whose
+    // error is not a secondary PoisonedError wakeup. Pure-poison error sets
+    // (all ranks woken by an external poisoner) fall back to the first
+    // error.
+    std::exception_ptr first;
+    for (const auto& e : errors) {
+      if (!e) continue;
+      if (!first) first = e;
+      if (!is_poison_error(e)) {
+        std::rethrow_exception(e);
+      }
+    }
+    if (first) std::rethrow_exception(first);
   }
-  if (first) std::rethrow_exception(first);
   if (Validator* v = fabric_->validator.get()) {
     // Handles cancelled during exception unwind (the RAII path in
     // ~CollectiveHandle) are not leaks, but their remaining schedule
@@ -110,27 +171,35 @@ RecoveryReport World::run_restartable(const std::function<void(Comm&)>& fn,
       os << "attempt " << attempt << " failed (" << e.what()
          << "); restarting as epoch " << attempt + 1;
       rep.log.push_back(os.str());
-      // Tear down the poisoned fabric and rebuild with the same
-      // configuration. The injector is shared across fabrics: its event log
-      // is cumulative, its trigger state re-arms for the next epoch.
-      auto fresh = std::make_shared<detail::Fabric>(size_);
-      if (fabric_->validator) {
-        fresh->validator = std::make_unique<Validator>(size_);
-        fresh->validator->set_timeout(fabric_->validator->timeout());
-      }
-      if (fabric_->trace) {
-        auto t = std::make_unique<Trace>();
-        t->ranks.resize(static_cast<std::size_t>(size_));
-        fresh->trace = std::move(t);
-      }
-      if (fabric_->recorder) {
-        fresh->recorder = std::make_unique<ScheduleRecording>(size_);
-      }
-      fresh->injector = fabric_->injector;
-      fabric_ = std::move(fresh);
-      if (fabric_->injector) fabric_->injector->begin_epoch(attempt + 1);
+      rebuild_fabric(attempt + 1);
     }
   }
+}
+
+void World::rebuild_fabric(int next_epoch) {
+  // Tear down the poisoned fabric and rebuild with the same configuration.
+  // The transport and injector are shared across fabrics: the transport
+  // advances its epoch first (frames of the failed epoch become stale and
+  // drop; early frames from already-restarted peers buffer and flush into
+  // the fresh mailboxes during attach), and the injector's event log is
+  // cumulative while its trigger state re-arms for the next epoch.
+  fabric_->transport->begin_epoch(next_epoch);
+  auto fresh = std::make_shared<detail::Fabric>(size_, fabric_->transport);
+  if (fabric_->validator) {
+    fresh->validator = std::make_unique<Validator>(size_);
+    fresh->validator->adopt_settings(*fabric_->validator);
+  }
+  if (fabric_->trace) {
+    auto t = std::make_unique<Trace>();
+    t->ranks.resize(static_cast<std::size_t>(size_));
+    fresh->trace = std::move(t);
+  }
+  if (fabric_->recorder) {
+    fresh->recorder = std::make_unique<ScheduleRecording>(size_);
+  }
+  fresh->injector = fabric_->injector;
+  fabric_ = std::move(fresh);
+  if (fabric_->injector) fabric_->injector->begin_epoch(next_epoch);
 }
 
 void World::install_faults(FaultPlan plan, FaultConfig cfg) {
@@ -186,6 +255,7 @@ void World::reset_schedule_recording() {
 void World::enable_validation() {
   if (fabric_->validator) return;
   fabric_->validator = std::make_unique<Validator>(size_);
+  configure_validator(*fabric_->validator);
 }
 
 void World::disable_validation() { fabric_->validator.reset(); }

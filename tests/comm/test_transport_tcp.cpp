@@ -1,0 +1,429 @@
+// TCP transport: wire framing (partial writes, short reads, interleaved
+// streams), mesh handshake, cross-process semantics hosted in one test
+// process (N TcpTransports on loopback, one distributed World per rank),
+// fault-path parity (drop + wire retransmission, peer death → RankFailure),
+// and bitwise trainer equivalence against the in-process fabric.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cstring>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "mbd/comm/transport_tcp.hpp"
+#include "mbd/comm/world.hpp"
+#include "mbd/nn/models.hpp"
+#include "mbd/parallel/model_parallel.hpp"
+
+namespace mbd::comm {
+namespace {
+
+using wire::Frame;
+using wire::FrameDecoder;
+using wire::FrameType;
+
+Message make_msg(std::uint64_t context, int source, int tag,
+                 std::size_t payload_bytes) {
+  Message m;
+  m.context = context;
+  m.source = source;
+  m.tag = tag;
+  m.trace_id = 77;
+  m.seq = 5;
+  m.payload.resize(payload_bytes);
+  for (std::size_t i = 0; i < payload_bytes; ++i)
+    m.payload[i] = static_cast<std::byte>((i * 7 + static_cast<std::size_t>(tag)) & 0xFF);
+  return m;
+}
+
+// Feed `bytes` to the decoder in chunks of `chunk` and collect every frame.
+std::vector<Frame> decode_chunked(std::span<const std::byte> bytes,
+                                  std::size_t chunk) {
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  for (std::size_t off = 0; off < bytes.size(); off += chunk) {
+    const std::size_t n = std::min(chunk, bytes.size() - off);
+    dec.feed(bytes.subspan(off, n));
+    while (auto f = dec.next()) out.push_back(std::move(*f));
+  }
+  EXPECT_EQ(dec.buffered(), 0u);
+  return out;
+}
+
+// --- framing ----------------------------------------------------------------
+
+TEST(TcpFraming, AllFrameTypesRoundTripUnderAnyChunking) {
+  std::vector<std::byte> stream;
+  const auto append = [&](std::vector<std::byte> f) {
+    stream.insert(stream.end(), f.begin(), f.end());
+  };
+  append(wire::encode_hello(2, 4));
+  append(wire::encode_message(3, make_msg(0xfeed, 1, 42, 10)));
+  append(wire::encode_retry_request(3, 2));
+  append(wire::encode_peer_failure(3, 1, "it broke"));
+  append(wire::encode_goodbye());
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{7}, stream.size()}) {
+    SCOPED_TRACE("chunk=" + std::to_string(chunk));
+    const auto frames = decode_chunked(stream, chunk);
+    ASSERT_EQ(frames.size(), 5u);
+
+    EXPECT_EQ(frames[0].type, FrameType::Hello);
+    EXPECT_EQ(frames[0].rank, 2);
+    EXPECT_EQ(frames[0].world_size, 4);
+
+    EXPECT_EQ(frames[1].type, FrameType::Msg);
+    EXPECT_EQ(frames[1].epoch, 3);
+    EXPECT_EQ(frames[1].msg.context, 0xfeedu);
+    EXPECT_EQ(frames[1].msg.source, 1);
+    EXPECT_EQ(frames[1].msg.tag, 42);
+    EXPECT_EQ(frames[1].msg.trace_id, 77u);
+    EXPECT_EQ(frames[1].msg.seq, 5u);
+    EXPECT_EQ(frames[1].msg.payload, make_msg(0xfeed, 1, 42, 10).payload);
+
+    EXPECT_EQ(frames[2].type, FrameType::RetryRequest);
+    EXPECT_EQ(frames[2].epoch, 3);
+    EXPECT_EQ(frames[2].rank, 2);
+
+    EXPECT_EQ(frames[3].type, FrameType::PeerFailure);
+    EXPECT_EQ(frames[3].rank, 1);
+    EXPECT_EQ(frames[3].what, "it broke");
+
+    EXPECT_EQ(frames[4].type, FrameType::Goodbye);
+  }
+}
+
+TEST(TcpFraming, EmptyAndLargePayloads) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{1 << 20}}) {
+    const Message m = make_msg(9, 0, 7, n);
+    const auto enc = wire::encode_message(1, m);
+    FrameDecoder dec;
+    dec.feed(enc);
+    const auto f = dec.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->msg.payload, m.payload);
+  }
+}
+
+TEST(TcpFraming, RejectsUnknownFrameType) {
+  auto enc = wire::encode_goodbye();
+  enc[4] = static_cast<std::byte>(0xEE);  // corrupt the type byte
+  FrameDecoder dec;
+  dec.feed(enc);
+  EXPECT_THROW((void)dec.next(), ::mbd::Error);
+}
+
+TEST(TcpFraming, RejectsOversizedLengthPrefixWithoutAllocating) {
+  // Length prefix far past kMaxFrameBytes: decoding must throw on the prefix
+  // alone, not wait for (or try to buffer) 4GB of body.
+  const std::uint32_t huge = 0xFFFF0000;
+  std::vector<std::byte> bytes(4);
+  std::memcpy(bytes.data(), &huge, 4);
+  FrameDecoder dec;
+  dec.feed(bytes);
+  EXPECT_THROW((void)dec.next(), ::mbd::Error);
+}
+
+TEST(TcpFraming, RejectsTruncatedFixedFields) {
+  // A Msg frame whose length says "5 bytes" but whose body can't hold the
+  // fixed fields: Cursor bounds-checking must throw, not read past the end.
+  auto enc = wire::encode_message(1, make_msg(1, 0, 0, 0));
+  const std::uint32_t lie = 5;
+  std::memcpy(enc.data(), &lie, 4);
+  enc.resize(4 + lie);
+  FrameDecoder dec;
+  dec.feed(enc);
+  EXPECT_THROW((void)dec.next(), ::mbd::Error);
+}
+
+TEST(TcpFraming, WriteAllSurvivesPartialWritesAndShortReads) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Shrink the send buffer so a 1MB frame cannot fit: write_all must loop
+  // over many partial writes while the reader drains in small bites.
+  const int small = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+
+  const Message m = make_msg(0xabc, 0, 3, 1 << 20);
+  const auto enc = wire::encode_message(2, m);
+
+  std::vector<Frame> got;
+  std::thread reader([&] {
+    FrameDecoder dec;
+    std::byte buf[777];  // deliberately odd read size
+    while (true) {
+      const ssize_t n = ::recv(fds[1], buf, sizeof(buf), 0);
+      ASSERT_GE(n, 0);
+      if (n == 0) break;
+      dec.feed(std::span<const std::byte>(buf, static_cast<std::size_t>(n)));
+      while (auto f = dec.next()) got.push_back(std::move(*f));
+    }
+  });
+  wire::write_all(fds[0], enc);
+  ::shutdown(fds[0], SHUT_WR);
+  reader.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].epoch, 2);
+  EXPECT_EQ(got[0].msg.payload, m.payload);
+}
+
+TEST(TcpFraming, InterleavedStreamsFromMultiplePeersStayIndependent) {
+  // Two peers' byte streams arrive interleaved at arbitrary boundaries; each
+  // connection has its own decoder, so frames reassemble independently.
+  std::vector<std::byte> a, b;
+  for (int i = 0; i < 20; ++i) {
+    const auto fa = wire::encode_message(1, make_msg(7, 1, i, 100 + static_cast<std::size_t>(i)));
+    const auto fb = wire::encode_message(1, make_msg(7, 2, i, 200 + static_cast<std::size_t>(i)));
+    a.insert(a.end(), fa.begin(), fa.end());
+    b.insert(b.end(), fb.begin(), fb.end());
+  }
+  FrameDecoder da, db;
+  std::vector<Frame> ga, gb;
+  std::size_t pa = 0, pb = 0;
+  std::size_t step = 1;
+  while (pa < a.size() || pb < b.size()) {
+    const std::size_t na = std::min(step, a.size() - pa);
+    const std::size_t nb = std::min(step * 2, b.size() - pb);
+    if (na > 0) da.feed(std::span<const std::byte>(a).subspan(pa, na));
+    if (nb > 0) db.feed(std::span<const std::byte>(b).subspan(pb, nb));
+    pa += na;
+    pb += nb;
+    while (auto f = da.next()) ga.push_back(std::move(*f));
+    while (auto f = db.next()) gb.push_back(std::move(*f));
+    step = step % 97 + 1;
+  }
+  ASSERT_EQ(ga.size(), 20u);
+  ASSERT_EQ(gb.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(ga[static_cast<std::size_t>(i)].msg.tag, i);  // per-channel FIFO
+    EXPECT_EQ(gb[static_cast<std::size_t>(i)].msg.tag, i);
+    EXPECT_EQ(ga[static_cast<std::size_t>(i)].msg.payload.size(),
+              100u + static_cast<std::size_t>(i));
+    EXPECT_EQ(gb[static_cast<std::size_t>(i)].msg.payload.size(),
+              200u + static_cast<std::size_t>(i));
+  }
+}
+
+// --- a multi-rank TCP world in one test process -----------------------------
+
+// N ranks, each with its own TcpTransport and distributed World, hosted on
+// loopback in this process. Mirrors exactly what N separate processes do;
+// connect_mesh must run concurrently (every rank dials while being dialed).
+struct TcpWorld {
+  std::vector<std::shared_ptr<TcpTransport>> transports;
+  std::vector<std::unique_ptr<World>> worlds;
+
+  explicit TcpWorld(int n) {
+    std::vector<TcpEndpoint> eps;
+    for (int r = 0; r < n; ++r) {
+      transports.push_back(
+          std::make_shared<TcpTransport>(n, r, "127.0.0.1", 0));
+      eps.push_back({"127.0.0.1", transports.back()->port()});
+    }
+    std::vector<std::thread> dialers;
+    for (int r = 0; r < n; ++r) {
+      dialers.emplace_back([&, r] { transports[static_cast<std::size_t>(r)]->connect_mesh(eps); });
+    }
+    for (auto& t : dialers) t.join();
+    for (int r = 0; r < n; ++r) {
+      worlds.push_back(std::make_unique<World>(n, r, transports[static_cast<std::size_t>(r)]));
+    }
+  }
+
+  ~TcpWorld() {
+    // Concurrently, as real processes do: shutdown() drains until every
+    // peer's Goodbye, so sequential calls would serialize on the grace
+    // period (rank 0 would wait for Goodbyes nobody has sent yet).
+    std::vector<std::thread> closers;
+    for (auto& t : transports) {
+      closers.emplace_back([&t] { t->shutdown(); });
+    }
+    for (auto& t : closers) t.join();
+  }
+
+  // Run `fn` on every rank concurrently (each World spawns its one local
+  // rank); rethrows the first rank's exception after all return.
+  void run_all(const std::function<void(Comm&)>& fn) {
+    std::vector<std::exception_ptr> errors(worlds.size());
+    std::vector<std::thread> runners;
+    for (std::size_t r = 0; r < worlds.size(); ++r) {
+      runners.emplace_back([&, r] {
+        try {
+          worlds[r]->run(fn);
+        } catch (...) {
+          errors[r] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : runners) t.join();
+    for (const auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+};
+
+TEST(TcpTransportWorld, PointToPointAcrossTheWire) {
+  TcpWorld tw(2);
+  tw.run_all([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<float> v(64);
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<float>(i);
+      c.send(1, std::span<const float>(v), /*tag=*/9);
+    } else {
+      const auto v = c.recv<float>(0, /*tag=*/9);
+      ASSERT_EQ(v.size(), 64u);
+      for (std::size_t i = 0; i < v.size(); ++i)
+        ASSERT_EQ(v[i], static_cast<float>(i));
+    }
+  });
+}
+
+TEST(TcpTransportWorld, CollectivesMatchLocalReference) {
+  const int n = 3;
+  TcpWorld tw(n);
+  tw.run_all([n](Comm& c) {
+    c.barrier();
+    std::vector<float> v(32);
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v[i] = static_cast<float>(c.rank() * 100 + static_cast<int>(i));
+    c.allreduce(std::span<float>(v));
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      float want = 0.0f;
+      for (int r = 0; r < n; ++r)
+        want += static_cast<float>(r * 100 + static_cast<int>(i));
+      ASSERT_EQ(v[i], want);
+    }
+    std::vector<float> b(16, c.rank() == 1 ? 3.5f : 0.0f);
+    c.broadcast(std::span<float>(b), /*root=*/1);
+    for (const float x : b) ASSERT_EQ(x, 3.5f);
+  });
+}
+
+TEST(TcpTransportWorld, ManyTagsInterleaveIntoOneMailbox) {
+  // Ranks 1 and 2 blast tagged messages at rank 0 concurrently; matching by
+  // (source, tag) must pick each one out regardless of arrival interleaving.
+  const int kMsgs = 50;
+  TcpWorld tw(3);
+  tw.run_all([kMsgs](Comm& c) {
+    if (c.rank() == 0) {
+      // Receive in an order unrelated to send order.
+      for (int tag = kMsgs - 1; tag >= 0; --tag) {
+        for (const int src : {2, 1}) {
+          const auto v = c.recv<float>(src, tag);
+          ASSERT_EQ(v.size(), 4u);
+          ASSERT_EQ(v[0], static_cast<float>(src * 1000 + tag));
+        }
+      }
+    } else {
+      for (int tag = 0; tag < kMsgs; ++tag) {
+        std::vector<float> v(4, static_cast<float>(c.rank() * 1000 + tag));
+        c.send(0, std::span<const float>(v), tag);
+      }
+    }
+  });
+}
+
+TEST(TcpTransportWorld, WatchdogScalesByLatencyClass) {
+  TcpWorld tw(2);
+  tw.worlds[0]->enable_validation();
+  EXPECT_EQ(tw.worlds[0]->validation_timeout(),
+            Validator::kDefaultTimeout * watchdog_scale(TransportLatency::LoopbackSocket));
+
+  World local(2);
+  local.enable_validation();
+  EXPECT_EQ(local.validation_timeout(), Validator::kDefaultTimeout);
+
+  // An explicit timeout is a contract, not a default: never scaled.
+  tw.worlds[1]->set_validation_timeout(std::chrono::milliseconds(1234));
+  EXPECT_EQ(tw.worlds[1]->validation_timeout(), std::chrono::milliseconds(1234));
+}
+
+TEST(TcpTransportWorld, PeerDeathSurfacesAsRankFailure) {
+  TcpWorld tw(2);
+  std::thread killer([&] {
+    // Let rank 0 get into its recv, then die without a Goodbye.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    tw.transports[1]->kill_for_test();
+  });
+  try {
+    tw.worlds[0]->run([](Comm& c) {
+      if (c.rank() == 0) {
+        (void)c.recv<float>(1, /*tag=*/0);  // never arrives
+      }
+    });
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 1"), std::string::npos);
+  }
+  killer.join();
+}
+
+TEST(TcpTransportWorld, DroppedMessageRetransmitsAcrossTheWire) {
+  // Drop rank 1's first send to rank 0 on the wire side; rank 0's watchdog
+  // sends a RetryRequest frame, rank 1's injector flushes the swallowed
+  // message back through the transport, and the recv completes. Both ranks
+  // install the same plan, but only rank 1's send matches the trigger.
+  TcpWorld tw(2);
+  FaultPlan plan;
+  FaultAction drop;
+  drop.kind = FaultKind::DropMessage;
+  drop.rank = 1;
+  drop.op_index = 1;  // rank 1's first transport op is the send below
+  plan.actions.push_back(drop);
+  for (auto& w : tw.worlds) {
+    w->install_faults(plan, {});
+    w->set_validation_timeout(std::chrono::milliseconds(20'000));
+  }
+  tw.run_all([](Comm& c) {
+    if (c.rank() == 1) {
+      const std::vector<float> v(8, 2.0f);
+      c.send(0, std::span<const float>(v), /*tag=*/5);
+    } else {
+      const auto got = c.recv<float>(1, /*tag=*/5);
+      ASSERT_EQ(got.size(), 8u);
+      for (const float x : got) ASSERT_EQ(x, 2.0f);
+    }
+  });
+  EXPECT_GE(tw.worlds[1]->fault_injector()->events().size(), 1u);
+}
+
+TEST(TcpTransportWorld, ModelParallelTrainingMatchesInProcessBitwise) {
+  const auto spec = nn::mlp_spec({24, 32, 10});
+  const auto data = nn::make_synthetic_dataset(24, 10, 32, 13);
+  nn::TrainConfig cfg;
+  cfg.batch = 8;
+  cfg.iterations = 2;
+
+  parallel::DistResult local;
+  World ref(2);
+  ref.run([&](Comm& c) {
+    auto r = parallel::train_model_parallel(c, spec, data, cfg, 42,
+                                            parallel::ReduceMode::Blocking);
+    if (c.rank() == 0) local = std::move(r);
+  });
+
+  std::vector<parallel::DistResult> tcp(2);
+  TcpWorld tw(2);
+  tw.run_all([&](Comm& c) {
+    tcp[static_cast<std::size_t>(c.rank())] = parallel::train_model_parallel(
+        c, spec, data, cfg, 42, parallel::ReduceMode::Blocking);
+  });
+
+  for (const auto& r : tcp) {
+    ASSERT_EQ(r.losses.size(), local.losses.size());
+    for (std::size_t i = 0; i < local.losses.size(); ++i)
+      EXPECT_EQ(r.losses[i], local.losses[i]) << "loss " << i;
+    ASSERT_EQ(r.params.size(), local.params.size());
+    for (std::size_t i = 0; i < local.params.size(); ++i)
+      ASSERT_EQ(r.params[i], local.params[i]) << "param " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mbd::comm

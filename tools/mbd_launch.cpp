@@ -1,0 +1,435 @@
+// mbd_launch: multi-process runner for the six trainers over TCP loopback.
+//
+// Parent mode forks one process per rank (re-exec'ing this binary with
+// --worker), each worker binds an ephemeral 127.0.0.1 port, publishes
+// "host port" to <rendezvous>/rank<R>.addr, dials the full mesh, and runs
+// the trainer sweep on a distributed World(size, rank, TcpTransport). Each
+// rank writes its results — per-iteration losses and final parameters, both
+// bit-exact hex — to <out>/rank<R>.json.
+//
+// --inprocess runs the identical sweep on the thread-backed fabric and
+// writes byte-identical files (the JSON never names the transport), so
+//
+//   mbd_launch --out tcp_out
+//   mbd_launch --inprocess --out thread_out
+//   diff -r tcp_out thread_out
+//
+// is the bitwise cross-transport equivalence check the multi-process CI job
+// gates on: all six trainers, both ReduceModes, same seeds.
+//
+// Exit codes: 0 = sweep complete, 1 = a rank failed, 2 = bad invocation.
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mbd/comm/transport_tcp.hpp"
+#include "mbd/comm/world.hpp"
+#include "mbd/nn/models.hpp"
+#include "mbd/parallel/batch_parallel.hpp"
+#include "mbd/parallel/domain_parallel.hpp"
+#include "mbd/parallel/hybrid.hpp"
+#include "mbd/parallel/integrated.hpp"
+#include "mbd/parallel/mixed_grid.hpp"
+#include "mbd/parallel/model_parallel.hpp"
+#include "mbd/support/check.hpp"
+#include "mbd/support/cli.hpp"
+
+namespace {
+
+using namespace mbd;
+using parallel::DistResult;
+using parallel::GridShape;
+using parallel::ReduceMode;
+
+std::vector<nn::LayerSpec> small_conv_net() {
+  std::vector<nn::LayerSpec> specs;
+  specs.push_back(nn::conv_spec("conv1", 2, 8, 8, 4, 3, 1, 1));
+  specs.push_back(nn::conv_spec("conv2", 4, 8, 8, 4, 3, 1, 1));
+  specs.push_back(nn::fc_spec("fc1", 4 * 8 * 8, 16));
+  specs.push_back(nn::fc_spec("fc2", 16, 4, false));
+  return specs;
+}
+
+struct SweepCase {
+  std::string trainer;
+  std::string mode_name;
+  std::function<DistResult(comm::Comm&)> run;
+};
+
+// The observability-smoke sweep, parameterized by mode: every trainer the
+// repo has, on the same tiny MLP / CNN workloads and seeds.
+std::vector<SweepCase> make_cases(int ranks, int iterations,
+                                  std::uint64_t seed,
+                                  const std::string& trainer_filter,
+                                  const std::string& mode_filter) {
+  const GridShape grid{2, ranks / 2};
+  const auto mlp = nn::mlp_spec({24, 32, 10});
+  const auto mlp_data = nn::make_synthetic_dataset(24, 10, 32, 13);
+  nn::TrainConfig mlp_cfg;
+  mlp_cfg.batch = 8;
+  mlp_cfg.iterations = static_cast<std::size_t>(iterations);
+  const auto cnn = small_conv_net();
+  const auto cnn_data = nn::make_synthetic_dataset(2 * 8 * 8, 4, 16, 9);
+  nn::TrainConfig cnn_cfg = mlp_cfg;
+
+  std::vector<SweepCase> cases;
+  const auto add = [&](const std::string& name, ReduceMode mode,
+                       std::function<DistResult(comm::Comm&)> run) {
+    const std::string mode_name =
+        mode == ReduceMode::Blocking ? "blocking" : "overlapped";
+    if (trainer_filter != "all" && trainer_filter != name) return;
+    if (mode_filter != "both" && mode_filter != mode_name) return;
+    cases.push_back({name, mode_name, std::move(run)});
+  };
+  for (const ReduceMode mode :
+       {ReduceMode::Blocking, ReduceMode::Overlapped}) {
+    add("model", mode, [=](comm::Comm& c) {
+      return parallel::train_model_parallel(c, mlp, mlp_data, mlp_cfg,
+                                            seed, mode);
+    });
+    add("batch", mode, [=](comm::Comm& c) {
+      return parallel::train_batch_parallel(c, mlp, mlp_data, mlp_cfg, {},
+                                            mode);
+    });
+    add("integrated_15d", mode, [=](comm::Comm& c) {
+      return parallel::train_integrated_15d(c, grid, mlp, mlp_data, mlp_cfg,
+                                            seed, mode);
+    });
+    add("mixed_grid", mode, [=](comm::Comm& c) {
+      return parallel::train_mixed_grid(c, grid, cnn, cnn_data, cnn_cfg,
+                                        seed, mode);
+    });
+    add("domain", mode, [=](comm::Comm& c) {
+      return parallel::train_domain_parallel(c, cnn, cnn_data, cnn_cfg, seed,
+                                             /*overlap_halo=*/false, mode);
+    });
+    add("hybrid", mode, [=](comm::Comm& c) {
+      return parallel::train_hybrid(c, grid, cnn, cnn_data, cnn_cfg, seed,
+                                    /*overlap_halo=*/false, mode);
+    });
+  }
+  return cases;
+}
+
+struct CaseResult {
+  std::string trainer;
+  std::string mode_name;
+  DistResult res;
+};
+
+std::string hex_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+  return buf;
+}
+
+std::string hex_float(float v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", std::bit_cast<std::uint32_t>(v));
+  return buf;
+}
+
+std::uint64_t fnv1a(const std::vector<float>& params) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const float f : params) {
+    const auto bits = std::bit_cast<std::uint32_t>(f);
+    for (int i = 0; i < 4; ++i) {
+      h ^= (bits >> (8 * i)) & 0xFFU;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+// One rank's results. Deliberately transport-free: the TCP and in-process
+// sweeps must produce byte-identical files for `diff -r` to gate on.
+void write_rank_json(const std::string& path, int world_size, int rank,
+                     int iterations, std::uint64_t seed,
+                     const std::vector<CaseResult>& cases) {
+  std::ofstream out(path);
+  MBD_CHECK_MSG(out.good(), "mbd_launch: cannot write " << path);
+  out << "{\n"
+      << "  \"schema\": \"mbd-launch-results-v1\",\n"
+      << "  \"world_size\": " << world_size << ",\n"
+      << "  \"rank\": " << rank << ",\n"
+      << "  \"iterations\": " << iterations << ",\n"
+      << "  \"seed\": " << seed << ",\n"
+      << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& cr = cases[i];
+    out << "    {\"trainer\": \"" << cr.trainer << "\", \"mode\": \""
+        << cr.mode_name << "\",\n"
+        << "     \"params_fnv1a\": \"0x" << std::hex << fnv1a(cr.res.params)
+        << std::dec << "\",\n"
+        << "     \"losses\": [";
+    for (std::size_t j = 0; j < cr.res.losses.size(); ++j) {
+      if (j != 0) out << ", ";
+      out << '"' << hex_double(cr.res.losses[j]) << '"';
+    }
+    out << "],\n     \"params\": [";
+    for (std::size_t j = 0; j < cr.res.params.size(); ++j) {
+      if (j != 0) out << ", ";
+      out << '"' << hex_float(cr.res.params[j]) << '"';
+    }
+    out << "]}" << (i + 1 < cases.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+}
+
+void ensure_dir(const std::string& path) {
+  std::string prefix;
+  std::istringstream ss(path);
+  std::string part;
+  while (std::getline(ss, part, '/')) {
+    prefix += part;
+    if (!prefix.empty() && ::mkdir(prefix.c_str(), 0777) != 0 &&
+        errno != EEXIST) {
+      MBD_CHECK_MSG(false, "mbd_launch: cannot create directory " << prefix
+                                                                  << " (errno "
+                                                                  << errno
+                                                                  << ')');
+    }
+    prefix += '/';
+  }
+}
+
+std::string addr_path(const std::string& dir, int rank) {
+  return dir + "/rank" + std::to_string(rank) + ".addr";
+}
+
+std::string out_path(const std::string& dir, int rank) {
+  return dir + "/rank" + std::to_string(rank) + ".json";
+}
+
+// --- worker: one rank over TCP ---------------------------------------------
+
+int run_worker(const ArgParser& args) {
+  const int ranks = static_cast<int>(args.get_int("ranks"));
+  const int rank = static_cast<int>(args.get_int("rank"));
+  const int iterations = static_cast<int>(args.get_int("iterations"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const std::string rendezvous = args.get_string("rendezvous");
+  const std::string out = args.get_string("out");
+  const std::string host = args.get_string("host");
+
+  auto transport = std::make_shared<comm::TcpTransport>(
+      ranks, rank, host, /*port=*/static_cast<std::uint16_t>(0));
+  // Publish our address atomically (write + rename) so peers never read a
+  // partial file.
+  const std::string tmp = addr_path(rendezvous, rank) + ".tmp";
+  {
+    std::ofstream f(tmp);
+    MBD_CHECK_MSG(f.good(), "mbd_launch: cannot write " << tmp);
+    f << host << ' ' << transport->port() << '\n';
+  }
+  MBD_CHECK_MSG(
+      std::rename(tmp.c_str(), addr_path(rendezvous, rank).c_str()) == 0,
+      "mbd_launch: cannot publish " << addr_path(rendezvous, rank));
+
+  // Gather every peer's address; peers publish in any order.
+  std::vector<comm::TcpEndpoint> peers(static_cast<std::size_t>(ranks));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  for (int r = 0; r < ranks; ++r) {
+    while (true) {
+      std::ifstream f(addr_path(rendezvous, r));
+      std::string peer_host;
+      std::uint16_t peer_port = 0;
+      if (f >> peer_host >> peer_port && peer_port != 0) {
+        peers[static_cast<std::size_t>(r)] = {peer_host, peer_port};
+        break;
+      }
+      MBD_CHECK_MSG(std::chrono::steady_clock::now() < deadline,
+                    "mbd_launch: rank " << rank
+                                        << " timed out waiting for rank " << r
+                                        << "'s address");
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  transport->connect_mesh(peers);
+
+  comm::World world(ranks, rank, transport);
+  std::vector<CaseResult> results;
+  for (auto& sc : make_cases(ranks, iterations, seed,
+                             args.get_string("trainer"),
+                             args.get_string("mode"))) {
+    DistResult res;
+    world.run([&](comm::Comm& c) { res = sc.run(c); });
+    std::printf("rank %d %-14s %-10s loss[last]=%s params_fnv1a=0x%llx\n",
+                rank, sc.trainer.c_str(), sc.mode_name.c_str(),
+                res.losses.empty() ? "-" : hex_double(res.losses.back()).c_str(),
+                static_cast<unsigned long long>(fnv1a(res.params)));
+    results.push_back({sc.trainer, sc.mode_name, std::move(res)});
+  }
+  write_rank_json(out_path(out, rank), ranks, rank, iterations, seed,
+                  results);
+  transport->shutdown();
+  return 0;
+}
+
+// --- in-process reference sweep --------------------------------------------
+
+int run_inprocess(const ArgParser& args) {
+  const int ranks = static_cast<int>(args.get_int("ranks"));
+  const int iterations = static_cast<int>(args.get_int("iterations"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const std::string out = args.get_string("out");
+  ensure_dir(out);
+
+  comm::World world(ranks);
+  std::vector<std::vector<CaseResult>> results(
+      static_cast<std::size_t>(ranks));
+  std::mutex results_mu;
+  for (auto& sc : make_cases(ranks, iterations, seed,
+                             args.get_string("trainer"),
+                             args.get_string("mode"))) {
+    world.run([&](comm::Comm& c) {
+      DistResult res = sc.run(c);
+      std::lock_guard lock(results_mu);
+      results[static_cast<std::size_t>(c.rank())].push_back(
+          {sc.trainer, sc.mode_name, std::move(res)});
+    });
+    const auto& r0 = results[0].back();
+    std::printf("%-14s %-10s loss[last]=%s params_fnv1a=0x%llx\n",
+                r0.trainer.c_str(), r0.mode_name.c_str(),
+                r0.res.losses.empty()
+                    ? "-"
+                    : hex_double(r0.res.losses.back()).c_str(),
+                static_cast<unsigned long long>(fnv1a(r0.res.params)));
+  }
+  for (int r = 0; r < ranks; ++r) {
+    write_rank_json(out_path(out, r), ranks, r, iterations, seed,
+                    results[static_cast<std::size_t>(r)]);
+  }
+  return 0;
+}
+
+// --- parent: fork/exec one worker per rank ----------------------------------
+
+int run_parent(const ArgParser& args) {
+  const int ranks = static_cast<int>(args.get_int("ranks"));
+  const std::string out = args.get_string("out");
+  std::string rendezvous = args.get_string("rendezvous");
+  if (rendezvous.empty()) rendezvous = out + ".rendezvous";
+  ensure_dir(out);
+  ensure_dir(rendezvous);
+  for (int r = 0; r < ranks; ++r) {
+    (void)std::remove(addr_path(rendezvous, r).c_str());  // stale publishes
+  }
+
+  std::vector<pid_t> children;
+  for (int r = 0; r < ranks; ++r) {
+    const pid_t pid = ::fork();
+    MBD_CHECK_MSG(pid >= 0, "mbd_launch: fork failed (errno " << errno << ')');
+    if (pid == 0) {
+      const std::vector<std::string> sargs = {
+          "/proc/self/exe",
+          "--worker",
+          "--rank=" + std::to_string(r),
+          "--ranks=" + std::to_string(ranks),
+          "--rendezvous=" + rendezvous,
+          "--out=" + out,
+          "--host=" + args.get_string("host"),
+          "--trainer=" + args.get_string("trainer"),
+          "--mode=" + args.get_string("mode"),
+          "--iterations=" + std::to_string(args.get_int("iterations")),
+          "--seed=" + std::to_string(args.get_int("seed")),
+      };
+      std::vector<char*> argv;
+      argv.reserve(sargs.size() + 1);
+      for (const auto& s : sargs) argv.push_back(const_cast<char*>(s.c_str()));
+      argv.push_back(nullptr);
+      ::execv("/proc/self/exe", argv.data());
+      std::perror("mbd_launch: execv");
+      _exit(127);
+    }
+    children.push_back(pid);
+  }
+
+  int failures = 0;
+  for (std::size_t reaped = 0; reaped < children.size(); ++reaped) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) break;
+    const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!ok) {
+      ++failures;
+      std::fprintf(stderr, "mbd_launch: child %d failed (status 0x%x)\n",
+                   static_cast<int>(pid), status);
+      // One dead rank means the sweep cannot complete; put the others out
+      // of their misery rather than waiting out their watchdogs.
+      if (failures == 1) {
+        for (const pid_t other : children) {
+          if (other != pid) ::kill(other, SIGTERM);
+        }
+      }
+    }
+  }
+  if (failures == 0) {
+    std::printf("mbd_launch: %d rank(s) complete; results in %s\n", ranks,
+                out.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Workers inherit a pipe when run under CI; keep per-case progress lines
+  // visible even if a rank wedges before exit.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  ArgParser args(
+      "Multi-process trainer runner: fork one process per rank, connect a "
+      "TCP loopback mesh, run the six-trainer sweep, and write bit-exact "
+      "per-rank results for cross-transport diffing (--inprocess runs the "
+      "same sweep on the thread-backed fabric).");
+  args.add_int("ranks", 4, "world size (even, >= 2; grid is 2 x ranks/2)");
+  args.add_string("trainer", "all",
+                  "restrict to one trainer: model, batch, integrated_15d, "
+                  "mixed_grid, domain, hybrid");
+  args.add_string("mode", "both",
+                  "reduction schedule: blocking, overlapped, both");
+  args.add_int("iterations", 2, "SGD iterations per case");
+  args.add_int("seed", 42, "weight-init seed");
+  args.add_string("out", "launch_out", "directory for rank<R>.json results");
+  args.add_bool("inprocess", false,
+                "run on the thread-backed fabric instead of TCP processes");
+  args.add_string("host", "127.0.0.1", "loopback address ranks bind/dial");
+  args.add_string("rendezvous", "",
+                  "address-exchange directory (default: <out>.rendezvous)");
+  args.add_bool("worker", false, "internal: run one rank (set by the parent)");
+  args.add_int("rank", -1, "internal: this worker's rank");
+
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    const int ranks = static_cast<int>(args.get_int("ranks"));
+    if (ranks < 2 || ranks % 2 != 0) {
+      std::cerr << "mbd_launch: --ranks must be even and >= 2\n";
+      return 2;
+    }
+    if (args.get_bool("worker")) return run_worker(args);
+    if (args.get_bool("inprocess")) return run_inprocess(args);
+    return run_parent(args);
+  } catch (const std::exception& e) {
+    std::cerr << "mbd_launch: " << e.what() << '\n';
+    return args.get_bool("worker") ? 1 : 2;
+  }
+}
