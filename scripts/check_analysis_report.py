@@ -28,7 +28,8 @@ import argparse
 import json
 import sys
 
-TRAINERS = {"batch", "model", "integrated", "domain", "hybrid", "mixed"}
+TRAINERS = {"batch", "model", "integrated", "domain", "hybrid", "mixed",
+            "pipeline"}
 MODES = {"blocking", "overlapped"}
 VIOLATION_KINDS = {
     "collective_mismatch",

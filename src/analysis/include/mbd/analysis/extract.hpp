@@ -37,6 +37,7 @@ struct AnalyzerConfig {
   std::size_t iterations = 3;  ///< >= 2 so a steady-state window exists
   parallel::ReduceMode mode = parallel::ReduceMode::Blocking;
   std::uint64_t seed = 42;
+  std::size_t microbatches = 2;  ///< pipeline trainer only
 };
 
 /// Dry-run the configured trainer and return the recorded per-rank

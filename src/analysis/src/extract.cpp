@@ -2,11 +2,6 @@
 
 #include "mbd/comm/world.hpp"
 #include "mbd/nn/trainer.hpp"
-#include "mbd/parallel/batch_parallel.hpp"
-#include "mbd/parallel/domain_parallel.hpp"
-#include "mbd/parallel/hybrid.hpp"
-#include "mbd/parallel/mixed_grid.hpp"
-#include "mbd/parallel/model_parallel.hpp"
 #include "mbd/support/check.hpp"
 #include "mbd/tensor/gemm.hpp"
 
@@ -51,35 +46,13 @@ comm::ScheduleRecording extract_schedule(const AnalyzerConfig& cfg) {
   world.enable_schedule_recording();
 
   const GemmDryRunGuard dry_run;
+  const parallel::TrainerEntry& trainer = parallel::trainer_for(cfg.kind);
+  const parallel::TrainerOptions opts{.grid = cfg.grid,
+                                      .seed = cfg.seed,
+                                      .mode = cfg.mode,
+                                      .microbatches = cfg.microbatches};
   world.run([&](comm::Comm& comm) {
-    switch (cfg.kind) {
-      case costmodel::TrainerKind::BatchParallel:
-        parallel::train_batch_parallel(comm, cfg.specs, data, tc,
-                                       nn::BuildOptions{.seed = cfg.seed},
-                                       cfg.mode);
-        return;
-      case costmodel::TrainerKind::ModelParallel:
-        parallel::train_model_parallel(comm, cfg.specs, data, tc, cfg.seed,
-                                       cfg.mode);
-        return;
-      case costmodel::TrainerKind::Integrated15D:
-        parallel::train_integrated_15d(comm, cfg.grid, cfg.specs, data, tc,
-                                       cfg.seed, cfg.mode);
-        return;
-      case costmodel::TrainerKind::DomainParallel:
-        parallel::train_domain_parallel(comm, cfg.specs, data, tc, cfg.seed,
-                                        /*overlap_halo=*/false, cfg.mode);
-        return;
-      case costmodel::TrainerKind::Hybrid:
-        parallel::train_hybrid(comm, cfg.grid, cfg.specs, data, tc, cfg.seed,
-                               /*overlap_halo=*/false, cfg.mode);
-        return;
-      case costmodel::TrainerKind::MixedGrid:
-        parallel::train_mixed_grid(comm, cfg.grid, cfg.specs, data, tc,
-                                   cfg.seed, cfg.mode);
-        return;
-    }
-    MBD_CHECK(false);
+    trainer.run(comm, opts, cfg.specs, data, tc);
   });
 
   return world.schedule_recording();

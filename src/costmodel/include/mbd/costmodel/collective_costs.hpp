@@ -54,6 +54,14 @@ CostBreakdown allreduce_cost(const MachineModel& m, std::size_t p, double words,
 /// One halo exchange of `words` words with a neighbour (α + β·words).
 CostBreakdown halo_cost(const MachineModel& m, double words);
 
+/// Fill + drain overhead of a P-stage 1F1B pipeline, per iteration: the
+/// (P−1) warmup forward transfers and (P−1) drain backward transfers sit on
+/// the critical path (steady-state transfers hide behind the other ranks'
+/// microbatch compute), each a point-to-point message of one microbatch's
+/// boundary activations — 2(P−1)(α + β·boundary_words_mb).
+CostBreakdown pipeline_fill_drain_cost(const MachineModel& m, std::size_t p,
+                                       double boundary_words_mb);
+
 /// --- exact word counts of the implemented algorithms ----------------------
 /// These mirror what mbd::comm's instrumented collectives actually move, and
 /// are used by the validation tests/bench (measured == predicted).

@@ -30,10 +30,11 @@ enum class TrainerKind {
   DomainParallel,
   Hybrid,
   MixedGrid,
+  Pipeline,
 };
 
 /// Stable lowercase name ("batch", "model", "integrated", "domain",
-/// "hybrid", "mixed") used in reports and CLI arguments.
+/// "hybrid", "mixed", "pipeline") used in reports and CLI arguments.
 std::string_view trainer_kind_name(TrainerKind k);
 
 /// Bytes one rank sends per SGD iteration, by traffic class.
@@ -80,6 +81,14 @@ std::uint64_t allreduce_ring_send_words(int p, std::size_t n, int rank);
 /// layer, and the mixed grid pays the Eq. 6 redistribution all-gatherv.
 /// Setup traffic (communicator splits, final parameter assembly) and the
 /// loss reduction are excluded, matching validation.hpp's conventions.
+///
+/// The 1F1B pipeline trainer runs on p = pr·pc ranks as a linear chain of
+/// layer groups (MLP only). Its per-iteration point-to-point volume is
+/// independent of the microbatch count — the microbatch column blocks of B
+/// sum back to B — so rank k sends exactly
+///   4·B·(d_boundary(k)·[k < p−1] + d_boundary(k−1)·[k > 0])
+/// bytes, where d_boundary(k) is the output width of rank k's last owned
+/// layer; no collective moves a byte.
 RankVolume trainer_rank_volume(TrainerKind kind,
                                const std::vector<nn::LayerSpec>& specs,
                                std::size_t batch, int pr, int pc, int rank);

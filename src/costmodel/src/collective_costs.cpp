@@ -44,6 +44,13 @@ CostBreakdown halo_cost(const MachineModel& m, double words) {
   return {m.alpha, m.word_time() * words};
 }
 
+CostBreakdown pipeline_fill_drain_cost(const MachineModel& m, std::size_t p,
+                                       double boundary_words_mb) {
+  if (p <= 1) return {};
+  const double hops = 2.0 * static_cast<double>(p - 1);
+  return {hops * m.alpha, hops * m.word_time() * boundary_words_mb};
+}
+
 double allgather_bruck_words_per_rank(std::size_t p, std::size_t block_words) {
   double words = 0.0;
   for (std::size_t k = 1; k < p; k <<= 1)

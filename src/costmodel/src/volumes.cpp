@@ -166,6 +166,28 @@ RankVolume hybrid_volume(const std::vector<nn::LayerSpec>& specs,
   return v;
 }
 
+RankVolume pipeline_volume(const std::vector<nn::LayerSpec>& specs,
+                           std::size_t batch, int p, int rank) {
+  const std::size_t num_layers = specs.size();
+  MBD_CHECK_LE(static_cast<std::size_t>(p), num_layers);
+  for (const auto& s : specs) MBD_CHECK(s.kind == nn::LayerKind::FullyConnected);
+  // Output width of rank k's last owned layer under the canonical block
+  // partition of the layer chain — the activation/gradient boundary between
+  // ranks k and k+1.
+  const auto boundary = [&](int k) {
+    const auto hi = (num_layers * static_cast<std::size_t>(k + 1)) /
+                    static_cast<std::size_t>(p);
+    return specs[hi - 1].fc_out;
+  };
+  RankVolume v;
+  // Forward activations to rank+1 and backward gradients to rank−1, one
+  // message per microbatch; the microbatch column blocks of B sum to B, so
+  // the per-iteration volume is microbatch-count-independent.
+  if (rank < p - 1) v.p2p_bytes += boundary(rank) * batch * kWordBytes;
+  if (rank > 0) v.p2p_bytes += boundary(rank - 1) * batch * kWordBytes;
+  return v;
+}
+
 RankVolume mixed_grid_volume(const std::vector<nn::LayerSpec>& specs,
                              std::size_t batch, int pr, int pc, int rank) {
   RankVolume v;
@@ -216,6 +238,7 @@ std::string_view trainer_kind_name(TrainerKind k) {
     case TrainerKind::DomainParallel: return "domain";
     case TrainerKind::Hybrid: return "hybrid";
     case TrainerKind::MixedGrid: return "mixed";
+    case TrainerKind::Pipeline: return "pipeline";
   }
   return "?";
 }
@@ -272,6 +295,8 @@ RankVolume trainer_rank_volume(TrainerKind kind,
       return hybrid_volume(specs, batch, pr, pc, rank);
     case TrainerKind::MixedGrid:
       return mixed_grid_volume(specs, batch, pr, pc, rank);
+    case TrainerKind::Pipeline:
+      return pipeline_volume(specs, batch, p, rank);
   }
   MBD_CHECK(false);
   return {};

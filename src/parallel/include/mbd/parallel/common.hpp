@@ -3,19 +3,30 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string_view>
 #include <vector>
 
 #include "mbd/comm/comm.hpp"
+#include "mbd/costmodel/volumes.hpp"
 #include "mbd/nn/trainer.hpp"
 #include "mbd/support/rng.hpp"
 #include "mbd/tensor/matrix.hpp"
 
 namespace mbd::parallel {
 
+struct RecoveryContext;
+
 /// Half-open index range.
 struct Range {
   std::size_t lo = 0, hi = 0;
   std::size_t size() const { return hi - lo; }
+};
+
+/// Grid shape: pr·pc must equal comm.size(). Pure trainers ignore it.
+struct GridShape {
+  int pr = 1;
+  int pc = 1;
 };
 
 /// How the layer-engine completes the ∆W gradient reductions of a backward
@@ -71,5 +82,50 @@ tensor::Matrix he_init_full(std::size_t d_out, std::size_t d_in, Rng& rng);
 /// aligned with the replicated layout) and returns rows [rows.lo, rows.hi).
 tensor::Matrix he_init_rows(std::size_t d_out, std::size_t d_in, Rng& rng,
                             Range rows);
+
+/// --- trainer registry -----------------------------------------------------
+/// The single name → builder table every sweep tool iterates, so a new
+/// trainer appears in mbd_analyze, mbd_launch, and obs_smoke (and any
+/// future sweep) by adding one registry entry instead of three lists.
+
+/// Options every builder accepts; fields a trainer has no use for are
+/// ignored (pure trainers ignore `grid`, everything but the pipeline
+/// ignores `microbatches`).
+struct TrainerOptions {
+  GridShape grid;
+  std::uint64_t seed = 42;
+  ReduceMode mode = ReduceMode::Blocking;
+  double seconds_per_flop = 0.0;
+  const RecoveryContext* recovery = nullptr;
+  std::size_t microbatches = 2;  ///< pipeline only
+};
+
+/// What network shapes a trainer accepts — sweep tools pick the matching
+/// workload (MLP for the FC-only trainers, a deeper MLP for the pipeline's
+/// one-layer-per-rank floor, conv nets for the domain/halo and pooled
+/// mixed-grid phases).
+enum class TrainerWorkload { Mlp, DeepMlp, ConvHalo, ConvPool };
+
+/// One registered trainer: its costmodel identity, its two stable names
+/// (the costmodel/CLI name and the launch/obs case name — they differ for
+/// historical reasons), the workload class, and the uniform builder.
+struct TrainerEntry {
+  costmodel::TrainerKind kind;
+  std::string_view name;         ///< costmodel name, e.g. "integrated"
+  std::string_view launch_name;  ///< case name, e.g. "integrated_15d"
+  TrainerWorkload workload;
+  DistResult (*run)(comm::Comm&, const TrainerOptions&,
+                    const std::vector<nn::LayerSpec>&, const nn::Dataset&,
+                    const nn::TrainConfig&);
+};
+
+/// All trainers, in the canonical sweep order.
+std::span<const TrainerEntry> trainer_registry();
+
+/// Look up by either name; nullptr when unknown.
+const TrainerEntry* find_trainer(std::string_view name);
+
+/// Look up by costmodel kind (every kind is registered).
+const TrainerEntry& trainer_for(costmodel::TrainerKind kind);
 
 }  // namespace mbd::parallel

@@ -17,11 +17,7 @@
 
 namespace mbd::parallel {
 
-/// Grid shape: pr·pc must equal comm.size().
-struct GridShape {
-  int pr = 1;
-  int pc = 1;
-};
+// GridShape lives in common.hpp (shared by the trainer registry).
 
 /// Run 1.5D integrated SGD. `specs` must be all fully connected; batch must
 /// be at least pc. Neither d_out/pr nor batch/pc need divide evenly (uneven

@@ -47,8 +47,48 @@ struct StepContext {
   /// the trace (Comm::annotate_compute) so replay can measure how much
   /// communication the overlapped schedule actually hides.
   double seconds_per_flop = 0.0;
+  /// Which microbatch the current tick operates on, and how many the
+  /// iteration's schedule program runs. Degenerate (whole-minibatch)
+  /// programs always see microbatch 0 of 1.
+  std::size_t microbatch = 0;
+  std::size_t num_microbatches = 1;
+  /// True on a stage's final Bwd tick of the iteration: the point where its
+  /// accumulated ∆W is complete and any cross-rank ∆W reduction must run.
+  bool last_backward = true;
 
   void annotate(double flops) const;
+};
+
+/// One tick of a schedule program: run one stage's forward or backward on
+/// one microbatch.
+struct ScheduleTick {
+  enum class Op : std::uint8_t { Fwd, Bwd };
+  Op op = Op::Fwd;
+  std::size_t stage = 0;       ///< index into the engine's stage list
+  std::size_t microbatch = 0;  ///< which microbatch the tick operates on
+};
+
+/// The per-iteration execution program the engine interprets. Empty ticks
+/// mean the degenerate program: every stage Fwd first-to-last, then Bwd
+/// last-to-first, over the whole minibatch as microbatch 0 of 1 — exactly
+/// the classic fwd-all/bwd-all loop the six original trainers run.
+///
+/// Determinism rules (what keeps every program bitwise-reproducible):
+/// * every (stage, microbatch) pair gets exactly one Fwd and one Bwd tick;
+/// * a stage's Bwd ticks run in increasing microbatch order, so its final
+///   Bwd tick (microbatch M−1) is the fixed point where ∆W reductions fire;
+/// * weights are versioned per iteration: every tick of iteration `it`
+///   reads the weights produced by iteration `it−1`, and the accumulated
+///   gradient applies once at the end-of-iteration update tick — never
+///   "when ready".
+struct ScheduleProgram {
+  std::vector<ScheduleTick> ticks;
+  std::size_t num_microbatches = 1;
+  /// Tick index after which the iteration loss is finalized (summed over
+  /// the world when StepSchedule::sum_loss, then recorded). The default
+  /// builder puts this at the last Fwd tick so the degenerate program
+  /// matches the classic loop's loss-between-passes order.
+  std::size_t loss_tick = 0;
 };
 
 /// What a trainer tells the engine about one training step.
@@ -60,6 +100,12 @@ struct StepSchedule {
   double loss_replicas = 1;  ///< how often each partial is replicated in it
   ReduceMode mode = ReduceMode::Blocking;
   double seconds_per_flop = 0.0;  ///< see StepContext
+  /// False on ranks whose last stage yields no logits (pipeline ranks below
+  /// the tail); they still participate in the sum_loss reduction with a
+  /// zero partial.
+  bool compute_loss = true;
+  /// The iteration's tick program; empty ticks = degenerate program.
+  ScheduleProgram program;
 };
 
 /// Collects the ∆W reductions of one backward pass. Blocking mode reduces in
@@ -125,6 +171,10 @@ class EngineStage {
 
   /// Called once per iteration before the forward pass.
   virtual void begin_iteration(const StepContext& /*ctx*/) {}
+  /// Whether the stage keeps per-microbatch activation stashes and
+  /// accumulates ∆W across Bwd ticks. The engine refuses multi-microbatch
+  /// programs over stages that do not.
+  virtual bool supports_microbatching() const { return false; }
   virtual Flow forward(Flow in, const StepContext& ctx) = 0;
   /// Consumes the gradient at this stage's output, registers its ∆W
   /// reductions with `red`, returns the gradient at its input (an empty
@@ -164,6 +214,8 @@ class FcStage final : public EngineStage {
   FcStage(const Config& cfg, tensor::Matrix w);
 
   const char* name() const override { return "fc"; }
+  bool supports_microbatching() const override { return true; }
+  void begin_iteration(const StepContext& ctx) override;
   Flow forward(Flow in, const StepContext& ctx) override;
   Flow backward(Flow grad, const StepContext& ctx, GradReducer& red) override;
   void update(float lr, float momentum) override;
@@ -174,7 +226,11 @@ class FcStage final : public EngineStage {
  private:
   Config cfg_;
   tensor::Matrix w_, dw_, vel_;  // rows.size() × d_in
-  tensor::Matrix x_, y_pre_;     // forward state
+  /// Forward state, stashed per microbatch (size 1 for whole-minibatch
+  /// programs): the Bwd tick of microbatch m reads exactly its own stash.
+  std::vector<tensor::Matrix> x_, y_pre_;
+  tensor::Matrix dw_scratch_;  ///< per-microbatch ∆W before accumulation
+  bool accumulate_dw_ = false;
 };
 
 /// A whole sequential nn::Network as one stage: the batch-parallel trainer.
@@ -310,9 +366,12 @@ class RedistributeStage final : public EngineStage {
   Range group_cols_, conv_cols_;
 };
 
-/// The one training loop shared by all trainers. Stages run first-to-last
-/// forward and last-to-first backward; the gradient reducer is drained
-/// before the SGD update; parameters are collected in stage order.
+/// The one training loop shared by all trainers. Each iteration interprets
+/// the StepSchedule's tick program (degenerate fwd-all/bwd-all unless a
+/// trainer installs its own, e.g. the 1F1B pipeline); the gradient reducer
+/// is drained before the end-of-iteration SGD update — the fixed tick where
+/// every accumulated gradient applies — and parameters are collected in
+/// stage order.
 class LayerEngine {
  public:
   LayerEngine(comm::Comm& world, StepSchedule sched);
@@ -327,6 +386,8 @@ class LayerEngine {
                    const RecoveryContext* recovery = nullptr);
 
  private:
+  ScheduleProgram degenerate_program() const;
+  void validate_program(const ScheduleProgram& prog) const;
   void save_checkpoint(const RecoveryContext& rc, std::size_t next_step,
                        const std::vector<double>& losses);
   std::size_t restore_checkpoint(const RecoveryContext& rc,

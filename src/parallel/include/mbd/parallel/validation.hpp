@@ -58,4 +58,11 @@ TrafficPrediction predict_hybrid(const std::vector<nn::LayerSpec>& specs,
 TrafficPrediction predict_mixed_grid(const std::vector<nn::LayerSpec>& specs,
                                      std::size_t batch, GridShape grid);
 
+/// 1F1B pipeline over p contiguous layer groups (MLP): each of the p−1
+/// stage boundaries moves its activations forward and gradients backward,
+/// B columns per iteration regardless of the microbatch count — no
+/// collective moves a byte.
+TrafficPrediction predict_pipeline(const std::vector<nn::LayerSpec>& specs,
+                                   std::size_t batch, int p);
+
 }  // namespace mbd::parallel

@@ -54,12 +54,12 @@ std::pair<Tensor4, Tensor4> recv_halo(comm::Comm& group, const Tensor4& slab,
   Tensor4 bottom(slab.n(), slab.c(), halo, slab.w());
   if (halo == 0 || p == 1) return {std::move(top), std::move(bottom)};
   if (r > 0) {
-    auto rows = group.recv<float>(r - 1, /*tag=*/2);  // neighbour's bottom
+    const auto rows = group.recv<float>(r - 1, /*tag=*/2);  // neighbour's bottom
     MBD_CHECK_EQ(rows.size(), top.size());
     std::copy(rows.begin(), rows.end(), top.data());
   }
   if (r < p - 1) {
-    auto rows = group.recv<float>(r + 1, /*tag=*/1);  // neighbour's top
+    const auto rows = group.recv<float>(r + 1, /*tag=*/1);  // neighbour's top
     MBD_CHECK_EQ(rows.size(), bottom.size());
     std::copy(rows.begin(), rows.end(), bottom.data());
   }
@@ -209,11 +209,11 @@ Tensor4 domain_conv_backward(comm::Comm& group, DomainConvState& l,
               dnext.at(b, c, dst_h0 + hh, ww) += add.at(b, c, hh, ww);
     };
     if (r < p - 1) {
-      auto from_below = group.recv<float>(r + 1, /*tag=*/3);
+      const auto from_below = group.recv<float>(r + 1, /*tag=*/3);
       accumulate(from_below, h_loc - halo);
     }
     if (r > 0) {
-      auto from_above = group.recv<float>(r - 1, /*tag=*/4);
+      const auto from_above = group.recv<float>(r - 1, /*tag=*/4);
       accumulate(from_above, 0);
     }
   }
@@ -224,7 +224,7 @@ Tensor4 gather_slabs(comm::Comm& group, const Tensor4& slab,
                      std::size_t img_h) {
   const int p = group.size();
   // Equal slabs go through Bruck; uneven heights through ring all-gatherv.
-  auto gathered = img_h % static_cast<std::size_t>(p) == 0
+  const auto gathered = img_h % static_cast<std::size_t>(p) == 0
                       ? group.allgather(slab.span())
                       : group.allgatherv(slab.span());
   Tensor4 full(slab.n(), slab.c(), img_h, slab.w());

@@ -58,13 +58,33 @@ FcStage::FcStage(const Config& cfg, Matrix w) : cfg_(cfg), w_(std::move(w)) {
   MBD_CHECK_EQ(w_.cols(), cfg_.d_in);
   dw_ = Matrix(w_.rows(), w_.cols());
   vel_ = Matrix(w_.rows(), w_.cols());
+  x_.resize(1);
+  y_pre_.resize(1);
+}
+
+void FcStage::begin_iteration(const StepContext& ctx) {
+  if (x_.size() != ctx.num_microbatches) {
+    x_.resize(ctx.num_microbatches);
+    y_pre_.resize(ctx.num_microbatches);
+  }
+  // With one microbatch the iteration's single Bwd tick overwrites dw_ (the
+  // classic path, kept byte-for-byte); with several each tick adds its
+  // partial into dw_, so the buffer starts the iteration zeroed.
+  accumulate_dw_ = ctx.num_microbatches > 1;
+  if (accumulate_dw_) {
+    std::fill(dw_.span().begin(), dw_.span().end(), 0.0f);
+    if (dw_scratch_.rows() != dw_.rows())
+      dw_scratch_ = Matrix(dw_.rows(), dw_.cols());
+  }
 }
 
 Flow FcStage::forward(Flow in, const StepContext& ctx) {
-  x_ = std::move(in.as_matrix());
-  MBD_CHECK_EQ(x_.rows(), cfg_.d_in);
-  const std::size_t b = x_.cols();
-  Matrix y_local = tensor::matmul(w_, x_);  // rows.size() × b
+  Matrix& x = x_[ctx.microbatch];
+  Matrix& y_pre = y_pre_[ctx.microbatch];
+  x = std::move(in.as_matrix());
+  MBD_CHECK_EQ(x.rows(), cfg_.d_in);
+  const std::size_t b = x.cols();
+  Matrix y_local = tensor::matmul(w_, x);  // rows.size() × b
   ctx.annotate(2.0 * static_cast<double>(w_.rows() * w_.cols() * b));
   if (cfg_.model_group) {
     // All-gather the row blocks into the full Y (Fig. 1 / Fig. 5 top): Bruck
@@ -73,25 +93,26 @@ Flow FcStage::forward(Flow in, const StepContext& ctx) {
     auto gathered = cfg_.d_out % pr == 0
                         ? cfg_.model_group->allgather(y_local.span())
                         : cfg_.model_group->allgatherv(y_local.span());
-    y_pre_ = Matrix::from_data(cfg_.d_out, b, std::move(gathered));
+    y_pre = Matrix::from_data(cfg_.d_out, b, std::move(gathered));
   } else {
-    y_pre_ = std::move(y_local);
+    y_pre = std::move(y_local);
   }
   if (cfg_.relu_after) {
     Matrix y(cfg_.d_out, b);
-    tensor::relu_forward(y_pre_.span(), y.span());
+    tensor::relu_forward(y_pre.span(), y.span());
     return Flow::from_matrix(std::move(y));
   }
-  return Flow::from_matrix(y_pre_);
+  return Flow::from_matrix(y_pre);
 }
 
 Flow FcStage::backward(Flow grad, const StepContext& ctx, GradReducer& red) {
-  const std::size_t b = x_.cols();
+  const Matrix& x = x_[ctx.microbatch];
+  const std::size_t b = x.cols();
   Matrix dy_pre;
   if (cfg_.relu_after) {
     dy_pre = Matrix(cfg_.d_out, b);
-    tensor::relu_backward(y_pre_.span(), grad.as_matrix().span(),
-                          dy_pre.span());
+    tensor::relu_backward(y_pre_[ctx.microbatch].span(),
+                          grad.as_matrix().span(), dy_pre.span());
   } else {
     dy_pre = std::move(grad.as_matrix());
   }
@@ -103,6 +124,20 @@ Flow FcStage::backward(Flow grad, const StepContext& ctx, GradReducer& red) {
   }
   const double gemm_flops =
       2.0 * static_cast<double>(w_.rows() * w_.cols() * b);
+  // ∆W of this microbatch: overwrite dw_ directly in the one-microbatch
+  // program, accumulate through the scratch buffer otherwise. The cross-rank
+  // ∆W reduction fires only on the stage's final Bwd tick, when the
+  // accumulated gradient is complete.
+  const auto dw_gemm = [&] {
+    if (!accumulate_dw_) {
+      tensor::gemm_nt(*dy_block, x, dw_);
+    } else {
+      tensor::gemm_nt(*dy_block, x, dw_scratch_);
+      tensor::axpy(1.0f, dw_scratch_.span(), dw_.span());
+    }
+  };
+  const bool reduce_dw = cfg_.batch_group && cfg_.batch_group->size() > 1 &&
+                         ctx.last_backward;
 
   const bool reduce_dx =
       cfg_.compute_dx && cfg_.model_group && cfg_.model_group->size() > 1;
@@ -115,10 +150,9 @@ Flow FcStage::backward(Flow grad, const StepContext& ctx, GradReducer& red) {
     ctx.annotate(gemm_flops);
     comm::CollectiveHandle dx_reduce =
         cfg_.model_group->iallreduce(dxl.span());
-    tensor::gemm_nt(*dy_block, x_, dw_);
+    dw_gemm();
     ctx.annotate(gemm_flops);
-    if (cfg_.batch_group && cfg_.batch_group->size() > 1)
-      red.allreduce(*cfg_.batch_group, dw_.span());
+    if (reduce_dw) red.allreduce(*cfg_.batch_group, dw_.span());
     dx_reduce.wait();
     return Flow::from_matrix(std::move(dxl));
   }
@@ -126,10 +160,9 @@ Flow FcStage::backward(Flow grad, const StepContext& ctx, GradReducer& red) {
   // Blocking schedule: ∆W (partial over local columns, reduced over the
   // batch group), then ∆X (partial over owned rows, reduced over the model
   // group).
-  tensor::gemm_nt(*dy_block, x_, dw_);
+  dw_gemm();
   ctx.annotate(gemm_flops);
-  if (cfg_.batch_group && cfg_.batch_group->size() > 1)
-    red.allreduce(*cfg_.batch_group, dw_.span());
+  if (reduce_dw) red.allreduce(*cfg_.batch_group, dw_.span());
   if (!cfg_.compute_dx) return {};
   Matrix dxl = tensor::matmul_tn(w_, *dy_block);
   ctx.annotate(gemm_flops);
@@ -157,7 +190,8 @@ void FcStage::collect_params(std::vector<float>& out) {
     return;
   }
   const auto pr = static_cast<std::size_t>(cfg_.model_group->size());
-  auto full = cfg_.d_out % pr == 0 ? cfg_.model_group->allgather(w_.span())
+  const auto full =
+      cfg_.d_out % pr == 0 ? cfg_.model_group->allgather(w_.span())
                                    : cfg_.model_group->allgatherv(w_.span());
   out.insert(out.end(), full.begin(), full.end());
 }
@@ -191,7 +225,7 @@ Flow NetworkStage::backward(Flow grad, const StepContext& ctx,
   ctx.annotate(4.0 * macs_per_sample_ * b);
   // The defining communication step: ring all-reduce of every ∆W.
   for (std::size_t li = 0; li < net_.num_layers(); ++li) {
-    auto g = net_.layer(li).grads();
+    const auto g = net_.layer(li).grads();
     if (!g.empty()) red.allreduce(*reduce_group_, g);
   }
   return Flow::from_matrix(std::move(din));
@@ -250,7 +284,7 @@ Flow ConvStackStage::backward(Flow grad, const StepContext& ctx,
     dx = (*it)->backward(dx);
   ctx.annotate(4.0 * macs_per_sample_ * b);
   for (auto& l : layers_) {
-    auto g = l->grads();
+    const auto g = l->grads();
     if (!g.empty()) red.allreduce(*reduce_group_, g);
   }
   return Flow::from_matrix(std::move(dx));
@@ -264,7 +298,7 @@ void ConvStackStage::update(float lr, float momentum) {
 
 void ConvStackStage::collect_params(std::vector<float>& out) {
   for (auto& l : layers_) {
-    auto w = l->weights();
+    const auto w = l->weights();
     out.insert(out.end(), w.begin(), w.end());
   }
 }
@@ -391,7 +425,7 @@ Flow RedistributeStage::forward(Flow in, const StepContext& ctx) {
   // reassemble them in batch-column order (block j·Pr + i of the canonical
   // P-way partition tiles this group's B/Pc column range exactly).
   Matrix x_group(d_out_, group_cols_.size());
-  auto gathered = model_group_->allgatherv(x.span());
+  const auto gathered = model_group_->allgatherv(x.span());
   MBD_CHECK_EQ(gathered.size(), d_out_ * group_cols_.size());
   std::size_t at = 0, col_at = 0;
   for (int m = 0; m < pr_; ++m) {
@@ -449,7 +483,7 @@ void LayerEngine::save_checkpoint(const RecoveryContext& rc,
 
 std::size_t LayerEngine::restore_checkpoint(const RecoveryContext& rc,
                                             std::vector<double>& losses) {
-  std::vector<float> state = rc.store->state(world_->rank());
+  const std::vector<float> state = rc.store->state(world_->rank());
   std::span<const float> in(state);
   for (auto& s : stages_) s->restore_state(in);
   MBD_CHECK_MSG(in.empty(), "checkpoint state has " << in.size()
@@ -458,10 +492,66 @@ std::size_t LayerEngine::restore_checkpoint(const RecoveryContext& rc,
   return rc.store->step();
 }
 
+ScheduleProgram LayerEngine::degenerate_program() const {
+  // The classic loop as a program: every stage Fwd first-to-last, then Bwd
+  // last-to-first, whole minibatch as microbatch 0 of 1. Loss finalizes at
+  // the last Fwd tick — between the passes, exactly where the original
+  // implicit loop evaluated it.
+  ScheduleProgram prog;
+  prog.num_microbatches = 1;
+  prog.ticks.reserve(2 * stages_.size());
+  for (std::size_t s = 0; s < stages_.size(); ++s)
+    prog.ticks.push_back({ScheduleTick::Op::Fwd, s, 0});
+  prog.loss_tick = prog.ticks.size() - 1;
+  for (std::size_t s = stages_.size(); s-- > 0;)
+    prog.ticks.push_back({ScheduleTick::Op::Bwd, s, 0});
+  return prog;
+}
+
+void LayerEngine::validate_program(const ScheduleProgram& prog) const {
+  const std::size_t m = prog.num_microbatches;
+  MBD_CHECK_GT(m, 0u);
+  MBD_CHECK_EQ(prog.ticks.size(), 2 * stages_.size() * m);
+  MBD_CHECK_LT(prog.loss_tick, prog.ticks.size());
+  if (m > 1) {
+    for (const auto& s : stages_)
+      MBD_CHECK_MSG(s->supports_microbatching(),
+                    "stage '" << s->name()
+                              << "' cannot run a multi-microbatch program");
+  }
+  // Exactly one Fwd and one Bwd tick per (stage, microbatch); a stage's Bwd
+  // ticks in increasing microbatch order (the ∆W-completion rule).
+  std::vector<std::size_t> fwd_seen(stages_.size() * m, 0);
+  std::vector<std::size_t> bwd_seen(stages_.size() * m, 0);
+  std::vector<std::size_t> bwd_next(stages_.size(), 0);
+  for (const auto& t : prog.ticks) {
+    MBD_CHECK_LT(t.stage, stages_.size());
+    MBD_CHECK_LT(t.microbatch, m);
+    const std::size_t key = t.stage * m + t.microbatch;
+    if (t.op == ScheduleTick::Op::Fwd) {
+      ++fwd_seen[key];
+    } else {
+      MBD_CHECK_EQ(t.microbatch, bwd_next[t.stage]);
+      ++bwd_next[t.stage];
+      ++bwd_seen[key];
+    }
+  }
+  for (std::size_t key = 0; key < fwd_seen.size(); ++key) {
+    MBD_CHECK_EQ(fwd_seen[key], 1u);
+    MBD_CHECK_EQ(bwd_seen[key], 1u);
+  }
+}
+
 DistResult LayerEngine::train(const nn::Dataset& data,
                               const nn::TrainConfig& cfg,
                               const RecoveryContext* recovery) {
   MBD_CHECK(!stages_.empty());
+  const ScheduleProgram prog = sched_.program.ticks.empty()
+                                   ? degenerate_program()
+                                   : sched_.program;
+  validate_program(prog);
+  const std::size_t num_mb = prog.num_microbatches;
+  const std::size_t last_stage = stages_.size() - 1;
   const bool labels_match =
       sched_.label_cols.lo == sched_.input_cols.lo &&
       sched_.label_cols.hi == sched_.input_cols.hi;
@@ -486,35 +576,79 @@ DistResult LayerEngine::train(const nn::Dataset& data,
 
     BatchSlice in = batch_slice(data, start + sched_.input_cols.lo,
                                 sched_.input_cols.size());
-    std::vector<int> labels =
+    const std::vector<int> labels =
         labels_match ? std::move(in.labels)
                      : batch_slice(data, start + sched_.label_cols.lo,
                                    sched_.label_cols.size())
                            .labels;
 
+    ctx.num_microbatches = num_mb;
     for (auto& s : stages_) s->begin_iteration(ctx);
-    Flow f = Flow::from_matrix(std::move(in.inputs));
-    for (auto& s : stages_) {
-      obs::ScopedSpan span(obs::SpanKind::StageFwd, s->name());
-      span.set_args(it, 0);
-      f = s->forward(std::move(f), ctx);
+
+    // Microbatch m's forward chain starts on its column block of this
+    // rank's input slice; the one-microbatch program feeds the whole slice
+    // unsliced (the classic path, no extra copy).
+    std::vector<Flow> fwd(num_mb);
+    std::vector<Flow> bwd(num_mb);
+    if (num_mb == 1) {
+      fwd[0] = Flow::from_matrix(std::move(in.inputs));
+    } else {
+      for (std::size_t m = 0; m < num_mb; ++m) {
+        const Range mb = block_range(sched_.input_cols.size(),
+                                     static_cast<int>(num_mb),
+                                     static_cast<int>(m));
+        fwd[m] = Flow::from_matrix(in.inputs.col_block(mb.lo, mb.hi));
+      }
     }
 
-    // Loss over this rank's columns; the gradient is already scaled by 1/B
-    // (global), so the ∆W reductions recover the full mini-batch gradient.
-    const nn::LossResult lr =
-        nn::softmax_cross_entropy(f.as_matrix(), labels, cfg.batch);
-    double loss = lr.loss_sum;
-    if (sched_.sum_loss) loss = sum_scalar(*world_, loss);
-    result.losses.push_back(loss / sched_.loss_replicas /
-                            static_cast<double>(cfg.batch));
-
     GradReducer red(sched_.mode);
-    Flow g = Flow::from_matrix(lr.dlogits);
-    for (std::size_t si = stages_.size(); si-- > 0;) {
-      obs::ScopedSpan span(obs::SpanKind::StageBwd, stages_[si]->name());
-      span.set_args(it, 0);
-      g = stages_[si]->backward(std::move(g), ctx, red);
+    double loss_sum = 0.0;
+    for (std::size_t ti = 0; ti < prog.ticks.size(); ++ti) {
+      const ScheduleTick& tick = prog.ticks[ti];
+      const std::size_t m = tick.microbatch;
+      ctx.microbatch = m;
+      ctx.last_backward = m == num_mb - 1;
+      EngineStage& stage = *stages_[tick.stage];
+      if (tick.op == ScheduleTick::Op::Fwd) {
+        {
+          obs::ScopedSpan span(obs::SpanKind::StageFwd, stage.name());
+          span.set_args(it, m);
+          fwd[m] = stage.forward(std::move(fwd[m]), ctx);
+        }
+        if (tick.stage == last_stage && sched_.compute_loss) {
+          // Loss over this microbatch's columns; the gradient is already
+          // scaled by 1/B (global), so the accumulated ∆W reductions
+          // recover the full mini-batch gradient.
+          const std::vector<int> mb_labels =
+              num_mb == 1 ? std::vector<int>()
+                          : [&] {
+                              const Range r = block_range(
+                                  sched_.label_cols.size(),
+                                  static_cast<int>(num_mb),
+                                  static_cast<int>(m));
+                              return std::vector<int>(
+                                  labels.begin() +
+                                      static_cast<std::ptrdiff_t>(r.lo),
+                                  labels.begin() +
+                                      static_cast<std::ptrdiff_t>(r.hi));
+                            }();
+          const nn::LossResult lr = nn::softmax_cross_entropy(
+              fwd[m].as_matrix(), num_mb == 1 ? labels : mb_labels,
+              cfg.batch);
+          loss_sum += lr.loss_sum;
+          bwd[m] = Flow::from_matrix(lr.dlogits);
+        }
+      } else {
+        obs::ScopedSpan span(obs::SpanKind::StageBwd, stage.name());
+        span.set_args(it, m);
+        bwd[m] = stage.backward(std::move(bwd[m]), ctx, red);
+      }
+      if (ti == prog.loss_tick) {
+        double loss = loss_sum;
+        if (sched_.sum_loss) loss = sum_scalar(*world_, loss);
+        result.losses.push_back(loss / sched_.loss_replicas /
+                                static_cast<double>(cfg.batch));
+      }
     }
     // No polling between stages: each handle's receives run inside drain(),
     // in initiation order, so the recorded trace is a deterministic program

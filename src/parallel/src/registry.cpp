@@ -1,0 +1,107 @@
+// The one trainer table. Sweep tools (mbd_analyze, mbd_launch, obs_smoke)
+// and the analyzer's extraction dispatch iterate this registry instead of
+// keeping their own trainer lists.
+#include <array>
+
+#include "mbd/parallel/batch_parallel.hpp"
+#include "mbd/parallel/common.hpp"
+#include "mbd/parallel/domain_parallel.hpp"
+#include "mbd/parallel/hybrid.hpp"
+#include "mbd/parallel/integrated.hpp"
+#include "mbd/parallel/mixed_grid.hpp"
+#include "mbd/parallel/model_parallel.hpp"
+#include "mbd/parallel/pipeline.hpp"
+#include "mbd/support/check.hpp"
+
+namespace mbd::parallel {
+namespace {
+
+using costmodel::TrainerKind;
+
+DistResult run_model(comm::Comm& c, const TrainerOptions& o,
+                     const std::vector<nn::LayerSpec>& specs,
+                     const nn::Dataset& data, const nn::TrainConfig& cfg) {
+  return train_model_parallel(c, specs, data, cfg, o.seed, o.mode, o.recovery,
+                              o.seconds_per_flop);
+}
+
+DistResult run_batch(comm::Comm& c, const TrainerOptions& o,
+                     const std::vector<nn::LayerSpec>& specs,
+                     const nn::Dataset& data, const nn::TrainConfig& cfg) {
+  return train_batch_parallel(c, specs, data, cfg,
+                              nn::BuildOptions{.seed = o.seed}, o.mode,
+                              o.recovery, o.seconds_per_flop);
+}
+
+DistResult run_integrated(comm::Comm& c, const TrainerOptions& o,
+                          const std::vector<nn::LayerSpec>& specs,
+                          const nn::Dataset& data, const nn::TrainConfig& cfg) {
+  return train_integrated_15d(c, o.grid, specs, data, cfg, o.seed, o.mode,
+                              o.seconds_per_flop, o.recovery);
+}
+
+DistResult run_mixed(comm::Comm& c, const TrainerOptions& o,
+                     const std::vector<nn::LayerSpec>& specs,
+                     const nn::Dataset& data, const nn::TrainConfig& cfg) {
+  return train_mixed_grid(c, o.grid, specs, data, cfg, o.seed, o.mode,
+                          o.recovery, o.seconds_per_flop);
+}
+
+DistResult run_domain(comm::Comm& c, const TrainerOptions& o,
+                      const std::vector<nn::LayerSpec>& specs,
+                      const nn::Dataset& data, const nn::TrainConfig& cfg) {
+  return train_domain_parallel(c, specs, data, cfg, o.seed,
+                               /*overlap_halo=*/false, o.mode, o.recovery,
+                               o.seconds_per_flop);
+}
+
+DistResult run_hybrid(comm::Comm& c, const TrainerOptions& o,
+                      const std::vector<nn::LayerSpec>& specs,
+                      const nn::Dataset& data, const nn::TrainConfig& cfg) {
+  return train_hybrid(c, o.grid, specs, data, cfg, o.seed,
+                      /*overlap_halo=*/false, o.mode, o.recovery,
+                      o.seconds_per_flop);
+}
+
+DistResult run_pipeline(comm::Comm& c, const TrainerOptions& o,
+                        const std::vector<nn::LayerSpec>& specs,
+                        const nn::Dataset& data, const nn::TrainConfig& cfg) {
+  return train_pipeline(c, specs, data, cfg, o.microbatches, o.seed, o.mode,
+                        o.recovery, o.seconds_per_flop);
+}
+
+constexpr std::array<TrainerEntry, 7> kRegistry{{
+    {TrainerKind::ModelParallel, "model", "model", TrainerWorkload::Mlp,
+     run_model},
+    {TrainerKind::BatchParallel, "batch", "batch", TrainerWorkload::Mlp,
+     run_batch},
+    {TrainerKind::Integrated15D, "integrated", "integrated_15d",
+     TrainerWorkload::Mlp, run_integrated},
+    {TrainerKind::MixedGrid, "mixed", "mixed_grid", TrainerWorkload::ConvPool,
+     run_mixed},
+    {TrainerKind::DomainParallel, "domain", "domain",
+     TrainerWorkload::ConvHalo, run_domain},
+    {TrainerKind::Hybrid, "hybrid", "hybrid", TrainerWorkload::ConvHalo,
+     run_hybrid},
+    {TrainerKind::Pipeline, "pipeline", "pipeline", TrainerWorkload::DeepMlp,
+     run_pipeline},
+}};
+
+}  // namespace
+
+std::span<const TrainerEntry> trainer_registry() { return kRegistry; }
+
+const TrainerEntry* find_trainer(std::string_view name) {
+  for (const TrainerEntry& e : kRegistry)
+    if (e.name == name || e.launch_name == name) return &e;
+  return nullptr;
+}
+
+const TrainerEntry& trainer_for(costmodel::TrainerKind kind) {
+  for (const TrainerEntry& e : kRegistry)
+    if (e.kind == kind) return e;
+  MBD_CHECK(false);
+  return kRegistry[0];
+}
+
+}  // namespace mbd::parallel

@@ -170,4 +170,19 @@ TrafficPrediction predict_mixed_grid(const std::vector<nn::LayerSpec>& specs,
   return t;
 }
 
+TrafficPrediction predict_pipeline(const std::vector<nn::LayerSpec>& specs,
+                                   std::size_t batch, int p) {
+  TrafficPrediction t;
+  const std::size_t num_layers = specs.size();
+  MBD_CHECK_LE(static_cast<std::size_t>(p), num_layers);
+  // Boundary k/k+1 carries the output of rank k's last owned layer: B
+  // activation columns forward plus B gradient columns backward.
+  for (int k = 0; k + 1 < p; ++k) {
+    const std::size_t hi = (num_layers * static_cast<std::size_t>(k + 1)) /
+                           static_cast<std::size_t>(p);
+    t.p2p_bytes += 2 * specs[hi - 1].fc_out * batch * sizeof(float);
+  }
+  return t;
+}
+
 }  // namespace mbd::parallel

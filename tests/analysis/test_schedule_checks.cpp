@@ -149,6 +149,29 @@ TEST(ScheduleChecks, HeadToHeadBlockingRecvsDeadlock) {
   EXPECT_EQ(v[1].rank, 1);
 }
 
+TEST(ScheduleChecks, PipelineBubbleDeadlockIsFlaggedAtExactOp) {
+  // A mis-scheduled two-stage pipeline: the head stage stalls the steady
+  // state by demanding microbatch 1's gradient (tag 3) before sending
+  // microbatch 1's activation (tag 2), while the tail blocks receiving that
+  // very activation before it could ever produce the gradient. Rank 0's op 0
+  // and rank 1's op 0 complete (microbatch 0's activation flows); both ranks
+  // then stall at op 1 — the checker must name exactly that op on each.
+  ScheduleRecording rec(2);
+  rec.ranks[0].events = {send_ev(9, 1, /*fwd mb0*/ 0, 48),
+                         recv_ev(9, 1, /*bwd mb1*/ 3, 48),
+                         send_ev(9, 1, /*fwd mb1*/ 2, 48)};
+  rec.ranks[1].events = {recv_ev(9, 0, /*fwd mb0*/ 0, 48),
+                         recv_ev(9, 0, /*fwd mb1*/ 2, 48),
+                         send_ev(9, 0, /*bwd mb1*/ 3, 48)};
+  const auto v = check_deadlock_free(rec);
+  ASSERT_EQ(v.size(), 2u);
+  for (const auto& viol : v) EXPECT_EQ(viol.kind, ViolationKind::Deadlock);
+  EXPECT_EQ(v[0].rank, 0);
+  EXPECT_EQ(v[0].op_index, 1u);
+  EXPECT_EQ(v[1].rank, 1);
+  EXPECT_EQ(v[1].op_index, 1u);
+}
+
 TEST(ScheduleChecks, UnconsumedMessageIsFlaggedAtSendIndex) {
   ScheduleRecording rec(2);
   rec.ranks[0].events = {send_ev(3, 1, 1, 16), send_ev(3, 1, 2, 24)};

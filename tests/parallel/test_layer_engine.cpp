@@ -24,6 +24,7 @@
 #include "mbd/parallel/integrated.hpp"
 #include "mbd/parallel/mixed_grid.hpp"
 #include "mbd/parallel/model_parallel.hpp"
+#include "mbd/parallel/pipeline.hpp"
 #include "mbd/parallel/validation.hpp"
 #include "parallel_test_util.hpp"
 
@@ -247,6 +248,60 @@ TEST(LayerEngine, MixedGridBothModesUnevenBatch) {
   const auto ref = run_reference(specs, data, cfg);
   expect_losses_close(blocking.res.losses, ref.losses);
   expect_params_close(blocking.res.params, ref.params);
+}
+
+TEST(LayerEngine, PipelineBothModesUnevenStagesAndMicrobatches) {
+  // Five layers over four stages (one rank owns two) and 3 ∤ 10 batch
+  // columns, so both the layer blocks and the microbatch slices are uneven.
+  const auto specs = nn::mlp_spec({12, 21, 17, 13, 11, 10});
+  const auto data = nn::make_synthetic_dataset(12, 10, 48, 5);
+  const auto cfg = config(10, 3);
+  const int p = 4;
+  const std::size_t microbatches = 3;
+  auto fn = [&](comm::Comm& c, std::size_t iters, ReduceMode mode) {
+    auto c2 = cfg;
+    c2.iterations = iters;
+    return train_pipeline(c, specs, data, c2, microbatches, 42, mode);
+  };
+  const ModeRun blocking = run_mode(p, ReduceMode::Blocking, fn);
+  const ModeRun overlapped = run_mode(p, ReduceMode::Overlapped, fn);
+  expect_modes_equivalent(blocking, overlapped);
+  const auto predicted = predict_pipeline(specs, cfg.batch, p);
+  EXPECT_EQ(predicted.allreduce_bytes, 0u);
+  EXPECT_EQ(predicted.allgather_bytes, 0u);
+  expect_predicted(blocking, predicted, "blocking");
+  expect_predicted(overlapped, predicted, "overlapped");
+  const auto ref = run_reference(specs, data, cfg);
+  expect_losses_close(blocking.res.losses, ref.losses);
+  expect_params_close(blocking.res.params, ref.params);
+}
+
+TEST(LayerEngine, PipelineTrafficIndependentOfMicrobatchCount) {
+  // The 1F1B boundary traffic is B columns per boundary per iteration no
+  // matter how B is sliced; only the message count grows with M.
+  const auto specs = nn::mlp_spec({12, 21, 17, 13, 11, 10});
+  const auto data = nn::make_synthetic_dataset(12, 10, 48, 5);
+  const auto cfg = config(10, 3);
+  const int p = 4;
+  const auto run_m = [&](std::size_t microbatches) {
+    return run_mode(p, ReduceMode::Blocking,
+                    [&](comm::Comm& c, std::size_t iters, ReduceMode mode) {
+                      auto c2 = cfg;
+                      c2.iterations = iters;
+                      return train_pipeline(c, specs, data, c2, microbatches,
+                                            42, mode);
+                    });
+  };
+  const ModeRun m1 = run_m(1);
+  const ModeRun m5 = run_m(5);
+  const auto predicted = predict_pipeline(specs, cfg.batch, p);
+  expect_predicted(m1, predicted, "one microbatch");
+  expect_predicted(m5, predicted, "five microbatches");
+  EXPECT_EQ(per_iteration(m5, comm::Coll::PointToPoint).messages,
+            5 * per_iteration(m1, comm::Coll::PointToPoint).messages);
+  // Same optimisation problem, different gradient-accumulation order.
+  expect_losses_close(m1.res.losses, m5.res.losses);
+  expect_params_close(m1.res.params, m5.res.params);
 }
 
 /// Records a traced 1.5D run with modeled GEMM times in the given mode.

@@ -1,5 +1,6 @@
-// Checkpoint/restart recovery (mbd/parallel/recovery.hpp): every trainer ×
-// both ReduceModes survives an injected mid-run RankFailure under
+// Checkpoint/restart recovery (mbd/parallel/recovery.hpp): every trainer
+// (the 1F1B pipeline included) × both ReduceModes survives an injected
+// mid-run RankFailure under
 // World::run_restartable and produces bitwise-identical losses and final
 // weights to the uninterrupted run. Also: crash-before-first-checkpoint
 // restarts from scratch, recovery is deterministic in the fault plan seed,
@@ -18,6 +19,7 @@
 #include "mbd/parallel/integrated.hpp"
 #include "mbd/parallel/mixed_grid.hpp"
 #include "mbd/parallel/model_parallel.hpp"
+#include "mbd/parallel/pipeline.hpp"
 #include "parallel_test_util.hpp"
 
 namespace mbd::parallel {
@@ -25,7 +27,15 @@ namespace {
 
 constexpr int kP = 4;
 
-enum class TrainerKind { Batch, Model, Integrated, MixedGrid, Domain, Hybrid };
+enum class TrainerKind {
+  Batch,
+  Model,
+  Integrated,
+  MixedGrid,
+  Domain,
+  Hybrid,
+  Pipeline
+};
 
 const char* trainer_name(TrainerKind k) {
   switch (k) {
@@ -35,6 +45,7 @@ const char* trainer_name(TrainerKind k) {
     case TrainerKind::MixedGrid: return "MixedGrid";
     case TrainerKind::Domain: return "Domain";
     case TrainerKind::Hybrid: return "Hybrid";
+    case TrainerKind::Pipeline: return "Pipeline";
   }
   return "?";
 }
@@ -78,6 +89,12 @@ Problem problem_for(TrainerKind k) {
       p.specs = nn::small_cnn_spec(2, 8, 8);
       p.data = nn::make_synthetic_dataset(2 * 8 * 8, 8, 40, /*seed=*/23);
       break;
+    case TrainerKind::Pipeline:
+      // One FC layer per stage on kP ranks; two microbatches keep activation
+      // stashes and in-flight boundary sends alive at the crash point.
+      p.specs = nn::mlp_spec({12, 14, 12, 10, 8});
+      p.data = nn::make_synthetic_dataset(12, 8, 40, /*seed=*/23);
+      break;
   }
   return p;
 }
@@ -104,6 +121,9 @@ DistResult run_trainer(comm::Comm& c, TrainerKind k, const Problem& p,
     case TrainerKind::Hybrid:
       return train_hybrid(c, {2, 2}, p.specs, p.data, p.cfg, /*seed=*/42,
                           /*overlap_halo=*/false, mode, rc);
+    case TrainerKind::Pipeline:
+      return train_pipeline(c, p.specs, p.data, p.cfg, /*microbatches=*/2,
+                            /*seed=*/42, mode, rc);
   }
   MBD_CHECK(false);
   return {};
@@ -203,7 +223,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          TrainerKind::Integrated,
                                          TrainerKind::MixedGrid,
                                          TrainerKind::Domain,
-                                         TrainerKind::Hybrid),
+                                         TrainerKind::Hybrid,
+                                         TrainerKind::Pipeline),
                        ::testing::Values(ReduceMode::Blocking,
                                          ReduceMode::Overlapped)),
     [](const auto& info) {

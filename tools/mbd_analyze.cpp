@@ -15,6 +15,7 @@
 
 #include "mbd/analysis/report.hpp"
 #include "mbd/nn/models.hpp"
+#include "mbd/parallel/common.hpp"
 #include "mbd/support/check.hpp"
 #include "mbd/support/cli.hpp"
 
@@ -25,43 +26,64 @@ using mbd::analysis::AnalyzerConfig;
 using mbd::costmodel::TrainerKind;
 using mbd::parallel::GridShape;
 using mbd::parallel::ReduceMode;
+using mbd::parallel::TrainerWorkload;
 
 struct SweepCase {
   TrainerKind kind;
   std::vector<mbd::nn::LayerSpec> specs;
   std::size_t batch;
+  std::size_t microbatches = 1;  ///< pipeline only
 };
 
-// The sweep matrix: every trainer on at least one even and (where the
-// trainer supports it) one uneven-partition network, so both the Bruck
-// all-gather and the ring all-gatherv paths are exercised.
-std::vector<SweepCase> sweep_cases() {
+// Per-workload networks: at least one even and one uneven-partition shape
+// where the trainer class supports it, so both the Bruck all-gather and the
+// ring all-gatherv paths (and, for the pipeline, even and uneven layer
+// blocks with distinct microbatch counts) are exercised.
+struct Workload {
+  std::vector<mbd::nn::LayerSpec> specs;
+  std::size_t batch;
+  std::size_t microbatches = 1;
+};
+
+std::vector<Workload> workloads_for(TrainerWorkload w) {
   using mbd::nn::conv_spec;
   using mbd::nn::fc_spec;
-  const std::vector<mbd::nn::LayerSpec> mlp_even =
-      mbd::nn::mlp_spec({10, 24, 12, 12});
-  // 23/11 divide by none of the grid extents; batch 18 splits unevenly at
-  // pc=4 — stresses the allgatherv and uneven ring-block closed forms.
-  const std::vector<mbd::nn::LayerSpec> mlp_uneven =
-      mbd::nn::mlp_spec({10, 23, 11, 12});
-  const std::vector<mbd::nn::LayerSpec> conv_net = {
-      conv_spec("c1", 2, 8, 8, 4, 3, 1, 1),
-      conv_spec("c2", 4, 8, 8, 4, 3, 1, 1),
-      fc_spec("f1", 4 * 8 * 8, 16),
-      fc_spec("f2", 16, 8, /*relu=*/false),
-  };
-  const std::vector<mbd::nn::LayerSpec> cnn = mbd::nn::small_cnn_spec(2, 8, 8);
+  switch (w) {
+    case TrainerWorkload::Mlp:
+      // 23/11 divide by none of the grid extents; batch 18 splits unevenly
+      // at pc=4 — stresses the allgatherv and uneven ring-block forms.
+      return {{mbd::nn::mlp_spec({10, 24, 12, 12}), 16},
+              {mbd::nn::mlp_spec({10, 23, 11, 12}), 18}};
+    case TrainerWorkload::DeepMlp:
+      // Eight layers so every sweep grid (P up to 8) meets the pipeline's
+      // one-layer-per-stage floor; the uneven shape also makes the layer
+      // blocks uneven at P=6.
+      return {{mbd::nn::mlp_spec({10, 24, 20, 18, 16, 14, 12, 12, 12}), 16,
+               /*microbatches=*/2},
+              {mbd::nn::mlp_spec({10, 23, 19, 17, 15, 13, 11, 11, 12}), 18,
+               /*microbatches=*/4}};
+    case TrainerWorkload::ConvHalo:
+      return {{{conv_spec("c1", 2, 8, 8, 4, 3, 1, 1),
+                conv_spec("c2", 4, 8, 8, 4, 3, 1, 1),
+                fc_spec("f1", 4 * 8 * 8, 16),
+                fc_spec("f2", 16, 8, /*relu=*/false)},
+               8}};
+    case TrainerWorkload::ConvPool:
+      return {{mbd::nn::small_cnn_spec(2, 8, 8), 16}};
+  }
+  MBD_CHECK(false);
+  return {};
+}
 
-  return {
-      {TrainerKind::BatchParallel, mlp_even, 16},
-      {TrainerKind::ModelParallel, mlp_even, 16},
-      {TrainerKind::ModelParallel, mlp_uneven, 18},
-      {TrainerKind::Integrated15D, mlp_even, 16},
-      {TrainerKind::Integrated15D, mlp_uneven, 18},
-      {TrainerKind::DomainParallel, conv_net, 8},
-      {TrainerKind::Hybrid, conv_net, 8},
-      {TrainerKind::MixedGrid, cnn, 16},
-  };
+// The sweep matrix, driven by the trainer registry: every registered
+// trainer over every network of its workload class.
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const mbd::parallel::TrainerEntry& e : mbd::parallel::trainer_registry())
+    for (Workload& w : workloads_for(e.workload))
+      cases.push_back(
+          {e.kind, std::move(w.specs), w.batch, w.microbatches});
+  return cases;
 }
 
 bool kind_matches(TrainerKind k, const std::string& filter) {
@@ -79,7 +101,7 @@ int main(int argc, char** argv) {
   args.add_int("seed", 42, "weight-init / dataset seed");
   args.add_string("trainer", "all",
                   "restrict to one trainer: batch, model, integrated, "
-                  "domain, hybrid, mixed");
+                  "domain, hybrid, mixed, pipeline");
   args.add_string("mode", "both",
                   "reduction schedule: blocking, overlapped, both");
   args.add_string("json", "", "write the JSON report to this file");
@@ -118,6 +140,7 @@ int main(int argc, char** argv) {
           cfg.iterations = static_cast<std::size_t>(args.get_int("iterations"));
           cfg.mode = mode;
           cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+          cfg.microbatches = sc.microbatches;
           report.cases.push_back(mbd::analysis::analyze_case(cfg));
         }
       }

@@ -1,4 +1,5 @@
-// mbd_launch: multi-process runner for the six trainers over TCP loopback.
+// mbd_launch: multi-process runner for the registered trainers over TCP
+// loopback.
 //
 // Parent mode forks one process per rank (re-exec'ing this binary with
 // --worker), each worker binds an ephemeral 127.0.0.1 port, publishes
@@ -15,7 +16,8 @@
 //   diff -r tcp_out thread_out
 //
 // is the bitwise cross-transport equivalence check the multi-process CI job
-// gates on: all six trainers, both ReduceModes, same seeds.
+// gates on: every registry trainer (pipeline included), both ReduceModes,
+// same seeds.
 //
 // Exit codes: 0 = sweep complete, 1 = a rank failed, 2 = bad invocation.
 #include <sys/stat.h>
@@ -23,6 +25,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
 #include <cerrno>
 #include <chrono>
@@ -42,12 +45,7 @@
 #include "mbd/comm/transport_tcp.hpp"
 #include "mbd/comm/world.hpp"
 #include "mbd/nn/models.hpp"
-#include "mbd/parallel/batch_parallel.hpp"
-#include "mbd/parallel/domain_parallel.hpp"
-#include "mbd/parallel/hybrid.hpp"
-#include "mbd/parallel/integrated.hpp"
-#include "mbd/parallel/mixed_grid.hpp"
-#include "mbd/parallel/model_parallel.hpp"
+#include "mbd/parallel/common.hpp"
 #include "mbd/support/check.hpp"
 #include "mbd/support/cli.hpp"
 
@@ -67,20 +65,31 @@ std::vector<nn::LayerSpec> small_conv_net() {
   return specs;
 }
 
+// One FC layer per rank (the pipeline's floor), same 24-dim input and 10
+// classes as the flat MLP so it reuses the same synthetic dataset.
+std::vector<nn::LayerSpec> deep_mlp_spec(int ranks) {
+  std::vector<std::size_t> dims = {24};
+  for (int i = 1; i < ranks; ++i)
+    dims.push_back(std::max<std::size_t>(12, 24 - 2 * static_cast<std::size_t>(i)));
+  dims.push_back(10);
+  return nn::mlp_spec(dims);
+}
+
 struct SweepCase {
   std::string trainer;
   std::string mode_name;
   std::function<DistResult(comm::Comm&)> run;
 };
 
-// The observability-smoke sweep, parameterized by mode: every trainer the
-// repo has, on the same tiny MLP / CNN workloads and seeds.
+// The trainer sweep, parameterized by mode: every registry trainer on the
+// tiny workload matching its class, same seeds everywhere.
 std::vector<SweepCase> make_cases(int ranks, int iterations,
                                   std::uint64_t seed,
                                   const std::string& trainer_filter,
                                   const std::string& mode_filter) {
   const GridShape grid{2, ranks / 2};
   const auto mlp = nn::mlp_spec({24, 32, 10});
+  const auto deep_mlp = deep_mlp_spec(ranks);
   const auto mlp_data = nn::make_synthetic_dataset(24, 10, 32, 13);
   nn::TrainConfig mlp_cfg;
   mlp_cfg.batch = 8;
@@ -90,40 +99,30 @@ std::vector<SweepCase> make_cases(int ranks, int iterations,
   nn::TrainConfig cnn_cfg = mlp_cfg;
 
   std::vector<SweepCase> cases;
-  const auto add = [&](const std::string& name, ReduceMode mode,
-                       std::function<DistResult(comm::Comm&)> run) {
-    const std::string mode_name =
-        mode == ReduceMode::Blocking ? "blocking" : "overlapped";
-    if (trainer_filter != "all" && trainer_filter != name) return;
-    if (mode_filter != "both" && mode_filter != mode_name) return;
-    cases.push_back({name, mode_name, std::move(run)});
-  };
   for (const ReduceMode mode :
        {ReduceMode::Blocking, ReduceMode::Overlapped}) {
-    add("model", mode, [=](comm::Comm& c) {
-      return parallel::train_model_parallel(c, mlp, mlp_data, mlp_cfg,
-                                            seed, mode);
-    });
-    add("batch", mode, [=](comm::Comm& c) {
-      return parallel::train_batch_parallel(c, mlp, mlp_data, mlp_cfg, {},
-                                            mode);
-    });
-    add("integrated_15d", mode, [=](comm::Comm& c) {
-      return parallel::train_integrated_15d(c, grid, mlp, mlp_data, mlp_cfg,
-                                            seed, mode);
-    });
-    add("mixed_grid", mode, [=](comm::Comm& c) {
-      return parallel::train_mixed_grid(c, grid, cnn, cnn_data, cnn_cfg,
-                                        seed, mode);
-    });
-    add("domain", mode, [=](comm::Comm& c) {
-      return parallel::train_domain_parallel(c, cnn, cnn_data, cnn_cfg, seed,
-                                             /*overlap_halo=*/false, mode);
-    });
-    add("hybrid", mode, [=](comm::Comm& c) {
-      return parallel::train_hybrid(c, grid, cnn, cnn_data, cnn_cfg, seed,
-                                    /*overlap_halo=*/false, mode);
-    });
+    const std::string mode_name =
+        mode == ReduceMode::Blocking ? "blocking" : "overlapped";
+    if (mode_filter != "both" && mode_filter != mode_name) continue;
+    for (const parallel::TrainerEntry& e : parallel::trainer_registry()) {
+      const std::string name(e.launch_name);
+      if (trainer_filter != "all" && trainer_filter != name) continue;
+      const parallel::TrainerOptions opts{
+          .grid = grid, .seed = seed, .mode = mode, .microbatches = 2};
+      const bool conv = e.workload == parallel::TrainerWorkload::ConvHalo ||
+                        e.workload == parallel::TrainerWorkload::ConvPool;
+      const auto& specs =
+          conv ? cnn
+               : (e.workload == parallel::TrainerWorkload::DeepMlp ? deep_mlp
+                                                                   : mlp);
+      const auto& data = conv ? cnn_data : mlp_data;
+      const auto& cfg = conv ? cnn_cfg : mlp_cfg;
+      const auto run = e.run;
+      cases.push_back({name, mode_name,
+                       [=](comm::Comm& c) {
+                         return run(c, opts, specs, data, cfg);
+                       }});
+    }
   }
   return cases;
 }
@@ -398,13 +397,13 @@ int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
   ArgParser args(
       "Multi-process trainer runner: fork one process per rank, connect a "
-      "TCP loopback mesh, run the six-trainer sweep, and write bit-exact "
+      "TCP loopback mesh, run the full trainer sweep, and write bit-exact "
       "per-rank results for cross-transport diffing (--inprocess runs the "
       "same sweep on the thread-backed fabric).");
   args.add_int("ranks", 4, "world size (even, >= 2; grid is 2 x ranks/2)");
   args.add_string("trainer", "all",
                   "restrict to one trainer: model, batch, integrated_15d, "
-                  "mixed_grid, domain, hybrid");
+                  "mixed_grid, domain, hybrid, pipeline");
   args.add_string("mode", "both",
                   "reduction schedule: blocking, overlapped, both");
   args.add_int("iterations", 2, "SGD iterations per case");

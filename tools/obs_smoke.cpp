@@ -1,8 +1,9 @@
 // Observability smoke driver for CI (.github/workflows/ci.yml,
 // observability-smoke job).
 //
-// Runs a 4-rank engine sweep — all six trainers, nonblocking reduction
-// schedule — with the timeline profiler on, and writes into <outdir>:
+// Runs a 4-rank engine sweep — every registry trainer, nonblocking
+// reduction schedule — with the timeline profiler on, and writes into
+// <outdir>:
 //   trace_<trainer>.json   Chrome trace-event export, one per trainer
 //   metrics.json           metrics-registry snapshot (incl. GEMM shapes)
 //   structure.txt          span structure (everything but timestamps)
@@ -22,12 +23,7 @@
 #include "mbd/obs/chrome_trace.hpp"
 #include "mbd/obs/metrics.hpp"
 #include "mbd/obs/profiler.hpp"
-#include "mbd/parallel/batch_parallel.hpp"
-#include "mbd/parallel/domain_parallel.hpp"
-#include "mbd/parallel/hybrid.hpp"
-#include "mbd/parallel/integrated.hpp"
-#include "mbd/parallel/mixed_grid.hpp"
-#include "mbd/parallel/model_parallel.hpp"
+#include "mbd/parallel/common.hpp"
 #include "mbd/tensor/gemm.hpp"
 
 namespace {
@@ -41,6 +37,12 @@ std::vector<nn::LayerSpec> small_conv_net() {
   specs.push_back(nn::fc_spec("fc1", 4 * 8 * 8, 16));
   specs.push_back(nn::fc_spec("fc2", 16, 4, false));
   return specs;
+}
+
+// Four FC layers for the 4-rank pipeline (one per stage), reusing the flat
+// MLP's dataset shape.
+std::vector<nn::LayerSpec> deep_mlp() {
+  return nn::mlp_spec({24, 22, 20, 12, 10});
 }
 
 void dump_structure(std::ofstream& out, const std::string& trainer,
@@ -78,44 +80,29 @@ int main(int argc, char** argv) {
 
   using parallel::GridShape;
   using parallel::ReduceMode;
-  const auto mode = ReduceMode::Overlapped;
+  const auto pipe_mlp = deep_mlp();
   struct Case {
-    const char* name;
+    std::string name;
     std::function<void(comm::Comm&)> run;
   };
-  const std::vector<Case> cases = {
-      {"model",
-       [&](comm::Comm& c) {
-         (void)parallel::train_model_parallel(c, mlp, mlp_data, mlp_cfg, 42,
-                                              mode);
-       }},
-      {"batch",
-       [&](comm::Comm& c) {
-         (void)parallel::train_batch_parallel(c, mlp, mlp_data, mlp_cfg, {},
-                                              mode);
-       }},
-      {"integrated_15d",
-       [&](comm::Comm& c) {
-         (void)parallel::train_integrated_15d(c, GridShape{2, 2}, mlp,
-                                              mlp_data, mlp_cfg, 42, mode);
-       }},
-      {"mixed_grid",
-       [&](comm::Comm& c) {
-         (void)parallel::train_mixed_grid(c, GridShape{2, 2}, cnn, cnn_data,
-                                          cnn_cfg, 42, mode);
-       }},
-      {"domain",
-       [&](comm::Comm& c) {
-         (void)parallel::train_domain_parallel(c, cnn, cnn_data, cnn_cfg, 42,
-                                               /*overlap_halo=*/false, mode);
-       }},
-      {"hybrid",
-       [&](comm::Comm& c) {
-         (void)parallel::train_hybrid(c, GridShape{2, 2}, cnn, cnn_data,
-                                      cnn_cfg, 42, /*overlap_halo=*/false,
-                                      mode);
-       }},
-  };
+  std::vector<Case> cases;
+  for (const parallel::TrainerEntry& e : parallel::trainer_registry()) {
+    const parallel::TrainerOptions opts{.grid = GridShape{2, 2},
+                                        .mode = ReduceMode::Overlapped,
+                                        .microbatches = 2};
+    const bool conv = e.workload == parallel::TrainerWorkload::ConvHalo ||
+                      e.workload == parallel::TrainerWorkload::ConvPool;
+    const auto& specs =
+        conv ? cnn
+             : (e.workload == parallel::TrainerWorkload::DeepMlp ? pipe_mlp
+                                                                 : mlp);
+    const auto& data = conv ? cnn_data : mlp_data;
+    const auto& cfg = conv ? cnn_cfg : mlp_cfg;
+    cases.push_back({std::string(e.launch_name), [&, opts, run = e.run](
+                                                     comm::Comm& c) {
+                       (void)run(c, opts, specs, data, cfg);
+                     }});
+  }
 
   std::ofstream structure(outdir + "/structure.txt");
   if (!structure.good()) {
@@ -132,7 +119,7 @@ int main(int argc, char** argv) {
     dump_structure(structure, tc.name, snap);
     std::size_t spans = 0;
     for (const auto& t : snap.threads) spans += t.spans.size();
-    std::printf("%-14s %zu threads, %zu spans\n", tc.name,
+    std::printf("%-14s %zu threads, %zu spans\n", tc.name.c_str(),
                 snap.threads.size(), spans);
   }
   structure.close();
