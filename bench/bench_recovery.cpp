@@ -8,6 +8,12 @@
 //  * crash_restart   — an injected mid-run RankFailure under
 //                      World::run_restartable with checkpoint cadence 2:
 //                      fabric teardown + rebuild + restore + replay
+//  * spare_promote   — the same injected failure under World::run_promotable
+//                      with one hot spare: the dead rank's slot is adopted in
+//                      place (mailbox resets, no fabric reallocation), then
+//                      restore + replay as above. The crash_restart −
+//                      spare_promote delta is the cost of the full teardown
+//                      that promotion avoids.
 //
 // Per-case `ns` is total wall time for the full training run (median of
 // kReps), so crash_restart / baseline reads directly as the end-to-end cost
@@ -78,7 +84,11 @@ double run_plain(const Setup& s, std::size_t ckpt_every) {
   });
 }
 
-double run_crash_restart(const Setup& s, std::uint64_t crash_op) {
+// Out-param `repair_ns` collects the fabric-recovery step (teardown+rebuild,
+// or in-place repair) of every rep; the median isolates the latency the two
+// recovery paths actually differ by, without the replayed-training noise.
+double run_crash_restart(const Setup& s, std::uint64_t crash_op,
+                         std::vector<double>& repair_ns) {
   return median_of_reps([&] {
     comm::World w(kP);
     w.disable_validation();
@@ -89,11 +99,42 @@ double run_crash_restart(const Setup& s, std::uint64_t crash_op) {
     w.install_faults(std::move(plan));
     parallel::CheckpointStore store(kP);
     parallel::RecoveryContext rc{&store, {.every = 2}};
-    w.run_restartable([&](comm::Comm& c) {
-      parallel::train_batch_parallel(c, s.specs, s.data, s.cfg, {},
-                                     parallel::ReduceMode::Blocking, &rc);
-    });
+    const comm::RecoveryReport rep =
+        w.run_restartable([&](comm::Comm& c) {
+          parallel::train_batch_parallel(c, s.specs, s.data, s.cfg, {},
+                                         parallel::ReduceMode::Blocking, &rc);
+        });
+    for (const auto ns : rep.repair_ns)
+      repair_ns.push_back(static_cast<double>(ns));
   });
+}
+
+double run_spare_promote(const Setup& s, std::uint64_t crash_op,
+                         std::vector<double>& repair_ns) {
+  return median_of_reps([&] {
+    comm::World w(kP);
+    w.disable_validation();
+    w.set_spares(1);
+    comm::FaultPlan plan;
+    plan.actions.push_back({.kind = comm::FaultKind::CrashRank,
+                            .rank = 1,
+                            .op_index = crash_op});
+    w.install_faults(std::move(plan));
+    parallel::CheckpointStore store(kP);
+    parallel::RecoveryContext rc{&store, {.every = 2}};
+    const comm::RecoveryReport rep =
+        w.run_promotable([&](comm::Comm& c) {
+          parallel::train_batch_parallel(c, s.specs, s.data, s.cfg, {},
+                                         parallel::ReduceMode::Blocking, &rc);
+        });
+    for (const auto ns : rep.repair_ns)
+      repair_ns.push_back(static_cast<double>(ns));
+  });
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
 }
 
 }  // namespace
@@ -117,7 +158,10 @@ int main(int argc, char** argv) {
 
   const double base_ns = run_plain(s, /*ckpt_every=*/0);
   const double ckpt_ns = run_plain(s, /*ckpt_every=*/1);
-  const double crash_ns = run_crash_restart(s, rank1_ops / 2);
+  std::vector<double> rebuild_samples;
+  std::vector<double> repair_samples;
+  const double crash_ns = run_crash_restart(s, rank1_ops / 2, rebuild_samples);
+  const double spare_ns = run_spare_promote(s, rank1_ops / 2, repair_samples);
 
   std::cout << "-- recovery costs: batch-parallel MLP 64-128-64-10, P=" << kP
             << ", B=" << s.cfg.batch << ", " << kIters
@@ -135,7 +179,20 @@ int main(int argc, char** argv) {
   row("baseline", base_ns);
   row("ckpt_every_1", ckpt_ns);
   row("crash_restart", crash_ns);
+  row("spare_promote", spare_ns);
   std::cout << "(crash at rank-1 transport op " << rank1_ops / 2 << " of "
-            << rank1_ops << "; checkpoint cadence 2 for the crash case)\n";
+            << rank1_ops << "; checkpoint cadence 2 for the crash and "
+               "promotion cases)\n";
+
+  // The recovery step alone — teardown+rebuild vs in-place slot repair —
+  // isolated from the replayed training both paths share.
+  const double rebuild_ns = median(std::move(rebuild_samples));
+  const double repair_ns = median(std::move(repair_samples));
+  std::cout << "recovery step:   full rebuild " << std::setprecision(1)
+            << rebuild_ns / 1e3 << " us, in-place repair " << repair_ns / 1e3
+            << " us (" << std::setprecision(2) << rebuild_ns / repair_ns
+            << "x)\n";
+  mbd::bench::record_json("recovery_step_rebuild", 0, rebuild_ns, 0);
+  mbd::bench::record_json("recovery_step_repair", 0, repair_ns, 0);
   return 0;
 }

@@ -231,11 +231,24 @@ class Comm {
     return out;
   }
 
-  void send_bytes(int dst, std::span<const std::byte> data, int tag, Coll c);
-  std::vector<std::byte> recv_bytes(int src, int tag);
+  // `reserved_op` != 0 marks a nonblocking ring-round send carrying an op
+  // identity reserved at initiation (see reserve_nb_ops): the injector fires
+  // faults against that exact identity instead of the live op counter, so
+  // drain-time polling cannot shift which op a fault lands on.
+  void send_bytes(int dst, std::span<const std::byte> data, int tag, Coll c,
+                  std::uint64_t reserved_op = 0);
+  // `counted` == false skips the injector op count: nonblocking Block
+  // receives are uncounted because whether a round completes via a test()
+  // poll (never counted) or a wait() blocking recv is timing-dependent.
+  std::vector<std::byte> recv_bytes(int src, int tag, bool counted = true);
   // Nonblocking variant: false (and `out` untouched) when no matching
   // message has been delivered yet.
   bool try_recv_bytes(int src, int tag, std::vector<std::byte>& out);
+  // Reserve `rounds` consecutive injector op identities for a nonblocking
+  // collective at initiation. Initiation is program-ordered across ranks, so
+  // the identities are deterministic no matter how the op is later drained.
+  // Returns the first identity, or 0 when no injector is installed.
+  std::uint64_t reserve_nb_ops(std::uint64_t rounds);
   int global_rank(int comm_rank) const;
 
   // Append a Recv event to this rank's schedule log (no-op when the World
@@ -314,11 +327,14 @@ namespace detail {
 /// the friendship surface to one struct instead of one per op template.
 struct NbAccess {
   static void send(Comm& c, int dst, std::span<const std::byte> data, int tag,
-                   Coll cl) {
-    c.send_bytes(dst, data, tag, cl);
+                   Coll cl, std::uint64_t op_id = 0) {
+    c.send_bytes(dst, data, tag, cl, op_id);
   }
   static std::vector<std::byte> recv(Comm& c, int src, int tag) {
-    return c.recv_bytes(src, tag);
+    // Nonblocking Block receives are uncounted: a round that completes via a
+    // test() poll performs no blocking recv at all, so counting the wait()
+    // path would make op indices depend on drain timing.
+    return c.recv_bytes(src, tag, /*counted=*/false);
   }
   static bool try_recv(Comm& c, int src, int tag,
                        std::vector<std::byte>& out) {
@@ -835,8 +851,13 @@ namespace detail {
 template <typename T, typename Op>
 class IAllReduceOp final : public PendingOp {
  public:
-  IAllReduceOp(Comm comm, std::span<T> data, Op op, int tag_base)
-      : comm_(std::move(comm)), data_(data), op_(op), tag_base_(tag_base) {}
+  IAllReduceOp(Comm comm, std::span<T> data, Op op, int tag_base,
+               std::uint64_t op_base)
+      : comm_(std::move(comm)),
+        data_(data),
+        op_(op),
+        tag_base_(tag_base),
+        op_base_(op_base) {}
 
   bool advance(Drive drive) override {
     const int p = comm_.size();
@@ -861,7 +882,10 @@ class IAllReduceOp final : public PendingOp {
         NbAccess::send(comm_, right,
                        NbAccess::bytes(std::span<const T>(data_.data() + slo,
                                                           shi - slo)),
-                       tag_base_ + step_, Coll::AllReduce);
+                       tag_base_ + step_, Coll::AllReduce,
+                       op_base_ == 0
+                           ? 0
+                           : op_base_ + static_cast<std::uint64_t>(step_));
         sent_ = true;
       }
       if (drive == Drive::Post) return false;
@@ -891,6 +915,7 @@ class IAllReduceOp final : public PendingOp {
   std::span<T> data_;
   Op op_;
   int tag_base_;
+  std::uint64_t op_base_;  // first reserved injector op identity (0 = none)
   int step_ = 0;
   bool sent_ = false;
 };
@@ -898,8 +923,13 @@ class IAllReduceOp final : public PendingOp {
 template <typename T>
 class IAllGatherOp final : public PendingOp {
  public:
-  IAllGatherOp(Comm comm, std::span<T> out, std::size_t m, int tag_base)
-      : comm_(std::move(comm)), out_(out), m_(m), tag_base_(tag_base) {}
+  IAllGatherOp(Comm comm, std::span<T> out, std::size_t m, int tag_base,
+               std::uint64_t op_base)
+      : comm_(std::move(comm)),
+        out_(out),
+        m_(m),
+        tag_base_(tag_base),
+        op_base_(op_base) {}
 
   bool advance(Drive drive) override {
     const int p = comm_.size();
@@ -914,7 +944,9 @@ class IAllGatherOp final : public PendingOp {
             comm_, right,
             NbAccess::bytes(std::span<const T>(
                 out_.data() + static_cast<std::size_t>(send_block) * m_, m_)),
-            tag_base_ + step_, Coll::AllGather);
+            tag_base_ + step_, Coll::AllGather,
+            op_base_ == 0 ? 0
+                          : op_base_ + static_cast<std::uint64_t>(step_));
         sent_ = true;
       }
       if (drive == Drive::Post) return false;
@@ -940,6 +972,7 @@ class IAllGatherOp final : public PendingOp {
   std::span<T> out_;
   std::size_t m_;
   int tag_base_;
+  std::uint64_t op_base_;  // first reserved injector op identity (0 = none)
   int step_ = 0;
   bool sent_ = false;
 };
@@ -948,11 +981,12 @@ template <typename T>
 class IAllGatherVOp final : public PendingOp {
  public:
   IAllGatherVOp(Comm comm, std::span<const T> local, std::vector<T>* out,
-                int tag_base)
+                int tag_base, std::uint64_t op_base)
       : comm_(std::move(comm)),
         blocks_(static_cast<std::size_t>(comm_.size())),
         out_(out),
-        tag_base_(tag_base) {
+        tag_base_(tag_base),
+        op_base_(op_base) {
     blocks_[static_cast<std::size_t>(comm_.rank())].assign(local.begin(),
                                                            local.end());
   }
@@ -969,7 +1003,10 @@ class IAllGatherVOp final : public PendingOp {
         NbAccess::send(comm_, right,
                        NbAccess::bytes(std::span<const T>(
                            blocks_[static_cast<std::size_t>(send_origin)])),
-                       tag_base_ + step_, Coll::AllGather);
+                       tag_base_ + step_, Coll::AllGather,
+                       op_base_ == 0
+                           ? 0
+                           : op_base_ + static_cast<std::uint64_t>(step_));
         sent_ = true;
       }
       if (drive == Drive::Post) return false;
@@ -997,6 +1034,7 @@ class IAllGatherVOp final : public PendingOp {
   std::vector<std::vector<T>> blocks_;
   std::vector<T>* out_;
   int tag_base_;
+  std::uint64_t op_base_;  // first reserved injector op identity (0 = none)
   int step_ = 0;
   bool sent_ = false;
 };
@@ -1040,8 +1078,11 @@ CollectiveHandle Comm::iallreduce(std::span<T> data, Op op) {
                   .algo = static_cast<int>(AllReduceAlgo::Ring),
                   .nonblocking = true});
   if (size() == 1) return {};
+  const int tag_base = nb_tag_block();
+  const std::uint64_t op_base =
+      reserve_nb_ops(2 * static_cast<std::uint64_t>(size() - 1));
   return make_handle(std::make_unique<detail::IAllReduceOp<T, Op>>(
-                         *this, data, op, nb_tag_block()),
+                         *this, data, op, tag_base, op_base),
                      "iallreduce",
                      "iallreduce(count=" + std::to_string(data.size()) + ')');
 }
@@ -1060,8 +1101,11 @@ CollectiveHandle Comm::iallgather(std::span<const T> local, std::span<T> out) {
             out.begin() + static_cast<std::ptrdiff_t>(rank_) *
                               static_cast<std::ptrdiff_t>(m));
   if (size() == 1) return {};
+  const int tag_base = nb_tag_block();
+  const std::uint64_t op_base =
+      reserve_nb_ops(static_cast<std::uint64_t>(size() - 1));
   return make_handle(std::make_unique<detail::IAllGatherOp<T>>(
-                         *this, out, m, nb_tag_block()),
+                         *this, out, m, tag_base, op_base),
                      "iallgather", "iallgather(count=" + std::to_string(m) + ')');
 }
 
@@ -1078,8 +1122,11 @@ CollectiveHandle Comm::iallgatherv(std::span<const T> local,
     out->assign(local.begin(), local.end());
     return {};
   }
+  const int tag_base = nb_tag_block();
+  const std::uint64_t op_base =
+      reserve_nb_ops(static_cast<std::uint64_t>(size() - 1));
   return make_handle(std::make_unique<detail::IAllGatherVOp<T>>(
-                         *this, local, out, nb_tag_block()),
+                         *this, local, out, tag_base, op_base),
                      "iallgatherv",
                      "iallgatherv(local_count=" + std::to_string(local.size()) +
                          ')');

@@ -49,10 +49,19 @@ namespace mbd::comm {
 class Transport;
 
 /// Thrown on the crashing rank by FaultKind::CrashRank; the one exception
-/// class World::run_restartable treats as recoverable.
+/// class World::run_restartable treats as recoverable. Carries the global
+/// rank that died so spare promotion knows which slot to refill (-1 when the
+/// failing rank could not be attributed).
 class RankFailure : public ::mbd::Error {
  public:
   using Error::Error;
+  RankFailure(const std::string& what, int failed_rank)
+      : Error(what), failed_rank_(failed_rank) {}
+
+  int failed_rank() const { return failed_rank_; }
+
+ private:
+  int failed_rank_ = -1;
 };
 
 enum class FaultKind : int {
@@ -145,6 +154,18 @@ class FaultInjector {
   /// Count one transport op on `rank`; fire crash/slow actions and release
   /// due deferred messages. Throws RankFailure for a crash action.
   void on_op(int rank, Transport& transport);
+  /// Reserve `n` consecutive op identities on `rank` at a deterministic
+  /// initiation point (a nonblocking collective reserves one op per ring
+  /// round when it is posted). Returns the first reserved index. Drain-time
+  /// polling then fires faults against these fixed identities via
+  /// on_reserved_op/deliver(op_id), so how many test() polls a round takes
+  /// never shifts which op a fault lands on.
+  std::uint64_t reserve_ops(int rank, std::uint64_t n);
+  /// Fire point actions (crash / slow) pinned exactly to reserved op `op_id`
+  /// on `rank`. Unlike on_op this does not advance the op counter and
+  /// requires an exact op_index match — reserved identities are stable, so a
+  /// >= sweep is unnecessary and would double-fire against blocking ops.
+  void on_reserved_op(int rank, std::uint64_t op_id, Transport& transport);
   /// Next per-channel sequence number for a (context, src, dst, tag) send.
   std::uint64_t assign_seq(std::uint64_t context, int src, int dst, int tag);
   /// Deliver `msg` from `src` to `dst`, applying any armed send-fault
@@ -154,6 +175,11 @@ class FaultInjector {
   /// the receiver's mailbox seq dedup and timed-retry recovery are identical
   /// either way.
   void deliver(Transport& transport, int src, int dst, Message msg);
+  /// Same, but for a send carrying a reserved op identity: a send-fault
+  /// fires only if its op_index matches `op_id` exactly (armed queue is
+  /// scanned, not popped front-first).
+  void deliver(Transport& transport, int src, int dst, Message msg,
+               std::uint64_t op_id);
   /// Receiver-side retry: flush every swallowed or deferred message destined
   /// for `dst` back through the transport. The deposit is the ack — flushed
   /// messages leave the injector for good. Called from the Mailbox pop retry
@@ -216,6 +242,8 @@ class FaultInjector {
 
   void record(FaultEvent ev);
   void release_due(int rank, std::uint64_t op, Transport& transport);
+  void apply_send_fault(const FaultAction& a, Transport& transport, int src,
+                        int dst, Message msg, std::uint64_t op, bool nb_round);
 
   FaultPlan plan_;
   FaultConfig cfg_;

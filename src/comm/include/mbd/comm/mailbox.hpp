@@ -88,6 +88,13 @@ class Mailbox {
   /// never be sent again. Only call between World::run calls.
   void clear();
 
+  /// Full reset for in-place fabric repair (spare promotion): drop every
+  /// queued message, forget all sequence cursors, and un-poison. The next
+  /// epoch restarts per-channel sequence numbering from 1, so cursors must
+  /// start fresh rather than fast-forward. Only call between World::run
+  /// calls with no rank threads blocked in pop().
+  void reset();
+
  private:
   using ChannelKey = std::tuple<std::uint64_t, int, int>;
 

@@ -91,12 +91,27 @@ class Transport {
   /// Point this transport at the fabric whose mailboxes it feeds. Called
   /// from the Fabric constructor — for a rebuild (run_restartable), strictly
   /// after begin_epoch(next) so frames buffered for the new epoch flush into
-  /// the fresh mailboxes and stale ones are dropped.
+  /// the fresh mailboxes and stale ones are dropped. attach(nullptr)
+  /// detaches: the rebuild/repair paths do this *before* begin_epoch so a
+  /// fast peer's new-epoch frames buffer instead of landing in the dying
+  /// fabric's mailboxes (where they would be lost).
   virtual void attach(detail::Fabric* fabric) { fabric_ = fabric; }
 
   /// Advance to restart attempt `epoch`: drop frames from older epochs,
   /// clear any recorded failure. Called with no local rank threads running.
   virtual void begin_epoch(int epoch) { (void)epoch; }
+
+  /// Re-point logical slot `slot` at physical participant `spare` (spare
+  /// promotion). In-process the slot/participant distinction does not exist
+  /// — mailboxes are indexed by logical rank and the promoted spare is just
+  /// a fresh thread — so the default is a no-op. The TCP transport remaps
+  /// its slot-to-connection table and marks the dead peer so stale EOFs from
+  /// it are ignored. Called with no local rank threads running, before
+  /// begin_epoch of the repaired epoch's first exchange.
+  virtual void promote(int slot, int spare) {
+    (void)slot;
+    (void)spare;
+  }
 
  protected:
   detail::Fabric* fabric_ = nullptr;

@@ -128,6 +128,12 @@ struct TcpOptions {
   std::chrono::milliseconds shutdown_timeout{30'000};
   /// Announced latency class; drives the validator watchdog scale.
   TransportLatency latency = TransportLatency::LoopbackSocket;
+  /// Hot-spare participants beyond world_size. The full mesh spans
+  /// world_size + spares processes; participants world_size..world_size+S-1
+  /// start idle (no logical slot) and are promoted into a dead rank's slot
+  /// by Transport::promote. Every participant must agree on this value (it
+  /// is validated by the Hello handshake via the total participant count).
+  int spares = 0;
 };
 
 /// Socket transport hosting one rank of a multi-process world. Lifecycle:
@@ -144,15 +150,31 @@ class TcpTransport final : public Transport {
   ~TcpTransport() override;
 
   int world_size() const { return world_size_; }
+  /// Physical participant id of this process (may be >= world_size for a
+  /// hot spare). Routing keys on *logical* slots: deposit(dst) resolves the
+  /// slot's current owner through the promotion table.
   int rank() const { return rank_; }
+  /// Total physical participants (world_size + spares).
+  int participants() const { return participants_; }
+  /// Logical slot this participant currently occupies (-1: idle spare).
+  int local_slot() const;
   /// The actually-bound listen port.
   std::uint16_t port() const { return port_; }
 
-  /// Establish the full mesh: dial every peer's endpoint (retrying refusals
-  /// until connect_timeout — peers may not be listening yet) and wait until
-  /// every peer has dialed us. `peers[r]` addresses rank r; peers[rank()]
-  /// is ignored. Throws mbd::Error on timeout.
+  /// Establish the full mesh: dial every participant's endpoint (retrying
+  /// refusals until connect_timeout — peers may not be listening yet) and
+  /// wait until every participant has dialed us. `peers[i]` addresses
+  /// physical participant i (actives then spares); peers[rank()] is
+  /// ignored. Throws mbd::Error on timeout.
   void connect_mesh(const std::vector<TcpEndpoint>& peers);
+
+  /// Spare API: block until a rank failure is observed — a PeerFailure
+  /// frame or a peer EOF without Goodbye — and return the failed logical
+  /// slot. Returns nullopt when a peer closes cleanly first (the run ended
+  /// without needing this spare) or `timeout` expires. The caller then
+  /// promotes itself: promote(slot, rank()), begin_epoch(next), and builds
+  /// a World over the slot.
+  std::optional<int> await_failure(std::chrono::milliseconds timeout);
 
   /// Clean close: send Goodbye to every peer, drain until each peer's
   /// Goodbye (or shutdown_timeout), then close. Idempotent.
@@ -170,6 +192,11 @@ class TcpTransport final : public Transport {
   std::exception_ptr take_failure() override;
   void attach(detail::Fabric* fabric) override;
   void begin_epoch(int epoch) override;
+  /// Re-point logical slot `slot` at physical participant `spare` and mark
+  /// the previous owner dead (its late EOF must not poison the repaired
+  /// epoch). When `spare` is this participant, it adopts the slot as its
+  /// local one. Called with no local rank threads running.
+  void promote(int slot, int spare) override;
 
  private:
   struct Peer {
@@ -183,24 +210,32 @@ class TcpTransport final : public Transport {
   // Route one inbound frame; returns false on Goodbye (loop exits).
   bool handle_frame(int peer_rank, wire::Frame f);
   void deposit_local_locked(Message msg);
-  // Record a RankFailure for `peer_rank` and poison the local fabric.
-  void fail_peer(int peer_rank, const std::string& what);
-  void send_frame(int dst, std::span<const std::byte> bytes);
+  // Record a RankFailure for logical slot `slot` and poison the local
+  // fabric.
+  void fail_peer(int slot, const std::string& what);
+  // Same, keyed by the physical participant a connection belongs to: maps
+  // it to its current slot; a participant that is already dead (replaced by
+  // promotion) or holds no slot (idle spare) is ignored.
+  void fail_peer_phys(int phys, const std::string& what);
+  void send_frame(int dst_slot, std::span<const std::byte> bytes);
   void close_all_fds();
 
   int world_size_;
-  int rank_;
+  int rank_;           // physical participant id (may be >= world_size_)
+  int participants_;   // world_size_ + opts_.spares
   TcpOptions opts_;
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
-  std::vector<std::unique_ptr<Peer>> peers_;  // by rank; [rank_] unused
+  // By physical participant id; [rank_] unused.
+  std::vector<std::unique_ptr<Peer>> peers_;
   std::thread accept_thread_;
   std::vector<std::thread> recv_threads_;
 
   std::atomic<bool> closing_{false};
 
   // Guards fabric_ (re-pointed by attach between runs while receive threads
-  // deposit), epoch_, pending_, failure_, and the handshake counters.
+  // deposit), epoch_, pending_, failure_, the promotion tables, and the
+  // handshake counters.
   mutable std::mutex mu_;
   std::condition_variable cv_;
   int epoch_ = 0;
@@ -209,6 +244,10 @@ class TcpTransport final : public Transport {
   int recv_loops_live_ = 0;    // receive threads still draining
   std::deque<wire::Frame> pending_;  // frames from a future epoch
   std::exception_ptr failure_;
+  int failed_slot_ = -1;       // slot of the first recorded failure
+  int local_slot_ = -1;        // slot this participant occupies (-1: spare)
+  std::vector<int> slot_owner_;  // logical slot -> physical participant
+  std::vector<char> dead_;       // physical participant -> replaced by promote
 };
 
 }  // namespace mbd::comm

@@ -163,6 +163,14 @@ class Validator {
   /// rebuild under World::run_restartable).
   void adopt_settings(const Validator& other);
 
+  /// Drop all transient rendezvous state — in-flight collective slots,
+  /// last-activity lines, tracked nonblocking handles, and the cancellation
+  /// counter — while keeping timeout / scale / scope settings and the token
+  /// counter. In-place fabric repair for spare promotion: the next epoch
+  /// starts its collective sequence from slot 0. Only call with no rank
+  /// threads running.
+  void reset_transient();
+
   /// Diagnostic for a rank whose blocking receive exceeded the watchdog
   /// timeout: names the stuck receive and dumps every rank's last-known
   /// collective.

@@ -25,12 +25,29 @@ namespace mbd::comm {
 /// the cumulative injected-fault event log. Everything here is a
 /// deterministic function of the fault plan — asserting equality across
 /// runs is the replayability test.
+/// One spare promotion performed by World::run_promotable: which spare took
+/// which dead rank's slot at which epoch, and why. Deterministic under a
+/// replayed fault plan, so tests pin the whole sequence.
+struct Promotion {
+  int epoch = 0;        ///< epoch the promoted spare first runs in
+  int failed_rank = -1; ///< logical slot that died
+  int spare = -1;       ///< participant id promoted into the slot (size_ + k)
+  std::string reason;   ///< the RankFailure's message
+};
+
 struct RecoveryReport {
   int restarts = 0;
-  /// One line per restart: which attempt failed and why.
+  /// One line per restart or promotion: which attempt failed and why.
   std::vector<std::string> log;
   /// FaultInjector::events() at completion (empty without an injector).
   std::vector<FaultEvent> events;
+  /// Spare promotions, in order (empty under run_restartable).
+  std::vector<Promotion> promotions;
+  /// Per recovery attempt, the fabric-recovery step alone in nanoseconds:
+  /// rebuild_fabric for run_restartable, promote + repair_fabric_in_place
+  /// for run_promotable. Excludes the replayed training; bench_recovery
+  /// compares the two paths with this.
+  std::vector<std::uint64_t> repair_ns;
 };
 
 /// A fixed-size group of ranks backed by threads.
@@ -78,6 +95,27 @@ class World {
   /// stays usable after an injected crash.
   RecoveryReport run_restartable(const std::function<void(Comm&)>& fn,
                                  int max_restarts = 3);
+
+  /// Declare `spares` hot-spare participants available for promotion by
+  /// run_promotable. Thread-backed worlds promote by spawning a fresh thread
+  /// into the dead rank's slot; a distributed world additionally remaps the
+  /// transport slot so the pre-connected spare process takes over the wire.
+  /// Only call between run()s.
+  void set_spares(int spares);
+  int spares() const { return spares_; }
+
+  /// run(fn) with spare-promotion recovery — the cheap alternative to
+  /// run_restartable: on a rank-attributed RankFailure the fabric is
+  /// repaired *in place* (only the dead rank's mailbox state, plus transient
+  /// validator/recorder/trace state, is rebuilt; no fabric teardown), the
+  /// next spare participant is promoted into the dead slot via
+  /// Transport::promote, and `fn` reruns. Survivors restore from their
+  /// in-memory CheckpointStore exactly as under run_restartable. The
+  /// RankFailure is rethrown when the spare pool is exhausted, when the
+  /// failure cannot be attributed to a rank, or — distributed — on the
+  /// victim process itself (the spare takes its slot; the victim exits).
+  /// RecoveryReport::promotions records each promotion.
+  RecoveryReport run_promotable(const std::function<void(Comm&)>& fn);
 
   /// Install a fault-injection plan for subsequent run() calls (replacing
   /// any previous one). Only call between run()s. See mbd/comm/fault.hpp.
@@ -128,9 +166,11 @@ class World {
  private:
   void configure_validator(Validator& v) const;
   void rebuild_fabric(int next_epoch);
+  void repair_fabric_in_place(int next_epoch);
 
   int size_;
   int local_rank_ = -1;  // -1: thread-backed, all ranks in-process
+  int spares_ = 0;
   std::shared_ptr<detail::Fabric> fabric_;
 };
 

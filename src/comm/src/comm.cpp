@@ -54,7 +54,7 @@ void Comm::validate_entry(const CollectiveDesc& desc) {
 }
 
 void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag,
-                      Coll c) {
+                      Coll c, std::uint64_t reserved_op) {
   MBD_CHECK_MSG(dst != rank_, "self-send is not supported");
   if (fabric_->poisoned.load(std::memory_order_acquire)) {
     throw PoisonedError("mbd::comm fabric poisoned: another rank threw");
@@ -64,7 +64,16 @@ void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag,
   FaultInjector* fi = fabric_->injector.get();
   // One transport op per send: the injector counts it, fires crash/slow
   // actions pinned to this op index, and releases due deferred deliveries.
-  if (fi != nullptr) fi->on_op(gme, *fabric_->transport);
+  // A nonblocking ring-round send instead carries the op identity reserved
+  // at initiation: the counter already advanced then, and faults match the
+  // reserved identity exactly.
+  if (fi != nullptr) {
+    if (reserved_op != 0) {
+      fi->on_reserved_op(gme, reserved_op, *fabric_->transport);
+    } else {
+      fi->on_op(gme, *fabric_->transport);
+    }
+  }
   if (Validator* v = fabric_->validator.get(); v != nullptr && c == Coll::PointToPoint) {
     std::ostringstream os;
     os << "send(to=" << gdst << ", tag=" << tag
@@ -95,22 +104,33 @@ void Comm::send_bytes(int dst, std::span<const std::byte> data, int tag,
   }
   if (fi != nullptr) {
     msg.seq = fi->assign_seq(context_, gme, gdst, tag);
-    fi->deliver(*fabric_->transport, gme, gdst, std::move(msg));
+    if (reserved_op != 0) {
+      fi->deliver(*fabric_->transport, gme, gdst, std::move(msg), reserved_op);
+    } else {
+      fi->deliver(*fabric_->transport, gme, gdst, std::move(msg));
+    }
   } else {
     fabric_->transport->deposit(gdst, std::move(msg));
   }
 }
 
-std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+std::uint64_t Comm::reserve_nb_ops(std::uint64_t rounds) {
+  FaultInjector* fi = fabric_->injector.get();
+  if (fi == nullptr || rounds == 0) return 0;
+  return fi->reserve_ops(global_rank(rank_), rounds);
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag, bool counted) {
   const int gsrc = global_rank(src);
   const int gme = global_rank(rank_);
   Validator* v = fabric_->validator.get();
   FaultInjector* fi = fabric_->injector.get();
   // A blocking recv is a transport op like a send (crash points land on
-  // receives too). Nonblocking test() polls are deliberately not counted:
-  // their call frequency is timing-dependent, which would break op-sequence
+  // receives too). Nonblocking test() polls and nonblocking Block receives
+  // are deliberately not counted: their occurrence is timing-dependent
+  // (a round may complete via either path), which would break op-sequence
   // determinism.
-  if (fi != nullptr) fi->on_op(gme, *fabric_->transport);
+  if (fi != nullptr && counted) fi->on_op(gme, *fabric_->transport);
   Message msg;
   if (v != nullptr || fi != nullptr) {
     if (v != nullptr && tag < kInternalTagBase) {
@@ -243,7 +263,7 @@ void Comm::annotate_compute(double seconds) {
 }
 
 void Comm::barrier() {
-  obs::ScopedSpan obs_span(obs::SpanKind::CollWait, "barrier");
+  const obs::ScopedSpan obs_span(obs::SpanKind::CollWait, "barrier");
   validate_entry({.kind = OpKind::Barrier});
   const int p = size();
   const std::byte token{0};
@@ -265,7 +285,7 @@ Comm Comm::split(int color, int key) {
     int color, key, parent_rank;
   };
   const Entry mine{color, key, rank_};
-  auto all = allgather(std::span<const Entry>(&mine, 1));
+  const auto all = allgather(std::span<const Entry>(&mine, 1));
   std::vector<Entry> group;
   group.reserve(all.size());
   for (const auto& e : all)

@@ -191,7 +191,7 @@ void FaultInjector::on_op(int rank, Transport& transport) {
         std::ostringstream os;
         os << "injected RankFailure: rank " << rank << " crashed at op " << op
            << " (epoch " << epoch() << ')';
-        throw RankFailure(os.str());
+        throw RankFailure(os.str(), rank);
       }
     } else {  // SlowRank
       if (op >= a.op_index && op < a.op_index + a.slow_ops) {
@@ -207,10 +207,84 @@ void FaultInjector::on_op(int rank, Transport& transport) {
   }
 }
 
+std::uint64_t FaultInjector::reserve_ops(int rank, std::uint64_t n) {
+  auto& rs = *ranks_[static_cast<std::size_t>(rank)];
+  return rs.ops.fetch_add(n, std::memory_order_relaxed) + 1;
+}
+
+void FaultInjector::on_reserved_op(int rank, std::uint64_t op_id,
+                                   Transport& transport) {
+  auto& rs = *ranks_[static_cast<std::size_t>(rank)];
+  if (disarmed_.load(std::memory_order_relaxed)) return;
+  release_due(rank, rs.ops.load(std::memory_order_relaxed), transport);
+  for (auto& armed : rs.point_actions) {
+    const FaultAction& a = armed.action;
+    if (a.kind == FaultKind::CrashRank) {
+      if (!armed.fired && op_id == a.op_index) {
+        armed.fired = true;
+        disarmed_.store(true, std::memory_order_relaxed);
+        record({epoch(), rank, op_id, "crash",
+                "rank crashed (injected, nb round)"});
+        std::ostringstream os;
+        os << "injected RankFailure: rank " << rank << " crashed at op "
+           << op_id << " (epoch " << epoch() << ", nb round)";
+        throw RankFailure(os.str(), rank);
+      }
+    } else {  // SlowRank
+      if (op_id >= a.op_index && op_id < a.op_index + a.slow_ops) {
+        if (op_id == a.op_index) {
+          std::ostringstream os;
+          os << "slowing " << a.slow_ops << " op(s) by " << a.delay.count()
+             << "ms each (nb round)";
+          record({epoch(), rank, op_id, "slow", os.str()});
+        }
+        std::this_thread::sleep_for(a.delay);
+      }
+    }
+  }
+}
+
 std::uint64_t FaultInjector::assign_seq(std::uint64_t context, int src,
                                         int dst, int tag) {
   std::lock_guard lock(seq_mu_);
   return ++seq_[{context, src, dst, tag}];
+}
+
+void FaultInjector::apply_send_fault(const FaultAction& a,
+                                     Transport& transport, int src, int dst,
+                                     Message msg, std::uint64_t op,
+                                     bool nb_round) {
+  std::ostringstream os;
+  os << "message to rank " << dst << " (tag=" << msg.tag
+     << ", bytes=" << msg.payload.size() << ", seq=" << msg.seq << ')';
+  if (nb_round) os << " (nb round)";
+  switch (a.kind) {
+    case FaultKind::DropMessage: {
+      record({epoch(), src, op, "drop", "dropped " + os.str()});
+      std::lock_guard lock(buf_mu_);
+      swallowed_[static_cast<std::size_t>(dst)].push_back(std::move(msg));
+      return;
+    }
+    case FaultKind::DuplicateDelivery: {
+      record({epoch(), src, op, "duplicate", "duplicated " + os.str()});
+      Message copy = msg;
+      transport.deposit(dst, std::move(copy));
+      transport.deposit(dst, std::move(msg));
+      return;
+    }
+    case FaultKind::DelayDelivery: {
+      std::ostringstream ds;
+      ds << "deferred " << os.str() << " by " << a.defer_ops << " op(s)";
+      record({epoch(), src, op, "delay", ds.str()});
+      std::lock_guard lock(buf_mu_);
+      deferred_.push_back({op + a.defer_ops, dst, std::move(msg)});
+      return;
+    }
+    case FaultKind::CrashRank:
+    case FaultKind::SlowRank:
+      break;  // never queued as send actions
+  }
+  transport.deposit(dst, std::move(msg));
 }
 
 void FaultInjector::deliver(Transport& transport, int src, int dst,
@@ -221,34 +295,25 @@ void FaultInjector::deliver(Transport& transport, int src, int dst,
       !rs.send_actions.empty() && op >= rs.send_actions.front().op_index) {
     const FaultAction a = rs.send_actions.front();
     rs.send_actions.pop_front();
-    std::ostringstream os;
-    os << "message to rank " << dst << " (tag=" << msg.tag
-       << ", bytes=" << msg.payload.size() << ", seq=" << msg.seq << ')';
-    switch (a.kind) {
-      case FaultKind::DropMessage: {
-        record({epoch(), src, op, "drop", "dropped " + os.str()});
-        std::lock_guard lock(buf_mu_);
-        swallowed_[static_cast<std::size_t>(dst)].push_back(std::move(msg));
-        return;
-      }
-      case FaultKind::DuplicateDelivery: {
-        record({epoch(), src, op, "duplicate", "duplicated " + os.str()});
-        Message copy = msg;
-        transport.deposit(dst, std::move(copy));
-        transport.deposit(dst, std::move(msg));
-        return;
-      }
-      case FaultKind::DelayDelivery: {
-        std::ostringstream ds;
-        ds << "deferred " << os.str() << " by " << a.defer_ops << " op(s)";
-        record({epoch(), src, op, "delay", ds.str()});
-        std::lock_guard lock(buf_mu_);
-        deferred_.push_back({op + a.defer_ops, dst, std::move(msg)});
-        return;
-      }
-      case FaultKind::CrashRank:
-      case FaultKind::SlowRank:
-        break;  // never queued as send actions
+    apply_send_fault(a, transport, src, dst, std::move(msg), op,
+                     /*nb_round=*/false);
+    return;
+  }
+  transport.deposit(dst, std::move(msg));
+}
+
+void FaultInjector::deliver(Transport& transport, int src, int dst,
+                            Message msg, std::uint64_t op_id) {
+  auto& rs = *ranks_[static_cast<std::size_t>(src)];
+  if (!disarmed_.load(std::memory_order_relaxed)) {
+    for (auto it = rs.send_actions.begin(); it != rs.send_actions.end();
+         ++it) {
+      if (it->op_index != op_id) continue;
+      const FaultAction a = *it;
+      rs.send_actions.erase(it);
+      apply_send_fault(a, transport, src, dst, std::move(msg), op_id,
+                       /*nb_round=*/true);
+      return;
     }
   }
   transport.deposit(dst, std::move(msg));

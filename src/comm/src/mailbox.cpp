@@ -53,9 +53,10 @@ Message Mailbox::pop(std::uint64_t context, int source, int tag,
   const auto deadline = has_watchdog ? now + watch->timeout : kNever;
   auto next_retry = has_retry ? now + watch->retry_interval : kNever;
   for (;;) {
-    auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
-      return matches(m, context, source, tag);
-    });
+    const auto it =
+        std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+          return matches(m, context, source, tag);
+        });
     if (it != queue_.end()) {
       Message msg = std::move(*it);
       queue_.erase(it);
@@ -89,7 +90,7 @@ Message Mailbox::pop(std::uint64_t context, int source, int tag,
     if (has_watchdog && woke >= deadline) {
       // Re-scan under the lock before declaring a deadlock: a matching
       // message may have raced in with the timeout.
-      auto late = std::find_if(
+      const auto late = std::find_if(
           queue_.begin(), queue_.end(), [&](const Message& m) {
             return matches(m, context, source, tag);
           });
@@ -101,9 +102,10 @@ Message Mailbox::pop(std::uint64_t context, int source, int tag,
 bool Mailbox::try_pop(std::uint64_t context, int source, int tag,
                       Message& out) {
   std::lock_guard lock(mu_);
-  auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
-    return matches(m, context, source, tag);
-  });
+  const auto it =
+      std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+        return matches(m, context, source, tag);
+      });
   if (it == queue_.end()) {
     // Match-first, poison-second: a delivered message is still consumable
     // after the fabric is poisoned, mirroring pop().
@@ -141,6 +143,13 @@ void Mailbox::clear() {
     next = std::max(next == 0 ? 1 : next, m.seq + 1);
   }
   queue_.clear();
+}
+
+void Mailbox::reset() {
+  std::lock_guard lock(mu_);
+  queue_.clear();
+  next_seq_.clear();
+  poisoned_ = false;
 }
 
 }  // namespace mbd::comm

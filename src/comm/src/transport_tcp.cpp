@@ -250,12 +250,21 @@ void set_nodelay(int fd) {
 
 TcpTransport::TcpTransport(int world_size, int rank, const std::string& host,
                            std::uint16_t port, TcpOptions opts)
-    : world_size_(world_size), rank_(rank), opts_(opts) {
+    : world_size_(world_size),
+      rank_(rank),
+      participants_(world_size + opts.spares),
+      opts_(opts) {
   MBD_CHECK_GT(world_size_, 1);
-  MBD_CHECK_MSG(rank_ >= 0 && rank_ < world_size_,
+  MBD_CHECK(opts_.spares >= 0);
+  MBD_CHECK_MSG(rank_ >= 0 && rank_ < participants_,
                 "tcp transport: rank " << rank_ << " out of range");
-  peers_.reserve(static_cast<std::size_t>(world_size_));
-  for (int r = 0; r < world_size_; ++r)
+  local_slot_ = rank_ < world_size_ ? rank_ : -1;
+  slot_owner_.resize(static_cast<std::size_t>(world_size_));
+  for (int s = 0; s < world_size_; ++s)
+    slot_owner_[static_cast<std::size_t>(s)] = s;
+  dead_.assign(static_cast<std::size_t>(participants_), 0);
+  peers_.reserve(static_cast<std::size_t>(participants_));
+  for (int r = 0; r < participants_; ++r)
     peers_.push_back(std::make_unique<Peer>());
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -268,7 +277,7 @@ TcpTransport::TcpTransport(int world_size, int rank, const std::string& host,
                        sizeof(addr)) == 0,
                 "tcp transport: cannot bind " << host << ':' << port
                                               << " (errno " << errno << ')');
-  MBD_CHECK_MSG(::listen(listen_fd_, world_size_) == 0,
+  MBD_CHECK_MSG(::listen(listen_fd_, participants_) == 0,
                 "tcp transport: listen failed (errno " << errno << ')');
   sockaddr_in bound{};
   socklen_t bound_len = sizeof(bound);
@@ -318,9 +327,11 @@ void TcpTransport::receive_loop(int peer_rank, int fd) {
       dec.feed({buf.data(), static_cast<std::size_t>(n)});
       while (auto f = dec.next()) {
         if (peer_rank < 0) {
+          // The Hello's world_size field carries the total participant
+          // count so actives and spares validate the same mesh shape.
           if (f->type != wire::FrameType::Hello ||
-              f->world_size != world_size_ || f->rank < 0 ||
-              f->rank >= world_size_ || f->rank == rank_) {
+              f->world_size != participants_ || f->rank < 0 ||
+              f->rank >= participants_ || f->rank == rank_) {
             running = false;  // stranger or misconfigured peer
             break;
           }
@@ -348,13 +359,13 @@ void TcpTransport::receive_loop(int peer_rank, int fd) {
       // Local fabric torn down while depositing; keep draining — the peer's
       // Goodbye (or the next epoch's frames) still matter.
     } catch (const ::mbd::Error&) {
-      if (peer_rank >= 0) fail_peer(peer_rank, "malformed frame stream");
+      if (peer_rank >= 0) fail_peer_phys(peer_rank, "malformed frame stream");
       running = false;
     }
   }
   if (!clean && peer_rank >= 0 &&
       !closing_.load(std::memory_order_relaxed)) {
-    fail_peer(peer_rank, "connection closed without goodbye");
+    fail_peer_phys(peer_rank, "connection closed without goodbye");
   }
   if (peer_rank < 0) ::close(fd);  // never registered; nobody else owns it
   {
@@ -415,7 +426,7 @@ bool TcpTransport::handle_frame(int peer_rank, wire::Frame f) {
       return true;
     }
     case wire::FrameType::Hello:
-      fail_peer(peer_rank, "protocol error: unexpected Hello mid-stream");
+      fail_peer_phys(peer_rank, "protocol error: unexpected Hello mid-stream");
       return false;
   }
   return true;
@@ -423,30 +434,58 @@ bool TcpTransport::handle_frame(int peer_rank, wire::Frame f) {
 
 void TcpTransport::deposit_local_locked(Message msg) {
   if (fabric_ == nullptr) return;  // between runs; nothing to feed
+  if (local_slot_ < 0) return;     // idle spare: no mailbox to feed yet
   if (fabric_->poisoned.load(std::memory_order_acquire)) return;
-  fabric_->mailboxes[static_cast<std::size_t>(rank_)].push(std::move(msg));
+  fabric_->mailboxes[static_cast<std::size_t>(local_slot_)].push(
+      std::move(msg));
 }
 
-void TcpTransport::fail_peer(int peer_rank, const std::string& what) {
+int TcpTransport::local_slot() const {
+  std::lock_guard lock(mu_);
+  return local_slot_;
+}
+
+void TcpTransport::fail_peer(int slot, const std::string& what) {
   detail::Fabric* fab = nullptr;
   {
     std::lock_guard lock(mu_);
     if (!failure_) {
       std::ostringstream os;
-      os << "rank " << peer_rank << " failed off-process: " << what;
-      failure_ = std::make_exception_ptr(RankFailure(os.str()));
+      os << "rank " << slot << " failed off-process: " << what;
+      failure_ = std::make_exception_ptr(RankFailure(os.str(), slot));
+      failed_slot_ = slot;
     }
     fab = fabric_;
   }
+  cv_.notify_all();  // wake await_failure on an idle spare
   if (fab != nullptr) fab->poison_all();
 }
 
+void TcpTransport::fail_peer_phys(int phys, const std::string& what) {
+  int slot = -1;
+  {
+    std::lock_guard lock(mu_);
+    // A participant replaced by promotion is expected to disappear — its
+    // late EOF must not poison the repaired epoch. An idle spare dying only
+    // shrinks the pool; no active slot is affected.
+    if (dead_[static_cast<std::size_t>(phys)] != 0) return;
+    for (int s = 0; s < world_size_; ++s) {
+      if (slot_owner_[static_cast<std::size_t>(s)] == phys) {
+        slot = s;
+        break;
+      }
+    }
+  }
+  if (slot < 0) return;
+  fail_peer(slot, what);
+}
+
 void TcpTransport::connect_mesh(const std::vector<TcpEndpoint>& peers) {
-  MBD_CHECK_EQ(peers.size(), static_cast<std::size_t>(world_size_));
+  MBD_CHECK_EQ(peers.size(), static_cast<std::size_t>(participants_));
   const auto deadline =
       std::chrono::steady_clock::now() + opts_.connect_timeout;
-  const auto hello = wire::encode_hello(rank_, world_size_);
-  for (int r = 0; r < world_size_; ++r) {
+  const auto hello = wire::encode_hello(rank_, participants_);
+  for (int r = 0; r < participants_; ++r) {
     if (r == rank_) continue;
     const sockaddr_in addr =
         make_addr(peers[static_cast<std::size_t>(r)].host,
@@ -478,34 +517,41 @@ void TcpTransport::connect_mesh(const std::vector<TcpEndpoint>& peers) {
   std::unique_lock lock(mu_);
   MBD_CHECK_MSG(
       cv_.wait_until(lock, deadline,
-                     [&] { return inbound_peers_ == world_size_ - 1; }),
+                     [&] { return inbound_peers_ == participants_ - 1; }),
       "tcp transport: rank " << rank_ << " timed out waiting for "
-                             << world_size_ - 1 - inbound_peers_
+                             << participants_ - 1 - inbound_peers_
                              << " peer(s) to dial in");
 }
 
 void TcpTransport::deposit(int dst, Message msg) {
-  if (dst == rank_) {
-    // Local deposits happen on retransmission flushes whose starving rank
-    // is this process.
-    std::lock_guard lock(mu_);
-    deposit_local_locked(std::move(msg));
-    return;
-  }
   int epoch = 0;
+  bool local = false;
   {
     std::lock_guard lock(mu_);
     epoch = epoch_;
+    local = dst == local_slot_;
+    // Local deposits happen on retransmission flushes whose starving rank
+    // is this participant's slot.
+    if (local) deposit_local_locked(std::move(msg));
   }
-  send_frame(dst, wire::encode_message(epoch, msg));
+  if (!local) send_frame(dst, wire::encode_message(epoch, msg));
 }
 
-void TcpTransport::send_frame(int dst, std::span<const std::byte> bytes) {
-  Peer& p = *peers_[static_cast<std::size_t>(dst)];
+void TcpTransport::send_frame(int dst_slot, std::span<const std::byte> bytes) {
+  int phys = dst_slot;
+  {
+    // Slots above world_size never occur; a slot's owner changes only under
+    // promote(), which runs with no rank threads sending.
+    std::lock_guard lock(mu_);
+    if (dst_slot >= 0 && dst_slot < world_size_) {
+      phys = slot_owner_[static_cast<std::size_t>(dst_slot)];
+    }
+  }
+  Peer& p = *peers_[static_cast<std::size_t>(phys)];
   std::lock_guard lock(p.send_mu);
   if (p.send_fd < 0) {
     throw PoisonedError("tcp transport: no connection to rank " +
-                        std::to_string(dst));
+                        std::to_string(dst_slot));
   }
   try {
     wire::write_all(p.send_fd, bytes);
@@ -513,23 +559,25 @@ void TcpTransport::send_frame(int dst, std::span<const std::byte> bytes) {
     // The wire to dst is gone: record the rank failure (poisoning the local
     // fabric) and surface a PoisonedError to the sending rank thread, which
     // World::run treats as the secondary wakeup it is.
-    fail_peer(dst, std::string("send failed: ") + e.what());
-    throw PoisonedError("tcp transport: send to rank " + std::to_string(dst) +
-                        " failed");
+    fail_peer(dst_slot, std::string("send failed: ") + e.what());
+    throw PoisonedError("tcp transport: send to rank " +
+                        std::to_string(dst_slot) + " failed");
   }
 }
 
 void TcpTransport::request_retransmit(int dst) {
   int epoch = 0;
+  int my_slot = -1;
   {
     std::lock_guard lock(mu_);
     epoch = epoch_;
+    my_slot = local_slot_;
   }
   const auto frame = wire::encode_retry_request(epoch, dst);
-  for (int r = 0; r < world_size_; ++r) {
-    if (r == rank_) continue;
+  for (int s = 0; s < world_size_; ++s) {
+    if (s == my_slot) continue;
     try {
-      send_frame(r, frame);
+      send_frame(s, frame);
     } catch (const PoisonedError&) {
       // Retry ticks must not add failure causes; the disconnect path has
       // already recorded one if the peer is truly gone.
@@ -539,17 +587,43 @@ void TcpTransport::request_retransmit(int dst) {
 
 void TcpTransport::broadcast_failure(const std::string& what) {
   int epoch = 0;
+  int my_slot = -1;
   {
     std::lock_guard lock(mu_);
     epoch = epoch_;
+    my_slot = local_slot_;
   }
-  const auto frame = wire::encode_peer_failure(epoch, rank_, what);
-  for (int r = 0; r < world_size_; ++r) {
-    if (r == rank_) continue;
+  if (my_slot < 0) return;  // an idle spare has no slot to report
+  // Idle spares hold no slot but are failure *detectors*: they must hear
+  // PeerFailure too (their await_failure is what triggers promotion), so the
+  // broadcast also goes to every physical participant outside the slot
+  // table.
+  std::vector<int> idle_spares;
+  {
+    std::lock_guard lock(mu_);
+    for (int p = world_size_; p < participants_; ++p) {
+      if (p == rank_ || dead_[static_cast<std::size_t>(p)] != 0) continue;
+      bool owns_slot = false;
+      for (int s = 0; s < world_size_; ++s) {
+        if (slot_owner_[static_cast<std::size_t>(s)] == p) owns_slot = true;
+      }
+      if (!owns_slot) idle_spares.push_back(p);
+    }
+  }
+  const auto frame = wire::encode_peer_failure(epoch, my_slot, what);
+  for (int s = 0; s < world_size_; ++s) {
+    if (s == my_slot) continue;
     try {
-      send_frame(r, frame);
+      send_frame(s, frame);
     } catch (const PoisonedError&) {
       // Best effort: a peer that is already gone does not need the news.
+    }
+  }
+  for (const int p : idle_spares) {
+    try {
+      send_frame(p, frame);  // dst >= world_size: routed by physical id
+    } catch (const PoisonedError&) {
+      // A dead spare just shrinks the pool.
     }
   }
 }
@@ -560,13 +634,16 @@ std::exception_ptr TcpTransport::take_failure() {
 }
 
 void TcpTransport::attach(detail::Fabric* fabric) {
-  // Called with no local rank threads running (Fabric construction). Flush
-  // frames buffered for the epoch this fabric will run: peers that
-  // restarted before us may have sent them already.
+  // Called with no local rank threads running (Fabric construction, or a
+  // detach at the start of a rebuild/repair). Flush frames buffered for the
+  // epoch this fabric will run: peers that restarted before us may have
+  // sent them already. Detached (nullptr), inbound frames buffer instead of
+  // landing in a dying fabric's mailboxes.
   std::deque<wire::Frame> due;
   {
     std::lock_guard lock(mu_);
     fabric_ = fabric;
+    if (fabric == nullptr) return;
     for (auto it = pending_.begin(); it != pending_.end();) {
       if (it->epoch <= epoch_) {
         due.push_back(std::move(*it));
@@ -583,6 +660,31 @@ void TcpTransport::begin_epoch(int epoch) {
   std::lock_guard lock(mu_);
   epoch_ = epoch;
   failure_ = nullptr;
+  failed_slot_ = -1;
+}
+
+void TcpTransport::promote(int slot, int spare) {
+  std::lock_guard lock(mu_);
+  MBD_CHECK_MSG(slot >= 0 && slot < world_size_,
+                "tcp transport: promoted slot " << slot << " out of range");
+  MBD_CHECK_MSG(spare >= 0 && spare < participants_,
+                "tcp transport: spare participant " << spare
+                                                    << " out of range");
+  const int old = slot_owner_[static_cast<std::size_t>(slot)];
+  dead_[static_cast<std::size_t>(old)] = 1;
+  slot_owner_[static_cast<std::size_t>(slot)] = spare;
+  if (spare == rank_) local_slot_ = slot;
+}
+
+std::optional<int> TcpTransport::await_failure(
+    std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  cv_.wait_for(lock, timeout,
+               [&] { return failed_slot_ >= 0 || goodbyes_seen_ > 0; });
+  if (failed_slot_ >= 0) return failed_slot_;
+  // A clean Goodbye first means the run finished without needing this
+  // spare (or the wait timed out with nothing happening).
+  return std::nullopt;
 }
 
 void TcpTransport::shutdown() {
@@ -590,7 +692,7 @@ void TcpTransport::shutdown() {
   // Half-close every send channel behind a Goodbye: peers read the Goodbye,
   // then EOF, and their receive loops exit clean.
   const auto goodbye = wire::encode_goodbye();
-  for (int r = 0; r < world_size_; ++r) {
+  for (int r = 0; r < participants_; ++r) {
     if (r == rank_) continue;
     Peer& p = *peers_[static_cast<std::size_t>(r)];
     std::lock_guard lock(p.send_mu);

@@ -14,7 +14,7 @@ std::string demangle(std::string_view mangled) {
   if (mangled.empty()) return {};
   const std::string name(mangled);
   int status = 0;
-  std::unique_ptr<char, void (*)(void*)> out(
+  const std::unique_ptr<char, void (*)(void*)> out(
       abi::__cxa_demangle(name.c_str(), nullptr, nullptr, &status),
       std::free);
   return status == 0 && out ? std::string(out.get()) : name;
@@ -126,6 +126,15 @@ void Validator::adopt_settings(const Validator& other) {
       std::memory_order_relaxed);
   local_only_.store(other.local_only_.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
+}
+
+void Validator::reset_transient() {
+  std::lock_guard lock(mu_);
+  contexts_.clear();
+  for (auto& s : last_collective_) s.clear();
+  for (auto& s : last_p2p_) s.clear();
+  for (auto& per_rank : nb_inflight_) per_rank.clear();
+  cancelled_ = 0;
 }
 
 void Validator::on_enter(std::uint64_t context, int comm_rank, int global_rank,

@@ -1,5 +1,6 @@
 #include "mbd/comm/world.hpp"
 
+#include <chrono>
 #include <exception>
 #include <sstream>
 #include <thread>
@@ -65,7 +66,7 @@ void World::configure_validator(Validator& v) const {
 void World::run(const std::function<void(Comm&)>& fn) {
   MBD_CHECK_MSG(!fabric_->poisoned.load(std::memory_order_acquire),
                 "World was poisoned by a previous failed run; create a new one");
-  auto members = std::make_shared<const std::vector<int>>([&] {
+  const auto members = std::make_shared<const std::vector<int>>([&] {
     std::vector<int> m(static_cast<std::size_t>(size_));
     for (int i = 0; i < size_; ++i) m[static_cast<std::size_t>(i)] = i;
     return m;
@@ -103,7 +104,7 @@ void World::run(const std::function<void(Comm&)>& fn) {
     // rank broadcast its primary error) is the cause; the local rank's
     // PoisonedError is merely its wakeup. Rethrow the cause — always a
     // RankFailure, so run_restartable coordinates the restart off-process.
-    if (auto transport_failure = fabric_->transport->take_failure()) {
+    if (const auto transport_failure = fabric_->transport->take_failure()) {
       std::rethrow_exception(transport_failure);
     }
     if (errors[0]) {
@@ -171,18 +172,108 @@ RecoveryReport World::run_restartable(const std::function<void(Comm&)>& fn,
       os << "attempt " << attempt << " failed (" << e.what()
          << "); restarting as epoch " << attempt + 1;
       rep.log.push_back(os.str());
+      const auto t0 = std::chrono::steady_clock::now();
       rebuild_fabric(attempt + 1);
+      rep.repair_ns.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
     }
+  }
+}
+
+void World::set_spares(int spares) {
+  MBD_CHECK(spares >= 0);
+  spares_ = spares;
+}
+
+RecoveryReport World::run_promotable(const std::function<void(Comm&)>& fn) {
+  RecoveryReport rep;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      run(fn);
+      if (fabric_->injector) rep.events = fabric_->injector->events();
+      return rep;
+    } catch (const RankFailure& e) {
+      const int failed = e.failed_rank();
+      // No spare left, an unattributed failure (no slot to refill), or this
+      // process *is* the victim (its slot is being given away): the failure
+      // is not recoverable by promotion here.
+      if (static_cast<int>(rep.promotions.size()) >= spares_) throw;
+      if (failed < 0 || failed >= size_) throw;
+      if (distributed() && failed == local_rank_) throw;
+      const int next_epoch = attempt + 1;
+      // Spares are consumed in participant-id order: every survivor (and the
+      // spare itself, off-process) computes the same id without agreement
+      // traffic.
+      const int spare = size_ + static_cast<int>(rep.promotions.size());
+      const auto t0 = std::chrono::steady_clock::now();
+      fabric_->transport->promote(failed, spare);
+      repair_fabric_in_place(next_epoch);
+      rep.repair_ns.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+      std::ostringstream os;
+      os << "attempt " << attempt << " failed (" << e.what()
+         << "); promoted spare " << spare << " into rank " << failed
+         << "'s slot for epoch " << next_epoch;
+      rep.log.push_back(os.str());
+      rep.promotions.push_back({next_epoch, failed, spare, e.what()});
+    }
+  }
+}
+
+void World::repair_fabric_in_place(int next_epoch) {
+  // The surgical counterpart of rebuild_fabric: nothing is reallocated and
+  // no fabric teardown happens. Only the per-rank mailbox state (reset to a
+  // fresh epoch for every slot — the dead rank's queued frames vanish, the
+  // survivors' sequence cursors restart at 1) and the transient
+  // validator/trace/recorder state are rebuilt. Survivors keep their
+  // process, threads-to-be, transport connections, and injector; the
+  // promoted spare simply occupies the dead slot next run.
+  const bool prof = obs::profiling_enabled();
+  const std::uint64_t t0 = prof ? obs::now_ns() : 0;
+  // Same ordering contract as rebuild_fabric: detach (so frames from
+  // already-promoted fast peers buffer instead of landing in mailboxes that
+  // are about to be reset), then advance the transport epoch — stale frames
+  // and late PeerFailure ghosts of the failed epoch drop — and attach last,
+  // flushing the buffered frames into the reset mailboxes.
+  fabric_->transport->attach(nullptr);
+  fabric_->transport->begin_epoch(next_epoch);
+  for (auto& mb : fabric_->mailboxes) mb.reset();
+  fabric_->poisoned.store(false, std::memory_order_release);
+  fabric_->next_msg_id.store(1, std::memory_order_relaxed);
+  fabric_->counters.reset();
+  if (fabric_->validator) fabric_->validator->reset_transient();
+  if (fabric_->trace) {
+    for (auto& r : fabric_->trace->ranks) r.clear();
+  }
+  if (fabric_->recorder) {
+    for (auto& r : fabric_->recorder->ranks) {
+      r.events.clear();
+      r.next_nb_token = 1;
+    }
+  }
+  fabric_->transport->attach(fabric_.get());
+  if (fabric_->injector) fabric_->injector->begin_epoch(next_epoch);
+  if (prof) {
+    obs::record_span(obs::SpanKind::Promotion, "repair_fabric", t0,
+                     obs::now_ns(), /*flow=*/0,
+                     static_cast<std::uint64_t>(next_epoch), 0);
   }
 }
 
 void World::rebuild_fabric(int next_epoch) {
   // Tear down the poisoned fabric and rebuild with the same configuration.
   // The transport and injector are shared across fabrics: the transport
-  // advances its epoch first (frames of the failed epoch become stale and
-  // drop; early frames from already-restarted peers buffer and flush into
-  // the fresh mailboxes during attach), and the injector's event log is
-  // cumulative while its trigger state re-arms for the next epoch.
+  // detaches first (a peer that restarted faster may already be sending the
+  // new epoch's frames, and depositing them into the dying fabric would lose
+  // them — detached, they buffer), then advances its epoch (frames of the
+  // failed epoch become stale and drop), and the buffered new-epoch frames
+  // flush into the fresh mailboxes during attach. The injector's event log
+  // is cumulative while its trigger state re-arms for the next epoch.
+  fabric_->transport->attach(nullptr);
   fabric_->transport->begin_epoch(next_epoch);
   auto fresh = std::make_shared<detail::Fabric>(size_, fabric_->transport);
   if (fabric_->validator) {

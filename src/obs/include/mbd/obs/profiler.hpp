@@ -51,6 +51,7 @@ enum class SpanKind : std::uint8_t {
   NbDrain,     ///< CollectiveHandle::test partial progress
   Checkpoint,  ///< LayerEngine save/restore checkpoint
   FaultRetry,  ///< fault-fabric retransmission flush
+  Promotion,   ///< spare promotion: in-place fabric repair
   StageFwd,    ///< one EngineStage::forward call
   StageBwd,    ///< one EngineStage::backward call
   kCount

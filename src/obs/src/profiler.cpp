@@ -20,6 +20,7 @@ const char* span_kind_name(SpanKind k) {
     case SpanKind::NbDrain: return "nb_drain";
     case SpanKind::Checkpoint: return "checkpoint";
     case SpanKind::FaultRetry: return "fault_retry";
+    case SpanKind::Promotion: return "promotion";
     case SpanKind::StageFwd: return "stage_fwd";
     case SpanKind::StageBwd: return "stage_bwd";
     case SpanKind::kCount: break;

@@ -37,9 +37,16 @@ struct CheckpointPolicy {
 
 /// Double-buffered in-memory checkpoint, one slot per global rank.
 /// Thread-safe: rank threads stage/read concurrently under one mutex.
+/// stage_rank/commit are virtual so fault tests can interpose on the
+/// stage→commit window (e.g. crash a rank after staging but before the
+/// commit barrier) without touching the engine.
 class CheckpointStore {
  public:
   explicit CheckpointStore(int world_size);
+  virtual ~CheckpointStore() = default;
+
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
 
   /// True once a checkpoint has been committed.
   bool valid() const;
@@ -50,11 +57,11 @@ class CheckpointStore {
 
   /// Stage rank `rank`'s state for the checkpoint being taken. Staging
   /// never touches the committed slots.
-  void stage_rank(int rank, std::vector<float> state,
-                  std::vector<double> losses);
+  virtual void stage_rank(int rank, std::vector<float> state,
+                          std::vector<double> losses);
   /// Promote every staged slot to committed, tagged with `next_step`.
   /// Called by one rank, after a barrier guarantees all ranks staged.
-  void commit(std::size_t next_step);
+  virtual void commit(std::size_t next_step);
 
   /// Committed state / loss history for `rank` (copies; restore mutates
   /// the engine's copy in place).

@@ -559,10 +559,25 @@ DistResult LayerEngine::train(const nn::Dataset& data,
   DistResult result;
   result.losses.reserve(cfg.iterations);
   std::size_t first_it = 0;
-  if (recovery != nullptr && recovery->store != nullptr &&
-      recovery->store->valid()) {
-    first_it = restore_checkpoint(*recovery, result.losses);
-    MBD_CHECK_LE(first_it, cfg.iterations);
+  if (recovery != nullptr && recovery->store != nullptr) {
+    // The resume decision is collective, not a local store read. After a
+    // failure each rank re-enters train() on its own clock, and rank 0 —
+    // the sole committer — may promote the in-flight checkpoint *after* a
+    // fast survivor (or the crasher itself) has already re-read the store
+    // as empty; the ranks would then disagree on first_it and their
+    // schedules deadlock. Rank 0's view is authoritative: its commit
+    // necessarily happened before its own restart, so it broadcasts the
+    // resume step and every rank restores — or replays from scratch — by
+    // that one answer.
+    double resume = 0.0;
+    if (world_->rank() == 0 && recovery->store->valid())
+      resume = static_cast<double>(recovery->store->step());
+    world_->broadcast(std::span<double>(&resume, 1), /*root=*/0);
+    if (resume > 0.0) {
+      first_it = restore_checkpoint(*recovery, result.losses);
+      MBD_CHECK_EQ(first_it, static_cast<std::size_t>(resume));
+      MBD_CHECK_LE(first_it, cfg.iterations);
+    }
   }
   for (std::size_t it = first_it; it < cfg.iterations; ++it) {
     const std::size_t start = (it * cfg.batch) % data.size();

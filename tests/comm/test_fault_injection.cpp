@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "mbd/comm/world.hpp"
@@ -329,6 +330,141 @@ TEST(FaultInjection, RestartBudgetExhaustionRethrows) {
                    },
                    /*max_restarts=*/1),
                RankFailure);
+}
+
+// --- Fault injection inside nonblocking drain rounds ------------------------
+//
+// Nonblocking collectives reserve their per-round op identities at initiation
+// (program order), so a plan's op_index lands on a *specific ring round send*
+// even when the op is driven by test() polling. For a 2-rank iallreduce the
+// first collective reserves ops 1 (reduce-scatter round) and 2 (all-gather
+// round).
+
+/// Poll test() a few times (exercising the try_recv drain path), then wait().
+void drain(CollectiveHandle& h) {
+  for (int i = 0; i < 50 && !h.test(); ++i)
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  h.wait();
+}
+
+TEST(FaultInjection, NbRoundDropIsRescuedDuringDrain) {
+  World w(2);
+  w.enable_validation();
+  FaultPlan plan;
+  plan.actions.push_back(
+      {.kind = FaultKind::DropMessage, .rank = 0, .op_index = 1});
+  w.install_faults(plan, {.retry_interval = 10ms});
+  w.run([](Comm& c) {
+    std::vector<float> v{static_cast<float>(c.rank() + 1), 4.0f};
+    CollectiveHandle h = c.iallreduce(std::span<float>(v));
+    drain(h);
+    EXPECT_EQ(v[0], 3.0f);
+    EXPECT_EQ(v[1], 8.0f);
+  });
+  const FaultInjector& fi = *w.fault_injector();
+  EXPECT_GE(fi.retransmit_count(), 1U);
+  const auto evs = fi.events();
+  ASSERT_GE(evs.size(), 2U);
+  EXPECT_EQ(evs[0].kind, "drop");
+  EXPECT_EQ(evs[0].rank, 0);
+  EXPECT_EQ(evs[0].op_index, 1U);
+  EXPECT_NE(evs[0].describe().find("nb round"), std::string::npos)
+      << evs[0].describe();
+}
+
+TEST(FaultInjection, NbRoundDuplicateIsDeduped) {
+  World w(2);
+  w.enable_validation();
+  // Op 2 is rank 0's all-gather-phase round send of its first iallreduce.
+  FaultPlan plan;
+  plan.actions.push_back(
+      {.kind = FaultKind::DuplicateDelivery, .rank = 0, .op_index = 2});
+  w.install_faults(plan);
+  w.run([](Comm& c) {
+    std::vector<float> v{static_cast<float>(c.rank() + 1), 4.0f};
+    CollectiveHandle h = c.iallreduce(std::span<float>(v));
+    drain(h);
+    EXPECT_EQ(v[0], 3.0f);
+    EXPECT_EQ(v[1], 8.0f);
+  });
+  const auto evs = w.fault_injector()->events();
+  ASSERT_EQ(evs.size(), 1U);
+  EXPECT_EQ(evs[0].kind, "duplicate");
+  EXPECT_NE(evs[0].describe().find("nb round"), std::string::npos);
+}
+
+TEST(FaultInjection, NbRoundDelayIsReleasedByOpProgressNotRetry) {
+  World w(2);
+  w.enable_validation();
+  // Delay rank 0's round-0 send by one op: it is released when rank 0 sends
+  // its round-1 frame (op 2) — driven purely by the sender's own drain
+  // progress. The enormous retry interval proves no receiver retry is
+  // involved.
+  FaultPlan plan;
+  plan.actions.push_back({.kind = FaultKind::DelayDelivery,
+                          .rank = 0,
+                          .op_index = 1,
+                          .defer_ops = 1});
+  w.install_faults(plan, {.retry_interval = std::chrono::hours(1)});
+  w.run([](Comm& c) {
+    std::vector<float> v{static_cast<float>(c.rank() + 1), 4.0f};
+    CollectiveHandle h = c.iallreduce(std::span<float>(v));
+    drain(h);
+    EXPECT_EQ(v[0], 3.0f);
+    EXPECT_EQ(v[1], 8.0f);
+  });
+  EXPECT_EQ(w.fault_injector()->retransmit_count(), 0U);
+  const auto evs = w.fault_injector()->events();
+  ASSERT_EQ(evs.size(), 1U);
+  EXPECT_EQ(evs[0].kind, "delay");
+  EXPECT_NE(evs[0].describe().find("nb round"), std::string::npos);
+}
+
+TEST(FaultInjection, NbRoundCrashFiresMidDrain) {
+  // 4 ranks: the first iallreduce reserves ops 1..6 on each rank. A crash at
+  // op 4 fires when rank 1 posts its 4th ring round — mid-drain, after three
+  // rounds already completed — and recovery still reaches the exact result.
+  World w(4);
+  w.enable_validation();
+  w.install_faults(crash_plan(/*rank=*/1, /*op=*/4));
+  std::vector<float> expect{10.0f, 14.0f};  // sum of rank+1, rank+2
+  const auto rep = w.run_restartable([&](Comm& c) {
+    std::vector<float> v{static_cast<float>(c.rank() + 1),
+                         static_cast<float>(c.rank() + 2)};
+    CollectiveHandle h = c.iallreduce(std::span<float>(v));
+    drain(h);
+    EXPECT_EQ(v, expect);
+  });
+  EXPECT_EQ(rep.restarts, 1);
+  ASSERT_EQ(rep.events.size(), 1U);
+  EXPECT_EQ(rep.events[0].kind, "crash");
+  EXPECT_EQ(rep.events[0].op_index, 4U);
+  EXPECT_NE(rep.events[0].describe().find("nb round"), std::string::npos);
+}
+
+TEST(FaultInjection, NbRoundFaultsAreDeterministicAcrossRuns) {
+  // The reserved identities are assigned in program order at initiation, so
+  // the same plan produces the same event log no matter how test()/wait()
+  // interleave across runs.
+  FaultPlan plan;
+  plan.actions.push_back(
+      {.kind = FaultKind::DropMessage, .rank = 0, .op_index = 3});
+  plan.actions.push_back(
+      {.kind = FaultKind::DuplicateDelivery, .rank = 1, .op_index = 2});
+  const auto run_once = [&] {
+    World w(2);
+    w.enable_validation();
+    w.install_faults(plan, {.retry_interval = 10ms});
+    w.run([](Comm& c) {
+      for (int i = 0; i < 3; ++i) {
+        std::vector<float> v(4, static_cast<float>(c.rank() + i));
+        CollectiveHandle h = c.iallreduce(std::span<float>(v));
+        drain(h);
+      }
+    });
+    return event_lines(*w.fault_injector());
+  };
+  EXPECT_EQ(run_once(), run_once());
 }
 
 // --- Satellite: RAII cancellation of CollectiveHandle -----------------------

@@ -7,7 +7,9 @@
 #include <sys/socket.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -16,6 +18,8 @@
 #include "mbd/comm/world.hpp"
 #include "mbd/nn/models.hpp"
 #include "mbd/parallel/model_parallel.hpp"
+#include "mbd/parallel/pipeline.hpp"
+#include "mbd/parallel/recovery.hpp"
 
 namespace mbd::comm {
 namespace {
@@ -391,6 +395,213 @@ TEST(TcpTransportWorld, DroppedMessageRetransmitsAcrossTheWire) {
     }
   });
   EXPECT_GE(tw.worlds[1]->fault_injector()->events().size(), 1u);
+}
+
+// --- crash-restart and spare-promotion recovery over TCP --------------------
+
+FaultPlan tcp_crash_plan(int rank, std::uint64_t op) {
+  FaultPlan plan;
+  plan.actions.push_back(
+      {.kind = FaultKind::CrashRank, .rank = rank, .op_index = op});
+  return plan;
+}
+
+// The pipeline problem from the in-process recovery matrix: one FC stage per
+// rank, two microbatches, momentum, 7 iterations at checkpoint cadence 3.
+struct PipelineProblem {
+  std::vector<nn::LayerSpec> specs = nn::mlp_spec({12, 14, 12, 10, 8});
+  nn::Dataset data = nn::make_synthetic_dataset(12, 8, 40, /*seed=*/23);
+  nn::TrainConfig cfg;
+  PipelineProblem() {
+    cfg.batch = 8;
+    cfg.lr = 0.02f;
+    cfg.momentum = 0.9f;
+    cfg.iterations = 7;
+  }
+  parallel::DistResult run(Comm& c, parallel::ReduceMode mode,
+                           const parallel::RecoveryContext* rc) const {
+    return parallel::train_pipeline(c, specs, data, cfg, /*microbatches=*/2,
+                                    /*seed=*/42, mode, rc);
+  }
+};
+
+/// In-process fault-free reference with an op-counting injector: the rank-1
+/// op count places the crash mid-run, and op streams are transport-invariant.
+parallel::DistResult pipeline_reference(const PipelineProblem& p,
+                                        parallel::ReduceMode mode,
+                                        std::uint64_t* rank1_ops) {
+  World w(4);
+  w.enable_validation();
+  w.install_faults({});
+  parallel::DistResult ref;
+  std::mutex mu;
+  w.run([&](Comm& c) {
+    auto r = p.run(c, mode, nullptr);
+    std::lock_guard lock(mu);
+    if (c.rank() == 0) ref = std::move(r);
+  });
+  if (rank1_ops != nullptr) *rank1_ops = w.fault_injector()->op_count(1);
+  return ref;
+}
+
+TEST(TcpRecovery, PipelineCrashRestartMatchesInProcessBitwise) {
+  const PipelineProblem p;
+  for (const auto mode :
+       {parallel::ReduceMode::Blocking, parallel::ReduceMode::Overlapped}) {
+    std::uint64_t rank1_ops = 0;
+    const parallel::DistResult ref = pipeline_reference(p, mode, &rank1_ops);
+    ASSERT_GT(rank1_ops, 4U);
+    const FaultPlan plan = tcp_crash_plan(1, rank1_ops / 2);
+
+    TcpWorld tw(4);
+    parallel::CheckpointStore store(4);
+    std::vector<parallel::DistResult> results(4);
+    std::vector<int> restarts(4, 0);
+    std::vector<std::exception_ptr> errors(4);
+    std::vector<std::thread> runners;
+    for (int r = 0; r < 4; ++r) {
+      tw.worlds[static_cast<std::size_t>(r)]->install_faults(plan, {});
+      tw.worlds[static_cast<std::size_t>(r)]->set_validation_timeout(
+          std::chrono::milliseconds(120'000));
+      runners.emplace_back([&, r] {
+        try {
+          parallel::RecoveryContext rc{&store, {.every = 3}};
+          const auto rep = tw.worlds[static_cast<std::size_t>(r)]
+                               ->run_restartable([&](Comm& c) {
+                                 results[static_cast<std::size_t>(r)] =
+                                     p.run(c, mode, &rc);
+                               });
+          restarts[static_cast<std::size_t>(r)] = rep.restarts;
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : runners) t.join();
+    for (const auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(restarts[static_cast<std::size_t>(r)], 1) << "rank " << r;
+      EXPECT_EQ(results[static_cast<std::size_t>(r)].losses, ref.losses)
+          << "rank " << r;
+      EXPECT_EQ(results[static_cast<std::size_t>(r)].params, ref.params)
+          << "rank " << r;
+    }
+  }
+}
+
+TEST(TcpRecovery, SparePromotionFourRanksOneSpare) {
+  // Five participants: four active ranks plus one hot spare. Rank 1 takes an
+  // injected crash; survivors run_promotable — detect the failure, promote
+  // participant 4 into slot 1, repair their fabrics in place (no mesh
+  // teardown) — while the spare's await_failure fires and it builds a World
+  // over the adopted slot. Bitwise equality against the uninterrupted
+  // in-process run, for the pipeline trainer.
+  const PipelineProblem p;
+  const auto mode = parallel::ReduceMode::Blocking;
+  std::uint64_t rank1_ops = 0;
+  const parallel::DistResult ref = pipeline_reference(p, mode, &rank1_ops);
+  ASSERT_GT(rank1_ops, 4U);
+  const FaultPlan plan = tcp_crash_plan(1, rank1_ops / 2);
+
+  const int n = 4;
+  const TcpOptions opts{.spares = 1};
+  std::vector<std::shared_ptr<TcpTransport>> transports;
+  std::vector<TcpEndpoint> eps;
+  for (int r = 0; r < n + 1; ++r) {
+    transports.push_back(
+        std::make_shared<TcpTransport>(n, r, "127.0.0.1", 0, opts));
+    eps.push_back({"127.0.0.1", transports.back()->port()});
+  }
+  EXPECT_EQ(transports[4]->local_slot(), -1);
+  {
+    std::vector<std::thread> dialers;
+    for (auto& t : transports) {
+      dialers.emplace_back([&t, &eps] { t->connect_mesh(eps); });
+    }
+    for (auto& t : dialers) t.join();
+  }
+
+  parallel::CheckpointStore store(n);
+  std::vector<parallel::DistResult> results(n);
+  std::vector<RecoveryReport> reports(n);
+  std::atomic<bool> victim_failed{false};
+  std::vector<std::exception_ptr> errors(n + 1);
+  std::vector<std::thread> runners;
+  for (int r = 0; r < n; ++r) {
+    runners.emplace_back([&, r] {
+      try {
+        World w(n, r, transports[static_cast<std::size_t>(r)]);
+        w.enable_validation();
+        w.set_spares(1);
+        w.set_validation_timeout(std::chrono::milliseconds(120'000));
+        w.install_faults(plan, {});
+        parallel::RecoveryContext rc{&store, {.every = 3}};
+        reports[static_cast<std::size_t>(r)] = w.run_promotable([&](Comm& c) {
+          results[static_cast<std::size_t>(r)] = p.run(c, mode, &rc);
+        });
+      } catch (const RankFailure&) {
+        // The victim cannot be saved by promotion — its slot is given away.
+        if (r == 1) victim_failed.store(true);
+        else errors[static_cast<std::size_t>(r)] = std::current_exception();
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  // The spare: wait for the failure, adopt the slot, run the same case.
+  runners.emplace_back([&] {
+    try {
+      const auto slot =
+          transports[4]->await_failure(std::chrono::milliseconds(120'000));
+      ASSERT_TRUE(slot.has_value());
+      ASSERT_EQ(*slot, 1);
+      transports[4]->promote(*slot, transports[4]->rank());
+      transports[4]->begin_epoch(1);
+      World w(n, *slot, transports[4]);
+      w.enable_validation();
+      w.set_validation_timeout(std::chrono::milliseconds(120'000));
+      // Same plan as everyone — and the same epoch advance the survivors'
+      // repair applies, so rank 1's epoch-0 crash does not re-fire here.
+      w.install_faults(plan, {});
+      w.fault_injector()->begin_epoch(1);
+      parallel::RecoveryContext rc{&store, {.every = 3}};
+      w.run([&](Comm& c) {
+        results[1] = p.run(c, mode, &rc);
+      });
+    } catch (...) {
+      errors[4] = std::current_exception();
+    }
+  });
+  for (auto& t : runners) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  EXPECT_TRUE(victim_failed.load());
+  for (int r = 0; r < n; ++r) {
+    if (r == 1) continue;  // the victim's report never materialized
+    EXPECT_EQ(reports[static_cast<std::size_t>(r)].restarts, 0)
+        << "rank " << r;
+    ASSERT_EQ(reports[static_cast<std::size_t>(r)].promotions.size(), 1U)
+        << "rank " << r;
+    EXPECT_EQ(reports[static_cast<std::size_t>(r)].promotions[0].failed_rank,
+              1);
+    EXPECT_EQ(reports[static_cast<std::size_t>(r)].promotions[0].spare, 4);
+  }
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)].losses, ref.losses)
+        << "rank " << r;
+    EXPECT_EQ(results[static_cast<std::size_t>(r)].params, ref.params)
+        << "rank " << r;
+  }
+  // Concurrent shutdown, victim's transport included (it stayed connected —
+  // fail-stop was simulated by the injected crash, not a socket teardown).
+  std::vector<std::thread> closers;
+  for (auto& t : transports) {
+    closers.emplace_back([&t] { t->shutdown(); });
+  }
+  for (auto& t : closers) t.join();
 }
 
 TEST(TcpTransportWorld, ModelParallelTrainingMatchesInProcessBitwise) {

@@ -8,6 +8,8 @@
 // recovery works without snapshotting any RNG state beyond the step counter.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <tuple>
@@ -196,6 +198,31 @@ comm::FaultPlan crash_at(std::uint64_t op, int rank = 1) {
   return plan;
 }
 
+/// Like recovered_run, but the World holds `spares` hot spares and recovers
+/// by promotion (in-place fabric repair) instead of teardown/rebuild.
+RecoveredRun promoted_run(TrainerKind k, const Problem& p, ReduceMode mode,
+                          comm::FaultPlan plan, int spares = 1,
+                          CheckpointPolicy policy = {.every = 3},
+                          comm::FaultConfig fcfg = {}) {
+  comm::World w(kP);
+  w.enable_validation();
+  w.set_spares(spares);
+  w.install_faults(std::move(plan), fcfg);
+  CheckpointStore store(kP);
+  RecoveryContext rc{&store, policy};
+  std::vector<DistResult> results(kP);
+  std::mutex mu;
+  RecoveredRun out;
+  out.report = w.run_promotable([&](comm::Comm& c) {
+    DistResult r = run_trainer(c, k, p, mode, &rc);
+    std::lock_guard lock(mu);
+    results[static_cast<std::size_t>(c.rank())] = std::move(r);
+  });
+  out.result = agree(results);
+  out.commits = store.commits();
+  return out;
+}
+
 class RecoveryMatrix
     : public ::testing::TestWithParam<std::tuple<TrainerKind, ReduceMode>> {};
 
@@ -232,6 +259,204 @@ INSTANTIATE_TEST_SUITE_P(
              (std::get<1>(info.param) == ReduceMode::Blocking ? "_Blocking"
                                                               : "_Overlapped");
     });
+
+// --- Spare-rank hot-standby promotion -------------------------------------
+//
+// The same crash matrix, recovered by World::run_promotable: a hot spare is
+// promoted into the dead rank's slot, the fabric is repaired in place (no
+// teardown), survivors roll back from the shared CheckpointStore, and the
+// result must still be bitwise-equal to the uninterrupted run.
+
+class SparePromotionMatrix
+    : public ::testing::TestWithParam<std::tuple<TrainerKind, ReduceMode>> {};
+
+TEST_P(SparePromotionMatrix, PromotedRunRecoversBitwise) {
+  const auto [kind, mode] = GetParam();
+  const Problem p = problem_for(kind);
+  std::uint64_t rank1_ops = 0;
+  const DistResult ref = reference_run(kind, p, mode, &rank1_ops);
+  ASSERT_GT(rank1_ops, 4U);
+  const auto rec = promoted_run(kind, p, mode, crash_at(rank1_ops / 2));
+  // Promotion, not restart: the report distinguishes the two recovery modes.
+  EXPECT_EQ(rec.report.restarts, 0);
+  ASSERT_EQ(rec.report.promotions.size(), 1U);
+  EXPECT_EQ(rec.report.promotions[0].failed_rank, 1);
+  EXPECT_EQ(rec.report.promotions[0].spare, kP);
+  EXPECT_EQ(rec.report.promotions[0].epoch, 1);
+  ASSERT_EQ(rec.report.events.size(), 1U);
+  EXPECT_EQ(rec.report.events[0].kind, "crash");
+  EXPECT_EQ(rec.result.losses, ref.losses);
+  EXPECT_EQ(rec.result.params, ref.params);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Trainers, SparePromotionMatrix,
+    ::testing::Combine(::testing::Values(TrainerKind::Batch,
+                                         TrainerKind::Model,
+                                         TrainerKind::Integrated,
+                                         TrainerKind::MixedGrid,
+                                         TrainerKind::Domain,
+                                         TrainerKind::Hybrid,
+                                         TrainerKind::Pipeline),
+                       ::testing::Values(ReduceMode::Blocking,
+                                         ReduceMode::Overlapped)),
+    [](const auto& info) {
+      return std::string(trainer_name(std::get<0>(info.param))) +
+             (std::get<1>(info.param) == ReduceMode::Blocking ? "_Blocking"
+                                                              : "_Overlapped");
+    });
+
+TEST(Recovery, PromotionWithoutSparesRethrows) {
+  const Problem p = problem_for(TrainerKind::Batch);
+  std::uint64_t rank1_ops = 0;
+  reference_run(TrainerKind::Batch, p, ReduceMode::Blocking, &rank1_ops);
+  // No spare pool: the failure is not recoverable by promotion.
+  EXPECT_THROW(promoted_run(TrainerKind::Batch, p, ReduceMode::Blocking,
+                            crash_at(rank1_ops / 2), /*spares=*/0),
+               comm::RankFailure);
+}
+
+TEST(Recovery, PromotionSurvivesTwoCrashesWithTwoSpares) {
+  const Problem p = problem_for(TrainerKind::Model);
+  std::uint64_t rank1_ops = 0;
+  const DistResult ref =
+      reference_run(TrainerKind::Model, p, ReduceMode::Overlapped, &rank1_ops);
+  ASSERT_GT(rank1_ops, 6U);
+  // Rank 1 dies in epoch 0, rank 2 dies in epoch 1; each consumes one spare.
+  comm::FaultPlan plan;
+  plan.actions.push_back({.kind = comm::FaultKind::CrashRank,
+                          .rank = 1,
+                          .op_index = rank1_ops / 3});
+  plan.actions.push_back({.kind = comm::FaultKind::CrashRank,
+                          .rank = 2,
+                          .op_index = rank1_ops / 2,
+                          .epoch = 1});
+  const auto rec = promoted_run(TrainerKind::Model, p, ReduceMode::Overlapped,
+                                std::move(plan), /*spares=*/2);
+  EXPECT_EQ(rec.report.restarts, 0);
+  ASSERT_EQ(rec.report.promotions.size(), 2U);
+  EXPECT_EQ(rec.report.promotions[0].failed_rank, 1);
+  EXPECT_EQ(rec.report.promotions[0].spare, kP);
+  EXPECT_EQ(rec.report.promotions[1].failed_rank, 2);
+  EXPECT_EQ(rec.report.promotions[1].spare, kP + 1);
+  EXPECT_EQ(rec.result.losses, ref.losses);
+  EXPECT_EQ(rec.result.params, ref.params);
+}
+
+TEST(Recovery, PromotionComposesWithSendFaults) {
+  // Drop + duplicate + delay around the crash: the reliability substrate
+  // absorbs them, the spare absorbs the crash, bitwise equality holds.
+  const Problem p = problem_for(TrainerKind::Batch);
+  const DistResult ref =
+      reference_run(TrainerKind::Batch, p, ReduceMode::Blocking, nullptr);
+  const auto plan = comm::FaultPlan::random(
+      /*seed=*/5, kP,
+      {.crashes = 1, .drops = 1, .duplicates = 1, .delays = 1, .min_op = 12,
+       .max_op = 40});
+  const auto rec =
+      promoted_run(TrainerKind::Batch, p, ReduceMode::Blocking, plan,
+                   /*spares=*/1, {.every = 3},
+                   {.retry_interval = std::chrono::milliseconds(10)});
+  EXPECT_EQ(rec.report.promotions.size(), 1U);
+  EXPECT_EQ(rec.result.losses, ref.losses);
+  EXPECT_EQ(rec.result.params, ref.params);
+}
+
+// --- Crash inside the checkpoint commit window -----------------------------
+
+/// CheckpointStore that records the crash rank's injector op count at the
+/// moment it stages — the op index immediately after is inside the
+/// stage→commit window (the rank's next transport op is the pre-commit
+/// barrier), which is exactly where the double-buffer protocol must protect
+/// the previous generation.
+class StageProbingStore : public CheckpointStore {
+ public:
+  StageProbingStore(int world_size, comm::FaultInjector* fi)
+      : CheckpointStore(world_size), fi_(fi) {}
+
+  void stage_rank(int rank, std::vector<float> state,
+                  std::vector<double> losses) override {
+    if (rank == 1 && fi_ != nullptr) {
+      std::lock_guard lock(mu_);
+      staged_ops_.push_back(fi_->op_count(1));
+    }
+    CheckpointStore::stage_rank(rank, std::move(state), std::move(losses));
+  }
+
+  std::vector<std::uint64_t> staged_ops() const {
+    std::lock_guard lock(mu_);
+    return staged_ops_;
+  }
+
+ private:
+  comm::FaultInjector* fi_;
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> staged_ops_;
+};
+
+TEST(CheckpointStore, CrashInCommitWindowFallsBackToPreviousGeneration) {
+  const Problem p = problem_for(TrainerKind::Batch);
+  const ReduceMode mode = ReduceMode::Blocking;
+
+  // Probe pass: where (in rank 1's op stream) does each staging happen?
+  std::vector<std::uint64_t> staged_ops;
+  DistResult ref;
+  {
+    comm::World w(kP);
+    w.enable_validation();
+    w.install_faults({});
+    StageProbingStore store(kP, w.fault_injector());
+    RecoveryContext rc{&store, {.every = 3}};
+    std::vector<DistResult> results(kP);
+    std::mutex mu;
+    w.run([&](comm::Comm& c) {
+      DistResult r = run_trainer(c, TrainerKind::Batch, p, mode, &rc);
+      std::lock_guard lock(mu);
+      results[static_cast<std::size_t>(c.rank())] = std::move(r);
+    });
+    ref = agree(results);
+    staged_ops = store.staged_ops();
+    // Cadence 3 over 7 iterations: checkpoints after steps 3 and 6.
+    ASSERT_EQ(staged_ops.size(), 2U);
+    ASSERT_EQ(store.commits(), 2U);
+  }
+
+  // Fault pass: rank 1 crashes on its first transport op after staging the
+  // *second* checkpoint — between the stage barrier and the commit barrier.
+  // The commit barrier can no longer complete, so the step-6 generation must
+  // never become visible: recovery restores the step-3 generation and the
+  // replay is bitwise-identical.
+  comm::World w(kP);
+  w.enable_validation();
+  w.install_faults(crash_at(staged_ops[1] + 1));
+  CheckpointStore store(kP);
+  RecoveryContext rc{&store, {.every = 3}};
+  std::vector<DistResult> results(kP);
+  std::mutex mu;
+  std::atomic<std::size_t> commits_at_restart{~std::size_t{0}};
+  std::atomic<std::size_t> step_at_restart{0};
+  std::atomic<int> attempts{0};
+  const auto report = w.run_restartable([&](comm::Comm& c) {
+    if (attempts.fetch_add(1) >= kP && c.rank() == 0) {
+      // Second attempt: observe what survived the torn checkpoint.
+      commits_at_restart.store(store.commits());
+      step_at_restart.store(store.step());
+    }
+    DistResult r = run_trainer(c, TrainerKind::Batch, p, mode, &rc);
+    std::lock_guard lock(mu);
+    results[static_cast<std::size_t>(c.rank())] = std::move(r);
+  });
+  EXPECT_EQ(report.restarts, 1);
+  // The interrupted commit never happened: one committed generation (step 3)
+  // at restart time, with the staged step-6 slots discarded, not promoted.
+  EXPECT_EQ(commits_at_restart.load(), 1U);
+  EXPECT_EQ(step_at_restart.load(), 3U);
+  // The replay re-stages and commits step 6.
+  EXPECT_EQ(store.commits(), 2U);
+  const DistResult rec = agree(results);
+  EXPECT_EQ(rec.losses, ref.losses);
+  EXPECT_EQ(rec.params, ref.params);
+}
 
 TEST(Recovery, CrashBeforeFirstCheckpointRestartsFromScratch) {
   const Problem p = problem_for(TrainerKind::Batch);
@@ -292,6 +517,27 @@ TEST(Recovery, SeededPlanWithSendFaultsStillRecoversBitwise) {
   const auto rec =
       recovered_run(TrainerKind::Batch, p, ReduceMode::Blocking, plan,
                     {.every = 3}, {.retry_interval = std::chrono::milliseconds(10)});
+  EXPECT_EQ(rec.report.restarts, 1);
+  EXPECT_EQ(rec.result.losses, ref.losses);
+  EXPECT_EQ(rec.result.params, ref.params);
+}
+
+TEST(Recovery, OverlappedDrainSendFaultsRecoverBitwise) {
+  // Under ReduceMode::Overlapped the gradient allreduces are test()-polled
+  // nonblocking rings. Reserved per-round op identities make drop/duplicate/
+  // delay land on specific drain rounds, and the run must still recover
+  // bitwise — the carried ROADMAP item this PR closes.
+  const Problem p = problem_for(TrainerKind::Batch);
+  const DistResult ref =
+      reference_run(TrainerKind::Batch, p, ReduceMode::Overlapped, nullptr);
+  const auto plan = comm::FaultPlan::random(
+      /*seed=*/11, kP,
+      {.crashes = 1, .drops = 1, .duplicates = 1, .delays = 1, .min_op = 12,
+       .max_op = 40});
+  const auto rec =
+      recovered_run(TrainerKind::Batch, p, ReduceMode::Overlapped, plan,
+                    {.every = 3},
+                    {.retry_interval = std::chrono::milliseconds(10)});
   EXPECT_EQ(rec.report.restarts, 1);
   EXPECT_EQ(rec.result.losses, ref.losses);
   EXPECT_EQ(rec.result.params, ref.params);

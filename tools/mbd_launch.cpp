@@ -19,7 +19,19 @@
 // gates on: every registry trainer (pipeline included), both ReduceModes,
 // same seeds.
 //
-// Exit codes: 0 = sweep complete, 1 = a rank failed, 2 = bad invocation.
+// --spares S keeps S extra hot-standby processes in the mesh (physical ids
+// ranks..ranks+S-1, no logical slot). With --fail-rank R --fail-op N every
+// active worker installs the same injected-crash plan; rank R dies mid-run
+// (fail-stop: _exit, no goodbye), the survivors promote spare ranks+0 into
+// slot R via World::run_promotable, and the spare's await_failure fires: it
+// adopts the slot, replays the case, and writes rank<R>.json in the victim's
+// place. The out directory is byte-identical to an undisturbed run, so the
+// same `diff -r` gate proves spare-promoted recovery bitwise-correct across
+// real processes. Fault runs are restricted to a single (trainer, mode) case.
+//
+// Exit codes: 0 = sweep complete, 1 = a rank failed, 2 = bad invocation,
+// 42 = this worker was the injected-crash victim (expected under
+// --fail-rank; the parent does not count it as a failure).
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -42,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "mbd/comm/fault.hpp"
 #include "mbd/comm/transport_tcp.hpp"
 #include "mbd/comm/world.hpp"
 #include "mbd/nn/models.hpp"
@@ -220,17 +233,56 @@ std::string out_path(const std::string& dir, int rank) {
 
 // --- worker: one rank over TCP ---------------------------------------------
 
+comm::FaultPlan crash_plan(int rank, std::uint64_t op) {
+  comm::FaultPlan plan;
+  plan.actions.push_back(
+      {.kind = comm::FaultKind::CrashRank, .rank = rank, .op_index = op});
+  return plan;
+}
+
+// Run the (single, CLI-enforced) sweep case on an adopted or original slot
+// and write that slot's result file. Shared by active workers and a
+// promoted spare — the JSON must be identical whoever produces it.
+int run_cases(comm::World& world, int slot, bool promotable,
+              const ArgParser& args) {
+  const int ranks = static_cast<int>(args.get_int("ranks"));
+  const int iterations = static_cast<int>(args.get_int("iterations"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  std::vector<CaseResult> results;
+  for (auto& sc : make_cases(ranks, iterations, seed,
+                             args.get_string("trainer"),
+                             args.get_string("mode"))) {
+    DistResult res;
+    const auto body = [&](comm::Comm& c) { res = sc.run(c); };
+    if (promotable) {
+      world.run_promotable(body);
+    } else {
+      world.run(body);
+    }
+    std::printf("rank %d %-14s %-10s loss[last]=%s params_fnv1a=0x%llx\n",
+                slot, sc.trainer.c_str(), sc.mode_name.c_str(),
+                res.losses.empty() ? "-" : hex_double(res.losses.back()).c_str(),
+                static_cast<unsigned long long>(fnv1a(res.params)));
+    results.push_back({sc.trainer, sc.mode_name, std::move(res)});
+  }
+  write_rank_json(out_path(args.get_string("out"), slot), ranks, slot,
+                  iterations, seed, results);
+  return 0;
+}
+
 int run_worker(const ArgParser& args) {
   const int ranks = static_cast<int>(args.get_int("ranks"));
   const int rank = static_cast<int>(args.get_int("rank"));
-  const int iterations = static_cast<int>(args.get_int("iterations"));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const int spares = static_cast<int>(args.get_int("spares"));
+  const int fail_rank = static_cast<int>(args.get_int("fail-rank"));
+  const auto fail_op = static_cast<std::uint64_t>(args.get_int("fail-op"));
   const std::string rendezvous = args.get_string("rendezvous");
-  const std::string out = args.get_string("out");
   const std::string host = args.get_string("host");
+  const int participants = ranks + spares;
 
   auto transport = std::make_shared<comm::TcpTransport>(
-      ranks, rank, host, /*port=*/static_cast<std::uint16_t>(0));
+      ranks, rank, host, /*port=*/static_cast<std::uint16_t>(0),
+      comm::TcpOptions{.spares = spares});
   // Publish our address atomically (write + rename) so peers never read a
   // partial file.
   const std::string tmp = addr_path(rendezvous, rank) + ".tmp";
@@ -243,11 +295,12 @@ int run_worker(const ArgParser& args) {
       std::rename(tmp.c_str(), addr_path(rendezvous, rank).c_str()) == 0,
       "mbd_launch: cannot publish " << addr_path(rendezvous, rank));
 
-  // Gather every peer's address; peers publish in any order.
-  std::vector<comm::TcpEndpoint> peers(static_cast<std::size_t>(ranks));
+  // Gather every participant's address (spares included); peers publish in
+  // any order.
+  std::vector<comm::TcpEndpoint> peers(static_cast<std::size_t>(participants));
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(120);
-  for (int r = 0; r < ranks; ++r) {
+  for (int r = 0; r < participants; ++r) {
     while (true) {
       std::ifstream f(addr_path(rendezvous, r));
       std::string peer_host;
@@ -265,23 +318,50 @@ int run_worker(const ArgParser& args) {
   }
   transport->connect_mesh(peers);
 
-  comm::World world(ranks, rank, transport);
-  std::vector<CaseResult> results;
-  for (auto& sc : make_cases(ranks, iterations, seed,
-                             args.get_string("trainer"),
-                             args.get_string("mode"))) {
-    DistResult res;
-    world.run([&](comm::Comm& c) { res = sc.run(c); });
-    std::printf("rank %d %-14s %-10s loss[last]=%s params_fnv1a=0x%llx\n",
-                rank, sc.trainer.c_str(), sc.mode_name.c_str(),
-                res.losses.empty() ? "-" : hex_double(res.losses.back()).c_str(),
-                static_cast<unsigned long long>(fnv1a(res.params)));
-    results.push_back({sc.trainer, sc.mode_name, std::move(res)});
+  if (rank >= ranks) {
+    // Hot spare: idle until a peer's failure is broadcast, or until a
+    // Goodbye proves the run finished without needing us.
+    const auto slot = transport->await_failure(std::chrono::minutes(10));
+    if (!slot.has_value()) {
+      std::printf("spare %d: run completed without a failure; standing down\n",
+                  rank);
+      transport->shutdown();
+      return 0;
+    }
+    std::printf("spare %d: adopting failed slot %d\n", rank, *slot);
+    transport->promote(*slot, rank);
+    transport->begin_epoch(1);
+    comm::World world(ranks, *slot, transport);
+    if (fail_rank >= 0) {
+      // Same plan as every active worker — and the same epoch advance the
+      // survivors' in-place repair applies, so the victim's epoch-0 crash
+      // does not re-fire on its replacement.
+      world.install_faults(crash_plan(fail_rank, fail_op));
+      world.fault_injector()->begin_epoch(1);
+    }
+    const int rc = run_cases(world, *slot, /*promotable=*/false, args);
+    transport->shutdown();
+    return rc;
   }
-  write_rank_json(out_path(out, rank), ranks, rank, iterations, seed,
-                  results);
-  transport->shutdown();
-  return 0;
+
+  comm::World world(ranks, rank, transport);
+  if (spares > 0) world.set_spares(spares);
+  if (fail_rank >= 0) world.install_faults(crash_plan(fail_rank, fail_op));
+  try {
+    const int rc = run_cases(world, rank, /*promotable=*/spares > 0, args);
+    transport->shutdown();
+    return rc;
+  } catch (const comm::RankFailure& e) {
+    if (rank == fail_rank) {
+      // The victim cannot be saved by promotion — its slot was given away.
+      // Die fail-stop: no goodbye, no unwinding, sockets drop abruptly, so
+      // the survivors see exactly what a killed process would leave behind.
+      std::fprintf(stderr, "rank %d: injected victim dying (%s)\n", rank,
+                   e.what());
+      ::_exit(42);
+    }
+    throw;
+  }
 }
 
 // --- in-process reference sweep --------------------------------------------
@@ -325,17 +405,20 @@ int run_inprocess(const ArgParser& args) {
 
 int run_parent(const ArgParser& args) {
   const int ranks = static_cast<int>(args.get_int("ranks"));
+  const int spares = static_cast<int>(args.get_int("spares"));
+  const int fail_rank = static_cast<int>(args.get_int("fail-rank"));
+  const int participants = ranks + spares;
   const std::string out = args.get_string("out");
   std::string rendezvous = args.get_string("rendezvous");
   if (rendezvous.empty()) rendezvous = out + ".rendezvous";
   ensure_dir(out);
   ensure_dir(rendezvous);
-  for (int r = 0; r < ranks; ++r) {
+  for (int r = 0; r < participants; ++r) {
     (void)std::remove(addr_path(rendezvous, r).c_str());  // stale publishes
   }
 
   std::vector<pid_t> children;
-  for (int r = 0; r < ranks; ++r) {
+  for (int r = 0; r < participants; ++r) {
     const pid_t pid = ::fork();
     MBD_CHECK_MSG(pid >= 0, "mbd_launch: fork failed (errno " << errno << ')');
     if (pid == 0) {
@@ -351,6 +434,9 @@ int run_parent(const ArgParser& args) {
           "--mode=" + args.get_string("mode"),
           "--iterations=" + std::to_string(args.get_int("iterations")),
           "--seed=" + std::to_string(args.get_int("seed")),
+          "--spares=" + std::to_string(spares),
+          "--fail-rank=" + std::to_string(fail_rank),
+          "--fail-op=" + std::to_string(args.get_int("fail-op")),
       };
       std::vector<char*> argv;
       argv.reserve(sargs.size() + 1);
@@ -364,10 +450,18 @@ int run_parent(const ArgParser& args) {
   }
 
   int failures = 0;
+  int victims = 0;
   for (std::size_t reaped = 0; reaped < children.size(); ++reaped) {
     int status = 0;
     const pid_t pid = ::waitpid(-1, &status, 0);
     if (pid < 0) break;
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 42 && fail_rank >= 0 &&
+        victims == 0) {
+      // The injected-crash victim dying fail-stop is the point of the run;
+      // a spare writes its result file. Only one victim is expected.
+      ++victims;
+      continue;
+    }
     const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
     if (!ok) {
       ++failures;
@@ -383,6 +477,12 @@ int run_parent(const ArgParser& args) {
     }
   }
   if (failures == 0) {
+    if (fail_rank >= 0 && victims == 0) {
+      std::printf(
+          "mbd_launch: note: --fail-rank %d never fired (op index past the "
+          "end of the run?)\n",
+          fail_rank);
+    }
     std::printf("mbd_launch: %d rank(s) complete; results in %s\n", ranks,
                 out.c_str());
   }
@@ -411,6 +511,14 @@ int main(int argc, char** argv) {
   args.add_string("out", "launch_out", "directory for rank<R>.json results");
   args.add_bool("inprocess", false,
                 "run on the thread-backed fabric instead of TCP processes");
+  args.add_int("spares", 0,
+               "hot-standby processes beyond --ranks; a failed rank's slot "
+               "is adopted by a spare without tearing down the mesh");
+  args.add_int("fail-rank", -1,
+               "inject a crash on this rank (requires --spares >= 1 and a "
+               "single --trainer/--mode case)");
+  args.add_int("fail-op", 0,
+               "transport op index at which --fail-rank crashes");
   args.add_string("host", "127.0.0.1", "loopback address ranks bind/dial");
   args.add_string("rendezvous", "",
                   "address-exchange directory (default: <out>.rendezvous)");
@@ -423,6 +531,21 @@ int main(int argc, char** argv) {
     if (ranks < 2 || ranks % 2 != 0) {
       std::cerr << "mbd_launch: --ranks must be even and >= 2\n";
       return 2;
+    }
+    const int fail_rank = static_cast<int>(args.get_int("fail-rank"));
+    if (fail_rank >= 0) {
+      if (fail_rank >= ranks || args.get_int("spares") < 1 ||
+          args.get_int("fail-op") < 1) {
+        std::cerr << "mbd_launch: --fail-rank needs a rank < --ranks, "
+                     "--spares >= 1, and --fail-op >= 1\n";
+        return 2;
+      }
+      if (args.get_string("trainer") == "all" ||
+          args.get_string("mode") == "both" || args.get_bool("inprocess")) {
+        std::cerr << "mbd_launch: --fail-rank runs exactly one TCP case; "
+                     "pick one --trainer and one --mode\n";
+        return 2;
+      }
     }
     if (args.get_bool("worker")) return run_worker(args);
     if (args.get_bool("inprocess")) return run_inprocess(args);
