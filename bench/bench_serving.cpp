@@ -1,0 +1,145 @@
+// Serving throughput: dynamic batching vs. batch=1 dispatch.
+//
+// A 16-client closed loop drives the gateway over the 4-rank batch-parallel
+// layout twice — once with the dispatcher pinned to batch 1 (every request
+// pays a full collective forward) and once with startup-calibrated dynamic
+// batching (queued requests coalesce, amortizing the per-forward collective
+// latency and the GEMM's n-dimension inefficiency, the serving face of
+// Fig. 4). Cases (docs/benchmarks.md):
+//   serve_b1 p=4 / serve_dynamic p=4          ns = mean time per request
+//   serve_b1_p99 p=4 / serve_dynamic_p99 p=4  ns = p99 request latency
+// The committed BENCH_serving.json baseline gates regressions in CI, and
+// scripts/check_serving.py bench asserts dynamic batching keeps its >= 2x
+// throughput edge over batch=1.
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "mbd/comm/world.hpp"
+#include "mbd/nn/models.hpp"
+#include "mbd/nn/trainer.hpp"
+#include "mbd/obs/metrics.hpp"
+#include "mbd/parallel/common.hpp"
+#include "mbd/parallel/engine_layout.hpp"
+#include "mbd/serve/gateway.hpp"
+
+namespace {
+
+using namespace mbd;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kRanks = 4;
+constexpr std::size_t kClients = 16;
+constexpr std::size_t kRequestsPerClient = 16;
+constexpr std::size_t kRequests = kClients * kRequestsPerClient;
+
+struct ModeResult {
+  double ns_per_request = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::size_t batch = 0;
+};
+
+// An FC-heavy workload: at d = 256 the batch dimension decides GEMM
+// efficiency, so batching has real compute leverage on top of the
+// amortized collective latency.
+ModeResult run_mode(const std::vector<nn::LayerSpec>& specs,
+                    const nn::Dataset& data, std::size_t batch_size,
+                    std::size_t max_batch) {
+  obs::Metrics::instance().reset();
+
+  serve::Gateway* gateway = nullptr;
+  std::mutex mu;
+  std::condition_variable cv;
+  ModeResult result;
+
+  std::vector<std::thread> clients;
+  std::thread driver([&] {
+    {
+      std::unique_lock lk(mu);
+      cv.wait(lk, [&] { return gateway != nullptr; });
+    }
+    const auto start = Clock::now();
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+          const std::size_t col = (c * kRequestsPerClient + i) % data.size();
+          const tensor::Matrix x = data.inputs.col_block(col, col + 1);
+          (void)gateway->submit({x.span().begin(), x.span().end()}).get();
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    result.ns_per_request = wall * 1e9 / static_cast<double>(kRequests);
+    result.batch = gateway->chosen_batch();
+    gateway->shutdown();
+  });
+
+  comm::World world(kRanks);
+  world.run([&](comm::Comm& c) {
+    const parallel::TrainerEntry* entry = parallel::find_trainer("batch");
+    serve::InferenceSession session(
+        c, entry->layout(c, parallel::TrainerOptions{}, specs, /*batch=*/8));
+    serve::GatewayOptions opts;
+    opts.queue_capacity = kRequests;
+    opts.batch_size = batch_size;
+    opts.max_batch = max_batch;
+    opts.calibration_reps = 2;
+    serve::Gateway gw(session, c, opts);
+    if (c.rank() == 0) {
+      {
+        const std::lock_guard lk(mu);
+        gateway = &gw;
+      }
+      cv.notify_all();
+    }
+    gw.serve();
+  });
+  driver.join();
+
+  for (const auto& m : obs::Metrics::instance().snapshot()) {
+    if (m.name == "serve.latency_us") {
+      result.p50_us = m.hist.p50();
+      result.p99_us = m.hist.p99();
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::open_json_sink(argc, argv, "bench_serving");
+
+  const auto specs = nn::mlp_spec({256, 512, 512, 10});
+  const auto data = nn::make_synthetic_dataset(256, 10, 64, 7);
+
+  const ModeResult b1 = run_mode(specs, data, /*batch_size=*/1,
+                                 /*max_batch=*/1);
+  const ModeResult dyn = run_mode(specs, data, /*batch_size=*/0,
+                                  /*max_batch=*/32);
+
+  std::printf("serving: %zu closed-loop clients, %zu requests, p=%d\n",
+              kClients, kRequests, kRanks);
+  std::printf("  %-14s batch=%-3zu %9.1f us/req  p50=%7.1f us  p99=%7.1f us\n",
+              "batch=1", b1.batch, b1.ns_per_request / 1e3, b1.p50_us,
+              b1.p99_us);
+  std::printf("  %-14s batch=%-3zu %9.1f us/req  p50=%7.1f us  p99=%7.1f us\n",
+              "dynamic", dyn.batch, dyn.ns_per_request / 1e3, dyn.p50_us,
+              dyn.p99_us);
+  std::printf("  throughput speedup: %.2fx\n",
+              b1.ns_per_request / dyn.ns_per_request);
+
+  bench::record_json("serve_b1 p=4", 0, b1.ns_per_request, 0);
+  bench::record_json("serve_dynamic p=4", 0, dyn.ns_per_request, 0);
+  bench::record_json("serve_b1_p99 p=4", 0, b1.p99_us * 1e3, 0);
+  bench::record_json("serve_dynamic_p99 p=4", 0, dyn.p99_us * 1e3, 0);
+  return 0;
+}

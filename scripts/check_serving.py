@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate serving artifacts (serving-smoke and perf-regression CI jobs).
+
+Two modes:
+
+    scripts/check_serving.py serve serve.json
+        Schema-check a tools/mbd_serve result: every field present, the
+        accept/reject counts add up to the request count, the latency
+        percentiles are ordered and positive whenever something was served,
+        and the dispatch batch is at least 1.
+
+    scripts/check_serving.py bench BENCH_serving.json [--min-speedup 2.0]
+        Assert the committed bench_serving baseline still shows dynamic
+        batching beating batch=1 dispatch: ns("serve_b1 p=4") over
+        ns("serve_dynamic p=4") must be at least --min-speedup.
+
+Exit status: 0 clean, 1 check failed, 2 usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SERVE_FIELDS = {
+    "tool": str,
+    "trainer": str,
+    "ranks": int,
+    "requests": int,
+    "accepted": int,
+    "rejected_queue_full": (int, float),
+    "rejected_deadline": (int, float),
+    "rejected_shutdown": (int, float),
+    "batch_size": int,
+    "p50_us": (int, float),
+    "p99_us": (int, float),
+    "throughput_rps": (int, float),
+}
+
+
+def load_json(path: str):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+
+
+def check_serve(path: str) -> int:
+    doc = load_json(path)
+    if not isinstance(doc, dict):
+        sys.exit(f"error: {path}: expected a JSON object")
+
+    errors = []
+    for field, want in SERVE_FIELDS.items():
+        if field not in doc:
+            errors.append(f"missing field {field!r}")
+        elif not isinstance(doc[field], want) or isinstance(doc[field], bool):
+            errors.append(f"field {field!r} has type {type(doc[field]).__name__}")
+    if errors:
+        for e in errors:
+            print(f"FAIL  {e}")
+        return 1
+
+    if doc["tool"] != "mbd_serve":
+        errors.append(f'tool is {doc["tool"]!r}, expected "mbd_serve"')
+    rejected = (
+        doc["rejected_queue_full"]
+        + doc["rejected_deadline"]
+        + doc["rejected_shutdown"]
+    )
+    if doc["accepted"] + rejected != doc["requests"]:
+        errors.append(
+            f'{doc["accepted"]} accepted + {rejected:g} rejected '
+            f'!= {doc["requests"]} requests'
+        )
+    if doc["batch_size"] < 1:
+        errors.append(f'batch_size {doc["batch_size"]} < 1')
+    if doc["accepted"] > 0:
+        if not 0 < doc["p50_us"] <= doc["p99_us"]:
+            errors.append(
+                f'latency percentiles out of order: p50={doc["p50_us"]:g}us '
+                f'p99={doc["p99_us"]:g}us'
+            )
+        if doc["throughput_rps"] <= 0:
+            errors.append(f'throughput_rps {doc["throughput_rps"]:g} <= 0')
+
+    for e in errors:
+        print(f"FAIL  {e}")
+    if errors:
+        return 1
+    print(
+        f'OK    {path}: {doc["accepted"]}/{doc["requests"]} accepted, '
+        f'batch={doc["batch_size"]}, p50={doc["p50_us"]:.0f}us '
+        f'p99={doc["p99_us"]:.0f}us, {doc["throughput_rps"]:.0f} req/s'
+    )
+    return 0
+
+
+def check_bench(path: str, min_speedup: float) -> int:
+    doc = load_json(path)
+    if not isinstance(doc, list):
+        sys.exit(f"error: {path}: expected a JSON array of records")
+
+    ns = {}
+    for rec in doc:
+        if isinstance(rec, dict) and "ns" in rec:
+            ns[rec.get("case")] = rec["ns"]
+    missing = [c for c in ("serve_b1 p=4", "serve_dynamic p=4") if c not in ns]
+    if missing:
+        sys.exit(f"error: {path}: missing cases {missing}")
+    if ns["serve_dynamic p=4"] <= 0:
+        sys.exit(f"error: {path}: non-positive dynamic ns")
+
+    speedup = ns["serve_b1 p=4"] / ns["serve_dynamic p=4"]
+    if speedup < min_speedup:
+        print(
+            f"FAIL  dynamic batching speedup {speedup:.2f}x "
+            f"< required {min_speedup:.2f}x"
+        )
+        return 1
+    print(f"OK    {path}: dynamic batching {speedup:.2f}x over batch=1")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="mode", required=True)
+
+    ap_serve = sub.add_parser("serve", help="schema-check a mbd_serve result")
+    ap_serve.add_argument("json", help="JSON emitted by tools/mbd_serve")
+
+    ap_bench = sub.add_parser(
+        "bench", help="check the bench_serving speedup criterion"
+    )
+    ap_bench.add_argument("json", help="BENCH_serving.json (or a fresh run)")
+    ap_bench.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="required b1/dynamic throughput ratio (default 2.0)",
+    )
+
+    args = ap.parse_args()
+    if args.mode == "serve":
+        return check_serve(args.json)
+    if args.min_speedup <= 0:
+        ap.error("--min-speedup must be positive")
+    return check_bench(args.json, args.min_speedup)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+// Online batch-size choice for the serving gateway (mbd/serve/gateway.hpp).
+//
+// Fig. 4's observation — per-image time falls steeply with batch size while
+// BLAS-3 utilization ramps, then flattens — applies unchanged to inference:
+// batching single-sample requests amortizes the per-forward collective
+// latency (the α terms) and the GEMM's n-dimension inefficiency, at the cost
+// of per-request queueing delay. The gateway measures its own latency-vs-
+// batch curve with a short self-bench at startup and hands the samples here;
+// the choice reuses the same ComputeCurve log-log interpolation machinery
+// the Fig. 4 simulations run on (with images_per_epoch = 1 the curve *is*
+// the measured batch-latency function).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mbd::costmodel {
+
+/// One measured point of the serving latency curve: a full pipelined forward
+/// pass of `batch` samples took `seconds`.
+struct LatencyPoint {
+  double batch = 1.0;
+  double seconds = 0.0;
+};
+
+/// The gateway's operating point: run forwards of `batch` samples, each
+/// expected to take `latency_s`, for `throughput` samples/second.
+struct BatchChoice {
+  std::size_t batch = 1;
+  double latency_s = 0.0;
+  double throughput = 0.0;
+};
+
+/// Pick the serving batch size from measured (batch, latency) samples:
+/// maximize batch/latency(batch) over integer batches in [1, max_batch],
+/// interpolating between samples on the log-log curve, subject to
+/// latency(batch) <= latency_budget_s (0 = unconstrained). Ties prefer the
+/// smaller batch (less queueing delay for the same throughput). Points need
+/// not be sorted; duplicate batches keep the fastest sample. When no batch
+/// meets the budget the choice degrades to batch = 1 — serving stays up and
+/// the admission controller does the shedding.
+BatchChoice pick_serving_batch(std::vector<LatencyPoint> points,
+                               std::size_t max_batch,
+                               double latency_budget_s = 0.0);
+
+}  // namespace mbd::costmodel

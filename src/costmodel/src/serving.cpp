@@ -1,0 +1,49 @@
+#include "mbd/costmodel/serving.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mbd/costmodel/machine.hpp"
+#include "mbd/support/check.hpp"
+
+namespace mbd::costmodel {
+
+BatchChoice pick_serving_batch(std::vector<LatencyPoint> points,
+                               std::size_t max_batch,
+                               double latency_budget_s) {
+  MBD_CHECK_MSG(!points.empty(), "pick_serving_batch needs measurements");
+  MBD_CHECK_GT(max_batch, 0u);
+
+  std::sort(points.begin(), points.end(),
+            [](const LatencyPoint& a, const LatencyPoint& b) {
+              if (a.batch != b.batch) return a.batch < b.batch;
+              return a.seconds < b.seconds;
+            });
+  // ComputeCurve wants strictly increasing batches and positive times;
+  // keep the fastest sample per batch and floor timer-resolution zeros.
+  std::vector<ComputeCurve::Point> curve_points;
+  for (const LatencyPoint& p : points) {
+    MBD_CHECK_GT(p.batch, 0.0);
+    if (!curve_points.empty() && curve_points.back().batch == p.batch)
+      continue;
+    curve_points.push_back({p.batch, std::max(p.seconds, 1e-9)});
+  }
+  const ComputeCurve curve(std::move(curve_points), /*images_per_epoch=*/1);
+
+  BatchChoice best;
+  best.latency_s = curve.seconds_per_image(1.0);
+  best.throughput = 1.0 / best.latency_s;
+  for (std::size_t b = 1; b <= max_batch; ++b) {
+    const double latency = curve.seconds_per_image(static_cast<double>(b));
+    if (latency_budget_s > 0.0 && latency > latency_budget_s) continue;
+    const double throughput = static_cast<double>(b) / latency;
+    // Relative epsilon so ties (flat throughput curves) keep the smaller
+    // batch despite log-log interpolation roundoff.
+    if (throughput > best.throughput * (1.0 + 1e-6)) {
+      best = {b, latency, throughput};
+    }
+  }
+  return best;
+}
+
+}  // namespace mbd::costmodel

@@ -42,6 +42,7 @@
 #include "mbd/costmodel/memory.hpp"
 #include "mbd/costmodel/optimizer.hpp"
 #include "mbd/costmodel/replay.hpp"
+#include "mbd/costmodel/serving.hpp"
 #include "mbd/costmodel/strategy.hpp"
 #include "mbd/costmodel/summa.hpp"
 #include "mbd/costmodel/volumes.hpp"
@@ -55,6 +56,7 @@
 #include "mbd/parallel/batch_parallel.hpp"
 #include "mbd/parallel/common.hpp"
 #include "mbd/parallel/domain_parallel.hpp"
+#include "mbd/parallel/engine_layout.hpp"
 #include "mbd/parallel/hybrid.hpp"
 #include "mbd/parallel/integrated.hpp"
 #include "mbd/parallel/layer_engine.hpp"
@@ -62,3 +64,7 @@
 #include "mbd/parallel/model_parallel.hpp"
 #include "mbd/parallel/summa.hpp"
 #include "mbd/parallel/validation.hpp"
+
+// serve: forward-only execution and the request gateway
+#include "mbd/serve/gateway.hpp"
+#include "mbd/serve/inference.hpp"

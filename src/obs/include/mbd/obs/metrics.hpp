@@ -24,6 +24,15 @@ struct HistogramSnapshot {
   std::uint64_t count = 0;
   double sum = 0.0;
   std::uint64_t buckets[kBuckets] = {};
+
+  /// The q-quantile (q in [0, 1]) estimated by linear interpolation inside
+  /// the bucket holding the q·count-th observation (bucket 0 spans [0, 2),
+  /// bucket i ≥ 1 spans [2^i, 2^(i+1))). Exact to within one bucket's
+  /// resolution — plenty for latency tails, where buckets are ~2× apart.
+  /// Returns 0 for an empty histogram.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p99() const { return quantile(0.99); }
 };
 
 /// One named metric in a snapshot. `value` is the counter value, the gauge

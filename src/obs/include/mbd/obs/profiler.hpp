@@ -54,6 +54,7 @@ enum class SpanKind : std::uint8_t {
   Promotion,   ///< spare promotion: in-place fabric repair
   StageFwd,    ///< one EngineStage::forward call
   StageBwd,    ///< one EngineStage::backward call
+  Serve,       ///< serving gateway: enqueue/batch/forward/reply
   kCount
 };
 

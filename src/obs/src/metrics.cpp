@@ -44,6 +44,30 @@ std::string escape(const std::string& s) {
 
 }  // namespace
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // The (1-based) rank of the requested observation under the convention
+  // that quantile(0) is the first and quantile(1) the last.
+  const double rank = 1.0 + q * static_cast<double>(count - 1);
+  std::uint64_t below = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const auto hi_rank = static_cast<double>(below + buckets[b]);
+    if (rank <= hi_rank) {
+      // Interpolate linearly within the bucket's value range.
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+      const double hi = std::ldexp(1.0, static_cast<int>(b) + 1);
+      const double frac =
+          (rank - static_cast<double>(below)) / static_cast<double>(buckets[b]);
+      return lo + frac * (hi - lo);
+    }
+    below += buckets[b];
+  }
+  // Unreachable when the bucket counts sum to `count`; be safe anyway.
+  return std::ldexp(1.0, static_cast<int>(kBuckets));
+}
+
 struct Metrics::Impl {
   mutable std::mutex mu;
   std::map<std::string, double> counters;
@@ -83,7 +107,7 @@ void Metrics::hist_observe(const std::string& name, double v) {
 }
 
 std::vector<MetricValue> Metrics::snapshot() const {
-  Impl& i = impl();
+  const Impl& i = impl();
   std::vector<MetricValue> out;
   const std::lock_guard<std::mutex> lock(i.mu);
   for (const auto& [name, v] : i.counters)

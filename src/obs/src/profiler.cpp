@@ -23,6 +23,7 @@ const char* span_kind_name(SpanKind k) {
     case SpanKind::Promotion: return "promotion";
     case SpanKind::StageFwd: return "stage_fwd";
     case SpanKind::StageBwd: return "stage_bwd";
+    case SpanKind::Serve: return "serve";
     case SpanKind::kCount: break;
   }
   return "unknown";

@@ -16,6 +16,7 @@
 namespace mbd::parallel {
 
 struct RecoveryContext;
+struct EngineLayout;
 
 /// Half-open index range.
 struct Range {
@@ -97,7 +98,8 @@ struct TrainerOptions {
   ReduceMode mode = ReduceMode::Blocking;
   double seconds_per_flop = 0.0;
   const RecoveryContext* recovery = nullptr;
-  std::size_t microbatches = 2;  ///< pipeline only
+  std::size_t microbatches = 2;      ///< pipeline only
+  bool overlap_halo = false;         ///< domain/hybrid only
 };
 
 /// What network shapes a trainer accepts — sweep tools pick the matching
@@ -108,7 +110,9 @@ enum class TrainerWorkload { Mlp, DeepMlp, ConvHalo, ConvPool };
 
 /// One registered trainer: its costmodel identity, its two stable names
 /// (the costmodel/CLI name and the launch/obs case name — they differ for
-/// historical reasons), the workload class, and the uniform builder.
+/// historical reasons), the workload class, the uniform training entry
+/// point, and the stage-layout builder (the same configuration as a value,
+/// for executors other than the training loop — see engine_layout.hpp).
 struct TrainerEntry {
   costmodel::TrainerKind kind;
   std::string_view name;         ///< costmodel name, e.g. "integrated"
@@ -117,6 +121,9 @@ struct TrainerEntry {
   DistResult (*run)(comm::Comm&, const TrainerOptions&,
                     const std::vector<nn::LayerSpec>&, const nn::Dataset&,
                     const nn::TrainConfig&);
+  EngineLayout (*layout)(comm::Comm&, const TrainerOptions&,
+                         const std::vector<nn::LayerSpec>&,
+                         std::size_t batch);
 };
 
 /// All trainers, in the canonical sweep order.

@@ -1,0 +1,73 @@
+// A trainer's stage layout as a first-class value.
+//
+// Each of the seven trainers used to build its LayerEngine inline: split the
+// communicator, draw the weights, push the stages, train. That welds the
+// layout to the training loop — nothing else (an inference engine, a layout
+// autotuner, a planner) can reuse the stage graph. EngineLayout extracts the
+// configuration half: the comm groups (owned, so their addresses stay stable
+// for the stages that point at them), the stage list, the StepSchedule, and
+// the data-movement contract an *executor* needs — which input columns this
+// rank feeds (InputSpec) and where the logits end up (OutputSpec).
+//
+// `train_layout` is the original training loop: it moves the stages into a
+// LayerEngine and runs it. `serve::InferenceSession` is the second executor:
+// it interprets a derived forward-only tick program over the same stages —
+// no Bwd ticks, no optimizer state — and assembles the logits per the
+// OutputSpec. Every `build_*_layout` preserves the exact split order and RNG
+// stream of the trainer it was extracted from, so layouts start from the
+// sequential reference's weights bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mbd/comm/comm.hpp"
+#include "mbd/nn/layer_spec.hpp"
+#include "mbd/parallel/common.hpp"
+#include "mbd/parallel/layer_engine.hpp"
+
+namespace mbd::parallel {
+
+/// Which block of the global mini-batch's columns this rank feeds into its
+/// first stage: columns block_range(B, parts, index). parts == 1 means the
+/// rank reads the whole replicated batch.
+struct InputSpec {
+  int parts = 1;
+  int index = 0;
+};
+
+/// Where the final stage's logits live after a forward pass. Either the
+/// full d_out × B matrix is replicated on every rank, or it is column-block
+/// partitioned into `parts` blocks, block i (columns block_range(B, parts,
+/// i)) held in full by rank owners[i] — the contract an executor uses to
+/// assemble replicated logits via per-block broadcasts.
+struct OutputSpec {
+  bool replicated = false;
+  int parts = 1;
+  std::vector<int> owners;  ///< size == parts when !replicated
+};
+
+/// One rank's complete view of a trainer configuration: the comm groups the
+/// stages communicate over (owned here so stage pointers stay valid for the
+/// layout's lifetime), the stages themselves, the engine schedule, and the
+/// input/output data-movement contract.
+struct EngineLayout {
+  std::vector<std::unique_ptr<comm::Comm>> groups;
+  std::vector<std::unique_ptr<EngineStage>> stages;
+  StepSchedule sched;
+  InputSpec input;
+  OutputSpec output;
+  std::size_t d_in = 0;   ///< first stage's expected row count
+  std::size_t d_out = 0;  ///< logits row count
+};
+
+/// Run the shared training loop over a built layout (the exact code path
+/// the seven train_* entry points always ran): move the stages into a
+/// LayerEngine and train. The layout's comm groups stay alive in the caller
+/// frame for the duration.
+DistResult train_layout(comm::Comm& comm, EngineLayout layout,
+                        const nn::Dataset& data, const nn::TrainConfig& cfg,
+                        const RecoveryContext* recovery = nullptr);
+
+}  // namespace mbd::parallel

@@ -347,11 +347,16 @@ class SlabGatherStage final : public EngineStage {
 
 /// The mixed-grid trainer's Eq. 6 redistribution: all-gather the conv-phase
 /// B/P column blocks within the model group so each rank holds its FC-phase
-/// B/Pc columns; backward slices this rank's conv columns back out.
+/// B/Pc columns; backward slices this rank's conv columns back out. Column
+/// ranges are derived from StepContext::batch per call (the canonical block
+/// partition at whatever batch the executor runs), so one stage serves both
+/// the fixed training batch and variable-size inference batches.
 class RedistributeStage final : public EngineStage {
  public:
+  /// `conv_index` is this rank's block index within its model group (the
+  /// `i` of conv block j·Pr + i — its row coordinate on the grid).
   RedistributeStage(comm::Comm* model_group, int world_size, int pr, int col,
-                    std::size_t d_out, Range group_cols, Range conv_cols);
+                    int conv_index, std::size_t d_out);
 
   const char* name() const override { return "redistribute"; }
   Flow forward(Flow in, const StepContext& ctx) override;
@@ -361,9 +366,8 @@ class RedistributeStage final : public EngineStage {
 
  private:
   comm::Comm* model_group_;
-  int world_size_, pr_, col_;
+  int world_size_, pr_, col_, conv_index_;
   std::size_t d_out_;
-  Range group_cols_, conv_cols_;
 };
 
 /// The one training loop shared by all trainers. Each iteration interprets

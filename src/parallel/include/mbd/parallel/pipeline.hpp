@@ -23,6 +23,13 @@
 
 namespace mbd::parallel {
 
+/// The 1F1B pipeline stage layout as a value (see engine_layout.hpp),
+/// including the rank's 1F1B tick program in sched.program. The post-train
+/// full-parameter broadcast assembly stays in train_pipeline.
+EngineLayout build_pipeline_layout(
+    comm::Comm& comm, const TrainerOptions& opts,
+    const std::vector<nn::LayerSpec>& specs, std::size_t batch);
+
 /// Run 1F1B pipelined SGD. `specs` must be all fully connected and at least
 /// comm.size() layers deep (every rank needs a non-empty stage group);
 /// `microbatches` must be in [1, cfg.batch]. Checkpoint/restart, fault

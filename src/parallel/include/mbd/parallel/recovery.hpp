@@ -30,9 +30,15 @@
 namespace mbd::parallel {
 
 /// Snapshot cadence: checkpoint after every `every` completed steps
-/// (0 = never). The final step is never checkpointed — training is done.
+/// (0 = never). The in-loop cadence never checkpoints the final step —
+/// training is done, there is nothing left to recover. `final_commit`
+/// instead commits one checkpoint *after* the loop (tagged with
+/// cfg.iterations): not a recovery point but a publication step, so a
+/// forward-only executor (serve::InferenceSession) can load the trained
+/// weights from the same store the engine checkpoints into.
 struct CheckpointPolicy {
   std::size_t every = 0;
+  bool final_commit = false;
 };
 
 /// Double-buffered in-memory checkpoint, one slot per global rank.

@@ -2,10 +2,51 @@
 
 #include <memory>
 
+#include "mbd/parallel/engine_layout.hpp"
 #include "mbd/parallel/layer_engine.hpp"
 #include "mbd/support/check.hpp"
 
 namespace mbd::parallel {
+namespace {
+
+EngineLayout make_layout(comm::Comm& comm, const nn::BuildOptions& build,
+                         ReduceMode mode, double seconds_per_flop,
+                         const std::vector<nn::LayerSpec>& specs,
+                         std::size_t batch) {
+  const int p = comm.size();
+  const int r = comm.rank();
+  MBD_CHECK(!specs.empty());
+  MBD_CHECK_LE(static_cast<std::size_t>(p), batch);
+
+  EngineLayout lay;
+  // Full replicated model, block of the batch columns; loss partials are
+  // summed over all ranks.
+  lay.sched.input_cols = block_range(batch, p, r);
+  lay.sched.label_cols = lay.sched.input_cols;
+  lay.sched.sum_loss = true;
+  lay.sched.mode = mode;
+  lay.sched.seconds_per_flop = seconds_per_flop;
+  lay.input = {p, r};
+  lay.output.parts = p;  // rank i holds the logits of batch block i
+  for (int i = 0; i < p; ++i) lay.output.owners.push_back(i);
+  lay.d_in = specs.front().d_in();
+  lay.d_out = specs.back().d_out();
+
+  double macs = 0.0;
+  for (const auto& s : specs) macs += static_cast<double>(s.macs_per_sample());
+  lay.stages.push_back(std::make_unique<NetworkStage>(
+      nn::build_network(specs, build), &comm, macs));
+  return lay;
+}
+
+}  // namespace
+
+EngineLayout build_batch_parallel_layout(
+    comm::Comm& comm, const TrainerOptions& opts,
+    const std::vector<nn::LayerSpec>& specs, std::size_t batch) {
+  return make_layout(comm, nn::BuildOptions{.seed = opts.seed}, opts.mode,
+                     opts.seconds_per_flop, specs, batch);
+}
 
 DistResult train_batch_parallel(comm::Comm& comm,
                                 const std::vector<nn::LayerSpec>& specs,
@@ -15,24 +56,10 @@ DistResult train_batch_parallel(comm::Comm& comm,
                                 ReduceMode mode,
                                 const RecoveryContext* recovery,
                                 double seconds_per_flop) {
-  const int p = comm.size();
-  const int r = comm.rank();
-  MBD_CHECK_LE(static_cast<std::size_t>(p), cfg.batch);
-
-  // Full replicated model, block of the batch columns; loss partials are
-  // summed over all ranks.
-  StepSchedule sched;
-  sched.input_cols = block_range(cfg.batch, p, r);
-  sched.label_cols = sched.input_cols;
-  sched.sum_loss = true;
-  sched.mode = mode;
-  sched.seconds_per_flop = seconds_per_flop;
-  LayerEngine engine(comm, sched);
-  double macs = 0.0;
-  for (const auto& s : specs) macs += static_cast<double>(s.macs_per_sample());
-  engine.add_stage(std::make_unique<NetworkStage>(
-      nn::build_network(specs, build), &comm, macs));
-  return engine.train(data, cfg, recovery);
+  return train_layout(
+      comm,
+      make_layout(comm, build, mode, seconds_per_flop, specs, cfg.batch),
+      data, cfg, recovery);
 }
 
 }  // namespace mbd::parallel

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "mbd/parallel/engine_layout.hpp"
 #include "mbd/parallel/layer_engine.hpp"
 #include "mbd/support/check.hpp"
 
@@ -10,14 +11,9 @@ namespace mbd::parallel {
 using detail::DomainConvState;
 using tensor::Matrix;
 
-DistResult train_domain_parallel(comm::Comm& comm,
-                                 const std::vector<nn::LayerSpec>& specs,
-                                 const nn::Dataset& data,
-                                 const nn::TrainConfig& cfg,
-                                 std::uint64_t seed, bool overlap_halo,
-                                 ReduceMode mode,
-                                 const RecoveryContext* recovery,
-                                 double seconds_per_flop) {
+EngineLayout build_domain_parallel_layout(
+    comm::Comm& comm, const TrainerOptions& opts,
+    const std::vector<nn::LayerSpec>& specs, std::size_t batch) {
   const int p = comm.size();
   const int r = comm.rank();
 
@@ -27,7 +23,7 @@ DistResult train_domain_parallel(comm::Comm& comm,
   std::vector<double> conv_macs;  // full-image MACs/sample, scaled below
   std::vector<FcStage::Config> fc_cfgs;
   std::vector<Matrix> fc_weights;
-  Rng rng(seed);
+  Rng rng(opts.seed);
   bool seen_fc = false;
   std::size_t img_h = 0;
   for (const auto& s : specs) {
@@ -43,7 +39,7 @@ DistResult train_domain_parallel(comm::Comm& comm,
       DomainConvState l;
       l.geom = g;
       l.relu_after = s.relu_after;
-      l.overlap_halo = overlap_halo;
+      l.overlap_halo = opts.overlap_halo;
       l.w = he_init_full(g.out_c, g.in_c * g.kernel_h * g.kernel_w, rng);
       l.dw = Matrix(l.w.rows(), l.w.cols());
       l.vel = Matrix(l.w.rows(), l.w.cols());
@@ -71,17 +67,20 @@ DistResult train_domain_parallel(comm::Comm& comm,
                 "more ranks (" << p << ") than image rows (" << img_h << ")");
   const Range rows = block_range(img_h, p, r);
 
+  EngineLayout lay;
   // Every process reads the whole mini-batch but keeps only its image rows;
   // the loss is computed on replicated logits.
-  StepSchedule sched;
-  sched.input_cols = {0, cfg.batch};
-  sched.label_cols = sched.input_cols;
-  sched.mode = mode;
-  sched.seconds_per_flop = seconds_per_flop;
-  LayerEngine engine(comm, sched);
+  lay.sched.input_cols = {0, batch};
+  lay.sched.label_cols = lay.sched.input_cols;
+  lay.sched.mode = opts.mode;
+  lay.sched.seconds_per_flop = opts.seconds_per_flop;
+  lay.input = {1, 0};
+  lay.output.replicated = true;  // replicated FC tail after the slab gather
+  lay.d_in = specs.front().d_in();
+  lay.d_out = specs.back().d_out();
 
   const auto& g0 = convs.front().geom;
-  engine.add_stage(
+  lay.stages.push_back(
       std::make_unique<SlabScatterStage>(g0.in_c, g0.in_h, g0.in_w, rows));
   const auto& gl = convs.back().geom;
   const std::size_t last_out_c = gl.out_c;
@@ -90,18 +89,35 @@ DistResult train_domain_parallel(comm::Comm& comm,
   const double slab_frac =
       static_cast<double>(rows.size()) / static_cast<double>(img_h);
   for (std::size_t li = 0; li < convs.size(); ++li)
-    engine.add_stage(std::make_unique<DomainConvStage>(
+    lay.stages.push_back(std::make_unique<DomainConvStage>(
         std::move(convs[li]), /*conv_group=*/&comm, /*reduce_group=*/&comm,
         conv_macs[li] * slab_frac));
   // FC tail: gather the full activation ("the halo is the whole input"),
   // then compute replicated on every process.
-  engine.add_stage(std::make_unique<SlabGatherStage>(&comm, last_out_c, img_h,
-                                                     last_in_w, rows));
+  lay.stages.push_back(std::make_unique<SlabGatherStage>(
+      &comm, last_out_c, img_h, last_in_w, rows));
   for (std::size_t li = 0; li < fc_cfgs.size(); ++li)
-    engine.add_stage(
+    lay.stages.push_back(
         std::make_unique<FcStage>(fc_cfgs[li], std::move(fc_weights[li])));
+  return lay;
+}
 
-  return engine.train(data, cfg, recovery);
+DistResult train_domain_parallel(comm::Comm& comm,
+                                 const std::vector<nn::LayerSpec>& specs,
+                                 const nn::Dataset& data,
+                                 const nn::TrainConfig& cfg,
+                                 std::uint64_t seed, bool overlap_halo,
+                                 ReduceMode mode,
+                                 const RecoveryContext* recovery,
+                                 double seconds_per_flop) {
+  TrainerOptions opts;
+  opts.seed = seed;
+  opts.mode = mode;
+  opts.seconds_per_flop = seconds_per_flop;
+  opts.overlap_halo = overlap_halo;
+  return train_layout(
+      comm, build_domain_parallel_layout(comm, opts, specs, cfg.batch), data,
+      cfg, recovery);
 }
 
 }  // namespace mbd::parallel

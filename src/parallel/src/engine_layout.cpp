@@ -1,0 +1,20 @@
+#include "mbd/parallel/engine_layout.hpp"
+
+#include <utility>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::parallel {
+
+DistResult train_layout(comm::Comm& comm, EngineLayout layout,
+                        const nn::Dataset& data, const nn::TrainConfig& cfg,
+                        const RecoveryContext* recovery) {
+  MBD_CHECK(!layout.stages.empty());
+  LayerEngine engine(comm, layout.sched);
+  for (auto& s : layout.stages) engine.add_stage(std::move(s));
+  // layout.groups stays alive in this frame until train returns — the
+  // stages' group pointers reference it.
+  return engine.train(data, cfg, recovery);
+}
+
+}  // namespace mbd::parallel

@@ -2,42 +2,52 @@
 
 #include <memory>
 
+#include "mbd/parallel/engine_layout.hpp"
 #include "mbd/parallel/layer_engine.hpp"
 #include "mbd/support/check.hpp"
 
 namespace mbd::parallel {
 
-DistResult train_integrated_15d(comm::Comm& comm, GridShape grid,
-                                const std::vector<nn::LayerSpec>& specs,
-                                const nn::Dataset& data,
-                                const nn::TrainConfig& cfg,
-                                std::uint64_t seed, ReduceMode mode,
-                                double seconds_per_flop,
-                                const RecoveryContext* recovery) {
+EngineLayout build_integrated_15d_layout(
+    comm::Comm& comm, const TrainerOptions& opts,
+    const std::vector<nn::LayerSpec>& specs, std::size_t batch) {
+  const GridShape grid = opts.grid;
   MBD_CHECK_EQ(grid.pr * grid.pc, comm.size());
-  MBD_CHECK_LE(static_cast<std::size_t>(grid.pc), cfg.batch);
+  MBD_CHECK_LE(static_cast<std::size_t>(grid.pc), batch);
+  MBD_CHECK(!specs.empty());
   const int rank = comm.rank();
   const int row = rank / grid.pc;  // index along Pr (model dimension)
   const int col = rank % grid.pc;  // index along Pc (batch dimension)
+
+  EngineLayout lay;
   // Pr group: same batch columns, different model rows -> all-gather/∆X.
-  comm::Comm model_group = comm.split(/*color=*/col, /*key=*/row);
+  lay.groups.push_back(
+      std::make_unique<comm::Comm>(comm.split(/*color=*/col, /*key=*/row)));
   // Pc group: same model rows, different batch columns -> ∆W all-reduce.
-  comm::Comm batch_group = comm.split(/*color=*/row, /*key=*/col);
-  MBD_CHECK_EQ(model_group.size(), grid.pr);
-  MBD_CHECK_EQ(batch_group.size(), grid.pc);
+  lay.groups.push_back(
+      std::make_unique<comm::Comm>(comm.split(/*color=*/row, /*key=*/col)));
+  comm::Comm* model_group = lay.groups[0].get();
+  comm::Comm* batch_group = lay.groups[1].get();
+  MBD_CHECK_EQ(model_group->size(), grid.pr);
+  MBD_CHECK_EQ(batch_group->size(), grid.pc);
 
   // This process holds the batch columns of its Pc block (uneven splits OK);
   // each column group's loss partial is replicated Pr times.
-  StepSchedule sched;
-  sched.input_cols = block_range(cfg.batch, grid.pc, col);
-  sched.label_cols = sched.input_cols;
-  sched.sum_loss = true;
-  sched.loss_replicas = grid.pr;
-  sched.mode = mode;
-  sched.seconds_per_flop = seconds_per_flop;
-  LayerEngine engine(comm, sched);
+  lay.sched.input_cols = block_range(batch, grid.pc, col);
+  lay.sched.label_cols = lay.sched.input_cols;
+  lay.sched.sum_loss = true;
+  lay.sched.loss_replicas = grid.pr;
+  lay.sched.mode = opts.mode;
+  lay.sched.seconds_per_flop = opts.seconds_per_flop;
+  lay.input = {grid.pc, col};
+  // Column group j's members each hold the full logits of batch block j;
+  // its row-0 member is global rank j (rank = row·Pc + col).
+  lay.output.parts = grid.pc;
+  for (int j = 0; j < grid.pc; ++j) lay.output.owners.push_back(j);
+  lay.d_in = specs.front().fc_in;
+  lay.d_out = specs.back().fc_out;
 
-  Rng rng(seed);
+  Rng rng(opts.seed);
   bool first = true;
   for (const auto& s : specs) {
     MBD_CHECK_MSG(s.kind == nn::LayerKind::FullyConnected,
@@ -47,15 +57,32 @@ DistResult train_integrated_15d(comm::Comm& comm, GridShape grid,
     c.d_in = s.fc_in;
     c.d_out = s.fc_out;
     c.relu_after = s.relu_after;
-    c.model_group = &model_group;
-    c.batch_group = &batch_group;
+    c.model_group = model_group;
+    c.batch_group = batch_group;
     c.rows = block_range(s.fc_out, grid.pr, row);
     c.compute_dx = !first;
     first = false;
-    engine.add_stage(std::make_unique<FcStage>(
+    lay.stages.push_back(std::make_unique<FcStage>(
         c, he_init_rows(s.fc_out, s.fc_in, rng, c.rows)));
   }
-  return engine.train(data, cfg, recovery);
+  return lay;
+}
+
+DistResult train_integrated_15d(comm::Comm& comm, GridShape grid,
+                                const std::vector<nn::LayerSpec>& specs,
+                                const nn::Dataset& data,
+                                const nn::TrainConfig& cfg,
+                                std::uint64_t seed, ReduceMode mode,
+                                double seconds_per_flop,
+                                const RecoveryContext* recovery) {
+  TrainerOptions opts;
+  opts.grid = grid;
+  opts.seed = seed;
+  opts.mode = mode;
+  opts.seconds_per_flop = seconds_per_flop;
+  return train_layout(
+      comm, build_integrated_15d_layout(comm, opts, specs, cfg.batch), data,
+      cfg, recovery);
 }
 
 }  // namespace mbd::parallel

@@ -408,25 +408,27 @@ Flow SlabGatherStage::backward(Flow grad, const StepContext& /*ctx*/,
 // ---------------------------------------------------------------------------
 
 RedistributeStage::RedistributeStage(comm::Comm* model_group, int world_size,
-                                     int pr, int col, std::size_t d_out,
-                                     Range group_cols, Range conv_cols)
+                                     int pr, int col, int conv_index,
+                                     std::size_t d_out)
     : model_group_(model_group),
       world_size_(world_size),
       pr_(pr),
       col_(col),
-      d_out_(d_out),
-      group_cols_(group_cols),
-      conv_cols_(conv_cols) {}
+      conv_index_(conv_index),
+      d_out_(d_out) {}
 
 Flow RedistributeStage::forward(Flow in, const StepContext& ctx) {
   Matrix& x = in.as_matrix();
   MBD_CHECK_EQ(x.rows(), d_out_);
   // Eq. 6: all-gather the conv-phase blocks within the model group, then
   // reassemble them in batch-column order (block j·Pr + i of the canonical
-  // P-way partition tiles this group's B/Pc column range exactly).
-  Matrix x_group(d_out_, group_cols_.size());
+  // P-way partition tiles this group's B/Pc column range exactly). Ranges
+  // come from ctx.batch, so the stage redistributes whatever batch the
+  // executor feeds it.
+  const Range group_cols = block_range(ctx.batch, world_size_ / pr_, col_);
+  Matrix x_group(d_out_, group_cols.size());
   const auto gathered = model_group_->allgatherv(x.span());
-  MBD_CHECK_EQ(gathered.size(), d_out_ * group_cols_.size());
+  MBD_CHECK_EQ(gathered.size(), d_out_ * group_cols.size());
   std::size_t at = 0, col_at = 0;
   for (int m = 0; m < pr_; ++m) {
     const Range mc = block_range(ctx.batch, world_size_, col_ * pr_ + m);
@@ -442,11 +444,14 @@ Flow RedistributeStage::forward(Flow in, const StepContext& ctx) {
   return Flow::from_matrix(std::move(x_group));
 }
 
-Flow RedistributeStage::backward(Flow grad, const StepContext& /*ctx*/,
+Flow RedistributeStage::backward(Flow grad, const StepContext& ctx,
                                  GradReducer& /*red*/) {
   // Slice this rank's conv-phase columns back out of the group gradient.
+  const Range group_cols = block_range(ctx.batch, world_size_ / pr_, col_);
+  const Range conv_cols =
+      block_range(ctx.batch, world_size_, col_ * pr_ + conv_index_);
   return Flow::from_matrix(grad.as_matrix().col_block(
-      conv_cols_.lo - group_cols_.lo, conv_cols_.hi - group_cols_.lo));
+      conv_cols.lo - group_cols.lo, conv_cols.hi - group_cols.lo));
 }
 
 // ---------------------------------------------------------------------------
@@ -686,6 +691,15 @@ DistResult LayerEngine::train(const nn::Dataset& data,
     // the World is recording): the static analyzer slices per-iteration
     // traffic and handle lifetimes at these markers.
     world_->mark_engine_step(it);
+  }
+
+  // Publish the trained state when asked: one extra commit tagged with the
+  // total step count, after the loop (the in-loop cadence deliberately skips
+  // the final step). A run resumed *at* cfg.iterations skips the loop above
+  // and republishes the same state — idempotent.
+  if (recovery != nullptr && recovery->store != nullptr &&
+      recovery->policy.final_commit) {
+    save_checkpoint(*recovery, cfg.iterations, result.losses);
   }
 
   for (auto& s : stages_) s->collect_params(result.params);

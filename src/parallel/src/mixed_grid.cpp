@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "mbd/nn/layers.hpp"
+#include "mbd/parallel/engine_layout.hpp"
 #include "mbd/parallel/layer_engine.hpp"
 #include "mbd/support/check.hpp"
 
@@ -10,30 +11,34 @@ namespace mbd::parallel {
 
 using tensor::Matrix;
 
-DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
-                            const std::vector<nn::LayerSpec>& specs,
-                            const nn::Dataset& data,
-                            const nn::TrainConfig& cfg, std::uint64_t seed,
-                            ReduceMode mode,
-                            const RecoveryContext* recovery,
-                            double seconds_per_flop) {
+EngineLayout build_mixed_grid_layout(comm::Comm& comm,
+                                     const TrainerOptions& opts,
+                                     const std::vector<nn::LayerSpec>& specs,
+                                     std::size_t batch) {
+  const GridShape grid = opts.grid;
   const int p = comm.size();
   MBD_CHECK_EQ(grid.pr * grid.pc, p);
-  MBD_CHECK_LE(static_cast<std::size_t>(p), cfg.batch);
+  MBD_CHECK_LE(static_cast<std::size_t>(p), batch);
   const int rank = comm.rank();
   const int row = rank / grid.pc;  // model index along Pr
   const int col = rank % grid.pc;  // batch-group index along Pc
-  comm::Comm model_group = comm.split(/*color=*/col, /*key=*/row);
-  MBD_CHECK_EQ(model_group.size(), grid.pr);
-  comm::Comm batch_group = comm.split(/*color=*/row, /*key=*/col);
-  MBD_CHECK_EQ(batch_group.size(), grid.pc);
+
+  EngineLayout lay;
+  lay.groups.push_back(
+      std::make_unique<comm::Comm>(comm.split(/*color=*/col, /*key=*/row)));
+  lay.groups.push_back(
+      std::make_unique<comm::Comm>(comm.split(/*color=*/row, /*key=*/col)));
+  comm::Comm* model_group = lay.groups[0].get();
+  comm::Comm* batch_group = lay.groups[1].get();
+  MBD_CHECK_EQ(model_group->size(), grid.pr);
+  MBD_CHECK_EQ(batch_group->size(), grid.pc);
 
   // Conv-phase batch block: j·Pr + i, so that each model group's members'
   // blocks tile exactly its FC-phase column range (the canonical block
   // partition nests exactly under refinement).
   const int conv_block = col * grid.pr + row;
-  const Range conv_cols = block_range(cfg.batch, p, conv_block);
-  const Range group_cols = block_range(cfg.batch, grid.pc, col);
+  const Range conv_cols = block_range(batch, p, conv_block);
+  const Range group_cols = block_range(batch, grid.pc, col);
   MBD_CHECK_LE(group_cols.lo, conv_cols.lo);
   MBD_CHECK_LE(conv_cols.hi, group_cols.hi);
 
@@ -42,7 +47,7 @@ DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
   double conv_stack_macs = 0.0;
   std::vector<FcStage::Config> fc_cfgs;
   std::vector<Matrix> fc_weights;
-  Rng rng(seed);
+  Rng rng(opts.seed);
   std::size_t d_conv_out = 0;
   bool seen_fc = false;
   for (const auto& s : specs) {
@@ -68,8 +73,8 @@ DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
         c.d_in = s.fc_in;
         c.d_out = s.fc_out;
         c.relu_after = s.relu_after;
-        c.model_group = &model_group;
-        c.batch_group = &batch_group;
+        c.model_group = model_group;
+        c.batch_group = batch_group;
         c.rows = block_range(s.fc_out, grid.pr, row);
         // ∆X needed for every layer — the conv stack sits below the first
         // FC.
@@ -86,24 +91,45 @@ DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
 
   // The conv phase runs on this rank's B/P columns; the loss (and the FC
   // phase) on its group's B/Pc columns, replicated Pr times.
-  StepSchedule sched;
-  sched.input_cols = conv_cols;
-  sched.label_cols = group_cols;
-  sched.sum_loss = true;
-  sched.loss_replicas = grid.pr;
-  sched.mode = mode;
-  sched.seconds_per_flop = seconds_per_flop;
-  LayerEngine engine(comm, sched);
+  lay.sched.input_cols = conv_cols;
+  lay.sched.label_cols = group_cols;
+  lay.sched.sum_loss = true;
+  lay.sched.loss_replicas = grid.pr;
+  lay.sched.mode = opts.mode;
+  lay.sched.seconds_per_flop = opts.seconds_per_flop;
+  lay.input = {p, conv_block};
+  // After the redistribution the FC phase's logits are per column group:
+  // block j of the Pc-way partition, fully held by global rank j (row 0).
+  lay.output.parts = grid.pc;
+  for (int j = 0; j < grid.pc; ++j) lay.output.owners.push_back(j);
+  lay.d_in = specs.front().d_in();
+  lay.d_out = specs.back().d_out();
 
-  engine.add_stage(std::make_unique<ConvStackStage>(
+  lay.stages.push_back(std::make_unique<ConvStackStage>(
       std::move(conv_stack), d_conv_out, &comm, conv_stack_macs));
-  engine.add_stage(std::make_unique<RedistributeStage>(
-      &model_group, p, grid.pr, col, d_conv_out, group_cols, conv_cols));
+  lay.stages.push_back(std::make_unique<RedistributeStage>(
+      model_group, p, grid.pr, col, /*conv_index=*/row, d_conv_out));
   for (std::size_t li = 0; li < fc_cfgs.size(); ++li)
-    engine.add_stage(
+    lay.stages.push_back(
         std::make_unique<FcStage>(fc_cfgs[li], std::move(fc_weights[li])));
+  return lay;
+}
 
-  return engine.train(data, cfg, recovery);
+DistResult train_mixed_grid(comm::Comm& comm, GridShape grid,
+                            const std::vector<nn::LayerSpec>& specs,
+                            const nn::Dataset& data,
+                            const nn::TrainConfig& cfg, std::uint64_t seed,
+                            ReduceMode mode,
+                            const RecoveryContext* recovery,
+                            double seconds_per_flop) {
+  TrainerOptions opts;
+  opts.grid = grid;
+  opts.seed = seed;
+  opts.mode = mode;
+  opts.seconds_per_flop = seconds_per_flop;
+  return train_layout(comm,
+                      build_mixed_grid_layout(comm, opts, specs, cfg.batch),
+                      data, cfg, recovery);
 }
 
 }  // namespace mbd::parallel

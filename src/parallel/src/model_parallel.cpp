@@ -2,31 +2,32 @@
 
 #include <memory>
 
+#include "mbd/parallel/engine_layout.hpp"
 #include "mbd/parallel/layer_engine.hpp"
 #include "mbd/support/check.hpp"
 
 namespace mbd::parallel {
 
-DistResult train_model_parallel(comm::Comm& comm,
-                                const std::vector<nn::LayerSpec>& specs,
-                                const nn::Dataset& data,
-                                const nn::TrainConfig& cfg,
-                                std::uint64_t seed, ReduceMode mode,
-                                const RecoveryContext* recovery,
-                                double seconds_per_flop) {
+EngineLayout build_model_parallel_layout(
+    comm::Comm& comm, const TrainerOptions& opts,
+    const std::vector<nn::LayerSpec>& specs, std::size_t batch) {
   const int p = comm.size();
   const int r = comm.rank();
+  MBD_CHECK(!specs.empty());
 
+  EngineLayout lay;
   // Replicated input: the entire mini-batch on every process; the loss is
   // computed on fully replicated logits, identical on every rank.
-  StepSchedule sched;
-  sched.input_cols = {0, cfg.batch};
-  sched.label_cols = sched.input_cols;
-  sched.mode = mode;
-  sched.seconds_per_flop = seconds_per_flop;
-  LayerEngine engine(comm, sched);
+  lay.sched.input_cols = {0, batch};
+  lay.sched.label_cols = lay.sched.input_cols;
+  lay.sched.mode = opts.mode;
+  lay.sched.seconds_per_flop = opts.seconds_per_flop;
+  lay.input = {1, 0};
+  lay.output.replicated = true;  // FcStage all-gathers every Y over the world
+  lay.d_in = specs.front().fc_in;
+  lay.d_out = specs.back().fc_out;
 
-  Rng rng(seed);
+  Rng rng(opts.seed);
   bool first = true;
   for (const auto& s : specs) {
     MBD_CHECK_MSG(s.kind == nn::LayerKind::FullyConnected,
@@ -41,10 +42,26 @@ DistResult train_model_parallel(comm::Comm& comm,
     c.rows = block_range(s.fc_out, p, r);
     c.compute_dx = !first;  // the data layer needs no ∆X
     first = false;
-    engine.add_stage(std::make_unique<FcStage>(
+    lay.stages.push_back(std::make_unique<FcStage>(
         c, he_init_rows(s.fc_out, s.fc_in, rng, c.rows)));
   }
-  return engine.train(data, cfg, recovery);
+  return lay;
+}
+
+DistResult train_model_parallel(comm::Comm& comm,
+                                const std::vector<nn::LayerSpec>& specs,
+                                const nn::Dataset& data,
+                                const nn::TrainConfig& cfg,
+                                std::uint64_t seed, ReduceMode mode,
+                                const RecoveryContext* recovery,
+                                double seconds_per_flop) {
+  TrainerOptions opts;
+  opts.seed = seed;
+  opts.mode = mode;
+  opts.seconds_per_flop = seconds_per_flop;
+  return train_layout(
+      comm, build_model_parallel_layout(comm, opts, specs, cfg.batch), data,
+      cfg, recovery);
 }
 
 }  // namespace mbd::parallel

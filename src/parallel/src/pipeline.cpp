@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "mbd/parallel/engine_layout.hpp"
 #include "mbd/parallel/layer_engine.hpp"
 #include "mbd/support/check.hpp"
 #include "mbd/tensor/matrix.hpp"
@@ -127,20 +128,19 @@ ScheduleProgram one_f1b_program(std::size_t num_stages, int p, int rank,
 
 }  // namespace
 
-DistResult train_pipeline(comm::Comm& comm,
-                          const std::vector<nn::LayerSpec>& specs,
-                          const nn::Dataset& data, const nn::TrainConfig& cfg,
-                          std::size_t microbatches, std::uint64_t seed,
-                          ReduceMode mode, const RecoveryContext* recovery,
-                          double seconds_per_flop) {
+EngineLayout build_pipeline_layout(comm::Comm& comm,
+                                   const TrainerOptions& opts,
+                                   const std::vector<nn::LayerSpec>& specs,
+                                   std::size_t batch) {
   const int p = comm.size();
   const int r = comm.rank();
+  const std::size_t microbatches = opts.microbatches;
   const std::size_t num_layers = specs.size();
   MBD_CHECK_MSG(num_layers >= static_cast<std::size_t>(p),
                 "pipeline trainer needs at least one layer per rank ("
                     << num_layers << " layers over " << p << " ranks)");
   MBD_CHECK_GT(microbatches, 0u);
-  MBD_CHECK_LE(microbatches, cfg.batch);
+  MBD_CHECK_LE(microbatches, batch);
   for (const auto& s : specs) {
     MBD_CHECK_MSG(s.kind == nn::LayerKind::FullyConnected,
                   "pipeline trainer supports MLPs only; '"
@@ -152,25 +152,31 @@ DistResult train_pipeline(comm::Comm& comm,
                                  owned.size() +
                                  static_cast<std::size_t>(r < p - 1);
 
+  EngineLayout lay;
   // Every rank sees the whole replicated mini-batch; only the tail computes
   // logits, the other ranks contribute zero partials to the world loss sum.
-  StepSchedule sched;
-  sched.input_cols = {0, cfg.batch};
-  sched.label_cols = sched.input_cols;
-  sched.sum_loss = true;
-  sched.loss_replicas = 1;
-  sched.mode = mode;
-  sched.seconds_per_flop = seconds_per_flop;
-  sched.compute_loss = r == p - 1;
-  sched.program = one_f1b_program(num_stages, p, r, microbatches);
-  LayerEngine engine(comm, sched);
+  lay.sched.input_cols = {0, batch};
+  lay.sched.label_cols = lay.sched.input_cols;
+  lay.sched.sum_loss = true;
+  lay.sched.loss_replicas = 1;
+  lay.sched.mode = opts.mode;
+  lay.sched.seconds_per_flop = opts.seconds_per_flop;
+  lay.sched.compute_loss = r == p - 1;
+  lay.sched.program = one_f1b_program(num_stages, p, r, microbatches);
+  lay.input = {1, 0};
+  // Only the tail rank ends the forward chain holding logits — one column
+  // block covering the whole batch, owned by rank P−1.
+  lay.output.parts = 1;
+  lay.output.owners.push_back(p - 1);
+  lay.d_in = specs.front().fc_in;
+  lay.d_out = specs.back().fc_out;
 
   if (r > 0)
-    engine.add_stage(std::make_unique<PipeRecvStage>(&comm, r - 1,
-                                                     specs[owned.lo].fc_in));
+    lay.stages.push_back(std::make_unique<PipeRecvStage>(
+        &comm, r - 1, specs[owned.lo].fc_in));
   // Draw every layer from the shared stream (discarding the unowned ones)
   // so all ranks provably start from the sequential reference's weights.
-  Rng rng(seed);
+  Rng rng(opts.seed);
   for (std::size_t l = 0; l < num_layers; ++l) {
     const auto& s = specs[l];
     Matrix w = he_init_full(s.fc_out, s.fc_in, rng);
@@ -183,13 +189,32 @@ DistResult train_pipeline(comm::Comm& comm,
     c.batch_group = nullptr;  // one replica of each weight — no ∆W reduce
     c.rows = {0, s.fc_out};
     c.compute_dx = l != 0;  // the data layer needs no ∆X
-    engine.add_stage(std::make_unique<FcStage>(c, std::move(w)));
+    lay.stages.push_back(std::make_unique<FcStage>(c, std::move(w)));
   }
   if (r < p - 1)
-    engine.add_stage(std::make_unique<PipeSendStage>(
+    lay.stages.push_back(std::make_unique<PipeSendStage>(
         &comm, r + 1, specs[owned.hi - 1].fc_out));
+  return lay;
+}
 
-  DistResult res = engine.train(data, cfg, recovery);
+DistResult train_pipeline(comm::Comm& comm,
+                          const std::vector<nn::LayerSpec>& specs,
+                          const nn::Dataset& data, const nn::TrainConfig& cfg,
+                          std::size_t microbatches, std::uint64_t seed,
+                          ReduceMode mode, const RecoveryContext* recovery,
+                          double seconds_per_flop) {
+  const int p = comm.size();
+  const int r = comm.rank();
+  const std::size_t num_layers = specs.size();
+
+  TrainerOptions opts;
+  opts.seed = seed;
+  opts.mode = mode;
+  opts.seconds_per_flop = seconds_per_flop;
+  opts.microbatches = microbatches;
+  DistResult res =
+      train_layout(comm, build_pipeline_layout(comm, opts, specs, cfg.batch),
+                   data, cfg, recovery);
 
   // Assemble the full parameter vector on every rank: each layer's owner
   // broadcasts its weights in layer order. This is setup traffic after the

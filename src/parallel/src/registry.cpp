@@ -72,19 +72,19 @@ DistResult run_pipeline(comm::Comm& c, const TrainerOptions& o,
 
 constexpr std::array<TrainerEntry, 7> kRegistry{{
     {TrainerKind::ModelParallel, "model", "model", TrainerWorkload::Mlp,
-     run_model},
+     run_model, build_model_parallel_layout},
     {TrainerKind::BatchParallel, "batch", "batch", TrainerWorkload::Mlp,
-     run_batch},
+     run_batch, build_batch_parallel_layout},
     {TrainerKind::Integrated15D, "integrated", "integrated_15d",
-     TrainerWorkload::Mlp, run_integrated},
+     TrainerWorkload::Mlp, run_integrated, build_integrated_15d_layout},
     {TrainerKind::MixedGrid, "mixed", "mixed_grid", TrainerWorkload::ConvPool,
-     run_mixed},
+     run_mixed, build_mixed_grid_layout},
     {TrainerKind::DomainParallel, "domain", "domain",
-     TrainerWorkload::ConvHalo, run_domain},
+     TrainerWorkload::ConvHalo, run_domain, build_domain_parallel_layout},
     {TrainerKind::Hybrid, "hybrid", "hybrid", TrainerWorkload::ConvHalo,
-     run_hybrid},
+     run_hybrid, build_hybrid_layout},
     {TrainerKind::Pipeline, "pipeline", "pipeline", TrainerWorkload::DeepMlp,
-     run_pipeline},
+     run_pipeline, build_pipeline_layout},
 }};
 
 }  // namespace

@@ -1,0 +1,126 @@
+// Request gateway: bounded admission, dynamic batching, deadline shedding.
+//
+// All ranks call serve(); rank 0 runs the dispatcher — it owns the bounded
+// request queue, coalesces queued single-sample requests into batches, and
+// drives every batch through the session's collective forward — while every
+// other rank follows the one-way broadcast protocol (batch size, then the
+// replicated input). Clients talk only to rank 0's gateway from their own
+// threads via submit(), which never blocks on the fabric: it either enqueues
+// and returns a future, or rejects immediately with an explicit reason.
+//
+// Batching policy (docs/serving.md): the dispatcher takes up to
+// chosen_batch() requests per round without waiting for the batch to fill —
+// under light load requests go out solo (no artificial batching delay),
+// under heavy load batches grow to the chosen size and throughput rises.
+// The batch size comes from a startup self-bench: timed forwards over a
+// power-of-two ladder feed costmodel::pick_serving_batch (the Fig. 4 knee
+// machinery), which maximizes samples/second subject to the latency budget.
+//
+// Admission control, in decision order:
+//   shutdown    — shutdown() was called; the queue drains but new work is
+//                 refused.
+//   queue_full  — the bounded queue is at capacity; admitting more would
+//                 only grow latency without bound (shed early, explicitly).
+//   deadline    — with a latency budget set, the estimated service time
+//                 (queued rounds ahead + this request's round, at the
+//                 measured batch latency) already exceeds the budget: the
+//                 reply would be late, so reject now instead.
+//
+// Observability from day one: queue-depth gauge, batch-size and end-to-end
+// latency histograms (p50/p99 via HistogramSnapshot::quantile), accept and
+// per-reason reject counters in the metrics registry; SpanKind::Serve
+// profiler spans on enqueue → batch → forward → reply.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mbd/comm/comm.hpp"
+#include "mbd/serve/inference.hpp"
+#include "mbd/tensor/matrix.hpp"
+
+namespace mbd::serve {
+
+/// Outcome of one request. Rejections complete the future immediately with
+/// accepted = false and the admission-control reason.
+struct Reply {
+  std::vector<float> logits;  ///< d_out entries; empty when rejected
+  bool accepted = false;
+  std::string reject_reason;  ///< "queue_full", "deadline", or "shutdown"
+  double latency_s = 0.0;     ///< enqueue → reply (accepted requests)
+};
+
+struct GatewayOptions {
+  std::size_t queue_capacity = 64;
+  std::size_t max_batch = 32;
+  /// Fixed batch size; 0 calibrates at startup (the self-bench ladder).
+  std::size_t batch_size = 0;
+  /// Deadline for admission control and the calibration constraint;
+  /// 0 disables deadline shedding.
+  double latency_budget_s = 0.0;
+  /// Timed forwards per ladder rung during calibration (min taken).
+  int calibration_reps = 3;
+  /// Per-batch latency the admission estimate assumes; 0 takes the
+  /// calibrated value. Presetting it (with batch_size) makes deadline
+  /// decisions deterministic — the tests' and simulations' knob.
+  double assumed_batch_latency_s = 0.0;
+};
+
+/// One rank's gateway over an InferenceSession. Construct on every rank,
+/// then call serve() on every rank; submit()/shutdown() are rank 0 only
+/// (any thread).
+class Gateway {
+ public:
+  Gateway(InferenceSession& session, comm::Comm& comm, GatewayOptions opts);
+
+  /// Run the serving loop until shutdown: dispatcher on rank 0, broadcast
+  /// follower elsewhere. Collective; blocks the calling (rank) thread.
+  void serve();
+
+  /// Submit one d_in-feature request (rank 0, any thread). Never blocks on
+  /// the fabric; the future completes with the logits or a rejection.
+  std::future<Reply> submit(std::vector<float> features);
+
+  /// Stop accepting, drain the queue, then release every rank out of
+  /// serve(). Safe from any thread; idempotent.
+  void shutdown();
+
+  /// The dispatch batch size in effect (fixed or calibrated; 0 until the
+  /// dispatcher finishes calibration).
+  std::size_t chosen_batch() const;
+  /// The per-batch latency the admission estimate uses.
+  double batch_latency_s() const;
+
+ private:
+  struct Pending {
+    std::vector<float> features;
+    std::promise<Reply> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void run_dispatcher();
+  void run_follower();
+  /// Drive one collective batch: broadcast the size and the replicated
+  /// input, forward, return the replicated logits. Rank 0 only.
+  tensor::Matrix run_batch_collective(const tensor::Matrix& input);
+  std::size_t calibrate();
+
+  InferenceSession* session_;
+  comm::Comm* comm_;
+  GatewayOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool shutdown_ = false;
+  std::size_t chosen_batch_ = 0;
+  double batch_latency_s_ = 0.0;
+};
+
+}  // namespace mbd::serve

@@ -1,0 +1,69 @@
+// Forward-only execution of a trainer's stage layout.
+//
+// Training and inference share everything below the loop: the comm groups,
+// the partitioned stages, and the data-movement contract a layout carries
+// (engine_layout.hpp). What differs is the schedule — inference derives a
+// forward-only tick program from the layout (one Fwd tick per stage in
+// order, no Bwd ticks, no optimizer or gradient-accumulation state) and
+// interprets it directly, so every one of the seven registered trainers'
+// layouts serves batched forward passes over the existing fabric. Over the
+// in-process and TCP transports alike that includes the pipeline layout:
+// ranks below the tail finish their recv→compute→send chain and the tail
+// rank owns the logits, i.e. pipelined multi-rank inference falls out of the
+// same stage graph.
+//
+// Determinism: a forward pass is collective and deterministic — same
+// weights, same input, same fabric ⇒ bitwise-identical logits, run to run
+// and transport to transport. Each sample's logits column depends only on
+// that sample's input column (per-column GEMM accumulation order is fixed
+// regardless of batch composition), which is what lets the gateway pad
+// sub-minimum batches with zero columns and drop the padded outputs.
+#pragma once
+
+#include <cstddef>
+
+#include "mbd/comm/comm.hpp"
+#include "mbd/parallel/engine_layout.hpp"
+#include "mbd/parallel/recovery.hpp"
+#include "mbd/tensor/matrix.hpp"
+
+namespace mbd::serve {
+
+/// One rank's handle on a forward-only executor over a trainer layout.
+/// Collective: every rank of the communicator constructs a session over its
+/// own layout (same builder, same options) and calls forward() in lockstep.
+class InferenceSession {
+ public:
+  /// Takes ownership of the layout (stages point into layout.groups, so the
+  /// session must own both halves together).
+  InferenceSession(comm::Comm& comm, parallel::EngineLayout layout);
+
+  /// Restore trained weights from the store's committed checkpoint — the
+  /// slot a training run publishes with CheckpointPolicy::final_commit.
+  /// Without load() the session serves the He-initialized weights (the
+  /// sequential reference's starting point). Momentum velocities in the
+  /// checkpoint are consumed and discarded; inference has no optimizer.
+  void load(const parallel::CheckpointStore& store);
+
+  /// Collective batched forward pass. `input` is the full d_in × b batch,
+  /// identical on every rank; returns the replicated d_out × b logits.
+  /// Batches smaller than min_batch() are padded internally with zero
+  /// columns (dropped from the result). Deterministic: bitwise-identical
+  /// logits for the same weights and input, independent of how samples are
+  /// grouped into batches.
+  tensor::Matrix forward(const tensor::Matrix& input);
+
+  std::size_t d_in() const { return layout_.d_in; }
+  std::size_t d_out() const { return layout_.d_out; }
+
+  /// Smallest batch the layout runs without padding: every input and output
+  /// block must be non-empty.
+  std::size_t min_batch() const;
+
+ private:
+  comm::Comm* comm_;
+  parallel::EngineLayout layout_;
+  parallel::ScheduleProgram program_;  ///< derived forward-only tick list
+};
+
+}  // namespace mbd::serve

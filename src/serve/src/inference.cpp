@@ -1,0 +1,120 @@
+#include "mbd/serve/inference.hpp"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mbd/obs/profiler.hpp"
+#include "mbd/parallel/layer_engine.hpp"
+#include "mbd/support/check.hpp"
+
+namespace mbd::serve {
+
+using parallel::Flow;
+using parallel::Range;
+using parallel::StepContext;
+using tensor::Matrix;
+
+InferenceSession::InferenceSession(comm::Comm& comm,
+                                   parallel::EngineLayout layout)
+    : comm_(&comm), layout_(std::move(layout)) {
+  MBD_CHECK_MSG(!layout_.stages.empty(), "layout has no stages");
+  MBD_CHECK_GT(layout_.d_in, 0u);
+  MBD_CHECK_GT(layout_.d_out, 0u);
+  MBD_CHECK_GT(layout_.input.parts, 0);
+  if (!layout_.output.replicated) {
+    MBD_CHECK_EQ(layout_.output.owners.size(),
+                 static_cast<std::size_t>(layout_.output.parts));
+    for (const int owner : layout_.output.owners) {
+      MBD_CHECK(owner >= 0 && owner < comm_->size());
+    }
+  }
+  // The forward-only program: every stage's Fwd tick in order, whole batch
+  // as microbatch 0 of 1. (Pipeline layouts train under 1F1B; inference has
+  // no Bwd ticks to interleave, so first-to-last order is the pipeline.)
+  for (std::size_t s = 0; s < layout_.stages.size(); ++s)
+    program_.ticks.push_back(
+        {parallel::ScheduleTick::Op::Fwd, s, /*microbatch=*/0});
+  program_.num_microbatches = 1;
+  program_.loss_tick = program_.ticks.size() - 1;
+}
+
+void InferenceSession::load(const parallel::CheckpointStore& store) {
+  MBD_CHECK_MSG(store.valid(), "checkpoint store has no committed state");
+  const std::vector<float> state = store.state(comm_->rank());
+  std::span<const float> in(state);
+  for (auto& stage : layout_.stages) stage->restore_state(in);
+  MBD_CHECK_MSG(in.empty(),
+                "checkpoint state larger than the layout's stage state");
+}
+
+std::size_t InferenceSession::min_batch() const {
+  return static_cast<std::size_t>(
+      std::max(layout_.input.parts, layout_.output.parts));
+}
+
+Matrix InferenceSession::forward(const Matrix& input) {
+  MBD_CHECK_EQ(input.rows(), layout_.d_in);
+  MBD_CHECK_GT(input.cols(), 0u);
+  const std::size_t b = input.cols();
+  const std::size_t padded = std::max(b, min_batch());
+
+  // Zero-pad sub-minimum batches so every block partition is non-empty; the
+  // padded columns' logits are dropped below (per-sample purity makes the
+  // padding invisible to the real columns).
+  Matrix padded_input;
+  const Matrix* batch = &input;
+  if (padded != b) {
+    padded_input = Matrix(layout_.d_in, padded);
+    padded_input.set_col_block(0, input);
+    batch = &padded_input;
+  }
+
+  StepContext ctx;
+  ctx.iteration = 0;
+  ctx.batch = padded;
+  ctx.first_sample = 0;
+  ctx.world = comm_;
+  ctx.mode = parallel::ReduceMode::Blocking;
+
+  for (auto& stage : layout_.stages) stage->begin_iteration(ctx);
+
+  const Range in_cols = parallel::block_range(padded, layout_.input.parts,
+                                              layout_.input.index);
+  Flow flow = Flow::from_matrix(batch->col_block(in_cols.lo, in_cols.hi));
+  for (const parallel::ScheduleTick& tick : program_.ticks) {
+    parallel::EngineStage& stage = *layout_.stages[tick.stage];
+    obs::ScopedSpan span(obs::SpanKind::StageFwd, stage.name(), padded);
+    flow = stage.forward(std::move(flow), ctx);
+  }
+
+  Matrix out;
+  if (layout_.output.replicated) {
+    out = std::move(flow.as_matrix());
+    MBD_CHECK_EQ(out.rows(), layout_.d_out);
+    MBD_CHECK_EQ(out.cols(), padded);
+  } else {
+    // Assemble per the OutputSpec: block i's owner broadcasts its logits
+    // columns; every rank ends with the replicated d_out × padded matrix.
+    out = Matrix(layout_.d_out, padded);
+    for (int i = 0; i < layout_.output.parts; ++i) {
+      const Range r = parallel::block_range(padded, layout_.output.parts, i);
+      if (r.size() == 0) continue;
+      std::vector<float> buf(layout_.d_out * r.size());
+      if (comm_->rank() == layout_.output.owners[i]) {
+        Matrix& local = flow.as_matrix();
+        MBD_CHECK_EQ(local.rows(), layout_.d_out);
+        MBD_CHECK_EQ(local.cols(), r.size());
+        std::copy(local.span().begin(), local.span().end(), buf.begin());
+      }
+      comm_->broadcast(std::span<float>(buf), layout_.output.owners[i]);
+      out.set_col_block(
+          r.lo, Matrix::from_data(layout_.d_out, r.size(), std::move(buf)));
+    }
+  }
+  if (padded != b) out = out.col_block(0, b);
+  return out;
+}
+
+}  // namespace mbd::serve

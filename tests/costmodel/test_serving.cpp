@@ -1,0 +1,75 @@
+// pick_serving_batch: the Fig. 4 knee machinery applied to serving — choose
+// the batch that maximizes samples/second over the measured latency curve,
+// subject to a latency budget.
+#include "mbd/costmodel/serving.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mbd/support/check.hpp"
+
+namespace mbd::costmodel {
+namespace {
+
+// latency(b) = (1 + 0.1·b) ms: sublinear per-sample cost, so throughput
+// rises monotonically with the batch.
+std::vector<LatencyPoint> sublinear_curve() {
+  std::vector<LatencyPoint> pts;
+  for (const double b : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0})
+    pts.push_back({b, (1.0 + 0.1 * b) * 1e-3});
+  return pts;
+}
+
+TEST(PickServingBatch, SublinearLatencyPicksTheLargestBatch) {
+  const BatchChoice c = pick_serving_batch(sublinear_curve(), 32);
+  EXPECT_EQ(c.batch, 32u);
+  EXPECT_NEAR(c.latency_s, 4.2e-3, 1e-4);
+  EXPECT_GT(c.throughput, 7000.0);
+}
+
+TEST(PickServingBatch, LatencyBudgetCapsTheBatch) {
+  // Budget of 1.85 ms admits batches up to 8 (latency(8) = 1.8 ms); larger
+  // batches would serve faster overall but miss the deadline.
+  const BatchChoice c = pick_serving_batch(sublinear_curve(), 32, 1.85e-3);
+  EXPECT_EQ(c.batch, 8u);
+  EXPECT_LE(c.latency_s, 1.85e-3);
+}
+
+TEST(PickServingBatch, InfeasibleBudgetDegradesToBatchOne) {
+  const BatchChoice c = pick_serving_batch(sublinear_curve(), 32, 1e-6);
+  EXPECT_EQ(c.batch, 1u);
+  EXPECT_NEAR(c.latency_s, 1.1e-3, 1e-4);
+}
+
+TEST(PickServingBatch, LinearLatencyKeepsBatchOne) {
+  // latency(b) = b ms exactly: throughput is flat, and ties prefer the
+  // smaller batch (same samples/second, less queueing delay).
+  std::vector<LatencyPoint> pts;
+  for (const double b : {1.0, 2.0, 4.0, 8.0}) pts.push_back({b, b * 1e-3});
+  const BatchChoice c = pick_serving_batch(pts, 8);
+  EXPECT_EQ(c.batch, 1u);
+}
+
+TEST(PickServingBatch, ExtrapolatesFlatBeyondTheLastSample) {
+  // Samples stop at 8 but max_batch is 32: the curve clamps flat past its
+  // last point, so throughput keeps growing and the cap wins.
+  std::vector<LatencyPoint> pts{{1, 1e-3}, {8, 1e-3}};
+  const BatchChoice c = pick_serving_batch(pts, 32);
+  EXPECT_EQ(c.batch, 32u);
+}
+
+TEST(PickServingBatch, ToleratesUnsortedAndDuplicateSamples) {
+  std::vector<LatencyPoint> pts{
+      {8.0, 1.8e-3}, {1.0, 1.1e-3}, {8.0, 2.0e-3},  // dup keeps the faster
+      {4.0, 1.4e-3}, {2.0, 1.2e-3},
+  };
+  const BatchChoice c = pick_serving_batch(pts, 8);
+  EXPECT_EQ(c.batch, 8u);
+  EXPECT_NEAR(c.latency_s, 1.8e-3, 1e-4);
+}
+
+TEST(PickServingBatch, RejectsEmptyMeasurements) {
+  EXPECT_THROW((void)pick_serving_batch({}, 8), ::mbd::Error);
+}
+
+}  // namespace
+}  // namespace mbd::costmodel

@@ -88,6 +88,71 @@ TEST_F(MetricsTest, ToJsonEscapesAndShapes) {
             std::count(j.begin(), j.end(), ']'));
 }
 
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  const HistogramSnapshot h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+TEST(HistogramQuantile, SingleObservationStaysInsideItsBucket) {
+  HistogramSnapshot h;
+  h.count = 1;
+  h.buckets[10] = 1;  // one observation in [1024, 2048)
+  // All quantiles resolve to the same (sole) observation; interpolation may
+  // place it anywhere inside the bucket but never outside it.
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_GT(h.quantile(q), 1024.0);
+    EXPECT_LE(h.quantile(q), 2048.0);
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.quantile(1.0));
+}
+
+TEST(HistogramQuantile, InterpolatesWithinABucket) {
+  HistogramSnapshot h;
+  h.count = 3;
+  h.buckets[2] = 3;  // three observations in [4, 8)
+  // Ranks 1, 2, 3 of 3 spread evenly across the bucket's value range.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 4.0 + (1.0 / 3.0) * 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0 + (2.0 / 3.0) * 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+}
+
+TEST(HistogramQuantile, TailQuantileLandsInTheTailBucket) {
+  HistogramSnapshot h;
+  // 99 fast observations in [2, 4), one slow outlier in [1024, 2048).
+  h.count = 100;
+  h.buckets[1] = 99;
+  h.buckets[10] = 1;
+  const double p50 = h.p50();
+  EXPECT_GE(p50, 2.0);
+  EXPECT_LT(p50, 4.0);
+  const double p99 = h.p99();
+  EXPECT_GE(p99, 1024.0);
+  EXPECT_LE(p99, 2048.0);
+  EXPECT_LE(h.p50(), h.p99());  // quantiles are monotone in q
+}
+
+TEST(HistogramQuantile, Bucket0SpansZeroToTwo) {
+  HistogramSnapshot h;
+  h.count = 2;
+  h.buckets[0] = 2;
+  EXPECT_GE(h.quantile(0.5), 0.0);
+  EXPECT_LE(h.quantile(1.0), 2.0);
+}
+
+TEST_F(MetricsTest, ObservedHistogramQuantilesComeBackThroughSnapshot) {
+  auto& m = Metrics::instance();
+  for (int i = 0; i < 99; ++i) m.hist_observe("lat_us", 100.0);  // bucket 6
+  m.hist_observe("lat_us", 5000.0);                              // bucket 12
+  const auto snap = m.snapshot();
+  ASSERT_EQ(snap.size(), 1U);
+  const auto& h = snap[0].hist;
+  EXPECT_GE(h.p50(), 64.0);
+  EXPECT_LT(h.p50(), 128.0);
+  EXPECT_GE(h.p99(), 4096.0);
+  EXPECT_LE(h.p99(), 8192.0);
+}
+
 TEST_F(MetricsTest, ResetClears) {
   auto& m = Metrics::instance();
   m.counter_add("x");

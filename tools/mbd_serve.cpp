@@ -1,0 +1,225 @@
+// Serving load driver for CI (.github/workflows/ci.yml, serving-smoke job).
+//
+// Trains the chosen trainer briefly, publishes the weights through
+// CheckpointPolicy::final_commit, then serves them through the gateway while
+// an open-loop client fires single-sample requests at a configured arrival
+// rate (open-loop: arrival times are fixed up front, so a slow server builds
+// queue depth instead of slowing the clients — the honest way to measure
+// tail latency). Prints one JSON object with the accept/reject counts and
+// the latency percentiles; scripts/check_serving.py schema-checks it.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "mbd/comm/world.hpp"
+#include "mbd/nn/models.hpp"
+#include "mbd/nn/trainer.hpp"
+#include "mbd/obs/metrics.hpp"
+#include "mbd/parallel/common.hpp"
+#include "mbd/parallel/engine_layout.hpp"
+#include "mbd/parallel/recovery.hpp"
+#include "mbd/serve/gateway.hpp"
+#include "mbd/support/check.hpp"
+#include "mbd/support/cli.hpp"
+
+namespace {
+
+using namespace mbd;
+using Clock = std::chrono::steady_clock;
+
+std::vector<nn::LayerSpec> small_conv_net() {
+  std::vector<nn::LayerSpec> specs;
+  specs.push_back(nn::conv_spec("conv1", 2, 8, 8, 4, 3, 1, 1));
+  specs.push_back(nn::conv_spec("conv2", 4, 8, 8, 4, 3, 1, 1));
+  specs.push_back(nn::fc_spec("fc1", 4 * 8 * 8, 16));
+  specs.push_back(nn::fc_spec("fc2", 16, 4, false));
+  return specs;
+}
+
+struct Workload {
+  std::vector<nn::LayerSpec> specs;
+  nn::Dataset data;
+};
+
+Workload workload_for(parallel::TrainerWorkload w) {
+  using parallel::TrainerWorkload;
+  Workload wl;
+  switch (w) {
+    case TrainerWorkload::Mlp:
+      wl.specs = nn::mlp_spec({24, 32, 10});
+      wl.data = nn::make_synthetic_dataset(24, 10, 32, 13);
+      break;
+    case TrainerWorkload::DeepMlp:
+      wl.specs = nn::mlp_spec({24, 22, 20, 12, 10});
+      wl.data = nn::make_synthetic_dataset(24, 10, 32, 13);
+      break;
+    case TrainerWorkload::ConvHalo:
+    case TrainerWorkload::ConvPool:
+      wl.specs = small_conv_net();
+      wl.data = nn::make_synthetic_dataset(2 * 8 * 8, 4, 16, 9);
+      break;
+  }
+  return wl;
+}
+
+double counter_value(const std::vector<obs::MetricValue>& snap,
+                     const std::string& name) {
+  for (const auto& m : snap)
+    if (m.name == name) return m.value;
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("Open-loop serving load driver over a trained checkpoint.");
+  args.add_string("trainer", "batch", "registry trainer to serve");
+  args.add_int("ranks", 4, "world size (4 fits every trainer's 2x2 grid)");
+  args.add_int("requests", 64, "number of single-sample requests");
+  args.add_double("rate", 500.0, "open-loop arrival rate, requests/second");
+  args.add_int("batch", 0, "dispatch batch size (0 = calibrate at startup)");
+  args.add_int("max-batch", 16, "largest batch the dispatcher may form");
+  args.add_int("queue", 64, "admission queue capacity");
+  args.add_double("budget-ms", 0.0, "latency budget in ms (0 = no deadline)");
+  args.add_int("train-iters", 2, "training iterations before serving");
+  args.add_int("calib-reps", 2, "timed forwards per calibration rung");
+  args.add_string("json", "", "write the result JSON here (default stdout)");
+  if (!args.parse(argc, argv)) return 0;
+
+  const parallel::TrainerEntry* entry =
+      parallel::find_trainer(args.get_string("trainer"));
+  if (entry == nullptr) {
+    std::fprintf(stderr, "error: unknown trainer '%s'\n",
+                 args.get_string("trainer").c_str());
+    return 2;
+  }
+  const int ranks = static_cast<int>(args.get_int("ranks"));
+  const std::size_t requests =
+      static_cast<std::size_t>(args.get_int("requests"));
+  const double rate = args.get_double("rate");
+  MBD_CHECK_GT(rate, 0.0);
+
+  const Workload wl = workload_for(entry->workload);
+  parallel::TrainerOptions opts;
+  opts.grid = ranks == 4 ? parallel::GridShape{2, 2}
+                         : parallel::GridShape{1, ranks};
+
+  // Phase 1: train and publish the weights.
+  constexpr std::size_t kTrainBatch = 8;
+  nn::TrainConfig cfg;
+  cfg.batch = kTrainBatch;
+  cfg.iterations = static_cast<std::size_t>(args.get_int("train-iters"));
+  parallel::CheckpointStore store(ranks);
+  parallel::RecoveryContext rc{&store, {.every = 0, .final_commit = true}};
+  opts.recovery = &rc;
+  {
+    comm::World world(ranks);
+    world.run([&](comm::Comm& c) {
+      (void)entry->run(c, opts, wl.specs, wl.data, cfg);
+    });
+  }
+  MBD_CHECK_MSG(store.valid(), "training did not publish a checkpoint");
+
+  // Phase 2: serve the checkpoint under open-loop load.
+  obs::Metrics::instance().reset();
+  serve::GatewayOptions gopts;
+  gopts.queue_capacity = static_cast<std::size_t>(args.get_int("queue"));
+  gopts.max_batch = static_cast<std::size_t>(args.get_int("max-batch"));
+  gopts.batch_size = static_cast<std::size_t>(args.get_int("batch"));
+  gopts.latency_budget_s = args.get_double("budget-ms") * 1e-3;
+  gopts.calibration_reps = static_cast<int>(args.get_int("calib-reps"));
+
+  serve::Gateway* gateway = nullptr;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t accepted = 0;
+  std::size_t chosen_batch = 0;
+  double wall_s = 0.0;
+
+  std::thread client([&] {
+    {
+      std::unique_lock lk(mu);
+      cv.wait(lk, [&] { return gateway != nullptr; });
+    }
+    const auto start = Clock::now();
+    std::vector<std::future<serve::Reply>> futures;
+    futures.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+      std::this_thread::sleep_until(
+          start + std::chrono::duration<double>(static_cast<double>(i) /
+                                                rate));
+      const std::size_t col = i % wl.data.size();
+      const tensor::Matrix x = wl.data.inputs.col_block(col, col + 1);
+      futures.push_back(
+          gateway->submit({x.span().begin(), x.span().end()}));
+    }
+    for (auto& f : futures) {
+      if (f.get().accepted) ++accepted;
+    }
+    wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+    chosen_batch = gateway->chosen_batch();
+    gateway->shutdown();
+  });
+
+  comm::World world(ranks);
+  world.run([&](comm::Comm& c) {
+    serve::InferenceSession session(
+        c, entry->layout(c, opts, wl.specs, kTrainBatch));
+    session.load(store);
+    serve::Gateway gw(session, c, gopts);
+    if (c.rank() == 0) {
+      {
+        const std::lock_guard lk(mu);
+        gateway = &gw;
+      }
+      cv.notify_all();
+    }
+    gw.serve();
+  });
+  client.join();
+
+  const auto snap = obs::Metrics::instance().snapshot();
+  double p50_us = 0.0, p99_us = 0.0;
+  for (const auto& m : snap) {
+    if (m.name == "serve.latency_us") {
+      p50_us = m.hist.p50();
+      p99_us = m.hist.p99();
+    }
+  }
+
+  std::ostringstream os;
+  os << "{\"tool\": \"mbd_serve\", \"trainer\": \"" << entry->name
+     << "\", \"ranks\": " << ranks << ", \"requests\": " << requests
+     << ", \"accepted\": " << accepted << ", \"rejected_queue_full\": "
+     << counter_value(snap, "serve.rejected.queue_full")
+     << ", \"rejected_deadline\": "
+     << counter_value(snap, "serve.rejected.deadline")
+     << ", \"rejected_shutdown\": "
+     << counter_value(snap, "serve.rejected.shutdown")
+     << ", \"batch_size\": " << chosen_batch << ", \"p50_us\": " << p50_us
+     << ", \"p99_us\": " << p99_us << ", \"throughput_rps\": "
+     << (wall_s > 0.0 ? static_cast<double>(accepted) / wall_s : 0.0)
+     << "}\n";
+
+  const std::string out_path = args.get_string("json");
+  if (out_path.empty()) {
+    std::cout << os.str();
+  } else {
+    std::ofstream out(out_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << os.str();
+  }
+  std::fprintf(stderr,
+               "served %zu/%zu requests (batch=%zu, p50=%.0fus p99=%.0fus)\n",
+               accepted, requests, chosen_batch, p50_us, p99_us);
+  return 0;
+}
